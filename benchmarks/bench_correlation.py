@@ -1,0 +1,57 @@
+"""§I motivation — BPMax captures the thermodynamics (BPPart study).
+
+Regenerates the correlation between BPMax scores and exact ensemble
+free energies at the paper's two reference temperatures, and times the
+three partition-function implementations.
+"""
+
+import pytest
+
+from repro.bench.figures import run_experiment
+from repro.core.bppart import (
+    beta_from_celsius,
+    duplex_partition,
+    partition_exact,
+    single_strand_partition,
+)
+from repro.core.reference import prepare_inputs
+from repro.rna.sequence import random_pair
+
+from conftest import emit
+
+
+def test_correlation_rows():
+    res = run_experiment("correlation")
+    emit(res)
+    by_t = {r["temperature_c"]: r for r in res.rows}
+    assert by_t[-180.0]["pearson"] > 0.85
+    assert by_t[37.0]["pearson"] > 0.8
+    assert by_t[-180.0]["pearson"] >= by_t[37.0]["pearson"]
+
+
+@pytest.fixture(scope="module")
+def pf_inputs():
+    s1, s2 = random_pair(4, 5, 77)
+    return prepare_inputs(s1, s2)
+
+
+def test_single_strand_partition_cost(benchmark):
+    s1, _ = random_pair(24, 2, 3)
+    inp = prepare_inputs(s1, "A")
+    beta = beta_from_celsius(37.0)
+    q = benchmark(single_strand_partition, inp.score1, beta)
+    assert q[0, 23] >= 1.0
+
+
+def test_duplex_partition_cost(benchmark):
+    s1, s2 = random_pair(16, 24, 4)
+    inp = prepare_inputs(s1, s2)
+    z = benchmark(duplex_partition, inp, beta_from_celsius(37.0))
+    assert z >= 1.0
+
+
+def test_exact_joint_partition_cost(benchmark, pf_inputs):
+    z = benchmark.pedantic(
+        partition_exact, args=(pf_inputs, 1.0), rounds=2, iterations=1
+    )
+    assert z >= 1.0

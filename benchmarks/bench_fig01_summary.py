@@ -1,0 +1,32 @@
+"""Fig. 1 — summary of the optimization results on both Xeons.
+
+Times the flagship engine (hybrid-tiled) on the shared workload and
+regenerates the paper's overview rows (model projection for the two
+machines the paper used).
+"""
+
+from repro.bench.figures import run_experiment
+from repro.core.engine import make_engine
+
+from conftest import emit
+
+
+def test_fig01_rows():
+    res = run_experiment("fig01")
+    emit(res)
+    for row in res.rows:
+        assert row["speedup"] > 50, "paper: >100x headline"
+        assert 0.1 < row["peak_fraction"] < 0.35, "paper: ~1/4..1/5 of peak"
+    # E-2278G performs the same or better (paper §V-C)
+    by_machine = {}
+    for row in res.rows:
+        by_machine.setdefault(row["machine"], []).append(row["tiled_gflops"])
+    assert min(by_machine["Xeon E-2278G"]) >= 0.95 * min(
+        by_machine["Xeon E5-1650v4"]
+    )
+
+
+def test_fig01_flagship_engine(benchmark, bpmax_workload):
+    engine = make_engine(bpmax_workload, "hybrid-tiled", tile=(16, 4, 0))
+    score = benchmark(engine.run)
+    assert score > 0

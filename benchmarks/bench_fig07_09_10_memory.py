@@ -1,0 +1,87 @@
+"""Figs. 7, 9 and 10 — memory maps and storage accounting.
+
+Fig. 7/9: the phase-II vs phase-III reduction-variable storage budgets
+(phase III shares R0/R3/R4 storage with F and keeps one row for R1/R2).
+Fig. 10: memory-mapping option 1 (i2, j2) vs option 2 (i2, j2 - i2) —
+the paper finds option 1 always faster; we time row access in both
+layouts and regenerate the accounting rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.core.tables import FTable
+from repro.machine.counters import BYTES_F32, t1
+
+from conftest import emit
+
+
+def _phase2_reduction_bytes(m: int, threads: int) -> int:
+    """Phase II: P live 2-D arrays per reduction variable (R1..R4)."""
+    return 4 * threads * m * m * BYTES_F32
+
+
+def _phase3_reduction_bytes(m: int, threads: int) -> int:
+    """Phase III: R0/R3/R4 share F's storage; one row each for R1/R2."""
+    return 2 * threads * m * BYTES_F32
+
+
+def test_fig07_09_rows():
+    res = ExperimentResult(
+        "fig07-09",
+        "Reduction-variable storage: phase II vs phase III memory maps",
+        ("m", "threads", "phase2_bytes", "phase3_bytes", "saving"),
+        notes="phase III shares R0/R3/R4 with F and keeps one row for R1/R2",
+    )
+    for m in (512, 1024, 2048):
+        p2 = _phase2_reduction_bytes(m, 6)
+        p3 = _phase3_reduction_bytes(m, 6)
+        res.add(m=m, threads=6, phase2_bytes=p2, phase3_bytes=p3, saving=p2 / p3)
+        assert p3 < p2 / 100, "phase III saves orders of magnitude"
+    emit(res)
+
+
+def test_fig10_rows():
+    res = ExperimentResult(
+        "fig10",
+        "Inner-triangle memory maps: allocated vs touched bytes",
+        ("layout", "m", "allocated", "touched", "box_fraction"),
+        notes="AlphaZ's bounding box allocates ~2x the touched triangle",
+    )
+    for layout in ("option1", "option2"):
+        t = FTable(4, 64, layout=layout)
+        for w in t.windows():
+            t.alloc(*w)
+        res.add(
+            layout=layout,
+            m=64,
+            allocated=t.bytes_allocated(),
+            touched=t.bytes_touched(),
+            box_fraction=t.bytes_touched() / t.bytes_allocated(),
+        )
+    emit(res)
+    assert res.rows[0]["allocated"] == res.rows[1]["allocated"]
+
+
+@pytest.mark.parametrize("layout", ["option1", "option2"])
+def test_fig10_row_access(benchmark, layout):
+    """Option 1 keeps rows contiguous; option 2 pays a per-row skew."""
+    t = FTable(2, 256, layout=layout)
+    g = t.alloc(0, 1)
+    g[:] = np.random.default_rng(0).random((256, 256)).astype(np.float32)
+
+    def touch_rows():
+        phys = t.physical(0, 1)
+        return float(phys.sum())
+
+    benchmark(touch_rows)
+
+
+def test_memory_overhead_claim():
+    """§IV-B-c: 'Memory-overhead ... is M^2 x N^2. However, we only need
+    one-fourth of that memory.'"""
+    n, m = 64, 256
+    box = n * n * m * m * BYTES_F32
+    needed = t1(n) * t1(m) * BYTES_F32
+    assert needed / box == pytest.approx(0.25, rel=0.1)

@@ -1,0 +1,39 @@
+"""Fig. 11 — roofline model of the Xeon E5-1650v4.
+
+Regenerates the per-level attainable-GFLOPS rows (the paper's ~346
+GFLOPS peak and ~329 GFLOPS L1 expectation for AI = 1/6) and times the
+roofline evaluation itself.
+"""
+
+import pytest
+
+from repro.bench.figures import run_experiment
+from repro.machine.roofline import MAXPLUS_STREAM_AI, Roofline
+from repro.machine.specs import XEON_E5_1650V4
+
+from conftest import emit
+
+
+def test_fig11_rows():
+    res = run_experiment("fig11")
+    emit(res)
+    g = {r["level"]: r["attainable_gflops"] for r in res.rows}
+    assert g["L1"] == pytest.approx(329, rel=0.05)
+    assert g["L1"] > g["L2"] > g["L3"] > g["DRAM"]
+    assert all(r["bound"] == "memory" for r in res.rows), "AI=1/6 is memory-bound everywhere"
+
+
+def test_fig11_curve_evaluation(benchmark):
+    rl = Roofline(XEON_E5_1650V4, 6)
+
+    def evaluate():
+        return [rl.curve(level) for level in rl.levels()]
+
+    curves = benchmark(evaluate)
+    assert len(curves) == 4
+
+
+def test_fig11_peak():
+    rl = Roofline(XEON_E5_1650V4, 6)
+    assert rl.peak_gflops == pytest.approx(345.6)
+    assert rl.maxplus_bound("L1").arithmetic_intensity == MAXPLUS_STREAM_AI

@@ -1,0 +1,39 @@
+"""Fig. 12 — the Y = max(a + X, Y) streaming micro-benchmark.
+
+Times the real NumPy stream kernel at an L1-resident chunk and at a
+DRAM-sized chunk (the staircase the paper plots), regenerates the
+model rows calibrated to the paper's 120 / 240 GFLOPS anchors, and
+checks that the measured kernel slows down once the chunk spills the
+cache hierarchy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import run_experiment
+from repro.semiring.microbench import StreamBenchmark, maxplus_stream
+
+from conftest import emit
+
+
+def test_fig12_rows():
+    res = run_experiment("fig12")
+    emit(res)
+    assert max(res.column("model_6t")) == pytest.approx(120.5, rel=0.05)
+    assert max(res.column("model_12t")) == pytest.approx(241.1, rel=0.05)
+
+
+@pytest.mark.parametrize("kib", [4, 16, 4096], ids=lambda k: f"chunk{k}KiB")
+def test_fig12_stream_kernel(benchmark, kib):
+    n = kib * 1024 // 4
+    rng = np.random.default_rng(0)
+    x = rng.random(n, dtype=np.float32)
+    y = rng.random(n, dtype=np.float32)
+    benchmark(maxplus_stream, 1.5, x, y)
+
+
+def test_fig12_measured_staircase():
+    """Wall-clock GFLOPS must degrade from cache-resident to DRAM-sized."""
+    small = StreamBenchmark(2 * 1024, iterations=64).run().gflops
+    large = StreamBenchmark(8 * 1024 * 1024, iterations=2).run().gflops
+    assert small > large

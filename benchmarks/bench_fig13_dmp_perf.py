@@ -1,0 +1,37 @@
+"""Fig. 13 — double max-plus performance by schedule.
+
+pytest-benchmark entries time each kernel variant on the shared 4 x 48
+workload (NumPy vectorization standing in for SIMD); the regenerated
+model rows project the paper's 6-thread GFLOPS curves, where the tiled
+kernel reaches ~117 GFLOPS.
+"""
+
+import pytest
+
+from repro.bench.figures import run_experiment
+from repro.core.dmp import DoubleMaxPlus
+
+from conftest import emit
+
+KERNELS = ["naive", "scalar-k-inner", "vectorized", "tiled"]
+
+
+def test_fig13_rows():
+    res = run_experiment("fig13")
+    emit(res)
+    for row in res.rows:
+        assert row["tiled"] >= row["fine-ltr"] >= row["base"]
+        assert row["tiled"] > row["coarse"], "coarse performs very poorly (paper)"
+    assert max(r["tiled"] for r in res.rows) == pytest.approx(117, rel=0.1)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fig13_kernel(benchmark, dmp_workload, kernel):
+    def run():
+        eng = DoubleMaxPlus(
+            [t.copy() for t in dmp_workload], kernel=kernel, tile=(16, 4, 0)
+        )
+        return eng.run()
+
+    result = benchmark.pedantic(run, rounds=2 if kernel == "naive" else 5, iterations=1)
+    assert (0, len(dmp_workload) - 1) in result

@@ -1,0 +1,45 @@
+"""Fig. 14 — double max-plus speedup over the original implementation.
+
+Regenerates the model speedup curves (paper: ~178x for tiled) and
+measures the real wall-clock ratio between the pure-Python baseline
+kernel and the NumPy kernels on this substrate.
+"""
+
+import pytest
+
+from repro.bench.figures import run_experiment
+from repro.bench.harness import measure
+from repro.core.dmp import DoubleMaxPlus, dmp_flops
+
+from conftest import emit
+
+
+def test_fig14_rows():
+    res = run_experiment("fig14")
+    emit(res)
+    assert 100 <= max(res.column("tiled")) <= 250, "paper: ~178x"
+    for row in res.rows:
+        assert row["tiled"] >= row["fine-ltr"], "tiling only helps"
+
+
+def test_fig14_measured_kernel_speedup(dmp_workload):
+    """Wall-clock naive vs tiled on the shared workload."""
+    naive = measure(
+        DoubleMaxPlus([t.copy() for t in dmp_workload], kernel="naive").run, "naive"
+    )
+    tiled = measure(
+        DoubleMaxPlus(
+            [t.copy() for t in dmp_workload], kernel="tiled", tile=(16, 4, 0)
+        ).run,
+        "tiled",
+    )
+    speedup = naive.seconds / tiled.seconds
+    print(f"\nmeasured kernel speedup (4 x 48): {speedup:.1f}x")
+    assert speedup > 10
+
+
+def test_fig14_vectorized_engine(benchmark, dmp_workload):
+    def run():
+        return DoubleMaxPlus([t.copy() for t in dmp_workload], kernel="vectorized").run()
+
+    benchmark.pedantic(run, rounds=5, iterations=1)

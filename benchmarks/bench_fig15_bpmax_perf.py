@@ -1,0 +1,33 @@
+"""Fig. 15 — full BPMax performance by program version.
+
+pytest-benchmark entries time every optimized engine on the shared
+(4, 24) workload; the regenerated model rows project the paper's
+curves (tiled hybrid ~76 GFLOPS at moderate sizes, coarse/fine worst).
+"""
+
+import pytest
+
+from repro.bench.figures import run_experiment
+from repro.core.engine import make_engine
+
+from conftest import emit
+
+VARIANTS = ["coarse", "fine", "hybrid", "hybrid-tiled"]
+
+
+def test_fig15_rows():
+    res = run_experiment("fig15")
+    emit(res)
+    moderate = [r for r in res.rows if r["m"] <= 1024]
+    assert max(r["hybrid-tiled"] for r in moderate) == pytest.approx(76, rel=0.2)
+    for row in res.rows:
+        assert row["hybrid-tiled"] >= row["hybrid"] >= row["fine"]
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_fig15_engine(benchmark, bpmax_workload, variant):
+    def run():
+        return make_engine(bpmax_workload, variant, tile=(8, 4, 0)).run()
+
+    score = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert score >= 0

@@ -1,0 +1,47 @@
+"""Fig. 16 — BPMax speedup over the original program.
+
+Regenerates the model speedup curves (paper: ~100x with 6 threads for
+longer sequences) and measures the real baseline-vs-optimized ratio on
+this substrate, checking it grows with the inner length as in the
+paper's figure.
+"""
+
+from repro.bench.figures import run_experiment
+from repro.bench.harness import measure
+from repro.core.engine import make_engine
+from repro.core.reference import prepare_inputs
+from repro.rna.sequence import random_pair
+
+from conftest import emit
+
+
+def test_fig16_rows():
+    res = run_experiment("fig16")
+    emit(res)
+    assert max(res.column("hybrid-tiled")) >= 90, "paper: ~100x"
+    for row in res.rows:
+        assert row["hybrid-tiled"] >= row["hybrid"] >= row["fine"]
+
+
+def test_fig16_measured_speedup_grows_with_length():
+    speedups = []
+    for m in (16, 32):
+        s1, s2 = random_pair(4, m, 31)
+        inp = prepare_inputs(s1, s2)
+        t_base = measure(lambda: make_engine(inp, "baseline").run(), "b").seconds
+        t_opt = measure(
+            lambda: make_engine(inp, "hybrid-tiled", tile=(8, 4, 0)).run(), "o"
+        ).seconds
+        speedups.append(t_base / t_opt)
+    print(f"\nmeasured program speedups at m=16, 32: {speedups}")
+    assert speedups[-1] > speedups[0], "speedup grows with sequence length"
+
+
+def test_fig16_baseline_engine(benchmark):
+    s1, s2 = random_pair(3, 12, 2)
+    inp = prepare_inputs(s1, s2)
+
+    def run():
+        return make_engine(inp, "baseline").run()
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

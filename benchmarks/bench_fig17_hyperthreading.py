@@ -1,0 +1,32 @@
+"""Fig. 17 — effect of hyper-threading on the tiled double max-plus.
+
+The model rows reproduce the paper's 3-5% SMT gain; the pytest-benchmark
+entries time the real thread-pool path (row-partitioned R0 products) at
+1 and 2 workers — on this single-core host the 2-worker run mainly
+validates the code path rather than scaling.
+"""
+
+import pytest
+
+from repro.bench.figures import run_experiment
+from repro.core.vectorized import VectorizedBPMax
+
+from conftest import emit
+
+
+def test_fig17_rows():
+    res = run_experiment("fig17")
+    emit(res)
+    for row in res.rows:
+        assert 1.01 <= row["smt_gain"] <= 1.06, "paper: minimal 3-5% improvement"
+
+
+@pytest.mark.parametrize("threads", [1, 2])
+def test_fig17_threaded_engine(benchmark, bpmax_workload, threads):
+    def run():
+        return VectorizedBPMax(
+            bpmax_workload, variant="hybrid-tiled", tile=(8, 4, 0), threads=threads
+        ).run()
+
+    score = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert score >= 0

@@ -1,0 +1,36 @@
+"""Fig. 18 — effect of the (i2 x k2 x j2) tile shape on double max-plus.
+
+Regenerates the model sweep at the paper's 16 x 2500 workload (cubic
+tiles poor, best shapes leave j2 untiled, ~10% best-vs-generic gap) and
+times the real tiled kernel across shapes on the shared workload.
+"""
+
+import pytest
+
+from repro.bench.figures import run_experiment
+from repro.core.dmp import DoubleMaxPlus
+
+from conftest import emit
+
+SHAPES = [(16, 2, 0), (32, 4, 0), (16, 4, 0), (16, 16, 16), (8, 8, 8)]
+
+
+def test_fig18_rows():
+    res = run_experiment("fig18")
+    emit(res)
+    by_tile = {r["tile"]: r["model_gflops_16x2500"] for r in res.rows}
+    assert by_tile["64x16xN"] > by_tile["64x64x64"], "cubic tiles perform poorly"
+    assert by_tile["64x16xN"] > by_tile["32x32x32"]
+    # untiled-j2 family within ~15% of each other (paper: ~10%)
+    fam = [by_tile["64x16xN"], by_tile["128x8xN"]]
+    assert abs(fam[0] - fam[1]) / max(fam) <= 0.15
+
+
+@pytest.mark.parametrize("tile", SHAPES, ids=lambda t: f"{t[0]}x{t[1]}x{t[2] or 'N'}")
+def test_fig18_tiled_kernel(benchmark, dmp_workload, tile):
+    def run():
+        return DoubleMaxPlus(
+            [t.copy() for t in dmp_workload], kernel="tiled", tile=tile
+        ).run()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

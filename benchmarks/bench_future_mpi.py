@@ -1,0 +1,35 @@
+"""Conclusion future work — distributing BPMax over a cluster with MPI.
+
+Regenerates the projected strong-scaling table on the simulated cluster
+and times the real distributed executor (numerics + simulated comm) on a
+small workload, checking score equality with the oracle.
+"""
+
+import pytest
+
+from repro.bench.figures import run_experiment
+from repro.core.distributed import DistributedBPMax
+from repro.core.reference import bpmax_recursive
+from repro.parallel.mpi import ClusterSpec
+
+from conftest import emit
+
+
+def test_mpi_scaling_rows():
+    res = run_experiment("mpi-scaling")
+    emit(res)
+    speedup = {r["ranks"]: r["speedup"] for r in res.rows}
+    assert speedup[1] == pytest.approx(1.0, rel=0.05)
+    assert speedup[2] > 1.5
+    assert speedup[16] > speedup[4] > speedup[2]
+    eff = [r["efficiency"] for r in res.rows]
+    assert eff == sorted(eff, reverse=True), "efficiency decays with ranks"
+
+
+@pytest.mark.parametrize("ranks", [1, 4])
+def test_distributed_executor(benchmark, bpmax_workload, ranks):
+    def run():
+        return DistributedBPMax(bpmax_workload, ClusterSpec(ranks=ranks)).run()
+
+    rep = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert rep.score == pytest.approx(bpmax_recursive(bpmax_workload))

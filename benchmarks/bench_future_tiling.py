@@ -1,0 +1,54 @@
+"""Conclusion future work — register-level tiling and R1/R2 tiling.
+
+Regenerates the model ablation (kernel becomes compute-bound; the full
+program escapes the R1/R2 cap) and times the real two-level register
+kernel against the one-level tiled kernel on this substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import run_experiment
+from repro.core.dmp import DoubleMaxPlus
+from repro.machine.perfmodel import PerfModel
+from repro.semiring.maxplus import NEG_INF, maxplus_matmul_register, maxplus_matmul_tiled
+
+from conftest import emit
+
+
+def test_future_work_rows():
+    res = run_experiment("future-work")
+    emit(res)
+    for row in res.rows:
+        assert row["dmp_register"] > 1.5 * row["dmp_tiled"], "register tiling wins"
+        assert row["bpmax_r12_tiled"] > row["bpmax_tiled"], "R1/R2 tiling wins"
+    # the conclusion's goal: compute-bound, not bandwidth-bound
+    assert all(r["dmp_bound"] == "peak" for r in res.rows)
+
+
+def test_register_kernel_compute_bound_transition():
+    """Model: register-tiled hits ~85% of the 346 GFLOPS peak."""
+    pm = PerfModel()
+    r = pm.predict_dmp("register-tiled", 16, 1024, tile=(64, 16, 0))
+    assert r.gflops == pytest.approx(0.85 * 345.6, rel=0.02)
+
+
+@pytest.mark.parametrize("kernel", ["tiled", "register-tiled"])
+def test_future_kernels(benchmark, dmp_workload, kernel):
+    def run():
+        return DoubleMaxPlus(
+            [t.copy() for t in dmp_workload], kernel=kernel, tile=(16, 8, 0)
+        ).run()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_register_kernel_correct():
+    rng = np.random.default_rng(0)
+    a = rng.random((20, 15)).astype(np.float32)
+    b = rng.random((15, 25)).astype(np.float32)
+    ref = np.full((20, 25), NEG_INF, dtype=np.float32)
+    maxplus_matmul_tiled(a, b, ref, tile=(4, 4, 0))
+    got = np.full((20, 25), NEG_INF, dtype=np.float32)
+    maxplus_matmul_register(a, b, got, tile=(8, 8, 8), reg=3)
+    assert np.allclose(ref, got)

@@ -1,0 +1,46 @@
+"""The §V headline on this substrate: >100x speedup, measured.
+
+Times the pure-Python baseline kernel against the tiled NumPy kernel on
+a workload large enough to amortize call overhead, and regenerates the
+real-speedup experiment rows (kernel >100x; program speedup growing
+with the inner length, as in Fig. 16).
+"""
+
+import pytest
+
+from repro.bench.figures import run_experiment
+from repro.core.dmp import DoubleMaxPlus, random_triangles
+
+from conftest import emit
+
+
+def test_real_speedup_rows():
+    res = run_experiment("real-speedup")
+    emit(res)
+    kernel = [r for r in res.rows if r["scope"] == "R0 kernel"]
+    assert max(r["speedup"] for r in kernel) > 100, "the >100x headline"
+    program = [r for r in res.rows if r["scope"] == "full BPMax"]
+    assert all(r["speedup"] > 2 for r in program)
+
+
+@pytest.fixture(scope="module")
+def headline_workload():
+    return random_triangles(3, 128, 1)
+
+
+def test_headline_baseline(benchmark, headline_workload):
+    def run():
+        return DoubleMaxPlus(
+            [t.copy() for t in headline_workload], kernel="naive"
+        ).run()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_headline_optimized(benchmark, headline_workload):
+    def run():
+        return DoubleMaxPlus(
+            [t.copy() for t in headline_workload], kernel="tiled", tile=(32, 4, 0)
+        ).run()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

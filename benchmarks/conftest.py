@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every ``bench_*`` / ``test_*`` module regenerates one paper table or
+figure: it times the real substrate computation with pytest-benchmark,
+prints the regenerated rows (run with ``-s`` to see them inline; the CLI
+``python -m repro experiment <id>`` prints the same rows), and asserts
+the qualitative shape the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(result) -> None:
+    """Print one regenerated experiment table."""
+    print()
+    print(result.render())
+
+
+@pytest.fixture(scope="session")
+def dmp_workload():
+    """Shared double max-plus workload: 4 x 48 input triangles."""
+    from repro.core.dmp import random_triangles
+
+    return random_triangles(4, 48, 0)
+
+
+@pytest.fixture(scope="session")
+def bpmax_workload():
+    """Shared BPMax workload: a (4, 24) sequence pair."""
+    from repro.core.reference import prepare_inputs
+    from repro.rna.sequence import random_pair
+
+    s1, s2 = random_pair(4, 24, 99)
+    return prepare_inputs(s1, s2)

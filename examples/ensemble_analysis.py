@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Ensemble analysis: beyond the optimum (the BPPart companion view).
+
+BPMax reports a single optimal score; its companion BPPart (paper
+ref. [3]) sums over the whole Boltzmann ensemble.  This example runs the
+exact small-scale ensemble machinery of :mod:`repro.core.bppart` on one
+sequence pair:
+
+* the partition function and free energy at two temperatures;
+* how sharply the ensemble concentrates on the optimum as T drops
+  (the mechanism behind the paper's correlation claims);
+* exact base-pair probabilities — which contacts are thermodynamically
+  robust rather than merely optimal;
+* the suboptimal band: every structure within Delta of the optimum.
+
+Run:  python examples/ensemble_analysis.py
+"""
+
+from repro.core.bppart import (
+    beta_from_celsius,
+    correlation_study,
+    ensemble_stats,
+    pair_probabilities,
+    suboptimal_structures,
+)
+from repro.core.reference import prepare_inputs
+
+SEQ1 = "GCGAU"
+SEQ2 = "AUCGC"
+
+
+def main() -> None:
+    inputs = prepare_inputs(SEQ1, SEQ2)
+    print(f"strands: {SEQ1} x {SEQ2}\n")
+
+    # 1. ensemble statistics at the paper's two reference temperatures
+    print("temperature   Z           -dG      P(MFE)   <weight>  structures")
+    for t in (37.0, -180.0):
+        st = ensemble_stats(inputs, beta_from_celsius(t))
+        print(
+            f"{t:8.1f} C  {st.z:11.4g}  {-st.free_energy:7.2f}  "
+            f"{st.mfe_probability:7.3f}  {st.expected_weight:8.2f}  "
+            f"{st.n_structures:6d}"
+        )
+    print("  (colder -> the ensemble collapses onto the BPMax optimum)\n")
+
+    # 2. exact pair probabilities at 37 C
+    probs = pair_probabilities(inputs, beta_from_celsius(37.0))
+    print("most probable contacts at 37 C:")
+    ranked = sorted(
+        [("intra1", p, v) for p, v in probs.intra1.items()]
+        + [("intra2", p, v) for p, v in probs.intra2.items()]
+        + [("inter", p, v) for p, v in probs.inter.items()],
+        key=lambda x: -x[2],
+    )
+    for kind, pair, v in ranked[:6]:
+        print(f"  {kind:6s} {pair}: {v:.3f}")
+
+    # 3. the suboptimal band
+    print("\nstructures within 2 bonds of the optimum:")
+    for weight, s in suboptimal_structures(inputs, delta=2.0)[:8]:
+        print(
+            f"  weight {weight:4.1f}: intra1={sorted(s.pairs1)} "
+            f"intra2={sorted(s.pairs2)} inter={sorted(s.inter)}"
+        )
+
+    # 4. the correlation study behind the paper's motivation
+    print("\nBPMax vs exact ensemble -dG over 25 random pairs:")
+    for r in correlation_study(n_samples=25, lengths=(4, 4), rng=8):
+        print(
+            f"  T={r.temperature_c:7.1f} C: pearson={r.pearson:.3f} "
+            f"spearman={r.spearman:.3f}"
+        )
+    print("  (paper quotes 0.904 / 0.836 for piRNA-vs-BPMax at these T)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The AlphaZ workflow end to end: equations -> schedules -> code.
+
+Reproduces the paper's methodology on the mini polyhedral framework:
+
+1. express BPMax as a system of affine recurrence equations;
+2. extract its dependences and machine-check the legality of each
+   published schedule (Tables I-IV), including the parallel dimensions;
+3. generate scheduled Python code for each variant (the
+   ``generateScheduleC`` analogue) and compare LOC (Table VI);
+4. run the generated code and check it against the recursive oracle.
+
+Run:  python examples/schedule_exploration.py
+"""
+
+from repro.core.alpha_model import (
+    bpmax_system,
+    schedules_for,
+    target_mapping_for,
+)
+from repro.core.reference import bpmax_recursive, prepare_inputs
+from repro.polyhedral.codegen import compile_schedule, count_loc
+from repro.polyhedral.dependence import check_all
+from repro.rna.sequence import random_pair
+
+
+def main() -> None:
+    # -- 1. the program, as equations ---------------------------------
+    system = bpmax_system(include_s=False)
+    print("BPMax as a mini-Alpha system:")
+    print(f"  parameters : {system.params}")
+    print(f"  inputs     : {[d.name for d in system.inputs]}")
+    print(f"  equations  : {[eq.var for eq in system.equations]}")
+
+    # -- 2. dependence analysis + legality ----------------------------
+    deps = system.dependences()
+    print(f"\nextracted {len(deps)} dependences from the equations")
+    params = {"N": 3, "M": 4}
+    for variant in ("fine", "coarse", "hybrid"):
+        vs = schedules_for(variant)
+        scheds, ready = vs.checker_schedules()
+        violations = check_all(deps, scheds, params, producer_schedules=ready)
+        status = "LEGAL" if not violations else f"{len(violations)} violations"
+        print(
+            f"  {vs.table:9s} ({variant:6s}): rank {vs.body['F'].rank}, "
+            f"parallel dim {vs.parallel_dim} -> {status}"
+        )
+        print(f"      F schedule: {vs.body['F'].mapping}")
+
+    # -- 3 + 4. generate, measure, run, verify -------------------------
+    s1, s2 = random_pair(3, 4, 17)
+    inp = prepare_inputs(s1, s2)
+    inputs = {
+        "score1": inp.score1,
+        "score2": inp.score2,
+        "iscore": inp.iscore,
+        "S1": inp.s1,
+        "S2": inp.s2,
+    }
+    expected = bpmax_recursive(inp)
+    print(f"\noracle score for a random (3, 4) pair: {expected:g}")
+    print(f"{'variant':10s} {'LOC':>5s} {'loops':>6s} {'score':>7s}")
+    for variant in ("fine", "coarse", "hybrid"):
+        fn, src = compile_schedule(
+            system, target_mapping_for(variant), func_name=f"bpmax_{variant}"
+        )
+        stats = count_loc(variant, src)
+        out = fn({"N": inp.n, "M": inp.m}, inputs)
+        score = out["F"][0, inp.n - 1, 0, inp.m - 1]
+        flag = "ok" if abs(score - expected) < 1e-4 else "MISMATCH"
+        print(
+            f"{variant:10s} {stats.code_lines:5d} {stats.loop_count:6d} "
+            f"{score:7g} {flag}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim: enables legacy editable installs on offline hosts
+where the wheel package is unavailable (PEP 660 needs bdist_wheel).
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro — reproduction of "Accelerating the BPMax Algorithm for RNA-RNA
+Interaction" (Mondal & Rajopadhye, 2021).
+
+Top-level convenience surface::
+
+    from repro import bpmax, fold
+    result = bpmax("GCGCUUCG", "CGAAGCGC", structure=True)
+
+Subpackages:
+
+* :mod:`repro.rna` — alphabet, scoring, sequences, Nussinov folding;
+* :mod:`repro.core` — BPMax engines, the mini-Alpha model, schedules;
+* :mod:`repro.semiring` — max-plus kernels and the stream micro-benchmark;
+* :mod:`repro.polyhedral` — the mini-AlphaZ framework (domains,
+  schedules, dependences, tiling, the Alpha language, code generation);
+* :mod:`repro.machine` — machine specs, roofline, work counters, the
+  calibrated performance model;
+* :mod:`repro.parallel` — OMP-style schedulers, DAG simulation, pools;
+* :mod:`repro.bench` — the experiment harness regenerating every paper
+  table and figure.
+"""
+
+from .core.api import BpmaxResult, bpmax, fold
+from .core.engine import ENGINES
+from .rna.scoring import DEFAULT_MODEL, ScoringModel
+from .rna.sequence import RnaSequence, random_pair, random_sequence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BpmaxResult",
+    "bpmax",
+    "fold",
+    "ENGINES",
+    "DEFAULT_MODEL",
+    "ScoringModel",
+    "RnaSequence",
+    "random_pair",
+    "random_sequence",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from .figures import EXPERIMENTS, run_experiment
+from .harness import ExperimentResult, Measurement, format_table, measure
+from .profiling import ProfileReport, profile_call
+from .workloads import (
+    CHUNK_SWEEP_FIG12,
+    MODEL_SWEEP_M,
+    OUTER_N,
+    PAPER_ANCHORS,
+    TILE_SHAPES_FIG18,
+    WALLCLOCK_BPMAX,
+    WALLCLOCK_DMP,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "ExperimentResult",
+    "Measurement",
+    "format_table",
+    "measure",
+    "ProfileReport",
+    "profile_call",
+    "CHUNK_SWEEP_FIG12",
+    "MODEL_SWEEP_M",
+    "OUTER_N",
+    "PAPER_ANCHORS",
+    "TILE_SHAPES_FIG18",
+    "WALLCLOCK_BPMAX",
+    "WALLCLOCK_DMP",
+]

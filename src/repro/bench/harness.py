@@ -1,0 +1,114 @@
+"""Shared experiment harness: timing, GFLOPS accounting, text tables."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["Measurement", "measure", "ExperimentResult", "format_table"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timed run with optional FLOP accounting."""
+
+    label: str
+    seconds: float
+    flops: int | None = None
+
+    @property
+    def gflops(self) -> float | None:
+        if self.flops is None or self.seconds <= 0:
+            return None
+        return self.flops / self.seconds / 1e9
+
+
+def measure(
+    fn: Callable[[], object],
+    label: str = "",
+    flops: int | None = None,
+    repeats: int = 1,
+) -> Measurement:
+    """Best-of-``repeats`` wall-clock measurement of ``fn``."""
+    if repeats <= 0:
+        raise ValueError(f"repeats must be > 0, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return Measurement(label=label, seconds=best, flops=flops)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated paper table/figure: rows of named columns."""
+
+    experiment: str  # e.g. "fig13"
+    title: str
+    columns: tuple[str, ...]
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **values) -> None:
+        missing = set(self.columns) - set(values)
+        if missing:
+            raise ValueError(f"row missing columns {sorted(missing)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        if name not in self.columns:
+            raise KeyError(name)
+        return [r[name] for r in self.rows]
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment}: {self.title} =="]
+        if self.notes:
+            lines.append(f"   {self.notes}")
+        lines.append(format_table(self.columns, self.rows))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The rows as CSV text (header + one line per row)."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=list(self.columns))
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({c: row[c] for c in self.columns})
+        return buf.getvalue()
+
+    def save_csv(self, path) -> None:
+        """Write :meth:`to_csv` to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_csv())
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v != v:
+            return "nan"
+        if abs(v) >= 1000 or (abs(v) < 0.01 and v != 0):
+            return f"{v:.3g}"
+        return f"{v:.2f}"
+    return str(v)
+
+
+def format_table(columns: Sequence[str], rows: Iterable[dict]) -> str:
+    """Render rows as a fixed-width text table."""
+    rows = list(rows)
+    cells = [[_fmt(r[c]) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) if cells else len(c)
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells
+    ]
+    return "\n".join([header, sep, *body])

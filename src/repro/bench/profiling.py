@@ -1,0 +1,71 @@
+"""Profiling helpers: "no optimization without measuring".
+
+The optimization workflow this reproduction follows (and the paper
+practices with hardware counters) starts from profiles.  These helpers
+wrap :mod:`cProfile` for the BPMax engines so a user can see where the
+time goes — e.g. that the R1/R2 finishing loops dominate the optimized
+engine on this substrate, exactly the component the paper identifies as
+the program-level bottleneck.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["ProfileReport", "profile_call"]
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Condensed cProfile output."""
+
+    total_seconds: float
+    total_calls: int
+    top: tuple[tuple[str, float], ...]  # (function, cumulative seconds)
+    text: str
+
+    def cumulative_of(self, substring: str) -> float:
+        """Cumulative seconds of the first top entry matching a name."""
+        for name, seconds in self.top:
+            if substring in name:
+                return seconds
+        return 0.0
+
+
+def profile_call(fn: Callable[[], object], top: int = 15) -> ProfileReport:
+    """Profile one call; return the condensed report.
+
+    Parameters
+    ----------
+    fn: zero-argument callable to profile (e.g. ``engine.run``).
+    top: number of hottest functions (by cumulative time) to keep.
+    """
+    if top <= 0:
+        raise ValueError(f"top must be > 0, got {top}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    stats.print_stats(top)
+    text = stream.getvalue()
+
+    entries: list[tuple[str, float]] = []
+    for func, (cc, nc, tt, ct, callers) in stats.stats.items():  # type: ignore[attr-defined]
+        name = f"{func[0]}:{func[1]}({func[2]})"
+        entries.append((name, ct))
+    entries.sort(key=lambda e: -e[1])
+    return ProfileReport(
+        total_seconds=stats.total_tt,  # type: ignore[attr-defined]
+        total_calls=stats.total_calls,  # type: ignore[attr-defined]
+        top=tuple(entries[:top]),
+        text=text,
+    )

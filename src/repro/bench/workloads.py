@@ -1,0 +1,61 @@
+"""Workload definitions for the paper's evaluation section.
+
+The paper's workloads pair a short outer sequence with a long inner one
+(e.g. Fig. 18 uses 16 x 2500); model-projected sweeps use the published
+scale while wall-clock workloads use sizes a pure-Python/NumPy substrate
+can run in seconds (the *ratios* between variants are what transfers).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "OUTER_N",
+    "MODEL_SWEEP_M",
+    "WALLCLOCK_DMP",
+    "WALLCLOCK_BPMAX",
+    "TILE_SHAPES_FIG18",
+    "CHUNK_SWEEP_FIG12",
+    "PAPER_ANCHORS",
+]
+
+#: outer (short) strand length used throughout the evaluation
+OUTER_N = 16
+
+#: inner-strand lengths for model-projected curves (Figs. 13-16)
+MODEL_SWEEP_M = (256, 512, 1024, 1536, 2048, 2500, 3072, 4096)
+
+#: (n, m) pairs small enough for real wall-clock kernel comparisons
+WALLCLOCK_DMP = ((4, 24), (4, 48), (6, 64))
+
+#: (n, m) pairs for real wall-clock full-program comparisons
+WALLCLOCK_BPMAX = ((4, 24), (4, 32), (5, 40))
+
+#: (i2, k2, j2) tile shapes of Fig. 18 (0 = untiled); the paper's
+#: presentation shapes are (32,4,N) and (64,16,N), cubic shapes do badly
+TILE_SHAPES_FIG18 = (
+    (16, 2, 0),
+    (32, 4, 0),
+    (64, 16, 0),
+    (128, 8, 0),
+    (32, 32, 32),
+    (64, 64, 64),
+    (128, 128, 128),
+    (64, 4, 256),
+)
+
+#: per-thread chunk sizes (bytes) for the Fig. 12 micro-benchmark sweep
+CHUNK_SWEEP_FIG12 = tuple(2 ** k for k in range(10, 25))  # 1 KiB .. 16 MiB
+
+#: the published numbers we calibrate/compare against (paper section V)
+PAPER_ANCHORS = {
+    "maxplus_peak_gflops": 346.0,
+    "l1_roof_gflops": 329.0,
+    "stream_6t_gflops": 120.0,
+    "stream_12t_gflops": 240.0,
+    "dmp_tiled_gflops": 117.0,
+    "dmp_speedup_vs_base": 178.0,
+    "bpmax_tiled_gflops": 76.0,
+    "bpmax_speedup_vs_base": 100.0,
+    "smt_gain_tiled": (1.03, 1.05),
+    "tile_best_vs_generic": 0.10,
+}

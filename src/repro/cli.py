@@ -1,0 +1,141 @@
+"""Command-line interface: ``bpmax`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``run SEQ1 SEQ2``      score (and optionally fold) two strands
+``fold SEQ``           single-strand weighted Nussinov folding
+``scan QUERY TARGET``  slide QUERY along TARGET, rank windows by gain
+``experiment ID``      regenerate one paper table/figure (or ``all``)
+``list``               list available experiments and engine variants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.figures import EXPERIMENTS, run_experiment
+from .core.api import bpmax, fold
+from .core.engine import ENGINES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="bpmax",
+        description="BPMax RNA-RNA interaction (reproduction of Mondal & "
+        "Rajopadhye 2021)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="score two interacting strands")
+    run.add_argument("seq1", help="first (outer, ideally shorter) strand")
+    run.add_argument("seq2", nargs="?", default=None, help="second strand")
+    run.add_argument(
+        "--fasta",
+        action="store_true",
+        help="treat seq1 as a FASTA file containing (at least) two records",
+    )
+    run.add_argument(
+        "--variant", default="hybrid-tiled", choices=ENGINES, help="program version"
+    )
+    run.add_argument(
+        "--structure", action="store_true", help="also report one optimal structure"
+    )
+
+    f = sub.add_parser("fold", help="fold one strand (weighted Nussinov)")
+    f.add_argument("seq")
+
+    sc = sub.add_parser("scan", help="windowed interaction scan")
+    sc.add_argument("query", help="short strand (e.g. an sRNA)")
+    sc.add_argument("target", help="long strand to scan")
+    sc.add_argument("--window", type=int, default=24)
+    sc.add_argument("--stride", type=int, default=6)
+    sc.add_argument("--top", type=int, default=5)
+    sc.add_argument(
+        "--variant", default="hybrid-tiled", choices=ENGINES, help="program version"
+    )
+
+    e = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    e.add_argument("id", help=f"one of {sorted(EXPERIMENTS)} or 'all'")
+    e.add_argument("--csv", metavar="DIR", help="also write <DIR>/<id>.csv")
+
+    sub.add_parser("list", help="list experiments and engine variants")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        seq1, seq2 = args.seq1, args.seq2
+        if args.fasta:
+            from .rna.sequence import read_fasta
+
+            records = read_fasta(seq1)
+            if len(records) < 2:
+                raise ValueError(
+                    f"FASTA file {seq1!r} must contain at least two records"
+                )
+            seq1, seq2 = records[0], records[1]
+        elif seq2 is None:
+            raise ValueError("run needs two sequences (or --fasta FILE)")
+        result = bpmax(
+            seq1, seq2, variant=args.variant, structure=args.structure
+        )
+        print(f"score   : {result.score:g}")
+        print(f"variant : {result.variant}")
+        if result.structure is not None:
+            db1, db2 = result.structure.dotbracket()
+            print(f"strand1 : {str(seq1).upper().replace('T', 'U')}")
+            print(f"          {db1}")
+            print(f"strand2 : {str(seq2).upper().replace('T', 'U')}")
+            print(f"          {db2}")
+            print(f"inter   : {result.structure.inter}")
+        return 0
+    if args.command == "fold":
+        score, db = fold(args.seq)
+        print(f"score : {score:g}")
+        print(args.seq.upper().replace("T", "U"))
+        print(db)
+        return 0
+    if args.command == "scan":
+        from .core.windowed import scan_windows
+
+        result = scan_windows(
+            args.query,
+            args.target,
+            window=args.window,
+            stride=args.stride,
+            variant=args.variant,
+        )
+        print(f"{len(result.hits)} windows of length {result.window}, "
+              f"stride {result.stride}")
+        print("start  score  gain")
+        for hit in result.top(args.top):
+            print(f"{hit.start:5d}  {hit.score:5.1f}  {hit.gain:5.1f}")
+        best = result.best
+        print(f"best window: start {best.start} (gain {best.gain:g})")
+        return 0
+    if args.command == "experiment":
+        names = sorted(EXPERIMENTS) if args.id == "all" else [args.id]
+        for name in names:
+            result = run_experiment(name)
+            print(result.render())
+            print()
+            if args.csv:
+                from pathlib import Path
+
+                out = Path(args.csv)
+                out.mkdir(parents=True, exist_ok=True)
+                result.save_csv(out / f"{name}.csv")
+        return 0
+    if args.command == "list":
+        print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+        print("engine variants:", ", ".join(ENGINES))
+        return 0
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""BPMax core: the paper's algorithm, all program versions, and its
+mini-Alpha model with the published schedules."""
+
+from .alpha_model import (
+    SCHEDULE_TABLES,
+    VariantSchedules,
+    bpmax_system,
+    dmp_system,
+    nussinov_system,
+    schedules_for,
+    target_mapping_for,
+)
+from .api import BpmaxResult, bpmax, fold
+from .bppart import (
+    beta_from_celsius,
+    correlation_study,
+    duplex_partition,
+    ensemble_stats,
+    partition_exact,
+    single_strand_partition,
+)
+from .enumerate import (
+    Structure,
+    enumerate_duplexes,
+    enumerate_foldings,
+    enumerate_structures,
+    structure_weight,
+)
+from .distributed import DistributedBPMax, DistributedReport
+from .dmp import DMP_KERNELS, DoubleMaxPlus, dmp_flops, dmp_reference, random_triangles
+from .windowed import ScanResult, WindowHit, scan_windows
+from .engine import ENGINES, BpmaxEngine, make_engine
+from .explore import ScheduleCandidate, dmp_candidates, explore_dmp_schedules
+from .reference import BaselineBPMax, BpmaxInputs, bpmax_recursive, prepare_inputs
+from .tables import FTable, MEMORY_LAYOUTS
+from .traceback import InteractionStructure, traceback
+from .vectorized import VARIANT_CONFIGS, VectorizedBPMax
+
+__all__ = [
+    "SCHEDULE_TABLES",
+    "VariantSchedules",
+    "bpmax_system",
+    "dmp_system",
+    "nussinov_system",
+    "schedules_for",
+    "target_mapping_for",
+    "BpmaxResult",
+    "bpmax",
+    "fold",
+    "beta_from_celsius",
+    "correlation_study",
+    "duplex_partition",
+    "ensemble_stats",
+    "partition_exact",
+    "single_strand_partition",
+    "Structure",
+    "enumerate_duplexes",
+    "enumerate_foldings",
+    "enumerate_structures",
+    "structure_weight",
+    "DistributedBPMax",
+    "DistributedReport",
+    "ScanResult",
+    "WindowHit",
+    "scan_windows",
+    "DMP_KERNELS",
+    "DoubleMaxPlus",
+    "dmp_flops",
+    "dmp_reference",
+    "random_triangles",
+    "ENGINES",
+    "BpmaxEngine",
+    "make_engine",
+    "ScheduleCandidate",
+    "dmp_candidates",
+    "explore_dmp_schedules",
+    "BaselineBPMax",
+    "BpmaxInputs",
+    "bpmax_recursive",
+    "prepare_inputs",
+    "FTable",
+    "MEMORY_LAYOUTS",
+    "InteractionStructure",
+    "traceback",
+    "VARIANT_CONFIGS",
+    "VectorizedBPMax",
+]

@@ -1,0 +1,582 @@
+"""BPMax expressed in mini-Alpha, plus the paper's schedules (Tables I-V).
+
+This module is the reproduction of the paper's *methodology*: the BPMax
+recurrence written as a system of affine recurrence equations, and each
+published multi-dimensional affine schedule encoded as data so that
+
+* the mini-Alpha interpreter evaluates the system as a semantics oracle
+  (cross-checked against :mod:`repro.core.reference`);
+* the dependence checker verifies each schedule's legality, including
+  the parallel dimensions (fine-grain valid only for R0/R3/R4, etc.);
+* the schedule-driven code generator executes the system in exactly the
+  published order (Table VI's LOC statistics come from these sources).
+
+Schedule transcription notes
+----------------------------
+Tables are encoded as printed in the paper with two normalizations,
+flagged ``# [T]`` below: obvious scan artefacts (e.g. ``--i1`` for
+``-i1``, ``i 2`` for ``i2``) are repaired, and Table V's subsystem-call
+row ``j1-4`` is read as ``j1-1`` (the call must precede the window's
+final F updates).  Every transcription is validated by the legality
+tests in ``tests/core/test_schedules.py``.
+
+The variable naming follows the paper: ``F`` is the output table,
+``R0``..``R4`` the five reductions, ``S1``/``S2`` the single-strand
+tables (inputs of the scheduled system — the paper likewise schedules
+them "before scheduling any other variables").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..polyhedral.affine import AffineMap, var
+from ..polyhedral.alpha.ast import BinOp, Case, Const, Equation, Reduce, VarRef
+from ..polyhedral.alpha.system import AlphaSystem, VarDecl
+from ..polyhedral.codegen.mapping import TargetMapping
+from ..polyhedral.domain import Constraint, Domain
+from ..polyhedral.schedule import Schedule
+
+__all__ = [
+    "bpmax_system",
+    "dmp_system",
+    "nussinov_system",
+    "VariantSchedules",
+    "SCHEDULE_TABLES",
+    "schedules_for",
+    "target_mapping_for",
+]
+
+NEG_INF = float("-inf")
+
+_IDX4 = ("i1", "j1", "i2", "j2")
+
+
+def _dom(text: str, params=("N", "M")) -> Domain:
+    return Domain.parse(text, params=params)
+
+
+def _ref(name: str, scope: tuple[str, ...], *exprs: str) -> VarRef:
+    return VarRef(
+        name=name,
+        access=AffineMap(
+            inputs=scope, exprs=tuple(var(e) if e.isidentifier() else _parse(e) for e in exprs)
+        ),
+    )
+
+
+def _parse(text: str):
+    from ..polyhedral.affine import AffineExpr
+
+    return AffineExpr.parse(text)
+
+
+def _vmax(*exprs):
+    out = exprs[0]
+    for e in exprs[1:]:
+        out = BinOp("max", out, e)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the systems
+# ---------------------------------------------------------------------------
+
+def _nussinov_equation(svar: str, score: str, idx: tuple[str, str], n_param: str) -> Equation:
+    """Weighted-Nussinov equation for one strand."""
+    i, j = idx
+    dom = _dom(f"{{{i}, {j} | 0 <= {i} && {i} <= {j} && {j} < {n_param}}}")
+    scope = (i, j)
+    split_dom = _dom(
+        f"{{{i}, {j}, k | 0 <= {i} && {i} <= k && k < {j} && {j} < {n_param}}}"
+    )
+    split = Reduce(
+        op="max",
+        extra=("k",),
+        domain=split_dom,
+        body=BinOp(
+            "+",
+            _ref(svar, (i, j, "k"), i, "k"),
+            _ref(svar, (i, j, "k"), "k+1", j),
+        ),
+    )
+    pair_close = BinOp(
+        "+", _ref(svar, scope, f"{i}+1", f"{j}-1"), _ref(score, scope, i, j)
+    )
+    body = Case(
+        branches=(
+            (_dom(f"{{{i}, {j} | {i} == {j}}}"), Const(0.0)),
+            (
+                _dom(f"{{{i}, {j} | {j} == {i}+1}}"),
+                _vmax(_ref(score, scope, i, j), split),
+            ),
+            (
+                _dom(f"{{{i}, {j} | {j} >= {i}+2}}"),
+                _vmax(pair_close, split),
+            ),
+        )
+    )
+    return Equation(var=svar, domain=dom, body=body)
+
+
+def nussinov_system(param: str = "N") -> AlphaSystem:
+    """Single-strand folding as its own Alpha system (codegen demo)."""
+    dom = _dom(f"{{i, j | 0 <= i && i <= j && j < {param}}}", params=(param,))
+    sys_ = AlphaSystem(
+        name="nussinov",
+        params=(param,),
+        inputs=[VarDecl("score", dom)],
+        outputs=[VarDecl("S", dom)],
+    )
+    eq = _nussinov_equation("S", "score", ("i", "j"), param)
+    sys_.equations.append(eq)
+    sys_.validate()
+    return sys_
+
+
+def _f_domain() -> Domain:
+    return _dom(
+        "{i1, j1, i2, j2 | 0 <= i1 && i1 <= j1 && j1 < N && "
+        "0 <= i2 && i2 <= j2 && j2 < M}"
+    )
+
+
+def _reduce_domain(extra: str) -> Domain:
+    base = (
+        "0 <= i1 && i1 <= j1 && j1 < N && 0 <= i2 && i2 <= j2 && j2 < M"
+    )
+    if extra == "k1k2":
+        return _dom(
+            "{i1, j1, i2, j2, k1, k2 | " + base + " && i1 <= k1 && k1 < j1 "
+            "&& i2 <= k2 && k2 < j2}"
+        )
+    if extra == "k2":
+        return _dom(
+            "{i1, j1, i2, j2, k2 | " + base + " && i2 <= k2 && k2 < j2}"
+        )
+    if extra == "k1":
+        return _dom(
+            "{i1, j1, i2, j2, k1 | " + base + " && i1 <= k1 && k1 < j1}"
+        )
+    raise ValueError(extra)
+
+
+def bpmax_system(include_s: bool = True) -> AlphaSystem:
+    """The complete BPMax recurrence as an Alpha system.
+
+    With ``include_s`` the single-strand tables are computed by equations
+    (full-program semantics, for the interpreter oracle); without it they
+    are inputs (the scheduled system, matching Tables II-IV which place
+    S1/S2 in a preliminary phase).
+    """
+    f_dom = _f_domain()
+    s1_dom = _dom("{i, j | 0 <= i && i <= j && j < N}")
+    s2_dom = _dom("{i, j | 0 <= i && i <= j && j < M}")
+    sc1_dom = s1_dom
+    sc2_dom = s2_dom
+    is_dom = _dom("{i1, i2 | 0 <= i1 && i1 < N && 0 <= i2 && i2 < M}")
+
+    sys_ = AlphaSystem(
+        name="bpmax",
+        params=("N", "M"),
+        inputs=[
+            VarDecl("score1", sc1_dom),
+            VarDecl("score2", sc2_dom),
+            VarDecl("iscore", is_dom),
+        ],
+        outputs=[VarDecl("F", f_dom)],
+    )
+    if include_s:
+        sys_.locals += [VarDecl("S1", s1_dom), VarDecl("S2", s2_dom)]
+        sys_.equations.append(_nussinov_equation("S1", "score1", ("i", "j"), "N"))
+        sys_.equations.append(_nussinov_equation("S2", "score2", ("i", "j"), "M"))
+    else:
+        sys_.inputs += [VarDecl("S1", s1_dom), VarDecl("S2", s2_dom)]
+
+    # ---- the five reductions (paper eqs. 2-3) ----
+    z6 = tuple(_reduce_domain("k1k2").names)
+    r0 = Reduce(
+        "max",
+        ("k1", "k2"),
+        _reduce_domain("k1k2"),
+        BinOp(
+            "+",
+            _ref("F", z6, "i1", "k1", "i2", "k2"),
+            _ref("F", z6, "k1+1", "j1", "k2+1", "j2"),
+        ),
+    )
+    z5b = tuple(_reduce_domain("k2").names)
+    r1 = Reduce(
+        "max",
+        ("k2",),
+        _reduce_domain("k2"),
+        BinOp(
+            "+",
+            _ref("S2", z5b, "i2", "k2"),
+            _ref("F", z5b, "i1", "j1", "k2+1", "j2"),
+        ),
+    )
+    r2 = Reduce(
+        "max",
+        ("k2",),
+        _reduce_domain("k2"),
+        BinOp(
+            "+",
+            _ref("F", z5b, "i1", "j1", "i2", "k2"),
+            _ref("S2", z5b, "k2+1", "j2"),
+        ),
+    )
+    z5a = tuple(_reduce_domain("k1").names)
+    r3 = Reduce(
+        "max",
+        ("k1",),
+        _reduce_domain("k1"),
+        BinOp(
+            "+",
+            _ref("S1", z5a, "i1", "k1"),
+            _ref("F", z5a, "k1+1", "j1", "i2", "j2"),
+        ),
+    )
+    r4 = Reduce(
+        "max",
+        ("k1",),
+        _reduce_domain("k1"),
+        BinOp(
+            "+",
+            _ref("F", z5a, "i1", "k1", "i2", "j2"),
+            _ref("S1", z5a, "k1+1", "j1"),
+        ),
+    )
+    for name, red in (("R0", r0), ("R1", r1), ("R2", r2), ("R3", r3), ("R4", r4)):
+        sys_.locals.append(VarDecl(name, f_dom))
+        sys_.equations.append(Equation(var=name, domain=f_dom, body=red))
+
+    # ---- the F equation (paper eq. 1) ----
+    scope = _IDX4
+    # closure of an intramolecular (i1, j1) pair, with boundary cases
+    cl1 = Case(
+        branches=(
+            (_dom("{i1, j1 | i1 == j1}"), Const(NEG_INF)),
+            (
+                _dom("{i1, j1 | j1 == i1+1}"),
+                BinOp(
+                    "+",
+                    _ref("S2", scope, "i2", "j2"),
+                    _ref("score1", scope, "i1", "j1"),
+                ),
+            ),
+            (
+                _dom("{i1, j1 | j1 >= i1+2}"),
+                BinOp(
+                    "+",
+                    _ref("F", scope, "i1+1", "j1-1", "i2", "j2"),
+                    _ref("score1", scope, "i1", "j1"),
+                ),
+            ),
+        )
+    )
+    cl2 = Case(
+        branches=(
+            (_dom("{i2, j2 | i2 == j2}"), Const(NEG_INF)),
+            (
+                _dom("{i2, j2 | j2 == i2+1}"),
+                BinOp(
+                    "+",
+                    _ref("S1", scope, "i1", "j1"),
+                    _ref("score2", scope, "i2", "j2"),
+                ),
+            ),
+            (
+                _dom("{i2, j2 | j2 >= i2+2}"),
+                BinOp(
+                    "+",
+                    _ref("F", scope, "i1", "j1", "i2+1", "j2-1"),
+                    _ref("score2", scope, "i2", "j2"),
+                ),
+            ),
+        )
+    )
+    h = _vmax(
+        BinOp(
+            "+",
+            _ref("S1", scope, "i1", "j1"),
+            _ref("S2", scope, "i2", "j2"),
+        ),
+        _ref("R0", scope, *_IDX4),
+        _ref("R1", scope, *_IDX4),
+        _ref("R2", scope, *_IDX4),
+        _ref("R3", scope, *_IDX4),
+        _ref("R4", scope, *_IDX4),
+    )
+    f_body = Case(
+        branches=(
+            (
+                _dom("{i1, j1, i2, j2 | i1 == j1 && i2 == j2}"),
+                _ref("iscore", scope, "i1", "i2"),
+            ),
+            (_f_domain(), _vmax(cl1, cl2, h)),
+        )
+    )
+    sys_.equations.append(Equation(var="F", domain=f_dom, body=f_body))
+    sys_.validate()
+    return sys_
+
+
+def dmp_system() -> AlphaSystem:
+    """Phase-I's simplified system: the double max-plus recurrence alone.
+
+    Diagonal windows (``j1 == i1``) come from an input ``T``; every other
+    window is eq. (4).  Cells with ``i2 == j2`` in non-diagonal windows
+    have an empty reduction and take the max-plus identity.
+    """
+    f_dom = _f_domain()
+    t_dom = _dom("{i1, i2, j2 | 0 <= i1 && i1 < N && 0 <= i2 && i2 <= j2 && j2 < M}")
+    sys_ = AlphaSystem(
+        name="dmp",
+        params=("N", "M"),
+        inputs=[VarDecl("T", t_dom)],
+        outputs=[VarDecl("F", f_dom)],
+    )
+    z6 = tuple(_reduce_domain("k1k2").names)
+    r0 = Reduce(
+        "max",
+        ("k1", "k2"),
+        _reduce_domain("k1k2"),
+        BinOp(
+            "+",
+            _ref("F", z6, "i1", "k1", "i2", "k2"),
+            _ref("F", z6, "k1+1", "j1", "k2+1", "j2"),
+        ),
+    )
+    sys_.locals.append(VarDecl("R0", f_dom))
+    sys_.equations.append(Equation(var="R0", domain=f_dom, body=r0))
+    body = Case(
+        branches=(
+            (
+                _dom("{i1, j1, i2, j2 | i1 == j1}"),
+                _ref("T", _IDX4, "i1", "i2", "j2"),
+            ),
+            (_f_domain(), _ref("R0", _IDX4, *_IDX4)),
+        )
+    )
+    sys_.equations.append(Equation(var="F", domain=f_dom, body=body))
+    sys_.validate()
+    return sys_
+
+
+# ---------------------------------------------------------------------------
+# the schedules (Tables I-V)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VariantSchedules:
+    """One published schedule table.
+
+    ``body`` schedules accumulation/statement instances (reduction
+    variables get extended index spaces); ``init`` schedules reduction
+    initialisation; ``ready`` gives each reduction's completion time
+    (its body schedule at the last accumulation), used when the variable
+    is a *producer* in a dependence.
+    """
+
+    name: str
+    table: str  # which paper table this transcribes
+    body: dict[str, Schedule]
+    init: dict[str, Schedule]
+    ready: dict[str, Schedule]
+    parallel_dim: int | None
+    notes: str = ""
+
+    def checker_schedules(self) -> tuple[dict[str, Schedule], dict[str, Schedule]]:
+        """(schedules, producer_schedules) for the legality checker."""
+        return dict(self.body), dict(self.ready)
+
+
+def _sched(var_: str, text: str, par: int | None) -> Schedule:
+    dims = () if par is None else (par,)
+    return Schedule.parse(var_, text, dims)
+
+
+def _table_fine() -> VariantSchedules:
+    """Table II — BPMax fine-grain schedule (parallel dimension 5).
+
+    Dimension 5 is ``-i2`` for R0/R3/R4 (rows of the current triangle run
+    in parallel) but a constant for F/R1/R2 — encoding "fine-grain is
+    only valid for R0, R3 and R4" (§IV-B-b).
+    """
+    p = 5
+    body = {
+        "F": _sched("F", "(i1,j1,i2,j2 -> 1, 0-i1, j1, j1, 0-i2, 0, j2, 0)", p),
+        "R1": _sched("R1", "(i1,j1,i2,j2,k2 -> 1, 0-i1, j1, j1, 0-i2, 0, k2, j2)", p),
+        "R2": _sched("R2", "(i1,j1,i2,j2,k2 -> 1, 0-i1, j1, j1, 0-i2, 0, k2, j2)", p),
+        "R0": _sched(
+            "R0", "(i1,j1,i2,j2,k1,k2 -> 1, 0-i1, j1, k1, 0-1, 0-i2, k2, j2)", p
+        ),  # [T] "--i1" in the scan read as -i1
+        "R3": _sched("R3", "(i1,j1,i2,j2,k1 -> 1, 0-i1, j1, k1, 0-1, 0-i2, i2, j2)", p),
+        "R4": _sched("R4", "(i1,j1,i2,j2,k1 -> 1, 0-i1, j1, k1, 0-1, 0-i2, i2, j2)", p),
+    }
+    init = {
+        "R1": _sched("R1", "(i1,j1,i2,j2 -> 1, 0-i1, j1, j1, 0-i2, 0, i2-1, j2)", p),
+        "R2": _sched("R2", "(i1,j1,i2,j2 -> 1, 0-i1, j1, j1, 0-i2, 0, i2-1, j2)", p),
+        "R0": _sched("R0", "(i1,j1,i2,j2 -> 1, 0-i1, j1, i1-1, 0-1, 0-i2, i2-1, j2)", p),
+        "R3": _sched("R3", "(i1,j1,i2,j2 -> 1, 0-i1, j1, i1-1, 0-1, 0-i2, i2, j2)", p),
+        "R4": _sched("R4", "(i1,j1,i2,j2 -> 1, 0-i1, j1, i1-1, 0-1, 0-i2, i2, j2)", p),
+    }
+    ready = {
+        "R1": _sched("R1", "(i1,j1,i2,j2 -> 1, 0-i1, j1, j1, 0-i2, 0, j2-1, j2)", p),
+        "R2": _sched("R2", "(i1,j1,i2,j2 -> 1, 0-i1, j1, j1, 0-i2, 0, j2-1, j2)", p),
+        "R0": _sched("R0", "(i1,j1,i2,j2 -> 1, 0-i1, j1, j1-1, 0-1, 0-i2, j2-1, j2)", p),
+        "R3": _sched("R3", "(i1,j1,i2,j2 -> 1, 0-i1, j1, j1-1, 0-1, 0-i2, i2, j2)", p),
+        "R4": _sched("R4", "(i1,j1,i2,j2 -> 1, 0-i1, j1, j1-1, 0-1, 0-i2, i2, j2)", p),
+    }
+    return VariantSchedules(
+        name="fine",
+        table="Table II",
+        body=body,
+        init=init,
+        ready=ready,
+        parallel_dim=p,
+        notes="rows parallel for R0/R3/R4 only",
+    )
+
+
+def _table_coarse() -> VariantSchedules:
+    """Table III — BPMax coarse-grain schedule (triangles parallel, dim 2)."""
+    p = 2
+    body = {
+        "F": _sched("F", "(i1,j1,i2,j2 -> 1, j1-i1, i1, j1, 0-i2, j2, j2)", p),
+        "R1": _sched("R1", "(i1,j1,i2,j2,k2 -> 1, j1-i1, i1, j1, 0-i2, k2, j2)", p),
+        "R2": _sched("R2", "(i1,j1,i2,j2,k2 -> 1, j1-i1, i1, j1, 0-i2, k2, j2)", p),
+        "R0": _sched("R0", "(i1,j1,i2,j2,k1,k2 -> 1, j1-i1, i1, k1, 0-i2, k2, j2)", p),
+        # [T] printed "i2" at dim 4; normalised to -i2 for a uniform
+        # bottom-up row order (the paper notes any inner order is valid)
+        "R3": _sched("R3", "(i1,j1,i2,j2,k1 -> 1, j1-i1, i1, k1, 0-i2, i2, j2)", p),
+        "R4": _sched("R4", "(i1,j1,i2,j2,k1 -> 1, j1-i1, i1, k1, 0-i2, i2, j2)", p),
+    }
+    init = {
+        "R1": _sched("R1", "(i1,j1,i2,j2 -> 1, j1-i1, i1, j1, 0-i2, i2-1, j2)", p),
+        "R2": _sched("R2", "(i1,j1,i2,j2 -> 1, j1-i1, i1, j1, 0-i2, i2-1, j2)", p),
+        "R0": _sched("R0", "(i1,j1,i2,j2 -> 1, j1-i1, i1, i1-1, 0-i2, i2-1, j2)", p),
+        "R3": _sched("R3", "(i1,j1,i2,j2 -> 1, j1-i1, i1, i1-1, 0-i2, i2, j2)", p),
+        "R4": _sched("R4", "(i1,j1,i2,j2 -> 1, j1-i1, i1, i1-1, 0-i2, i2, j2)", p),
+    }
+    ready = {
+        "R1": _sched("R1", "(i1,j1,i2,j2 -> 1, j1-i1, i1, j1, 0-i2, j2-1, j2)", p),
+        "R2": _sched("R2", "(i1,j1,i2,j2 -> 1, j1-i1, i1, j1, 0-i2, j2-1, j2)", p),
+        "R0": _sched("R0", "(i1,j1,i2,j2 -> 1, j1-i1, i1, j1-1, 0-i2, j2-1, j2)", p),
+        "R3": _sched("R3", "(i1,j1,i2,j2 -> 1, j1-i1, i1, j1-1, 0-i2, i2, j2)", p),
+        "R4": _sched("R4", "(i1,j1,i2,j2 -> 1, j1-i1, i1, j1-1, 0-i2, i2, j2)", p),
+    }
+    return VariantSchedules(
+        name="coarse",
+        table="Table III",
+        body=body,
+        init=init,
+        ready=ready,
+        parallel_dim=p,
+        notes="distinct inner triangles in parallel; DRAM-bound (§V-B)",
+    )
+
+
+def _table_hybrid() -> VariantSchedules:
+    """Table IV — hybrid: coarse for F/R1/R2 (dim 4 = i1), fine for
+    R0/R3/R4 (dim 4 = i2).  Assumes N <= M (dim 2 separates the groups
+    with the constant M)."""
+    p = 4
+    body = {
+        "F": _sched("F", "(i1,j1,i2,j2 -> 1, j1-i1, M, 0, i1, 0-i2, j2, 0)", p),
+        "R1": _sched("R1", "(i1,j1,i2,j2,k2 -> 1, j1-i1, M, 0, i1, 0-i2, k2, j2)", p),
+        "R2": _sched("R2", "(i1,j1,i2,j2,k2 -> 1, j1-i1, M, 0, i1, 0-i2, k2, j2)", p),
+        "R0": _sched("R0", "(i1,j1,i2,j2,k1,k2 -> 1, j1-i1, i1, k1, i2, k2, j2, 0)", p),
+        "R3": _sched("R3", "(i1,j1,i2,j2,k1 -> 1, j1-i1, i1, k1, i2, i2, j2, 0)", p),
+        "R4": _sched("R4", "(i1,j1,i2,j2,k1 -> 1, j1-i1, i1, k1, i2, i2, j2, 0)", p),
+    }
+    init = {
+        "R1": _sched("R1", "(i1,j1,i2,j2 -> 1, j1-i1, M, 0, i1, 0-i2, i2-1, j2)", p),
+        "R2": _sched("R2", "(i1,j1,i2,j2 -> 1, j1-i1, M, 0, i1, 0-i2, i2-1, j2)", p),
+        "R0": _sched("R0", "(i1,j1,i2,j2 -> 0, j1-i1, i1, 0, i2, 0, j2, 0)", p),
+        "R3": _sched("R3", "(i1,j1,i2,j2 -> 0, j1-i1, i1, 0, i2, 0, j2, 0)", p),
+        "R4": _sched("R4", "(i1,j1,i2,j2 -> 0, j1-i1, i1, 0, i2, 0, j2, 0)", p),
+    }
+    ready = {
+        "R1": _sched("R1", "(i1,j1,i2,j2 -> 1, j1-i1, M, 0, i1, 0-i2, j2-1, j2)", p),
+        "R2": _sched("R2", "(i1,j1,i2,j2 -> 1, j1-i1, M, 0, i1, 0-i2, j2-1, j2)", p),
+        "R0": _sched("R0", "(i1,j1,i2,j2 -> 1, j1-i1, i1, j1-1, i2, j2-1, j2, 0)", p),
+        "R3": _sched("R3", "(i1,j1,i2,j2 -> 1, j1-i1, i1, j1-1, i2, i2, j2, 0)", p),
+        "R4": _sched("R4", "(i1,j1,i2,j2 -> 1, j1-i1, i1, j1-1, i2, i2, j2, 0)", p),
+    }
+    return VariantSchedules(
+        name="hybrid",
+        table="Table IV",
+        body=body,
+        init=init,
+        ready=ready,
+        parallel_dim=p,
+        notes="requires N <= M; best untiled variant (Fig. 15 green)",
+    )
+
+
+def _table_dmp() -> VariantSchedules:
+    """Table I — double max-plus schedules (for :func:`dmp_system`).
+
+    [T] the printed rows are partially garbled; this is the reconstruction
+    consistent with §IV-A: diagonal outer order, ``k1`` third, inner
+    triple ``(-i2, k2, j2)`` so ``j2`` stays innermost and vectorizable.
+    """
+    body = {
+        "F": _sched("F", "(i1,j1,i2,j2 -> j1-i1, i1, j1, 0-i2, j2, j2)", None),
+        "R0": _sched("R0", "(i1,j1,i2,j2,k1,k2 -> j1-i1, i1, k1, 0-i2, k2, j2)", None),
+    }
+    init = {
+        "R0": _sched("R0", "(i1,j1,i2,j2 -> j1-i1, i1, i1-1, 0-i2, i2-1, j2)", None),
+    }
+    ready = {
+        "R0": _sched("R0", "(i1,j1,i2,j2 -> j1-i1, i1, j1-1, 0-i2, j2-1, j2)", None),
+    }
+    return VariantSchedules(
+        name="dmp",
+        table="Table I",
+        body=body,
+        init=init,
+        ready=ready,
+        parallel_dim=None,
+        notes="Phase-I schedule for the standalone double max-plus",
+    )
+
+
+SCHEDULE_TABLES: dict[str, VariantSchedules] = {
+    "dmp": _table_dmp(),
+    "fine": _table_fine(),
+    "coarse": _table_coarse(),
+    "hybrid": _table_hybrid(),
+}
+
+
+def schedules_for(variant: str) -> VariantSchedules:
+    """Look up one published schedule table by variant name."""
+    try:
+        return SCHEDULE_TABLES[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown schedule variant {variant!r}; use one of {list(SCHEDULE_TABLES)}"
+        ) from None
+
+
+def target_mapping_for(variant: str, system_name: str = "bpmax") -> TargetMapping:
+    """Build the AlphaZ-style :class:`TargetMapping` for a variant.
+
+    Suitable for :func:`repro.polyhedral.codegen.compile_schedule` on the
+    matching system (``dmp_system()`` for ``"dmp"``, else
+    ``bpmax_system(include_s=False)``).
+    """
+    vs = schedules_for(variant)
+    tm = TargetMapping(system_name)
+    for name, sched in vs.body.items():
+        init = vs.init.get(name)
+        tm.set_space_time_map(
+            name,
+            sched,
+            init=init,
+            parallel_dims=sched.parallel_dims,
+        )
+    return tm

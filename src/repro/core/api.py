@@ -1,0 +1,93 @@
+"""Public convenience API: one-call BPMax scoring and structure prediction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rna.scoring import DEFAULT_MODEL, ScoringModel
+from ..rna.sequence import RnaSequence
+from .engine import ENGINES, make_engine
+from .reference import BpmaxInputs, prepare_inputs
+from .tables import FTable
+from .traceback import InteractionStructure, traceback
+
+__all__ = ["BpmaxResult", "bpmax", "fold"]
+
+
+@dataclass(frozen=True)
+class BpmaxResult:
+    """Output of one BPMax run."""
+
+    score: float
+    variant: str
+    inputs: BpmaxInputs
+    table: FTable
+    structure: InteractionStructure | None = None
+
+    @property
+    def n(self) -> int:
+        return self.inputs.n
+
+    @property
+    def m(self) -> int:
+        return self.inputs.m
+
+
+def bpmax(
+    seq1: RnaSequence | str,
+    seq2: RnaSequence | str,
+    variant: str = "hybrid-tiled",
+    model: ScoringModel = DEFAULT_MODEL,
+    structure: bool = False,
+    **engine_kwargs,
+) -> BpmaxResult:
+    """Compute the BPMax interaction score of two RNA strands.
+
+    Parameters
+    ----------
+    seq1, seq2:
+        The interacting strands (strings or :class:`RnaSequence`).  For
+        the tiled engine the first strand is treated as the outer (ideally
+        shorter) sequence, as in the paper's 16 x 2500 workloads.
+    variant:
+        Program version: ``baseline`` (the original scalar code) or one of
+        the optimized versions ``coarse | fine | hybrid | hybrid-tiled``.
+    structure:
+        Also run the traceback and attach an
+        :class:`~repro.core.traceback.InteractionStructure`.
+
+    Examples
+    --------
+    >>> result = bpmax("GCGCUUCG", "CGAAGCGC")
+    >>> result.score > 0
+    True
+    """
+    if variant not in ENGINES:
+        raise ValueError(f"unknown variant {variant!r}; use one of {ENGINES}")
+    inputs = prepare_inputs(seq1, seq2, model)
+    engine = make_engine(inputs, variant, **engine_kwargs)
+    score = engine.run()
+    struct = traceback(inputs, engine.table) if structure else None
+    return BpmaxResult(
+        score=score,
+        variant=variant,
+        inputs=inputs,
+        table=engine.table,
+        structure=struct,
+    )
+
+
+def fold(
+    seq: RnaSequence | str, model: ScoringModel = DEFAULT_MODEL
+) -> tuple[float, str]:
+    """Single-strand weighted Nussinov folding: (score, dot-bracket)."""
+    from ..rna.nussinov import nussinov, nussinov_traceback, pairs_to_dotbracket
+
+    s = seq if isinstance(seq, RnaSequence) else RnaSequence(seq)
+    if len(s) == 0:
+        raise ValueError("sequence must be non-empty")
+    table = nussinov(s, model)
+    pairs = nussinov_traceback(s, table, model)
+    return float(table[0, len(s) - 1]) if len(s) > 1 else 0.0, pairs_to_dotbracket(
+        len(s), pairs
+    )

@@ -1,0 +1,181 @@
+"""Distributed BPMax over the simulated cluster (MPI future work).
+
+The paper's conclusion plans to "distribute the computation over a
+cluster using MPI".  This module implements that design against
+:class:`~repro.parallel.mpi.SimComm`:
+
+* **decomposition** — outer windows ``(i1, j1)`` are distributed
+  block-cyclically by row: rank ``i1 % P`` owns every window of row
+  ``i1``.  Computing ``(i1, j1)`` needs the triangles ``(i1, k1)``
+  (local by construction) and ``(k1+1, j1)`` for ``i1 <= k1 < j1``
+  (owned by rows ``i1+1 .. j1``, i.e. remote);
+* **schedule** — anti-diagonal wavefronts: all windows of one diagonal
+  ``d1 = j1 - i1`` are independent and run concurrently;
+* **communication** — before a wavefront, each rank receives the
+  remote triangles its windows need (one message per missing triangle,
+  ``M(M+1)/2 * 4`` useful bytes each, payload is the real array) and
+  caches them for later diagonals;
+* **computation** — numerically identical to the shared-memory engine:
+  the same per-window routine runs on the owner rank, so the final
+  score is bit-for-bit the hybrid engine's, while the simulated clocks
+  yield projected makespan / speedup / communication volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.counters import k1 as _k1_count
+from ..parallel.mpi import ClusterSpec, SimComm
+from .reference import BpmaxInputs
+from .vectorized import VectorizedBPMax
+
+__all__ = ["DistributedReport", "DistributedBPMax"]
+
+
+@dataclass(frozen=True)
+class DistributedReport:
+    """Outcome of one simulated distributed run."""
+
+    score: float
+    ranks: int
+    makespan_s: float
+    serial_s: float
+    messages: int
+    bytes_sent: int
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_s / self.makespan_s if self.makespan_s > 0 else 1.0
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.ranks
+
+
+class DistributedBPMax:
+    """BPMax across a simulated cluster.
+
+    Parameters
+    ----------
+    inputs: the usual precomputed tables.
+    cluster: cluster spec (ranks, per-rank FLOPS, interconnect).
+    execute: run the real numerics (default) or project timing only.
+    m_effective: inner length used for work/message sizing in
+        projection mode (e.g. 2500 for the paper-scale workload).
+    """
+
+    def __init__(
+        self,
+        inputs: BpmaxInputs,
+        cluster: ClusterSpec,
+        execute: bool = True,
+        m_effective: int | None = None,
+    ) -> None:
+        """``execute=False`` switches to projection mode: the numeric
+        engine is skipped and ``m_effective`` (default: the real m)
+        sets the work and message sizes — used to project scaling at
+        the paper's 16 x 2500 scale without computing it."""
+        self.inputs = inputs
+        self.cluster = cluster
+        self.execute = execute
+        self.m_eff = m_effective if m_effective is not None else inputs.m
+        if self.m_eff < 1:
+            raise ValueError(f"m_effective must be >= 1, got {self.m_eff}")
+        self.comm = SimComm(cluster)
+        # the actual numerics run through the shared-memory engine, with
+        # this orchestrator deciding *when and where* each window runs
+        self._engine = VectorizedBPMax(inputs, variant="hybrid")
+        self._dummy = np.empty(self.triangle_bytes() // 4, dtype=np.float32)
+
+    # -- decomposition ------------------------------------------------------
+
+    def owner(self, i1: int) -> int:
+        """Owning rank of every window in outer row ``i1``."""
+        return i1 % self.cluster.ranks
+
+    def _window_flops(self, i1: int, j1: int) -> float:
+        """Work of one window: its share of R0/R3/R4 plus row finishing.
+
+        A window with ``s = j1 - i1`` splits performs ``s`` triangle
+        max-plus products of ``K1(M)`` operations each, plus the
+        O(M^3)-ish R1/R2 row finishing.
+        """
+        m = self.m_eff
+        splits = j1 - i1
+        product_ops = 2.0 * splits * _k1_count(m)
+        finishing_ops = 2.0 * 2.0 * _k1_count(m)  # R1 + R2 for this window
+        return product_ops + finishing_ops
+
+    def triangle_bytes(self) -> int:
+        m = self.m_eff
+        return m * (m + 1) // 2 * 4
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> DistributedReport:
+        inputs = self.inputs
+        n = inputs.n
+        comm = self.comm
+        tri_bytes = self.triangle_bytes()
+        # per-rank cache of remote rows' triangles: (rank, (i1, j1))
+        cached: set[tuple[int, tuple[int, int]]] = set()
+        serial_seconds = 0.0
+
+        # diagonal 0: every rank computes its own rows' base windows
+        for i1 in range(n):
+            r = self.owner(i1)
+            if self.execute:
+                self._engine._compute_window(i1, i1)
+            w = self._window_flops(i1, i1) + 1.0
+            comm.compute(r, flops=w)
+            serial_seconds += w / self.cluster.rank_flops
+            cached.add((r, (i1, i1)))
+
+        for d1 in range(1, n):
+            # communication phase: fetch missing remote triangles
+            for i1 in range(n - d1):
+                j1 = i1 + d1
+                r = self.owner(i1)
+                for k1 in range(i1, j1):
+                    need = (k1 + 1, j1)
+                    src = self.owner(k1 + 1)
+                    if src == r or (r, need) in cached:
+                        continue
+                    payload = (
+                        self._engine.table.inner(*need)
+                        if self.execute
+                        else self._dummy
+                    )
+                    comm.send(payload, source=src, dest=r)
+                    received = comm.recv(source=src, dest=r)
+                    assert received.nbytes >= tri_bytes // 2
+                    cached.add((r, need))
+            # compute phase: the wavefront's windows run concurrently
+            for i1 in range(n - d1):
+                j1 = i1 + d1
+                r = self.owner(i1)
+                if self.execute:
+                    self._engine._compute_window(i1, j1)
+                w = self._window_flops(i1, j1)
+                comm.compute(r, flops=w)
+                serial_seconds += w / self.cluster.rank_flops
+                cached.add((r, (i1, j1)))
+            # wavefront barrier (the diagonal dependence)
+            comm.barrier()
+
+        score = (
+            float(self._engine.table.get(0, n - 1, 0, inputs.m - 1))
+            if self.execute
+            else float("nan")
+        )
+        return DistributedReport(
+            score=score,
+            ranks=self.cluster.ranks,
+            makespan_s=comm.makespan,
+            serial_s=serial_seconds,
+            messages=comm.stats.messages,
+            bytes_sent=comm.stats.bytes_sent,
+        )

@@ -1,0 +1,191 @@
+"""Standalone double max-plus computation (paper eq. 4, Phase I).
+
+Phase I isolates the dominant reduction by simplifying BPMax to
+
+    F[i1,j1] = max_{k1, k2} F[i1,k1][i2,k2] + F[k1+1,j1][k2+1,j2]      (4)
+
+over inner triangles: a "multiple max-plus matrix product" in the spirit
+of Varadarajan's surrogate mini-app.  Diagonal windows (j1 == i1) are
+inputs (random triangles); every longer window accumulates max-plus
+products of its splits.
+
+Variants mirror the paper's schedules (Table I, Figs. 13/14/18):
+
+* ``base`` — pure-Python scalar loops, k2 innermost;
+* ``scalar-k-inner`` — NumPy reads but per-element reductions (the
+  permutation that prohibits vectorization);
+* ``vectorized`` — j2 innermost, NumPy row operations (auto-vectorized);
+* ``tiled`` — the Phase-II/III tiled (i2 x k2 x j2) kernel;
+
+each combined with the two triangle traversal orders (diagonal vs
+bottom-up-left-to-right), which the paper finds nearly equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..semiring.maxplus import (
+    NEG_INF,
+    maxplus_matmul_naive,
+    maxplus_matmul_register,
+    maxplus_matmul_scalar_kinner,
+    maxplus_matmul_tiled,
+    maxplus_matmul_vectorized,
+)
+
+__all__ = [
+    "random_triangles",
+    "dmp_reference",
+    "DoubleMaxPlus",
+    "DMP_KERNELS",
+    "dmp_flops",
+]
+
+
+def random_triangles(
+    n: int, m: int, rng: np.random.Generator | int | None = None
+) -> list[np.ndarray]:
+    """Input triangles ``T[i1] = F[i1, i1]``: upper-triangular (m, m)
+    float32 matrices with ``-inf`` below the diagonal."""
+    if n <= 0 or m <= 0:
+        raise ValueError(f"sizes must be > 0, got ({n}, {m})")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    out = []
+    for _ in range(n):
+        t = rng.random((m, m)).astype(np.float32)
+        t[np.tril_indices(m, k=-1)] = NEG_INF
+        out.append(t)
+    return out
+
+
+def _shifted(b: np.ndarray) -> np.ndarray:
+    """``B'[k2, j2] = B[k2+1, j2]`` with a -inf last row.
+
+    With upper-triangular operands this encodes the split-range
+    constraints: ``A[i2,k2]`` is -inf for ``k2 < i2`` and ``B'[k2,j2]``
+    is -inf for ``k2+1 > j2``, so an unrestricted max-plus product over
+    ``k2`` equals the restricted reduction of eq. (4).
+    """
+    out = np.full_like(b, NEG_INF)
+    out[:-1, :] = b[1:, :]
+    return out
+
+
+def dmp_reference(triangles: list[np.ndarray]) -> dict[tuple[int, int], np.ndarray]:
+    """Scalar-loop oracle for eq. (4): returns every window's triangle."""
+    n = len(triangles)
+    m = triangles[0].shape[0]
+    f: dict[tuple[int, int], np.ndarray] = {
+        (i, i): triangles[i].copy() for i in range(n)
+    }
+    for span in range(1, n):
+        for i1 in range(n - span):
+            j1 = i1 + span
+            g = np.full((m, m), NEG_INF, dtype=np.float32)
+            for i2 in range(m):
+                for j2 in range(i2, m):
+                    best = NEG_INF
+                    for k1 in range(i1, j1):
+                        a = f[(i1, k1)]
+                        b = f[(k1 + 1, j1)]
+                        for k2 in range(i2, j2):
+                            v = a[i2, k2] + b[k2 + 1, j2]
+                            if v > best:
+                                best = v
+                    g[i2, j2] = best
+            f[(i1, j1)] = g
+    return f
+
+
+def dmp_flops(n: int, m: int) -> int:
+    """Total FLOPs of the standalone computation (2 per max-plus op)."""
+    from ..machine.counters import flops_r0
+
+    return flops_r0(n, m)
+
+
+#: name -> accumulating kernel(a, b, c, **kw)
+DMP_KERNELS: dict[str, Callable] = {
+    "naive": maxplus_matmul_naive,
+    "scalar-k-inner": maxplus_matmul_scalar_kinner,
+    "vectorized": maxplus_matmul_vectorized,
+    "tiled": maxplus_matmul_tiled,
+    "register-tiled": maxplus_matmul_register,
+}
+
+
+class DoubleMaxPlus:
+    """Configurable standalone double max-plus engine.
+
+    Parameters
+    ----------
+    triangles: diagonal input triangles (``random_triangles`` output).
+    kernel: one of :data:`DMP_KERNELS`.
+    order: outer traversal — ``"diagonal"`` (by span) or ``"bottomup"``
+        (by ``(-i1, j1)``: bottom-up then left-to-right).
+    tile: (i2, k2, j2) tile extents for the tiled kernel (0 = untiled).
+    """
+
+    def __init__(
+        self,
+        triangles: list[np.ndarray],
+        kernel: str = "vectorized",
+        order: str = "diagonal",
+        tile: tuple[int, int, int] = (32, 4, 0),
+    ) -> None:
+        if kernel not in DMP_KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; use one of {list(DMP_KERNELS)}")
+        if order not in ("diagonal", "bottomup"):
+            raise ValueError(f"order must be 'diagonal' or 'bottomup', got {order!r}")
+        if not triangles:
+            raise ValueError("need at least one input triangle")
+        m = triangles[0].shape[0]
+        for t in triangles:
+            if t.shape != (m, m):
+                raise ValueError("all triangles must share one shape")
+        self.n = len(triangles)
+        self.m = m
+        self.kernel_name = kernel
+        self.order = order
+        self.tile = tile
+        self.f: dict[tuple[int, int], np.ndarray] = {
+            (i, i): np.asarray(t, dtype=np.float32).copy()
+            for i, t in enumerate(triangles)
+        }
+
+    def _windows(self) -> Iterator[tuple[int, int]]:
+        if self.order == "diagonal":
+            for span in range(1, self.n):
+                for i1 in range(self.n - span):
+                    yield (i1, i1 + span)
+        else:  # bottom-up, then left to right: sort by (-i1, j1)
+            for i1 in range(self.n - 1, -1, -1):
+                for j1 in range(i1 + 1, self.n):
+                    yield (i1, j1)
+
+    def _accumulate(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+        kern = DMP_KERNELS[self.kernel_name]
+        if self.kernel_name in ("tiled", "register-tiled"):
+            kern(a, _shifted(b), c, tile=self.tile)
+        else:
+            kern(a, _shifted(b), c)
+
+    def run(self) -> dict[tuple[int, int], np.ndarray]:
+        """Fill every window; return the table dict."""
+        for i1, j1 in self._windows():
+            c = np.full((self.m, self.m), NEG_INF, dtype=np.float32)
+            for k1 in range(i1, j1):
+                self._accumulate(self.f[(i1, k1)], self.f[(k1 + 1, j1)], c)
+            self.f[(i1, j1)] = c
+        return self.f
+
+    def result(self) -> np.ndarray:
+        """The root window's triangle ``F[0, n-1]``."""
+        key = (0, self.n - 1)
+        if key not in self.f:
+            raise RuntimeError("run() has not been called")
+        return self.f[key]

@@ -1,0 +1,47 @@
+"""Engine registry: every BPMax program version behind one interface."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from .reference import BaselineBPMax, BpmaxInputs
+from .tables import FTable
+from .vectorized import VARIANT_CONFIGS, VectorizedBPMax
+
+__all__ = ["BpmaxEngine", "ENGINES", "make_engine"]
+
+
+class BpmaxEngine(Protocol):
+    """Common protocol of every BPMax engine."""
+
+    inputs: BpmaxInputs
+    table: FTable
+
+    def run(self) -> float:  # pragma: no cover - protocol
+        ...
+
+
+#: program version name -> constructor kwargs understood by make_engine
+ENGINES = ("baseline",) + tuple(VARIANT_CONFIGS)
+
+
+def make_engine(
+    inputs: BpmaxInputs,
+    variant: str = "hybrid-tiled",
+    **kwargs,
+) -> BpmaxEngine:
+    """Instantiate a BPMax engine by paper program-version name.
+
+    ``baseline`` is the original scalar diagonal-by-diagonal program;
+    ``coarse`` / ``fine`` / ``hybrid`` / ``hybrid-tiled`` are the
+    optimized versions of Figs. 15/16.  Extra kwargs (``tile``,
+    ``threads``, ``order``, ``kernel``, ``layout``) reach
+    :class:`~repro.core.vectorized.VectorizedBPMax`.
+    """
+    if variant == "baseline":
+        if kwargs:
+            raise TypeError(f"baseline engine takes no options, got {kwargs}")
+        return BaselineBPMax(inputs)
+    if variant in VARIANT_CONFIGS:
+        return VectorizedBPMax(inputs, variant=variant, **kwargs)
+    raise ValueError(f"unknown engine variant {variant!r}; use one of {ENGINES}")

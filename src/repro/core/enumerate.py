@@ -1,0 +1,197 @@
+"""Exhaustive enumeration of the BPMax joint-structure space.
+
+The BPMax recurrence (eqs. 1-3) implicitly defines a *grammar* of
+admissible joint structures: non-crossing intramolecular pairs in each
+strand, monotone intermolecular pairs, and Eddy-Rivas compatibility
+between the two kinds (a closing pair confines a window's remaining
+interaction; no pseudoknots, no zig-zags).
+
+This module makes that space explicit for small windows by evaluating
+the recurrence over the set-of-structures semiring — every ``max``
+becomes set union, every ``+`` becomes pairwise structure union — with
+deduplication.  The grammar is ambiguous (one structure is often
+derivable through several splits), so deduplication is what turns the
+derivation multiset into the structure *space*.
+
+It is exponential and only usable for tiny sequences, which is exactly
+its job as an independent oracle:
+
+* ``max(weight over enumerate_structures()) == bpmax score`` validates
+  the entire optimization stack against first principles;
+* the Boltzmann sum over the space is the **exact partition function**
+  used to validate and calibrate :mod:`repro.core.bppart`;
+* restricted sub-spaces (intermolecular-only, single-strand) validate
+  the unambiguous DPs in :mod:`repro.core.bppart` count-for-count.
+
+Pairs of weight 0 (non-canonical) are excluded throughout — they change
+neither the optimum nor the partition function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from .reference import BpmaxInputs
+
+__all__ = [
+    "Structure",
+    "enumerate_structures",
+    "enumerate_foldings",
+    "enumerate_duplexes",
+    "structure_weight",
+    "EMPTY",
+]
+
+
+@dataclass(frozen=True)
+class Structure:
+    """One joint structure: frozen sets of pairs."""
+
+    pairs1: frozenset[tuple[int, int]] = frozenset()
+    pairs2: frozenset[tuple[int, int]] = frozenset()
+    inter: frozenset[tuple[int, int]] = frozenset()
+
+    def union(self, other: "Structure") -> "Structure":
+        return Structure(
+            self.pairs1 | other.pairs1,
+            self.pairs2 | other.pairs2,
+            self.inter | other.inter,
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.pairs1) + len(self.pairs2) + len(self.inter)
+
+
+EMPTY = Structure()
+
+
+def structure_weight(s: Structure, inputs: BpmaxInputs) -> float:
+    """Total pair weight of a structure under the scoring model."""
+    total = 0.0
+    for i, j in s.pairs1:
+        total += float(inputs.score1[i, j])
+    for i, j in s.pairs2:
+        total += float(inputs.score2[i, j])
+    for i, j in s.inter:
+        total += float(inputs.iscore[i, j])
+    return total
+
+
+def _cross(a: frozenset, b: frozenset) -> set:
+    return {x.union(y) for x in a for y in b}
+
+
+def enumerate_foldings(
+    weights, n: int, strand: int = 1
+) -> frozenset[frozenset[tuple[int, int]]]:
+    """All non-crossing pair sets of one strand (weight > 0 pairs only)."""
+    ok = weights > 0
+
+    @lru_cache(maxsize=None)
+    def fold(i: int, j: int) -> frozenset[frozenset[tuple[int, int]]]:
+        if i >= j:
+            return frozenset([frozenset()])
+        out: set[frozenset[tuple[int, int]]] = set(fold(i + 1, j))
+        for k in range(i + 1, j + 1):
+            if ok[i, k]:
+                for inside in fold(i + 1, k - 1):
+                    for outside in fold(k + 1, j):
+                        out.add(inside | outside | {(i, k)})
+        return frozenset(out)
+
+    return fold(0, n - 1)
+
+
+def enumerate_duplexes(inputs: BpmaxInputs) -> frozenset[frozenset[tuple[int, int]]]:
+    """All monotone intermolecular matchings (inter pairs only)."""
+    oki = inputs.iscore > 0
+
+    @lru_cache(maxsize=None)
+    def dup(i1: int, i2: int) -> frozenset[frozenset[tuple[int, int]]]:
+        if i1 >= inputs.n or i2 >= inputs.m:
+            return frozenset([frozenset()])
+        out: set[frozenset[tuple[int, int]]] = set(dup(i1 + 1, i2))
+        for k2 in range(i2, inputs.m):
+            if oki[i1, k2]:
+                for rest in dup(i1 + 1, k2 + 1):
+                    out.add(rest | {(i1, k2)})
+        return frozenset(out)
+
+    return dup(0, 0)
+
+
+def enumerate_structures(inputs: BpmaxInputs) -> set[Structure]:
+    """All admissible joint structures of the two full strands.
+
+    Mirrors ``bpmax_recursive`` case by case over the set semiring.
+    """
+    n, m = inputs.n, inputs.m
+    ok1 = inputs.score1 > 0
+    ok2 = inputs.score2 > 0
+    oki = inputs.iscore > 0
+
+    @lru_cache(maxsize=None)
+    def fold1(i: int, j: int) -> frozenset[Structure]:
+        if i >= j:
+            return frozenset([EMPTY])
+        out: set[Structure] = set(fold1(i + 1, j))
+        for k in range(i + 1, j + 1):
+            if ok1[i, k]:
+                closed = Structure(pairs1=frozenset([(i, k)]))
+                for s in _cross(fold1(i + 1, k - 1), fold1(k + 1, j)):
+                    out.add(s.union(closed))
+        return frozenset(out)
+
+    @lru_cache(maxsize=None)
+    def fold2(i: int, j: int) -> frozenset[Structure]:
+        if i >= j:
+            return frozenset([EMPTY])
+        out: set[Structure] = set(fold2(i + 1, j))
+        for k in range(i + 1, j + 1):
+            if ok2[i, k]:
+                closed = Structure(pairs2=frozenset([(i, k)]))
+                for s in _cross(fold2(i + 1, k - 1), fold2(k + 1, j)):
+                    out.add(s.union(closed))
+        return frozenset(out)
+
+    @lru_cache(maxsize=None)
+    def f(i1: int, j1: int, i2: int, j2: int) -> frozenset[Structure]:
+        # empty-window conventions, as in the recurrence
+        if j1 < i1 and j2 < i2:
+            return frozenset([EMPTY])
+        if j1 < i1:
+            return fold2(i2, j2)
+        if j2 < i2:
+            return fold1(i1, j1)
+        if i1 == j1 and i2 == j2:
+            out = {EMPTY}
+            if oki[i1, i2]:
+                out.add(Structure(inter=frozenset([(i1, i2)])))
+            return frozenset(out)
+        out: set[Structure] = set()
+        # closures
+        if j1 > i1 and ok1[i1, j1]:
+            closed = Structure(pairs1=frozenset([(i1, j1)]))
+            out |= {s.union(closed) for s in f(i1 + 1, j1 - 1, i2, j2)}
+        if j2 > i2 and ok2[i2, j2]:
+            closed = Structure(pairs2=frozenset([(i2, j2)]))
+            out |= {s.union(closed) for s in f(i1, j1, i2 + 1, j2 - 1)}
+        # H: independent folds
+        out |= _cross(fold1(i1, j1), fold2(i2, j2))
+        # R0: the double split
+        for k1 in range(i1, j1):
+            for k2 in range(i2, j2):
+                out |= _cross(f(i1, k1, i2, k2), f(k1 + 1, j1, k2 + 1, j2))
+        # R1 / R2
+        for k2 in range(i2, j2):
+            out |= _cross(fold2(i2, k2), f(i1, j1, k2 + 1, j2))
+            out |= _cross(f(i1, j1, i2, k2), fold2(k2 + 1, j2))
+        # R3 / R4
+        for k1 in range(i1, j1):
+            out |= _cross(fold1(i1, k1), f(k1 + 1, j1, i2, j2))
+            out |= _cross(f(i1, k1, i2, j2), fold1(k1 + 1, j1))
+        return frozenset(out)
+
+    return set(f(0, n - 1, 0, m - 1))

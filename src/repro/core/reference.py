@@ -1,0 +1,221 @@
+"""Reference BPMax implementations: the semantics oracle and the
+"original program" baseline.
+
+Two independent implementations of eqs. (1)-(3):
+
+* :func:`bpmax_recursive` — memoized recursion written to mirror the
+  published recurrence verbatim, including the empty-window conventions
+  (``F`` with an empty strand-1 window equals ``S2``, etc.).  The oracle
+  every optimized engine is tested against.
+* :class:`BaselineBPMax` — the pure-Python "diagonal-by-diagonal"
+  loop nest standing in for the original hand-written BPMax program the
+  paper measures its >100x speedup against.  Scalar updates, reduction
+  index ``k2`` innermost (the order that prohibits vectorization).
+
+Both compute the five reductions explicitly:
+
+    R0 = max_{k1, k2} F[i1,k1,i2,k2] + F[k1+1,j1,k2+1,j2]
+    R1 = max_{k2} S2[i2,k2] + F[i1,j1,k2+1,j2]
+    R2 = max_{k2} F[i1,j1,i2,k2] + S2[k2+1,j2]
+    R3 = max_{k1} S1[i1,k1] + F[k1+1,j1,i2,j2]
+    R4 = max_{k1} F[i1,k1,i2,j2] + S1[k1+1,j1]
+
+and the combination
+
+    F = max( closure1, closure2, H )
+    H = max( S1[i1,j1] + S2[i2,j2], R0, R1, R2, R3, R4 )
+
+with base case ``F[i1,i1,i2,i2] = iscore(i1, i2)``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..rna.nussinov import nussinov
+from ..rna.scoring import DEFAULT_MODEL, ScoringModel
+from ..rna.sequence import RnaSequence
+from .tables import FTable
+
+__all__ = ["BpmaxInputs", "prepare_inputs", "bpmax_recursive", "BaselineBPMax"]
+
+NEG_INF = float("-inf")
+
+
+@dataclass(frozen=True)
+class BpmaxInputs:
+    """Precomputed score and S tables shared by every engine."""
+
+    n: int
+    m: int
+    score1: np.ndarray  # (n, n) intramolecular pair weights, strand 1
+    score2: np.ndarray  # (m, m) strand 2
+    iscore: np.ndarray  # (n, m) intermolecular pair weights
+    s1: np.ndarray  # (n, n) Nussinov table, strand 1
+    s2: np.ndarray  # (m, m) strand 2
+
+
+def prepare_inputs(
+    seq1: RnaSequence | str,
+    seq2: RnaSequence | str,
+    model: ScoringModel = DEFAULT_MODEL,
+) -> BpmaxInputs:
+    """Build score tables and fold both strands (the S1/S2 stage)."""
+    s1seq = seq1 if isinstance(seq1, RnaSequence) else RnaSequence(seq1)
+    s2seq = seq2 if isinstance(seq2, RnaSequence) else RnaSequence(seq2)
+    if len(s1seq) == 0 or len(s2seq) == 0:
+        raise ValueError("both sequences must be non-empty")
+    return BpmaxInputs(
+        n=len(s1seq),
+        m=len(s2seq),
+        score1=model.score_table(s1seq.codes),
+        score2=model.score_table(s2seq.codes),
+        iscore=model.iscore_table(s1seq.codes, s2seq.codes),
+        s1=nussinov(s1seq, model),
+        s2=nussinov(s2seq, model),
+    )
+
+
+def bpmax_recursive(
+    inputs: BpmaxInputs,
+    full_table: bool = False,
+) -> float | tuple[float, dict[tuple[int, int, int, int], float]]:
+    """Memoized-recursion oracle for BPMax.
+
+    Returns the interaction score ``F[0, n-1, 0, m-1]``; with
+    ``full_table=True`` also the dict of every computed F entry.
+    """
+    n, m = inputs.n, inputs.m
+    s1, s2 = inputs.s1, inputs.s2
+    score1, score2, iscore = inputs.score1, inputs.score2, inputs.iscore
+    sys.setrecursionlimit(max(sys.getrecursionlimit(), 10_000 + 50 * n * m))
+
+    @lru_cache(maxsize=None)
+    def f(i1: int, j1: int, i2: int, j2: int) -> float:
+        # empty-window conventions (the paper's first two cases)
+        if j1 < i1 and j2 < i2:
+            return 0.0
+        if j1 < i1:
+            return float(s2[i2, j2])
+        if j2 < i2:
+            return float(s1[i1, j1])
+        if i1 == j1 and i2 == j2:
+            return float(iscore[i1, i2])
+        best = NEG_INF
+        # intramolecular closures
+        if j1 > i1:
+            best = max(best, f(i1 + 1, j1 - 1, i2, j2) + float(score1[i1, j1]))
+        if j2 > i2:
+            best = max(best, f(i1, j1, i2 + 1, j2 - 1) + float(score2[i2, j2]))
+        # H: independent folds + the five reductions
+        best = max(best, float(s1[i1, j1]) + float(s2[i2, j2]))
+        for k1 in range(i1, j1):  # R0
+            for k2 in range(i2, j2):
+                best = max(best, f(i1, k1, i2, k2) + f(k1 + 1, j1, k2 + 1, j2))
+        for k2 in range(i2, j2):  # R1, R2
+            best = max(best, float(s2[i2, k2]) + f(i1, j1, k2 + 1, j2))
+            best = max(best, f(i1, j1, i2, k2) + float(s2[k2 + 1, j2]))
+        for k1 in range(i1, j1):  # R3, R4
+            best = max(best, float(s1[i1, k1]) + f(k1 + 1, j1, i2, j2))
+            best = max(best, f(i1, k1, i2, j2) + float(s1[k1 + 1, j1]))
+        return best
+
+    score = f(0, n - 1, 0, m - 1)
+    if not full_table:
+        return score
+    table = {
+        (i1, j1, i2, j2): f(i1, j1, i2, j2)
+        for i1 in range(n)
+        for j1 in range(i1, n)
+        for i2 in range(m)
+        for j2 in range(i2, m)
+    }
+    return score, table
+
+
+class BaselineBPMax:
+    """The "original BPMax program": scalar diagonal-by-diagonal loops.
+
+    Mirrors the execution order the paper attributes to the original
+    implementation, ``(i1,j1,i2,j2,k1,k2 -> j1-i1, j2-i2, i1, i2, k1, k2)``:
+    outer diagonals of the outer triangle, inner diagonals within, scalar
+    accumulation with the reduction indices innermost.
+    """
+
+    name = "baseline"
+
+    def __init__(self, inputs: BpmaxInputs) -> None:
+        self.inputs = inputs
+        self.table = FTable(inputs.n, inputs.m)
+
+    def run(self) -> float:
+        """Fill the whole table; return the final score."""
+        inp = self.inputs
+        n, m = inp.n, inp.m
+        s1, s2 = inp.s1, inp.s2
+        score1, score2, iscore = inp.score1, inp.score2, inp.iscore
+        tri = {
+            (i1, j1): self.table.alloc(i1, j1)
+            for i1 in range(n)
+            for j1 in range(i1, n)
+        }
+
+        def fget(i1: int, j1: int, i2: int, j2: int) -> float:
+            # empty-window conventions resolved at read time
+            if j1 < i1 and j2 < i2:
+                return 0.0
+            if j1 < i1:
+                return float(s2[i2, j2])
+            if j2 < i2:
+                return float(s1[i1, j1])
+            return float(tri[(i1, j1)][i2, j2])
+
+        for d1 in range(n):  # outer diagonal j1 - i1
+            for d2 in range(m):  # inner diagonal j2 - i2
+                for i1 in range(n - d1):
+                    j1 = i1 + d1
+                    g = tri[(i1, j1)]
+                    for i2 in range(m - d2):
+                        j2 = i2 + d2
+                        if d1 == 0 and d2 == 0:
+                            g[i2, j2] = iscore[i1, i2]
+                            continue
+                        best = NEG_INF
+                        if j1 > i1:
+                            best = max(
+                                best,
+                                fget(i1 + 1, j1 - 1, i2, j2) + float(score1[i1, j1]),
+                            )
+                        if j2 > i2:
+                            best = max(
+                                best,
+                                fget(i1, j1, i2 + 1, j2 - 1) + float(score2[i2, j2]),
+                            )
+                        best = max(best, float(s1[i1, j1]) + float(s2[i2, j2]))
+                        for k1 in range(i1, j1):  # R0 (k2 innermost)
+                            for k2 in range(i2, j2):
+                                best = max(
+                                    best,
+                                    fget(i1, k1, i2, k2)
+                                    + fget(k1 + 1, j1, k2 + 1, j2),
+                                )
+                        for k2 in range(i2, j2):  # R1, R2
+                            best = max(
+                                best, float(s2[i2, k2]) + fget(i1, j1, k2 + 1, j2)
+                            )
+                            best = max(
+                                best, fget(i1, j1, i2, k2) + float(s2[k2 + 1, j2])
+                            )
+                        for k1 in range(i1, j1):  # R3, R4
+                            best = max(
+                                best, float(s1[i1, k1]) + fget(k1 + 1, j1, i2, j2)
+                            )
+                            best = max(
+                                best, fget(i1, k1, i2, j2) + float(s1[k1 + 1, j1])
+                            )
+                        g[i2, j2] = best
+        return float(tri[(0, n - 1)][0, m - 1])

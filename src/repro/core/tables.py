@@ -1,0 +1,148 @@
+"""F-table storage: the 4-D "triangle of triangles" (paper Figs. 7, 9, 10).
+
+``F[i1, j1, i2, j2]`` is stored as one dense inner matrix per outer window
+``(i1, j1)``.  Two inner layouts are provided, matching the paper's two
+memory-mapping experiments (Fig. 10):
+
+* option 1 — ``(i2, j2) -> (i2, j2)``: the upper triangle of an M x M
+  bounding box ("always performs better": rows are contiguous streams);
+* option 2 — ``(i2, j2) -> (i2, j2 - i2)``: a packed skewed layout using
+  the same box but shifting each row left.
+
+The paper notes AlphaZ's default bounding-box allocation wastes 3/4 of
+the M^2 N^2 box but the unused elements never move through the memory
+hierarchy; :meth:`FTable.bytes_allocated` / :meth:`FTable.bytes_touched`
+quantify exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["FTable", "MEMORY_LAYOUTS"]
+
+MEMORY_LAYOUTS = ("option1", "option2")
+NEG_INF = np.float32(-np.inf)
+
+
+class FTable:
+    """Triangular 4-D DP table with per-window inner matrices.
+
+    Parameters
+    ----------
+    n: outer sequence length (windows ``0 <= i1 <= j1 < n``).
+    m: inner sequence length.
+    layout: inner memory map, ``"option1"`` or ``"option2"``.
+    fill: initial value of inner matrices (``-inf`` marks "not computed",
+        which max-plus treats as the reduction identity).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        layout: str = "option1",
+        fill: float = -np.inf,
+    ) -> None:
+        if n <= 0 or m <= 0:
+            raise ValueError(f"table sizes must be > 0, got ({n}, {m})")
+        if layout not in MEMORY_LAYOUTS:
+            raise ValueError(f"layout must be one of {MEMORY_LAYOUTS}, got {layout!r}")
+        self.n = n
+        self.m = m
+        self.layout = layout
+        self._fill = np.float32(fill)
+        self._tri: dict[tuple[int, int], np.ndarray] = {}
+
+    # -- window management --------------------------------------------------
+
+    def windows(self) -> Iterator[tuple[int, int]]:
+        """All outer windows in diagonal order."""
+        for span in range(self.n):
+            for i1 in range(self.n - span):
+                yield (i1, i1 + span)
+
+    def has(self, i1: int, j1: int) -> bool:
+        return (i1, j1) in self._tri
+
+    def alloc(self, i1: int, j1: int) -> np.ndarray:
+        """Allocate (or return) the inner matrix of window ``(i1, j1)``.
+
+        The returned array is in *logical* (i2, j2) coordinates regardless
+        of layout — option 2 is materialised through views on read/write.
+        """
+        self._check_window(i1, j1)
+        key = (i1, j1)
+        if key not in self._tri:
+            self._tri[key] = np.full((self.m, self.m), self._fill, dtype=np.float32)
+        return self._tri[key]
+
+    def inner(self, i1: int, j1: int) -> np.ndarray:
+        """Inner matrix of a window; raises when not yet allocated."""
+        self._check_window(i1, j1)
+        try:
+            return self._tri[(i1, j1)]
+        except KeyError:
+            raise KeyError(f"window ({i1}, {j1}) not computed yet") from None
+
+    def set_inner(self, i1: int, j1: int, values: np.ndarray) -> None:
+        self._check_window(i1, j1)
+        if values.shape != (self.m, self.m):
+            raise ValueError(
+                f"inner matrix must be {(self.m, self.m)}, got {values.shape}"
+            )
+        self._tri[(i1, j1)] = np.asarray(values, dtype=np.float32)
+
+    def free(self, i1: int, j1: int) -> None:
+        """Drop a window's storage (used by windowed/streaming modes)."""
+        self._tri.pop((i1, j1), None)
+
+    # -- element access ------------------------------------------------------
+
+    def get(self, i1: int, j1: int, i2: int, j2: int) -> float:
+        """``F[i1, j1, i2, j2]`` for an in-domain point."""
+        self._check_window(i1, j1)
+        if not 0 <= i2 <= j2 < self.m:
+            raise IndexError(f"inner window ({i2}, {j2}) out of range")
+        return float(self.inner(i1, j1)[i2, j2])
+
+    def physical(self, i1: int, j1: int) -> np.ndarray:
+        """The window's matrix in its *physical* layout.
+
+        Option 1 is the identity; option 2 shifts row ``i2`` left by
+        ``i2`` so the diagonal maps to column 0.
+        """
+        logical = self.inner(i1, j1)
+        if self.layout == "option1":
+            return logical
+        out = np.full_like(logical, self._fill)
+        for i2 in range(self.m):
+            out[i2, : self.m - i2] = logical[i2, i2:]
+        return out
+
+    # -- accounting (Figs. 7/9 and the §IV-B-c discussion) --------------------
+
+    def bytes_allocated(self) -> int:
+        """Bounding-box bytes actually allocated so far."""
+        return sum(a.nbytes for a in self._tri.values())
+
+    def bytes_touched(self) -> int:
+        """Bytes of the triangular halves that the computation touches."""
+        per_window = self.m * (self.m + 1) // 2 * 4
+        return len(self._tri) * per_window
+
+    def full_allocation_bytes(self) -> int:
+        """Bytes if every outer window were allocated (the M^2 N^2 box)."""
+        return self.n * (self.n + 1) // 2 * self.m * self.m * 4
+
+    def _check_window(self, i1: int, j1: int) -> None:
+        if not 0 <= i1 <= j1 < self.n:
+            raise IndexError(f"outer window ({i1}, {j1}) out of range for n={self.n}")
+
+    def __repr__(self) -> str:
+        return (
+            f"FTable(n={self.n}, m={self.m}, layout={self.layout!r}, "
+            f"windows={len(self._tri)})"
+        )

@@ -1,0 +1,197 @@
+"""Interaction-structure recovery from a filled F table (extension).
+
+BPMax as published reports only the optimal score; downstream users
+usually want the structure too.  This module walks the filled table
+backwards through the recurrence, recovering one optimal set of
+
+* intramolecular pairs on strand 1 and strand 2, and
+* intermolecular pairs between the strands,
+
+whose total weight equals the BPMax score (asserted by tests).  The
+structure is pseudoknot-free / non-crossing by construction, mirroring
+the case analysis of eq. (1)-(3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..rna.nussinov import pairs_to_dotbracket
+from .reference import BpmaxInputs
+from .tables import FTable
+
+__all__ = ["InteractionStructure", "traceback"]
+
+_EPS = 1e-3
+
+
+@dataclass
+class InteractionStructure:
+    """One optimal BPMax structure."""
+
+    n: int
+    m: int
+    score: float
+    pairs1: list[tuple[int, int]] = field(default_factory=list)
+    pairs2: list[tuple[int, int]] = field(default_factory=list)
+    inter: list[tuple[int, int]] = field(default_factory=list)
+
+    def weight(self, inputs: BpmaxInputs) -> float:
+        """Total pair weight of the structure (should equal ``score``)."""
+        total = 0.0
+        for i, j in self.pairs1:
+            total += float(inputs.score1[i, j])
+        for i, j in self.pairs2:
+            total += float(inputs.score2[i, j])
+        for i1, i2 in self.inter:
+            total += float(inputs.iscore[i1, i2])
+        return total
+
+    def dotbracket(self) -> tuple[str, str]:
+        """Dot-bracket strings of the two strands (intramolecular pairs;
+        intermolecular partners marked with ``*``)."""
+        db1 = list(pairs_to_dotbracket(self.n, sorted(self.pairs1)))
+        db2 = list(pairs_to_dotbracket(self.m, sorted(self.pairs2)))
+        for i1, i2 in self.inter:
+            db1[i1] = "*"
+            db2[i2] = "*"
+        return "".join(db1), "".join(db2)
+
+
+def _nussinov_pairs(
+    s: np.ndarray, w: np.ndarray, i0: int, j0: int
+) -> list[tuple[int, int]]:
+    """Traceback of a weighted Nussinov window ``[i0, j0]``."""
+    pairs: list[tuple[int, int]] = []
+    stack = [(i0, j0)] if j0 > i0 else []
+    while stack:
+        i, j = stack.pop()
+        if j <= i:
+            continue
+        t = s[i, j]
+        if abs(t - s[i + 1, j]) < _EPS:
+            stack.append((i + 1, j))
+            continue
+        if abs(t - s[i, j - 1]) < _EPS:
+            stack.append((i, j - 1))
+            continue
+        inner = s[i + 1, j - 1] if j - i >= 2 else 0.0
+        if w[i, j] > 0 and abs(t - (inner + w[i, j])) < _EPS:
+            pairs.append((i, j))
+            stack.append((i + 1, j - 1))
+            continue
+        for k in range(i, j):
+            if abs(t - (s[i, k] + s[k + 1, j])) < _EPS:
+                stack.append((i, k))
+                stack.append((k + 1, j))
+                break
+        else:  # pragma: no cover - inconsistent table
+            raise AssertionError(f"Nussinov traceback stuck at ({i}, {j})")
+    return pairs
+
+
+def traceback(inputs: BpmaxInputs, table: FTable) -> InteractionStructure:
+    """Recover one optimal structure from a fully computed table."""
+    n, m = inputs.n, inputs.m
+    s1, s2 = inputs.s1, inputs.s2
+    score1, score2, iscore = inputs.score1, inputs.score2, inputs.iscore
+    out = InteractionStructure(n=n, m=m, score=table.get(0, n - 1, 0, m - 1))
+
+    def fval(i1: int, j1: int, i2: int, j2: int) -> float:
+        if j1 < i1 and j2 < i2:
+            return 0.0
+        if j1 < i1:
+            return float(s2[i2, j2])
+        if j2 < i2:
+            return float(s1[i1, j1])
+        return table.get(i1, j1, i2, j2)
+
+    stack: list[tuple[int, int, int, int]] = [(0, n - 1, 0, m - 1)]
+    while stack:
+        i1, j1, i2, j2 = stack.pop()
+        # delegated single-strand windows
+        if j1 < i1 and j2 < i2:
+            continue
+        if j1 < i1:
+            out.pairs2.extend(_nussinov_pairs(s2, score2, i2, j2))
+            continue
+        if j2 < i2:
+            out.pairs1.extend(_nussinov_pairs(s1, score1, i1, j1))
+            continue
+        t = fval(i1, j1, i2, j2)
+        if i1 == j1 and i2 == j2:
+            if iscore[i1, i2] > 0 and abs(t - iscore[i1, i2]) < _EPS:
+                out.inter.append((i1, i2))
+            continue
+        # closure of (i1, j1)
+        if j1 > i1 and abs(t - (fval(i1 + 1, j1 - 1, i2, j2) + score1[i1, j1])) < _EPS:
+            if score1[i1, j1] > 0:
+                out.pairs1.append((i1, j1))
+                stack.append((i1 + 1, j1 - 1, i2, j2))
+                continue
+        # closure of (i2, j2)
+        if j2 > i2 and abs(t - (fval(i1, j1, i2 + 1, j2 - 1) + score2[i2, j2])) < _EPS:
+            if score2[i2, j2] > 0:
+                out.pairs2.append((i2, j2))
+                stack.append((i1, j1, i2 + 1, j2 - 1))
+                continue
+        # independent folds
+        if abs(t - (s1[i1, j1] + s2[i2, j2])) < _EPS:
+            out.pairs1.extend(_nussinov_pairs(s1, score1, i1, j1))
+            out.pairs2.extend(_nussinov_pairs(s2, score2, i2, j2))
+            continue
+        matched = False
+        # R0: the double split
+        for k1 in range(i1, j1):
+            if matched:
+                break
+            for k2 in range(i2, j2):
+                if abs(t - (fval(i1, k1, i2, k2) + fval(k1 + 1, j1, k2 + 1, j2))) < _EPS:
+                    stack.append((i1, k1, i2, k2))
+                    stack.append((k1 + 1, j1, k2 + 1, j2))
+                    matched = True
+                    break
+        if matched:
+            continue
+        for k2 in range(i2, j2):  # R1 / R2
+            if abs(t - (s2[i2, k2] + fval(i1, j1, k2 + 1, j2))) < _EPS:
+                out.pairs2.extend(_nussinov_pairs(s2, score2, i2, k2))
+                stack.append((i1, j1, k2 + 1, j2))
+                matched = True
+                break
+            if abs(t - (fval(i1, j1, i2, k2) + s2[k2 + 1, j2])) < _EPS:
+                out.pairs2.extend(_nussinov_pairs(s2, score2, k2 + 1, j2))
+                stack.append((i1, j1, i2, k2))
+                matched = True
+                break
+        if matched:
+            continue
+        for k1 in range(i1, j1):  # R3 / R4
+            if abs(t - (s1[i1, k1] + fval(k1 + 1, j1, i2, j2))) < _EPS:
+                out.pairs1.extend(_nussinov_pairs(s1, score1, i1, k1))
+                stack.append((k1 + 1, j1, i2, j2))
+                matched = True
+                break
+            if abs(t - (fval(i1, k1, i2, j2) + s1[k1 + 1, j1])) < _EPS:
+                out.pairs1.extend(_nussinov_pairs(s1, score1, k1 + 1, j1))
+                stack.append((i1, k1, i2, j2))
+                matched = True
+                break
+        if matched:
+            continue
+        # unpairable closures with weight 0 fall through to here
+        if j1 > i1 and abs(t - fval(i1 + 1, j1 - 1, i2, j2)) < _EPS:
+            stack.append((i1 + 1, j1 - 1, i2, j2))
+            continue
+        if j2 > i2 and abs(t - fval(i1, j1, i2 + 1, j2 - 1)) < _EPS:
+            stack.append((i1, j1, i2 + 1, j2 - 1))
+            continue
+        raise AssertionError(
+            f"traceback stuck at window ({i1}, {j1}, {i2}, {j2}) value {t}"
+        )
+    out.pairs1 = sorted(set(out.pairs1))
+    out.pairs2 = sorted(set(out.pairs2))
+    out.inter = sorted(set(out.inter))
+    return out

@@ -1,0 +1,241 @@
+"""Vectorized BPMax engines: the optimized program versions.
+
+One engine class covers the paper's coarse / fine / hybrid / hybrid-tiled
+program versions (Figs. 15/16).  In this reproduction NumPy row
+operations play the role of compiler auto-vectorization, so the variants
+differ in:
+
+* the outer-triangle traversal order (diagonal vs bottom-up-left-right —
+  the paper finds them nearly equivalent, Fig. 13 orange vs blue);
+* the R0 kernel (vectorized rows vs the tiled (i2 x k2 x j2) kernel);
+* the *parallelization granularity* metadata (triangle / row / hybrid)
+  consumed by the thread-level simulator and the perf model — plus an
+  optional real thread pool that row-partitions the R0 products
+  (fine-grain parallelism over ``i2`` rows, exactly the paper's scheme).
+
+The per-window computation follows the Phase-II/III schedules:
+
+1. accumulate R0 (max-plus matrix products over ``k1`` splits) together
+   with R3/R4, which "are almost free since those get computed along
+   with the R0" (§V-C);
+2. add the intramolecular closure terms and the independent-fold term;
+3. finish rows bottom-up: R1 scatters contributions from completed rows
+   below, R2 scatters incrementally as the row's cells finalize
+   left-to-right (the ``k2``-middle / ``j2``-inner vectorizable order of
+   Tables II-IV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.pool import ParallelRunner
+from ..semiring.maxplus import NEG_INF
+from .dmp import DMP_KERNELS, _shifted
+from .reference import BpmaxInputs
+from .tables import FTable
+
+__all__ = ["VectorizedBPMax", "VARIANT_CONFIGS"]
+
+#: paper program version -> engine configuration
+VARIANT_CONFIGS: dict[str, dict] = {
+    "coarse": {"order": "diagonal", "kernel": "vectorized", "granularity": "triangle"},
+    "fine": {"order": "bottomup", "kernel": "vectorized", "granularity": "row"},
+    "hybrid": {"order": "bottomup", "kernel": "vectorized", "granularity": "hybrid"},
+    "hybrid-tiled": {"order": "bottomup", "kernel": "tiled", "granularity": "hybrid"},
+}
+
+
+class VectorizedBPMax:
+    """NumPy-vectorized BPMax engine.
+
+    Parameters
+    ----------
+    inputs: precomputed tables from :func:`repro.core.reference.prepare_inputs`.
+    variant: one of ``coarse | fine | hybrid | hybrid-tiled`` (presets), or
+        pass explicit ``order`` / ``kernel`` / ``tile`` overrides.
+    tile: (i2, k2, j2) extents for the tiled kernel; 0 = untiled dim.
+    threads: >1 row-partitions the R0 products over a real thread pool.
+    """
+
+    def __init__(
+        self,
+        inputs: BpmaxInputs,
+        variant: str = "hybrid-tiled",
+        order: str | None = None,
+        kernel: str | None = None,
+        tile: tuple[int, int, int] = (32, 4, 0),
+        threads: int = 1,
+        layout: str = "option1",
+    ) -> None:
+        if variant not in VARIANT_CONFIGS:
+            raise ValueError(
+                f"unknown variant {variant!r}; use one of {list(VARIANT_CONFIGS)}"
+            )
+        cfg = VARIANT_CONFIGS[variant]
+        self.variant = variant
+        self.order = order or cfg["order"]
+        self.kernel_name = kernel or cfg["kernel"]
+        self.granularity = cfg["granularity"]
+        if self.kernel_name not in DMP_KERNELS:
+            raise ValueError(f"unknown kernel {self.kernel_name!r}")
+        if self.order not in ("diagonal", "bottomup"):
+            raise ValueError(f"order must be 'diagonal' or 'bottomup', got {self.order!r}")
+        self.tile = tile
+        self.threads = threads
+        self.inputs = inputs
+        self.table = FTable(inputs.n, inputs.m, layout=layout)
+        m = inputs.m
+        # S2 restricted to the upper triangle (-inf elsewhere) so it can be
+        # combined with F matrices without masking in the hot loops.
+        self._s2_ut = np.full((m, m), NEG_INF, dtype=np.float32)
+        iu = np.triu_indices(m)
+        self._s2_ut[iu] = inputs.s2[iu]
+
+    # -- traversal ------------------------------------------------------------
+
+    def _windows(self):
+        n = self.inputs.n
+        if self.order == "diagonal":
+            for span in range(1, n):
+                for i1 in range(n - span):
+                    yield (i1, i1 + span)
+        else:
+            for i1 in range(n - 1, -1, -1):
+                for j1 in range(i1 + 1, n):
+                    yield (i1, j1)
+
+    # -- R0/R3/R4 accumulation ---------------------------------------------------
+
+    def _accumulate_splits(self, i1: int, j1: int, acc: np.ndarray) -> None:
+        inp = self.inputs
+        kern = DMP_KERNELS[self.kernel_name]
+        tri = self.table
+
+        def product(a: np.ndarray, bs: np.ndarray, out: np.ndarray) -> None:
+            if self.kernel_name in ("tiled", "register-tiled"):
+                kern(a, bs, out, tile=self.tile)
+            else:
+                kern(a, bs, out)
+
+        if self.threads > 1:
+            blocks = np.array_split(np.arange(inp.m), self.threads)
+            with ParallelRunner(self.threads) as pool:
+                for k1 in range(i1, j1):
+                    a = tri.inner(i1, k1)
+                    b = tri.inner(k1 + 1, j1)
+                    bs = _shifted(b)
+
+                    def do_rows(rows, a=a, bs=bs, b=b, k1=k1):
+                        sl = slice(rows[0], rows[-1] + 1)
+                        product(a[sl], bs, acc[sl])
+                        np.maximum(
+                            acc[sl], inp.s1[i1, k1] + b[sl], out=acc[sl]
+                        )
+                        np.maximum(
+                            acc[sl], a[sl] + inp.s1[k1 + 1, j1], out=acc[sl]
+                        )
+
+                    pool.map(do_rows, [blk for blk in blocks if len(blk)])
+            return
+
+        for k1 in range(i1, j1):
+            a = tri.inner(i1, k1)
+            b = tri.inner(k1 + 1, j1)
+            product(a, _shifted(b), acc)  # R0
+            np.maximum(acc, inp.s1[i1, k1] + b, out=acc)  # R3
+            np.maximum(acc, a + inp.s1[k1 + 1, j1], out=acc)  # R4
+
+    # -- per-window computation --------------------------------------------------
+
+    def _compute_window(self, i1: int, j1: int) -> None:
+        inp = self.inputs
+        m = inp.m
+        s1v = float(inp.s1[i1, j1])
+        g = self.table.alloc(i1, j1)
+
+        if i1 == j1:
+            self._compute_diagonal_window(i1, g)
+            return
+
+        acc = np.full((m, m), NEG_INF, dtype=np.float32)
+        self._accumulate_splits(i1, j1, acc)
+
+        # closure of the (i1, j1) intramolecular pair
+        if j1 == i1 + 1:
+            c1 = self._s2_ut + inp.score1[i1, j1]
+        else:
+            c1 = self.table.inner(i1 + 1, j1 - 1) + inp.score1[i1, j1]
+        np.maximum(acc, c1, out=acc)
+        # independent folds of both windows
+        np.maximum(acc, s1v + self._s2_ut, out=acc)
+
+        self._finish_rows(i1, j1, g, acc, s1v)
+
+    def _compute_diagonal_window(self, i1: int, g: np.ndarray) -> None:
+        """Windows with a single strand-1 base (no R0/R3/R4/closure1)."""
+        inp = self.inputs
+        m = inp.m
+        acc = np.maximum(
+            np.full((m, m), NEG_INF, dtype=np.float32),
+            float(inp.s1[i1, i1]) + self._s2_ut,
+        )
+        self._finish_rows(i1, i1, g, acc, float(inp.s1[i1, i1]), base_iscore=True)
+
+    def _finish_rows(
+        self,
+        i1: int,
+        j1: int,
+        g: np.ndarray,
+        start: np.ndarray,
+        s1v: float,
+        base_iscore: bool = False,
+    ) -> None:
+        """Rows bottom-up; within a row, R1 upfront and R2 incrementally."""
+        inp = self.inputs
+        m = inp.m
+        s2 = inp.s2
+        score2 = inp.score2
+        for i2 in range(m - 1, -1, -1):
+            row = start[i2].copy()
+            if i2 + 1 < m:
+                # closure of the (i2, j2) intramolecular pair
+                c2 = np.full(m, NEG_INF, dtype=np.float32)
+                c2[i2 + 1] = s1v + score2[i2, i2 + 1]
+                if i2 + 2 < m:
+                    c2[i2 + 2 :] = g[i2 + 1, i2 + 1 : m - 1] + score2[i2, i2 + 2 :]
+                np.maximum(row, c2, out=row)
+                # R1: completed rows below scatter into this row
+                for k2 in range(i2, m - 1):
+                    seg = slice(k2 + 1, m)
+                    np.maximum(
+                        row[seg], s2[i2, k2] + g[k2 + 1, seg], out=row[seg]
+                    )
+            # diagonal cell
+            if base_iscore and j1 == i1:
+                g[i2, i2] = inp.iscore[i1, i2]
+            else:
+                g[i2, i2] = row[i2]
+            # R2 scatters as cells finalize left-to-right
+            r2 = np.full(m, NEG_INF, dtype=np.float32)
+            if i2 + 1 < m:
+                r2[i2 + 1 :] = g[i2, i2] + s2[i2 + 1, i2 + 1 :]
+            for j2 in range(i2 + 1, m):
+                v = row[j2]
+                if r2[j2] > v:
+                    v = r2[j2]
+                g[i2, j2] = v
+                if j2 + 1 < m:
+                    seg = slice(j2 + 1, m)
+                    np.maximum(r2[seg], v + s2[j2 + 1, seg], out=r2[seg])
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(self) -> float:
+        """Fill the full table; return the interaction score."""
+        inp = self.inputs
+        for i1 in range(inp.n):
+            self._compute_window(i1, i1)
+        for i1, j1 in self._windows():
+            self._compute_window(i1, j1)
+        return float(self.table.get(0, inp.n - 1, 0, inp.m - 1))

@@ -1,0 +1,62 @@
+"""Hardware model: machine specs, roofline, work counters, perf model."""
+
+from .counters import (
+    WorkBreakdown,
+    bpmax_breakdown,
+    bytes_f_table,
+    bytes_inner_triangle,
+    flops_bpmax_total,
+    flops_cells,
+    flops_r0,
+    flops_r1r2,
+    flops_r3r4,
+    flops_s_tables,
+    k1,
+    t1,
+)
+from .gpu import GpuComparison, GpuSpec, GpuWindowedModel, VOLTA_LIKE
+from .perfmodel import (
+    BPMAX_VARIANTS,
+    DMP_VARIANTS,
+    FUTURE_BPMAX_VARIANTS,
+    FUTURE_DMP_VARIANTS,
+    Calibration,
+    PerfModel,
+    PredictedPerf,
+)
+from .roofline import MAXPLUS_STREAM_AI, Roofline, RooflinePoint
+from .specs import MACHINES, XEON_E2278G, XEON_E5_1650V4, CacheLevel, MachineSpec
+
+__all__ = [
+    "WorkBreakdown",
+    "bpmax_breakdown",
+    "bytes_f_table",
+    "bytes_inner_triangle",
+    "flops_bpmax_total",
+    "flops_cells",
+    "flops_r0",
+    "flops_r1r2",
+    "flops_r3r4",
+    "flops_s_tables",
+    "k1",
+    "t1",
+    "GpuComparison",
+    "GpuSpec",
+    "GpuWindowedModel",
+    "VOLTA_LIKE",
+    "BPMAX_VARIANTS",
+    "DMP_VARIANTS",
+    "FUTURE_BPMAX_VARIANTS",
+    "FUTURE_DMP_VARIANTS",
+    "Calibration",
+    "PerfModel",
+    "PredictedPerf",
+    "MAXPLUS_STREAM_AI",
+    "Roofline",
+    "RooflinePoint",
+    "MACHINES",
+    "XEON_E2278G",
+    "XEON_E5_1650V4",
+    "CacheLevel",
+    "MachineSpec",
+]

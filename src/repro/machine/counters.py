@@ -1,0 +1,137 @@
+"""Exact work counts for BPMax components.
+
+All GFLOPS numbers in the paper count one max-plus operation as 2 FLOPs
+(one add + one max).  The counts below are exact closed forms over the
+triangular iteration spaces:
+
+* ``T1(n) = n(n+1)/2`` — windows ``(i, j)`` with ``0 <= i <= j < n``;
+* ``K1(n) = (n-1)n(n+1)/6`` — split triples ``(i, k, j)`` with
+  ``0 <= i <= k < j < n``.
+
+Component op counts (max-plus operations, multiply by 2 for FLOPs):
+
+=========  ==========================  =============================
+term       iteration space             ops
+=========  ==========================  =============================
+R0         (i1,k1,j1) x (i2,k2,j2)     K1(N) * K1(M)
+R1, R2     (i1,j1) x (i2,k2,j2)        T1(N) * K1(M)   each
+R3, R4     (i1,k1,j1) x (i2,j2)        K1(N) * T1(M)   each
+S1         (i,k,j) splits + closures   K1(N) + 2*T1(N)
+S2         likewise                    K1(M) + 2*T1(M)
+F cells    (i1,j1) x (i2,j2)           ~6 per cell (closures + H max)
+=========  ==========================  =============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "t1",
+    "k1",
+    "flops_r0",
+    "flops_r1r2",
+    "flops_r3r4",
+    "flops_s_tables",
+    "flops_cells",
+    "flops_bpmax_total",
+    "WorkBreakdown",
+    "bpmax_breakdown",
+    "bytes_f_table",
+    "bytes_inner_triangle",
+]
+
+BYTES_F32 = 4
+
+
+def t1(n: int) -> int:
+    """Number of windows (i, j), 0 <= i <= j < n."""
+    return n * (n + 1) // 2
+
+
+def k1(n: int) -> int:
+    """Number of split triples (i, k, j), 0 <= i <= k < j < n."""
+    return (n - 1) * n * (n + 1) // 6 if n >= 2 else 0
+
+
+def flops_r0(n: int, m: int) -> int:
+    """FLOPs of the double max-plus reduction R0."""
+    return 2 * k1(n) * k1(m)
+
+
+def flops_r1r2(n: int, m: int) -> int:
+    """FLOPs of R1 + R2 (the two k2 reductions)."""
+    return 2 * 2 * t1(n) * k1(m)
+
+
+def flops_r3r4(n: int, m: int) -> int:
+    """FLOPs of R3 + R4 (the two k1 reductions)."""
+    return 2 * 2 * k1(n) * t1(m)
+
+
+def flops_s_tables(n: int, m: int) -> int:
+    """FLOPs of the two single-strand Nussinov tables."""
+    return 2 * (k1(n) + 2 * t1(n)) + 2 * (k1(m) + 2 * t1(m))
+
+
+def flops_cells(n: int, m: int) -> int:
+    """FLOPs of the per-cell combination (closures + H assembly)."""
+    return 2 * 6 * t1(n) * t1(m)
+
+
+def flops_bpmax_total(n: int, m: int) -> int:
+    """Total FLOPs of one BPMax run."""
+    return (
+        flops_r0(n, m)
+        + flops_r1r2(n, m)
+        + flops_r3r4(n, m)
+        + flops_s_tables(n, m)
+        + flops_cells(n, m)
+    )
+
+
+@dataclass(frozen=True)
+class WorkBreakdown:
+    """FLOPs per BPMax component for one (N, M)."""
+
+    n: int
+    m: int
+    r0: int
+    r1r2: int
+    r3r4: int
+    cells: int
+    s_tables: int
+
+    @property
+    def total(self) -> int:
+        return self.r0 + self.r1r2 + self.r3r4 + self.cells + self.s_tables
+
+    @property
+    def r0_fraction(self) -> float:
+        return self.r0 / self.total
+
+
+def bpmax_breakdown(n: int, m: int) -> WorkBreakdown:
+    """Exact FLOP breakdown for sequence lengths ``n`` (outer), ``m`` (inner)."""
+    if n < 1 or m < 1:
+        raise ValueError(f"sequence lengths must be >= 1, got {n}, {m}")
+    return WorkBreakdown(
+        n=n,
+        m=m,
+        r0=flops_r0(n, m),
+        r1r2=flops_r1r2(n, m),
+        r3r4=flops_r3r4(n, m),
+        cells=flops_cells(n, m),
+        s_tables=flops_s_tables(n, m),
+    )
+
+
+def bytes_inner_triangle(m: int) -> int:
+    """Storage of one inner triangle F[i1,j1,.,.] in float32 (paper: the
+    Theta(M^2) working set that reaches 16 MB at M = 2048)."""
+    return t1(m) * BYTES_F32
+
+
+def bytes_f_table(n: int, m: int) -> int:
+    """Storage of the full triangular F table in float32."""
+    return t1(n) * t1(m) * BYTES_F32

@@ -1,0 +1,163 @@
+"""GPU comparison model (the Gildemaster related work, paper §II).
+
+"Glidemaster achieved significant speedup on a windowed version of the
+BPMax on GPU.  However, only up to a limited number of nucleotide
+sequences or a window of nucleotide sequences can be processed on GPU
+due to memory constraints.  Also, the cost of moving data out of the GPU
+memory negatively impacts the overall performance.  So, it is crucial to
+speed up the algorithm on the CPU."
+
+This module models that trade-off so the claim is quantitative: a GPU
+spec with device-memory capacity and PCIe bandwidth, a windowed-GPU
+execution model (windows sized to fit device memory, each window's
+triangles staged in and results staged out), and a comparison against
+the CPU's tiled engine — reproducing the crossover the paper's argument
+rests on: the GPU wins while the problem fits, and loses ground once
+windowing forces transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .counters import BYTES_F32, flops_r0, t1
+from .perfmodel import PerfModel
+from .specs import MachineSpec, XEON_E5_1650V4
+
+__all__ = ["GpuSpec", "VOLTA_LIKE", "GpuWindowedModel", "GpuComparison"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A GPU sufficient for the windowed-BPMax trade-off model."""
+
+    name: str
+    maxplus_peak_flops: float  # tropical (max,+) throughput
+    memory_bytes: int
+    memory_bandwidth_bytes_per_s: float
+    pcie_bandwidth_bytes_per_s: float
+    kernel_efficiency: float = 0.35  # fraction of peak a tuned kernel hits
+
+    def __post_init__(self) -> None:
+        if min(
+            self.maxplus_peak_flops,
+            self.memory_bytes,
+            self.memory_bandwidth_bytes_per_s,
+            self.pcie_bandwidth_bytes_per_s,
+        ) <= 0:
+            raise ValueError("GPU parameters must be positive")
+        if not 0 < self.kernel_efficiency <= 1:
+            raise ValueError("kernel_efficiency must be in (0, 1]")
+
+
+#: A Volta-class device of the related work's era (V100-ish numbers).
+VOLTA_LIKE = GpuSpec(
+    name="Volta-class GPU",
+    maxplus_peak_flops=14e12,
+    memory_bytes=16 * 1024**3,
+    memory_bandwidth_bytes_per_s=900e9,
+    pcie_bandwidth_bytes_per_s=12e9,
+)
+
+
+@dataclass(frozen=True)
+class GpuComparison:
+    """CPU-vs-GPU outcome for one workload."""
+
+    n: int
+    m: int
+    fits_device: bool
+    windows_needed: int
+    gpu_compute_s: float
+    gpu_transfer_s: float
+    gpu_total_s: float
+    cpu_total_s: float
+
+    @property
+    def gpu_speedup_over_cpu(self) -> float:
+        return self.cpu_total_s / self.gpu_total_s
+
+    @property
+    def transfer_fraction(self) -> float:
+        return self.gpu_transfer_s / self.gpu_total_s if self.gpu_total_s else 0.0
+
+
+class GpuWindowedModel:
+    """Windowed BPMax-kernel execution on a GPU, vs the tiled CPU engine.
+
+    The F table for (N, M) needs ``T1(N) * M^2 * 4`` bytes.  While it
+    fits in device memory, the GPU runs one resident kernel (memory- or
+    compute-bound, whichever binds).  Beyond that, the outer dimension is
+    processed in windows of the largest N' that fits; window results and
+    the halo triangles must cross PCIe both ways, and that traffic is the
+    term the paper's argument hinges on.
+    """
+
+    def __init__(
+        self,
+        gpu: GpuSpec = VOLTA_LIKE,
+        cpu: MachineSpec = XEON_E5_1650V4,
+    ) -> None:
+        self.gpu = gpu
+        self.cpu_model = PerfModel(cpu)
+
+    def table_bytes(self, n: int, m: int) -> int:
+        return t1(n) * m * m * BYTES_F32
+
+    def max_resident_n(self, m: int) -> int:
+        """Largest outer length whose table fits device memory."""
+        budget = self.gpu.memory_bytes * 0.9  # runtime reserves some
+        n = 1
+        while self.table_bytes(n + 1, m) <= budget:
+            n += 1
+            if n > 1 << 20:  # pragma: no cover - absurd sizes
+                break
+        return n
+
+    def _gpu_kernel_seconds(self, n: int, m: int) -> float:
+        w = float(flops_r0(n, m))
+        t_compute = w / (self.gpu.maxplus_peak_flops * self.gpu.kernel_efficiency)
+        # streaming the operand triangles at HBM rate, 2 bytes/FLOP
+        t_memory = 2.0 * w / self.gpu.memory_bandwidth_bytes_per_s
+        return max(t_compute, t_memory)
+
+    def compare(self, n: int, m: int, threads: int = 6) -> GpuComparison:
+        """One *full* workload, GPU vs CPU-tiled (the DMP kernel).
+
+        While the table fits in device memory the GPU pays one staging
+        round-trip; beyond capacity, the paper's objection bites: every
+        split product whose operand triangles are not resident streams
+        them over PCIe, and transfer time swamps the kernel ("the cost of
+        moving data out of the GPU memory negatively impacts the overall
+        performance").
+        """
+        if n < 2 or m < 2:
+            raise ValueError(f"need n, m >= 2, got ({n}, {m})")
+        n_fit = self.max_resident_n(m)
+        fits = n <= n_fit
+        compute = self._gpu_kernel_seconds(n, m)
+        table = self.table_bytes(n, m)
+        staging = 2 * table / self.gpu.pcie_bandwidth_bytes_per_s
+        if fits:
+            windows = 1
+            transfer = staging
+        else:
+            # the resident fraction of the table serves from HBM; the
+            # rest of every split product's operand traffic crosses PCIe
+            windows = -(-n // max(n_fit, 1))
+            resident = (self.gpu.memory_bytes * 0.9) / table
+            tri = m * (m + 1) // 2 * BYTES_F32
+            splits = (n - 1) * n * (n + 1) // 6  # K1(n) product instances
+            miss_traffic = 2.0 * splits * tri * (1.0 - resident)
+            transfer = staging + miss_traffic / self.gpu.pcie_bandwidth_bytes_per_s
+        cpu = self.cpu_model.predict_dmp("tiled", n, m, threads, tile=(64, 16, 0))
+        return GpuComparison(
+            n=n,
+            m=m,
+            fits_device=fits,
+            windows_needed=windows,
+            gpu_compute_s=compute,
+            gpu_transfer_s=transfer,
+            gpu_total_s=compute + transfer,
+            cpu_total_s=cpu.seconds,
+        )

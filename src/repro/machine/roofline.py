@@ -1,0 +1,79 @@
+"""Roofline model (paper Fig. 11).
+
+For a kernel with arithmetic intensity ``ai`` (FLOPs per byte moved from a
+given memory level), attainable performance at that level is
+
+    attainable = min(peak, ai * bandwidth(level))
+
+The paper plots one roof per level (L1/L2/L3/DRAM) and marks the BPMax
+max-plus access pattern, ``Y = max(a + X, Y)``: 2 FLOPs per 3
+single-precision accesses, i.e. AI = 2/12 = 1/6, which against the L1
+roof predicts ~329 GFLOPS (93 B/cyc x 3.6 GHz x 6 cores x 1/6) — the
+"expected" bound the micro-benchmark is then measured against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .specs import MachineSpec
+
+__all__ = ["MAXPLUS_STREAM_AI", "RooflinePoint", "Roofline"]
+
+#: Arithmetic intensity of Y = max(a+X, Y): 2 FLOPs / (3 x 4 bytes).
+MAXPLUS_STREAM_AI = 2.0 / 12.0
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One evaluated point: a kernel on one roof."""
+
+    level: str
+    arithmetic_intensity: float
+    attainable_gflops: float
+    bound: str  # "memory" or "compute"
+
+
+class Roofline:
+    """Roofline evaluation for one machine at a given thread count."""
+
+    def __init__(self, machine: MachineSpec, threads: int | None = None) -> None:
+        self.machine = machine
+        self.threads = machine.cores if threads is None else threads
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.machine.maxplus_peak_flops(self.threads) / 1e9
+
+    def levels(self) -> list[str]:
+        return [c.name for c in self.machine.caches] + ["DRAM"]
+
+    def attainable(self, ai: float, level: str) -> RooflinePoint:
+        """Attainable GFLOPS of a kernel with intensity ``ai`` at ``level``."""
+        if ai <= 0:
+            raise ValueError(f"arithmetic intensity must be > 0, got {ai}")
+        bw = self.machine.level_bandwidth(level, self.threads)
+        mem = ai * bw / 1e9
+        peak = self.peak_gflops
+        if mem < peak:
+            return RooflinePoint(level, ai, mem, "memory")
+        return RooflinePoint(level, ai, peak, "compute")
+
+    def curve(
+        self, level: str, ai_range: tuple[float, float] = (0.01, 64.0), n: int = 128
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(ai, gflops) arrays for plotting one roof."""
+        ais = np.geomspace(ai_range[0], ai_range[1], n)
+        vals = np.array([self.attainable(a, level).attainable_gflops for a in ais])
+        return ais, vals
+
+    def ridge_point(self, level: str) -> float:
+        """AI where the ``level`` roof meets the compute peak."""
+        bw = self.machine.level_bandwidth(level, self.threads)
+        return self.peak_gflops * 1e9 / bw
+
+    def maxplus_bound(self, level: str = "L1") -> RooflinePoint:
+        """The paper's headline expectation: the stream kernel on one roof."""
+        return self.attainable(MAXPLUS_STREAM_AI, level)

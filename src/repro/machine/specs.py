@@ -1,0 +1,122 @@
+"""Machine specifications: cache hierarchy and bandwidth data.
+
+The paper evaluates on an Intel Xeon E5-1650v4 (6 cores) and validates
+scalability on a Xeon E-2278G (8 cores).  §V-A quotes Intel's
+micro-architecture numbers: sustained L1 bandwidth 93 B/cycle, L2
+25 B/cycle, L3 14 B/cycle and DRAM 76.8 GB/s, giving a theoretical
+max-plus single-precision peak of ~346 GFLOPS for the E5-1650v4
+(6 cores x 3.6 GHz x 8 fp32 SIMD lanes x 2 ops/cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheLevel", "MachineSpec", "XEON_E5_1650V4", "XEON_E2278G", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the memory hierarchy.
+
+    ``bandwidth_bytes_per_cycle`` is per core for private levels and for
+    the whole chip for shared levels (``shared=True``).
+    """
+
+    name: str
+    size_bytes: int
+    bandwidth_bytes_per_cycle: float
+    shared: bool = False
+
+    def bandwidth_bytes_per_sec(self, freq_hz: float, cores: int = 1) -> float:
+        """Aggregate bandwidth at ``freq_hz`` for ``cores`` active cores."""
+        mult = 1 if self.shared else cores
+        return self.bandwidth_bytes_per_cycle * freq_hz * mult
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A CPU model sufficient for roofline/perf-model projections."""
+
+    name: str
+    cores: int
+    smt: int  # hardware threads per core
+    freq_hz: float
+    simd_lanes_fp32: int
+    maxplus_ops_per_cycle: int  # independent max+add issue ports
+    caches: tuple[CacheLevel, ...]
+    dram_bandwidth_bytes_per_sec: float
+
+    # -- peaks -------------------------------------------------------------
+
+    def maxplus_peak_flops(self, threads: int | None = None) -> float:
+        """Theoretical single-precision max-plus peak (FLOP/s).
+
+        One vector max + one vector add per cycle per core; extra SMT
+        threads do not add issue width.
+        """
+        threads = self.cores if threads is None else min(threads, self.cores * self.smt)
+        active_cores = min(threads, self.cores)
+        return (
+            active_cores
+            * self.freq_hz
+            * self.simd_lanes_fp32
+            * self.maxplus_ops_per_cycle
+        )
+
+    def scalar_peak_flops(self, threads: int | None = None) -> float:
+        """Peak without SIMD (the unvectorizable schedules)."""
+        return self.maxplus_peak_flops(threads) / self.simd_lanes_fp32
+
+    def cache(self, name: str) -> CacheLevel:
+        for c in self.caches:
+            if c.name == name:
+                return c
+        raise KeyError(f"{self.name} has no cache level {name!r}")
+
+    def level_bandwidth(self, name: str, threads: int | None = None) -> float:
+        """Aggregate bytes/sec of a level (or DRAM) with ``threads`` active."""
+        if name.upper() == "DRAM":
+            return self.dram_bandwidth_bytes_per_sec
+        threads = self.cores if threads is None else threads
+        active_cores = min(threads, self.cores)
+        return self.cache(name).bandwidth_bytes_per_sec(self.freq_hz, active_cores)
+
+    @property
+    def llc(self) -> CacheLevel:
+        return self.caches[-1]
+
+
+#: The paper's primary platform (Table/figure machine).
+XEON_E5_1650V4 = MachineSpec(
+    name="Xeon E5-1650v4",
+    cores=6,
+    smt=2,
+    freq_hz=3.6e9,
+    simd_lanes_fp32=8,
+    maxplus_ops_per_cycle=2,
+    caches=(
+        CacheLevel("L1", 32 * 1024, 93.0),
+        CacheLevel("L2", 256 * 1024, 25.0),
+        CacheLevel("L3", 15 * 1024 * 1024, 14.0),
+    ),
+    dram_bandwidth_bytes_per_sec=76.8e9,
+)
+
+#: The scalability-check platform (§V-C: "runs almost at the same speed").
+XEON_E2278G = MachineSpec(
+    name="Xeon E-2278G",
+    cores=8,
+    smt=2,
+    freq_hz=3.4e9,
+    simd_lanes_fp32=8,
+    maxplus_ops_per_cycle=2,
+    caches=(
+        CacheLevel("L1", 32 * 1024, 93.0),
+        CacheLevel("L2", 256 * 1024, 25.0),
+        CacheLevel("L3", 16 * 1024 * 1024, 14.0),
+    ),
+    dram_bandwidth_bytes_per_sec=79.9e9,
+)
+
+MACHINES = {m.name: m for m in (XEON_E5_1650V4, XEON_E2278G)}

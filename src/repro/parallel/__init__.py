@@ -1,0 +1,34 @@
+"""Execution substrate: OMP-style schedulers, DAG simulator, thread pool."""
+
+from .omp import (
+    SCHEDULERS,
+    Chunk,
+    dynamic_schedule,
+    guided_schedule,
+    simulate_makespan,
+    static_schedule,
+)
+from .mpi import ClusterSpec, CommStats, SimComm
+from .osp import osp_chain_graph, osp_middle_serialized_graph, speedup_comparison
+from .pool import ParallelRunner
+from .wavefront import SimResult, simulate_dag, triangle_task_graph, wavefront_levels
+
+__all__ = [
+    "SCHEDULERS",
+    "Chunk",
+    "dynamic_schedule",
+    "guided_schedule",
+    "simulate_makespan",
+    "static_schedule",
+    "ClusterSpec",
+    "CommStats",
+    "SimComm",
+    "osp_chain_graph",
+    "osp_middle_serialized_graph",
+    "speedup_comparison",
+    "ParallelRunner",
+    "SimResult",
+    "simulate_dag",
+    "triangle_task_graph",
+    "wavefront_levels",
+]

@@ -1,0 +1,183 @@
+"""Simulated message-passing cluster (the paper's MPI future work).
+
+The conclusion plans to "distribute the computation over a cluster using
+MPI".  No cluster (or mpi4py) is available here, so this module provides
+a deterministic discrete-event *simulator* of a small cluster with the
+standard alpha-beta communication model:
+
+    t(message) = latency + bytes / bandwidth
+
+Each rank has a local clock; point-to-point sends synchronize the
+receiver's clock (a receive completes no earlier than the send's
+completion), and collectives are built from point-to-point rounds.
+Computation advances a rank's clock by ``flops / rank_flops``.
+
+The API intentionally mirrors mpi4py's communicator surface (``send`` /
+``recv`` / ``bcast`` / ``allgather`` / ``barrier``) so a real-MPI port is
+mechanical; payloads are real Python/NumPy objects, which lets
+:mod:`repro.core.distributed` validate the decomposition numerically
+while the clocks produce the projected timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ClusterSpec", "SimComm", "CommStats"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Cluster performance parameters.
+
+    Defaults model a small commodity cluster of the paper's 6-core nodes:
+    per-node effective max-plus throughput from the perf model's tiled
+    kernel (~117 GFLOPS) and 100 Gb/s interconnect.
+    """
+
+    ranks: int
+    rank_flops: float = 117e9
+    latency_s: float = 2e-6
+    bandwidth_bytes_per_s: float = 12.5e9
+
+    def __post_init__(self) -> None:
+        if self.ranks <= 0:
+            raise ValueError(f"ranks must be > 0, got {self.ranks}")
+        if min(self.rank_flops, self.latency_s, self.bandwidth_bytes_per_s) <= 0:
+            raise ValueError("cluster parameters must be positive")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Alpha-beta cost of one message."""
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+
+@dataclass
+class CommStats:
+    """Aggregate communication accounting."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    collectives: int = 0
+
+    def record(self, nbytes: int) -> None:
+        self.messages += 1
+        self.bytes_sent += nbytes
+
+
+def _payload_bytes(payload) -> int:
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (list, tuple)):
+        return sum(_payload_bytes(p) for p in payload) + 8 * len(payload)
+    return 64  # pickled-scalar estimate
+
+
+class SimComm:
+    """A simulated communicator over ``spec.ranks`` ranks.
+
+    All ranks live in one process; the caller drives them (typically in
+    a loop over ranks per superstep).  Clocks only move forward.
+    """
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.clock = [0.0] * spec.ranks
+        self.stats = CommStats()
+        self._mailbox: dict[tuple[int, int, int], tuple[float, object]] = {}
+        self._send_seq: dict[tuple[int, int], int] = {}
+        self._recv_seq: dict[tuple[int, int], int] = {}
+
+    # -- mpi4py-flavoured surface -----------------------------------------
+
+    def Get_size(self) -> int:
+        return self.spec.ranks
+
+    def compute(self, rank: int, flops: float = 0.0, seconds: float = 0.0) -> None:
+        """Advance a rank's clock by compute work."""
+        self._check(rank)
+        if flops < 0 or seconds < 0:
+            raise ValueError("work must be non-negative")
+        self.clock[rank] += flops / self.spec.rank_flops + seconds
+
+    def send(self, payload, source: int, dest: int, tag: int | None = None) -> None:
+        """Non-blocking-ish send: enqueue with its completion time."""
+        self._check(source)
+        self._check(dest)
+        if source == dest:
+            raise ValueError(f"rank {source} sending to itself")
+        nbytes = _payload_bytes(payload)
+        self.stats.record(nbytes)
+        if tag is None:
+            seq = self._send_seq.get((source, dest), 0)
+            self._send_seq[(source, dest)] = seq + 1
+            tag = -1 - seq
+        done = self.clock[source] + self.spec.transfer_time(nbytes)
+        self.clock[source] = done  # eager/rendezvous-style send
+        self._mailbox[(source, dest, tag)] = (done, payload)
+
+    def recv(self, source: int, dest: int, tag: int | None = None):
+        """Blocking receive: the receiver waits for the message."""
+        self._check(source)
+        self._check(dest)
+        if tag is None:
+            seq = self._recv_seq.get((source, dest), 0)
+            self._recv_seq[(source, dest)] = seq + 1
+            tag = -1 - seq
+        key = (source, dest, tag)
+        if key not in self._mailbox:
+            raise RuntimeError(
+                f"rank {dest} receiving from {source} (tag {tag}) before send"
+            )
+        done, payload = self._mailbox.pop(key)
+        self.clock[dest] = max(self.clock[dest], done)
+        return payload
+
+    def barrier(self) -> None:
+        """Synchronize all clocks (tree barrier latency)."""
+        rounds = int(np.ceil(np.log2(max(self.spec.ranks, 2))))
+        t = max(self.clock) + 2 * rounds * self.spec.latency_s
+        self.clock = [t] * self.spec.ranks
+        self.stats.collectives += 1
+
+    def bcast(self, payload, root: int):
+        """Binomial-tree broadcast; returns the payload (shared process)."""
+        self._check(root)
+        nbytes = _payload_bytes(payload)
+        rounds = int(np.ceil(np.log2(max(self.spec.ranks, 2))))
+        cost = rounds * self.spec.transfer_time(nbytes)
+        t = self.clock[root] + cost
+        for r in range(self.spec.ranks):
+            self.clock[r] = max(self.clock[r], t)
+        self.stats.collectives += 1
+        self.stats.bytes_sent += nbytes * max(self.spec.ranks - 1, 0)
+        return payload
+
+    def allgather(self, contributions: list) -> list:
+        """Ring allgather of per-rank payloads; returns the full list."""
+        if len(contributions) != self.spec.ranks:
+            raise ValueError(
+                f"allgather needs {self.spec.ranks} contributions, "
+                f"got {len(contributions)}"
+            )
+        per = max(_payload_bytes(p) for p in contributions)
+        steps = self.spec.ranks - 1
+        cost = steps * self.spec.transfer_time(per)
+        t = max(self.clock) + cost
+        self.clock = [t] * self.spec.ranks
+        self.stats.collectives += 1
+        self.stats.bytes_sent += per * steps * self.spec.ranks
+        return list(contributions)
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        return max(self.clock)
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.spec.ranks:
+            raise ValueError(f"rank {rank} out of range for {self.spec.ranks} ranks")

@@ -1,0 +1,51 @@
+"""Real thread-pool execution for NumPy kernels.
+
+NumPy releases the GIL inside ufunc loops, so row-level fine-grain
+parallelism maps onto a :class:`~concurrent.futures.ThreadPoolExecutor`.
+On this reproduction's single-core host the pool mainly demonstrates the
+code path; thread-scaling *curves* come from the simulator
+(:mod:`repro.parallel.wavefront`) and the perf model.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["ParallelRunner"]
+
+
+class ParallelRunner:
+    """A reusable worker pool with OpenMP-flavoured helpers."""
+
+    def __init__(self, threads: int = 1) -> None:
+        if threads <= 0:
+            raise ValueError(f"threads must be > 0, got {threads}")
+        self.threads = threads
+        self._pool = ThreadPoolExecutor(max_workers=threads) if threads > 1 else None
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item (ordered results)."""
+        if self._pool is None:
+            return [fn(x) for x in items]
+        return list(self._pool.map(fn, items))
+
+    def parallel_for(self, fn: Callable[[int], None], n: int) -> None:
+        """``#pragma omp parallel for`` over ``range(n)``."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        self.map(fn, range(n))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,163 @@
+"""Simulated multi-thread execution of dependence DAGs (list scheduling).
+
+The coarse-grain / fine-grain / hybrid parallelization styles of the
+paper differ in *what a thread grabs*: a whole inner triangle, a row of a
+triangle, or a mix.  With one physical core available we simulate the
+thread-level behaviour: an event-driven list scheduler executes a task
+DAG on ``P`` virtual workers, each task with a given cost, respecting
+dependences — yielding makespans, utilization and the load-imbalance
+effects the paper reports (e.g. fine-grain leaves all but one thread
+idle on R1/R2-style chains).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Mapping
+
+import networkx as nx
+
+__all__ = ["SimResult", "simulate_dag", "wavefront_levels", "triangle_task_graph"]
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulated parallel execution."""
+
+    makespan: float
+    total_work: float
+    threads: int
+    start_times: dict[Hashable, float]
+    finish_times: dict[Hashable, float]
+    thread_of: dict[Hashable, int]
+
+    @property
+    def speedup(self) -> float:
+        """Parallel speedup over sequential execution of the same work."""
+        return self.total_work / self.makespan if self.makespan > 0 else 1.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of thread-time spent doing work."""
+        return self.total_work / (self.makespan * self.threads) if self.makespan else 1.0
+
+
+def simulate_dag(
+    graph: nx.DiGraph,
+    threads: int,
+    cost: Callable[[Hashable], float] | Mapping[Hashable, float] | None = None,
+) -> SimResult:
+    """List-schedule ``graph`` on ``threads`` virtual workers.
+
+    Ready tasks are dispatched to idle workers in deterministic (sorted)
+    order; a task becomes ready when all predecessors finished.  This is
+    greedy list scheduling — the same policy an OpenMP dynamic loop over
+    a wavefront implements.
+    """
+    if threads <= 0:
+        raise ValueError(f"threads must be > 0, got {threads}")
+    if not nx.is_directed_acyclic_graph(graph):
+        raise ValueError("task graph must be acyclic")
+
+    def task_cost(t: Hashable) -> float:
+        if cost is None:
+            return 1.0
+        c = cost(t) if callable(cost) else cost[t]
+        if c < 0:
+            raise ValueError(f"negative cost for task {t!r}")
+        return float(c)
+
+    indeg = {t: graph.in_degree(t) for t in graph.nodes}
+    ready = sorted((t for t, d in indeg.items() if d == 0), key=repr)
+    worker_free = [0.0] * threads
+    # event heap of (finish_time, seq, task, worker)
+    events: list[tuple[float, int, Hashable, int]] = []
+    seq = 0
+    start: dict[Hashable, float] = {}
+    finish: dict[Hashable, float] = {}
+    thread_of: dict[Hashable, int] = {}
+    now = 0.0
+
+    def dispatch() -> None:
+        nonlocal seq
+        while ready:
+            w = min(range(threads), key=lambda i: worker_free[i])
+            if worker_free[w] > now and events:
+                break
+            t = ready.pop(0)
+            s = max(now, worker_free[w])
+            c = task_cost(t)
+            start[t] = s
+            finish[t] = s + c
+            thread_of[t] = w
+            worker_free[w] = s + c
+            heapq.heappush(events, (s + c, seq, t, w))
+            seq += 1
+
+    dispatch()
+    while events:
+        now, _, done, _ = heapq.heappop(events)
+        for succ in graph.successors(done):
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                ready.append(succ)
+        ready.sort(key=repr)
+        dispatch()
+
+    if len(finish) != graph.number_of_nodes():
+        raise RuntimeError("scheduler failed to execute every task")
+    total = sum(task_cost(t) for t in graph.nodes)
+    return SimResult(
+        makespan=max(finish.values(), default=0.0),
+        total_work=total,
+        threads=threads,
+        start_times=start,
+        finish_times=finish,
+        thread_of=thread_of,
+    )
+
+
+def wavefront_levels(graph: nx.DiGraph) -> list[list[Hashable]]:
+    """Partition a DAG into wavefronts (longest-path levels)."""
+    levels: dict[Hashable, int] = {}
+    for t in nx.topological_sort(graph):
+        levels[t] = 1 + max((levels[p] for p in graph.predecessors(t)), default=-1)
+    out: list[list[Hashable]] = [[] for _ in range(max(levels.values(), default=-1) + 1)]
+    for t, lv in levels.items():
+        out[lv].append(t)
+    return out
+
+
+def triangle_task_graph(n: int, granularity: str = "triangle") -> nx.DiGraph:
+    """Task DAG of BPMax's outer triangle computation.
+
+    Each task is one inner triangle ``(i1, j1)`` (coarse-grain) or one
+    row of it (fine-grain surrogate); triangle ``(i1, j1)`` depends on its
+    west ``(i1, j1-1)`` and south ``(i1+1, j1)`` neighbours (paper Fig. 4).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be > 0, got {n}")
+    if granularity not in ("triangle", "row"):
+        raise ValueError(f"granularity must be 'triangle' or 'row', got {granularity!r}")
+    g = nx.DiGraph()
+    for i1 in range(n):
+        for j1 in range(i1, n):
+            g.add_node((i1, j1))
+            if j1 - 1 >= i1:
+                g.add_edge((i1, j1 - 1), (i1, j1))
+            if i1 + 1 <= j1:
+                g.add_edge((i1 + 1, j1), (i1, j1))
+    if granularity == "row":
+        # split each triangle task into one task per strand-2 row block;
+        # rows of one triangle are mutually independent (fine-grain)
+        rg = nx.DiGraph()
+        for i1, j1 in g.nodes:
+            for r in range(4):
+                rg.add_node((i1, j1, r))
+        for u, v in g.edges:
+            for ru in range(4):
+                for rv in range(4):
+                    rg.add_edge((*u, ru), (*v, rv))
+        return rg
+    return g

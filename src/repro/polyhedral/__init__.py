@@ -1,0 +1,45 @@
+"""Polyhedral substrate: the mini-AlphaZ framework.
+
+Affine expressions and maps, polyhedral domains with exact Fourier-Motzkin
+projection, multi-dimensional affine schedules, dependence legality
+checking, rectangular tiling, the mini-Alpha equational language and two
+code generators (sequential demand-driven and schedule-driven).
+"""
+
+from .affine import AffineExpr, AffineMap, const, var
+from .dependence import Dependence, Violation, check_all, check_legality
+from .domain import Constraint, Domain, EmptyDomainError
+from .schedule import Schedule, lex_compare, lex_less
+from .tiling import TileSpec, tile_graph, tile_iter, tile_point, tiling_legal
+from .transformations import (
+    change_of_basis,
+    permute_schedule,
+    skew_schedule,
+    to_alphabets,
+)
+
+__all__ = [
+    "AffineExpr",
+    "AffineMap",
+    "const",
+    "var",
+    "Dependence",
+    "Violation",
+    "check_all",
+    "check_legality",
+    "Constraint",
+    "Domain",
+    "EmptyDomainError",
+    "Schedule",
+    "lex_compare",
+    "lex_less",
+    "TileSpec",
+    "tile_graph",
+    "tile_iter",
+    "tile_point",
+    "tiling_legal",
+    "change_of_basis",
+    "permute_schedule",
+    "skew_schedule",
+    "to_alphabets",
+]

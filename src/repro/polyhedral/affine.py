@@ -1,0 +1,272 @@
+"""Affine expressions and affine functions over named indices.
+
+Everything in the polyhedral model — iteration domains, dependences,
+schedules, memory maps — is built from integer affine forms
+
+    c0 + c1*x1 + ... + cn*xn
+
+over index and parameter names.  :class:`AffineExpr` stores the
+coefficients sparsely by name; :class:`AffineMap` is a tuple of such
+expressions, i.e. a function  Z^d -> Z^k.
+
+Expressions support Python arithmetic and a tiny parser so the paper's
+mapping notation ``(i1,j1,i2,j2 -> j1-i1, i1, j1, i2, j2)`` can be written
+literally in :mod:`repro.core.alpha_model`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence, Union
+
+Number = Union[int, Fraction]
+
+__all__ = ["AffineExpr", "AffineMap", "var", "const"]
+
+
+def _as_expr(x: "AffineExpr | int | Fraction") -> "AffineExpr":
+    if isinstance(x, AffineExpr):
+        return x
+    if isinstance(x, (int, Fraction)):
+        return AffineExpr(const=Fraction(x))
+    raise TypeError(f"cannot treat {x!r} as an affine expression")
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """An affine form ``const + sum(coeffs[name] * name)``.
+
+    Coefficients are exact rationals so Fourier-Motzkin elimination stays
+    exact; in well-formed schedules and maps they are integers.
+    """
+
+    coeffs: Mapping[str, Fraction] = field(default_factory=dict)
+    const: Fraction = Fraction(0)
+
+    def __post_init__(self) -> None:
+        clean = {
+            name: Fraction(c) for name, c in self.coeffs.items() if Fraction(c) != 0
+        }
+        object.__setattr__(self, "coeffs", dict(sorted(clean.items())))
+        object.__setattr__(self, "const", Fraction(self.const))
+
+    # -- constructors ----------------------------------------------------
+
+    @staticmethod
+    def variable(name: str) -> "AffineExpr":
+        return AffineExpr(coeffs={name: Fraction(1)})
+
+    @staticmethod
+    def constant(value: int | Fraction) -> "AffineExpr":
+        return AffineExpr(const=Fraction(value))
+
+    @staticmethod
+    def parse(text: str) -> "AffineExpr":
+        """Parse e.g. ``"j1 - i1 + 2*k - 1"`` into an expression."""
+        s = text.replace(" ", "")
+        if not s:
+            raise ValueError("empty affine expression")
+        # tokenize into signed terms
+        terms = re.findall(r"[+-]?[^+-]+", s)
+        if "".join(terms) != s:
+            raise ValueError(f"malformed affine expression {text!r}")
+        expr = AffineExpr()
+        for term in terms:
+            sign = Fraction(1)
+            if term.startswith("-"):
+                sign, term = Fraction(-1), term[1:]
+            elif term.startswith("+"):
+                term = term[1:]
+            if not term:
+                raise ValueError(f"malformed term in {text!r}")
+            if "*" in term:
+                lhs, rhs = term.split("*", 1)
+                if re.fullmatch(r"\d+", lhs):
+                    coeff, name = Fraction(lhs), rhs
+                elif re.fullmatch(r"\d+", rhs):
+                    coeff, name = Fraction(rhs), lhs
+                else:
+                    raise ValueError(f"non-affine term {term!r} in {text!r}")
+                if not re.fullmatch(r"[A-Za-z_]\w*", name):
+                    raise ValueError(f"bad variable name {name!r} in {text!r}")
+                expr = expr + AffineExpr(coeffs={name: sign * coeff})
+            elif re.fullmatch(r"\d+", term):
+                expr = expr + AffineExpr(const=sign * Fraction(term))
+            elif re.fullmatch(r"[A-Za-z_]\w*", term):
+                expr = expr + AffineExpr(coeffs={term: sign})
+            else:
+                raise ValueError(f"cannot parse term {term!r} in {text!r}")
+        return expr
+
+    # -- algebra ---------------------------------------------------------
+
+    def __add__(self, other) -> "AffineExpr":
+        o = _as_expr(other)
+        coeffs = dict(self.coeffs)
+        for name, c in o.coeffs.items():
+            coeffs[name] = coeffs.get(name, Fraction(0)) + c
+        return AffineExpr(coeffs=coeffs, const=self.const + o.const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr(
+            coeffs={n: -c for n, c in self.coeffs.items()}, const=-self.const
+        )
+
+    def __sub__(self, other) -> "AffineExpr":
+        return self + (-_as_expr(other))
+
+    def __rsub__(self, other) -> "AffineExpr":
+        return _as_expr(other) + (-self)
+
+    def __mul__(self, k) -> "AffineExpr":
+        if isinstance(k, AffineExpr):
+            if not k.coeffs:
+                k = k.const
+            elif not self.coeffs:
+                return k * self.const
+            else:
+                raise TypeError("product of two non-constant affine expressions")
+        k = Fraction(k)
+        return AffineExpr(
+            coeffs={n: c * k for n, c in self.coeffs.items()}, const=self.const * k
+        )
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, (AffineExpr, int, Fraction)):
+            return NotImplemented
+        o = _as_expr(other)
+        return self.coeffs == o.coeffs and self.const == o.const
+
+    def __hash__(self) -> int:
+        return hash((tuple(self.coeffs.items()), self.const))
+
+    # -- evaluation ------------------------------------------------------
+
+    @property
+    def names(self) -> frozenset[str]:
+        return frozenset(self.coeffs)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def coeff(self, name: str) -> Fraction:
+        return self.coeffs.get(name, Fraction(0))
+
+    def evaluate(self, env: Mapping[str, int | Fraction]) -> Fraction:
+        """Value of the expression under the binding ``env``."""
+        total = self.const
+        for name, c in self.coeffs.items():
+            if name not in env:
+                raise KeyError(f"unbound index {name!r} in {self}")
+            total += c * Fraction(env[name])
+        return total
+
+    def substitute(self, bindings: Mapping[str, "AffineExpr | int"]) -> "AffineExpr":
+        """Replace each named index by an affine expression."""
+        out = AffineExpr(const=self.const)
+        for name, c in self.coeffs.items():
+            repl = bindings.get(name)
+            if repl is None:
+                out = out + AffineExpr(coeffs={name: c})
+            else:
+                out = out + _as_expr(repl) * c
+        return out
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for name, c in self.coeffs.items():
+            if c == 1:
+                parts.append(f"+{name}")
+            elif c == -1:
+                parts.append(f"-{name}")
+            else:
+                parts.append(f"{'+' if c > 0 else '-'}{abs(c)}*{name}")
+        if self.const or not parts:
+            parts.append(f"{'+' if self.const >= 0 else '-'}{abs(self.const)}")
+        s = "".join(parts)
+        return s[1:] if s.startswith("+") else s
+
+
+def var(name: str) -> AffineExpr:
+    """Shorthand for :meth:`AffineExpr.variable`."""
+    return AffineExpr.variable(name)
+
+
+def const(value: int) -> AffineExpr:
+    """Shorthand for :meth:`AffineExpr.constant`."""
+    return AffineExpr.constant(value)
+
+
+@dataclass(frozen=True)
+class AffineMap:
+    """An affine function ``(x1..xd) -> (e1..ek)`` with named inputs."""
+
+    inputs: tuple[str, ...]
+    exprs: tuple[AffineExpr, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(
+            self, "exprs", tuple(_as_expr(e) for e in self.exprs)
+        )
+
+    @staticmethod
+    def parse(text: str) -> "AffineMap":
+        """Parse mapping notation, e.g. ``"(i,j,k -> i, k, j-1)"``."""
+        s = text.strip()
+        if s.startswith("(") and s.endswith(")"):
+            s = s[1:-1]
+        if "->" not in s:
+            raise ValueError(f"mapping {text!r} must contain '->'")
+        lhs, rhs = s.split("->", 1)
+        inputs = tuple(t.strip() for t in lhs.split(",") if t.strip())
+        for name in inputs:
+            if not re.fullmatch(r"[A-Za-z_]\w*", name):
+                raise ValueError(f"bad input name {name!r} in {text!r}")
+        exprs = tuple(AffineExpr.parse(t) for t in rhs.split(",") if t.strip())
+        if not exprs:
+            raise ValueError(f"mapping {text!r} has no output expressions")
+        return AffineMap(inputs=inputs, exprs=exprs)
+
+    @property
+    def dim_in(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def dim_out(self) -> int:
+        return len(self.exprs)
+
+    def __call__(self, *point: int) -> tuple[Fraction, ...]:
+        if len(point) != self.dim_in:
+            raise ValueError(
+                f"map expects {self.dim_in} inputs {self.inputs}, got {len(point)}"
+            )
+        env = dict(zip(self.inputs, point))
+        return tuple(e.evaluate(env) for e in self.exprs)
+
+    def apply_env(self, env: Mapping[str, int | Fraction]) -> tuple[Fraction, ...]:
+        """Apply using a name->value environment (may contain parameters)."""
+        return tuple(e.evaluate(env) for e in self.exprs)
+
+    def compose(self, inner: "AffineMap") -> "AffineMap":
+        """``self ∘ inner``: first apply ``inner``, then ``self``."""
+        if self.dim_in != inner.dim_out:
+            raise ValueError(
+                f"cannot compose: inner produces {inner.dim_out} values, "
+                f"outer expects {self.dim_in}"
+            )
+        bindings = dict(zip(self.inputs, inner.exprs))
+        return AffineMap(
+            inputs=inner.inputs,
+            exprs=tuple(e.substitute(bindings) for e in self.exprs),
+        )
+
+    def __str__(self) -> str:
+        return f"({', '.join(self.inputs)} -> {', '.join(map(str, self.exprs))})"

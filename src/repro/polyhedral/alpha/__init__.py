@@ -1,0 +1,45 @@
+"""Mini-Alpha equational language: AST, parser, normalization, interpreter."""
+
+from .ast import (
+    BINOPS,
+    REDUCE_INIT,
+    BinOp,
+    Case,
+    Const,
+    Equation,
+    Expr,
+    IndexExpr,
+    Reduce,
+    VarRef,
+    free_vars,
+    walk,
+)
+from .interp import EvaluationError, Interpreter
+from .normalize import normalize, normalize_expr, normalize_reductions
+from .parser import ParseError, parse_system
+from .system import AlphaSystem, SystemError, VarDecl
+
+__all__ = [
+    "BINOPS",
+    "REDUCE_INIT",
+    "BinOp",
+    "Case",
+    "Const",
+    "Equation",
+    "Expr",
+    "IndexExpr",
+    "Reduce",
+    "VarRef",
+    "free_vars",
+    "walk",
+    "EvaluationError",
+    "Interpreter",
+    "normalize",
+    "normalize_expr",
+    "normalize_reductions",
+    "ParseError",
+    "parse_system",
+    "AlphaSystem",
+    "SystemError",
+    "VarDecl",
+]

@@ -1,0 +1,185 @@
+"""Expression AST of the mini-Alpha equational language.
+
+Alpha programs are systems of affine recurrence equations over polyhedral
+domains.  An equation body is built from:
+
+* :class:`Const` — a literal;
+* :class:`IndexExpr` — an affine expression of the equation's indices,
+  used as a value (e.g. ``iscore(i1, i2)`` lookups are input reads, but
+  guards like ``i1 == j1`` are domain restrictions, not values);
+* :class:`VarRef` — a read of another (or the same) variable through an
+  affine access function;
+* :class:`BinOp` — pointwise ``+ - * max min``;
+* :class:`Reduce` — a reduction ``reduce(op, extra_indices : domain, body)``
+  where the body may use both the equation's indices and the extra
+  reduction indices;
+* :class:`Case` — a piecewise definition: ordered (domain, expression)
+  branches (first match wins, matching AlphaZ restrict/case semantics).
+
+The AST is deliberately small but sufficient to express BPMax in full
+(:mod:`repro.core.alpha_model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..affine import AffineExpr, AffineMap
+from ..domain import Domain
+
+__all__ = [
+    "Expr",
+    "Const",
+    "IndexExpr",
+    "VarRef",
+    "BinOp",
+    "Reduce",
+    "Case",
+    "Equation",
+    "BINOPS",
+    "REDUCE_INIT",
+    "free_vars",
+    "walk",
+]
+
+#: scalar implementations of the binary operators
+BINOPS: dict[str, Callable[[float, float], float]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "max": max,
+    "min": min,
+}
+
+#: identity element of each reduction operator
+REDUCE_INIT: dict[str, float] = {
+    "+": 0.0,
+    "*": 1.0,
+    "max": float("-inf"),
+    "min": float("inf"),
+}
+
+
+class Expr:
+    """Base class for Alpha expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: float
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class IndexExpr(Expr):
+    """An affine combination of in-scope indices used as a value."""
+
+    expr: AffineExpr
+
+    def __str__(self) -> str:
+        return f"val({self.expr})"
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """Read variable ``name`` at ``access(indices)``."""
+
+    name: str
+    access: AffineMap
+
+    def __str__(self) -> str:
+        return f"{self.name}[{', '.join(map(str, self.access.exprs))}]"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINOPS:
+            raise ValueError(f"unknown operator {self.op!r}")
+
+    def __str__(self) -> str:
+        if self.op in ("max", "min"):
+            return f"{self.op}({self.left}, {self.right})"
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Reduce(Expr):
+    """``reduce(op, [extra indices] in domain, body)``.
+
+    ``domain`` is over the equation indices plus ``extra`` (its names must
+    equal eq_indices + extra, in that order) and bounds the reduction.
+    """
+
+    op: str
+    extra: tuple[str, ...]
+    domain: Domain
+    body: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in REDUCE_INIT:
+            raise ValueError(f"operator {self.op!r} has no reduction identity")
+        object.__setattr__(self, "extra", tuple(self.extra))
+        if tuple(self.domain.names[-len(self.extra) :]) != self.extra:
+            raise ValueError(
+                f"reduction domain must end with extra indices {self.extra}, "
+                f"got {self.domain.names}"
+            )
+
+    def __str__(self) -> str:
+        return f"reduce({self.op}, [{', '.join(self.extra)}], {self.body})"
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """Ordered piecewise branches; first matching domain wins."""
+
+    branches: tuple[tuple[Domain, Expr], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "branches", tuple(self.branches))
+        if not self.branches:
+            raise ValueError("case expression needs at least one branch")
+
+    def __str__(self) -> str:
+        inner = "; ".join(f"{d}: {e}" for d, e in self.branches)
+        return f"case {{ {inner} }}"
+
+
+@dataclass(frozen=True)
+class Equation:
+    """``var[indices] = body`` over ``domain`` (domain names = indices)."""
+
+    var: str
+    domain: Domain
+    body: Expr
+
+    def __str__(self) -> str:
+        return f"{self.var}[{', '.join(self.domain.names)}] = {self.body}"
+
+
+def walk(expr: Expr):
+    """Pre-order traversal of an expression tree."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, Reduce):
+        yield from walk(expr.body)
+    elif isinstance(expr, Case):
+        for _, e in expr.branches:
+            yield from walk(e)
+
+
+def free_vars(expr: Expr) -> set[str]:
+    """Names of all variables read anywhere in ``expr``."""
+    return {e.name for e in walk(expr) if isinstance(e, VarRef)}

@@ -1,0 +1,190 @@
+"""Demand-driven interpreter for mini-Alpha systems.
+
+Evaluates an output variable at a point by memoized recursion over the
+equations — the executable *semantics* of the language, independent of any
+schedule.  Every generated or hand-optimized implementation is tested
+against this oracle.
+
+Inputs are supplied as NumPy arrays indexed directly by the access tuple
+(negative or out-of-domain reads raise), or as Python callables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..domain import Domain
+from .ast import BINOPS, REDUCE_INIT, BinOp, Case, Const, Equation, Expr, IndexExpr, Reduce, VarRef
+from .system import AlphaSystem, SystemError
+
+__all__ = ["Interpreter", "EvaluationError"]
+
+
+class EvaluationError(RuntimeError):
+    """Raised when evaluation demands an undefined value."""
+
+
+InputValue = "np.ndarray | Callable[..., float]"
+
+
+class Interpreter:
+    """Evaluate system outputs by demand-driven memoized recursion.
+
+    Parameters
+    ----------
+    system: a validated :class:`AlphaSystem`.
+    params: binding of every system parameter to an integer.
+    inputs: binding of every input variable to an array or callable.
+    """
+
+    def __init__(
+        self,
+        system: AlphaSystem,
+        params: Mapping[str, int],
+        inputs: Mapping[str, "np.ndarray | Callable[..., float]"],
+    ) -> None:
+        system.validate()
+        self.system = system
+        self.params = dict(params)
+        missing = set(system.params) - set(self.params)
+        if missing:
+            raise SystemError(f"unbound parameters {sorted(missing)}")
+        self.inputs = dict(inputs)
+        missing_in = {d.name for d in system.inputs} - set(self.inputs)
+        if missing_in:
+            raise SystemError(f"unbound inputs {sorted(missing_in)}")
+        self._memo: dict[tuple[str, tuple[int, ...]], float] = {}
+        self._in_progress: set[tuple[str, tuple[int, ...]]] = set()
+        self._equations = {eq.var: eq for eq in system.equations}
+
+    # -- public API -------------------------------------------------------
+
+    def value(self, var: str, *point: int) -> float:
+        """Value of ``var`` at ``point``."""
+        return self._eval_var(var, tuple(int(p) for p in point))
+
+    def table(self, var: str) -> np.ndarray:
+        """Dense array of ``var`` over its domain's bounding box.
+
+        Points outside the domain hold NaN.
+        """
+        decl = self.system.declaration(var)
+        box = decl.domain.bounding_box(self.params)
+        if any(lo < 0 for lo, _ in box):
+            raise EvaluationError(
+                f"table() requires a non-negative domain, got box {box}"
+            )
+        shape = tuple(hi + 1 for _, hi in box)
+        out = np.full(shape, np.nan, dtype=np.float64)
+        for pt in decl.domain.points(self.params):
+            out[pt] = self._eval_var(var, pt)
+        return out
+
+    # -- evaluation -------------------------------------------------------
+
+    def _eval_var(self, var: str, point: tuple[int, ...]) -> float:
+        key = (var, point)
+        if key in self._memo:
+            return self._memo[key]
+        if var in self.inputs:
+            value = self._read_input(var, point)
+            self._memo[key] = value
+            return value
+        if key in self._in_progress:
+            raise EvaluationError(
+                f"cyclic dependence: {var}{point} transitively needs itself"
+            )
+        eq = self._equations.get(var)
+        if eq is None:
+            raise EvaluationError(f"no equation or input for {var!r}")
+        if not eq.domain.contains(point, self.params):
+            raise EvaluationError(
+                f"{var}{point} demanded outside its domain {eq.domain}"
+            )
+        self._in_progress.add(key)
+        try:
+            env = {**self.params, **dict(zip(eq.domain.names, point))}
+            value = self._eval_expr(eq.body, env)
+        finally:
+            self._in_progress.discard(key)
+        self._memo[key] = value
+        return value
+
+    def _read_input(self, var: str, point: tuple[int, ...]) -> float:
+        src = self.inputs[var]
+        if callable(src):
+            return float(src(*point))
+        arr = np.asarray(src)
+        if any(p < 0 or p >= s for p, s in zip(point, arr.shape)):
+            raise EvaluationError(
+                f"input {var!r} read out of bounds at {point} (shape {arr.shape})"
+            )
+        return float(arr[point])
+
+    def _eval_expr(self, expr: Expr, env: dict[str, int]) -> float:
+        if isinstance(expr, Const):
+            return float(expr.value)
+        if isinstance(expr, IndexExpr):
+            return float(expr.expr.evaluate(env))
+        if isinstance(expr, VarRef):
+            target = tuple(int(v) for v in expr.access.apply_env(env))
+            return self._eval_var(expr.name, target)
+        if isinstance(expr, BinOp):
+            return BINOPS[expr.op](
+                self._eval_expr(expr.left, env), self._eval_expr(expr.right, env)
+            )
+        if isinstance(expr, Case):
+            point_env = env
+            for dom, branch in expr.branches:
+                pt = tuple(point_env[n] for n in dom.names)
+                if dom.contains(pt, self.params):
+                    return self._eval_expr(branch, env)
+            raise EvaluationError(
+                f"no case branch matches environment {env} in {expr}"
+            )
+        if isinstance(expr, Reduce):
+            acc = REDUCE_INIT[expr.op]
+            op = BINOPS[expr.op]
+            outer = tuple(env[n] for n in expr.domain.names[: -len(expr.extra)])
+            found = False
+            for pt in self._reduction_points(expr.domain, outer):
+                inner_env = dict(env)
+                inner_env.update(zip(expr.extra, pt))
+                acc = op(acc, self._eval_expr(expr.body, inner_env))
+                found = True
+            if not found:
+                # empty reduction: identity element (AlphaZ semantics)
+                return REDUCE_INIT[expr.op]
+            return acc
+        raise TypeError(f"cannot evaluate {type(expr).__name__}")
+
+    def _reduction_points(self, domain: Domain, outer: tuple[int, ...]):
+        """Points of the reduction's extra indices given outer bindings."""
+        n_outer = len(outer)
+        env: dict[str, int] = {**self.params, **dict(zip(domain.names, outer))}
+        systems = domain._eliminated_systems()
+
+        def scan(level: int, prefix: tuple[int, ...]):
+            if level == domain.dim:
+                if all(c.holds(env) for c in domain.constraints):
+                    yield prefix[n_outer:]
+                return
+            rng = domain.level_bounds(level, env, systems)
+            if rng is None:
+                return
+            name = domain.names[level]
+            for v in range(rng[0], rng[1] + 1):
+                env[name] = v
+                yield from scan(level + 1, prefix + (v,))
+
+        # outer levels are pinned: walk them as singleton ranges
+        def scan_pinned(level: int, prefix: tuple[int, ...]):
+            if level < n_outer:
+                env[domain.names[level]] = outer[level]
+                yield from scan_pinned(level + 1, prefix + (outer[level],))
+            else:
+                yield from scan(level, prefix)
+
+        yield from scan_pinned(0, ())

@@ -1,0 +1,135 @@
+"""Program transformations: ``Normalize`` and ``NormalizeReduction``.
+
+Mirrors the two basic AlphaZ transformations the paper's compilation
+scripts invoke before any mapping directives:
+
+* :func:`normalize` — put expressions in normal form: fold constants,
+  flatten ``max``/``min`` chains into right-leaning form, collapse
+  single-branch cases, drop ``x + 0`` / ``x * 1`` units;
+* :func:`normalize_reductions` — hoist every ``Reduce`` that is not the
+  direct child of an equation into a fresh local variable, so each
+  reduction can be given its own space-time map (the paper's schedules in
+  Tables II-V assign separate schedules to R0..R4 precisely because the
+  program is in this form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..affine import AffineMap, var
+from .ast import BINOPS, BinOp, Case, Const, Equation, Expr, IndexExpr, Reduce, VarRef
+from .system import AlphaSystem, VarDecl
+
+__all__ = ["normalize", "normalize_reductions", "normalize_expr"]
+
+
+def normalize_expr(expr: Expr) -> Expr:
+    """Constant-fold and simplify one expression tree."""
+    if isinstance(expr, BinOp):
+        left = normalize_expr(expr.left)
+        right = normalize_expr(expr.right)
+        if isinstance(left, Const) and isinstance(right, Const):
+            return Const(BINOPS[expr.op](left.value, right.value))
+        if expr.op == "+":
+            if isinstance(left, Const) and left.value == 0:
+                return right
+            if isinstance(right, Const) and right.value == 0:
+                return left
+        if expr.op == "*":
+            if isinstance(left, Const) and left.value == 1:
+                return right
+            if isinstance(right, Const) and right.value == 1:
+                return left
+        return BinOp(expr.op, left, right)
+    if isinstance(expr, Case):
+        branches = tuple((d, normalize_expr(e)) for d, e in expr.branches)
+        if len(branches) == 1:
+            # single total branch: keep the case only if it restricts
+            dom, inner = branches[0]
+            if not dom.constraints:
+                return inner
+        return Case(branches)
+    if isinstance(expr, Reduce):
+        return replace(expr, body=normalize_expr(expr.body))
+    return expr
+
+
+def normalize(system: AlphaSystem) -> AlphaSystem:
+    """Return a new system with every equation body normalized."""
+    out = AlphaSystem(
+        name=system.name,
+        params=system.params,
+        inputs=list(system.inputs),
+        outputs=list(system.outputs),
+        locals=list(system.locals),
+        subsystems=dict(system.subsystems),
+    )
+    for eq in system.equations:
+        out.equations.append(replace(eq, body=normalize_expr(eq.body)))
+    out.validate()
+    return out
+
+
+def _hoist(
+    expr: Expr,
+    eq: Equation,
+    system: AlphaSystem,
+    fresh: list[int],
+    top_level: bool,
+) -> Expr:
+    """Recursively replace non-top-level reductions by local variables."""
+    if isinstance(expr, Reduce):
+        body = _hoist(expr.body, eq, system, fresh, top_level=False)
+        red = replace(expr, body=body)
+        if top_level:
+            return red
+        fresh[0] += 1
+        name = f"_red_{eq.var}_{fresh[0]}"
+        # the hoisted variable lives over the equation's domain
+        system.locals.append(VarDecl(name=name, domain=eq.domain))
+        system.equations.append(Equation(var=name, domain=eq.domain, body=red))
+        access = AffineMap(
+            inputs=eq.domain.names,
+            exprs=tuple(var(n) for n in eq.domain.names),
+        )
+        return VarRef(name=name, access=access)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _hoist(expr.left, eq, system, fresh, False),
+            _hoist(expr.right, eq, system, fresh, False),
+        )
+    if isinstance(expr, Case):
+        return Case(
+            tuple(
+                (d, _hoist(e, eq, system, fresh, top_level)) for d, e in expr.branches
+            )
+        )
+    return expr
+
+
+def normalize_reductions(system: AlphaSystem) -> AlphaSystem:
+    """Hoist nested reductions into fresh local variables.
+
+    After this pass, every ``Reduce`` node is the direct child of an
+    equation (possibly under a top-level ``Case``), matching AlphaZ's
+    NormalizeReduction contract.
+    """
+    out = AlphaSystem(
+        name=system.name,
+        params=system.params,
+        inputs=list(system.inputs),
+        outputs=list(system.outputs),
+        locals=list(system.locals),
+        subsystems=dict(system.subsystems),
+    )
+    fresh = [0]
+    new_eqs: list[Equation] = []
+    for eq in system.equations:
+        body = _hoist(eq.body, eq, out, fresh, top_level=True)
+        new_eqs.append(replace(eq, body=body))
+    # hoisted equations were appended to out.equations during _hoist
+    out.equations = out.equations + new_eqs
+    out.validate()
+    return out

@@ -1,0 +1,298 @@
+"""Parser for a small ``alphabets``-like concrete syntax.
+
+Grammar (informal)::
+
+    system   := 'affine' NAME '{' params [ '|' constraints ] '}'
+                sections 'let' equation*
+    sections := ('input' | 'output' | 'local') decl* ...
+    decl     := TYPE NAME domain ';'
+    domain   := '{' names '|' constraints '}'
+    equation := NAME '[' names ']' '=' expr ';'
+    expr     := additive
+    additive := mult (('+' | '-') mult)*
+    mult     := primary ('*' primary)*
+    primary  := NUMBER
+              | 'reduce' '(' OP ',' '[' names ']' 'in' domain ',' expr ')'
+              | 'case' '{' (domain ':' expr ';')+ '}'
+              | ('max'|'min') '(' expr ',' expr ')'
+              | NAME '[' affine_list ']'          -- variable read
+              | NAME                              -- index value or 0-d read
+              | '(' expr ')'
+
+Matches the matrix-multiplication example of the paper (Algorithm 1)
+modulo the explicit reduction domain, which our AST requires.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..affine import AffineExpr, AffineMap, var
+from ..domain import Domain
+from .ast import BinOp, Case, Const, Expr, IndexExpr, Reduce, VarRef
+from .system import AlphaSystem, Equation, VarDecl
+
+__all__ = ["parse_system", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed mini-Alpha source."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<num>\d+(\.\d+)?)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op><=|>=|==|&&|->|[{}()\[\],;:|=<>+\-*])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(src: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(src):
+        m = _TOKEN_RE.match(src, pos)
+        if not m:
+            raise ParseError(f"unexpected character {src[pos]!r} at offset {pos}")
+        pos = m.end()
+        if m.lastgroup != "ws" and m.group() and not m.group().startswith("//"):
+            if m.lastgroup == "ws":
+                continue
+            tokens.append(m.group())
+    return tokens
+
+
+class _Parser:
+    KEYWORDS = {"affine", "input", "output", "local", "let", "reduce", "case", "in"}
+
+    def __init__(self, src: str) -> None:
+        self.tokens = _tokenize(src)
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise ParseError(f"expected {tok!r}, got {got!r} at token {self.pos}")
+
+    def at(self, tok: str) -> bool:
+        return self.peek() == tok
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> AlphaSystem:
+        self.expect("affine")
+        name = self.next()
+        params, _ = self._param_domain()
+        system = AlphaSystem(name=name, params=params)
+        section = None
+        while self.peek() in ("input", "output", "local"):
+            section = self.next()
+            target = {
+                "input": system.inputs,
+                "output": system.outputs,
+                "local": system.locals,
+            }[section]
+            while self.peek() not in ("input", "output", "local", "let", None):
+                target.append(self._decl(params))
+        self.expect("let")
+        while self.peek() is not None:
+            system.equations.append(self._equation(system, params))
+        system.validate()
+        return system
+
+    def _param_domain(self) -> tuple[tuple[str, ...], str]:
+        self.expect("{")
+        names: list[str] = []
+        while not self.at("|") and not self.at("}"):
+            names.append(self.next())
+            if self.at(","):
+                self.next()
+        constraint_text = ""
+        if self.at("|"):
+            self.next()
+            # parameter constraints are recorded but unused structurally
+            depth = 1
+            parts: list[str] = []
+            while depth > 0:
+                tok = self.next()
+                if tok == "{":
+                    depth += 1
+                elif tok == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                parts.append(tok)
+            constraint_text = " ".join(parts)
+            return tuple(names), constraint_text
+        self.expect("}")
+        return tuple(names), constraint_text
+
+    def _domain(self, params: tuple[str, ...]) -> Domain:
+        self.expect("{")
+        parts: list[str] = []
+        depth = 1
+        while True:
+            tok = self.next()
+            if tok == "{":
+                depth += 1
+            elif tok == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            parts.append(tok)
+        return Domain.parse("{" + " ".join(parts) + "}", params=params)
+
+    def _decl(self, params: tuple[str, ...]) -> VarDecl:
+        dtype = self.next()
+        name = self.next()
+        domain = self._domain(params)
+        self.expect(";")
+        return VarDecl(name=name, domain=domain, dtype=dtype)
+
+    def _equation(self, system: AlphaSystem, params: tuple[str, ...]) -> Equation:
+        varname = self.next()
+        self.expect("[")
+        indices: list[str] = []
+        while not self.at("]"):
+            indices.append(self.next())
+            if self.at(","):
+                self.next()
+        self.expect("]")
+        self.expect("=")
+        decl = system.declaration(varname)
+        if tuple(indices) != tuple(decl.domain.names):
+            raise ParseError(
+                f"equation indices {indices} must match declaration "
+                f"{decl.domain.names} for {varname!r}"
+            )
+        scope = tuple(indices)
+        body = self._expr(system, params, scope)
+        self.expect(";")
+        return Equation(var=varname, domain=decl.domain, body=body)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _expr(self, system, params, scope) -> Expr:
+        left = self._mult(system, params, scope)
+        while self.peek() in ("+", "-"):
+            op = self.next()
+            right = self._mult(system, params, scope)
+            left = BinOp(op, left, right)
+        return left
+
+    def _mult(self, system, params, scope) -> Expr:
+        left = self._primary(system, params, scope)
+        while self.at("*"):
+            self.next()
+            right = self._primary(system, params, scope)
+            left = BinOp("*", left, right)
+        return left
+
+    def _affine(self, scope) -> AffineExpr:
+        """Parse an affine expression until ',' or ']' at depth 0."""
+        parts: list[str] = []
+        depth = 0
+        while True:
+            tok = self.peek()
+            if tok is None:
+                raise ParseError("unterminated affine expression")
+            if depth == 0 and tok in (",", "]"):
+                break
+            if tok == "(":
+                depth += 1
+            elif tok == ")":
+                if depth == 0:
+                    break
+                depth -= 1
+            parts.append(self.next())
+        if not parts:
+            raise ParseError("empty affine expression")
+        return AffineExpr.parse("".join(parts))
+
+    def _primary(self, system, params, scope) -> Expr:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of expression")
+        if re.fullmatch(r"\d+(\.\d+)?", tok):
+            self.next()
+            return Const(float(tok))
+        if tok == "(":
+            self.next()
+            inner = self._expr(system, params, scope)
+            self.expect(")")
+            return inner
+        if tok in ("max", "min"):
+            self.next()
+            self.expect("(")
+            left = self._expr(system, params, scope)
+            self.expect(",")
+            right = self._expr(system, params, scope)
+            self.expect(")")
+            return BinOp(tok, left, right)
+        if tok == "reduce":
+            self.next()
+            self.expect("(")
+            op = self.next()
+            if op == "+":
+                pass
+            self.expect(",")
+            self.expect("[")
+            extra: list[str] = []
+            while not self.at("]"):
+                extra.append(self.next())
+                if self.at(","):
+                    self.next()
+            self.expect("]")
+            self.expect("in")
+            domain = self._domain(params)
+            self.expect(",")
+            body = self._expr(system, params, tuple(domain.names))
+            self.expect(")")
+            return Reduce(op=op, extra=tuple(extra), domain=domain, body=body)
+        if tok == "case":
+            self.next()
+            self.expect("{")
+            branches: list[tuple[Domain, Expr]] = []
+            while not self.at("}"):
+                dom = self._domain(params)
+                self.expect(":")
+                branch = self._expr(system, params, scope)
+                self.expect(";")
+                branches.append((dom, branch))
+            self.expect("}")
+            return Case(branches=tuple(branches))
+        # identifier: variable read or index value
+        name = self.next()
+        if self.at("["):
+            self.next()
+            exprs: list[AffineExpr] = []
+            while not self.at("]"):
+                exprs.append(self._affine(scope))
+                if self.at(","):
+                    self.next()
+            self.expect("]")
+            return VarRef(name=name, access=AffineMap(inputs=scope, exprs=tuple(exprs)))
+        if name in scope or name in params:
+            return IndexExpr(var(name))
+        # 0-dimensional variable read
+        return VarRef(name=name, access=AffineMap(inputs=scope, exprs=()))
+
+
+def parse_system(src: str) -> AlphaSystem:
+    """Parse mini-Alpha source text into a validated :class:`AlphaSystem`."""
+    return _Parser(src).parse()

@@ -1,0 +1,222 @@
+"""Alpha systems: declarations + equations, with structural validation.
+
+An :class:`AlphaSystem` mirrors an ``alphabets`` program (paper §III-C):
+parameter domain, input/output/local variable declarations (each a name
+plus a polyhedral domain) and one equation per non-input variable.
+Subsystems (Phase III) are modelled by systems referencing each other
+through :attr:`AlphaSystem.subsystems`; integration of subsystem results
+is performed by the caller, as the paper itself does ("Both systems are
+integrated manually").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from ..dependence import Dependence
+from ..domain import Domain
+from ..affine import AffineMap
+from .ast import Case, Equation, Expr, Reduce, VarRef, free_vars, walk
+
+__all__ = ["VarDecl", "AlphaSystem", "SystemError"]
+
+
+class SystemError(ValueError):
+    """Raised for structurally invalid Alpha systems."""
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """A typed variable over a polyhedral domain."""
+
+    name: str
+    domain: Domain
+    dtype: str = "float"
+
+    def __str__(self) -> str:
+        return f"{self.dtype} {self.name} {self.domain}"
+
+
+@dataclass
+class AlphaSystem:
+    """A system of affine recurrence equations.
+
+    Attributes
+    ----------
+    name: system name.
+    params: symbolic size parameters (e.g. ``("N", "M")``).
+    inputs/outputs/locals: variable declarations.
+    equations: one per output/local variable.
+    subsystems: systems this one invokes via use-equations.
+    """
+
+    name: str
+    params: tuple[str, ...]
+    inputs: list[VarDecl] = field(default_factory=list)
+    outputs: list[VarDecl] = field(default_factory=list)
+    locals: list[VarDecl] = field(default_factory=list)
+    equations: list[Equation] = field(default_factory=list)
+    subsystems: dict[str, "AlphaSystem"] = field(default_factory=dict)
+
+    # -- lookups -----------------------------------------------------------
+
+    @property
+    def declarations(self) -> dict[str, VarDecl]:
+        return {
+            d.name: d for d in (*self.inputs, *self.outputs, *self.locals)
+        }
+
+    def declaration(self, name: str) -> VarDecl:
+        try:
+            return self.declarations[name]
+        except KeyError:
+            raise SystemError(f"undeclared variable {name!r} in system {self.name}")
+
+    def equation_for(self, var: str) -> Equation:
+        for eq in self.equations:
+            if eq.var == var:
+                return eq
+        raise SystemError(f"no equation defines {var!r} in system {self.name}")
+
+    def is_input(self, name: str) -> bool:
+        return any(d.name == name for d in self.inputs)
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural well-formedness; raise :class:`SystemError`."""
+        decls = self.declarations
+        names = [d.name for d in (*self.inputs, *self.outputs, *self.locals)]
+        if len(set(names)) != len(names):
+            dup = sorted({n for n in names if names.count(n) > 1})
+            raise SystemError(f"duplicate declarations {dup} in system {self.name}")
+
+        defined = {eq.var for eq in self.equations}
+        for d in (*self.outputs, *self.locals):
+            if d.name not in defined:
+                raise SystemError(
+                    f"variable {d.name!r} has no defining equation in {self.name}"
+                )
+        for d in self.inputs:
+            if d.name in defined:
+                raise SystemError(f"input {d.name!r} must not be defined")
+        for eq in self.equations:
+            if eq.var not in decls:
+                raise SystemError(f"equation defines undeclared {eq.var!r}")
+            decl = decls[eq.var]
+            if tuple(eq.domain.names) != tuple(decl.domain.names):
+                raise SystemError(
+                    f"equation for {eq.var!r} uses indices {eq.domain.names}, "
+                    f"declaration uses {decl.domain.names}"
+                )
+            for ref in (e for e in walk(eq.body) if isinstance(e, VarRef)):
+                if ref.name not in decls:
+                    raise SystemError(
+                        f"equation for {eq.var!r} reads undeclared {ref.name!r}"
+                    )
+                target = decls[ref.name]
+                if ref.access.dim_out != target.domain.dim:
+                    raise SystemError(
+                        f"access {ref} has arity {ref.access.dim_out}; "
+                        f"{ref.name!r} has dimension {target.domain.dim}"
+                    )
+
+    # -- analysis -------------------------------------------------------------
+
+    def variable_graph(self) -> nx.DiGraph:
+        """Directed graph: edge u -> v when v's equation reads u."""
+        g = nx.DiGraph()
+        for name in self.declarations:
+            g.add_node(name)
+        for eq in self.equations:
+            for used in free_vars(eq.body):
+                g.add_edge(used, eq.var)
+        return g
+
+    def topological_variables(self) -> list[str]:
+        """Variables in an evaluation order ignoring self-recurrences.
+
+        Self-loops (a variable reading itself at earlier points, the norm
+        for DP tables) are removed before sorting; cycles across *distinct*
+        variables are grouped conservatively by condensation order.
+        """
+        g = self.variable_graph()
+        g.remove_edges_from(nx.selfloop_edges(g))
+        cond = nx.condensation(g)
+        order: list[str] = []
+        for scc in nx.topological_sort(cond):
+            order.extend(sorted(cond.nodes[scc]["members"]))
+        return order
+
+    def dependences(self) -> list[Dependence]:
+        """Extract one :class:`Dependence` per variable read in each body.
+
+        The dependence domain spans the equation indices (restricted to the
+        branch domain for case-branches) extended with reduction indices;
+        the producer map is the read's access function and the consumer map
+        projects onto the equation indices.
+        """
+        out: list[Dependence] = []
+
+        from ..affine import var as _var
+
+        def visit(eq: Equation, expr: Expr, ctx_domain: Domain, counter: list[int]) -> None:
+            if isinstance(expr, VarRef):
+                z_names = ctx_domain.names
+                missing = set(expr.access.inputs) - set(z_names)
+                if missing:
+                    raise SystemError(
+                        f"access {expr} uses indices {sorted(missing)} not in "
+                        f"scope {z_names}"
+                    )
+                # the consumer instance is the full dependence-domain point:
+                # for reads inside a reduction body this includes the
+                # reduction indices, matching the accumulation-body schedule
+                consumer_map = AffineMap(
+                    inputs=z_names,
+                    exprs=tuple(_var(n) for n in z_names),
+                )
+                producer_map = AffineMap(
+                    inputs=z_names,
+                    exprs=tuple(expr.access.exprs),
+                )
+                counter[0] += 1
+                out.append(
+                    Dependence(
+                        name=f"{eq.var}#{counter[0]}<-{expr.name}",
+                        consumer=eq.var,
+                        producer=expr.name,
+                        domain=ctx_domain,
+                        consumer_map=consumer_map,
+                        producer_map=producer_map,
+                    )
+                )
+            elif isinstance(expr, Case):
+                for dom, branch in expr.branches:
+                    visit(eq, branch, ctx_domain.intersect(dom), counter)
+            elif isinstance(expr, Reduce):
+                visit(eq, expr.body, expr.domain, counter)
+            elif hasattr(expr, "left"):
+                visit(eq, expr.left, ctx_domain, counter)  # type: ignore[attr-defined]
+                visit(eq, expr.right, ctx_domain, counter)  # type: ignore[attr-defined]
+
+        for eq in self.equations:
+            visit(eq, eq.body, eq.domain, [0])
+        return out
+
+    def __str__(self) -> str:
+        lines = [f"affine {self.name} {{{', '.join(self.params)}}}"]
+        for label, decls in (
+            ("input", self.inputs),
+            ("output", self.outputs),
+            ("local", self.locals),
+        ):
+            if decls:
+                lines.append(label)
+                lines.extend(f"  {d};" for d in decls)
+        lines.append("let")
+        lines.extend(f"  {eq};" for eq in self.equations)
+        return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Shared emission helpers: affine expressions and FM bounds as Python text.
+
+Both code generators translate polyhedral objects into self-contained
+Python source (no runtime dependency on this package).  The helpers here
+turn :class:`~repro.polyhedral.affine.AffineExpr` into Python integer
+expressions and Fourier-Motzkin eliminated systems into ``for``-loop bound
+expressions (exact ceil/floor integer division on integerised
+constraints).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import lcm
+
+from ..affine import AffineExpr
+from ..domain import Constraint, Domain
+
+__all__ = ["py_affine", "loop_bounds", "guard_expr"]
+
+
+def _integerize(expr: AffineExpr) -> tuple[dict[str, int], int]:
+    """Scale an affine expr by the denominator lcm; return int coeffs/const."""
+    dens = [c.denominator for c in expr.coeffs.values()] + [expr.const.denominator]
+    scale = lcm(*dens) if dens else 1
+    coeffs = {n: int(c * scale) for n, c in expr.coeffs.items()}
+    return coeffs, int(expr.const * scale)
+
+
+def py_affine(expr: AffineExpr) -> str:
+    """Render an (integerised) affine expression as Python source."""
+    coeffs, const = _integerize(expr)
+    parts: list[str] = []
+    for name, c in coeffs.items():
+        if c == 1:
+            parts.append(f"+ {name}")
+        elif c == -1:
+            parts.append(f"- {name}")
+        elif c > 0:
+            parts.append(f"+ {c}*{name}")
+        else:
+            parts.append(f"- {-c}*{name}")
+    if const > 0 or not parts:
+        parts.append(f"+ {const}")
+    elif const < 0:
+        parts.append(f"- {-const}")
+    text = " ".join(parts).lstrip("+ ").strip()
+    return text if text else "0"
+
+
+def loop_bounds(
+    domain: Domain,
+    level: int,
+    systems: list[list[Constraint]],
+) -> tuple[str, str]:
+    """Python expressions for the inclusive [lo, hi] range of a loop level.
+
+    ``lo`` uses exact ceiling division, ``hi`` exact floor division, taking
+    max/min over all bounding constraints.  Raises if the level is
+    unbounded (the caller should have added box constraints).
+    """
+    name = domain.names[level]
+    lowers: list[str] = []
+    uppers: list[str] = []
+    for c in systems[level]:
+        a = c.expr.coeff(name)
+        if a == 0:
+            continue
+        rest = c.expr + AffineExpr(coeffs={name: -a})
+        # integerise 'a' and 'rest' by a common scale so the division is exact
+        dens = [x.denominator for x in rest.coeffs.values()] + [
+            rest.const.denominator,
+            a.denominator,
+        ]
+        scale = lcm(*dens)
+        ai = int(a * scale)
+        rest_txt = py_affine(rest * scale)
+        if c.kind == "eq":
+            # name == -rest/a : contributes to both bounds (+ divisibility
+            # handled by the final guard)
+            if ai > 0:
+                lowers.append(f"-((({rest_txt})) // ({ai}))" )
+                uppers.append(f"((-({rest_txt})) // ({ai}))")
+            else:
+                lowers.append(f"-((-({rest_txt})) // ({-ai}))")
+                uppers.append(f"((({rest_txt})) // ({-ai}))")
+        elif ai > 0:
+            # a*name + rest >= 0  ->  name >= ceil(-rest/a) = -(rest // a)
+            lowers.append(f"-((({rest_txt})) // ({ai}))")
+        else:
+            # name <= floor(rest/(-a))
+            uppers.append(f"((({rest_txt})) // ({-ai}))")
+    if not lowers or not uppers:
+        raise ValueError(
+            f"loop level {name!r} of domain {domain} is unbounded"
+        )
+    lo = lowers[0] if len(lowers) == 1 else "max(" + ", ".join(lowers) + ")"
+    hi = uppers[0] if len(uppers) == 1 else "min(" + ", ".join(uppers) + ")"
+    return lo, hi
+
+
+def guard_expr(constraints: tuple[Constraint, ...] | list[Constraint]) -> str:
+    """Python boolean expression testing every constraint exactly."""
+    tests: list[str] = []
+    for c in constraints:
+        txt = py_affine(c.expr)
+        tests.append(f"({txt}) {'==' if c.kind == 'eq' else '>='} 0")
+    return " and ".join(tests) if tests else "True"

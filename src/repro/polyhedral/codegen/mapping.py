@@ -1,0 +1,120 @@
+"""Target-mapping directives: the user-facing AlphaZ command surface.
+
+A :class:`TargetMapping` collects everything a compilation script (paper
+Algorithm 2) specifies before code generation:
+
+* ``setSpaceTimeMap`` — a schedule per variable; reduction variables get a
+  *body* schedule (over equation + reduction indices) and an *init*
+  schedule (when the accumulator is initialised);
+* ``setMemoryMap`` — an affine map from domain points to array indices;
+* ``setMemorySpace`` — several variables sharing one backing array;
+* ``setParallel`` — parallel time dimensions (stored on the Schedule);
+* ``setTiling`` — tile extents over a statement's time band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..affine import AffineMap
+from ..schedule import Schedule
+
+__all__ = ["TargetMapping", "MappingError"]
+
+
+class MappingError(ValueError):
+    """Raised for inconsistent mapping directives."""
+
+
+@dataclass
+class TargetMapping:
+    """Mapping directives for one Alpha system."""
+
+    system: str
+    space_time: dict[str, Schedule] = field(default_factory=dict)
+    init_time: dict[str, Schedule] = field(default_factory=dict)
+    memory_maps: dict[str, AffineMap] = field(default_factory=dict)
+    memory_spaces: dict[str, str] = field(default_factory=dict)
+    tiling: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    # -- the AlphaZ-flavoured command API ---------------------------------
+
+    def set_space_time_map(
+        self,
+        variable: str,
+        body: str | Schedule,
+        init: str | Schedule | None = None,
+        parallel_dims: Sequence[int] = (),
+    ) -> "TargetMapping":
+        """``setSpaceTimeMap(prog, system, var, body, init)``.
+
+        ``body`` schedules the (possibly reduction-extended) iteration
+        space; ``init`` schedules accumulator initialisation for reduction
+        variables (paper §III-C2).
+        """
+        if isinstance(body, str):
+            body = Schedule.parse(variable, body, parallel_dims)
+        elif parallel_dims:
+            body = Schedule(variable, body.mapping, frozenset(parallel_dims))
+        self.space_time[variable] = body
+        if init is not None:
+            if isinstance(init, str):
+                init = Schedule.parse(variable, init, parallel_dims)
+            if init.rank != body.rank:
+                raise MappingError(
+                    f"init schedule rank {init.rank} != body rank {body.rank} "
+                    f"for {variable!r}"
+                )
+            self.init_time[variable] = init
+        return self
+
+    def set_parallel(self, variable: str, dims: Sequence[int]) -> "TargetMapping":
+        """``setParallel``: mark time dimensions parallel."""
+        sched = self.space_time.get(variable)
+        if sched is None:
+            raise MappingError(f"setParallel before setSpaceTimeMap for {variable!r}")
+        self.space_time[variable] = Schedule(
+            variable, sched.mapping, frozenset(dims)
+        )
+        return self
+
+    def set_memory_map(self, variable: str, mapping: str | AffineMap) -> "TargetMapping":
+        """``setMemoryMap``: domain point -> storage index."""
+        if isinstance(mapping, str):
+            mapping = AffineMap.parse(mapping)
+        self.memory_maps[variable] = mapping
+        return self
+
+    def set_memory_space(self, space: str, *variables: str) -> "TargetMapping":
+        """``setMemorySpace``: make ``variables`` share one array."""
+        for v in variables:
+            self.memory_spaces[v] = space
+        return self
+
+    def set_tiling(self, variable: str, extents: Sequence[int]) -> "TargetMapping":
+        """Tile a statement's sequential time band (0 = untiled dim)."""
+        if any(e < 0 for e in extents):
+            raise MappingError(f"tile extents must be >= 0: {extents}")
+        self.tiling[variable] = tuple(int(e) for e in extents)
+        return self
+
+    # -- queries ------------------------------------------------------------
+
+    def schedule_rank(self) -> int:
+        ranks = {s.rank for s in self.space_time.values()}
+        if len(ranks) > 1:
+            raise MappingError(
+                f"all space-time maps must share one rank; got {sorted(ranks)}"
+            )
+        return ranks.pop() if ranks else 0
+
+    def space_of(self, variable: str) -> str:
+        """Backing-array name of a variable (itself unless shared)."""
+        return self.memory_spaces.get(variable, variable)
+
+    def validate(self, variables: Mapping[str, object]) -> None:
+        unknown = set(self.space_time) - set(variables)
+        if unknown:
+            raise MappingError(f"schedules for unknown variables {sorted(unknown)}")
+        self.schedule_rank()

@@ -1,0 +1,432 @@
+"""Schedule-driven code generation (``generateScheduleC`` analogue).
+
+Given a normalized mini-Alpha system plus a :class:`TargetMapping`
+(space-time maps, init schedules for reductions, memory maps/spaces,
+tiling), emit a self-contained Python module that executes every
+statement instance in **global lexicographic time order**:
+
+* each statement (equation body, reduction initialisation, reduction
+  accumulation) gets its own generated loop nest scanning the statement's
+  *scan domain* — time dimensions first, then iteration indices, with the
+  schedule equalities ``t_k == sched_k(z)`` resolved by Fourier-Motzkin
+  elimination into affine loop bounds;
+* a driver lazily merges the per-statement scans with ``heapq.merge`` and
+  dispatches bodies, which is exactly the semantics of executing the
+  fused nest AlphaZ would emit (ties between equal time vectors are
+  parallel instances and may run in any order);
+* memory is allocated per memory *space*; variables sharing a space
+  alias one array through their memory maps (``setMemorySpace``);
+* tiling directives insert tile-coordinate dimensions ahead of the tiled
+  time band, so tiles execute atomically in tile-lexicographic order.
+
+The generated module needs only ``numpy`` and ``heapq``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..affine import AffineExpr, AffineMap, var
+from ..alpha.ast import BinOp, Case, Const, Expr, IndexExpr, Reduce, VarRef
+from ..alpha.system import AlphaSystem, SystemError
+from ..domain import Constraint, Domain
+from .bounds import guard_expr, loop_bounds, py_affine
+from .mapping import MappingError, TargetMapping
+from .writec import _Emitter, _REDUCE_IDENT, _REDUCE_PYOP, _const_text
+
+__all__ = ["generate_schedule_code", "compile_schedule"]
+
+
+def _mem_index(mapping: AffineMap | None, names: tuple[str, ...]) -> str:
+    """Python index-tuple text for a read/write through a memory map."""
+    if mapping is None:
+        return ", ".join(names)
+    bindings = dict(zip(mapping.inputs, (var(n) for n in names)))
+    return ", ".join(py_affine(e.substitute(bindings)) for e in mapping.exprs)
+
+
+def _scan_domain(
+    base: Domain,
+    schedule_exprs: tuple[AffineExpr, ...],
+    tile_extents: tuple[int, ...] | None,
+) -> Domain:
+    """Domain over (tile dims +) time dims + iteration dims with equalities."""
+    tnames = tuple(f"_t{k}" for k in range(len(schedule_exprs)))
+    cons: list[Constraint] = [
+        Constraint(var(tn) - ex, "eq") for tn, ex in zip(tnames, schedule_exprs)
+    ]
+    time_names: tuple[str, ...] = tnames
+    if tile_extents:
+        if len(tile_extents) != len(schedule_exprs):
+            raise MappingError(
+                f"tile spec rank {len(tile_extents)} != schedule rank "
+                f"{len(schedule_exprs)}"
+            )
+        tiled = [k for k, ex in enumerate(tile_extents) if ex > 0]
+        ttnames = tuple(f"_tt{k}" for k in tiled)
+        # tile coordinates sit immediately before the tiled band so the
+        # outer (untiled) time dimensions keep their priority and tiles
+        # execute atomically within each outer time slice
+        first = tiled[0]
+        time_names = tnames[:first] + ttnames + tnames[first:]
+        for k in tiled:
+            extent = tile_extents[k]
+            tt = var(f"_tt{k}")
+            t = var(f"_t{k}")
+            cons.append(Constraint(t - tt * extent, "ge"))
+            cons.append(Constraint(tt * extent + (extent - 1) - t, "ge"))
+    return Domain(
+        names=time_names + tuple(base.names),
+        constraints=tuple(cons) + tuple(base.constraints),
+        params=base.params,
+    )
+
+
+class _SchedGen:
+    def __init__(self, system: AlphaSystem, mapping: TargetMapping) -> None:
+        system.validate()
+        mapping.validate(system.declarations)
+        self.system = system
+        self.mapping = mapping
+        self.e = _Emitter()
+        self.stmt_bodies: list[str] = []  # function names
+        self.rank = mapping.schedule_rank()
+        self.n_key = None  # length of merge key, set per tiling config
+
+    # -- expression bodies -------------------------------------------------
+
+    def _read(self, ref: VarRef) -> str:
+        args = ", ".join(py_affine(a) for a in ref.access.exprs)
+        return f"_rd_{ref.name}({args})"
+
+    def _gen_expr(self, expr: Expr) -> str:
+        e = self.e
+        if isinstance(expr, Const):
+            return _const_text(expr.value)
+        if isinstance(expr, IndexExpr):
+            return f"({py_affine(expr.expr)})"
+        if isinstance(expr, VarRef):
+            return self._read(expr)
+        if isinstance(expr, BinOp):
+            left = self._gen_expr(expr.left)
+            right = self._gen_expr(expr.right)
+            if expr.op in ("max", "min"):
+                return f"{expr.op}({left}, {right})"
+            return f"({left} {expr.op} {right})"
+        if isinstance(expr, Case):
+            tmp = e.fresh("case")
+            first = True
+            for dom, branch in expr.branches:
+                cond = guard_expr(dom.constraints)
+                e.emit(f"{'if' if first else 'elif'} {cond}:")
+                first = False
+                e.indent += 1
+                val = self._gen_expr(branch)
+                e.emit(f"{tmp} = {val}")
+                e.indent -= 1
+            e.emit("else:")
+            e.indent += 1
+            e.emit("raise ValueError('point outside every case branch')")
+            e.indent -= 1
+            return tmp
+        if isinstance(expr, Reduce):
+            raise SystemError(
+                "schedgen requires NormalizeReduction: found a Reduce that is "
+                "not the direct child of an equation"
+            )
+        raise TypeError(f"cannot generate code for {type(expr).__name__}")
+
+    # -- statements ---------------------------------------------------------
+
+    def _emit_scan(
+        self,
+        fn: str,
+        dom: Domain,
+        stmt_id: int,
+        key_len: int,
+        payload_names: tuple[str, ...],
+    ) -> None:
+        """Emit ``def fn():`` yielding (time_key, stmt_id, payload)."""
+        e = self.e
+        e.emit(f"def {fn}():")
+        e.indent += 1
+        systems = dom._eliminated_systems()
+        depth0 = e.indent
+        for level in range(dom.dim):
+            lo, hi = loop_bounds(dom, level, systems)
+            e.emit(f"for {dom.names[level]} in range({lo}, ({hi}) + 1):")
+            e.indent += 1
+        guard = guard_expr(dom.constraints)
+        if guard != "True":
+            e.emit(f"if not ({guard}):")
+            e.indent += 1
+            e.emit("continue")
+            e.indent -= 1
+        key = ", ".join(dom.names[:key_len])
+        payload = ", ".join(payload_names)
+        e.emit(f"yield (({key},), {stmt_id}, ({payload},))")
+        e.indent = depth0 - 1  # leave the def (scans are emitted at depth 1)
+        e.emit()
+
+    def _emit_body_fn(self, fn: str, names: tuple[str, ...], emit_inner) -> None:
+        e = self.e
+        e.emit(f"def {fn}({', '.join(names)}):")
+        e.indent += 1
+        emit_inner()
+        e.indent -= 1
+        e.emit()
+
+    # -- main ----------------------------------------------------------------
+
+    def generate(self, func_name: str) -> str:
+        system, mapping, e = self.system, self.mapping, self.e
+        e.emit('"""Auto-generated by repro.polyhedral.codegen.schedgen — do not edit."""')
+        e.emit("import heapq")
+        e.emit("import numpy as np")
+        e.emit()
+        e.emit(f"def {func_name}(params, inputs):")
+        e.indent += 1
+        for p in system.params:
+            e.emit(f"{p} = params['{p}']")
+        e.emit()
+
+        scheduled = [v for v in mapping.space_time if not system.is_input(v)]
+        decls = system.declarations
+
+        # tiling configuration must be uniform (paper: subsystem isolation)
+        tile_specs = {mapping.tiling.get(v) for v in scheduled}
+        if len(tile_specs) > 1:
+            raise MappingError(
+                "schedgen requires a uniform tiling over all scheduled "
+                "statements; isolate the tiled band in a subsystem "
+                "(paper Phase III)"
+            )
+        tiling = tile_specs.pop() if tile_specs else None
+        n_tile_dims = sum(1 for t in (tiling or ()) if t > 0)
+        key_len = n_tile_dims + self.rank
+
+        # ---- input readers
+        for decl in system.inputs:
+            e.emit(f"_src_{decl.name} = inputs['{decl.name}']")
+            args = ", ".join(decl.domain.names)
+            e.emit(f"def _rd_{decl.name}({args}):")
+            e.indent += 1
+            e.emit(f"if callable(_src_{decl.name}):")
+            e.indent += 1
+            e.emit(f"return float(_src_{decl.name}({args}))")
+            e.indent -= 1
+            e.emit(f"return float(_src_{decl.name}[{args}])")
+            e.indent -= 1
+            e.emit()
+
+        # ---- memory allocation per space (shape = max mapped index + 1)
+        spaces: dict[str, list[str]] = {}
+        for v in scheduled:
+            spaces.setdefault(mapping.space_of(v), []).append(v)
+        for space, members in spaces.items():
+            dims = {
+                (mapping.memory_maps[m].dim_out
+                 if m in mapping.memory_maps else decls[m].domain.dim)
+                for m in members
+            }
+            if len(dims) != 1:
+                raise MappingError(
+                    f"variables sharing space {space!r} map to different "
+                    f"storage ranks {sorted(dims)}"
+                )
+            rank = dims.pop()
+            e.emit(f"_shape_{space} = [0] * {rank}")
+            for m in members:
+                dom = decls[m].domain
+                mm = mapping.memory_maps.get(m)
+                idx = _mem_index(mm, dom.names)
+                systems = dom._eliminated_systems()
+                depth0 = e.indent
+                for level in range(dom.dim):
+                    lo, hi = loop_bounds(dom, level, systems)
+                    e.emit(
+                        f"for {dom.names[level]} in range({lo}, ({hi}) + 1):"
+                    )
+                    e.indent += 1
+                guard = guard_expr(dom.constraints)
+                if guard != "True":
+                    e.emit(f"if not ({guard}):")
+                    e.indent += 1
+                    e.emit("continue")
+                    e.indent -= 1
+                e.emit(f"for _d, _x in enumerate(({idx},)):")
+                e.indent += 1
+                e.emit(
+                    f"_shape_{space}[_d] = max(_shape_{space}[_d], _x + 1)"
+                )
+                e.indent -= 1
+                e.indent = depth0
+            e.emit(
+                f"_mem_{space} = np.full(tuple(_shape_{space}), np.nan, "
+                f"dtype=np.float64)"
+            )
+            e.emit()
+
+        # ---- computed-variable readers (through memory maps)
+        for v in scheduled:
+            dom = decls[v].domain
+            space = mapping.space_of(v)
+            idx = _mem_index(mapping.memory_maps.get(v), dom.names)
+            args = ", ".join(dom.names)
+            e.emit(f"def _rd_{v}({args}):")
+            e.indent += 1
+            e.emit(f"return _mem_{space}[{idx}]")
+            e.indent -= 1
+            e.emit()
+
+        # any variable read but not scheduled is an error
+        for eq in system.equations:
+            if eq.var not in mapping.space_time:
+                raise MappingError(
+                    f"no space-time map for computed variable {eq.var!r}"
+                )
+
+        # ---- statements: scans + bodies
+        stmt_id = 0
+        scan_fns: list[str] = []
+        for eq in system.equations:
+            v = eq.var
+            dom = decls[v].domain
+            sched = mapping.space_time[v]
+            space = mapping.space_of(v)
+            widx = _mem_index(mapping.memory_maps.get(v), dom.names)
+            body = eq.body
+            is_reduction = isinstance(body, Reduce)
+            if is_reduction:
+                red: Reduce = body
+                init_sched = mapping.init_time.get(v)
+                if init_sched is None:
+                    raise MappingError(
+                        f"reduction variable {v!r} needs an init schedule "
+                        "(the second mapping of setSpaceTimeMap)"
+                    )
+                # init statement over the equation domain
+                fn_body = f"_stmt{stmt_id}_body"
+                fn_scan = f"_stmt{stmt_id}_scan"
+
+                def emit_init(widx=widx, space=space, op=red.op):
+                    e.emit(f"_mem_{space}[{widx}] = {_REDUCE_IDENT[op]}")
+
+                self._emit_body_fn(fn_body, dom.names, emit_init)
+                init_dom = _scan_domain(dom, init_sched.mapping.exprs, tiling)
+                self._emit_scan(fn_scan, init_dom, stmt_id, key_len, dom.names)
+                scan_fns.append(fn_scan)
+                stmt_id += 1
+
+                # accumulation statement over the extended domain
+                if tuple(sched.mapping.inputs) != tuple(red.domain.names):
+                    raise MappingError(
+                        f"body schedule of {v!r} must be over the reduction "
+                        f"indices {red.domain.names}, got {sched.mapping.inputs}"
+                    )
+                fn_body = f"_stmt{stmt_id}_body"
+                fn_scan = f"_stmt{stmt_id}_scan"
+
+                def emit_acc(red=red, widx=widx, space=space):
+                    val = self._gen_expr(red.body)
+                    upd = _REDUCE_PYOP[red.op].format(
+                        a=f"_mem_{space}[{widx}]", b=val
+                    )
+                    e.emit(f"_mem_{space}[{widx}] = {upd}")
+
+                self._emit_body_fn(fn_body, red.domain.names, emit_acc)
+                acc_dom = _scan_domain(red.domain, sched.mapping.exprs, tiling)
+                self._emit_scan(
+                    fn_scan, acc_dom, stmt_id, key_len, red.domain.names
+                )
+                scan_fns.append(fn_scan)
+                stmt_id += 1
+            else:
+                if tuple(sched.mapping.inputs) != tuple(dom.names):
+                    raise MappingError(
+                        f"schedule of {v!r} must be over {dom.names}, "
+                        f"got {sched.mapping.inputs}"
+                    )
+                fn_body = f"_stmt{stmt_id}_body"
+                fn_scan = f"_stmt{stmt_id}_scan"
+
+                def emit_plain(body=body, widx=widx, space=space):
+                    val = self._gen_expr(body)
+                    e.emit(f"_mem_{space}[{widx}] = {val}")
+
+                self._emit_body_fn(fn_body, dom.names, emit_plain)
+                scan = _scan_domain(dom, sched.mapping.exprs, tiling)
+                self._emit_scan(fn_scan, scan, stmt_id, key_len, dom.names)
+                scan_fns.append(fn_scan)
+                stmt_id += 1
+
+        # ---- driver: lazy merge of per-statement scans in time order
+        e.emit(f"_bodies = [{', '.join(f'_stmt{k}_body' for k in range(stmt_id))}]")
+        e.emit(f"_scans = [{', '.join(f + '()' for f in scan_fns)}]")
+        e.emit("for _key, _sid, _pt in heapq.merge(*_scans):")
+        e.indent += 1
+        e.emit("_bodies[_sid](*_pt)")
+        e.indent -= 1
+        e.emit()
+
+        # ---- collect outputs
+        e.emit("_out = {}")
+        for decl in system.outputs:
+            v = decl.name
+            if v not in mapping.space_time:
+                raise MappingError(f"output {v!r} was never scheduled")
+            dom = decl.domain
+            space = mapping.space_of(v)
+            idx = _mem_index(mapping.memory_maps.get(v), dom.names)
+            e.emit(f"_pts = []")
+            systems = dom._eliminated_systems()
+            depth0 = e.indent
+            for level in range(dom.dim):
+                lo, hi = loop_bounds(dom, level, systems)
+                e.emit(f"for {dom.names[level]} in range({lo}, ({hi}) + 1):")
+                e.indent += 1
+            guard = guard_expr(dom.constraints)
+            if guard != "True":
+                e.emit(f"if not ({guard}):")
+                e.indent += 1
+                e.emit("continue")
+                e.indent -= 1
+            tup = ", ".join(dom.names)
+            e.emit(f"_pts.append((({tup},), _mem_{space}[{idx}]))")
+            e.indent = depth0
+            e.emit("if _pts:")
+            e.indent += 1
+            e.emit(
+                f"_shape = tuple(max(p[0][d] for p in _pts) + 1 "
+                f"for d in range({dom.dim}))"
+            )
+            e.emit("_arr = np.full(_shape, np.nan)")
+            e.emit("for _p, _v in _pts:")
+            e.indent += 1
+            e.emit("_arr[_p] = _v")
+            e.indent -= 1
+            e.emit(f"_out['{v}'] = _arr")
+            e.indent -= 1
+            e.emit("else:")
+            e.indent += 1
+            e.emit(f"_out['{v}'] = np.full((0,) * {dom.dim}, np.nan)")
+            e.indent -= 1
+        e.emit("return _out")
+        return e.source()
+
+
+def generate_schedule_code(
+    system: AlphaSystem, mapping: TargetMapping, func_name: str | None = None
+) -> str:
+    """Emit the scheduled Python module source for ``system``."""
+    return _SchedGen(system, mapping).generate(func_name or system.name)
+
+
+def compile_schedule(
+    system: AlphaSystem, mapping: TargetMapping, func_name: str | None = None
+):
+    """Generate, ``exec`` and return (function, source)."""
+    src = generate_schedule_code(system, mapping, func_name)
+    namespace: dict = {}
+    exec(compile(src, f"<schedgen:{system.name}>", "exec"), namespace)
+    return namespace[func_name or system.name], src

@@ -1,0 +1,303 @@
+"""Polyhedral domains: affine constraint systems over named indices.
+
+A :class:`Domain` is the set of integer points satisfying a conjunction of
+affine constraints, parameterised by symbolic sizes (e.g. ``N``, ``M``).
+It supports membership tests, exact Fourier-Motzkin projection, per-level
+bound computation and lexicographic enumeration — everything the mini
+code generator and the dependence checker need.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .affine import AffineExpr
+
+__all__ = ["Constraint", "Domain", "EmptyDomainError"]
+
+
+class EmptyDomainError(ValueError):
+    """Raised when an operation requires a non-empty domain."""
+
+
+_REL_RE = re.compile(r"(<=|>=|==|<|>|=)")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``expr >= 0`` (kind ``'ge'``) or ``expr == 0`` (kind ``'eq'``)."""
+
+    expr: AffineExpr
+    kind: str = "ge"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ge", "eq"):
+            raise ValueError(f"constraint kind must be 'ge' or 'eq', got {self.kind!r}")
+
+    @staticmethod
+    def parse(text: str) -> list["Constraint"]:
+        """Parse one (possibly chained) relational expression.
+
+        Supports ``a <= b <= c`` chains and all of ``<=, <, >=, >, ==, =``.
+        Returns one constraint per relation in the chain.
+        """
+        parts = _REL_RE.split(text)
+        if len(parts) < 3 or len(parts) % 2 == 0:
+            raise ValueError(f"cannot parse constraint {text!r}")
+        out: list[Constraint] = []
+        for i in range(0, len(parts) - 2, 2):
+            lhs = AffineExpr.parse(parts[i])
+            op = parts[i + 1]
+            rhs = AffineExpr.parse(parts[i + 2])
+            if op == "<=":
+                out.append(Constraint(rhs - lhs, "ge"))
+            elif op == "<":
+                out.append(Constraint(rhs - lhs - 1, "ge"))
+            elif op == ">=":
+                out.append(Constraint(lhs - rhs, "ge"))
+            elif op == ">":
+                out.append(Constraint(lhs - rhs - 1, "ge"))
+            elif op in ("==", "="):
+                out.append(Constraint(lhs - rhs, "eq"))
+        return out
+
+    def holds(self, env: Mapping[str, int | Fraction]) -> bool:
+        v = self.expr.evaluate(env)
+        return v == 0 if self.kind == "eq" else v >= 0
+
+    def substitute(self, bindings: Mapping[str, AffineExpr | int]) -> "Constraint":
+        return Constraint(self.expr.substitute(bindings), self.kind)
+
+    def __str__(self) -> str:
+        return f"{self.expr} {'==' if self.kind == 'eq' else '>='} 0"
+
+
+def _eliminate(constraints: list[Constraint], name: str) -> list[Constraint]:
+    """Fourier-Motzkin elimination of ``name`` (rational relaxation).
+
+    Equalities involving ``name`` are used for exact substitution first.
+    """
+    # exact substitution through an equality if one mentions the variable
+    for idx, c in enumerate(constraints):
+        if c.kind == "eq" and c.expr.coeff(name) != 0:
+            a = c.expr.coeff(name)
+            # name == -(expr - a*name)/a
+            rest = c.expr + AffineExpr(coeffs={name: -a})
+            repl = rest * Fraction(-1, 1) * (Fraction(1) / a)
+            others = constraints[:idx] + constraints[idx + 1 :]
+            return [o.substitute({name: repl}) for o in others]
+
+    lowers: list[tuple[AffineExpr, Fraction]] = []  # a*name + e >= 0, a > 0
+    uppers: list[tuple[AffineExpr, Fraction]] = []  # a < 0 (stored as -a)
+    free: list[Constraint] = []
+    for c in constraints:
+        a = c.expr.coeff(name)
+        if a == 0:
+            free.append(c)
+            continue
+        rest = c.expr + AffineExpr(coeffs={name: -a})
+        if a > 0:
+            lowers.append((rest, a))
+        else:
+            uppers.append((rest, -a))
+    for lo_rest, lo_a in lowers:
+        for up_rest, up_b in uppers:
+            # name >= -lo_rest/lo_a and name <= up_rest/up_b
+            combined = lo_rest * up_b + up_rest * lo_a
+            free.append(Constraint(combined, "ge"))
+    return free
+
+
+@dataclass(frozen=True)
+class Domain:
+    """Integer points of an affine constraint system.
+
+    Parameters
+    ----------
+    names: ordered index names (the enumeration/lexicographic order).
+    constraints: conjunction of affine constraints over indices + params.
+    params: symbolic parameter names appearing in the constraints.
+    """
+
+    names: tuple[str, ...]
+    constraints: tuple[Constraint, ...]
+    params: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "names", tuple(self.names))
+        object.__setattr__(self, "params", tuple(self.params))
+        object.__setattr__(self, "constraints", tuple(self.constraints))
+        known = set(self.names) | set(self.params)
+        for c in self.constraints:
+            unknown = c.expr.names - known
+            if unknown:
+                raise ValueError(
+                    f"constraint {c} mentions unknown names {sorted(unknown)}"
+                )
+
+    # -- construction ----------------------------------------------------
+
+    @staticmethod
+    def parse(text: str, params: Sequence[str] = ()) -> "Domain":
+        """Parse ``"{i,j | 0<=i<N && i<=j}"`` (ISL-flavoured) syntax."""
+        s = text.strip()
+        if s.startswith("{") and s.endswith("}"):
+            s = s[1:-1]
+        if "|" in s:
+            head, body = s.split("|", 1)
+        else:
+            head, body = s, ""
+        names = tuple(t.strip() for t in head.split(",") if t.strip())
+        constraints: list[Constraint] = []
+        if body.strip():
+            for clause in re.split(r"&&|\band\b", body):
+                clause = clause.strip()
+                if clause:
+                    constraints.extend(Constraint.parse(clause))
+        return Domain(names=names, constraints=tuple(constraints), params=tuple(params))
+
+    def with_constraints(self, extra: Iterable[Constraint]) -> "Domain":
+        return Domain(self.names, self.constraints + tuple(extra), self.params)
+
+    def intersect(self, other: "Domain") -> "Domain":
+        """Conjunction of constraints.
+
+        ``other`` may be over a subset of this domain's indices (e.g. a
+        case-branch guard on two of four indices); its constraints are
+        then interpreted in this domain's index space.
+        """
+        if not set(other.names) <= set(self.names):
+            raise ValueError(
+                f"cannot intersect: {other.names} is not a subset of {self.names}"
+            )
+        params = tuple(dict.fromkeys(self.params + other.params))
+        return Domain(self.names, self.constraints + other.constraints, params)
+
+    @property
+    def dim(self) -> int:
+        return len(self.names)
+
+    # -- queries ----------------------------------------------------------
+
+    def contains(self, point: Sequence[int], params: Mapping[str, int]) -> bool:
+        """Is the integer ``point`` (ordered as ``self.names``) in the set?"""
+        if len(point) != self.dim:
+            raise ValueError(f"point arity {len(point)} != domain dim {self.dim}")
+        env = {**params, **dict(zip(self.names, point))}
+        return all(c.holds(env) for c in self.constraints)
+
+    def _eliminated_systems(self) -> list[list[Constraint]]:
+        """systems[t] = constraints with names[t+1:] eliminated (FM)."""
+        systems: list[list[Constraint]] = [list(self.constraints)]
+        current = list(self.constraints)
+        for name in reversed(self.names[1:]):
+            current = _eliminate(current, name)
+            systems.append(current)
+        systems.reverse()  # systems[t] constrains names[:t+1]
+        return systems
+
+    def level_bounds(
+        self,
+        level: int,
+        env: Mapping[str, int | Fraction],
+        systems: list[list[Constraint]] | None = None,
+    ) -> tuple[int, int] | None:
+        """Integer [lo, hi] range of ``names[level]`` given outer bindings.
+
+        ``env`` must bind parameters and ``names[:level]``.  Returns None
+        when the rational relaxation is empty at this level.
+        """
+        if systems is None:
+            systems = self._eliminated_systems()
+        name = self.names[level]
+        lo: Fraction | None = None
+        hi: Fraction | None = None
+        for c in systems[level]:
+            a = c.expr.coeff(name)
+            rest = (c.expr + AffineExpr(coeffs={name: -a})).evaluate(env)
+            if c.kind == "eq":
+                if a == 0:
+                    if rest != 0:
+                        return None
+                    continue
+                v = -rest / a
+                lo = v if lo is None or v > lo else lo
+                hi = v if hi is None or v < hi else hi
+            elif a > 0:
+                v = -rest / a
+                lo = v if lo is None or v > lo else lo
+            elif a < 0:
+                v = rest / (-a)
+                hi = v if hi is None or v < hi else hi
+            else:
+                if rest < 0:
+                    return None
+        if lo is None or hi is None:
+            raise EmptyDomainError(
+                f"index {name!r} is unbounded in domain {self}"
+            )
+        ilo, ihi = math.ceil(lo), math.floor(hi)
+        return (ilo, ihi) if ilo <= ihi else None
+
+    def points(self, params: Mapping[str, int]) -> Iterator[tuple[int, ...]]:
+        """Lexicographic enumeration of all integer points."""
+        systems = self._eliminated_systems()
+        env: dict[str, int | Fraction] = dict(params)
+
+        def scan(level: int, prefix: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+            if level == self.dim:
+                if all(c.holds(env) for c in self.constraints):
+                    yield prefix
+                return
+            rng = self.level_bounds(level, env, systems)
+            if rng is None:
+                return
+            name = self.names[level]
+            for v in range(rng[0], rng[1] + 1):
+                env[name] = v
+                yield from scan(level + 1, prefix + (v,))
+            env.pop(name, None)
+
+        yield from scan(0, ())
+
+    def count(self, params: Mapping[str, int]) -> int:
+        """Number of integer points (by enumeration)."""
+        return sum(1 for _ in self.points(params))
+
+    def is_empty(self, params: Mapping[str, int]) -> bool:
+        return next(iter(self.points(params)), None) is None
+
+    def bounding_box(
+        self, params: Mapping[str, int]
+    ) -> list[tuple[int, int]]:
+        """Per-index [lo, hi] ranges of the rational relaxation."""
+        box: list[tuple[int, int]] = []
+        for i, name in enumerate(self.names):
+            others = [n for n in self.names if n != name]
+            cons = list(self.constraints)
+            for other in others:
+                cons = _eliminate(cons, other)
+            dummy = Domain((name,), tuple(cons), self.params)
+            rng = dummy.level_bounds(0, dict(params), [cons])
+            if rng is None:
+                raise EmptyDomainError(f"domain empty under {params}")
+            box.append(rng)
+        return box
+
+    def project_out(self, name: str) -> "Domain":
+        """Existential projection (rational FM relaxation)."""
+        if name not in self.names:
+            raise KeyError(name)
+        return Domain(
+            tuple(n for n in self.names if n != name),
+            tuple(_eliminate(list(self.constraints), name)),
+            self.params,
+        )
+
+    def __str__(self) -> str:
+        body = " && ".join(str(c) for c in self.constraints)
+        return f"{{{', '.join(self.names)} | {body}}}"

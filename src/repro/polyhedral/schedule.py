@@ -1,0 +1,109 @@
+"""Multi-dimensional affine schedules (space-time maps).
+
+A schedule assigns each iteration point of a statement a *time vector*;
+execution order is the lexicographic order of time vectors.  This module
+provides the :class:`Schedule` wrapper used to encode the paper's
+Tables I-V, lexicographic comparison, and validity checking against a set
+of dependences (see :mod:`repro.polyhedral.dependence`).
+
+Following AlphaZ's ``setSpaceTimeMap`` convention, one or more dimensions
+of the time vector may be declared *parallel*: points differing only in
+parallel dimensions may run concurrently, so a dependence must be strictly
+satisfied (producer lexicographically earlier) when restricted to the
+**sequential** dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from .affine import AffineMap
+
+__all__ = ["Schedule", "lex_less", "lex_compare"]
+
+
+def lex_compare(a: Sequence[Fraction], b: Sequence[Fraction]) -> int:
+    """-1 / 0 / +1 lexicographic comparison of equal-length vectors."""
+    if len(a) != len(b):
+        raise ValueError(f"cannot compare time vectors of ranks {len(a)}, {len(b)}")
+    for x, y in zip(a, b):
+        if x < y:
+            return -1
+        if x > y:
+            return 1
+    return 0
+
+
+def lex_less(a: Sequence[Fraction], b: Sequence[Fraction]) -> bool:
+    """True when ``a`` precedes ``b`` lexicographically."""
+    return lex_compare(a, b) < 0
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A space-time map for one statement/variable.
+
+    Parameters
+    ----------
+    statement: name of the variable / statement being scheduled.
+    mapping: affine map from the statement's indices to the time vector.
+    parallel_dims: indices (0-based) of time dimensions executed in
+        parallel (AlphaZ ``setParallel``).
+    """
+
+    statement: str
+    mapping: AffineMap
+    parallel_dims: frozenset[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parallel_dims", frozenset(self.parallel_dims))
+        for d in self.parallel_dims:
+            if not 0 <= d < self.mapping.dim_out:
+                raise ValueError(
+                    f"parallel dim {d} out of range for rank-{self.mapping.dim_out} schedule"
+                )
+
+    @staticmethod
+    def parse(
+        statement: str, text: str, parallel_dims: Sequence[int] = ()
+    ) -> "Schedule":
+        """Build from the paper's mapping notation."""
+        return Schedule(statement, AffineMap.parse(text), frozenset(parallel_dims))
+
+    @property
+    def rank(self) -> int:
+        return self.mapping.dim_out
+
+    def bind(self, params: "Mapping[str, int]") -> "Schedule":
+        """Substitute parameter values into the time expressions.
+
+        Schedules may reference size parameters (e.g. Table IV uses the
+        constant ``M`` as a separator dimension); bind them before
+        evaluating time vectors on concrete points.
+        """
+        from .affine import AffineExpr
+
+        exprs = tuple(
+            e.substitute({k: AffineExpr.constant(v) for k, v in params.items()})
+            for e in self.mapping.exprs
+        )
+        return Schedule(
+            self.statement,
+            AffineMap(inputs=self.mapping.inputs, exprs=exprs),
+            self.parallel_dims,
+        )
+
+    def time(self, point: Sequence[int]) -> tuple[Fraction, ...]:
+        """Full time vector of an iteration point."""
+        return self.mapping(*point)
+
+    def sequential_time(self, point: Sequence[int]) -> tuple[Fraction, ...]:
+        """Time vector restricted to the sequential dimensions."""
+        t = self.mapping(*point)
+        return tuple(v for i, v in enumerate(t) if i not in self.parallel_dims)
+
+    def __str__(self) -> str:
+        par = f" parallel={sorted(self.parallel_dims)}" if self.parallel_dims else ""
+        return f"{self.statement}: {self.mapping}{par}"

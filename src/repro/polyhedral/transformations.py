@@ -1,0 +1,297 @@
+"""Polyhedral program transformations beyond scheduling.
+
+AlphaZ's transformation catalogue includes, besides the mapping
+directives, re-indexing transformations.  This module implements the
+ones the paper's workflow touches:
+
+* :func:`change_of_basis` — AlphaZ's ``changeOfBasis``: re-index one
+  variable through an invertible affine map (the tool of choice for
+  skewing a variable's memory/iteration space; the paper's memory-map
+  option 2 ``(i2, j2) -> (i2, j2 - i2)`` is exactly such a basis change);
+* :func:`permute_schedule` / :func:`skew_schedule` — derived-schedule
+  helpers for exploring the alternatives §IV-A enumerates ("there are
+  many ways to formulate the next dimension ... other choices can be
+  viewed as loop permutations");
+* :func:`to_alphabets` — pretty-print a system back to the concrete
+  ``alphabets`` syntax (round-trips through the parser).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .affine import AffineExpr, AffineMap, var
+from .alpha.ast import BinOp, Case, Const, Equation, Expr, IndexExpr, Reduce, VarRef
+from .alpha.system import AlphaSystem, SystemError, VarDecl
+from .domain import Constraint, Domain
+from .schedule import Schedule
+
+__all__ = [
+    "change_of_basis",
+    "permute_schedule",
+    "skew_schedule",
+    "to_alphabets",
+]
+
+
+def _is_identity(m: AffineMap, names: tuple[str, ...]) -> bool:
+    if m.dim_out != len(names):
+        return False
+    return all(e == var(n) for e, n in zip(m.exprs, names))
+
+
+def _subst_domain(
+    dom: Domain, new_names: tuple[str, ...], bindings: dict[str, AffineExpr]
+) -> Domain:
+    constraints = tuple(
+        Constraint(c.expr.substitute(bindings), c.kind) for c in dom.constraints
+    )
+    # partial-scope guards (e.g. a case branch over two of four indices)
+    # may now reference substituted names outside new_names: widen
+    referenced: set[str] = set()
+    for c in constraints:
+        referenced |= c.expr.names
+    missing = tuple(
+        n for n in sorted(referenced - set(new_names) - set(dom.params))
+    )
+    return Domain(
+        names=tuple(new_names) + missing,
+        constraints=constraints,
+        params=dom.params,
+    )
+
+
+def _rewrite_expr(
+    expr: Expr,
+    target: str,
+    forward: AffineMap,
+    bindings: dict[str, AffineExpr],
+    scope_map: dict[tuple[str, ...], tuple[str, ...]],
+) -> Expr:
+    """Rewrite an expression of the re-indexed variable's equation.
+
+    ``bindings`` substitutes the old indices by inverse expressions over
+    the new ones; accesses *to* the target variable additionally compose
+    with the forward map.
+    """
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, IndexExpr):
+        return IndexExpr(expr.expr.substitute(bindings))
+    if isinstance(expr, VarRef):
+        new_inputs = scope_map.get(tuple(expr.access.inputs), tuple(expr.access.inputs))
+        exprs = tuple(e.substitute(bindings) for e in expr.access.exprs)
+        if expr.name == target:
+            fw_bind = dict(zip(forward.inputs, exprs))
+            exprs = tuple(e.substitute(fw_bind) for e in forward.exprs)
+        return VarRef(expr.name, AffineMap(inputs=new_inputs, exprs=exprs))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _rewrite_expr(expr.left, target, forward, bindings, scope_map),
+            _rewrite_expr(expr.right, target, forward, bindings, scope_map),
+        )
+    if isinstance(expr, Case):
+        return Case(
+            tuple(
+                (
+                    _subst_domain(
+                        d, scope_map.get(tuple(d.names), tuple(d.names)), bindings
+                    ),
+                    _rewrite_expr(e, target, forward, bindings, scope_map),
+                )
+                for d, e in expr.branches
+            )
+        )
+    if isinstance(expr, Reduce):
+        old_names = tuple(expr.domain.names)
+        new_names = scope_map.get(old_names, old_names)
+        return Reduce(
+            op=expr.op,
+            extra=expr.extra,
+            domain=_subst_domain(expr.domain, new_names, bindings),
+            body=_rewrite_expr(expr.body, target, forward, bindings, scope_map),
+        )
+    raise TypeError(f"cannot rewrite {type(expr).__name__}")
+
+
+def change_of_basis(
+    system: AlphaSystem,
+    variable: str,
+    new_names: tuple[str, ...],
+    forward: AffineMap,
+    inverse: AffineMap,
+) -> AlphaSystem:
+    """Re-index ``variable`` through an invertible affine map.
+
+    Parameters
+    ----------
+    new_names: the re-indexed variable's index names.
+    forward: old indices -> new coordinates (inputs are the old names).
+    inverse: new indices -> old coordinates (inputs are ``new_names``).
+
+    Both directions are verified symbolically to compose to the
+    identity, as AlphaZ requires the map to be invertible.  The
+    variable's domain and defining equation move to the new coordinates;
+    every *read* of the variable composes its access with ``forward``.
+    Semantics are preserved (outputs of the system are unchanged unless
+    the re-indexed variable is itself an output, whose coordinates then
+    change as requested).
+    """
+    decl = system.declaration(variable)
+    old_names = tuple(decl.domain.names)
+    if tuple(forward.inputs) != old_names:
+        raise SystemError(
+            f"forward map inputs {forward.inputs} must be {old_names}"
+        )
+    if tuple(inverse.inputs) != tuple(new_names):
+        raise SystemError(
+            f"inverse map inputs {inverse.inputs} must be {new_names}"
+        )
+    if not _is_identity(inverse.compose(forward), old_names):
+        raise SystemError("inverse(forward(x)) != x: map is not invertible")
+    if not _is_identity(forward.compose(inverse), tuple(new_names)):
+        raise SystemError("forward(inverse(y)) != y: map is not invertible")
+
+    bindings = dict(zip(old_names, inverse.exprs))
+    identity_bindings: dict[str, AffineExpr] = {}
+    new_domain = _subst_domain(decl.domain, tuple(new_names), bindings)
+
+    out = AlphaSystem(
+        name=system.name,
+        params=system.params,
+        subsystems=dict(system.subsystems),
+    )
+    for kind in ("inputs", "outputs", "locals"):
+        for d in getattr(system, kind):
+            getattr(out, kind).append(
+                VarDecl(d.name, new_domain if d.name == variable else d.domain, d.dtype)
+            )
+
+    for eq in system.equations:
+        if eq.var == variable:
+            scope_map = {old_names: tuple(new_names)}
+            # reduction scopes extend the equation scope
+            for e in _walk_reduce_scopes(eq.body):
+                if tuple(e[: len(old_names)]) == old_names:
+                    scope_map[e] = tuple(new_names) + tuple(e[len(old_names) :])
+            body = _rewrite_expr(eq.body, variable, forward, bindings, scope_map)
+            out.equations.append(Equation(variable, new_domain, body))
+        else:
+            body = _rewrite_expr(eq.body, variable, forward, identity_bindings, {})
+            out.equations.append(replace(eq, body=body))
+    out.validate()
+    return out
+
+
+def _walk_reduce_scopes(expr: Expr):
+    if isinstance(expr, Reduce):
+        yield tuple(expr.domain.names)
+        yield from _walk_reduce_scopes(expr.body)
+    elif isinstance(expr, BinOp):
+        yield from _walk_reduce_scopes(expr.left)
+        yield from _walk_reduce_scopes(expr.right)
+    elif isinstance(expr, Case):
+        for _, e in expr.branches:
+            yield from _walk_reduce_scopes(e)
+
+
+def permute_schedule(schedule: Schedule, perm: tuple[int, ...]) -> Schedule:
+    """Permute the time dimensions of a schedule (loop interchange)."""
+    if sorted(perm) != list(range(schedule.rank)):
+        raise ValueError(
+            f"perm must be a permutation of 0..{schedule.rank - 1}, got {perm}"
+        )
+    exprs = tuple(schedule.mapping.exprs[p] for p in perm)
+    parallel = frozenset(perm.index(d) for d in schedule.parallel_dims)
+    return Schedule(
+        schedule.statement,
+        AffineMap(inputs=schedule.mapping.inputs, exprs=exprs),
+        parallel,
+    )
+
+
+def skew_schedule(schedule: Schedule, dim: int, source: int, factor: int = 1) -> Schedule:
+    """Skew one time dimension by a multiple of another:
+    ``t[dim] += factor * t[source]`` (always legality-preserving)."""
+    if not 0 <= dim < schedule.rank or not 0 <= source < schedule.rank:
+        raise ValueError(f"dims out of range for rank {schedule.rank}")
+    if dim == source:
+        raise ValueError("cannot skew a dimension by itself")
+    exprs = list(schedule.mapping.exprs)
+    exprs[dim] = exprs[dim] + exprs[source] * factor
+    return Schedule(
+        schedule.statement,
+        AffineMap(inputs=schedule.mapping.inputs, exprs=tuple(exprs)),
+        schedule.parallel_dims,
+    )
+
+
+# ---------------------------------------------------------------------------
+# pretty-printing back to alphabets syntax
+# ---------------------------------------------------------------------------
+
+def _expr_text(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        v = float(expr.value)
+        if v != v or v in (float("inf"), float("-inf")):
+            raise ValueError(
+                "non-finite constants are not expressible in alphabets "
+                "syntax; restructure the case branches instead"
+            )
+        if v == int(v) and abs(v) < 1e15:
+            iv = int(v)
+            return str(iv) if iv >= 0 else f"(0 - {-iv})"
+        return repr(v)
+    if isinstance(expr, IndexExpr):
+        return f"({expr.expr})"
+    if isinstance(expr, VarRef):
+        args = ", ".join(str(e) for e in expr.access.exprs)
+        return f"{expr.name}[{args}]"
+    if isinstance(expr, BinOp):
+        if expr.op in ("max", "min"):
+            return f"{expr.op}({_expr_text(expr.left)}, {_expr_text(expr.right)})"
+        return f"({_expr_text(expr.left)} {expr.op} {_expr_text(expr.right)})"
+    if isinstance(expr, Reduce):
+        dom = _domain_text(expr.domain)
+        return (
+            f"reduce({expr.op}, [{', '.join(expr.extra)}] in {dom}, "
+            f"{_expr_text(expr.body)})"
+        )
+    if isinstance(expr, Case):
+        branches = " ".join(
+            f"{_domain_text(d)} : {_expr_text(e)};" for d, e in expr.branches
+        )
+        return f"case {{ {branches} }}"
+    raise TypeError(f"cannot print {type(expr).__name__}")
+
+
+def _domain_text(dom: Domain) -> str:
+    body = " && ".join(
+        f"{c.expr} {'==' if c.kind == 'eq' else '>='} 0" for c in dom.constraints
+    )
+    return f"{{{', '.join(dom.names)} | {body}}}" if body else f"{{{', '.join(dom.names)}}}"
+
+
+def to_alphabets(system: AlphaSystem) -> str:
+    """Render a system in concrete ``alphabets`` syntax.
+
+    The output parses back through :func:`repro.polyhedral.alpha.parser
+    .parse_system` to an equivalent system (round-trip tested).
+    """
+    lines = [f"affine {system.name} {{{', '.join(system.params)}}}"]
+    for label, decls in (
+        ("input", system.inputs),
+        ("output", system.outputs),
+        ("local", system.locals),
+    ):
+        if decls:
+            lines.append(label)
+            for d in decls:
+                lines.append(f"  {d.dtype} {d.name} {_domain_text(d.domain)};")
+    lines.append("let")
+    for eq in system.equations:
+        lines.append(
+            f"  {eq.var}[{', '.join(eq.domain.names)}] = {_expr_text(eq.body)};"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,39 @@
+"""RNA substrate: alphabet, scoring, sequences and single-strand folding."""
+
+from .datasets import DEMO_PAIRS, demo_pair, list_demo_pairs
+from .alphabet import (
+    CANONICAL_PAIRS,
+    InvalidSequenceError,
+    can_pair,
+    decode,
+    encode,
+    normalize,
+    pair_strength,
+)
+from .nussinov import nussinov, nussinov_reference, nussinov_traceback, pairs_to_dotbracket
+from .scoring import DEFAULT_MODEL, ScoringModel
+from .sequence import RnaSequence, random_pair, random_sequence, read_fasta, write_fasta
+
+__all__ = [
+    "DEMO_PAIRS",
+    "demo_pair",
+    "list_demo_pairs",
+    "CANONICAL_PAIRS",
+    "InvalidSequenceError",
+    "can_pair",
+    "decode",
+    "encode",
+    "normalize",
+    "pair_strength",
+    "nussinov",
+    "nussinov_reference",
+    "nussinov_traceback",
+    "pairs_to_dotbracket",
+    "DEFAULT_MODEL",
+    "ScoringModel",
+    "RnaSequence",
+    "random_pair",
+    "random_sequence",
+    "read_fasta",
+    "write_fasta",
+]

@@ -1,0 +1,70 @@
+"""RNA nucleotide alphabet: validation, encoding and complement rules.
+
+The BPMax base-pair counting model recognises the canonical Watson-Crick
+pairs A-U and G-C plus the wobble pair G-U.  Sequences are stored internally
+as small-integer codes so that scoring tables can be precomputed as dense
+NumPy lookup matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Canonical nucleotide ordering used for integer encoding.
+NUCLEOTIDES: str = "ACGU"
+
+#: Map from nucleotide character to its integer code.
+NUC_TO_CODE: dict[str, int] = {c: i for i, c in enumerate(NUCLEOTIDES)}
+
+#: Map from integer code back to the nucleotide character.
+CODE_TO_NUC: dict[int, str] = {i: c for i, c in enumerate(NUCLEOTIDES)}
+
+#: The set of unordered pairs that can form a bond, with their
+#: hydrogen-bond counts (the default weights of the base-pair counting
+#: model: G-C forms 3 hydrogen bonds, A-U forms 2, G-U wobble counts 1).
+CANONICAL_PAIRS: dict[frozenset[str], int] = {
+    frozenset("GC"): 3,
+    frozenset("AU"): 2,
+    frozenset("GU"): 1,
+}
+
+
+class InvalidSequenceError(ValueError):
+    """Raised when a string contains characters outside the RNA alphabet."""
+
+
+def normalize(seq: str) -> str:
+    """Return ``seq`` upper-cased with DNA thymine mapped to uracil.
+
+    Raises :class:`InvalidSequenceError` for any other non-ACGU character.
+    """
+    s = seq.strip().upper().replace("T", "U")
+    bad = set(s) - set(NUCLEOTIDES)
+    if bad:
+        raise InvalidSequenceError(
+            f"invalid nucleotide(s) {sorted(bad)!r} in sequence {seq[:30]!r}"
+        )
+    return s
+
+
+def encode(seq: str) -> np.ndarray:
+    """Encode a (already valid) RNA string as an ``int8`` code array."""
+    s = normalize(seq)
+    return np.frombuffer(
+        bytes(NUC_TO_CODE[c] for c in s), dtype=np.int8
+    ).copy()
+
+
+def decode(codes: np.ndarray) -> str:
+    """Inverse of :func:`encode`."""
+    return "".join(CODE_TO_NUC[int(c)] for c in codes)
+
+
+def can_pair(a: str, b: str) -> bool:
+    """True when nucleotides ``a`` and ``b`` can form a canonical/wobble pair."""
+    return frozenset((a.upper(), b.upper())) in CANONICAL_PAIRS
+
+
+def pair_strength(a: str, b: str) -> int:
+    """Hydrogen-bond count of the pair ``a``-``b`` (0 when they cannot pair)."""
+    return CANONICAL_PAIRS.get(frozenset((a.upper(), b.upper())), 0)

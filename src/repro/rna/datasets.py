@@ -1,0 +1,69 @@
+"""Bundled demonstration sequences.
+
+Small RNA / target fragments for examples and tests.  These are
+*illustrative fragments patterned after well-studied bacterial
+sRNA-target systems* (antisense regulators such as CopA/CopT and
+DsrA/rpoS motivate RRI tools) — they are constructed for demonstration,
+**not** curated database entries; use your own FASTA files for real
+analyses (``python -m repro run pair.fasta --fasta``).
+
+Each entry pairs a short, largely unstructured regulator fragment with a
+target fragment containing a complementary site, so the examples and the
+windowed scanner have realistic shapes to work with.
+"""
+
+from __future__ import annotations
+
+from .sequence import RnaSequence
+
+__all__ = ["DEMO_PAIRS", "demo_pair", "list_demo_pairs"]
+
+
+def _rc(seq: str) -> str:
+    comp = {"A": "U", "U": "A", "G": "C", "C": "G"}
+    return "".join(comp[c] for c in reversed(seq))
+
+
+_COPA_SEED = "CCUUUCCUUCU"  # antisense-style seed, pyrimidine-rich
+_DSRA_SEED = "CUUCCUCCAUC"
+_OXYS_SEED = "CCUCCAUCCCU"
+
+#: name -> (short regulator fragment, target fragment with planted site)
+DEMO_PAIRS: dict[str, tuple[RnaSequence, RnaSequence]] = {
+    "copA-copT": (
+        RnaSequence(_COPA_SEED, name="copA-like seed"),
+        RnaSequence(
+            "GGAAUUCGAA" + _rc(_COPA_SEED) + "AGCAUCCGGU",
+            name="copT-like site",
+        ),
+    ),
+    "dsrA-rpoS": (
+        RnaSequence(_DSRA_SEED, name="dsrA-like seed"),
+        RnaSequence(
+            "AAUGGCAGUA" + _rc(_DSRA_SEED) + "UCCAGGAAUC",
+            name="rpoS-like leader",
+        ),
+    ),
+    "oxyS-fhlA": (
+        RnaSequence(_OXYS_SEED, name="oxyS-like seed"),
+        RnaSequence(
+            "GCCAGAGUUA" + _rc(_OXYS_SEED) + "CAAGGUUGCA",
+            name="fhlA-like site",
+        ),
+    ),
+}
+
+
+def list_demo_pairs() -> list[str]:
+    """Names of the bundled demonstration pairs."""
+    return sorted(DEMO_PAIRS)
+
+
+def demo_pair(name: str) -> tuple[RnaSequence, RnaSequence]:
+    """Look up one demonstration pair by name."""
+    try:
+        return DEMO_PAIRS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown demo pair {name!r}; available: {list_demo_pairs()}"
+        ) from None

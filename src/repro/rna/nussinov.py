@@ -1,0 +1,154 @@
+"""Weighted Nussinov folding: the single-strand ``S`` tables of BPMax.
+
+BPMax consumes two precomputed single-strand tables ``S1`` and ``S2``
+(one per input sequence).  ``S[i, j]`` is the maximum total pair weight
+achievable by a pseudoknot-free folding of the subsequence ``i..j``
+(inclusive), under the weighted base-pair counting model:
+
+    S[i, j] = max( S[i+1, j],
+                   S[i, j-1],
+                   S[i+1, j-1] + score(i, j),
+                   max_{i <= k < j} S[i, k] + S[k+1, j] )
+
+with ``S[i, j] = 0`` whenever ``j <= i`` under the default ``min_loop=0``
+model (a single base cannot pair with itself).
+
+Two implementations are provided:
+
+* :func:`nussinov_reference` — direct pure-Python loop nest (oracle);
+* :func:`nussinov` — diagonal-by-diagonal NumPy vectorized version used by
+  every BPMax engine.
+
+Both return the full dense ``(n, n)`` float32 table (zero below the
+diagonal) so BPMax kernels can index it without branching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scoring import DEFAULT_MODEL, ScoringModel
+from .sequence import RnaSequence
+
+__all__ = [
+    "nussinov",
+    "nussinov_reference",
+    "nussinov_traceback",
+    "pairs_to_dotbracket",
+]
+
+
+def _codes_of(seq: RnaSequence | str | np.ndarray) -> np.ndarray:
+    if isinstance(seq, RnaSequence):
+        return seq.codes
+    if isinstance(seq, str):
+        return RnaSequence(seq).codes
+    return np.asarray(seq, dtype=np.int8)
+
+
+def nussinov_reference(
+    seq: RnaSequence | str | np.ndarray, model: ScoringModel = DEFAULT_MODEL
+) -> np.ndarray:
+    """Pure-Python weighted Nussinov table (correctness oracle)."""
+    codes = _codes_of(seq)
+    n = len(codes)
+    w = model.score_table(codes)
+    s = np.zeros((n, n), dtype=np.float32)
+    for span in range(1, n):
+        for i in range(0, n - span):
+            j = i + span
+            best = max(s[i + 1, j], s[i, j - 1])
+            if span >= 1:
+                inner = s[i + 1, j - 1] if span >= 2 else 0.0
+                best = max(best, inner + w[i, j])
+            for k in range(i, j):
+                best = max(best, s[i, k] + s[k + 1, j])
+            s[i, j] = best
+    return s
+
+
+def nussinov(
+    seq: RnaSequence | str | np.ndarray, model: ScoringModel = DEFAULT_MODEL
+) -> np.ndarray:
+    """Vectorized weighted Nussinov table.
+
+    Runs diagonal by diagonal; for each span the split reduction
+    ``max_k S[i,k] + S[k+1,j]`` is evaluated as elementwise maxima over
+    shifted diagonals, giving O(n^2) NumPy calls for the O(n^3) work.
+    """
+    codes = _codes_of(seq)
+    n = len(codes)
+    w = model.score_table(codes)
+    s = np.zeros((n, n), dtype=np.float32)
+    if n < 2:
+        return s
+    # diag[d] holds S[i, i+d] for i = 0 .. n-1-d
+    diags: list[np.ndarray] = [np.zeros(n, dtype=np.float32)]
+    for span in range(1, n):
+        m = n - span
+        i = np.arange(m)
+        j = i + span
+        # pair closing term: S[i+1, j-1] + w[i, j]
+        if span >= 2:
+            cur = diags[span - 2][1 : m + 1] + w[i, j]
+        else:
+            cur = w[i, j].copy()
+        # split term: for d in 0..span-1, S[i, i+d] + S[i+d+1, j]
+        for d in range(span):
+            left = diags[d][:m]
+            right = diags[span - d - 1][d + 1 : d + 1 + m]
+            np.maximum(cur, left + right, out=cur)
+        diags.append(cur.astype(np.float32))
+        s[i, j] = diags[span]
+    return s
+
+
+def nussinov_traceback(
+    seq: RnaSequence | str | np.ndarray,
+    s: np.ndarray | None = None,
+    model: ScoringModel = DEFAULT_MODEL,
+) -> list[tuple[int, int]]:
+    """Recover one optimal set of intramolecular pairs from the S table."""
+    codes = _codes_of(seq)
+    n = len(codes)
+    if s is None:
+        s = nussinov(codes, model)
+    w = model.score_table(codes)
+    pairs: list[tuple[int, int]] = []
+    stack: list[tuple[int, int]] = [(0, n - 1)] if n > 1 else []
+    while stack:
+        i, j = stack.pop()
+        if j <= i:
+            continue
+        target = s[i, j]
+        if target == s[i + 1, j]:
+            stack.append((i + 1, j))
+            continue
+        if target == s[i, j - 1]:
+            stack.append((i, j - 1))
+            continue
+        inner = s[i + 1, j - 1] if j - i >= 2 else 0.0
+        if w[i, j] > 0 and target == inner + w[i, j]:
+            pairs.append((i, j))
+            stack.append((i + 1, j - 1))
+            continue
+        for k in range(i, j):
+            if target == s[i, k] + s[k + 1, j]:
+                stack.append((i, k))
+                stack.append((k + 1, j))
+                break
+        else:  # pragma: no cover - table inconsistent with recurrence
+            raise AssertionError(f"traceback failed at window ({i}, {j})")
+    return sorted(pairs)
+
+
+def pairs_to_dotbracket(n: int, pairs: list[tuple[int, int]]) -> str:
+    """Render a pair list as dot-bracket notation of length ``n``."""
+    out = ["."] * n
+    for i, j in pairs:
+        if not (0 <= i < j < n):
+            raise ValueError(f"pair ({i}, {j}) out of range for length {n}")
+        if out[i] != "." or out[j] != ".":
+            raise ValueError(f"pair ({i}, {j}) conflicts with another pair")
+        out[i], out[j] = "(", ")"
+    return "".join(out)

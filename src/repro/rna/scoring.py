@@ -1,0 +1,114 @@
+"""Weighted base-pair scoring model for BPMax.
+
+BPMax (Ebrahimpour-Boroojeny et al.) replaces a full thermodynamic energy
+model with *weighted base-pair counting*: every admissible pair contributes
+a fixed positive weight (by default its hydrogen-bond count) and the DP
+maximises the total weight.  Two score functions appear in the recurrence:
+
+* ``score(i, j)``  — weight of an *intramolecular* pair inside one strand;
+* ``iscore(i1, i2)`` — weight of an *intermolecular* pair between strands.
+
+Both are precomputed as dense float32 matrices so the hot DP loops never
+touch Python-level dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .alphabet import NUCLEOTIDES, NUC_TO_CODE, CANONICAL_PAIRS
+
+__all__ = ["ScoringModel", "DEFAULT_MODEL"]
+
+
+def _weight_matrix(weights: dict[frozenset[str], float]) -> np.ndarray:
+    """4x4 lookup matrix ``W[code_a, code_b]`` of pair weights."""
+    w = np.zeros((len(NUCLEOTIDES), len(NUCLEOTIDES)), dtype=np.float32)
+    for pair, val in weights.items():
+        chars = sorted(pair)
+        a, b = (chars[0], chars[-1])
+        ia, ib = NUC_TO_CODE[a], NUC_TO_CODE[b]
+        w[ia, ib] = w[ib, ia] = val
+    return w
+
+
+@dataclass(frozen=True)
+class ScoringModel:
+    """Pair-weight configuration for BPMax.
+
+    Parameters
+    ----------
+    pair_weights:
+        Unordered-pair -> weight map for intramolecular pairs.  Defaults to
+        hydrogen-bond counts (GC=3, AU=2, GU=1).
+    inter_weights:
+        Pair weights for intermolecular pairs; defaults to ``pair_weights``.
+    min_loop:
+        Minimum hairpin loop size: an intramolecular pair (i, j) requires
+        ``j - i > min_loop``.  The BPMax model uses 0 (any i < j may pair);
+        biologically realistic folding uses 3.
+    """
+
+    pair_weights: dict[frozenset[str], float] = field(
+        default_factory=lambda: dict(CANONICAL_PAIRS)
+    )
+    inter_weights: dict[frozenset[str], float] | None = None
+    min_loop: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_loop < 0:
+            raise ValueError(f"min_loop must be >= 0, got {self.min_loop}")
+
+    @property
+    def intra_matrix(self) -> np.ndarray:
+        """4x4 float32 weight matrix for intramolecular pairs."""
+        return _weight_matrix(self.pair_weights)
+
+    @property
+    def inter_matrix(self) -> np.ndarray:
+        """4x4 float32 weight matrix for intermolecular pairs."""
+        return _weight_matrix(
+            self.pair_weights if self.inter_weights is None else self.inter_weights
+        )
+
+    # -- per-sequence score tables -------------------------------------
+
+    def score_table(self, codes: np.ndarray) -> np.ndarray:
+        """``score[i, j]`` for one strand: weight of pairing positions i and j.
+
+        Entries violating the minimum loop constraint are 0 (pair not
+        allowed, and base-pair *maximisation* treats "no pair" as 0 gain,
+        so a weight of 0 is equivalent to forbidding the pair for max-plus
+        purposes because all admissible weights are positive).
+        """
+        w = self.intra_matrix
+        n = len(codes)
+        table = w[np.asarray(codes)[:, None], np.asarray(codes)[None, :]]
+        if self.min_loop > 0:
+            i = np.arange(n)
+            mask = (i[None, :] - i[:, None]) <= self.min_loop
+            table = table.copy()
+            table[mask] = 0.0
+        return table.astype(np.float32)
+
+    def iscore_table(self, codes1: np.ndarray, codes2: np.ndarray) -> np.ndarray:
+        """``iscore[i1, i2]``: weight of an intermolecular pair (i1, i2)."""
+        w = self.inter_matrix
+        return w[np.asarray(codes1)[:, None], np.asarray(codes2)[None, :]].astype(
+            np.float32
+        )
+
+    def score(self, a: str, b: str) -> float:
+        """Scalar intramolecular pair weight for nucleotides ``a``, ``b``."""
+        return float(self.pair_weights.get(frozenset((a.upper(), b.upper())), 0.0))
+
+    def iscore(self, a: str, b: str) -> float:
+        """Scalar intermolecular pair weight for nucleotides ``a``, ``b``."""
+        weights = self.pair_weights if self.inter_weights is None else self.inter_weights
+        return float(weights.get(frozenset((a.upper(), b.upper())), 0.0))
+
+
+#: The paper's default configuration (hydrogen-bond counting, no loop limit).
+DEFAULT_MODEL = ScoringModel()

@@ -1,0 +1,151 @@
+"""RNA sequence objects, random generation and FASTA I/O."""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .alphabet import NUCLEOTIDES, decode, encode, normalize
+
+__all__ = [
+    "RnaSequence",
+    "random_sequence",
+    "random_pair",
+    "read_fasta",
+    "write_fasta",
+]
+
+
+@dataclass(frozen=True)
+class RnaSequence:
+    """An immutable RNA strand with cached integer encoding.
+
+    Behaves like a string for indexing/length while exposing ``codes`` for
+    numeric kernels.
+    """
+
+    seq: str
+    name: str = ""
+    _codes: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seq", normalize(self.seq))
+        object.__setattr__(self, "_codes", encode(self.seq))
+
+    @property
+    def codes(self) -> np.ndarray:
+        """int8 code array (A=0, C=1, G=2, U=3)."""
+        return self._codes
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    def __getitem__(self, i: int | slice) -> str:
+        return self.seq[i]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.seq)
+
+    def __str__(self) -> str:
+        return self.seq
+
+    def reversed(self) -> "RnaSequence":
+        """The 3'->5' reversal of this strand."""
+        return RnaSequence(self.seq[::-1], name=f"{self.name}|rev" if self.name else "")
+
+    @classmethod
+    def from_codes(cls, codes: np.ndarray, name: str = "") -> "RnaSequence":
+        return cls(decode(codes), name=name)
+
+
+def random_sequence(
+    length: int,
+    rng: np.random.Generator | int | None = None,
+    gc_content: float = 0.5,
+    name: str = "",
+) -> RnaSequence:
+    """Generate a random RNA strand.
+
+    Parameters
+    ----------
+    length: strand length (>= 0).
+    rng: a Generator, a seed, or None for a fresh default generator.
+    gc_content: expected fraction of G+C nucleotides.
+    """
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    if not 0.0 <= gc_content <= 1.0:
+        raise ValueError(f"gc_content must be in [0, 1], got {gc_content}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    # order ACGU: A and U share (1-gc)/2 each, C and G share gc/2 each.
+    p = np.array(
+        [(1 - gc_content) / 2, gc_content / 2, gc_content / 2, (1 - gc_content) / 2]
+    )
+    codes = rng.choice(len(NUCLEOTIDES), size=length, p=p).astype(np.int8)
+    return RnaSequence.from_codes(codes, name=name)
+
+
+def random_pair(
+    n: int,
+    m: int,
+    rng: np.random.Generator | int | None = None,
+    gc_content: float = 0.5,
+) -> tuple[RnaSequence, RnaSequence]:
+    """A pair of random strands of lengths ``n`` and ``m`` (one RRI input)."""
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    return (
+        random_sequence(n, rng, gc_content, name=f"rand{n}_a"),
+        random_sequence(m, rng, gc_content, name=f"rand{m}_b"),
+    )
+
+
+def read_fasta(source: str | Path | io.TextIOBase) -> list[RnaSequence]:
+    """Parse a FASTA file (or file-like / literal text) into sequences."""
+    if isinstance(source, io.TextIOBase):
+        text = source.read()
+    else:
+        p = Path(source)
+        if p.exists():
+            text = p.read_text()
+        elif isinstance(source, str) and source.lstrip().startswith(">"):
+            text = source
+        else:
+            raise FileNotFoundError(source)
+
+    records: list[RnaSequence] = []
+    name: str | None = None
+    chunks: list[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                records.append(RnaSequence("".join(chunks), name=name))
+            name = line[1:].strip()
+            chunks = []
+        else:
+            if name is None:
+                raise ValueError("FASTA data must begin with a '>' header line")
+            chunks.append(line)
+    if name is not None:
+        records.append(RnaSequence("".join(chunks), name=name))
+    return records
+
+
+def write_fasta(
+    sequences: Iterable[RnaSequence], dest: str | Path, width: int = 70
+) -> None:
+    """Write sequences to ``dest`` in FASTA format."""
+    lines: list[str] = []
+    for idx, s in enumerate(sequences):
+        lines.append(f">{s.name or f'seq{idx}'}")
+        for start in range(0, len(s.seq), width):
+            lines.append(s.seq[start : start + width])
+    Path(dest).write_text("\n".join(lines) + "\n")

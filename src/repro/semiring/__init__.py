@@ -1,0 +1,54 @@
+"""Tropical-algebra substrate: semirings, max-plus kernels, micro-benchmark."""
+
+from .chain import (
+    accumulated_products,
+    all_windows_product,
+    chain_flops,
+    chain_order,
+    chain_product,
+)
+from .maxplus import (
+    KERNELS,
+    NEG_INF,
+    matmul_flops,
+    maxplus_matmul,
+    maxplus_matmul_naive,
+    maxplus_matmul_scalar_kinner,
+    maxplus_matmul_register,
+    maxplus_matmul_tiled,
+    maxplus_matmul_vectorized,
+)
+from .microbench import (
+    StreamBenchmark,
+    StreamResult,
+    maxplus_stream,
+    maxplus_stream_python,
+    stream_flops,
+)
+from .semiring import MAX_PLUS, MIN_PLUS, PLUS_TIMES, Semiring
+
+__all__ = [
+    "accumulated_products",
+    "all_windows_product",
+    "chain_flops",
+    "chain_order",
+    "chain_product",
+    "KERNELS",
+    "NEG_INF",
+    "matmul_flops",
+    "maxplus_matmul",
+    "maxplus_matmul_naive",
+    "maxplus_matmul_scalar_kinner",
+    "maxplus_matmul_register",
+    "maxplus_matmul_tiled",
+    "maxplus_matmul_vectorized",
+    "StreamBenchmark",
+    "StreamResult",
+    "maxplus_stream",
+    "maxplus_stream_python",
+    "stream_flops",
+    "MAX_PLUS",
+    "MIN_PLUS",
+    "PLUS_TIMES",
+    "Semiring",
+]

@@ -1,0 +1,114 @@
+"""The paper's Algorithm 3: the ``Y = max(alpha + X, Y)`` streaming kernel.
+
+Phase I builds a micro-benchmark that measures attainable L1 bandwidth for
+the exact access pattern the vectorized R0 kernel emits: load a scalar and
+a vector, compute ``max(alpha + X, Y)``, store the vector — 2 FLOPs per
+3 single-precision memory operations (arithmetic intensity 1/6).
+
+Here the same kernel is expressed three ways:
+
+* :func:`maxplus_stream` — NumPy (our SIMD surrogate), used for real
+  wall-clock measurements;
+* :func:`maxplus_stream_python` — pure-Python scalar loop, the
+  unvectorized baseline;
+* :class:`StreamBenchmark` — the full Algorithm 3 harness (per-"thread"
+  arrays, repeated invocations, GFLOPS accounting).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "maxplus_stream",
+    "maxplus_stream_python",
+    "stream_flops",
+    "StreamBenchmark",
+    "StreamResult",
+]
+
+
+def maxplus_stream(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """In-place ``Y[i] = max(alpha + X[i], Y[i])`` over whole arrays."""
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch {x.shape} vs {y.shape}")
+    np.maximum(y, alpha + x, out=y)
+    return y
+
+
+def maxplus_stream_python(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Scalar-loop version of the same kernel (baseline)."""
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch {x.shape} vs {y.shape}")
+    for i in range(len(x)):
+        v = alpha + x[i]
+        if v > y[i]:
+            y[i] = v
+    return y
+
+
+def stream_flops(chunk_size: int, iterations: int) -> int:
+    """FLOPs executed by Algorithm 3 (one add + one max per element)."""
+    return 2 * chunk_size * iterations
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """One micro-benchmark measurement."""
+
+    chunk_size: int
+    iterations: int
+    threads: int
+    seconds: float
+    gflops: float
+
+
+class StreamBenchmark:
+    """Algorithm 3 harness: per-thread arrays, repeated kernel invocations.
+
+    With a single physical core available, ``threads`` scales the amount of
+    independent work (as the paper's per-thread private arrays do); the
+    multi-thread *performance* projection lives in
+    :mod:`repro.machine.perfmodel`, which is calibrated against the
+    single-thread measurements this class produces.
+    """
+
+    def __init__(
+        self,
+        chunk_size: int,
+        iterations: int = 16,
+        threads: int = 1,
+        seed: int = 0,
+        dtype=np.float32,
+    ) -> None:
+        if chunk_size <= 0 or iterations <= 0 or threads <= 0:
+            raise ValueError("chunk_size, iterations and threads must be > 0")
+        self.chunk_size = int(chunk_size)
+        self.iterations = int(iterations)
+        self.threads = int(threads)
+        rng = np.random.default_rng(seed)
+        self._xs = [
+            rng.random(self.chunk_size, dtype=dtype) for _ in range(self.threads)
+        ]
+        self._ys = [
+            rng.random(self.chunk_size, dtype=dtype) for _ in range(self.threads)
+        ]
+
+    def run(self, alpha: float = 1.5) -> StreamResult:
+        """Execute the benchmark and return GFLOPS achieved."""
+        t0 = time.perf_counter()
+        for _ in range(self.iterations):
+            for x, y in zip(self._xs, self._ys):
+                maxplus_stream(alpha, x, y)
+        dt = time.perf_counter() - t0
+        flops = self.threads * stream_flops(self.chunk_size, self.iterations)
+        return StreamResult(
+            chunk_size=self.chunk_size,
+            iterations=self.iterations,
+            threads=self.threads,
+            seconds=dt,
+            gflops=flops / dt / 1e9 if dt > 0 else float("inf"),
+        )

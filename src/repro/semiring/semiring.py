@@ -1,0 +1,93 @@
+"""Semiring abstraction underlying the BPMax kernels.
+
+The dominant BPMax computation (the "double max-plus" reduction R0) is a
+matrix product over the *tropical* (max, +) semiring.  Abstracting the
+semiring lets the same kernel code serve max-plus (BPMax), min-plus
+(shortest paths) and plus-times (ordinary linear algebra), and lets tests
+state the semiring axioms once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Semiring", "MAX_PLUS", "MIN_PLUS", "PLUS_TIMES"]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A (⊕, ⊗) semiring with identities, in scalar and NumPy forms.
+
+    Attributes
+    ----------
+    name: human-readable identifier.
+    add: vectorized ⊕ (e.g. ``np.maximum``).
+    mul: vectorized ⊗ (e.g. ``np.add``).
+    zero: identity of ⊕ (annihilator of ⊗ for tropical semirings).
+    one: identity of ⊗.
+    add_reduce: reduction form of ⊕ along an axis (e.g. ``np.max``).
+    """
+
+    name: str
+    add: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    mul: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    zero: float
+    one: float
+    add_reduce: Callable[..., np.ndarray]
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Dense semiring matrix product via one broadcast (reference only).
+
+        Materialises the full (n, k, m) tensor; use the kernels in
+        :mod:`repro.semiring.maxplus` for anything performance-sensitive.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
+        prod = self.mul(a[:, :, None], b[None, :, :])
+        return self.add_reduce(prod, axis=1)
+
+    def eye(self, n: int, dtype=np.float32) -> np.ndarray:
+        """Semiring identity matrix: ``one`` on the diagonal, ``zero`` off it."""
+        m = np.full((n, n), self.zero, dtype=dtype)
+        np.fill_diagonal(m, self.one)
+        return m
+
+    def zeros(self, shape, dtype=np.float32) -> np.ndarray:
+        """Matrix of ⊕-identities (the semiring 'zero matrix')."""
+        return np.full(shape, self.zero, dtype=dtype)
+
+
+#: Tropical max-plus semiring: ⊕ = max, ⊗ = +.  BPMax's algebra.
+MAX_PLUS = Semiring(
+    name="max-plus",
+    add=np.maximum,
+    mul=np.add,
+    zero=-np.inf,
+    one=0.0,
+    add_reduce=np.max,
+)
+
+#: Tropical min-plus semiring (shortest paths).
+MIN_PLUS = Semiring(
+    name="min-plus",
+    add=np.minimum,
+    mul=np.add,
+    zero=np.inf,
+    one=0.0,
+    add_reduce=np.min,
+)
+
+#: Ordinary linear algebra, for cross-checking kernel structure.
+PLUS_TIMES = Semiring(
+    name="plus-times",
+    add=np.add,
+    mul=np.multiply,
+    zero=0.0,
+    one=1.0,
+    add_reduce=np.sum,
+)

@@ -1,0 +1,142 @@
+"""Tests for the experiment generators: every paper table/figure runs and
+its qualitative shape holds."""
+
+import math
+
+import pytest
+
+from repro.bench.figures import EXPERIMENTS, run_experiment
+from repro.bench.workloads import PAPER_ANCHORS
+
+
+class TestRegistry:
+    def test_every_experiment_has_generator(self):
+        expected = {
+            "fig01",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig13w",
+            "fig14",
+            "fig15",
+            "fig15w",
+            "fig16",
+            "fig17",
+            "fig18",
+            "tables1-4",
+            "table6",
+            "real-speedup",
+            "breakdown",
+            "correlation",
+            "mpi-scaling",
+            "future-work",
+            "explore",
+            "gpu-compare",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown"):
+            run_experiment("fig99")
+
+
+class TestModelExperiments:
+    def test_fig01_summary_shape(self):
+        res = run_experiment("fig01")
+        for row in res.rows:
+            assert row["speedup"] > 50
+            assert 0.1 < row["peak_fraction"] < 0.35
+
+    def test_fig11_roofline_rows(self):
+        res = run_experiment("fig11")
+        levels = res.column("level")
+        assert levels == ["L1", "L2", "L3", "DRAM"]
+        g = res.column("attainable_gflops")
+        assert g == sorted(g, reverse=True)
+        # the paper's ~329 GFLOPS L1 expectation
+        assert g[0] == pytest.approx(PAPER_ANCHORS["l1_roof_gflops"], rel=0.05)
+
+    def test_fig12_anchors(self):
+        res = run_experiment("fig12")
+        best6 = max(res.column("model_6t"))
+        best12 = max(res.column("model_12t"))
+        assert best6 == pytest.approx(PAPER_ANCHORS["stream_6t_gflops"], rel=0.05)
+        assert best12 == pytest.approx(PAPER_ANCHORS["stream_12t_gflops"], rel=0.05)
+        measured = [g for g in res.column("measured_1t") if not math.isnan(g)]
+        assert measured and all(g > 0 for g in measured)
+
+    def test_fig13_who_wins(self):
+        res = run_experiment("fig13")
+        for row in res.rows:
+            assert row["tiled"] >= row["fine-ltr"] >= row["base"]
+            assert row["tiled"] > row["coarse"]
+
+    def test_fig14_tiled_speedup_band(self):
+        res = run_experiment("fig14")
+        best = max(res.column("tiled"))
+        assert 100 <= best <= 250  # paper: ~178x
+
+    def test_fig15_ordering(self):
+        res = run_experiment("fig15")
+        for row in res.rows:
+            assert row["hybrid-tiled"] >= row["hybrid"] >= row["fine"]
+            assert row["hybrid-tiled"] > row["base"]
+
+    def test_fig16_100x(self):
+        res = run_experiment("fig16")
+        assert max(res.column("hybrid-tiled")) >= 90
+
+    def test_fig17_smt_band(self):
+        res = run_experiment("fig17")
+        lo, hi = PAPER_ANCHORS["smt_gain_tiled"]
+        for g in res.column("smt_gain"):
+            assert lo - 0.02 <= g <= hi + 0.02
+
+    def test_fig18_cubic_poor(self):
+        res = run_experiment("fig18")
+        by_tile = {r["tile"]: r["model_gflops_16x2500"] for r in res.rows}
+        assert by_tile["64x16xN"] > by_tile["64x64x64"]
+        assert by_tile["64x16xN"] > by_tile["32x32x32"]
+
+    def test_breakdown_r0_dominates(self):
+        res = run_experiment("breakdown")
+        for row in res.rows:
+            assert row["r0_pct"] > 50
+
+
+class TestStructuralExperiments:
+    def test_tables_schedules_all_legal(self):
+        res = run_experiment("tables1-4")
+        assert all(v == 0 for v in res.column("violations"))
+        assert len(res.rows) == 4
+
+    def test_table6_loc_growth(self):
+        """Table VI's shape: scheduled BPMax much bigger than the base and
+        DMP programs; tiling adds code."""
+        res = run_experiment("table6")
+        loc = {r["implementation"]: r["loc"] for r in res.rows}
+        assert loc["BPMax fine (scheduled)"] > 2 * loc["BPMax base (writeC)"]
+        assert loc["BPMax fine (scheduled)"] > 2 * loc["Double max-plus (scheduled)"]
+        assert (
+            loc["Double max-plus tiled (scheduled)"]
+            > loc["Double max-plus (scheduled)"]
+        )
+
+
+@pytest.mark.slow
+class TestWallClockExperiments:
+    def test_fig13w_vectorized_beats_naive(self):
+        res = run_experiment("fig13w")
+        for row in res.rows:
+            assert row["vectorized"] > row["naive"]
+            assert row["tiled"] > row["naive"]
+
+    def test_fig15w_optimized_beats_baseline(self):
+        res = run_experiment("fig15w")
+        for row in res.rows:
+            assert row["speedup_tiled"] > 1
+
+    def test_real_speedup_kernel_over_100x(self):
+        res = run_experiment("real-speedup")
+        kernel_rows = [r for r in res.rows if r["scope"] == "R0 kernel"]
+        assert max(r["speedup"] for r in kernel_rows) > 100

@@ -1,0 +1,115 @@
+"""Tests for the experiment harness utilities."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, Measurement, format_table, measure
+
+
+class TestMeasure:
+    def test_returns_positive_time(self):
+        m = measure(lambda: sum(range(1000)), "sum", flops=2000)
+        assert m.seconds > 0
+        assert m.gflops is not None and m.gflops > 0
+
+    def test_no_flops_no_gflops(self):
+        assert measure(lambda: None).gflops is None
+
+    def test_repeats_take_best(self):
+        m = measure(lambda: None, repeats=3)
+        assert m.seconds >= 0
+
+    def test_bad_repeats(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+
+
+class TestExperimentResult:
+    def test_add_and_column(self):
+        res = ExperimentResult("x", "t", ("a", "b"))
+        res.add(a=1, b=2.0)
+        res.add(a=3, b=4.0)
+        assert res.column("a") == [1, 3]
+
+    def test_missing_column_rejected(self):
+        res = ExperimentResult("x", "t", ("a", "b"))
+        with pytest.raises(ValueError, match="missing"):
+            res.add(a=1)
+
+    def test_unknown_column_lookup(self):
+        res = ExperimentResult("x", "t", ("a",))
+        with pytest.raises(KeyError):
+            res.column("z")
+
+    def test_render_contains_rows(self):
+        res = ExperimentResult("figX", "demo", ("a",), notes="hello")
+        res.add(a=42)
+        text = res.render()
+        assert "figX" in text and "hello" in text and "42" in text
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("col",), [{"col": 1}, {"col": 22222}])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1
+
+    def test_float_formatting(self):
+        text = format_table(("v",), [{"v": 0.00123}, {"v": float("nan")}])
+        assert "0.00123" in text and "nan" in text
+
+    def test_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert "a" in text and "b" in text
+
+
+class TestCsvExport:
+    def test_to_csv_roundtrip(self):
+        import csv
+        import io
+
+        res = ExperimentResult("x", "t", ("a", "b"))
+        res.add(a=1, b=2.5)
+        res.add(a=3, b=4.0)
+        rows = list(csv.DictReader(io.StringIO(res.to_csv())))
+        assert rows[0]["a"] == "1" and rows[1]["b"] == "4.0"
+
+    def test_save_csv(self, tmp_path):
+        res = ExperimentResult("x", "t", ("a",))
+        res.add(a=7)
+        path = tmp_path / "x.csv"
+        res.save_csv(path)
+        assert "a\r\n7" in path.read_text() or "a\n7" in path.read_text()
+
+
+class TestProfiling:
+    def test_profile_call_reports(self):
+        from repro.bench.profiling import profile_call
+
+        def work():
+            return sum(i * i for i in range(50_000))
+
+        report = profile_call(work, top=5)
+        assert report.total_seconds > 0
+        assert report.total_calls > 0
+        assert len(report.top) <= 5
+        assert "cumulative" in report.text
+
+    def test_profile_engine_finds_hotspot(self):
+        """Profiling the optimized engine surfaces the row-finishing
+        loops, the substrate's analogue of the paper's R1/R2 bottleneck."""
+        from repro.bench.profiling import profile_call
+        from repro.core.engine import make_engine
+        from repro.core.reference import prepare_inputs
+        from repro.rna.sequence import random_pair
+
+        s1, s2 = random_pair(4, 20, 2)
+        inp = prepare_inputs(s1, s2)
+        engine = make_engine(inp, "hybrid-tiled", tile=(8, 4, 0))
+        report = profile_call(engine.run)
+        assert report.cumulative_of("_finish_rows") > 0
+
+    def test_bad_top_rejected(self):
+        from repro.bench.profiling import profile_call
+
+        with pytest.raises(ValueError, match="top"):
+            profile_call(lambda: None, top=0)

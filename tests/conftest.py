@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reference import prepare_inputs
+from repro.rna.sequence import random_pair
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_inputs():
+    """A tiny (4, 5) BPMax input pair, deterministic."""
+    s1, s2 = random_pair(4, 5, 42)
+    return prepare_inputs(s1, s2)
+
+
+@pytest.fixture
+def medium_inputs():
+    """A (5, 8) BPMax input pair, deterministic."""
+    s1, s2 = random_pair(5, 8, 7)
+    return prepare_inputs(s1, s2)

@@ -1,0 +1,112 @@
+"""Tests for the mini-Alpha BPMax model (the methodology reproduction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alpha_model import bpmax_system, dmp_system, nussinov_system
+from repro.core.dmp import dmp_reference, random_triangles
+from repro.core.reference import bpmax_recursive, prepare_inputs
+from repro.polyhedral.alpha import Interpreter, normalize, parse_system
+from repro.rna.nussinov import nussinov
+from repro.rna.sequence import random_pair
+
+
+class TestBpmaxSystem:
+    def test_validates(self):
+        bpmax_system(include_s=True).validate()
+        bpmax_system(include_s=False).validate()
+
+    def test_variable_inventory(self):
+        sys_ = bpmax_system(include_s=False)
+        names = {d.name for d in sys_.inputs}
+        assert {"S1", "S2", "score1", "score2", "iscore"} <= names
+        assert {eq.var for eq in sys_.equations} == {"R0", "R1", "R2", "R3", "R4", "F"}
+
+    def test_interpreter_matches_oracle(self):
+        s1, s2 = random_pair(3, 4, 5)
+        inp = prepare_inputs(s1, s2)
+        sys_ = bpmax_system(include_s=True)
+        it = Interpreter(
+            sys_,
+            {"N": inp.n, "M": inp.m},
+            {"score1": inp.score1, "score2": inp.score2, "iscore": inp.iscore},
+        )
+        score, table = bpmax_recursive(inp, full_table=True)
+        for key, v in table.items():
+            assert it.value("F", *key) == pytest.approx(v), key
+
+    def test_s_tables_match_nussinov(self):
+        s1, s2 = random_pair(4, 5, 8)
+        inp = prepare_inputs(s1, s2)
+        it = Interpreter(
+            bpmax_system(include_s=True),
+            {"N": inp.n, "M": inp.m},
+            {"score1": inp.score1, "score2": inp.score2, "iscore": inp.iscore},
+        )
+        expected = nussinov(s2)
+        for i in range(inp.m):
+            for j in range(i, inp.m):
+                assert it.value("S2", i, j) == pytest.approx(expected[i, j])
+
+    def test_scheduled_variant_takes_s_as_input(self):
+        sys_ = bpmax_system(include_s=False)
+        s1, s2 = random_pair(3, 3, 2)
+        inp = prepare_inputs(s1, s2)
+        it = Interpreter(
+            sys_,
+            {"N": 3, "M": 3},
+            {
+                "score1": inp.score1,
+                "score2": inp.score2,
+                "iscore": inp.iscore,
+                "S1": inp.s1,
+                "S2": inp.s2,
+            },
+        )
+        assert it.value("F", 0, 2, 0, 2) == pytest.approx(bpmax_recursive(inp))
+
+    def test_normalization_preserves_semantics(self):
+        s1, s2 = random_pair(3, 3, 4)
+        inp = prepare_inputs(s1, s2)
+        sys_ = bpmax_system(include_s=True)
+        norm = normalize(sys_)
+        inputs = {"score1": inp.score1, "score2": inp.score2, "iscore": inp.iscore}
+        a = Interpreter(sys_, {"N": 3, "M": 3}, inputs).value("F", 0, 2, 0, 2)
+        b = Interpreter(norm, {"N": 3, "M": 3}, inputs).value("F", 0, 2, 0, 2)
+        assert a == pytest.approx(b)
+
+    def test_reduction_count_matches_paper(self):
+        """BPMax has exactly five reductions (paper §IV-B)."""
+        from repro.polyhedral.alpha.ast import Reduce
+
+        sys_ = bpmax_system(include_s=False)
+        reductions = [eq for eq in sys_.equations if isinstance(eq.body, Reduce)]
+        assert len(reductions) == 5
+
+
+class TestDmpSystem:
+    def test_matches_dmp_reference(self):
+        tr = random_triangles(3, 4, 6)
+        ref = dmp_reference(tr)
+        it = Interpreter(dmp_system(), {"N": 3, "M": 4}, {"T": np.stack(tr)})
+        for (i1, j1), mat in ref.items():
+            for i2 in range(4):
+                for j2 in range(i2, 4):
+                    got = it.value("F", i1, j1, i2, j2)
+                    if np.isneginf(mat[i2, j2]):
+                        assert np.isneginf(got)
+                    else:
+                        assert got == pytest.approx(float(mat[i2, j2]))
+
+
+class TestNussinovSystem:
+    def test_matches_fast_implementation(self):
+        from repro.rna.scoring import DEFAULT_MODEL
+
+        s1, _ = random_pair(6, 2, 13)
+        score = DEFAULT_MODEL.score_table(s1.codes)
+        it = Interpreter(nussinov_system(), {"N": 6}, {"score": score})
+        expected = nussinov(s1)
+        for i in range(6):
+            for j in range(i, 6):
+                assert it.value("S", i, j) == pytest.approx(expected[i, j])

@@ -1,0 +1,69 @@
+"""Tests for the public convenience API."""
+
+import pytest
+
+from repro import ENGINES, bpmax, fold
+from repro.core.api import BpmaxResult
+from repro.rna.scoring import ScoringModel
+from repro.rna.sequence import RnaSequence
+
+
+class TestBpmax:
+    def test_basic_score(self):
+        result = bpmax("GCGC", "GCGC", variant="hybrid")
+        assert isinstance(result, BpmaxResult)
+        assert result.score > 0
+        assert (result.n, result.m) == (4, 4)
+
+    def test_all_variants_agree(self):
+        scores = {
+            v: bpmax("GCAU", "AUGCU", variant=v, **({} if v == "baseline" else {"tile": (2, 2, 0)})).score
+            for v in ENGINES
+        }
+        assert len({round(s, 3) for s in scores.values()}) == 1
+
+    def test_structure_attached(self):
+        result = bpmax("GGG", "CCC", structure=True)
+        assert result.structure is not None
+        assert result.structure.weight(result.inputs) == pytest.approx(result.score)
+
+    def test_structure_off_by_default(self):
+        assert bpmax("GC", "GC").structure is None
+
+    def test_accepts_rnasequence(self):
+        r = bpmax(RnaSequence("GC"), RnaSequence("GC"))
+        assert r.score == 6.0
+
+    def test_custom_model(self):
+        heavy_gc = ScoringModel(pair_weights={frozenset("GC"): 10.0})
+        assert bpmax("G", "C", model=heavy_gc).score == 10.0
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="variant"):
+            bpmax("GC", "GC", variant="warp")
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            bpmax("", "GC")
+
+    def test_doctest_example(self):
+        assert bpmax("GCGCUUCG", "CGAAGCGC").score > 0
+
+
+class TestFold:
+    def test_hairpin(self):
+        score, db = fold("GGGCCC")
+        assert score == 9.0
+        assert db.count("(") == db.count(")") == 3
+
+    def test_single_base(self):
+        score, db = fold("A")
+        assert score == 0.0 and db == "."
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            fold("")
+
+    def test_dotbracket_length(self):
+        _, db = fold("GCAUGCAU")
+        assert len(db) == 8

@@ -1,0 +1,233 @@
+"""Tests for the BPPart-style partition functions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bppart import (
+    beta_from_celsius,
+    correlation_study,
+    duplex_partition,
+    ensemble_stats,
+    partition_exact,
+    single_strand_partition,
+)
+from repro.core.enumerate import (
+    enumerate_duplexes,
+    enumerate_foldings,
+    enumerate_structures,
+    structure_weight,
+)
+from repro.core.reference import bpmax_recursive, prepare_inputs
+from repro.rna.sequence import random_pair
+
+TINY = st.text(alphabet="ACGU", min_size=1, max_size=4)
+SMALL = st.text(alphabet="ACGU", min_size=1, max_size=7)
+
+
+class TestTemperature:
+    def test_reference_betas(self):
+        assert beta_from_celsius(37.0) == pytest.approx(1.622, rel=1e-3)
+        assert beta_from_celsius(-180.0) == pytest.approx(5.402, rel=1e-3)
+
+    def test_below_absolute_zero_rejected(self):
+        with pytest.raises(ValueError, match="absolute zero"):
+            beta_from_celsius(-300.0)
+
+
+class TestSingleStrand:
+    @given(SMALL)
+    @settings(max_examples=30, deadline=None)
+    def test_counting_matches_enumeration(self, seq):
+        """beta = 0 turns the partition function into a structure count —
+        equality with the enumeration certifies the DP unambiguous."""
+        inp = prepare_inputs(seq, "A")
+        q = single_strand_partition(inp.score1, beta=0.0)
+        folds = enumerate_foldings(inp.score1, inp.n)
+        assert q[0, inp.n - 1] == pytest.approx(len(folds))
+
+    @given(SMALL)
+    @settings(max_examples=20, deadline=None)
+    def test_boltzmann_matches_enumeration(self, seq):
+        inp = prepare_inputs(seq, "A")
+        beta = 1.0
+        q = single_strand_partition(inp.score1, beta)
+        expected = sum(
+            math.exp(beta * sum(float(inp.score1[i, j]) for i, j in fold))
+            for fold in enumerate_foldings(inp.score1, inp.n)
+        )
+        assert q[0, inp.n - 1] == pytest.approx(expected, rel=1e-9)
+
+    def test_z_dominates_mfe(self):
+        inp = prepare_inputs("GGGCCC", "A")
+        beta = 1.0
+        q = single_strand_partition(inp.score1, beta)
+        assert q[0, 5] >= math.exp(beta * float(inp.s1[0, 5]))
+
+    def test_empty_windows_are_one(self):
+        inp = prepare_inputs("GC", "A")
+        q = single_strand_partition(inp.score1, 1.0)
+        assert q[1, 0] == 1.0
+
+
+class TestDuplex:
+    @given(TINY, TINY)
+    @settings(max_examples=25, deadline=None)
+    def test_counting_matches_enumeration(self, a, b):
+        inp = prepare_inputs(a, b)
+        z = duplex_partition(inp, beta=0.0)
+        assert z == pytest.approx(len(enumerate_duplexes(inp)))
+
+    @given(TINY, TINY)
+    @settings(max_examples=20, deadline=None)
+    def test_boltzmann_matches_enumeration(self, a, b):
+        inp = prepare_inputs(a, b)
+        beta = 0.7
+        z = duplex_partition(inp, beta)
+        expected = sum(
+            math.exp(beta * sum(float(inp.iscore[i, j]) for i, j in d))
+            for d in enumerate_duplexes(inp)
+        )
+        assert z == pytest.approx(expected, rel=1e-9)
+
+    def test_no_pairs_gives_one(self):
+        inp = prepare_inputs("AA", "GG")
+        assert duplex_partition(inp, 1.0) == pytest.approx(1.0)
+
+
+class TestJointPartition:
+    @given(TINY, TINY)
+    @settings(max_examples=15, deadline=None)
+    def test_z_bounds(self, a, b):
+        """exp(beta * MFE) <= Z <= count * exp(beta * MFE)."""
+        inp = prepare_inputs(a, b)
+        beta = 1.0
+        z = partition_exact(inp, beta)
+        mfe = bpmax_recursive(inp)
+        count = len(enumerate_structures(inp))
+        assert math.exp(beta * mfe) <= z + 1e-9
+        assert z <= count * math.exp(beta * mfe) + 1e-9
+
+    def test_joint_z_exceeds_component_zs(self):
+        """The joint ensemble contains the duplex-only and fold-only
+        sub-ensembles."""
+        inp = prepare_inputs("GCG", "CGC")
+        beta = 1.0
+        z = partition_exact(inp, beta)
+        assert z >= duplex_partition(inp, beta) - 1e-9
+        q1 = single_strand_partition(inp.score1, beta)[0, inp.n - 1]
+        q2 = single_strand_partition(inp.score2, beta)[0, inp.m - 1]
+        assert z >= q1 * q2 - 1e-6
+
+    def test_low_temperature_concentrates_on_optimum(self):
+        inp = prepare_inputs("GCAU", "AUGC")
+        cold = ensemble_stats(inp, beta_from_celsius(-180.0))
+        warm = ensemble_stats(inp, beta_from_celsius(37.0))
+        assert cold.mfe_probability > warm.mfe_probability
+        assert cold.expected_weight > warm.expected_weight
+        assert cold.mfe_weight == warm.mfe_weight  # optimum is T-independent
+
+    def test_free_energy_below_minus_mfe(self):
+        """-RT ln Z <= -MFE (the ensemble can only lower free energy)."""
+        inp = prepare_inputs("GGC", "GCC")
+        st_ = ensemble_stats(inp, 1.0)
+        assert st_.free_energy <= -st_.mfe_weight + 1e-9
+
+
+class TestCorrelationStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return correlation_study(n_samples=25, lengths=(3, 4), rng=3)
+
+    def test_strong_positive_correlation(self, study):
+        """The paper's motivation: BPMax tracks the thermodynamics."""
+        for r in study:
+            assert r.pearson > 0.8
+            assert r.spearman > 0.7
+
+    def test_colder_correlates_higher(self, study):
+        cold = next(r for r in study if r.temperature_c == -180.0)
+        warm = next(r for r in study if r.temperature_c == 37.0)
+        assert cold.pearson >= warm.pearson
+
+    def test_deterministic_with_seed(self):
+        a = correlation_study(n_samples=8, lengths=(3, 3), rng=5)
+        b = correlation_study(n_samples=8, lengths=(3, 3), rng=5)
+        assert a[0].pearson == pytest.approx(b[0].pearson)
+
+
+class TestPairProbabilities:
+    from repro.core.bppart import pair_probabilities  # noqa: F401
+
+    def test_probabilities_in_unit_interval(self):
+        from repro.core.bppart import pair_probabilities
+
+        inp = prepare_inputs("GCA", "UGC")
+        probs = pair_probabilities(inp, 1.0)
+        for d in (probs.intra1, probs.intra2, probs.inter):
+            for v in d.values():
+                assert 0.0 <= v <= 1.0
+
+    def test_base_paired_probability_at_most_one(self):
+        from repro.core.bppart import pair_probabilities
+
+        inp = prepare_inputs("GCAU", "AUGC")
+        probs = pair_probabilities(inp, 1.5)
+        for i in range(inp.n):
+            assert probs.strand1_paired(i) <= 1.0 + 1e-9
+        for j in range(inp.m):
+            assert probs.strand2_paired(j) <= 1.0 + 1e-9
+
+    def test_cold_ensemble_pins_mfe_pairs(self):
+        """At very low temperature every optimal-structure pair has
+        probability near 1 when the optimum is unique."""
+        from repro.core.bppart import pair_probabilities
+
+        inp = prepare_inputs("G", "C")
+        probs = pair_probabilities(inp, beta_from_celsius(-180.0))
+        assert probs.inter[(0, 0)] > 0.99
+
+    def test_strong_pair_more_probable_than_weak(self):
+        from repro.core.bppart import pair_probabilities
+
+        inp = prepare_inputs("GA", "CU")  # G-C (3) vs A-U (2), independent
+        probs = pair_probabilities(inp, 1.0)
+        assert probs.inter[(0, 0)] > probs.inter[(1, 1)]
+
+
+class TestSuboptimal:
+    def test_best_first_and_contains_optimum(self):
+        from repro.core.bppart import suboptimal_structures
+
+        inp = prepare_inputs("GCG", "CGC")
+        subopt = suboptimal_structures(inp, delta=2.0)
+        weights = [w for w, _ in subopt]
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == pytest.approx(bpmax_recursive(inp))
+
+    def test_window_widens_with_delta(self):
+        from repro.core.bppart import suboptimal_structures
+
+        inp = prepare_inputs("GCAU", "AUGC")
+        small = suboptimal_structures(inp, delta=0.0)
+        large = suboptimal_structures(inp, delta=3.0)
+        assert len(large) >= len(small)
+
+    def test_all_within_delta(self):
+        from repro.core.bppart import suboptimal_structures
+
+        inp = prepare_inputs("GCA", "UGC")
+        delta = 1.5
+        subopt = suboptimal_structures(inp, delta)
+        best = subopt[0][0]
+        assert all(w >= best - delta - 1e-6 for w, _ in subopt)
+
+    def test_negative_delta_rejected(self):
+        from repro.core.bppart import suboptimal_structures
+
+        inp = prepare_inputs("GC", "GC")
+        with pytest.raises(ValueError, match="delta"):
+            suboptimal_structures(inp, -1.0)

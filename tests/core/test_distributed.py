@@ -1,0 +1,95 @@
+"""Tests for the distributed BPMax executor (MPI future work)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributed import DistributedBPMax
+from repro.core.reference import bpmax_recursive, prepare_inputs
+from repro.parallel.mpi import ClusterSpec
+from repro.rna.sequence import random_pair
+
+
+def _cluster(ranks):
+    return ClusterSpec(ranks=ranks)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 5, 8])
+    def test_score_matches_oracle(self, medium_inputs, ranks):
+        rep = DistributedBPMax(medium_inputs, _cluster(ranks)).run()
+        assert rep.score == pytest.approx(bpmax_recursive(medium_inputs))
+
+    @given(st.integers(2, 5), st.integers(2, 6), st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_inputs(self, n, m, ranks):
+        s1, s2 = random_pair(n, m, n * 31 + m)
+        inp = prepare_inputs(s1, s2)
+        rep = DistributedBPMax(inp, _cluster(ranks)).run()
+        assert rep.score == pytest.approx(bpmax_recursive(inp))
+
+    def test_single_rank_no_messages(self, small_inputs):
+        rep = DistributedBPMax(small_inputs, _cluster(1)).run()
+        assert rep.messages == 0
+        assert rep.bytes_sent == 0
+
+
+class TestDecomposition:
+    def test_owner_block_cyclic(self, small_inputs):
+        d = DistributedBPMax(small_inputs, _cluster(3))
+        assert [d.owner(i) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_messages_grow_with_ranks(self, medium_inputs):
+        m2 = DistributedBPMax(medium_inputs, _cluster(2)).run().messages
+        m4 = DistributedBPMax(medium_inputs, _cluster(4)).run().messages
+        assert m4 >= m2
+
+    def test_bytes_match_triangle_size(self, medium_inputs):
+        d = DistributedBPMax(medium_inputs, _cluster(2))
+        rep = d.run()
+        m = medium_inputs.m
+        # payloads are full bounding boxes of the inner matrices
+        assert rep.bytes_sent == rep.messages * m * m * 4
+
+
+class TestProjection:
+    def test_projection_skips_numerics(self, small_inputs):
+        rep = DistributedBPMax(
+            small_inputs, _cluster(4), execute=False, m_effective=512
+        ).run()
+        assert math.isnan(rep.score)
+        assert rep.makespan_s > 0
+
+    def test_paper_scale_strong_scaling(self):
+        """At 16 x 2500 the projection must show real speedup that
+        saturates as the wavefront narrows (Amdahl + communication)."""
+        s1, s2 = random_pair(16, 4, 9)
+        inp = prepare_inputs(s1, s2)
+        speedups = {}
+        for ranks in (1, 2, 4, 8, 16):
+            rep = DistributedBPMax(
+                inp, _cluster(ranks), execute=False, m_effective=2500
+            ).run()
+            speedups[ranks] = rep.speedup
+        assert speedups[1] == pytest.approx(1.0, rel=0.05)
+        assert speedups[2] > 1.5
+        assert speedups[4] > speedups[2]
+        assert speedups[8] > speedups[4]
+        # efficiency decays monotonically
+        effs = [speedups[p] / p for p in (1, 2, 4, 8, 16)]
+        assert effs == sorted(effs, reverse=True)
+
+    def test_slow_network_hurts(self):
+        s1, s2 = random_pair(12, 4, 10)
+        inp = prepare_inputs(s1, s2)
+        fast = ClusterSpec(ranks=4, bandwidth_bytes_per_s=12.5e9)
+        slow = ClusterSpec(ranks=4, bandwidth_bytes_per_s=0.125e9)
+        t_fast = DistributedBPMax(inp, fast, execute=False, m_effective=2048).run()
+        t_slow = DistributedBPMax(inp, slow, execute=False, m_effective=2048).run()
+        assert t_slow.makespan_s > t_fast.makespan_s
+
+    def test_invalid_m_effective(self, small_inputs):
+        with pytest.raises(ValueError, match="m_effective"):
+            DistributedBPMax(small_inputs, _cluster(2), m_effective=0)

@@ -1,0 +1,112 @@
+"""Tests for the structure-space enumeration oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.enumerate import (
+    EMPTY,
+    Structure,
+    enumerate_duplexes,
+    enumerate_foldings,
+    enumerate_structures,
+    structure_weight,
+)
+from repro.core.reference import bpmax_recursive, prepare_inputs
+
+TINY = st.text(alphabet="ACGU", min_size=1, max_size=4)
+
+
+class TestStructure:
+    def test_union(self):
+        a = Structure(pairs1=frozenset([(0, 1)]))
+        b = Structure(inter=frozenset([(2, 0)]))
+        u = a.union(b)
+        assert u.size == 2
+
+    def test_empty(self):
+        assert EMPTY.size == 0
+
+    def test_weight(self):
+        inp = prepare_inputs("GC", "GC")
+        s = Structure(pairs1=frozenset([(0, 1)]))
+        assert structure_weight(s, inp) == 3.0
+
+
+class TestEnumerationAgainstBpmax:
+    """The central first-principles check: the optimum over the explicit
+    structure space equals the DP score."""
+
+    @given(TINY, TINY)
+    @settings(max_examples=25, deadline=None)
+    def test_max_weight_equals_bpmax(self, a, b):
+        inp = prepare_inputs(a, b)
+        structures = enumerate_structures(inp)
+        best = max(structure_weight(s, inp) for s in structures)
+        assert best == pytest.approx(bpmax_recursive(inp), abs=1e-4)
+
+    def test_empty_structure_always_present(self):
+        inp = prepare_inputs("GA", "CU")
+        assert EMPTY in enumerate_structures(inp)
+
+    def test_known_duplex_space(self):
+        """G vs C: only the empty structure and the single inter pair."""
+        inp = prepare_inputs("G", "C")
+        structures = enumerate_structures(inp)
+        assert len(structures) == 2
+        assert max(s.size for s in structures) == 1
+
+    def test_no_pairing_possible(self):
+        inp = prepare_inputs("AA", "GG")
+        assert enumerate_structures(inp) == {EMPTY}
+
+    @given(TINY, TINY)
+    @settings(max_examples=15, deadline=None)
+    def test_all_structures_valid(self, a, b):
+        """Every enumerated structure satisfies the hard constraints."""
+        inp = prepare_inputs(a, b)
+        for s in enumerate_structures(inp):
+            used1 = [i for p in s.pairs1 for i in p] + [i for i, _ in s.inter]
+            used2 = [i for p in s.pairs2 for i in p] + [j for _, j in s.inter]
+            assert len(used1) == len(set(used1)), "strand-1 base reused"
+            assert len(used2) == len(set(used2)), "strand-2 base reused"
+            inter = sorted(s.inter)
+            for (a1, a2), (b1, b2) in zip(inter, inter[1:]):
+                assert a1 < b1 and a2 < b2, "crossing intermolecular pairs"
+            for pairs in (s.pairs1, s.pairs2):
+                ordered = sorted(pairs)
+                for x, y in ordered:
+                    for u, v in ordered:
+                        if (x, y) < (u, v):
+                            assert not (x < u < y < v), "crossing intra pairs"
+
+
+class TestSubspaces:
+    def test_foldings_count_gc_pairable(self):
+        """GC: {} and {(0,1)}."""
+        inp = prepare_inputs("GC", "A")
+        assert len(enumerate_foldings(inp.score1, 2)) == 2
+
+    def test_foldings_unpairable(self):
+        inp = prepare_inputs("AAAA", "G")
+        assert enumerate_foldings(inp.score1, 4) == frozenset([frozenset()])
+
+    def test_duplexes_monotone(self):
+        inp = prepare_inputs("GG", "CC")
+        for matching in enumerate_duplexes(inp):
+            pairs = sorted(matching)
+            for (a1, a2), (b1, b2) in zip(pairs, pairs[1:]):
+                assert a1 < b1 and a2 < b2
+
+    def test_duplexes_count_2x2(self):
+        """GG vs CC: {}, 4 singles, (0,0)+(1,1) -> 6 matchings."""
+        inp = prepare_inputs("GG", "CC")
+        assert len(enumerate_duplexes(inp)) == 6
+
+    def test_subspaces_within_joint_space(self):
+        inp = prepare_inputs("GCG", "CGC")
+        joint = enumerate_structures(inp)
+        for fold in enumerate_foldings(inp.score1, inp.n):
+            assert Structure(pairs1=fold) in joint
+        for dup in enumerate_duplexes(inp):
+            assert Structure(inter=dup) in joint

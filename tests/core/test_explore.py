@@ -1,0 +1,59 @@
+"""Tests for automatic schedule exploration (§IV-A automated)."""
+
+import pytest
+
+from repro.core.explore import dmp_candidates, explore_dmp_schedules
+
+
+@pytest.fixture(scope="module")
+def results():
+    return explore_dmp_schedules()
+
+
+class TestCandidateFamily:
+    def test_twelve_candidates(self):
+        """2 outer orders x 3! inner permutations."""
+        assert len(dmp_candidates()) == 12
+
+    def test_names_unique(self):
+        names = [c.name for c in dmp_candidates()]
+        assert len(set(names)) == 12
+
+    def test_vectorizable_classification(self):
+        """Exactly the j2-innermost third of the family vectorizes."""
+        cands = dmp_candidates()
+        vec = [c for c in cands if c.vectorizable]
+        assert len(vec) == 4
+        assert all(c.innermost == "j2" for c in vec)
+
+
+class TestExploration:
+    def test_every_inner_order_is_legal(self, results):
+        """§IV-A: 'The inner three dimensions of the R0 can be in any
+        order since they do not have any dependencies.'"""
+        assert all(c.legal for c in results)
+        assert all(c.violations == 0 for c in results)
+
+    def test_papers_choice_ranks_first(self, results):
+        """The published Table-I style schedule — j2 innermost — wins."""
+        best = results[0]
+        assert best.vectorizable
+        assert best.innermost == "j2"
+
+    def test_unvectorizable_ranked_far_below(self, results):
+        best = results[0].predicted_gflops
+        worst = results[-1].predicted_gflops
+        assert best > 20 * worst
+
+    def test_outer_orders_nearly_equal(self, results):
+        """Fig. 13: minor difference between diagonal and bottom-up."""
+        vec = [c for c in results if c.vectorizable]
+        by_outer = {}
+        for c in vec:
+            by_outer.setdefault(c.outer, c.predicted_gflops)
+        ratio = by_outer["diagonal"] / by_outer["bottomup"]
+        assert 0.9 < ratio < 1.0
+
+    def test_schedules_have_matching_ranks(self, results):
+        for c in results:
+            assert c.body.rank == c.f_schedule.rank == c.init.rank == 6

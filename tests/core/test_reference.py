@@ -1,0 +1,125 @@
+"""Tests for the reference BPMax implementations (oracle + baseline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reference import BaselineBPMax, bpmax_recursive, prepare_inputs
+from repro.rna.scoring import ScoringModel
+from repro.rna.sequence import RnaSequence, random_pair
+
+RNA = st.text(alphabet="ACGU", min_size=1, max_size=6)
+
+
+class TestPrepareInputs:
+    def test_shapes(self, small_inputs):
+        assert small_inputs.score1.shape == (4, 4)
+        assert small_inputs.score2.shape == (5, 5)
+        assert small_inputs.iscore.shape == (4, 5)
+        assert small_inputs.s1.shape == (4, 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            prepare_inputs("", "ACGU")
+
+    def test_accepts_strings_and_sequences(self):
+        a = prepare_inputs("GC", "AU")
+        b = prepare_inputs(RnaSequence("GC"), RnaSequence("AU"))
+        assert np.allclose(a.iscore, b.iscore)
+
+
+class TestOracleKnownValues:
+    def test_single_bases_pair(self):
+        """Two single complementary bases: one intermolecular pair."""
+        inp = prepare_inputs("G", "C")
+        assert bpmax_recursive(inp) == 3.0
+
+    def test_single_bases_no_pair(self):
+        inp = prepare_inputs("A", "G")
+        assert bpmax_recursive(inp) == 0.0
+
+    def test_independent_folds_lower_bound(self):
+        """F >= S1 + S2 always (the independent-fold term)."""
+        inp = prepare_inputs("GGGCCC", "AAUU")
+        score = bpmax_recursive(inp)
+        assert score >= inp.s1[0, -1] + inp.s2[0, -1]
+
+    def test_pure_intermolecular_duplex(self):
+        """GGGG vs CCCC: no intramolecular pairs possible, 4 GC pairs."""
+        inp = prepare_inputs("GGGG", "CCCC")
+        assert bpmax_recursive(inp) == 12.0
+
+    def test_hand_computed_2x2(self):
+        """GC vs GC: best is the G-C pair in each strand? No -
+        intramolecular G-C (3) in strand1 + same in strand2 = 6; the
+        crossing-free intermolecular alternative G*C + C*G = 6 too."""
+        inp = prepare_inputs("GC", "GC")
+        assert bpmax_recursive(inp) == 6.0
+
+    def test_full_table_conventions(self):
+        inp = prepare_inputs("GCA", "AUG")
+        score, table = bpmax_recursive(inp, full_table=True)
+        # 1x1 windows equal iscore
+        for i1 in range(3):
+            for i2 in range(3):
+                assert table[(i1, i1, i2, i2)] == inp.iscore[i1, i2]
+        assert score == table[(0, 2, 0, 2)]
+
+
+class TestBaseline:
+    @given(RNA, RNA)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_oracle(self, a, b):
+        inp = prepare_inputs(a, b)
+        assert BaselineBPMax(inp).run() == pytest.approx(bpmax_recursive(inp))
+
+    def test_full_table_matches_oracle(self, small_inputs):
+        score, table = bpmax_recursive(small_inputs, full_table=True)
+        engine = BaselineBPMax(small_inputs)
+        engine.run()
+        for key, v in table.items():
+            assert engine.table.get(*key) == pytest.approx(v)
+
+    def test_min_loop_model(self):
+        model = ScoringModel(min_loop=3)
+        s1, s2 = random_pair(4, 6, 9)
+        inp = prepare_inputs(s1, s2, model)
+        assert BaselineBPMax(inp).run() == pytest.approx(bpmax_recursive(inp))
+
+
+class TestInvariants:
+    @given(RNA, RNA)
+    @settings(max_examples=25, deadline=None)
+    def test_score_nonnegative(self, a, b):
+        assert bpmax_recursive(prepare_inputs(a, b)) >= 0
+
+    @given(RNA, RNA)
+    @settings(max_examples=20, deadline=None)
+    def test_at_least_independent_folds(self, a, b):
+        inp = prepare_inputs(a, b)
+        assert bpmax_recursive(inp) >= inp.s1[0, -1] + inp.s2[0, -1] - 1e-5
+
+    @given(RNA, RNA)
+    @settings(max_examples=15, deadline=None)
+    def test_monotone_under_extension(self, a, b):
+        """Appending a base never lowers the optimum."""
+        base = bpmax_recursive(prepare_inputs(a, b))
+        ext = bpmax_recursive(prepare_inputs(a + "A", b))
+        assert ext >= base - 1e-5
+
+    @given(RNA, RNA)
+    @settings(max_examples=15, deadline=None)
+    def test_bounded_by_pair_budget(self, a, b):
+        """Every base participates in at most one pair of weight <= 3."""
+        score = bpmax_recursive(prepare_inputs(a, b))
+        assert score <= 3 * ((len(a) + len(b)) // 2) + 1e-6
+
+    def test_window_superadditivity(self, small_inputs):
+        """F[0, n-1, 0, m-1] >= F-split combinations (R0 feasibility)."""
+        score, table = bpmax_recursive(small_inputs, full_table=True)
+        n, m = small_inputs.n, small_inputs.m
+        for k1 in range(n - 1):
+            for k2 in range(m - 1):
+                combo = table[(0, k1, 0, k2)] + table[(k1 + 1, n - 1, k2 + 1, m - 1)]
+                assert score >= combo - 1e-5

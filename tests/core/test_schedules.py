@@ -1,0 +1,166 @@
+"""Legality and executable-codegen tests for the published schedules
+(Tables I-V): the central methodological claims of the paper."""
+
+import numpy as np
+import pytest
+
+from repro.core.alpha_model import (
+    SCHEDULE_TABLES,
+    bpmax_system,
+    dmp_system,
+    schedules_for,
+    target_mapping_for,
+)
+from repro.core.dmp import dmp_reference, random_triangles
+from repro.core.reference import bpmax_recursive, prepare_inputs
+from repro.polyhedral.codegen import compile_schedule
+from repro.polyhedral.dependence import check_all, check_legality
+from repro.polyhedral.schedule import Schedule
+from repro.rna.sequence import random_pair
+
+PARAMS = {"N": 3, "M": 4}
+
+
+@pytest.fixture(scope="module")
+def bpmax_deps():
+    return bpmax_system(include_s=False).dependences()
+
+
+@pytest.fixture(scope="module")
+def dmp_deps():
+    return dmp_system().dependences()
+
+
+class TestLegality:
+    @pytest.mark.parametrize("variant", ["fine", "coarse", "hybrid"])
+    def test_bpmax_schedules_legal(self, bpmax_deps, variant):
+        vs = schedules_for(variant)
+        scheds, ready = vs.checker_schedules()
+        violations = check_all(
+            bpmax_deps, scheds, PARAMS, producer_schedules=ready
+        )
+        assert violations == [], f"{variant}: {violations[:3]}"
+
+    def test_dmp_schedule_legal(self, dmp_deps):
+        vs = schedules_for("dmp")
+        scheds, ready = vs.checker_schedules()
+        assert check_all(dmp_deps, scheds, PARAMS, producer_schedules=ready) == []
+
+    def test_hybrid_requires_n_le_m(self, bpmax_deps):
+        """Table IV separates groups with the constant M at dim 2, so it
+        assumes N <= M (documented in alpha_model)."""
+        vs = schedules_for("hybrid")
+        scheds, ready = vs.checker_schedules()
+        assert check_all(
+            bpmax_deps, scheds, {"N": 2, "M": 5}, producer_schedules=ready
+        ) == []
+
+    def test_broken_schedule_is_caught(self, bpmax_deps):
+        """Sanity: the checker is not vacuous — reversing F's window order
+        must produce violations."""
+        vs = schedules_for("coarse")
+        scheds, ready = vs.checker_schedules()
+        bad = dict(scheds)
+        bad["F"] = Schedule.parse(
+            "F",
+            "(i1,j1,i2,j2 -> 1, i1-j1, i1, j1, 0-i2, j2, j2)",  # reversed diag
+            vs.body["F"].parallel_dims,
+        )
+        violations = check_all(bpmax_deps, bad, PARAMS, producer_schedules=ready)
+        assert violations
+
+    def test_fine_grain_without_row_guard_is_illegal(self, bpmax_deps):
+        """Making R1 row-parallel (dim 4 = -i2 parallel) breaks the
+        dependence on other rows — the paper's reason fine-grain 'is only
+        valid for R0, R3, R4'."""
+        vs = schedules_for("fine")
+        scheds, ready = vs.checker_schedules()
+        bad = dict(scheds)
+        # move R1's row index into the parallel dimension
+        bad["R1"] = Schedule.parse(
+            "R1",
+            "(i1,j1,i2,j2,k2 -> 1, 0-i1, j1, j1, 0, 0-i2, k2, j2)",
+            [5],
+        )
+        bad_ready = dict(ready)
+        bad_ready["R1"] = Schedule.parse(
+            "R1",
+            "(i1,j1,i2,j2 -> 1, 0-i1, j1, j1, 0, 0-i2, j2-1, j2)",
+            [5],
+        )
+        violations = check_all(
+            bpmax_deps, bad, PARAMS, producer_schedules=bad_ready
+        )
+        assert violations, "row-parallel R1 should violate intra-row reads"
+
+    def test_all_tables_registered(self):
+        assert set(SCHEDULE_TABLES) == {"dmp", "fine", "coarse", "hybrid"}
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="unknown"):
+            schedules_for("table-ix")
+
+
+class TestScheduledExecution:
+    """Run the generated code for each schedule table and compare against
+    the recursive oracle — the end-to-end 'AlphaZ flow' test."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        s1, s2 = random_pair(3, 4, 21)
+        inp = prepare_inputs(s1, s2)
+        score, table = bpmax_recursive(inp, full_table=True)
+        inputs = {
+            "score1": inp.score1,
+            "score2": inp.score2,
+            "iscore": inp.iscore,
+            "S1": inp.s1,
+            "S2": inp.s2,
+        }
+        return inp, inputs, table
+
+    @pytest.mark.parametrize("variant", ["fine", "coarse", "hybrid"])
+    def test_generated_code_correct(self, workload, variant):
+        inp, inputs, table = workload
+        sys_ = bpmax_system(include_s=False)
+        fn, src = compile_schedule(
+            sys_, target_mapping_for(variant), func_name=f"bp_{variant}"
+        )
+        out = fn({"N": inp.n, "M": inp.m}, inputs)["F"]
+        for key, v in table.items():
+            assert out[key] == pytest.approx(v), (variant, key)
+
+    def test_dmp_generated_code_correct(self):
+        tr = random_triangles(3, 4, 2)
+        ref = dmp_reference(tr)
+        fn, _ = compile_schedule(
+            dmp_system(), target_mapping_for("dmp", "dmp"), func_name="d"
+        )
+        out = fn({"N": 3, "M": 4}, {"T": np.stack(tr)})["F"]
+        for (i1, j1), mat in ref.items():
+            for i2 in range(4):
+                for j2 in range(i2, 4):
+                    v, g = mat[i2, j2], out[i1, j1, i2, j2]
+                    if np.isneginf(v):
+                        assert np.isneginf(g)
+                    else:
+                        assert g == pytest.approx(float(v))
+
+    def test_dmp_tiled_subsystem_correct(self):
+        """Table V's tiled band, isolated as the paper's subsystem."""
+        tr = random_triangles(3, 5, 9)
+        ref = dmp_reference(tr)
+        tm = target_mapping_for("dmp", "dmp")
+        tm.set_tiling("R0", (0, 0, 0, 2, 2, 0))
+        tm.set_tiling("F", (0, 0, 0, 2, 2, 0))
+        fn, src = compile_schedule(dmp_system(), tm, func_name="dt")
+        out = fn({"N": 3, "M": 5}, {"T": np.stack(tr)})["F"]
+        assert "_tt3" in src and "_tt4" in src
+        for (i1, j1), mat in ref.items():
+            for i2 in range(5):
+                for j2 in range(i2, 5):
+                    v, g = mat[i2, j2], out[i1, j1, i2, j2]
+                    if np.isneginf(v):
+                        assert np.isneginf(g)
+                    else:
+                        assert g == pytest.approx(float(v))

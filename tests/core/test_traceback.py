@@ -1,0 +1,102 @@
+"""Tests for interaction-structure recovery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reference import prepare_inputs
+from repro.core.traceback import traceback
+from repro.core.vectorized import VectorizedBPMax
+from repro.rna.sequence import random_pair
+
+RNA = st.text(alphabet="ACGU", min_size=1, max_size=7)
+
+
+def _structure(a, b):
+    inp = prepare_inputs(a, b)
+    eng = VectorizedBPMax(inp, variant="hybrid", tile=(2, 2, 0))
+    score = eng.run()
+    return inp, score, traceback(inp, eng.table)
+
+
+class TestWeightConsistency:
+    @given(RNA, RNA)
+    @settings(max_examples=40, deadline=None)
+    def test_structure_weight_equals_score(self, a, b):
+        inp, score, struct = _structure(a, b)
+        assert struct.weight(inp) == pytest.approx(score, abs=1e-3)
+
+    def test_known_duplex(self):
+        inp, score, struct = _structure("GGGG", "CCCC")
+        assert score == 12.0
+        assert len(struct.inter) == 4
+        assert not struct.pairs1 and not struct.pairs2
+
+    def test_known_hairpins(self):
+        """Strongly self-complementary strands fold intramolecularly."""
+        inp, score, struct = _structure("GGGCCC", "AAAUUU")
+        assert struct.weight(inp) == pytest.approx(score)
+        assert score >= 9 + 6  # 3 GC + 3 AU pairs at least
+
+
+class TestStructureValidity:
+    @given(RNA, RNA)
+    @settings(max_examples=30, deadline=None)
+    def test_each_base_pairs_at_most_once(self, a, b):
+        _, _, struct = _structure(a, b)
+        used1 = [i for p in struct.pairs1 for i in p] + [i for i, _ in struct.inter]
+        used2 = [i for p in struct.pairs2 for i in p] + [j for _, j in struct.inter]
+        assert len(used1) == len(set(used1))
+        assert len(used2) == len(set(used2))
+
+    @given(RNA, RNA)
+    @settings(max_examples=30, deadline=None)
+    def test_intramolecular_pairs_non_crossing(self, a, b):
+        _, _, struct = _structure(a, b)
+        for pairs in (struct.pairs1, struct.pairs2):
+            for x, y in pairs:
+                for u, v in pairs:
+                    if (x, y) < (u, v):
+                        assert not (x < u < y < v)
+
+    @given(RNA, RNA)
+    @settings(max_examples=30, deadline=None)
+    def test_intermolecular_pairs_non_crossing(self, a, b):
+        """BPMax forbids crossing interactions: the (i1, i2) pairs must be
+        simultaneously monotone."""
+        _, _, struct = _structure(a, b)
+        inter = sorted(struct.inter)
+        for (a1, a2), (b1, b2) in zip(inter, inter[1:]):
+            assert a1 < b1
+            assert a2 < b2
+
+    @given(RNA, RNA)
+    @settings(max_examples=20, deadline=None)
+    def test_pairs_in_range(self, a, b):
+        _, _, struct = _structure(a, b)
+        for i, j in struct.pairs1:
+            assert 0 <= i < j < len(a)
+        for i, j in struct.pairs2:
+            assert 0 <= i < j < len(b)
+        for i1, i2 in struct.inter:
+            assert 0 <= i1 < len(a) and 0 <= i2 < len(b)
+
+
+class TestDotBracket:
+    def test_marks_inter_with_star(self):
+        _, _, struct = _structure("G", "C")
+        db1, db2 = struct.dotbracket()
+        assert db1 == "*" and db2 == "*"
+
+    def test_lengths(self):
+        _, _, struct = _structure("GCGC", "AUAU")
+        db1, db2 = struct.dotbracket()
+        assert len(db1) == 4 and len(db2) == 4
+
+    def test_larger_pair(self):
+        s1, s2 = random_pair(6, 9, 11)
+        inp = prepare_inputs(s1, s2)
+        eng = VectorizedBPMax(inp, variant="hybrid")
+        score = eng.run()
+        struct = traceback(inp, eng.table)
+        assert struct.weight(inp) == pytest.approx(score, abs=1e-3)

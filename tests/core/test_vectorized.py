@@ -1,0 +1,128 @@
+"""Tests for the vectorized BPMax engines — cross-implementation equality
+is the heart of the reproduction's correctness story."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import ENGINES, make_engine
+from repro.core.reference import BaselineBPMax, bpmax_recursive, prepare_inputs
+from repro.core.vectorized import VARIANT_CONFIGS, VectorizedBPMax
+from repro.rna.scoring import ScoringModel
+from repro.rna.sequence import random_pair
+
+RNA = st.text(alphabet="ACGU", min_size=1, max_size=6)
+VARIANTS = list(VARIANT_CONFIGS)
+
+
+class TestScoreEquality:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_matches_oracle_small(self, small_inputs, variant):
+        expected = bpmax_recursive(small_inputs)
+        got = VectorizedBPMax(small_inputs, variant=variant, tile=(2, 2, 0)).run()
+        assert got == pytest.approx(expected)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_matches_oracle_medium(self, medium_inputs, variant):
+        expected = bpmax_recursive(medium_inputs)
+        got = VectorizedBPMax(medium_inputs, variant=variant, tile=(4, 2, 0)).run()
+        assert got == pytest.approx(expected)
+
+    @given(RNA, RNA, st.sampled_from(VARIANTS))
+    @settings(max_examples=30, deadline=None)
+    def test_property_random_sequences(self, a, b, variant):
+        inp = prepare_inputs(a, b)
+        expected = bpmax_recursive(inp)
+        got = VectorizedBPMax(inp, variant=variant, tile=(2, 2, 2)).run()
+        assert got == pytest.approx(expected)
+
+    def test_larger_random_pair_all_variants_agree(self):
+        s1, s2 = random_pair(6, 12, 77)
+        inp = prepare_inputs(s1, s2)
+        scores = {
+            v: VectorizedBPMax(inp, variant=v, tile=(4, 4, 0)).run() for v in VARIANTS
+        }
+        assert len(set(round(s, 3) for s in scores.values())) == 1
+        assert scores["hybrid"] == pytest.approx(BaselineBPMax(inp).run())
+
+    def test_min_loop_model(self):
+        model = ScoringModel(min_loop=3)
+        s1, s2 = random_pair(5, 9, 3)
+        inp = prepare_inputs(s1, s2, model)
+        got = VectorizedBPMax(inp, variant="hybrid-tiled", tile=(4, 2, 0)).run()
+        assert got == pytest.approx(bpmax_recursive(inp))
+
+
+class TestFullTableEquality:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_every_cell_matches(self, small_inputs, variant):
+        _, table = bpmax_recursive(small_inputs, full_table=True)
+        eng = VectorizedBPMax(small_inputs, variant=variant, tile=(2, 2, 0))
+        eng.run()
+        for key, v in table.items():
+            assert eng.table.get(*key) == pytest.approx(v), key
+
+
+class TestThreads:
+    def test_threaded_r0_matches_serial(self, medium_inputs):
+        serial = VectorizedBPMax(medium_inputs, variant="hybrid").run()
+        threaded = VectorizedBPMax(medium_inputs, variant="hybrid", threads=3).run()
+        assert threaded == pytest.approx(serial)
+
+    def test_threaded_tiled(self, medium_inputs):
+        expected = bpmax_recursive(medium_inputs)
+        got = VectorizedBPMax(
+            medium_inputs, variant="hybrid-tiled", threads=2, tile=(3, 2, 0)
+        ).run()
+        assert got == pytest.approx(expected)
+
+
+class TestConfiguration:
+    def test_unknown_variant(self, small_inputs):
+        with pytest.raises(ValueError, match="variant"):
+            VectorizedBPMax(small_inputs, variant="mega")
+
+    def test_unknown_kernel_override(self, small_inputs):
+        with pytest.raises(ValueError, match="kernel"):
+            VectorizedBPMax(small_inputs, kernel="nope")
+
+    def test_unknown_order_override(self, small_inputs):
+        with pytest.raises(ValueError, match="order"):
+            VectorizedBPMax(small_inputs, order="zigzag")
+
+    def test_variant_presets(self, small_inputs):
+        eng = VectorizedBPMax(small_inputs, variant="coarse")
+        assert eng.order == "diagonal"
+        assert eng.granularity == "triangle"
+        eng = VectorizedBPMax(small_inputs, variant="hybrid-tiled")
+        assert eng.kernel_name == "tiled"
+
+    def test_order_override_wins(self, small_inputs):
+        eng = VectorizedBPMax(small_inputs, variant="coarse", order="bottomup")
+        assert eng.order == "bottomup"
+
+
+class TestEngineRegistry:
+    def test_registry_contents(self):
+        assert set(ENGINES) == {"baseline", "coarse", "fine", "hybrid", "hybrid-tiled"}
+
+    def test_make_engine_baseline(self, small_inputs):
+        eng = make_engine(small_inputs, "baseline")
+        assert isinstance(eng, BaselineBPMax)
+
+    def test_make_engine_rejects_baseline_options(self, small_inputs):
+        with pytest.raises(TypeError, match="options"):
+            make_engine(small_inputs, "baseline", tile=(2, 2, 0))
+
+    def test_make_engine_unknown(self, small_inputs):
+        with pytest.raises(ValueError, match="unknown"):
+            make_engine(small_inputs, "quantum")
+
+    def test_all_registered_engines_agree(self, small_inputs):
+        expected = bpmax_recursive(small_inputs)
+        for name in ENGINES:
+            kwargs = {} if name == "baseline" else {"tile": (2, 2, 0)}
+            assert make_engine(small_inputs, name, **kwargs).run() == pytest.approx(
+                expected
+            ), name

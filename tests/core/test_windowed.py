@@ -1,0 +1,92 @@
+"""Tests for windowed BPMax scanning."""
+
+import pytest
+
+from repro.core.reference import bpmax_recursive, prepare_inputs
+from repro.core.windowed import scan_windows
+from repro.rna.alphabet import CANONICAL_PAIRS
+from repro.rna.sequence import RnaSequence, random_sequence
+
+
+def _revcomp(seq: str) -> str:
+    comp = {"A": "U", "U": "A", "G": "C", "C": "G"}
+    return "".join(comp[c] for c in reversed(seq))
+
+
+class TestScan:
+    def test_window_starts_and_stride(self):
+        res = scan_windows("GC", "A" * 30, window=10, stride=5, variant="hybrid")
+        assert [h.start for h in res.hits] == [0, 5, 10, 15, 20]
+
+    def test_window_clamped_to_target(self):
+        res = scan_windows("GC", "GCGC", window=100, variant="hybrid")
+        assert res.window == 4
+        assert len(res.hits) == 1
+
+    def test_scores_match_direct_engine(self):
+        query, target = "CUCC", "GGAGGAAA"
+        res = scan_windows(query, target, window=4, stride=4, variant="hybrid",
+                           antiparallel=False)
+        for hit in res.hits:
+            piece = target[hit.start : hit.start + 4]
+            expected = bpmax_recursive(prepare_inputs(query, piece))
+            assert hit.score == pytest.approx(expected)
+
+    def test_antiparallel_reverses_window(self):
+        query, target = "CUCC", "GGAGAAAA"
+        res = scan_windows(query, target, window=4, stride=4)
+        expected = bpmax_recursive(prepare_inputs(query, target[:4][::-1]))
+        assert res.hits[0].score == pytest.approx(expected)
+
+    def test_gain_is_score_minus_independent(self):
+        res = scan_windows("GCGC", "GCGCGC", window=6, variant="hybrid")
+        hit = res.hits[0]
+        inp = prepare_inputs("GCGC", RnaSequence("GCGCGC").reversed())
+        assert hit.gain == pytest.approx(
+            hit.score - float(inp.s1[0, -1] + inp.s2[0, -1])
+        )
+
+
+class TestSiteLocation:
+    def test_planted_site_found(self):
+        """A perfect complementary site must win by interaction gain."""
+        query = "CUCCUCCACC"  # pyrimidine-rich: no self structure
+        site = _revcomp(query)
+        left = random_sequence(30, 0).seq
+        right = random_sequence(30, 1).seq
+        target = left + site + right
+        res = scan_windows(query, target, window=len(site), stride=2)
+        assert abs(res.best.start - 30) <= len(site) // 2
+
+    def test_top_k_ordering(self):
+        res = scan_windows("GC", "GCAUGCAUGCAU", window=4, stride=2, variant="hybrid")
+        top = res.top(3)
+        assert len(top) == 3
+        assert top[0].gain >= top[1].gain >= top[2].gain
+
+    def test_best_on_empty_hits_impossible(self):
+        res = scan_windows("GC", "AU", window=2, variant="hybrid")
+        assert res.best is not None
+
+
+class TestValidation:
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            scan_windows("", "ACGU")
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError, match="stride"):
+            scan_windows("GC", "ACGU", stride=0)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            scan_windows("GC", "ACGU", window=-1)
+
+    def test_bad_variant(self):
+        with pytest.raises(ValueError, match="variant"):
+            scan_windows("GC", "ACGU", variant="warp")
+
+    def test_bad_topk(self):
+        res = scan_windows("GC", "ACGUACGU", window=4, variant="hybrid")
+        with pytest.raises(ValueError, match="k must be"):
+            res.top(0)

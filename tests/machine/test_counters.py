@@ -1,0 +1,80 @@
+"""Tests for the exact work counters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.counters import (
+    bpmax_breakdown,
+    bytes_f_table,
+    bytes_inner_triangle,
+    flops_bpmax_total,
+    flops_r0,
+    flops_r1r2,
+    flops_r3r4,
+    k1,
+    t1,
+)
+
+sizes = st.integers(1, 64)
+
+
+class TestClosedForms:
+    @given(st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_t1_counts_windows(self, n):
+        assert t1(n) == sum(1 for i in range(n) for j in range(i, n))
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_k1_counts_splits(self, n):
+        brute = sum(
+            1
+            for i in range(n)
+            for j in range(i, n)
+            for k in range(i, j)
+        )
+        assert k1(n) == brute
+
+    def test_r0_dominates_asymptotically(self):
+        wk = bpmax_breakdown(64, 64)
+        assert wk.r0_fraction > 0.8
+
+    def test_r1r2_scales_as_n2m3(self):
+        assert flops_r1r2(8, 16) == 2 * 2 * t1(8) * k1(16)
+
+    def test_r3r4_symmetric_form(self):
+        assert flops_r3r4(8, 16) == 2 * 2 * k1(8) * t1(16)
+
+    @given(sizes, sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_total_is_sum_of_parts(self, n, m):
+        wk = bpmax_breakdown(n, m)
+        assert wk.total == flops_bpmax_total(n, m)
+
+    @given(sizes, sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_both_lengths(self, n, m):
+        assert flops_bpmax_total(n + 1, m) >= flops_bpmax_total(n, m)
+        assert flops_bpmax_total(n, m + 1) >= flops_bpmax_total(n, m)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            bpmax_breakdown(0, 4)
+
+
+class TestMemorySizes:
+    def test_paper_16mb_anchor(self):
+        """§V-C: ~16 MB of data per R1/R2 row at inner length 2048.
+
+        The Theta(M^2) set = triangle + S2 box; the triangle alone is 8 MB.
+        """
+        tri = bytes_inner_triangle(2048)
+        assert 8.0e6 < tri < 8.6e6
+        assert 16.0e6 < tri * 2 + 8 < 17.2e6
+
+    def test_f_table_quarter_of_box(self):
+        """The triangular table is ~1/4 of the M^2 N^2 bounding box."""
+        n, m = 64, 64
+        box = n * n * m * m * 4
+        assert bytes_f_table(n, m) / box == pytest.approx(0.25, rel=0.05)

@@ -1,0 +1,69 @@
+"""Tests for the GPU comparison model (Gildemaster related work)."""
+
+import pytest
+
+from repro.machine.gpu import GpuSpec, GpuWindowedModel, VOLTA_LIKE
+
+
+@pytest.fixture(scope="module")
+def gm():
+    return GpuWindowedModel()
+
+
+class TestCapacity:
+    def test_limited_window_claim(self, gm):
+        """§II: 'only up to a limited number of nucleotide sequences or a
+        window ... can be processed on GPU due to memory constraints.'"""
+        n_fit = gm.max_resident_n(2500)
+        assert n_fit < 64  # a 16 GB device holds only a few dozen rows
+
+    def test_capacity_grows_as_m_shrinks(self, gm):
+        assert gm.max_resident_n(512) > gm.max_resident_n(2500)
+
+    def test_table_bytes(self, gm):
+        # T1(16) = 136 windows of m^2 floats
+        assert gm.table_bytes(16, 100) == 136 * 100 * 100 * 4
+
+
+class TestComparison:
+    def test_gpu_wins_in_memory(self, gm):
+        """Gildemaster: 'significant speedup on a windowed version'."""
+        c = gm.compare(16, 2500)
+        assert c.fits_device
+        assert c.gpu_speedup_over_cpu > 2
+
+    def test_transfer_fraction_grows_past_capacity(self, gm):
+        small = gm.compare(16, 2500)
+        big = gm.compare(128, 2500)
+        assert not big.fits_device
+        assert big.transfer_fraction > small.transfer_fraction
+
+    def test_speedup_declines_past_capacity(self, gm):
+        """'the cost of moving data out of the GPU memory negatively
+        impacts the overall performance.'"""
+        resident = gm.compare(16, 2500).gpu_speedup_over_cpu
+        spilled = gm.compare(256, 2500).gpu_speedup_over_cpu
+        assert spilled < resident
+
+    def test_windows_needed_grow(self, gm):
+        assert gm.compare(256, 2500).windows_needed > gm.compare(64, 2500).windows_needed
+
+    def test_small_sizes_rejected(self, gm):
+        with pytest.raises(ValueError, match="need n, m"):
+            gm.compare(1, 100)
+
+
+class TestGpuSpec:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GpuSpec("x", 0, 1, 1, 1)
+        with pytest.raises(ValueError, match="efficiency"):
+            GpuSpec("x", 1, 1, 1, 1, kernel_efficiency=2.0)
+
+    def test_volta_defaults(self):
+        assert VOLTA_LIKE.memory_bytes == 16 * 1024**3
+
+    def test_bigger_memory_bigger_windows(self):
+        small = GpuWindowedModel(GpuSpec("s", 14e12, 4 * 1024**3, 900e9, 12e9))
+        large = GpuWindowedModel(GpuSpec("l", 14e12, 32 * 1024**3, 900e9, 12e9))
+        assert large.max_resident_n(2500) > small.max_resident_n(2500)

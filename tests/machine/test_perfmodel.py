@@ -1,0 +1,197 @@
+"""Tests for the calibrated performance model.
+
+These assert the *qualitative claims of the paper* — who wins, rough
+factors, crossovers — which is exactly what the model exists to
+reproduce (see DESIGN.md's substitution table).
+"""
+
+import pytest
+
+from repro.bench.workloads import PAPER_ANCHORS
+from repro.machine.perfmodel import BPMAX_VARIANTS, DMP_VARIANTS, PerfModel
+from repro.machine.specs import XEON_E2278G
+
+N = 16
+TILE = (64, 16, 0)
+
+
+@pytest.fixture(scope="module")
+def pm():
+    return PerfModel()
+
+
+class TestStreamCalibration:
+    def test_fig12_six_thread_anchor(self, pm):
+        """Paper: up to 120 GFLOPS with 6 threads."""
+        g = pm.predict_stream(16 * 1024, 6)
+        assert g == pytest.approx(PAPER_ANCHORS["stream_6t_gflops"], rel=0.05)
+
+    def test_fig12_twelve_thread_anchor(self, pm):
+        g = pm.predict_stream(16 * 1024, 12)
+        assert g == pytest.approx(PAPER_ANCHORS["stream_12t_gflops"], rel=0.05)
+
+    def test_staircase_decreases_with_chunk(self, pm):
+        vals = [pm.predict_stream(c, 6) for c in (2**12, 2**18, 2**21, 2**25)]
+        assert vals == sorted(vals, reverse=True)
+        assert vals[0] > 3 * vals[-1]
+
+    def test_invalid_args(self, pm):
+        with pytest.raises(ValueError):
+            pm.predict_stream(0, 6)
+
+
+class TestDmpModel:
+    def test_fig13_tiled_hits_117(self, pm):
+        """Tiled kernel ~117 GFLOPS = ~97% of the stream target."""
+        g = pm.predict_dmp("tiled", N, 1024, tile=TILE).gflops
+        assert g == pytest.approx(PAPER_ANCHORS["dmp_tiled_gflops"], rel=0.1)
+        assert g / pm.predict_stream(16 * 1024, 6) > 0.9
+
+    def test_fig13_ordering_moderate_sizes(self, pm):
+        """tiled > fine > coarse > base once coarse has spilled the LLC."""
+        g = {v: pm.predict_dmp(v, N, 1024, tile=TILE).gflops for v in DMP_VARIANTS}
+        assert g["tiled"] > g["fine-ltr"] > g["coarse"] > g["base"]
+
+    def test_fig14_kernel_speedup_over_100x(self, pm):
+        """Paper: ~178x over the original base kernel."""
+        base = pm.predict_dmp("base", N, 2048)
+        tiled = pm.predict_dmp("tiled", N, 2048, tile=TILE)
+        s = tiled.speedup_over(base)
+        assert 100 <= s <= 250
+
+    def test_phase1_collapse_at_long_sequences(self, pm):
+        """§IV-A-c: 'significant collapse in performance when the input
+        sequences are longer' for the untiled kernel."""
+        short = pm.predict_dmp("fine-ltr", N, 512).gflops
+        long_ = pm.predict_dmp("fine-ltr", N, 4096).gflops
+        assert long_ < 0.7 * short
+
+    def test_coarse_spills_earlier_than_fine(self, pm):
+        """Coarse-grain multiplies the LLC footprint by the thread count."""
+        m = 1024
+        coarse = pm.predict_dmp("coarse", N, m)
+        fine = pm.predict_dmp("fine-ltr", N, m)
+        assert coarse.gflops < fine.gflops
+        assert coarse.bound == "DRAM"
+
+    def test_diagonal_vs_bottomup_minor(self, pm):
+        """Fig. 13: only a minor difference between traversal orders."""
+        d = pm.predict_dmp("fine-diagonal", N, 1024).gflops
+        b = pm.predict_dmp("fine-ltr", N, 1024).gflops
+        assert 0.9 < d / b < 1.0
+
+    def test_fig17_smt_gain_3_to_5_percent(self, pm):
+        lo, hi = PAPER_ANCHORS["smt_gain_tiled"]
+        for m in (512, 1024, 2048, 4096):
+            g6 = pm.predict_dmp("tiled", N, m, 6, tile=TILE).gflops
+            g12 = pm.predict_dmp("tiled", N, m, 12, tile=TILE).gflops
+            assert lo - 0.01 <= g12 / g6 <= hi + 0.01
+
+    def test_fig18_j2_untiled_beats_cubic(self, pm):
+        """'cubic tiles perform poorly ... best result when j2 is not tiled'."""
+        best = pm.predict_dmp("tiled", N, 2500, tile=(64, 16, 0)).gflops
+        cubic = pm.predict_dmp("tiled", N, 2500, tile=(64, 64, 64)).gflops
+        assert best > 1.2 * cubic
+
+    def test_fig18_best_vs_generic_within_about_10pct(self, pm):
+        """'10% performance differences between the best and generic tiles'."""
+        a = pm.predict_dmp("tiled", N, 1024, tile=(64, 16, 0)).gflops
+        b = pm.predict_dmp("tiled", N, 1024, tile=(128, 8, 0)).gflops
+        assert abs(a - b) / max(a, b) <= 0.15
+
+    def test_unknown_variant_rejected(self, pm):
+        with pytest.raises(ValueError, match="unknown"):
+            pm.predict_dmp("turbo", N, 256)
+
+    def test_bad_tile_rejected(self, pm):
+        with pytest.raises(ValueError, match="tile"):
+            pm.predict_dmp("tiled", N, 256, tile=(0, 4, 0))
+
+    def test_no_work_rejected(self, pm):
+        with pytest.raises(ValueError, match="work"):
+            pm.predict_dmp("base", 1, 1)
+
+
+class TestBpmaxModel:
+    def test_fig15_tiled_hybrid_near_76(self, pm):
+        """Paper: ~76 GFLOPS for moderate-size sequences."""
+        g = pm.predict_bpmax("hybrid-tiled", N, 1024, tile=TILE).gflops
+        assert g == pytest.approx(PAPER_ANCHORS["bpmax_tiled_gflops"], rel=0.2)
+
+    def test_fig15_ordering(self, pm):
+        g = {v: pm.predict_bpmax(v, N, 1024, tile=TILE).gflops for v in BPMAX_VARIANTS}
+        assert g["hybrid-tiled"] > g["hybrid"] > g["fine"] > g["base"]
+        assert g["hybrid-tiled"] > g["coarse"]
+
+    def test_fig16_100x_speedup(self, pm):
+        """Paper: ~100x speedup for longer sequences."""
+        base = pm.predict_bpmax("base", N, 1024)
+        tiled = pm.predict_bpmax("hybrid-tiled", N, 1024, tile=TILE)
+        assert 70 <= tiled.speedup_over(base) <= 180
+
+    def test_full_program_slower_than_kernel(self, pm):
+        """§V-C: the whole program is well below the 117 GFLOPS kernel,
+        dragged down by R1/R2."""
+        kernel = pm.predict_dmp("tiled", N, 1024, tile=TILE).gflops
+        program = pm.predict_bpmax("hybrid-tiled", N, 1024, tile=TILE).gflops
+        assert program < 0.8 * kernel
+
+    def test_r1r2_collapse_at_2048(self, pm):
+        """§V-C: the Theta(M^2)=16 MB row working set spills at M=2048."""
+        g1024 = pm.predict_bpmax("hybrid-tiled", N, 1024, tile=TILE).gflops
+        g2048 = pm.predict_bpmax("hybrid-tiled", N, 2048, tile=TILE).gflops
+        assert g2048 < g1024
+
+    def test_fine_cannot_parallelize_r1r2(self, pm):
+        """Fine-grain leaves R1/R2 single-threaded -> worse than hybrid."""
+        fine = pm.predict_bpmax("fine", N, 1024).gflops
+        hybrid = pm.predict_bpmax("hybrid", N, 1024).gflops
+        assert hybrid > 1.5 * fine
+
+    def test_e2278g_same_or_better(self, pm):
+        """§V-C / Fig. 1: E-2278G performs the same or better."""
+        pm8 = PerfModel(XEON_E2278G)
+        for m in (512, 1024, 2048):
+            g6 = pm.predict_bpmax("hybrid-tiled", N, m, tile=TILE).gflops
+            g8 = pm8.predict_bpmax("hybrid-tiled", N, m, tile=TILE).gflops
+            assert g8 >= 0.95 * g6
+
+    def test_quarter_of_peak_on_e2278g(self):
+        """Paper: 'reaching close to one-fourth of the theoretical
+        single-precision machine peak' on E-2278G."""
+        pm8 = PerfModel(XEON_E2278G)
+        g = pm8.predict_bpmax("hybrid-tiled", N, 1024, tile=TILE).gflops
+        frac = g / (XEON_E2278G.maxplus_peak_flops() / 1e9)
+        assert 0.15 <= frac <= 0.35
+
+    def test_unknown_variant_rejected(self, pm):
+        with pytest.raises(ValueError, match="unknown"):
+            pm.predict_bpmax("warp", N, 256)
+
+
+class TestFutureWorkVariants:
+    """Conclusion §VI projections: register tiling and R1/R2 tiling."""
+
+    def test_register_tiling_compute_bound(self, pm):
+        """'an additional level of tiling at the register level is
+        required to make the program compute-bound'."""
+        r = pm.predict_dmp("register-tiled", N, 1024, tile=TILE)
+        assert r.bound == "peak"
+        assert r.gflops > 2 * pm.predict_dmp("tiled", N, 1024, tile=TILE).gflops
+
+    def test_register_tiling_below_peak(self, pm):
+        r = pm.predict_dmp("register-tiled", N, 1024, tile=TILE)
+        assert r.gflops <= pm.machine.maxplus_peak_flops() / 1e9
+
+    def test_r12_tiling_lifts_program(self, pm):
+        """'We also plan to apply tiling on R1 and R2'."""
+        plain = pm.predict_bpmax("hybrid-tiled", N, 1024, tile=TILE)
+        tiled12 = pm.predict_bpmax("hybrid-tiled-r12", N, 1024, tile=TILE)
+        assert tiled12.gflops > plain.gflops
+
+    def test_r12_tiling_removes_collapse(self, pm):
+        """R1/R2 tiling keeps the rows L2-resident, so the M=2048 DRAM
+        collapse of the plain hybrid-tiled program disappears."""
+        g1024 = pm.predict_bpmax("hybrid-tiled-r12", N, 1024, tile=TILE).gflops
+        g2048 = pm.predict_bpmax("hybrid-tiled-r12", N, 2048, tile=TILE).gflops
+        assert g2048 >= 0.95 * g1024

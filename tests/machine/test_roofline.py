@@ -1,0 +1,60 @@
+"""Tests for the roofline model (paper Fig. 11)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.roofline import MAXPLUS_STREAM_AI, Roofline
+from repro.machine.specs import XEON_E5_1650V4
+
+
+@pytest.fixture
+def rl():
+    return Roofline(XEON_E5_1650V4, threads=6)
+
+
+class TestRoofline:
+    def test_maxplus_ai_is_one_sixth(self):
+        assert MAXPLUS_STREAM_AI == pytest.approx(1 / 6)
+
+    def test_l1_bound_matches_paper(self, rl):
+        """Paper: 'we expect to achieve around 329 GFLOPS based on L1'."""
+        pt = rl.maxplus_bound("L1")
+        assert pt.bound == "memory"
+        assert 320 <= pt.attainable_gflops <= 340
+
+    def test_peak(self, rl):
+        assert rl.peak_gflops == pytest.approx(345.6)
+
+    def test_memory_bound_below_ridge(self, rl):
+        for level in rl.levels():
+            ridge = rl.ridge_point(level)
+            below = rl.attainable(ridge / 2, level)
+            above = rl.attainable(ridge * 2, level)
+            assert below.bound == "memory"
+            assert above.bound == "compute"
+            assert above.attainable_gflops == pytest.approx(rl.peak_gflops)
+
+    def test_rooflines_ordered_by_level(self, rl):
+        """At the stream AI, L1 roof >= L2 >= L3 >= DRAM."""
+        vals = [
+            rl.attainable(MAXPLUS_STREAM_AI, lvl).attainable_gflops
+            for lvl in ("L1", "L2", "L3", "DRAM")
+        ]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_curve_monotone(self, rl):
+        ais, vals = rl.curve("L2")
+        assert len(ais) == len(vals)
+        assert (np.diff(vals) >= -1e-9).all()
+
+    def test_invalid_ai_rejected(self, rl):
+        with pytest.raises(ValueError, match="intensity"):
+            rl.attainable(0.0, "L1")
+
+    def test_fewer_threads_lower_roof(self):
+        r1 = Roofline(XEON_E5_1650V4, 1)
+        r6 = Roofline(XEON_E5_1650V4, 6)
+        assert (
+            r1.maxplus_bound("L1").attainable_gflops
+            < r6.maxplus_bound("L1").attainable_gflops
+        )

@@ -1,0 +1,52 @@
+"""Tests for machine specifications."""
+
+import pytest
+
+from repro.machine.specs import MACHINES, XEON_E2278G, XEON_E5_1650V4
+
+
+class TestXeonE51650v4:
+    def test_theoretical_maxplus_peak(self):
+        """Paper §V-A: ~346 GFLOPS single-precision max-plus peak."""
+        assert XEON_E5_1650V4.maxplus_peak_flops() / 1e9 == pytest.approx(345.6)
+
+    def test_scalar_peak_is_peak_over_lanes(self):
+        assert XEON_E5_1650V4.scalar_peak_flops() * 8 == pytest.approx(
+            XEON_E5_1650V4.maxplus_peak_flops()
+        )
+
+    def test_cache_sizes(self):
+        assert XEON_E5_1650V4.cache("L1").size_bytes == 32 * 1024
+        assert XEON_E5_1650V4.cache("L2").size_bytes == 256 * 1024
+        assert XEON_E5_1650V4.llc.size_bytes == 15 * 1024 * 1024
+
+    def test_l1_bandwidth_per_core(self):
+        """93 bytes/cycle at 3.6 GHz."""
+        bw = XEON_E5_1650V4.level_bandwidth("L1", 1)
+        assert bw == pytest.approx(93 * 3.6e9)
+
+    def test_bandwidth_scales_with_cores_up_to_six(self):
+        bw1 = XEON_E5_1650V4.level_bandwidth("L1", 1)
+        assert XEON_E5_1650V4.level_bandwidth("L1", 6) == pytest.approx(6 * bw1)
+        # SMT threads do not add cache ports
+        assert XEON_E5_1650V4.level_bandwidth("L1", 12) == pytest.approx(6 * bw1)
+
+    def test_dram_bandwidth(self):
+        assert XEON_E5_1650V4.level_bandwidth("DRAM") == pytest.approx(76.8e9)
+
+    def test_unknown_cache_rejected(self):
+        with pytest.raises(KeyError):
+            XEON_E5_1650V4.cache("L4")
+
+    def test_smt_capped_peak(self):
+        assert XEON_E5_1650V4.maxplus_peak_flops(12) == pytest.approx(
+            XEON_E5_1650V4.maxplus_peak_flops(6)
+        )
+
+
+class TestE2278G:
+    def test_more_cores_higher_peak(self):
+        assert XEON_E2278G.maxplus_peak_flops() > XEON_E5_1650V4.maxplus_peak_flops()
+
+    def test_registry(self):
+        assert set(MACHINES) == {"Xeon E5-1650v4", "Xeon E-2278G"}

@@ -1,0 +1,105 @@
+"""Tests for the simulated message-passing cluster."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.mpi import ClusterSpec, CommStats, SimComm
+
+
+@pytest.fixture
+def comm():
+    return SimComm(ClusterSpec(ranks=4, rank_flops=1e9, latency_s=1e-6,
+                               bandwidth_bytes_per_s=1e9))
+
+
+class TestClusterSpec:
+    def test_transfer_time_alpha_beta(self):
+        spec = ClusterSpec(ranks=2, latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        assert spec.transfer_time(0) == pytest.approx(1e-6)
+        assert spec.transfer_time(10**9) == pytest.approx(1 + 1e-6)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(ranks=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(ranks=2, latency_s=0)
+
+
+class TestPointToPoint:
+    def test_payload_delivered(self, comm):
+        data = np.arange(10, dtype=np.float32)
+        comm.send(data, source=0, dest=1)
+        got = comm.recv(source=0, dest=1)
+        assert np.array_equal(got, data)
+
+    def test_receiver_waits_for_sender(self, comm):
+        comm.compute(0, seconds=5.0)
+        comm.send(np.zeros(1), source=0, dest=1)
+        comm.recv(source=0, dest=1)
+        assert comm.clock[1] >= 5.0
+
+    def test_fast_receiver_not_delayed_backwards(self, comm):
+        comm.compute(1, seconds=9.0)
+        comm.send(np.zeros(1), source=0, dest=1)
+        comm.recv(source=0, dest=1)
+        assert comm.clock[1] == pytest.approx(9.0)
+
+    def test_fifo_ordering_between_pair(self, comm):
+        comm.send("a", source=0, dest=1)
+        comm.send("b", source=0, dest=1)
+        assert comm.recv(source=0, dest=1) == "a"
+        assert comm.recv(source=0, dest=1) == "b"
+
+    def test_self_send_rejected(self, comm):
+        with pytest.raises(ValueError, match="itself"):
+            comm.send(1, source=2, dest=2)
+
+    def test_recv_before_send_errors(self, comm):
+        with pytest.raises(RuntimeError, match="before send"):
+            comm.recv(source=0, dest=1)
+
+    def test_stats_accumulate(self, comm):
+        comm.send(np.zeros(100, dtype=np.float32), source=0, dest=1)
+        comm.recv(source=0, dest=1)
+        assert comm.stats.messages == 1
+        assert comm.stats.bytes_sent == 400
+
+    def test_bad_rank_rejected(self, comm):
+        with pytest.raises(ValueError, match="out of range"):
+            comm.compute(9)
+
+
+class TestCollectives:
+    def test_barrier_synchronizes(self, comm):
+        comm.compute(2, seconds=3.0)
+        comm.barrier()
+        assert all(c == comm.clock[0] for c in comm.clock)
+        assert comm.clock[0] >= 3.0
+
+    def test_bcast_advances_everyone(self, comm):
+        payload = comm.bcast(np.zeros(1000, dtype=np.float64), root=0)
+        assert payload.shape == (1000,)
+        assert min(comm.clock) > 0
+
+    def test_allgather_returns_all(self, comm):
+        out = comm.allgather([10, 20, 30, 40])
+        assert out == [10, 20, 30, 40]
+        assert comm.stats.collectives == 1
+
+    def test_allgather_arity_checked(self, comm):
+        with pytest.raises(ValueError, match="contributions"):
+            comm.allgather([1, 2])
+
+
+class TestCompute:
+    def test_flops_advance_clock(self, comm):
+        comm.compute(0, flops=2e9)
+        assert comm.clock[0] == pytest.approx(2.0)
+
+    def test_negative_work_rejected(self, comm):
+        with pytest.raises(ValueError):
+            comm.compute(0, flops=-1)
+
+    def test_makespan(self, comm):
+        comm.compute(3, seconds=7.0)
+        assert comm.makespan == pytest.approx(7.0)

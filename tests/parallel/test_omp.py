@@ -1,0 +1,121 @@
+"""Tests for the OMP-style loop schedulers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.omp import (
+    SCHEDULERS,
+    Chunk,
+    dynamic_schedule,
+    guided_schedule,
+    simulate_makespan,
+    static_schedule,
+)
+
+
+def triangle_cost(n):
+    """BPMax-like shrinking-wavefront costs: task i costs n - i."""
+    return lambda i: float(n - i)
+
+
+def _covers(chunks, n):
+    seen = []
+    for c in chunks:
+        seen.extend(c.indices)
+    return sorted(seen) == list(range(n))
+
+
+class TestChunkCoverage:
+    @given(st.integers(0, 60), st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_static_partitions_exactly(self, n, p):
+        assert _covers(static_schedule(n, p), n)
+
+    @given(st.integers(0, 60), st.integers(1, 8), st.integers(1, 7))
+    @settings(max_examples=50, deadline=None)
+    def test_static_with_chunk_partitions(self, n, p, chunk):
+        assert _covers(static_schedule(n, p, chunk), n)
+
+    @given(st.integers(0, 60), st.integers(1, 8), st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_dynamic_partitions(self, n, p, chunk):
+        assert _covers(dynamic_schedule(n, p, chunk=chunk), n)
+
+    @given(st.integers(0, 60), st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_guided_partitions(self, n, p):
+        assert _covers(guided_schedule(n, p), n)
+
+    @given(st.integers(0, 40), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_threads_in_range(self, n, p):
+        for name, sched in SCHEDULERS.items():
+            for c in sched(n, p):
+                assert 0 <= c.thread < p, name
+
+
+class TestGuidedShape:
+    def test_chunks_shrink(self):
+        sizes = [c.stop - c.start for c in guided_schedule(1000, 4)]
+        assert sizes[0] > sizes[-1]
+        assert sizes[0] == 1000 // 8
+
+
+class TestMakespan:
+    def test_uniform_costs_balanced(self):
+        chunks = static_schedule(100, 4)
+        ms = simulate_makespan(chunks, lambda i: 1.0, 4)
+        assert ms == pytest.approx(25.0)
+
+    def test_dynamic_beats_static_on_imbalance(self):
+        """The paper's §IV-C-d finding: dynamic > static for BPMax's
+        shrinking triangles."""
+        n, p = 64, 6
+        cost = triangle_cost(n)
+        ms_static = simulate_makespan(static_schedule(n, p), cost, p)
+        ms_dynamic = simulate_makespan(dynamic_schedule(n, p, cost), cost, p)
+        assert ms_dynamic < ms_static
+
+    def test_dynamic_close_to_lower_bound(self):
+        n, p = 64, 6
+        cost = triangle_cost(n)
+        total = sum(cost(i) for i in range(n))
+        ms = simulate_makespan(dynamic_schedule(n, p, cost), cost, p)
+        assert ms <= total / p * 1.25
+
+    def test_guided_between(self):
+        n, p = 64, 6
+        cost = triangle_cost(n)
+        ms_g = simulate_makespan(guided_schedule(n, p, cost), cost, p)
+        ms_s = simulate_makespan(static_schedule(n, p), cost, p)
+        assert ms_g <= ms_s
+
+    def test_invalid_thread_assignment_caught(self):
+        with pytest.raises(ValueError, match="invalid thread"):
+            simulate_makespan([Chunk(0, 2, 5)], lambda i: 1.0, 2)
+
+
+class TestValidation:
+    def test_empty_chunk_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Chunk(3, 3, 0)
+
+    def test_zero_threads_rejected(self):
+        for sched in SCHEDULERS.values():
+            with pytest.raises(ValueError):
+                sched(10, 0)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            static_schedule(-1, 2)
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            static_schedule(10, 2, 0)
+        with pytest.raises(ValueError):
+            dynamic_schedule(10, 2, chunk=-1)
+
+    def test_short_cost_sequence_rejected(self):
+        with pytest.raises(ValueError, match="entries"):
+            dynamic_schedule(10, 2, cost=[1.0, 2.0])

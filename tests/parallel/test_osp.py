@@ -1,0 +1,69 @@
+"""Tests for middle serialization of OSP-like reductions (§IV-C-a)."""
+
+import networkx as nx
+import pytest
+
+from repro.parallel.osp import (
+    osp_chain_graph,
+    osp_middle_serialized_graph,
+    speedup_comparison,
+)
+from repro.parallel.wavefront import simulate_dag
+
+
+class TestChainGraph:
+    def test_is_a_chain(self):
+        g = osp_chain_graph(10)
+        assert g.number_of_nodes() == 10
+        assert g.number_of_edges() == 9
+        assert nx.dag_longest_path_length(g) == 9
+
+    def test_one_thread_active(self):
+        """The paper's complaint: 'only one thread stays active'."""
+        res = simulate_dag(osp_chain_graph(32), threads=6)
+        assert res.utilization == pytest.approx(1 / 6, abs=0.01)
+        assert res.speedup == pytest.approx(1.0)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            osp_chain_graph(0)
+
+
+class TestMiddleSerialized:
+    def test_is_acyclic(self):
+        g = osp_middle_serialized_graph(64, 8)
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_accumulations_within_round_independent(self):
+        """acc tasks of different destination blocks share no edges."""
+        g = osp_middle_serialized_graph(32, 4)
+        a = ("acc", 3, 0)
+        b = ("acc", 4, 0)
+        assert not nx.has_path(g, a, b) and not nx.has_path(g, b, a)
+
+    def test_mid_waits_for_all_accumulations(self):
+        g = osp_middle_serialized_graph(32, 4)
+        preds = set(g.predecessors(("mid", 5)))
+        assert preds == {("acc", 5, s) for s in range(5)}
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError, match="block"):
+            osp_middle_serialized_graph(8, 0)
+
+
+class TestRecoveredParallelism:
+    def test_utilization_recovers(self):
+        """Middle serialization lifts utilization from ~1/P toward 1."""
+        stats = speedup_comparison(m=256, block=16, threads=6)
+        assert stats["chain_utilization"] < 0.2
+        assert stats["ms_utilization"] > 0.5
+
+    def test_parallel_speedup_over_chain_grows_with_width(self):
+        narrow = speedup_comparison(m=64, block=8, threads=6)
+        wide = speedup_comparison(m=512, block=16, threads=6)
+        assert wide["ms_utilization"] >= narrow["ms_utilization"]
+
+    def test_single_thread_no_benefit(self):
+        """With one thread the transformation only adds work."""
+        stats = speedup_comparison(m=128, block=8, threads=1)
+        assert stats["ms_makespan"] >= stats["chain_makespan"]

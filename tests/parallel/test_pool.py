@@ -1,0 +1,63 @@
+"""Tests for the real thread-pool runner."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.parallel.pool import ParallelRunner
+
+
+class TestParallelRunner:
+    def test_map_ordered(self):
+        with ParallelRunner(3) as pool:
+            assert pool.map(lambda x: x * x, [1, 2, 3, 4]) == [1, 4, 9, 16]
+
+    def test_single_thread_path(self):
+        with ParallelRunner(1) as pool:
+            assert pool.map(lambda x: x + 1, [0, 1]) == [1, 2]
+
+    def test_parallel_for_covers_range(self):
+        hits = np.zeros(20, dtype=int)
+        lock = threading.Lock()
+
+        def body(i):
+            with lock:
+                hits[i] += 1
+
+        with ParallelRunner(4) as pool:
+            pool.parallel_for(body, 20)
+        assert (hits == 1).all()
+
+    def test_parallel_for_zero(self):
+        with ParallelRunner(2) as pool:
+            pool.parallel_for(lambda i: None, 0)
+
+    def test_negative_n_rejected(self):
+        with ParallelRunner(2) as pool:
+            with pytest.raises(ValueError):
+                pool.parallel_for(lambda i: None, -1)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError, match="threads"):
+            ParallelRunner(0)
+
+    def test_close_idempotent(self):
+        pool = ParallelRunner(2)
+        pool.close()
+        pool.close()
+
+    def test_numpy_work_in_threads(self):
+        """Row-parallel max-plus update via the pool matches serial."""
+        rng = np.random.default_rng(0)
+        a = rng.random((8, 16)).astype(np.float32)
+        b = rng.random(16).astype(np.float32)
+        serial = np.maximum(a, b)
+        out = a.copy()
+
+        def row(i):
+            np.maximum(out[i], b, out=out[i])
+
+        with ParallelRunner(4) as pool:
+            pool.parallel_for(row, 8)
+        assert np.allclose(out, serial)

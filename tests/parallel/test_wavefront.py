@@ -1,0 +1,113 @@
+"""Tests for the DAG list-scheduling simulator."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.wavefront import (
+    simulate_dag,
+    triangle_task_graph,
+    wavefront_levels,
+)
+
+
+def chain(n):
+    g = nx.DiGraph()
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def independent(n):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    return g
+
+
+class TestSimulator:
+    def test_chain_has_no_parallelism(self):
+        res = simulate_dag(chain(10), threads=4)
+        assert res.makespan == pytest.approx(10.0)
+        assert res.speedup == pytest.approx(1.0)
+
+    def test_independent_tasks_scale(self):
+        res = simulate_dag(independent(12), threads=4)
+        assert res.makespan == pytest.approx(3.0)
+        assert res.speedup == pytest.approx(4.0)
+
+    def test_respects_dependences(self):
+        g = nx.DiGraph([(0, 2), (1, 2)])
+        res = simulate_dag(g, threads=2)
+        assert res.start_times[2] >= max(res.finish_times[0], res.finish_times[1])
+
+    @given(st.integers(2, 20), st.integers(1, 6), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_random_dags_respect_order(self, n, p, seed):
+        g = nx.gnp_random_graph(n, 0.3, seed=seed, directed=True)
+        dag = nx.DiGraph((u, v) for u, v in g.edges if u < v)
+        dag.add_nodes_from(range(n))
+        res = simulate_dag(dag, threads=p)
+        for u, v in dag.edges:
+            assert res.start_times[v] >= res.finish_times[u] - 1e-9
+
+    @given(st.integers(1, 15), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds(self, n, p):
+        res = simulate_dag(independent(n), threads=p)
+        # classic list-scheduling bounds
+        assert res.makespan >= n / p - 1e-9
+        assert res.makespan <= (n / p) + 1 + 1e-9
+
+    def test_costs_mapping(self):
+        g = independent(3)
+        res = simulate_dag(g, threads=1, cost={0: 5.0, 1: 1.0, 2: 2.0})
+        assert res.makespan == pytest.approx(8.0)
+
+    def test_cyclic_rejected(self):
+        g = nx.DiGraph([(0, 1), (1, 0)])
+        with pytest.raises(ValueError, match="acyclic"):
+            simulate_dag(g, threads=1)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            simulate_dag(independent(1), threads=1, cost={0: -1.0})
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError, match="threads"):
+            simulate_dag(independent(1), threads=0)
+
+
+class TestTriangleGraph:
+    def test_dependence_structure(self):
+        """Triangle (i1, j1) depends on west and south (paper Fig. 4)."""
+        g = triangle_task_graph(4)
+        assert ((0, 1), (0, 2)) in g.edges  # west
+        assert ((1, 2), (0, 2)) in g.edges  # south
+
+    def test_node_count(self):
+        assert triangle_task_graph(5).number_of_nodes() == 15
+
+    def test_wavefront_levels_are_antidiagonals(self):
+        g = triangle_task_graph(4)
+        levels = wavefront_levels(g)
+        assert sorted(levels[0]) == [(0, 0), (1, 1), (2, 2), (3, 3)]
+        assert len(levels) == 4
+
+    def test_row_granularity_has_more_tasks(self):
+        coarse = triangle_task_graph(4, "triangle")
+        fine = triangle_task_graph(4, "row")
+        assert fine.number_of_nodes() == 4 * coarse.number_of_nodes()
+
+    def test_fine_grain_speedup_advantage(self):
+        """Row-level tasks expose more parallelism on the same DAG shape."""
+        p = 6
+        coarse = simulate_dag(triangle_task_graph(8, "triangle"), p)
+        fine = simulate_dag(triangle_task_graph(8, "row"), p, cost=lambda t: 0.25)
+        assert fine.utilization >= coarse.utilization
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            triangle_task_graph(0)
+        with pytest.raises(ValueError, match="granularity"):
+            triangle_task_graph(3, "block")

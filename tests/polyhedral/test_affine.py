@@ -1,0 +1,109 @@
+"""Tests for affine expressions and maps."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedral.affine import AffineExpr, AffineMap, const, var
+
+names = st.sampled_from(["i", "j", "k", "N"])
+coeffs = st.integers(-5, 5)
+
+
+@st.composite
+def exprs(draw):
+    e = AffineExpr.constant(draw(coeffs))
+    for _ in range(draw(st.integers(0, 3))):
+        e = e + AffineExpr(coeffs={draw(names): Fraction(draw(coeffs))})
+    return e
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,env,value",
+        [
+            ("i", {"i": 3}, 3),
+            ("i + j", {"i": 1, "j": 2}, 3),
+            ("j - i", {"i": 1, "j": 5}, 4),
+            ("2*i - 3", {"i": 4}, 5),
+            ("i*2 + 1", {"i": 4}, 9),
+            ("-i + N", {"i": 2, "N": 10}, 8),
+            ("0-1", {}, -1),
+            ("7", {}, 7),
+        ],
+    )
+    def test_parse_and_evaluate(self, text, env, value):
+        assert AffineExpr.parse(text).evaluate(env) == value
+
+    @pytest.mark.parametrize("bad", ["", "i*j", "i**2", "2i", "i+"])
+    def test_rejects_non_affine(self, bad):
+        with pytest.raises(ValueError):
+            AffineExpr.parse(bad)
+
+    def test_str_roundtrip(self):
+        e = AffineExpr.parse("2*i - j + 3")
+        assert AffineExpr.parse(str(e)) == e
+
+
+class TestAlgebra:
+    @given(exprs(), exprs())
+    @settings(max_examples=50, deadline=None)
+    def test_add_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(exprs())
+    @settings(max_examples=50, deadline=None)
+    def test_sub_self_is_zero(self, a):
+        assert a - a == AffineExpr()
+
+    @given(exprs(), st.integers(-4, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_scalar_mult_distributes(self, a, k):
+        env = {n: 2 for n in ("i", "j", "k", "N")}
+        assert (a * k).evaluate(env) == k * a.evaluate(env)
+
+    def test_product_of_variables_rejected(self):
+        with pytest.raises(TypeError, match="non-constant"):
+            _ = var("i") * var("j")
+
+    def test_substitute(self):
+        e = AffineExpr.parse("i + 2*j")
+        s = e.substitute({"j": AffineExpr.parse("k - 1")})
+        assert s == AffineExpr.parse("i + 2*k - 2")
+
+    def test_unbound_name_raises(self):
+        with pytest.raises(KeyError, match="unbound"):
+            var("i").evaluate({})
+
+
+class TestAffineMap:
+    def test_parse_and_apply(self):
+        m = AffineMap.parse("(i, j -> j - i, i, 0-1)")
+        assert m(2, 5) == (3, 2, -1)
+
+    def test_arity_check(self):
+        m = AffineMap.parse("(i -> i)")
+        with pytest.raises(ValueError, match="expects"):
+            m(1, 2)
+
+    def test_compose(self):
+        outer = AffineMap.parse("(a, b -> a + b)")
+        inner = AffineMap.parse("(i, j -> i, j - 1)")
+        assert outer.compose(inner)(3, 4) == (6,)
+
+    def test_compose_arity_mismatch(self):
+        with pytest.raises(ValueError, match="compose"):
+            AffineMap.parse("(a -> a)").compose(AffineMap.parse("(i -> i, i)"))
+
+    def test_parse_requires_arrow(self):
+        with pytest.raises(ValueError, match="->"):
+            AffineMap.parse("(i, j)")
+
+    def test_apply_env_with_params(self):
+        m = AffineMap.parse("(i -> N - i)")
+        assert m.apply_env({"i": 2, "N": 10}) == (8,)
+
+    def test_const_helper(self):
+        assert const(4).evaluate({}) == 4

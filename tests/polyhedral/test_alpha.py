@@ -1,0 +1,254 @@
+"""Tests for the mini-Alpha language: AST, parser, normalization, interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.polyhedral.affine import AffineMap, var
+from repro.polyhedral.alpha import (
+    AlphaSystem,
+    BinOp,
+    Case,
+    Const,
+    Equation,
+    EvaluationError,
+    IndexExpr,
+    Interpreter,
+    ParseError,
+    Reduce,
+    SystemError,
+    VarDecl,
+    VarRef,
+    free_vars,
+    normalize,
+    normalize_expr,
+    normalize_reductions,
+    parse_system,
+    walk,
+)
+from repro.polyhedral.domain import Domain
+
+MM_SRC = """
+affine MM {N, K, M}
+input
+  float A {i, j | 0<=i<M && 0<=j<K};
+  float B {i, j | 0<=i<K && 0<=j<N};
+output
+  float C {i, j | 0<=i<M && 0<=j<N};
+let
+  C[i, j] = reduce(+, [k] in {i, j, k | 0<=i<M && 0<=j<N && 0<=k<K}, A[i, k] * B[k, j]);
+"""
+
+PREFIX_SRC = """
+affine PS {N}
+input
+  float x {i | 0<=i<N};
+output
+  float s {i | 0<=i<N};
+let
+  s[i] = case {
+    {i | i == 0} : x[0];
+    {i | i > 0}  : s[i - 1] + x[i];
+  };
+"""
+
+
+class TestParser:
+    def test_matrix_multiply(self):
+        sys_ = parse_system(MM_SRC)
+        assert sys_.name == "MM"
+        assert [d.name for d in sys_.inputs] == ["A", "B"]
+        assert sys_.equation_for("C")
+
+    def test_prefix_sum_case(self):
+        sys_ = parse_system(PREFIX_SRC)
+        eq = sys_.equation_for("s")
+        assert isinstance(eq.body, Case)
+        assert len(eq.body.branches) == 2
+
+    def test_undeclared_variable_rejected(self):
+        bad = MM_SRC.replace("A[i, k]", "Z[i, k]")
+        with pytest.raises((SystemError, ParseError)):
+            parse_system(bad)
+
+    def test_index_mismatch_rejected(self):
+        bad = MM_SRC.replace("C[i, j] =", "C[p, q] =")
+        with pytest.raises(ParseError, match="match"):
+            parse_system(bad)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_system("affine X {N} let ???")
+
+    def test_max_min_functions(self):
+        src = """
+affine T {N}
+input
+  float x {i | 0<=i<N};
+output
+  float y {i | 0<=i<N};
+let
+  y[i] = max(x[i], min(x[i], 3));
+"""
+        sys_ = parse_system(src)
+        assert isinstance(sys_.equation_for("y").body, BinOp)
+
+    def test_comments_skipped(self):
+        src = MM_SRC.replace("input", "// a comment\ninput")
+        assert parse_system(src).name == "MM"
+
+
+class TestAst:
+    def test_walk_and_free_vars(self):
+        sys_ = parse_system(MM_SRC)
+        body = sys_.equation_for("C").body
+        assert free_vars(body) == {"A", "B"}
+        assert any(isinstance(e, Reduce) for e in walk(body))
+
+    def test_bad_binop_rejected(self):
+        with pytest.raises(ValueError, match="operator"):
+            BinOp("^", Const(1), Const(2))
+
+    def test_reduce_requires_trailing_extra(self):
+        dom = Domain.parse("{k, i | 0<=k<3 && 0<=i<3}")
+        with pytest.raises(ValueError, match="end with"):
+            Reduce("max", ("k",), dom, Const(0))
+
+    def test_empty_case_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Case(branches=())
+
+
+class TestValidation:
+    def test_missing_equation(self):
+        sys_ = AlphaSystem(name="X", params=("N",))
+        dom = Domain.parse("{i | 0<=i<N}", params=("N",))
+        sys_.outputs.append(VarDecl("y", dom))
+        with pytest.raises(SystemError, match="no defining equation"):
+            sys_.validate()
+
+    def test_duplicate_declaration(self):
+        sys_ = AlphaSystem(name="X", params=("N",))
+        dom = Domain.parse("{i | 0<=i<N}", params=("N",))
+        sys_.inputs.append(VarDecl("y", dom))
+        sys_.outputs.append(VarDecl("y", dom))
+        with pytest.raises(SystemError, match="duplicate"):
+            sys_.validate()
+
+    def test_arity_mismatch_in_access(self):
+        sys_ = AlphaSystem(name="X", params=("N",))
+        dom = Domain.parse("{i | 0<=i<N}", params=("N",))
+        sys_.inputs.append(VarDecl("x", dom))
+        sys_.outputs.append(VarDecl("y", dom))
+        bad_access = VarRef("x", AffineMap(inputs=("i",), exprs=(var("i"), var("i"))))
+        sys_.equations.append(Equation("y", dom, bad_access))
+        with pytest.raises(SystemError, match="arity"):
+            sys_.validate()
+
+
+class TestInterpreter:
+    def test_matrix_multiply(self):
+        sys_ = parse_system(MM_SRC)
+        rng = np.random.default_rng(0)
+        A = rng.random((4, 3))
+        B = rng.random((3, 5))
+        it = Interpreter(sys_, {"M": 4, "K": 3, "N": 5}, {"A": A, "B": B})
+        assert np.allclose(it.table("C"), A @ B)
+
+    def test_prefix_sum(self):
+        sys_ = parse_system(PREFIX_SRC)
+        x = np.arange(6, dtype=float)
+        it = Interpreter(sys_, {"N": 6}, {"x": x})
+        assert np.allclose(it.table("s"), np.cumsum(x))
+
+    def test_callable_input(self):
+        sys_ = parse_system(PREFIX_SRC)
+        it = Interpreter(sys_, {"N": 4}, {"x": lambda i: float(i * i)})
+        assert it.value("s", 3) == 0 + 1 + 4 + 9
+
+    def test_out_of_domain_raises(self):
+        sys_ = parse_system(PREFIX_SRC)
+        it = Interpreter(sys_, {"N": 4}, {"x": np.zeros(4)})
+        with pytest.raises(EvaluationError, match="outside"):
+            it.value("s", 9)
+
+    def test_unbound_param_rejected(self):
+        sys_ = parse_system(PREFIX_SRC)
+        with pytest.raises(SystemError, match="unbound param"):
+            Interpreter(sys_, {}, {"x": np.zeros(4)})
+
+    def test_unbound_input_rejected(self):
+        sys_ = parse_system(PREFIX_SRC)
+        with pytest.raises(SystemError, match="unbound inputs"):
+            Interpreter(sys_, {"N": 4}, {})
+
+    def test_cycle_detected(self):
+        src = """
+affine C {N}
+output
+  float y {i | 0<=i<N};
+let
+  y[i] = y[i] + 1;
+"""
+        sys_ = parse_system(src)
+        it = Interpreter(sys_, {"N": 2}, {})
+        with pytest.raises(EvaluationError, match="cyclic"):
+            it.value("y", 0)
+
+    def test_empty_reduction_gives_identity(self):
+        src = """
+affine E {N}
+input
+  float x {i | 0<=i<N};
+output
+  float y {i | 0<=i<N};
+let
+  y[i] = reduce(max, [k] in {i, k | 0<=i<N && 0<=k<i}, x[k]);
+"""
+        sys_ = parse_system(src)
+        it = Interpreter(sys_, {"N": 3}, {"x": np.ones(3)})
+        assert it.value("y", 0) == float("-inf")
+        assert it.value("y", 2) == 1.0
+
+
+class TestNormalize:
+    def test_constant_folding(self):
+        e = BinOp("+", Const(2), Const(3))
+        assert normalize_expr(e) == Const(5.0)
+
+    def test_unit_elimination(self):
+        x = VarRef("x", AffineMap(inputs=("i",), exprs=(var("i"),)))
+        assert normalize_expr(BinOp("+", x, Const(0))) == x
+        assert normalize_expr(BinOp("*", Const(1), x)) == x
+
+    def test_normalize_system_preserves_semantics(self):
+        sys_ = parse_system(PREFIX_SRC)
+        norm = normalize(sys_)
+        x = np.arange(5, dtype=float)
+        a = Interpreter(sys_, {"N": 5}, {"x": x}).table("s")
+        b = Interpreter(norm, {"N": 5}, {"x": x}).table("s")
+        assert np.allclose(a, b)
+
+    def test_normalize_reductions_hoists(self):
+        src = """
+affine H {N}
+input
+  float x {i | 0<=i<N};
+output
+  float y {i | 0<=i<N};
+let
+  y[i] = x[i] + reduce(max, [k] in {i, k | 0<=i<N && 0<=k<=i}, x[k]);
+"""
+        sys_ = parse_system(src)
+        hoisted = normalize_reductions(sys_)
+        # the reduce is now its own local equation
+        assert len(hoisted.equations) == 2
+        assert any(e.var.startswith("_red_") for e in hoisted.equations)
+        x = np.array([3.0, 1.0, 5.0])
+        a = Interpreter(sys_, {"N": 3}, {"x": x}).table("y")
+        b = Interpreter(hoisted, {"N": 3}, {"x": x}).table("y")
+        assert np.allclose(a, b)
+
+    def test_top_level_reduce_not_hoisted(self):
+        sys_ = parse_system(MM_SRC)
+        hoisted = normalize_reductions(sys_)
+        assert len(hoisted.equations) == len(sys_.equations)

@@ -1,0 +1,69 @@
+"""Unit tests for the emission helpers behind both code generators."""
+
+import pytest
+
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.codegen.bounds import guard_expr, loop_bounds, py_affine
+from repro.polyhedral.domain import Constraint, Domain
+
+
+class TestPyAffine:
+    @pytest.mark.parametrize(
+        "text,env,value",
+        [
+            ("i + 2*j - 3", {"i": 1, "j": 2}, 2),
+            ("0 - i", {"i": 5}, -5),
+            ("7", {}, 7),
+            ("N - i - 1", {"N": 10, "i": 3}, 6),
+        ],
+    )
+    def test_emitted_text_evaluates_correctly(self, text, env, value):
+        emitted = py_affine(AffineExpr.parse(text))
+        assert eval(emitted, {}, dict(env)) == value
+
+    def test_zero(self):
+        assert py_affine(AffineExpr()) == "0"
+
+
+class TestLoopBounds:
+    def test_triangle_bounds(self):
+        dom = Domain.parse("{i, j | 0 <= i && i <= j && j < N}", params=("N",))
+        systems = dom._eliminated_systems()
+        lo0, hi0 = loop_bounds(dom, 0, systems)
+        lo1, hi1 = loop_bounds(dom, 1, systems)
+        env = {"N": 5}
+        assert eval(lo0, {}, env) == 0
+        assert eval(hi0, {}, env) == 4
+        env["i"] = 2
+        assert eval(lo1, {}, env) == 2
+        assert eval(hi1, {}, env) == 4
+
+    def test_exact_ceil_floor_division(self):
+        """2i <= j <= 2i + 3 style bounds need exact integer division."""
+        dom = Domain.parse("{i, j | 0 <= i < 4 && i <= 2*j && 2*j <= 3*i + 1}")
+        systems = dom._eliminated_systems()
+        lo, hi = loop_bounds(dom, 1, systems)
+        for i in range(4):
+            env = {"i": i}
+            got_lo, got_hi = eval(lo, {}, dict(env)), eval(hi, {}, dict(env))
+            want = [j for j in range(-10, 20) if i <= 2 * j <= 3 * i + 1]
+            if want:
+                assert got_lo == min(want)
+                assert got_hi == max(want)
+
+    def test_unbounded_raises(self):
+        dom = Domain.parse("{i | i >= 0}")
+        with pytest.raises(ValueError, match="unbounded"):
+            loop_bounds(dom, 0, dom._eliminated_systems())
+
+
+class TestGuard:
+    def test_guard_semantics(self):
+        cons = tuple(Constraint.parse("i <= j")) + tuple(Constraint.parse("i == 2"))
+        text = guard_expr(cons)
+        assert eval(text, {}, {"i": 2, "j": 5})
+        assert not eval(text, {}, {"i": 3, "j": 5})
+        assert not eval(text, {}, {"i": 2, "j": 1})
+
+    def test_empty_guard_is_true(self):
+        assert guard_expr(()) == "True"

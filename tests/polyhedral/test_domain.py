@@ -1,0 +1,145 @@
+"""Tests for polyhedral domains and Fourier-Motzkin elimination."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedral.domain import Constraint, Domain, EmptyDomainError
+
+
+def brute_points(domain: Domain, params: dict, box: int = 12) -> set:
+    """Brute-force enumeration over a box for cross-checking."""
+    names = domain.names
+    out = set()
+
+    def rec(level, pt):
+        if level == len(names):
+            if domain.contains(pt, params):
+                out.add(pt)
+            return
+        for v in range(-box, box + 1):
+            rec(level + 1, pt + (v,))
+
+    rec(0, ())
+    return out
+
+
+class TestConstraintParse:
+    @pytest.mark.parametrize(
+        "text,n",
+        [("i <= j", 1), ("0 <= i < N", 2), ("i == j", 1), ("i > 0", 1), ("a<=b<=c", 2)],
+    )
+    def test_chain_lengths(self, text, n):
+        assert len(Constraint.parse(text)) == n
+
+    def test_strict_inequality_semantics(self):
+        (c,) = Constraint.parse("i < 3")
+        assert c.holds({"i": 2}) and not c.holds({"i": 3})
+
+    def test_equality(self):
+        (c,) = Constraint.parse("i == j")
+        assert c.holds({"i": 2, "j": 2}) and not c.holds({"i": 2, "j": 3})
+
+    def test_bad_kind_rejected(self):
+        from repro.polyhedral.affine import AffineExpr
+
+        with pytest.raises(ValueError, match="kind"):
+            Constraint(AffineExpr.parse("i"), "lt")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint.parse("i j")
+
+
+class TestDomainBasics:
+    def test_parse_triangle(self):
+        d = Domain.parse("{i, j | 0 <= i && i <= j && j < N}", params=("N",))
+        assert d.contains((0, 2), {"N": 3})
+        assert not d.contains((2, 1), {"N": 3})
+
+    def test_points_triangle(self):
+        d = Domain.parse("{i, j | 0 <= i && i <= j && j < N}", params=("N",))
+        pts = list(d.points({"N": 3}))
+        assert pts == [(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)]
+
+    def test_count(self):
+        d = Domain.parse("{i, j | 0 <= i && i <= j && j < N}", params=("N",))
+        assert d.count({"N": 5}) == 15
+
+    def test_empty(self):
+        d = Domain.parse("{i | 0 <= i && i < N}", params=("N",))
+        assert d.is_empty({"N": 0})
+        assert not d.is_empty({"N": 1})
+
+    def test_equality_constraint(self):
+        d = Domain.parse("{i, j | 0 <= i < 4 && j == 2*i}", params=())
+        assert list(d.points({})) == [(0, 0), (1, 2), (2, 4), (3, 6)]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Domain.parse("{i | i <= Q}")
+
+    def test_unbounded_raises(self):
+        d = Domain.parse("{i | i >= 0}")
+        with pytest.raises(EmptyDomainError, match="unbounded"):
+            list(d.points({}))
+
+    def test_bounding_box(self):
+        d = Domain.parse("{i, j | 0 <= i && i <= j && j < 4}")
+        assert d.bounding_box({}) == [(0, 3), (0, 3)]
+
+    def test_intersect_subset_names(self):
+        d = Domain.parse("{i, j | 0 <= i < 5 && 0 <= j < 5}")
+        g = Domain.parse("{i | i <= 2}")
+        got = d.intersect(g)
+        assert got.count({}) == 15
+
+    def test_intersect_disjoint_names_rejected(self):
+        d = Domain.parse("{i | 0 <= i < 5}")
+        with pytest.raises(ValueError, match="subset"):
+            d.intersect(Domain.parse("{q | q >= 0}"))
+
+    def test_project_out(self):
+        d = Domain.parse("{i, j | 0 <= i && i <= j && j < 4}")
+        p = d.project_out("j")
+        assert p.names == ("i",)
+        assert list(p.points({})) == [(0,), (1,), (2,), (3,)]
+
+
+@st.composite
+def random_domains(draw):
+    """Random 2-D bounded domains with a couple of extra constraints."""
+    lo1, lo2 = draw(st.integers(-3, 1)), draw(st.integers(-3, 1))
+    hi1 = lo1 + draw(st.integers(0, 5))
+    hi2 = lo2 + draw(st.integers(0, 5))
+    cons = []
+    cons += Constraint.parse(f"{lo1} <= x")
+    cons += Constraint.parse(f"x <= {hi1}")
+    cons += Constraint.parse(f"{lo2} <= y")
+    cons += Constraint.parse(f"y <= {hi2}")
+    extra = draw(
+        st.lists(
+            st.sampled_from(
+                ["x <= y", "y <= x", "x + y <= 4", "x - y <= 2", "x + 2*y >= 0"]
+            ),
+            max_size=2,
+        )
+    )
+    for t in extra:
+        cons += Constraint.parse(t)
+    return Domain(("x", "y"), tuple(cons))
+
+
+class TestEnumerationProperty:
+    @given(random_domains())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, d):
+        got = set(d.points({}))
+        expected = brute_points(d, {})
+        assert got == expected
+
+    @given(random_domains())
+    @settings(max_examples=40, deadline=None)
+    def test_lexicographic_order(self, d):
+        pts = list(d.points({}))
+        assert pts == sorted(pts)

@@ -1,0 +1,128 @@
+"""Tests for multi-dimensional schedules and dependence legality."""
+
+import pytest
+
+from repro.polyhedral.affine import AffineMap
+from repro.polyhedral.dependence import Dependence, check_all, check_legality
+from repro.polyhedral.domain import Domain
+from repro.polyhedral.schedule import Schedule, lex_compare, lex_less
+
+
+class TestLexOrder:
+    def test_compare(self):
+        assert lex_compare((1, 2), (1, 3)) == -1
+        assert lex_compare((2, 0), (1, 9)) == 1
+        assert lex_compare((1, 2), (1, 2)) == 0
+
+    def test_less(self):
+        assert lex_less((0, 5), (1, 0))
+        assert not lex_less((1, 0), (1, 0))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError, match="ranks"):
+            lex_compare((1,), (1, 2))
+
+
+class TestSchedule:
+    def test_time_vector(self):
+        s = Schedule.parse("S", "(i, j -> j - i, i)")
+        assert s.time((2, 5)) == (3, 2)
+
+    def test_parallel_dims_excluded_from_sequential(self):
+        s = Schedule.parse("S", "(i, j -> i, j)", parallel_dims=[1])
+        assert s.sequential_time((2, 5)) == (2,)
+
+    def test_parallel_dim_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Schedule.parse("S", "(i -> i)", parallel_dims=[3])
+
+    def test_bind_parameters(self):
+        s = Schedule.parse("S", "(i -> M, i)")
+        bound = s.bind({"M": 7})
+        assert bound.time((2,)) == (7, 2)
+
+
+def _flow_dep():
+    """A[i] reads A[i-1] for 1 <= i < N."""
+    dom = Domain.parse("{i | 1 <= i && i < N}", params=("N",))
+    return Dependence(
+        name="A<-A",
+        consumer="A",
+        producer="A",
+        domain=dom,
+        consumer_map=AffineMap.parse("(i -> i)"),
+        producer_map=AffineMap.parse("(i -> i - 1)"),
+    )
+
+
+class TestLegality:
+    def test_identity_schedule_legal(self):
+        dep = _flow_dep()
+        scheds = {"A": Schedule.parse("A", "(i -> i)")}
+        assert check_legality(dep, scheds, {"N": 10}) == []
+
+    def test_reversed_schedule_illegal(self):
+        dep = _flow_dep()
+        scheds = {"A": Schedule.parse("A", "(i -> 0 - i)")}
+        violations = check_legality(dep, scheds, {"N": 10})
+        assert len(violations) == 9
+
+    def test_parallel_dim_makes_chain_illegal(self):
+        dep = _flow_dep()
+        scheds = {"A": Schedule.parse("A", "(i -> i)", parallel_dims=[0])}
+        # with the only dim parallel, producer time == consumer time -> illegal
+        assert check_legality(dep, scheds, {"N": 5})
+
+    def test_sampling_bounds_work(self):
+        dep = _flow_dep()
+        scheds = {"A": Schedule.parse("A", "(i -> 0 - i)")}
+        v = check_legality(dep, scheds, {"N": 100}, max_points=10, rng=0)
+        assert len(v) == 10
+
+    def test_unscheduled_input_is_fine(self):
+        dom = Domain.parse("{i | 0 <= i && i < N}", params=("N",))
+        dep = Dependence(
+            "B<-In",
+            consumer="B",
+            producer="In",
+            domain=dom,
+            consumer_map=AffineMap.parse("(i -> i)"),
+            producer_map=AffineMap.parse("(i -> i)"),
+        )
+        assert check_legality(dep, {"B": Schedule.parse("B", "(i -> i)")}, {"N": 4}) == []
+
+    def test_producer_override_used(self):
+        dep = _flow_dep()
+        body = Schedule.parse("A", "(i -> i, 1)")
+        late_ready = Schedule.parse("A", "(i -> i, 9)")
+        # without the override, producer (i-1, 1) < consumer (i, 1): legal
+        assert check_legality(dep, {"A": body}, {"N": 5}) == []
+        # ready time (i-1, 9) still < (i, 1): stays legal (earlier dim wins)
+        assert (
+            check_legality(
+                dep, {"A": body}, {"N": 5}, producer_schedules={"A": late_ready}
+            )
+            == []
+        )
+        # but a ready time violating the first dim is caught
+        bad_ready = Schedule.parse("A", "(i -> i + 5, 0)")
+        assert check_legality(
+            dep, {"A": body}, {"N": 5}, producer_schedules={"A": bad_ready}
+        )
+
+    def test_check_all_aggregates(self):
+        dep = _flow_dep()
+        scheds = {"A": Schedule.parse("A", "(i -> 0 - i)")}
+        assert len(check_all([dep, dep], scheds, {"N": 4})) == 6
+
+    def test_dependence_map_arity_checked(self):
+        dom = Domain.parse("{i | 0 <= i && i < 3}")
+        with pytest.raises(ValueError, match="must match"):
+            Dependence(
+                "x",
+                consumer="A",
+                producer="A",
+                domain=dom,
+                consumer_map=AffineMap.parse("(i, j -> i)"),
+                producer_map=AffineMap.parse("(i -> i)"),
+            )

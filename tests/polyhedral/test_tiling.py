@@ -1,0 +1,97 @@
+"""Tests for rectangular tiling and tile graphs."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedral.tiling import (
+    TileSpec,
+    tile_graph,
+    tile_iter,
+    tile_point,
+    tiling_legal,
+)
+
+
+class TestTileSpec:
+    def test_effective_untiled(self):
+        spec = TileSpec(("i", "j"), (4, 0))
+        assert spec.effective((10, 7)) == (4, 7)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            TileSpec(("i",), (-1,))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            TileSpec(("i", "j"), (2,))
+
+
+class TestTilePoint:
+    def test_mapping(self):
+        spec = TileSpec(("i", "j"), (4, 4))
+        assert tile_point((0, 0), spec, (10, 10)) == (0, 0)
+        assert tile_point((4, 7), spec, (10, 10)) == (1, 1)
+        assert tile_point((9, 9), spec, (10, 10)) == (2, 2)
+
+    @given(
+        st.integers(1, 5),
+        st.integers(1, 5),
+        st.integers(0, 19),
+        st.integers(0, 19),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_point_inside_its_tile(self, ti, tj, x, y):
+        spec = TileSpec(("i", "j"), (ti, tj))
+        sizes = (20, 20)
+        t = tile_point((x, y), spec, sizes)
+        assert (x, y) in set(tile_iter(t, spec, sizes))
+
+
+class TestTileIter:
+    def test_tiles_partition_space(self):
+        spec = TileSpec(("i", "j"), (3, 4))
+        sizes = (7, 9)
+        seen = set()
+        g = tile_graph(sizes, spec, [])
+        for t in g.nodes:
+            pts = set(tile_iter(t, spec, sizes))
+            assert not (pts & seen), "tiles overlap"
+            seen |= pts
+        assert len(seen) == 63
+
+    def test_edge_tiles_clipped(self):
+        spec = TileSpec(("i",), (4,))
+        pts = list(tile_iter((1,), spec, (6,)))
+        assert pts == [(4,), (5,)]
+
+
+class TestTileGraph:
+    def test_forward_deps_give_dag(self):
+        spec = TileSpec(("i", "j"), (2, 2))
+        g = tile_graph((6, 6), spec, [(1, 0), (0, 1)])
+        assert nx.is_directed_acyclic_graph(g)
+        assert ((0, 0), (1, 0)) in g.edges or ((0, 0), (0, 1)) in g.edges
+
+    def test_intra_tile_deps_no_edges(self):
+        spec = TileSpec(("i",), (10,))
+        g = tile_graph((10,), spec, [(1,)])
+        assert g.number_of_edges() == 0
+
+    def test_wavefront_depth(self):
+        spec = TileSpec(("i", "j"), (1, 1))
+        g = tile_graph((3, 3), spec, [(1, 0), (0, 1)])
+        assert nx.dag_longest_path_length(g) == 4  # (0,0) -> (2,2)
+
+
+class TestLegality:
+    def test_nonnegative_band_legal(self):
+        assert tiling_legal([(1, 0, 2), (0, 1, 0)], band=[0, 1])
+
+    def test_negative_component_illegal(self):
+        assert not tiling_legal([(1, -1)], band=[0, 1])
+
+    def test_band_restriction(self):
+        # negative only outside the band: still legal to tile the band
+        assert tiling_legal([(1, -1)], band=[0])

@@ -1,0 +1,168 @@
+"""Tests for change-of-basis, schedule helpers and the pretty-printer."""
+
+import numpy as np
+import pytest
+
+from repro.polyhedral.affine import AffineMap
+from repro.polyhedral.alpha import Interpreter, SystemError, parse_system
+from repro.polyhedral.schedule import Schedule
+from repro.polyhedral.transformations import (
+    change_of_basis,
+    permute_schedule,
+    skew_schedule,
+    to_alphabets,
+)
+
+TRI_SRC = """
+affine T {N}
+input
+  float x {i, j | 0<=i && i<=j && j<N}
+;
+output
+  float y {i, j | 0<=i && i<=j && j<N};
+local
+  float t {i, j | 0<=i && i<=j && j<N};
+let
+  t[i, j] = case {
+    {i, j | i == j} : x[i, j];
+    {i, j | i < j}  : reduce(max, [k] in {i, j, k | 0<=i<=k && k<j && j<N},
+                             t[i, k] + t[k + 1, j]);
+  };
+  y[i, j] = t[i, j] + x[i, j];
+"""
+
+
+@pytest.fixture
+def tri_system():
+    return parse_system(TRI_SRC)
+
+
+def _tri_inputs(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return {"x": rng.integers(0, 5, (n, n)).astype(float)}
+
+
+class TestChangeOfBasis:
+    def test_skewed_local_preserves_outputs(self, tri_system):
+        """Re-index t through (i, j) -> (i, j - i): the paper's memory-map
+        option 2.  Outputs must be untouched."""
+        n = 5
+        fwd = AffineMap.parse("(i, j -> i, j - i)")
+        inv = AffineMap.parse("(p, q -> p, p + q)")
+        skewed = change_of_basis(tri_system, "t", ("p", "q"), fwd, inv)
+        inputs = _tri_inputs(n)
+        a = Interpreter(tri_system, {"N": n}, inputs).table("y")
+        b = Interpreter(skewed, {"N": n}, inputs).table("y")
+        iu = np.triu_indices(n)
+        assert np.allclose(a[iu], b[iu])
+
+    def test_reindexed_variable_moves(self, tri_system):
+        fwd = AffineMap.parse("(i, j -> i, j - i)")
+        inv = AffineMap.parse("(p, q -> p, p + q)")
+        skewed = change_of_basis(tri_system, "t", ("p", "q"), fwd, inv)
+        it = Interpreter(skewed, {"N": 4}, _tri_inputs(4))
+        orig = Interpreter(tri_system, {"N": 4}, _tri_inputs(4))
+        for i in range(4):
+            for j in range(i, 4):
+                assert it.value("t", i, j - i) == pytest.approx(
+                    orig.value("t", i, j)
+                )
+
+    def test_output_can_be_reindexed(self, tri_system):
+        fwd = AffineMap.parse("(i, j -> j, i)")
+        inv = AffineMap.parse("(a, b -> b, a)")
+        swapped = change_of_basis(tri_system, "y", ("a", "b"), fwd, inv)
+        it = Interpreter(swapped, {"N": 4}, _tri_inputs(4))
+        orig = Interpreter(tri_system, {"N": 4}, _tri_inputs(4))
+        assert it.value("y", 3, 0) == pytest.approx(orig.value("y", 0, 3))
+
+    def test_non_invertible_rejected(self, tri_system):
+        fwd = AffineMap.parse("(i, j -> i, i)")  # collapses j
+        inv = AffineMap.parse("(p, q -> p, q)")
+        with pytest.raises(SystemError, match="not invertible"):
+            change_of_basis(tri_system, "t", ("p", "q"), fwd, inv)
+
+    def test_wrong_input_names_rejected(self, tri_system):
+        fwd = AffineMap.parse("(a, b -> a, b)")
+        inv = AffineMap.parse("(p, q -> p, q)")
+        with pytest.raises(SystemError, match="must be"):
+            change_of_basis(tri_system, "t", ("p", "q"), fwd, inv)
+
+
+class TestScheduleHelpers:
+    def test_permute(self):
+        s = Schedule.parse("S", "(i, j -> i, j)", parallel_dims=[1])
+        p = permute_schedule(s, (1, 0))
+        assert p.time((2, 5)) == (5, 2)
+        assert p.parallel_dims == frozenset([0])
+
+    def test_permute_invalid(self):
+        s = Schedule.parse("S", "(i, j -> i, j)")
+        with pytest.raises(ValueError, match="permutation"):
+            permute_schedule(s, (0, 0))
+
+    def test_skew(self):
+        s = Schedule.parse("S", "(i, j -> i, j)")
+        k = skew_schedule(s, dim=1, source=0, factor=2)
+        assert k.time((3, 4)) == (3, 10)
+
+    def test_skew_self_rejected(self):
+        s = Schedule.parse("S", "(i, j -> i, j)")
+        with pytest.raises(ValueError, match="itself"):
+            skew_schedule(s, 0, 0)
+
+    def test_skew_preserves_legality(self):
+        """Skewing by a positive multiple of an earlier dim keeps any
+        lexicographic ordering intact."""
+        from repro.polyhedral.affine import AffineMap as AM
+        from repro.polyhedral.dependence import Dependence, check_legality
+        from repro.polyhedral.domain import Domain
+
+        dom = Domain.parse("{i | 1 <= i && i < N}", params=("N",))
+        dep = Dependence(
+            "d", "A", "A", dom,
+            AM.parse("(i -> i)"), AM.parse("(i -> i - 1)"),
+        )
+        base = Schedule.parse("A", "(i -> i, 0)")
+        assert check_legality(dep, {"A": base}, {"N": 8}) == []
+        skewed = skew_schedule(base, dim=1, source=0, factor=3)
+        assert check_legality(dep, {"A": skewed}, {"N": 8}) == []
+
+
+class TestPrettyPrinter:
+    def test_round_trip(self, tri_system):
+        text = to_alphabets(tri_system)
+        back = parse_system(text)
+        n = 5
+        inputs = _tri_inputs(n, 3)
+        a = Interpreter(tri_system, {"N": n}, inputs).table("y")
+        b = Interpreter(back, {"N": n}, inputs).table("y")
+        iu = np.triu_indices(n)
+        assert np.allclose(a[iu], b[iu])
+
+    def test_bpmax_system_prints(self):
+        """The full BPMax system renders without error (the -inf branch
+        prints as a large negative literal workaround is not needed:
+        constants are finite in the printable subset)."""
+        from repro.core.alpha_model import dmp_system
+
+        text = to_alphabets(dmp_system())
+        assert "affine dmp" in text
+        assert "reduce(max" in text
+        back = parse_system(text)
+        assert {eq.var for eq in back.equations} == {"R0", "F"}
+
+    def test_sections_present(self, tri_system):
+        text = to_alphabets(tri_system)
+        for word in ("input", "output", "local", "let"):
+            assert word in text
+
+
+class TestPrinterLimits:
+    def test_non_finite_constant_rejected(self):
+        """The full BPMax system uses Const(-inf) in its closure guards:
+        alphabets syntax cannot express it, and the printer says so."""
+        from repro.core.alpha_model import bpmax_system
+
+        with pytest.raises(ValueError, match="non-finite"):
+            to_alphabets(bpmax_system(include_s=False))

@@ -1,0 +1,76 @@
+"""Tests for the nucleotide alphabet."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rna.alphabet import (
+    CANONICAL_PAIRS,
+    InvalidSequenceError,
+    can_pair,
+    decode,
+    encode,
+    normalize,
+    pair_strength,
+)
+
+RNA = st.text(alphabet="ACGU", min_size=0, max_size=50)
+
+
+class TestNormalize:
+    def test_uppercases(self):
+        assert normalize("acgu") == "ACGU"
+
+    def test_dna_thymine_maps_to_uracil(self):
+        assert normalize("ACGT") == "ACGU"
+
+    def test_strips_whitespace(self):
+        assert normalize("  ACGU \n") == "ACGU"
+
+    def test_rejects_invalid_characters(self):
+        with pytest.raises(InvalidSequenceError, match="invalid nucleotide"):
+            normalize("ACGX")
+
+    def test_rejects_digits(self):
+        with pytest.raises(InvalidSequenceError):
+            normalize("AC1U")
+
+    def test_empty_is_valid(self):
+        assert normalize("") == ""
+
+
+class TestEncodeDecode:
+    def test_known_codes(self):
+        assert list(encode("ACGU")) == [0, 1, 2, 3]
+
+    def test_dtype(self):
+        assert encode("ACGU").dtype == np.int8
+
+    @given(RNA)
+    def test_roundtrip(self, seq):
+        assert decode(encode(seq)) == seq
+
+
+class TestPairing:
+    @pytest.mark.parametrize(
+        "a,b,weight",
+        [("G", "C", 3), ("A", "U", 2), ("G", "U", 1), ("C", "G", 3), ("U", "A", 2)],
+    )
+    def test_canonical_weights(self, a, b, weight):
+        assert can_pair(a, b)
+        assert pair_strength(a, b) == weight
+
+    @pytest.mark.parametrize("a,b", [("A", "A"), ("A", "G"), ("C", "U"), ("C", "C")])
+    def test_non_pairs(self, a, b):
+        assert not can_pair(a, b)
+        assert pair_strength(a, b) == 0
+
+    def test_pairs_symmetric(self):
+        for pair in CANONICAL_PAIRS:
+            chars = sorted(pair)
+            a, b = chars[0], chars[-1]
+            assert pair_strength(a, b) == pair_strength(b, a)
+
+    def test_lowercase_accepted(self):
+        assert can_pair("g", "c")

@@ -1,0 +1,49 @@
+"""Tests for the bundled demonstration pairs."""
+
+import pytest
+
+from repro.core.reference import bpmax_recursive, prepare_inputs
+from repro.core.windowed import scan_windows
+from repro.rna.datasets import DEMO_PAIRS, demo_pair, list_demo_pairs
+
+
+class TestRegistry:
+    def test_three_pairs(self):
+        assert len(list_demo_pairs()) == 3
+
+    def test_lookup(self):
+        short, target = demo_pair("copA-copT")
+        assert len(short) < len(target)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown demo pair"):
+            demo_pair("nope")
+
+    def test_all_valid_rna(self):
+        for short, target in DEMO_PAIRS.values():
+            assert set(short.seq) <= set("ACGU")
+            assert set(target.seq) <= set("ACGU")
+
+
+class TestBiologicalShape:
+    @pytest.mark.parametrize("name", sorted(DEMO_PAIRS))
+    def test_pair_scores_positive(self, name):
+        short, target = demo_pair(name)
+        inp = prepare_inputs(short, target.reversed())
+        assert bpmax_recursive(inp) > 0
+
+    @pytest.mark.parametrize("name", sorted(DEMO_PAIRS))
+    def test_planted_site_is_best_window(self, name):
+        """The complementary site sits at offset 10 in every target."""
+        short, target = demo_pair(name)
+        res = scan_windows(
+            short, target, window=len(short), stride=1, variant="hybrid"
+        )
+        assert abs(res.best.start - 10) <= 2
+
+    @pytest.mark.parametrize("name", sorted(DEMO_PAIRS))
+    def test_seed_mostly_unstructured(self, name):
+        """Regulator seeds carry little self-structure (by construction)."""
+        short, _ = demo_pair(name)
+        inp = prepare_inputs(short, "A")
+        assert float(inp.s1[0, -1]) <= 2.0

@@ -1,0 +1,125 @@
+"""Tests for weighted Nussinov folding (the S tables)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rna.nussinov import (
+    nussinov,
+    nussinov_reference,
+    nussinov_traceback,
+    pairs_to_dotbracket,
+)
+from repro.rna.scoring import DEFAULT_MODEL, ScoringModel
+from repro.rna.sequence import RnaSequence, random_sequence
+
+RNA = st.text(alphabet="ACGU", min_size=1, max_size=20)
+
+
+class TestAgainstReference:
+    @given(RNA)
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_matches_reference(self, seq):
+        assert np.allclose(nussinov(seq), nussinov_reference(seq))
+
+    def test_longer_random_sequences(self):
+        for seed in range(5):
+            s = random_sequence(40, seed)
+            assert np.allclose(nussinov(s), nussinov_reference(s))
+
+    def test_min_loop_model(self):
+        model = ScoringModel(min_loop=3)
+        s = random_sequence(25, 3)
+        assert np.allclose(nussinov(s, model), nussinov_reference(s, model))
+
+
+class TestKnownValues:
+    def test_single_base(self):
+        assert nussinov("A").shape == (1, 1)
+        assert nussinov("A")[0, 0] == 0.0
+
+    def test_gc_pair(self):
+        assert nussinov("GC")[0, 1] == 3.0
+
+    def test_non_pair(self):
+        assert nussinov("AA")[0, 1] == 0.0
+
+    def test_hairpin(self):
+        # GGGCCC folds into 3 GC pairs = 9 under min_loop=0
+        assert nussinov("GGGCCC")[0, 5] == 9.0
+
+    def test_au_stack(self):
+        assert nussinov("AAUU")[0, 3] == 4.0
+
+    def test_lower_triangle_zero(self):
+        s = nussinov("GCAU")
+        assert s[2, 1] == 0.0 and s[3, 0] == 0.0
+
+
+class TestInvariants:
+    @given(RNA)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_window(self, seq):
+        """Widening the window never decreases the score."""
+        s = nussinov(seq)
+        n = len(seq)
+        for i in range(n):
+            for j in range(i + 1, n):
+                assert s[i, j] >= s[i + 1, j] - 1e-6
+                assert s[i, j] >= s[i, j - 1] - 1e-6
+
+    @given(RNA)
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_by_max_pairs(self, seq):
+        """Score <= 3 * floor(window/2) (every pair weighs at most 3)."""
+        s = nussinov(seq)
+        n = len(seq)
+        for i in range(n):
+            for j in range(i, n):
+                assert s[i, j] <= 3 * ((j - i + 1) // 2) + 1e-6
+
+    @given(RNA)
+    @settings(max_examples=30, deadline=None)
+    def test_superadditive_over_splits(self, seq):
+        """S[i,j] >= S[i,k] + S[k+1,j] for every split."""
+        s = nussinov(seq)
+        n = len(seq)
+        for i in range(n):
+            for j in range(i + 1, n):
+                for k in range(i, j):
+                    assert s[i, j] >= s[i, k] + s[k + 1, j] - 1e-5
+
+
+class TestTraceback:
+    @given(RNA)
+    @settings(max_examples=40, deadline=None)
+    def test_pairs_reproduce_score(self, seq):
+        s = nussinov(seq)
+        pairs = nussinov_traceback(seq)
+        codes = RnaSequence(seq).codes
+        w = DEFAULT_MODEL.score_table(codes)
+        total = sum(float(w[i, j]) for i, j in pairs)
+        expected = float(s[0, len(seq) - 1]) if len(seq) > 1 else 0.0
+        assert total == pytest.approx(expected, abs=1e-4)
+
+    @given(RNA)
+    @settings(max_examples=40, deadline=None)
+    def test_pairs_non_crossing(self, seq):
+        pairs = nussinov_traceback(seq)
+        for a, b in pairs:
+            for c, d in pairs:
+                if (a, b) < (c, d):
+                    # nested or disjoint, never interleaved
+                    assert not (a < c < b < d)
+
+    def test_dotbracket_rendering(self):
+        assert pairs_to_dotbracket(4, [(0, 3), (1, 2)]) == "(())"
+
+    def test_dotbracket_conflict_rejected(self):
+        with pytest.raises(ValueError, match="conflicts"):
+            pairs_to_dotbracket(4, [(0, 3), (0, 2)])
+
+    def test_dotbracket_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            pairs_to_dotbracket(3, [(0, 3)])

@@ -1,0 +1,72 @@
+"""Tests for the weighted base-pair scoring model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rna.alphabet import encode
+from repro.rna.scoring import DEFAULT_MODEL, ScoringModel
+
+RNA = st.text(alphabet="ACGU", min_size=1, max_size=24)
+
+
+class TestScoreTable:
+    def test_default_weights(self):
+        codes = encode("GCAU")
+        t = DEFAULT_MODEL.score_table(codes)
+        assert t[0, 1] == 3.0  # G-C
+        assert t[2, 3] == 2.0  # A-U
+        assert t[0, 3] == 1.0  # G-U
+        assert t[0, 2] == 0.0  # G-A cannot pair
+
+    def test_dtype_float32(self):
+        assert DEFAULT_MODEL.score_table(encode("ACGU")).dtype == np.float32
+
+    @given(RNA)
+    def test_symmetric(self, seq):
+        t = DEFAULT_MODEL.score_table(encode(seq))
+        assert np.array_equal(t, t.T)
+
+    def test_min_loop_masks_near_diagonal(self):
+        model = ScoringModel(min_loop=3)
+        codes = encode("GCGC" * 3)
+        t = model.score_table(codes)
+        n = len(codes)
+        for i in range(n):
+            for j in range(i, min(i + 4, n)):
+                assert t[i, j] == 0.0
+
+    def test_min_loop_zero_allows_adjacent(self):
+        t = DEFAULT_MODEL.score_table(encode("GC"))
+        assert t[0, 1] == 3.0
+
+    def test_negative_min_loop_rejected(self):
+        with pytest.raises(ValueError, match="min_loop"):
+            ScoringModel(min_loop=-1)
+
+
+class TestIscore:
+    def test_iscore_uses_same_weights_by_default(self):
+        c1, c2 = encode("GA"), encode("CU")
+        t = DEFAULT_MODEL.iscore_table(c1, c2)
+        assert t[0, 0] == 3.0  # G-C
+        assert t[1, 1] == 2.0  # A-U
+        assert t[1, 0] == 0.0  # A-C
+
+    def test_custom_inter_weights(self):
+        model = ScoringModel(inter_weights={frozenset("GC"): 10.0})
+        t = model.iscore_table(encode("G"), encode("C"))
+        assert t[0, 0] == 10.0
+        # intramolecular weights unchanged
+        assert model.score("G", "C") == 3.0
+
+    def test_scalar_helpers(self):
+        assert DEFAULT_MODEL.score("a", "u") == 2.0
+        assert DEFAULT_MODEL.iscore("g", "u") == 1.0
+
+    @given(RNA, RNA)
+    def test_iscore_shape(self, a, b):
+        t = DEFAULT_MODEL.iscore_table(encode(a), encode(b))
+        assert t.shape == (len(a), len(b))
+        assert (t >= 0).all()

@@ -1,0 +1,117 @@
+"""Tests for RNA sequence objects and FASTA I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.rna.alphabet import InvalidSequenceError
+from repro.rna.sequence import (
+    RnaSequence,
+    random_pair,
+    random_sequence,
+    read_fasta,
+    write_fasta,
+)
+
+
+class TestRnaSequence:
+    def test_normalizes_on_construction(self):
+        s = RnaSequence("acgt")
+        assert s.seq == "ACGU"
+
+    def test_len_and_indexing(self):
+        s = RnaSequence("ACGU")
+        assert len(s) == 4
+        assert s[0] == "A"
+        assert s[1:3] == "CG"
+
+    def test_codes_cached(self):
+        s = RnaSequence("ACGU")
+        assert list(s.codes) == [0, 1, 2, 3]
+
+    def test_reversed(self):
+        assert RnaSequence("ACGU").reversed().seq == "UGCA"
+
+    def test_invalid_raises(self):
+        with pytest.raises(InvalidSequenceError):
+            RnaSequence("ACGZ")
+
+    def test_iteration(self):
+        assert list(RnaSequence("GC")) == ["G", "C"]
+
+    def test_from_codes_roundtrip(self):
+        s = RnaSequence("GUACGU")
+        assert RnaSequence.from_codes(s.codes).seq == s.seq
+
+
+class TestRandomGeneration:
+    def test_deterministic_with_seed(self):
+        assert random_sequence(30, 5).seq == random_sequence(30, 5).seq
+
+    def test_length(self):
+        assert len(random_sequence(17, 0)) == 17
+
+    def test_zero_length(self):
+        assert len(random_sequence(0, 0)) == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            random_sequence(-1, 0)
+
+    def test_gc_content_extremes(self):
+        all_gc = random_sequence(200, 0, gc_content=1.0)
+        assert set(all_gc.seq) <= {"G", "C"}
+        no_gc = random_sequence(200, 0, gc_content=0.0)
+        assert set(no_gc.seq) <= {"A", "U"}
+
+    def test_gc_content_out_of_range(self):
+        with pytest.raises(ValueError, match="gc_content"):
+            random_sequence(10, 0, gc_content=1.5)
+
+    def test_random_pair_lengths(self):
+        a, b = random_pair(5, 9, 1)
+        assert (len(a), len(b)) == (5, 9)
+
+    def test_random_pair_independent(self):
+        a, b = random_pair(50, 50, 1)
+        assert a.seq != b.seq
+
+    def test_gc_content_statistics(self):
+        rng = np.random.default_rng(0)
+        s = random_sequence(5000, rng, gc_content=0.7)
+        frac = sum(c in "GC" for c in s.seq) / len(s)
+        assert 0.65 < frac < 0.75
+
+
+class TestFasta:
+    def test_roundtrip(self, tmp_path):
+        seqs = [RnaSequence("ACGU", name="a"), RnaSequence("GGCC" * 30, name="b")]
+        path = tmp_path / "x.fasta"
+        write_fasta(seqs, path)
+        back = read_fasta(path)
+        assert [s.name for s in back] == ["a", "b"]
+        assert [s.seq for s in back] == [s.seq for s in seqs]
+
+    def test_wraps_long_lines(self, tmp_path):
+        path = tmp_path / "x.fasta"
+        write_fasta([RnaSequence("A" * 200, name="long")], path, width=70)
+        lines = path.read_text().splitlines()
+        assert max(len(l) for l in lines) <= 70
+
+    def test_parse_literal_text(self):
+        recs = read_fasta(">x\nACGU\nGGCC\n>y\nUUAA\n")
+        assert recs[0].seq == "ACGUGGCC"
+        assert recs[1].name == "y"
+
+    def test_parse_file_object(self):
+        recs = read_fasta(io.StringIO(">z\nACGU\n"))
+        assert recs[0].seq == "ACGU"
+
+    def test_missing_header_raises(self):
+        with pytest.raises(ValueError, match="header"):
+            read_fasta(io.StringIO("ACGU\n"))
+
+    def test_missing_file_raises(self):
+        with pytest.raises(FileNotFoundError):
+            read_fasta("/nonexistent/path.fasta")

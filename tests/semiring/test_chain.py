@@ -1,0 +1,105 @@
+"""Tests for the tropical matrix-chain library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semiring.chain import (
+    accumulated_products,
+    all_windows_product,
+    chain_flops,
+    chain_order,
+    chain_product,
+)
+from repro.semiring.semiring import MAX_PLUS, MIN_PLUS, PLUS_TIMES
+
+
+def _chain(dims, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.random((dims[i], dims[i + 1])).astype(np.float64)
+        for i in range(len(dims) - 1)
+    ]
+
+
+class TestChainOrder:
+    def test_clrs_example(self):
+        """The classic CLRS instance: optimal cost 15125."""
+        ops, _ = chain_order([30, 35, 15, 5, 10, 20, 25])
+        assert ops == 15125
+
+    def test_single_matrix_zero_cost(self):
+        ops, _ = chain_order([4, 7])
+        assert ops == 0
+
+    def test_flops_optimal_at_most_left_to_right(self):
+        dims = [30, 35, 15, 5, 10, 20, 25]
+        assert chain_flops(dims, optimal=True) <= chain_flops(dims, optimal=False)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            chain_order([5])
+
+
+class TestChainProduct:
+    def test_plus_times_matches_numpy(self):
+        mats = _chain([3, 4, 2, 5])
+        got = chain_product(mats, PLUS_TIMES)
+        assert np.allclose(got, mats[0] @ mats[1] @ mats[2])
+
+    @given(st.integers(2, 5), st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_maxplus_parenthesization_invariant(self, r, seed):
+        """Associativity: any parenthesization gives the same product."""
+        rng = np.random.default_rng(seed)
+        dims = list(rng.integers(1, 5, r + 1))
+        mats = _chain(dims, seed)
+        opt = chain_product(mats, MAX_PLUS)
+        left = mats[0]
+        for m in mats[1:]:
+            left = MAX_PLUS.matmul(left, m)
+        assert np.allclose(opt, left)
+
+    def test_min_plus_shortest_path_semantics(self):
+        """Chain product of an adjacency matrix power = path lengths."""
+        inf = float("inf")
+        a = np.array([[0, 1, inf], [inf, 0, 1], [inf, inf, 0]])
+        two_hops = chain_product([a, a], MIN_PLUS)
+        assert two_hops[0, 2] == 2.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            chain_product([np.zeros((2, 3)), np.zeros((4, 2))])
+
+
+class TestWindows:
+    def test_all_windows_consistent_with_chain(self):
+        mats = _chain([3, 3, 3, 3], 7)
+        wins = all_windows_product(mats, MAX_PLUS)
+        assert np.allclose(wins[(0, 2)], chain_product(mats, MAX_PLUS))
+
+    def test_window_count(self):
+        mats = _chain([2] * 5, 1)
+        wins = all_windows_product(mats, MAX_PLUS)
+        assert len(wins) == 4 * 5 // 2
+
+    def test_accumulated_equals_full_for_maxplus(self):
+        """For idempotent ⊕ and square matrices, accumulating all splits
+        equals the full chain product (the DMP correctness core)."""
+        mats = _chain([4] * 5, 3)
+        acc = accumulated_products(mats, MAX_PLUS)
+        full = chain_product(mats, MAX_PLUS)
+        assert np.allclose(acc, full)
+
+    def test_accumulated_single_matrix(self):
+        mats = _chain([3, 4], 2)
+        assert np.allclose(accumulated_products(mats, MAX_PLUS), mats[0])
+
+    def test_accumulated_differs_for_plus_times(self):
+        """Non-idempotent ⊕: splits genuinely add up."""
+        mats = _chain([2, 2, 2, 2], 5)  # three square matrices
+        acc = accumulated_products(mats, PLUS_TIMES)
+        full = chain_product(mats, PLUS_TIMES)
+        # r-1 = 2 splits, each equal to the full product for plus-times
+        assert np.allclose(acc, 2 * full)

@@ -1,0 +1,140 @@
+"""Max-plus kernel equivalence and properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semiring.maxplus import (
+    KERNELS,
+    NEG_INF,
+    matmul_flops,
+    maxplus_matmul,
+    maxplus_matmul_naive,
+    maxplus_matmul_tiled,
+    maxplus_matmul_vectorized,
+)
+from repro.semiring.semiring import MAX_PLUS
+
+
+def _rand(rng, shape):
+    return rng.random(shape).astype(np.float32)
+
+
+@st.composite
+def matmul_case(draw):
+    n = draw(st.integers(1, 6))
+    k = draw(st.integers(1, 6))
+    m = draw(st.integers(1, 6))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    return _rand(rng, (n, k)), _rand(rng, (k, m)), _rand(rng, (n, m))
+
+
+class TestKernelEquivalence:
+    @given(matmul_case())
+    @settings(max_examples=40, deadline=None)
+    def test_all_kernels_agree(self, case):
+        a, b, c0 = case
+        ref = c0.copy()
+        maxplus_matmul_naive(a, b, ref)
+        for name, kern in KERNELS.items():
+            got = c0.copy()
+            if name == "tiled":
+                kern(a, b, got, tile=(2, 2, 2))
+            else:
+                kern(a, b, got)
+            assert np.allclose(got, ref), name
+
+    def test_matches_semiring_reference(self):
+        rng = np.random.default_rng(0)
+        a, b = _rand(rng, (5, 7)), _rand(rng, (7, 3))
+        assert np.allclose(maxplus_matmul(a, b), MAX_PLUS.matmul(a, b))
+
+    @pytest.mark.parametrize(
+        "tile", [(1, 1, 1), (3, 2, 0), (8, 8, 8), (2, 5, 3), (16, 1, 0)]
+    )
+    def test_tiled_any_shape(self, tile):
+        rng = np.random.default_rng(3)
+        a, b = _rand(rng, (7, 6)), _rand(rng, (6, 9))
+        ref = maxplus_matmul(a, b)
+        got = np.full((7, 9), NEG_INF, dtype=np.float32)
+        maxplus_matmul_tiled(a, b, got, tile=tile)
+        assert np.allclose(got, ref)
+
+
+class TestAccumulation:
+    def test_accumulates_into_c(self):
+        """C's prior contents participate in the max."""
+        a = np.zeros((1, 1), dtype=np.float32)
+        b = np.zeros((1, 1), dtype=np.float32)
+        c = np.full((1, 1), 99.0, dtype=np.float32)
+        maxplus_matmul_vectorized(a, b, c)
+        assert c[0, 0] == 99.0
+
+    def test_neg_inf_rows_ignored(self):
+        a = np.full((2, 2), NEG_INF, dtype=np.float32)
+        b = np.ones((2, 2), dtype=np.float32)
+        c = np.zeros((2, 2), dtype=np.float32)
+        maxplus_matmul_vectorized(a, b, c)
+        assert np.all(c == 0.0)
+
+    def test_empty_k_dimension(self):
+        a = np.zeros((2, 0), dtype=np.float32)
+        b = np.zeros((0, 2), dtype=np.float32)
+        c = np.zeros((2, 2), dtype=np.float32)
+        for name, kern in KERNELS.items():
+            out = c.copy()
+            if name == "tiled":
+                kern(a, b, out, tile=(1, 1, 0))
+            else:
+                kern(a, b, out)
+            assert np.allclose(out, c), name
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        a = np.zeros((2, 3), dtype=np.float32)
+        b = np.zeros((4, 2), dtype=np.float32)
+        c = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError, match="incompatible"):
+            maxplus_matmul_vectorized(a, b, c)
+
+    def test_bad_tile_rejected(self):
+        a = b = c = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError, match="tile"):
+            maxplus_matmul_tiled(a, b, c, tile=(0, 1, 0))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            maxplus_matmul_vectorized(
+                np.zeros(3, dtype=np.float32),
+                np.zeros((3, 3), dtype=np.float32),
+                np.zeros((3, 3), dtype=np.float32),
+            )
+
+    def test_flops_count(self):
+        assert matmul_flops(2, 3, 4) == 48
+
+
+class TestRegisterKernel:
+    """The future-work two-level kernel must agree with every other."""
+
+    @given(matmul_case(), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_naive(self, case, reg):
+        from repro.semiring.maxplus import maxplus_matmul_register
+
+        a, b, c0 = case
+        ref = c0.copy()
+        maxplus_matmul_naive(a, b, ref)
+        got = c0.copy()
+        maxplus_matmul_register(a, b, got, tile=(2, 3, 2), reg=reg)
+        assert np.allclose(got, ref)
+
+    def test_bad_reg_rejected(self):
+        from repro.semiring.maxplus import maxplus_matmul_register
+
+        z = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError, match="register depth"):
+            maxplus_matmul_register(z, z, z.copy(), reg=0)

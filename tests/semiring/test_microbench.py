@@ -1,0 +1,70 @@
+"""Tests for the Algorithm-3 stream micro-benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.semiring.microbench import (
+    StreamBenchmark,
+    maxplus_stream,
+    maxplus_stream_python,
+    stream_flops,
+)
+
+
+class TestKernel:
+    def test_matches_python_version(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(50).astype(np.float32)
+        y1 = rng.random(50).astype(np.float32)
+        y2 = y1.copy()
+        maxplus_stream(1.5, x, y1)
+        maxplus_stream_python(1.5, x, y2)
+        assert np.allclose(y1, y2)
+
+    def test_in_place(self):
+        x = np.array([1.0], dtype=np.float32)
+        y = np.array([0.0], dtype=np.float32)
+        out = maxplus_stream(2.0, x, y)
+        assert out is y
+        assert y[0] == 3.0
+
+    def test_keeps_larger_y(self):
+        x = np.array([0.0], dtype=np.float32)
+        y = np.array([10.0], dtype=np.float32)
+        maxplus_stream(1.0, x, y)
+        assert y[0] == 10.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            maxplus_stream(0.0, np.zeros(3), np.zeros(4))
+
+
+class TestBenchmark:
+    def test_flop_accounting(self):
+        assert stream_flops(100, 5) == 1000
+
+    def test_run_reports_positive_gflops(self):
+        res = StreamBenchmark(chunk_size=1024, iterations=2, threads=1).run()
+        assert res.gflops > 0
+        assert res.seconds > 0
+        assert res.chunk_size == 1024
+
+    def test_threads_scale_work(self):
+        r1 = StreamBenchmark(1024, iterations=2, threads=1).run()
+        r2 = StreamBenchmark(1024, iterations=2, threads=3).run()
+        # 3x the arrays -> 3x the flops accounted
+        assert r2.threads == 3
+        assert stream_flops(1024, 2) * 3 == 3 * stream_flops(1024, 2)
+        assert r2.seconds >= r1.seconds * 0.5  # sanity: more work, not less time/3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_sizes_rejected(self, bad):
+        with pytest.raises(ValueError):
+            StreamBenchmark(chunk_size=bad)
+        with pytest.raises(ValueError):
+            StreamBenchmark(chunk_size=8, iterations=bad)
+
+    def test_deterministic_data(self):
+        b1 = StreamBenchmark(64, seed=9)
+        b2 = StreamBenchmark(64, seed=9)
+        assert np.allclose(b1._xs[0], b2._xs[0])

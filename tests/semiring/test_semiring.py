@@ -1,0 +1,61 @@
+"""Semiring axioms, property-based."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semiring.semiring import MAX_PLUS, MIN_PLUS, PLUS_TIMES, Semiring
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+SEMIRINGS = [MAX_PLUS, MIN_PLUS, PLUS_TIMES]
+
+
+@pytest.mark.parametrize("sr", SEMIRINGS, ids=lambda s: s.name)
+class TestAxioms:
+    @given(a=finite, b=finite, c=finite)
+    @settings(max_examples=50, deadline=None)
+    def test_add_associative_commutative(self, sr: Semiring, a, b, c):
+        assert sr.add(sr.add(a, b), c) == pytest.approx(sr.add(a, sr.add(b, c)), rel=1e-9, abs=1e-9)
+        assert sr.add(a, b) == sr.add(b, a)
+
+    @given(a=finite)
+    @settings(max_examples=50, deadline=None)
+    def test_identities(self, sr: Semiring, a):
+        assert sr.add(a, sr.zero) == a
+        assert sr.mul(a, sr.one) == pytest.approx(a)
+
+    @given(a=finite, b=finite, c=finite)
+    @settings(max_examples=50, deadline=None)
+    def test_mul_distributes_over_add(self, sr: Semiring, a, b, c):
+        left = sr.mul(a, sr.add(b, c))
+        right = sr.add(sr.mul(a, b), sr.mul(a, c))
+        assert left == pytest.approx(right, rel=1e-6, abs=1e-6)
+
+
+class TestMatrixOps:
+    def test_eye_is_identity_maxplus(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((4, 4)).astype(np.float32)
+        assert np.allclose(MAX_PLUS.matmul(a, MAX_PLUS.eye(4)), a)
+        assert np.allclose(MAX_PLUS.matmul(MAX_PLUS.eye(4), a), a)
+
+    def test_plus_times_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.random((3, 5)), rng.random((5, 2))
+        assert np.allclose(PLUS_TIMES.matmul(a, b), a @ b)
+
+    def test_maxplus_matmul_associative(self):
+        rng = np.random.default_rng(2)
+        a, b, c = (rng.random((4, 4)) for _ in range(3))
+        left = MAX_PLUS.matmul(MAX_PLUS.matmul(a, b), c)
+        right = MAX_PLUS.matmul(a, MAX_PLUS.matmul(b, c))
+        assert np.allclose(left, right)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            MAX_PLUS.matmul(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_zeros(self):
+        z = MIN_PLUS.zeros((2, 2))
+        assert np.all(np.isposinf(z))

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_run_prints_score(self, capsys):
+        assert main(["run", "GCGC", "GCGC", "--variant", "hybrid"]) == 0
+        out = capsys.readouterr().out
+        assert "score" in out and "hybrid" in out
+
+    def test_run_with_structure(self, capsys):
+        assert main(["run", "GGG", "CCC", "--structure"]) == 0
+        out = capsys.readouterr().out
+        assert "strand1" in out and "inter" in out
+
+    def test_fold(self, capsys):
+        assert main(["fold", "GGGCCC"]) == 0
+        out = capsys.readouterr().out
+        assert "score : 9" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid-tiled" in out and "fig13" in out
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "Roofline" in out and "DRAM" in out
+
+    def test_experiment_unknown(self):
+        with pytest.raises(ValueError, match="unknown"):
+            main(["experiment", "fig99"])
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "GC", "GC", "--variant", "bogus"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestScanCommand:
+    def test_scan_prints_windows(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert (
+            cli_main(
+                [
+                    "scan",
+                    "CUCC",
+                    "GGAGGAGGAGGA",
+                    "--window",
+                    "6",
+                    "--stride",
+                    "3",
+                    "--top",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "best window" in out
+        assert "gain" in out
+
+    def test_scan_bad_variant(self):
+        import pytest as _pytest
+
+        from repro.cli import main as cli_main
+
+        with _pytest.raises(SystemExit):
+            cli_main(["scan", "GC", "GCGC", "--variant", "nope"])
+
+
+class TestFastaAndCsv:
+    def test_run_from_fasta(self, tmp_path, capsys):
+        fasta = tmp_path / "pair.fasta"
+        fasta.write_text(">a\nGCGC\n>b\nGCGC\n")
+        assert main(["run", str(fasta), "--fasta"]) == 0
+        assert "score" in capsys.readouterr().out
+
+    def test_run_fasta_needs_two_records(self, tmp_path):
+        fasta = tmp_path / "one.fasta"
+        fasta.write_text(">a\nGCGC\n")
+        with pytest.raises(ValueError, match="two records"):
+            main(["run", str(fasta), "--fasta"])
+
+    def test_run_without_second_seq_rejected(self):
+        with pytest.raises(ValueError, match="two sequences"):
+            main(["run", "GCGC"])
+
+    def test_experiment_csv_output(self, tmp_path, capsys):
+        assert main(["experiment", "fig11", "--csv", str(tmp_path)]) == 0
+        csv_file = tmp_path / "fig11.csv"
+        assert csv_file.exists()
+        assert "attainable_gflops" in csv_file.read_text()

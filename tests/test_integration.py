@@ -1,0 +1,116 @@
+"""End-to-end integration tests across subsystem boundaries."""
+
+import runpy
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import bpmax
+from repro.core.alpha_model import bpmax_system, target_mapping_for
+from repro.core.distributed import DistributedBPMax
+from repro.core.reference import bpmax_recursive, prepare_inputs
+from repro.core.windowed import scan_windows
+from repro.parallel.mpi import ClusterSpec
+from repro.polyhedral.codegen import compile_schedule
+from repro.rna.datasets import demo_pair
+from repro.rna.sequence import read_fasta, write_fasta, RnaSequence
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestFastaToStructure:
+    def test_fasta_roundtrip_to_structure(self, tmp_path):
+        """FASTA file -> engines -> traceback -> weight consistency."""
+        path = tmp_path / "pair.fasta"
+        write_fasta(
+            [RnaSequence("GCGCUU", name="a"), RnaSequence("AAGCGC", name="b")],
+            path,
+        )
+        a, b = read_fasta(path)
+        result = bpmax(a, b, structure=True)
+        assert result.structure.weight(result.inputs) == pytest.approx(result.score)
+
+
+class TestAlphaToExecution:
+    def test_published_schedule_pipeline(self):
+        """equations -> mapping directives -> generated code -> oracle,
+        for the paper's hybrid schedule, end to end."""
+        short, target = demo_pair("dsrA-rpoS")
+        q = RnaSequence(short[:3])
+        t = RnaSequence(target[:4])
+        inp = prepare_inputs(q, t)
+        fn, src = compile_schedule(
+            bpmax_system(include_s=False), target_mapping_for("hybrid"), "bp"
+        )
+        out = fn(
+            {"N": inp.n, "M": inp.m},
+            {
+                "score1": inp.score1,
+                "score2": inp.score2,
+                "iscore": inp.iscore,
+                "S1": inp.s1,
+                "S2": inp.s2,
+            },
+        )
+        assert out["F"][0, inp.n - 1, 0, inp.m - 1] == pytest.approx(
+            bpmax_recursive(inp)
+        )
+        assert "heapq" in src
+
+
+class TestScanAndDistribute:
+    def test_demo_pair_scan_agrees_with_distributed(self):
+        """The windowed scanner's best window scores identically under
+        the distributed executor."""
+        short, target = demo_pair("oxyS-fhlA")
+        res = scan_windows(short, target, window=len(short), stride=3,
+                           variant="hybrid")
+        best = res.best
+        piece = RnaSequence(target[best.start : best.start + res.window]).reversed()
+        inp = prepare_inputs(short, piece)
+        rep = DistributedBPMax(inp, ClusterSpec(ranks=3)).run()
+        assert rep.score == pytest.approx(best.score)
+
+
+class TestExamplesRun:
+    """Every shipped example executes cleanly (bitrot guard)."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["quickstart", "ensemble_analysis", "schedule_exploration"],
+    )
+    def test_example_main(self, name, capsys):
+        module = runpy.run_path(str(EXAMPLES / f"{name}.py"), run_name="example")
+        module["main"]()
+        assert capsys.readouterr().out  # produced output, raised nothing
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", ["srna_target_scan", "performance_study"])
+    def test_slow_examples(self, name, capsys):
+        module = runpy.run_path(str(EXAMPLES / f"{name}.py"), run_name="example")
+        module["main"]()
+        assert capsys.readouterr().out
+
+
+class TestCrossEngineAtScale:
+    def test_all_paths_agree_on_one_workload(self):
+        """One (5, 7) workload through every computational path."""
+        s1, s2 = RnaSequence("GCAUG"), RnaSequence("CAUGCAU")
+        inp = prepare_inputs(s1, s2)
+        oracle = bpmax_recursive(inp)
+        scores = {
+            "api-tiled": bpmax(s1, s2, tile=(2, 2, 0)).score,
+            "api-baseline": bpmax(s1, s2, variant="baseline").score,
+            "distributed": DistributedBPMax(inp, ClusterSpec(ranks=2)).run().score,
+        }
+        from repro.polyhedral.alpha import Interpreter
+
+        it = Interpreter(
+            bpmax_system(include_s=True),
+            {"N": 5, "M": 7},
+            {"score1": inp.score1, "score2": inp.score2, "iscore": inp.iscore},
+        )
+        scores["interpreter"] = it.value("F", 0, 4, 0, 6)
+        for name, score in scores.items():
+            assert score == pytest.approx(oracle), name
