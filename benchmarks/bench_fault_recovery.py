@@ -1,0 +1,105 @@
+"""Fault-tolerance overhead and recovery benchmarks.
+
+Times the three recovery paths of the robustness layer on a real
+workload: checkpointing overhead on a clean run, crash-plus-resume
+versus an uninterrupted run, and distributed self-healing after an
+injected rank death or message drops.  Every timed run re-checks score
+equality with the recursive oracle — recovery must never trade
+correctness for availability.
+"""
+
+import pytest
+
+from repro.core.distributed import DistributedBPMax
+from repro.core.engine import make_engine
+from repro.core.reference import bpmax_recursive
+from repro.parallel.mpi import ClusterSpec
+from repro.robust.checkpoint import CheckpointManager
+from repro.robust.errors import EngineFailure
+from repro.robust.faults import FaultPlan
+
+
+def _score(engine):
+    inp = engine.inputs
+    return float(engine.table.get(0, inp.n - 1, 0, inp.m - 1))
+
+
+@pytest.mark.parametrize("every", [1, 2])
+def test_checkpoint_overhead(benchmark, bpmax_workload, tmp_path, every):
+    """Clean run with per-diagonal snapshots: the overhead the paper's
+    long-running 16x2500 workloads would pay for restartability."""
+    oracle = bpmax_recursive(bpmax_workload)
+
+    def run():
+        ckpt = CheckpointManager(
+            tmp_path / "bench.npz", bpmax_workload, variant="coarse", every=every
+        )
+        engine = make_engine(bpmax_workload, variant="coarse")
+        engine.run(checkpoint=ckpt)
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert _score(engine) == pytest.approx(oracle)
+
+
+def test_crash_resume_vs_clean(benchmark, bpmax_workload, tmp_path):
+    """Kill the engine mid-table, resume from the snapshot: the resumed
+    half plus the crashed half should stay in the clean run's ballpark."""
+    oracle = bpmax_recursive(bpmax_workload)
+    n = bpmax_workload.n
+    crash = (1, n - 1)  # a late window: most of the table is checkpointed
+
+    def crash_and_resume():
+        path = tmp_path / "resume.npz"
+        if path.exists():
+            path.unlink()
+        ckpt = CheckpointManager(path, bpmax_workload, variant="coarse")
+        engine = make_engine(bpmax_workload, variant="coarse")
+        try:
+            engine.run(checkpoint=ckpt, faults=FaultPlan(crash_windows=[crash]))
+        except EngineFailure:
+            pass
+        resumed = make_engine(bpmax_workload, variant="coarse")
+        ckpt2 = CheckpointManager(path, bpmax_workload, variant="coarse")
+        done = ckpt2.load(resumed.table)
+        resumed.run(checkpoint=ckpt2, resume=done)
+        return resumed, done
+
+    engine, done = benchmark.pedantic(crash_and_resume, rounds=3, iterations=1)
+    assert _score(engine) == pytest.approx(oracle)
+    assert len(done) > 0, "the resume path must restore checkpointed windows"
+
+
+def test_rank_death_recovery(benchmark, bpmax_workload):
+    """4-rank distributed run with one injected rank death at wavefront 2."""
+    oracle = bpmax_recursive(bpmax_workload)
+
+    def run():
+        plan = FaultPlan(rank_deaths=[(1, 2)])
+        return DistributedBPMax(
+            bpmax_workload, ClusterSpec(ranks=4), faults=plan
+        ).run()
+
+    rep = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert rep.score == pytest.approx(oracle)
+    assert rep.dead_ranks == (1,)
+    assert rep.recovered_windows > 0
+
+
+@pytest.mark.parametrize("rate", [0.0, 0.1, 0.3])
+def test_message_drop_retries(benchmark, bpmax_workload, rate):
+    """Retry cost as the simulated network loses more triangles."""
+    oracle = bpmax_recursive(bpmax_workload)
+
+    def run():
+        plan = FaultPlan(seed=13, message_drop_rate=rate) if rate else None
+        return DistributedBPMax(
+            bpmax_workload, ClusterSpec(ranks=3), faults=plan, max_retries=8
+        ).run()
+
+    rep = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert rep.score == pytest.approx(oracle)
+    if rate == 0.0:
+        assert rep.retries == 0 and rep.redundant_bytes == 0
+    else:
+        assert rep.redundant_bytes == rep.retries * bpmax_workload.m**2 * 4

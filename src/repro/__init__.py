@@ -16,6 +16,8 @@ Subpackages:
 * :mod:`repro.machine` — machine specs, roofline, work counters, the
   calibrated performance model;
 * :mod:`repro.parallel` — OMP-style schedulers, DAG simulation, pools;
+* :mod:`repro.robust` — fault tolerance: structured errors, retry,
+  deadlines, checkpoint/resume, deterministic fault injection;
 * :mod:`repro.bench` — the experiment harness regenerating every paper
   table and figure.
 """
@@ -24,8 +26,18 @@ from .core.api import BpmaxResult, bpmax, fold
 from .core.engine import ENGINES
 from .rna.scoring import DEFAULT_MODEL, ScoringModel
 from .rna.sequence import RnaSequence, random_pair, random_sequence
+from .robust import (
+    BpmaxError,
+    CheckpointManager,
+    Deadline,
+    DeadlineExceeded,
+    EngineFailure,
+    FaultPlan,
+    InvalidSequenceError,
+    retry,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BpmaxResult",
@@ -37,5 +49,13 @@ __all__ = [
     "RnaSequence",
     "random_pair",
     "random_sequence",
+    "BpmaxError",
+    "CheckpointManager",
+    "Deadline",
+    "DeadlineExceeded",
+    "EngineFailure",
+    "FaultPlan",
+    "InvalidSequenceError",
+    "retry",
     "__version__",
 ]

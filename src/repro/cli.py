@@ -7,6 +7,13 @@ Subcommands
 ``scan QUERY TARGET``  slide QUERY along TARGET, rank windows by gain
 ``experiment ID``      regenerate one paper table/figure (or ``all``)
 ``list``               list available experiments and engine variants
+
+Error handling: every structured failure
+(:class:`~repro.robust.errors.BpmaxError` — bad sequences, stale
+checkpoints, engine crashes, exceeded deadlines) is caught at the
+``main()`` boundary and reported as a one-line message with exit
+status 2; pass ``--debug`` (before the subcommand) for the full
+traceback.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import sys
 from .bench.figures import EXPERIMENTS, run_experiment
 from .core.api import bpmax, fold
 from .core.engine import ENGINES
+from .robust.errors import BpmaxError
 
 __all__ = ["main"]
 
@@ -26,6 +34,11 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="bpmax",
         description="BPMax RNA-RNA interaction (reproduction of Mondal & "
         "Rajopadhye 2021)",
+    )
+    p.add_argument(
+        "--debug",
+        action="store_true",
+        help="show full tracebacks instead of one-line error messages",
     )
     sub = p.add_subparsers(dest="command", required=True)
 
@@ -42,6 +55,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--structure", action="store_true", help="also report one optimal structure"
+    )
+    run.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="periodically snapshot the partial F table to PATH (.npz)",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore a previous --checkpoint snapshot before running",
+    )
+    run.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="abort (exit 2) when the run exceeds this compute budget",
+    )
+    run.add_argument(
+        "--fallback",
+        metavar="VARIANTS",
+        help="comma-separated variants to degrade to if the engine crashes "
+        "(e.g. 'hybrid,baseline')",
     )
 
     f = sub.add_parser("fold", help="fold one strand (weighted Nussinov)")
@@ -65,34 +100,59 @@ def _build_parser() -> argparse.ArgumentParser:
     return p
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
-    if args.command == "run":
-        seq1, seq2 = args.seq1, args.seq2
-        if args.fasta:
-            from .rna.sequence import read_fasta
+def _cmd_run(args: argparse.Namespace) -> int:
+    seq1, seq2 = args.seq1, args.seq2
+    if args.fasta:
+        from .rna.sequence import read_fasta
 
-            records = read_fasta(seq1)
-            if len(records) < 2:
-                raise ValueError(
-                    f"FASTA file {seq1!r} must contain at least two records"
+        records = read_fasta(seq1)
+        if len(records) < 2:
+            raise BpmaxError(
+                f"FASTA file {seq1!r} must contain at least two records, "
+                f"found {len(records)}"
+            )
+        seq1, seq2 = records[0], records[1]
+    elif seq2 is None:
+        raise BpmaxError("run needs two sequences (or --fasta FILE)")
+    if args.deadline is not None and args.deadline <= 0:
+        raise BpmaxError(f"--deadline must be positive, got {args.deadline:g}")
+    fallback: tuple[str, ...] = ()
+    if args.fallback:
+        fallback = tuple(v.strip() for v in args.fallback.split(",") if v.strip())
+        for v in fallback:
+            if v not in ENGINES:
+                raise BpmaxError(
+                    f"unknown fallback variant {v!r}; use one of {ENGINES}"
                 )
-            seq1, seq2 = records[0], records[1]
-        elif seq2 is None:
-            raise ValueError("run needs two sequences (or --fasta FILE)")
-        result = bpmax(
-            seq1, seq2, variant=args.variant, structure=args.structure
-        )
-        print(f"score   : {result.score:g}")
-        print(f"variant : {result.variant}")
-        if result.structure is not None:
-            db1, db2 = result.structure.dotbracket()
-            print(f"strand1 : {str(seq1).upper().replace('T', 'U')}")
-            print(f"          {db1}")
-            print(f"strand2 : {str(seq2).upper().replace('T', 'U')}")
-            print(f"          {db2}")
-            print(f"inter   : {result.structure.inter}")
-        return 0
+    result = bpmax(
+        seq1,
+        seq2,
+        variant=args.variant,
+        structure=args.structure,
+        fallback=fallback,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        deadline=args.deadline,
+    )
+    print(f"score   : {result.score:g}")
+    print(f"variant : {result.variant}")
+    if result.degraded_from:
+        print(f"degraded: {' -> '.join((*result.degraded_from, result.variant))}")
+    if result.resumed_windows:
+        print(f"resumed : {result.resumed_windows} windows from checkpoint")
+    if result.structure is not None:
+        db1, db2 = result.structure.dotbracket()
+        print(f"strand1 : {str(seq1).upper().replace('T', 'U')}")
+        print(f"          {db1}")
+        print(f"strand2 : {str(seq2).upper().replace('T', 'U')}")
+        print(f"          {db2}")
+        print(f"inter   : {result.structure.inter}")
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "run":
+        return _cmd_run(args)
     if args.command == "fold":
         score, db = fold(args.seq)
         print(f"score : {score:g}")
@@ -135,6 +195,17 @@ def main(argv: list[str] | None = None) -> int:
         print("engine variants:", ", ".join(ENGINES))
         return 0
     return 1  # pragma: no cover
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BpmaxError as exc:
+        if args.debug:
+            raise
+        print(f"bpmax: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

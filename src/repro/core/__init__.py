@@ -29,7 +29,7 @@ from .enumerate import (
 from .distributed import DistributedBPMax, DistributedReport
 from .dmp import DMP_KERNELS, DoubleMaxPlus, dmp_flops, dmp_reference, random_triangles
 from .windowed import ScanResult, WindowHit, scan_windows
-from .engine import ENGINES, BpmaxEngine, make_engine
+from .engine import ENGINES, BpmaxEngine, ResilientEngine, make_engine
 from .explore import ScheduleCandidate, dmp_candidates, explore_dmp_schedules
 from .reference import BaselineBPMax, BpmaxInputs, bpmax_recursive, prepare_inputs
 from .tables import FTable, MEMORY_LAYOUTS
@@ -70,6 +70,7 @@ __all__ = [
     "random_triangles",
     "ENGINES",
     "BpmaxEngine",
+    "ResilientEngine",
     "make_engine",
     "ScheduleCandidate",
     "dmp_candidates",

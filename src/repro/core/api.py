@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from ..rna.scoring import DEFAULT_MODEL, ScoringModel
 from ..rna.sequence import RnaSequence
+from ..robust.checkpoint import CheckpointManager
+from ..robust.deadline import Deadline
+from ..robust.faults import FaultPlan
 from .engine import ENGINES, make_engine
 from .reference import BpmaxInputs, prepare_inputs
 from .tables import FTable
@@ -16,13 +20,21 @@ __all__ = ["BpmaxResult", "bpmax", "fold"]
 
 @dataclass(frozen=True)
 class BpmaxResult:
-    """Output of one BPMax run."""
+    """Output of one BPMax run.
+
+    ``variant`` is the program version that actually produced the score;
+    when a fallback chain degraded, the crashed variants are listed in
+    ``degraded_from`` (in attempt order).  ``resumed_windows`` counts
+    outer windows restored from a checkpoint instead of recomputed.
+    """
 
     score: float
     variant: str
     inputs: BpmaxInputs
     table: FTable
     structure: InteractionStructure | None = None
+    degraded_from: tuple[str, ...] = ()
+    resumed_windows: int = 0
 
     @property
     def n(self) -> int:
@@ -39,6 +51,12 @@ def bpmax(
     variant: str = "hybrid-tiled",
     model: ScoringModel = DEFAULT_MODEL,
     structure: bool = False,
+    fallback: tuple[str, ...] = (),
+    retries: int = 0,
+    checkpoint: str | os.PathLike | CheckpointManager | None = None,
+    resume: bool = False,
+    deadline: float | Deadline | None = None,
+    faults: FaultPlan | None = None,
     **engine_kwargs,
 ) -> BpmaxResult:
     """Compute the BPMax interaction score of two RNA strands.
@@ -55,6 +73,24 @@ def bpmax(
     structure:
         Also run the traceback and attach an
         :class:`~repro.core.traceback.InteractionStructure`.
+    fallback:
+        Further variants to degrade to when ``variant`` crashes (e.g.
+        ``("baseline",)``); the degradation is recorded on the result.
+    retries:
+        Transient-failure retries per variant (fresh engine each time).
+    checkpoint:
+        Snapshot path (or a preconfigured
+        :class:`~repro.robust.checkpoint.CheckpointManager`): the engine
+        periodically saves the partially-filled table there.
+    resume:
+        Restore a previous snapshot from ``checkpoint`` before running
+        (a missing file means "start fresh"; a stale or foreign file
+        raises :class:`~repro.robust.errors.CheckpointError`).
+    deadline:
+        Compute budget in seconds (or a running
+        :class:`~repro.robust.deadline.Deadline`), polled cooperatively.
+    faults:
+        A :class:`~repro.robust.faults.FaultPlan` for injection testing.
 
     Examples
     --------
@@ -64,16 +100,42 @@ def bpmax(
     """
     if variant not in ENGINES:
         raise ValueError(f"unknown variant {variant!r}; use one of {ENGINES}")
+    for v in fallback:
+        if v not in ENGINES:
+            raise ValueError(f"unknown fallback variant {v!r}; use one of {ENGINES}")
+    if deadline is not None and not isinstance(deadline, Deadline):
+        deadline = Deadline(float(deadline))
     inputs = prepare_inputs(seq1, seq2, model)
-    engine = make_engine(inputs, variant, **engine_kwargs)
-    score = engine.run()
+    engine = make_engine(
+        inputs, variant, fallback=tuple(fallback), retries=retries, **engine_kwargs
+    )
+
+    run_kwargs: dict = {}
+    resumed: frozenset[tuple[int, int]] = frozenset()
+    if checkpoint is not None:
+        if isinstance(checkpoint, CheckpointManager):
+            ckpt = checkpoint
+        else:
+            ckpt = CheckpointManager(checkpoint, inputs, variant=variant)
+        if resume and ckpt.path.exists():
+            resumed = ckpt.load(engine.table)
+            run_kwargs["resume"] = resumed
+        run_kwargs["checkpoint"] = ckpt
+    if deadline is not None:
+        run_kwargs["deadline"] = deadline
+    if faults is not None:
+        run_kwargs["faults"] = faults
+
+    score = engine.run(**run_kwargs)
     struct = traceback(inputs, engine.table) if structure else None
     return BpmaxResult(
         score=score,
-        variant=variant,
+        variant=getattr(engine, "variant", variant),
         inputs=inputs,
         table=engine.table,
         structure=struct,
+        degraded_from=getattr(engine, "degraded_from", ()),
+        resumed_windows=len(resumed),
     )
 
 

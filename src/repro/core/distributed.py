@@ -18,7 +18,15 @@ cluster using MPI".  This module implements that design against
 * **computation** — numerically identical to the shared-memory engine:
   the same per-window routine runs on the owner rank, so the final
   score is bit-for-bit the hybrid engine's, while the simulated clocks
-  yield projected makespan / speedup / communication volume.
+  yield projected makespan / speedup / communication volume;
+* **self-healing** — with a :class:`~repro.robust.faults.FaultPlan`
+  attached, dropped triangle transfers are detected by the receiver's
+  timeout and re-sent (bounded by ``max_retries``), and a rank death is
+  detected at the wavefront boundary: the dead rank's rows are
+  reassigned block-cyclically to the survivors, which recompute the
+  orphaned triangles that died with it.  The recovery work is reported
+  in :class:`DistributedReport` (``retries`` / ``recovered_windows`` /
+  ``redundant_bytes`` / ``dead_ranks``).
 """
 
 from __future__ import annotations
@@ -29,6 +37,9 @@ import numpy as np
 
 from ..machine.counters import k1 as _k1_count
 from ..parallel.mpi import ClusterSpec, SimComm
+from ..robust.deadline import Deadline
+from ..robust.errors import MessageLost, RankFailure
+from ..robust.faults import FaultPlan
 from .reference import BpmaxInputs
 from .vectorized import VectorizedBPMax
 
@@ -45,6 +56,10 @@ class DistributedReport:
     serial_s: float
     messages: int
     bytes_sent: int
+    retries: int = 0
+    recovered_windows: int = 0
+    redundant_bytes: int = 0
+    dead_ranks: tuple[int, ...] = ()
 
     @property
     def speedup(self) -> float:
@@ -65,6 +80,8 @@ class DistributedBPMax:
     execute: run the real numerics (default) or project timing only.
     m_effective: inner length used for work/message sizing in
         projection mode (e.g. 2500 for the paper-scale workload).
+    faults: optional fault plan (message drops, rank deaths).
+    max_retries: re-send attempts per dropped triangle transfer.
     """
 
     def __init__(
@@ -73,18 +90,26 @@ class DistributedBPMax:
         cluster: ClusterSpec,
         execute: bool = True,
         m_effective: int | None = None,
+        faults: FaultPlan | None = None,
+        max_retries: int = 3,
     ) -> None:
         """``execute=False`` switches to projection mode: the numeric
         engine is skipped and ``m_effective`` (default: the real m)
         sets the work and message sizes — used to project scaling at
         the paper's 16 x 2500 scale without computing it."""
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.inputs = inputs
         self.cluster = cluster
         self.execute = execute
         self.m_eff = m_effective if m_effective is not None else inputs.m
         if self.m_eff < 1:
             raise ValueError(f"m_effective must be >= 1, got {self.m_eff}")
-        self.comm = SimComm(cluster)
+        self.faults = faults
+        self.max_retries = max_retries
+        self.comm = SimComm(cluster, faults=faults)
+        # rows not remapped by a rank death stay block-cyclic (i1 % ranks)
+        self._row_remap: dict[int, int] = {}
         # the actual numerics run through the shared-memory engine, with
         # this orchestrator deciding *when and where* each window runs
         self._engine = VectorizedBPMax(inputs, variant="hybrid")
@@ -94,7 +119,7 @@ class DistributedBPMax:
 
     def owner(self, i1: int) -> int:
         """Owning rank of every window in outer row ``i1``."""
-        return i1 % self.cluster.ranks
+        return self._row_remap.get(i1, i1 % self.cluster.ranks)
 
     def _window_flops(self, i1: int, j1: int) -> float:
         """Work of one window: its share of R0/R3/R4 plus row finishing.
@@ -113,16 +138,73 @@ class DistributedBPMax:
         m = self.m_eff
         return m * (m + 1) // 2 * 4
 
+    # -- fault handling -----------------------------------------------------
+
+    def _handle_rank_death(
+        self,
+        rank: int,
+        d1: int,
+        cached: set[tuple[int, tuple[int, int]]],
+        comm: SimComm,
+    ) -> int:
+        """Reassign a dead rank's rows and recompute its lost triangles.
+
+        Every window of diagonals ``< d1`` owned by the dead rank lived
+        only in its memory; the new owners recompute them (their own
+        dependencies are still alive by the block-cyclic interleave).
+        Returns the number of recovered windows.
+        """
+        comm.kill(rank)
+        survivors = comm.alive_ranks()
+        if not survivors:
+            raise RankFailure("no surviving ranks to take over")
+        n = self.inputs.n
+        orphan_rows = [i for i in range(n) if self.owner(i) == rank]
+        for idx, row in enumerate(orphan_rows):
+            self._row_remap[row] = survivors[idx % len(survivors)]
+        # the dead rank's received-triangle cache is gone with it
+        cached -= {entry for entry in cached if entry[0] == rank}
+        recovered = 0
+        for row in orphan_rows:
+            new_owner = self.owner(row)
+            for j1 in range(row, min(row + d1, n)):
+                if self.execute:
+                    self._engine._compute_window(row, j1)
+                comm.compute(new_owner, flops=self._window_flops(row, j1))
+                cached.add((new_owner, (row, j1)))
+                recovered += 1
+        return recovered
+
+    def _transfer(self, payload, src: int, dest: int, comm: SimComm) -> tuple[int, int]:
+        """One triangle transfer with drop-retry; returns (retries, redundant)."""
+        retries = 0
+        redundant = 0
+        nbytes = payload.nbytes if isinstance(payload, np.ndarray) else 64
+        for _attempt in range(self.max_retries + 1):
+            comm.send(payload, source=src, dest=dest)
+            try:
+                comm.recv(source=src, dest=dest)
+                return retries, redundant
+            except MessageLost:
+                retries += 1
+                redundant += nbytes
+        raise RankFailure(
+            f"triangle transfer {src} -> {dest} lost "
+            f"{self.max_retries + 1} times; giving up"
+        )
+
     # -- execution -------------------------------------------------------------
 
-    def run(self) -> DistributedReport:
+    def run(self, deadline: Deadline | None = None) -> DistributedReport:
         inputs = self.inputs
         n = inputs.n
         comm = self.comm
-        tri_bytes = self.triangle_bytes()
         # per-rank cache of remote rows' triangles: (rank, (i1, j1))
         cached: set[tuple[int, tuple[int, int]]] = set()
         serial_seconds = 0.0
+        retries = 0
+        recovered = 0
+        redundant = 0
 
         # diagonal 0: every rank computes its own rows' base windows
         for i1 in range(n):
@@ -135,6 +217,13 @@ class DistributedBPMax:
             cached.add((r, (i1, i1)))
 
         for d1 in range(1, n):
+            if deadline is not None:
+                deadline.check(f"wavefront {d1}")
+            # failure detection: the wavefront timeout notices dead ranks
+            if self.faults is not None:
+                for rank in comm.alive_ranks():
+                    if self.faults.rank_dies(rank, d1):
+                        recovered += self._handle_rank_death(rank, d1, cached, comm)
             # communication phase: fetch missing remote triangles
             for i1 in range(n - d1):
                 j1 = i1 + d1
@@ -149,9 +238,9 @@ class DistributedBPMax:
                         if self.execute
                         else self._dummy
                     )
-                    comm.send(payload, source=src, dest=r)
-                    received = comm.recv(source=src, dest=r)
-                    assert received.nbytes >= tri_bytes // 2
+                    tr, rb = self._transfer(payload, src, r, comm)
+                    retries += tr
+                    redundant += rb
                     cached.add((r, need))
             # compute phase: the wavefront's windows run concurrently
             for i1 in range(n - d1):
@@ -178,4 +267,10 @@ class DistributedBPMax:
             serial_s=serial_seconds,
             messages=comm.stats.messages,
             bytes_sent=comm.stats.bytes_sent,
+            retries=retries,
+            recovered_windows=recovered,
+            redundant_bytes=redundant,
+            dead_ranks=tuple(
+                r for r in range(self.cluster.ranks) if not comm.alive[r]
+            ),
         )

@@ -31,8 +31,10 @@ with base case ``F[i1,i1,i2,i2] = iscore(i1, i2)``.
 from __future__ import annotations
 
 import sys
+import time
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -40,6 +42,11 @@ from ..rna.nussinov import nussinov
 from ..rna.scoring import DEFAULT_MODEL, ScoringModel
 from ..rna.sequence import RnaSequence
 from .tables import FTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..robust.checkpoint import CheckpointManager
+    from ..robust.deadline import Deadline
+    from ..robust.faults import FaultPlan
 
 __all__ = ["BpmaxInputs", "prepare_inputs", "bpmax_recursive", "BaselineBPMax"]
 
@@ -152,12 +159,29 @@ class BaselineBPMax:
         self.inputs = inputs
         self.table = FTable(inputs.n, inputs.m)
 
-    def run(self) -> float:
-        """Fill the whole table; return the final score."""
+    def run(
+        self,
+        *,
+        checkpoint: "CheckpointManager | None" = None,
+        deadline: "Deadline | None" = None,
+        faults: "FaultPlan | None" = None,
+        resume: frozenset[tuple[int, int]] | None = None,
+    ) -> float:
+        """Fill the whole table; return the final score.
+
+        A window reads other windows only at strictly shorter outer
+        spans, so the nest runs window-major within each outer diagonal
+        (numerically identical to the original ``d1, d2, i1, i2``
+        order).  That makes every outer diagonal a natural boundary for
+        the robustness hooks: ``deadline`` is polled and ``checkpoint``
+        snapshots there, ``faults`` is polled per window, and windows in
+        ``resume`` (pre-loaded from a checkpoint) are skipped.
+        """
         inp = self.inputs
         n, m = inp.n, inp.m
         s1, s2 = inp.s1, inp.s2
         score1, score2, iscore = inp.score1, inp.score2, inp.iscore
+        done = frozenset() if resume is None else frozenset(resume)
         tri = {
             (i1, j1): self.table.alloc(i1, j1)
             for i1 in range(n)
@@ -175,10 +199,18 @@ class BaselineBPMax:
             return float(tri[(i1, j1)][i2, j2])
 
         for d1 in range(n):  # outer diagonal j1 - i1
-            for d2 in range(m):  # inner diagonal j2 - i2
-                for i1 in range(n - d1):
-                    j1 = i1 + d1
-                    g = tri[(i1, j1)]
+            if deadline is not None:
+                deadline.check(f"outer diagonal {d1}")
+            for i1 in range(n - d1):
+                j1 = i1 + d1
+                if (i1, j1) in done:
+                    continue
+                if faults is not None:
+                    delay = faults.engine_window(i1, j1)
+                    if delay > 0:
+                        time.sleep(delay)
+                g = tri[(i1, j1)]
+                for d2 in range(m):  # inner diagonal j2 - i2
                     for i2 in range(m - d2):
                         j2 = i2 + d2
                         if d1 == 0 and d2 == 0:
@@ -218,4 +250,8 @@ class BaselineBPMax:
                                 best, fget(i1, k1, i2, j2) + float(s1[k1 + 1, j1])
                             )
                         g[i2, j2] = best
+                if checkpoint is not None:
+                    checkpoint.mark_done(i1, j1)
+            if checkpoint is not None:
+                checkpoint.maybe_save(self.table)
         return float(tri[(0, n - 1)][0, m - 1])

@@ -27,6 +27,9 @@ The per-window computation follows the Phase-II/III schedules:
 
 from __future__ import annotations
 
+import time
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..parallel.pool import ParallelRunner
@@ -34,6 +37,11 @@ from ..semiring.maxplus import NEG_INF
 from .dmp import DMP_KERNELS, _shifted
 from .reference import BpmaxInputs
 from .tables import FTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..robust.checkpoint import CheckpointManager
+    from ..robust.deadline import Deadline
+    from ..robust.faults import FaultPlan
 
 __all__ = ["VectorizedBPMax", "VARIANT_CONFIGS"]
 
@@ -83,6 +91,7 @@ class VectorizedBPMax:
             raise ValueError(f"order must be 'diagonal' or 'bottomup', got {self.order!r}")
         self.tile = tile
         self.threads = threads
+        self._faults: "FaultPlan | None" = None
         self.inputs = inputs
         self.table = FTable(inputs.n, inputs.m, layout=layout)
         m = inputs.m
@@ -120,7 +129,7 @@ class VectorizedBPMax:
 
         if self.threads > 1:
             blocks = np.array_split(np.arange(inp.m), self.threads)
-            with ParallelRunner(self.threads) as pool:
+            with ParallelRunner(self.threads, faults=self._faults) as pool:
                 for k1 in range(i1, j1):
                     a = tri.inner(i1, k1)
                     b = tri.inner(k1 + 1, j1)
@@ -231,11 +240,52 @@ class VectorizedBPMax:
 
     # -- public API -----------------------------------------------------------------
 
-    def run(self) -> float:
-        """Fill the full table; return the interaction score."""
+    def run(
+        self,
+        *,
+        checkpoint: "CheckpointManager | None" = None,
+        deadline: "Deadline | None" = None,
+        faults: "FaultPlan | None" = None,
+        resume: frozenset[tuple[int, int]] | None = None,
+    ) -> float:
+        """Fill the full table; return the interaction score.
+
+        The optional robustness hooks are polled per outer window:
+        windows listed in ``resume`` (pre-loaded from a checkpoint) are
+        skipped, ``deadline`` raises when the budget expires, ``faults``
+        injects crash/slow faults, and ``checkpoint`` snapshots the
+        table whenever a full prefix of outer diagonals completes.
+        """
         inp = self.inputs
-        for i1 in range(inp.n):
-            self._compute_window(i1, i1)
-        for i1, j1 in self._windows():
-            self._compute_window(i1, j1)
+        done = frozenset() if resume is None else frozenset(resume)
+        self._faults = faults
+        try:
+            for i1 in range(inp.n):
+                self._run_window(i1, i1, done, checkpoint, deadline, faults)
+            for i1, j1 in self._windows():
+                self._run_window(i1, j1, done, checkpoint, deadline, faults)
+        finally:
+            self._faults = None
         return float(self.table.get(0, inp.n - 1, 0, inp.m - 1))
+
+    def _run_window(
+        self,
+        i1: int,
+        j1: int,
+        done: frozenset[tuple[int, int]],
+        checkpoint: "CheckpointManager | None",
+        deadline: "Deadline | None",
+        faults: "FaultPlan | None",
+    ) -> None:
+        if (i1, j1) in done:
+            return
+        if deadline is not None:
+            deadline.check(f"window ({i1}, {j1})")
+        if faults is not None:
+            delay = faults.engine_window(i1, j1)
+            if delay > 0:
+                time.sleep(delay)
+        self._compute_window(i1, j1)
+        if checkpoint is not None:
+            checkpoint.mark_done(i1, j1)
+            checkpoint.maybe_save(self.table)

@@ -22,8 +22,14 @@ while the clocks produce the projected timing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+from ..robust.errors import MessageLost, RankFailure
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..robust.faults import FaultPlan
 
 __all__ = ["ClusterSpec", "SimComm", "CommStats"]
 
@@ -34,18 +40,29 @@ class ClusterSpec:
 
     Defaults model a small commodity cluster of the paper's 6-core nodes:
     per-node effective max-plus throughput from the perf model's tiled
-    kernel (~117 GFLOPS) and 100 Gb/s interconnect.
+    kernel (~117 GFLOPS) and 100 Gb/s interconnect.  ``timeout_s`` is the
+    failure-detection budget: how long a receiver waits before declaring
+    a message lost (and how long survivors spend noticing a dead rank).
     """
 
     ranks: int
     rank_flops: float = 117e9
     latency_s: float = 2e-6
     bandwidth_bytes_per_s: float = 12.5e9
+    timeout_s: float = 1e-4
 
     def __post_init__(self) -> None:
         if self.ranks <= 0:
             raise ValueError(f"ranks must be > 0, got {self.ranks}")
-        if min(self.rank_flops, self.latency_s, self.bandwidth_bytes_per_s) <= 0:
+        if (
+            min(
+                self.rank_flops,
+                self.latency_s,
+                self.bandwidth_bytes_per_s,
+                self.timeout_s,
+            )
+            <= 0
+        ):
             raise ValueError("cluster parameters must be positive")
 
     def transfer_time(self, nbytes: int) -> float:
@@ -60,10 +77,16 @@ class CommStats:
     messages: int = 0
     bytes_sent: int = 0
     collectives: int = 0
+    drops: int = 0
+    rank_deaths: int = 0
 
     def record(self, nbytes: int) -> None:
         self.messages += 1
         self.bytes_sent += nbytes
+
+
+#: mailbox tombstone marking a message dropped in flight
+_DROPPED = object()
 
 
 def _payload_bytes(payload) -> int:
@@ -81,11 +104,20 @@ class SimComm:
 
     All ranks live in one process; the caller drives them (typically in
     a loop over ranks per superstep).  Clocks only move forward.
+
+    Fault modes (both driven by an optional
+    :class:`~repro.robust.faults.FaultPlan`): a send may be **dropped**
+    in flight — the matching ``recv`` waits out ``spec.timeout_s`` and
+    raises :class:`MessageLost` so the caller can re-send — and a rank
+    may be **killed** (:meth:`kill`), after which any operation touching
+    it raises :class:`RankFailure`.
     """
 
-    def __init__(self, spec: ClusterSpec) -> None:
+    def __init__(self, spec: ClusterSpec, faults: "FaultPlan | None" = None) -> None:
         self.spec = spec
+        self.faults = faults
         self.clock = [0.0] * spec.ranks
+        self.alive = [True] * spec.ranks
         self.stats = CommStats()
         self._mailbox: dict[tuple[int, int, int], tuple[float, object]] = {}
         self._send_seq: dict[tuple[int, int], int] = {}
@@ -95,6 +127,23 @@ class SimComm:
 
     def Get_size(self) -> int:
         return self.spec.ranks
+
+    def alive_ranks(self) -> list[int]:
+        return [r for r in range(self.spec.ranks) if self.alive[r]]
+
+    def kill(self, rank: int) -> None:
+        """Kill a rank: its clock freezes and its mailbox slots die.
+
+        Survivors spend ``spec.timeout_s`` detecting the failure (the
+        per-wavefront timeout of the self-healing executor).
+        """
+        self._check(rank)
+        if not self.alive[rank]:
+            return
+        self.alive[rank] = False
+        self.stats.rank_deaths += 1
+        for r in self.alive_ranks():
+            self.clock[r] += self.spec.timeout_s
 
     def compute(self, rank: int, flops: float = 0.0, seconds: float = 0.0) -> None:
         """Advance a rank's clock by compute work."""
@@ -107,6 +156,8 @@ class SimComm:
         """Non-blocking-ish send: enqueue with its completion time."""
         self._check(source)
         self._check(dest)
+        self._check_alive(source)
+        self._check_alive(dest)
         if source == dest:
             raise ValueError(f"rank {source} sending to itself")
         nbytes = _payload_bytes(payload)
@@ -117,7 +168,11 @@ class SimComm:
             tag = -1 - seq
         done = self.clock[source] + self.spec.transfer_time(nbytes)
         self.clock[source] = done  # eager/rendezvous-style send
-        self._mailbox[(source, dest, tag)] = (done, payload)
+        if self.faults is not None and self.faults.drop_message(source, dest):
+            self.stats.drops += 1
+            self._mailbox[(source, dest, tag)] = (done, _DROPPED)
+        else:
+            self._mailbox[(source, dest, tag)] = (done, payload)
 
     def recv(self, source: int, dest: int, tag: int | None = None):
         """Blocking receive: the receiver waits for the message."""
@@ -133,14 +188,22 @@ class SimComm:
                 f"rank {dest} receiving from {source} (tag {tag}) before send"
             )
         done, payload = self._mailbox.pop(key)
+        if payload is _DROPPED:
+            # the receiver waits out its timeout before declaring loss
+            self.clock[dest] = max(self.clock[dest], done) + self.spec.timeout_s
+            raise MessageLost(f"message {source} -> {dest} (tag {tag}) lost in flight")
         self.clock[dest] = max(self.clock[dest], done)
         return payload
 
     def barrier(self) -> None:
-        """Synchronize all clocks (tree barrier latency)."""
-        rounds = int(np.ceil(np.log2(max(self.spec.ranks, 2))))
-        t = max(self.clock) + 2 * rounds * self.spec.latency_s
-        self.clock = [t] * self.spec.ranks
+        """Synchronize the clocks of surviving ranks (tree barrier)."""
+        alive = self.alive_ranks()
+        if not alive:
+            raise RankFailure("barrier with no surviving ranks")
+        rounds = int(np.ceil(np.log2(max(len(alive), 2))))
+        t = max(self.clock[r] for r in alive) + 2 * rounds * self.spec.latency_s
+        for r in alive:
+            self.clock[r] = t
         self.stats.collectives += 1
 
     def bcast(self, payload, root: int):
@@ -181,3 +244,7 @@ class SimComm:
     def _check(self, rank: int) -> None:
         if not 0 <= rank < self.spec.ranks:
             raise ValueError(f"rank {rank} out of range for {self.spec.ranks} ranks")
+
+    def _check_alive(self, rank: int) -> None:
+        if not self.alive[rank]:
+            raise RankFailure(f"rank {rank} is dead")

@@ -5,12 +5,20 @@ parallelism maps onto a :class:`~concurrent.futures.ThreadPoolExecutor`.
 On this reproduction's single-core host the pool mainly demonstrates the
 code path; thread-scaling *curves* come from the simulator
 (:mod:`repro.parallel.wavefront`) and the perf model.
+
+Failure semantics: a worker exception cancels all still-queued tasks of
+the same ``map`` call and re-raises the first failure (in task order) —
+no silently half-completed maps — and using a pool after ``close()``
+raises a clear error instead of degrading to serial execution.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..robust.faults import FaultPlan
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -19,19 +27,60 @@ __all__ = ["ParallelRunner"]
 
 
 class ParallelRunner:
-    """A reusable worker pool with OpenMP-flavoured helpers."""
+    """A reusable worker pool with OpenMP-flavoured helpers.
 
-    def __init__(self, threads: int = 1) -> None:
+    Parameters
+    ----------
+    threads: worker count; 1 runs inline without an executor.
+    faults: optional :class:`~repro.robust.faults.FaultPlan` polled
+        (via ``pool_task``) before each mapped task — the injection
+        point the fault-recovery tests and benchmarks use.
+    """
+
+    def __init__(self, threads: int = 1, faults: "FaultPlan | None" = None) -> None:
         if threads <= 0:
             raise ValueError(f"threads must be > 0, got {threads}")
         self.threads = threads
+        self._faults = faults
+        self._closed = False
         self._pool = ThreadPoolExecutor(max_workers=threads) if threads > 1 else None
 
+    def _run_task(self, fn: Callable[[T], R], index: int, item: T) -> R:
+        if self._faults is not None:
+            self._faults.pool_task(index)
+        return fn(item)
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        """Apply ``fn`` to every item (ordered results)."""
+        """Apply ``fn`` to every item (ordered results).
+
+        The first worker exception cancels every not-yet-started task
+        and is re-raised; tasks already running finish on their own.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "ParallelRunner is closed; create a new pool (or use it as a "
+                "context manager) instead of reusing a shut-down one"
+            )
+        items = list(items)
         if self._pool is None:
-            return [fn(x) for x in items]
-        return list(self._pool.map(fn, items))
+            # inline path: an exception naturally cancels the remainder
+            return [self._run_task(fn, i, x) for i, x in enumerate(items)]
+        futures = [
+            self._pool.submit(self._run_task, fn, i, x) for i, x in enumerate(items)
+        ]
+        results: list[R] = []
+        error: BaseException | None = None
+        for fut in futures:
+            if error is not None:
+                fut.cancel()
+                continue
+            try:
+                results.append(fut.result())
+            except BaseException as exc:
+                error = exc
+        if error is not None:
+            raise error
+        return results
 
     def parallel_for(self, fn: Callable[[int], None], n: int) -> None:
         """``#pragma omp parallel for`` over ``range(n)``."""
@@ -40,6 +89,7 @@ class ParallelRunner:
         self.map(fn, range(n))
 
     def close(self) -> None:
+        self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

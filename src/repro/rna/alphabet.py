@@ -10,6 +10,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..robust.errors import InvalidSequenceError
+
+__all__ = [
+    "NUCLEOTIDES",
+    "NUC_TO_CODE",
+    "CODE_TO_NUC",
+    "CANONICAL_PAIRS",
+    "InvalidSequenceError",
+    "normalize",
+    "encode",
+    "decode",
+    "can_pair",
+    "pair_strength",
+]
+
 #: Canonical nucleotide ordering used for integer encoding.
 NUCLEOTIDES: str = "ACGU"
 
@@ -29,21 +44,20 @@ CANONICAL_PAIRS: dict[frozenset[str], int] = {
 }
 
 
-class InvalidSequenceError(ValueError):
-    """Raised when a string contains characters outside the RNA alphabet."""
-
-
 def normalize(seq: str) -> str:
     """Return ``seq`` upper-cased with DNA thymine mapped to uracil.
 
-    Raises :class:`InvalidSequenceError` for any other non-ACGU character.
+    Raises :class:`InvalidSequenceError` naming the first offending
+    character and its position for any other non-ACGU character.
     """
     s = seq.strip().upper().replace("T", "U")
-    bad = set(s) - set(NUCLEOTIDES)
-    if bad:
-        raise InvalidSequenceError(
-            f"invalid nucleotide(s) {sorted(bad)!r} in sequence {seq[:30]!r}"
-        )
+    valid = set(NUCLEOTIDES)
+    for pos, c in enumerate(s):
+        if c not in valid:
+            raise InvalidSequenceError(
+                f"invalid nucleotide {c!r} at position {pos} "
+                f"in sequence {seq[:30]!r}"
+            )
     return s
 
 

@@ -9,6 +9,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..robust.errors import InvalidSequenceError
 from .alphabet import NUCLEOTIDES, decode, encode, normalize
 
 __all__ = [
@@ -33,7 +34,13 @@ class RnaSequence:
     _codes: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "seq", normalize(self.seq))
+        normalized = normalize(self.seq)
+        if not normalized:
+            label = f" {self.name!r}" if self.name else ""
+            raise InvalidSequenceError(
+                f"empty sequence{label}: an RNA strand must be non-empty"
+            )
+        object.__setattr__(self, "seq", normalized)
         object.__setattr__(self, "_codes", encode(self.seq))
 
     @property
@@ -72,12 +79,12 @@ def random_sequence(
 
     Parameters
     ----------
-    length: strand length (>= 0).
+    length: strand length (>= 1; empty strands are invalid inputs).
     rng: a Generator, a seed, or None for a fresh default generator.
     gc_content: expected fraction of G+C nucleotides.
     """
-    if length < 0:
-        raise ValueError(f"length must be >= 0, got {length}")
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
     if not 0.0 <= gc_content <= 1.0:
         raise ValueError(f"gc_content must be in [0, 1], got {gc_content}")
     if not isinstance(rng, np.random.Generator):

@@ -1,0 +1,52 @@
+"""Fault-tolerant execution layer for BPMax.
+
+Long O(N^3 M^3) runs at the paper's 16 x 2500 workload scale — and the
+conclusion's cluster-scale MPI plan — need more than fast kernels: they
+need to *survive*.  This package provides the building blocks the rest
+of the stack threads through every layer:
+
+* :mod:`repro.robust.errors` — the structured exception hierarchy
+  (:class:`BpmaxError` and friends) every layer raises;
+* :mod:`repro.robust.retry` — the ``retry(attempts, backoff, jitter)``
+  helper with deterministic, seedable jitter;
+* :mod:`repro.robust.deadline` — a cooperative :class:`Deadline` budget
+  that engines check at diagonal boundaries;
+* :mod:`repro.robust.checkpoint` — versioned ``.npz`` snapshots of the
+  partially-filled F table at outer-diagonal granularity, guarded by an
+  input digest so stale checkpoints are rejected;
+* :mod:`repro.robust.faults` — a deterministic fault-injection harness
+  (:class:`FaultPlan`) targeting engine windows, pool workers and
+  simulated MPI ranks/messages, used by tests and
+  ``benchmarks/bench_fault_recovery.py``.
+"""
+
+from .checkpoint import CHECKPOINT_VERSION, CheckpointManager, inputs_digest
+from .deadline import Deadline
+from .errors import (
+    BpmaxError,
+    CheckpointError,
+    DeadlineExceeded,
+    EngineFailure,
+    InvalidSequenceError,
+    MessageLost,
+    RankFailure,
+)
+from .faults import FaultEvent, FaultPlan
+from .retry import retry
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointManager",
+    "inputs_digest",
+    "Deadline",
+    "BpmaxError",
+    "CheckpointError",
+    "DeadlineExceeded",
+    "EngineFailure",
+    "InvalidSequenceError",
+    "MessageLost",
+    "RankFailure",
+    "FaultEvent",
+    "FaultPlan",
+    "retry",
+]

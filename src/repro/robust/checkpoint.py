@@ -1,0 +1,202 @@
+"""Checkpoint/resume for partially-filled F tables.
+
+Snapshots are taken at **outer-diagonal granularity**: a checkpoint
+always contains every window of the outer diagonals ``0 .. D`` for some
+``D`` (the *completed prefix*).  Any engine traversal order — diagonal
+or bottom-up — only ever reads windows of strictly shorter outer spans,
+so a resumed run that pre-loads a full diagonal prefix and skips those
+windows produces a bit-identical table.
+
+The on-disk format is a single ``.npz``:
+
+* ``__version`` — format version (mismatch => :class:`CheckpointError`);
+* ``__digest`` — SHA-256 of the run's inputs (stale/foreign checkpoints
+  are rejected, never silently resumed);
+* ``__n``/``__m``/``__prefix``/``__variant`` — shape + provenance;
+* ``w{i1}_{j1}`` — the inner matrix of each completed window.
+
+Writes are atomic (temp file + ``os.replace``) so a crash mid-save never
+corrupts the previous snapshot — the whole point of checkpointing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .errors import CheckpointError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.reference import BpmaxInputs
+    from ..core.tables import FTable
+
+__all__ = ["CHECKPOINT_VERSION", "CheckpointManager", "inputs_digest"]
+
+CHECKPOINT_VERSION = 1
+
+
+def inputs_digest(inputs: "BpmaxInputs") -> str:
+    """SHA-256 over the precomputed tables identifying one BPMax run.
+
+    Two runs share a digest iff they have the same sequences *and*
+    scoring model (both are fully determined by the score/S tables).
+    """
+    h = hashlib.sha256()
+    h.update(f"bpmax:{inputs.n}:{inputs.m}:".encode())
+    for arr in (inputs.score1, inputs.score2, inputs.iscore, inputs.s1, inputs.s2):
+        h.update(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+    return h.hexdigest()
+
+
+class CheckpointManager:
+    """Tracks window completion and snapshots diagonal prefixes.
+
+    Engines call :meth:`mark_done` after each window and
+    :meth:`maybe_save` at diagonal boundaries; a snapshot is written
+    whenever the completed prefix has advanced by at least ``every``
+    outer diagonals since the last save (and always on the final
+    diagonal).
+
+    Parameters
+    ----------
+    path: snapshot file location (conventionally ``*.npz``).
+    inputs: the run's precomputed tables (digested for staleness checks).
+    variant: program-version name recorded for provenance.
+    every: minimum diagonal advance between snapshots, >= 1.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        inputs: "BpmaxInputs",
+        variant: str = "",
+        every: int = 1,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.path = Path(path)
+        self.variant = variant
+        self.every = every
+        self.n = inputs.n
+        self.m = inputs.m
+        self.digest = inputs_digest(inputs)
+        self.saves = 0
+        self._done: set[tuple[int, int]] = set()
+        self._per_diag = [0] * self.n
+        self._saved_prefix = -1
+
+    # -- progress tracking ---------------------------------------------------
+
+    @property
+    def done(self) -> frozenset[tuple[int, int]]:
+        return frozenset(self._done)
+
+    def mark_done(self, i1: int, j1: int) -> None:
+        """Record that window ``(i1, j1)`` is fully computed."""
+        if not 0 <= i1 <= j1 < self.n:
+            raise ValueError(f"window ({i1}, {j1}) out of range for n={self.n}")
+        if (i1, j1) in self._done:
+            return
+        self._done.add((i1, j1))
+        self._per_diag[j1 - i1] += 1
+
+    def prefix_diagonal(self) -> int:
+        """Largest ``D`` with diagonals ``0..D`` fully complete (-1: none)."""
+        for d in range(self.n):
+            if self._per_diag[d] != self.n - d:
+                return d - 1
+        return self.n - 1
+
+    # -- snapshotting --------------------------------------------------------
+
+    def maybe_save(self, table: "FTable") -> bool:
+        """Snapshot if the completed prefix advanced far enough."""
+        prefix = self.prefix_diagonal()
+        if prefix <= self._saved_prefix:
+            return False
+        if prefix < self.n - 1 and prefix - self._saved_prefix < self.every:
+            return False
+        self.save(table, prefix)
+        return True
+
+    def save(self, table: "FTable", prefix: int | None = None) -> None:
+        """Write diagonals ``0..prefix`` atomically to :attr:`path`."""
+        if prefix is None:
+            prefix = self.prefix_diagonal()
+        if prefix < 0:
+            raise CheckpointError("nothing to checkpoint: no complete diagonal")
+        payload: dict[str, np.ndarray] = {
+            "__version": np.int64(CHECKPOINT_VERSION),
+            "__digest": np.str_(self.digest),
+            "__variant": np.str_(self.variant),
+            "__n": np.int64(self.n),
+            "__m": np.int64(self.m),
+            "__prefix": np.int64(prefix),
+        }
+        for d in range(prefix + 1):
+            for i1 in range(self.n - d):
+                payload[f"w{i1}_{i1 + d}"] = table.inner(i1, i1 + d)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+        os.replace(tmp, self.path)
+        self._saved_prefix = prefix
+        self.saves += 1
+
+    def load(self, table: "FTable") -> frozenset[tuple[int, int]]:
+        """Validate :attr:`path`, fill ``table``, return resumed windows.
+
+        Raises :class:`CheckpointError` on a missing/foreign/stale file;
+        the caller decides whether that is fatal or means "start fresh".
+        """
+        if not self.path.exists():
+            raise CheckpointError(f"no checkpoint at {self.path}")
+        try:
+            with np.load(self.path, allow_pickle=False) as data:
+                contents = {k: data[k] for k in data.files}
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(f"unreadable checkpoint {self.path}: {exc}") from exc
+        if "__version" not in contents:
+            raise CheckpointError(f"{self.path} is not a BPMax checkpoint")
+        version = int(contents["__version"])
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {version} unsupported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        digest = str(contents["__digest"])
+        if digest != self.digest:
+            raise CheckpointError(
+                f"stale checkpoint {self.path}: input digest mismatch "
+                f"({digest[:12]}… != {self.digest[:12]}…)"
+            )
+        if int(contents["__n"]) != self.n or int(contents["__m"]) != self.m:
+            raise CheckpointError(
+                f"checkpoint shape ({int(contents['__n'])}, {int(contents['__m'])}) "
+                f"does not match inputs ({self.n}, {self.m})"
+            )
+        prefix = int(contents["__prefix"])
+        resumed: set[tuple[int, int]] = set()
+        for d in range(prefix + 1):
+            for i1 in range(self.n - d):
+                key = f"w{i1}_{i1 + d}"
+                if key not in contents:
+                    raise CheckpointError(
+                        f"checkpoint {self.path} is missing window {key}"
+                    )
+                table.set_inner(i1, i1 + d, contents[key])
+                self.mark_done(i1, i1 + d)
+                resumed.add((i1, i1 + d))
+        self._saved_prefix = prefix
+        return frozenset(resumed)
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointManager(path={str(self.path)!r}, every={self.every}, "
+            f"prefix={self.prefix_diagonal()}, saves={self.saves})"
+        )

@@ -1,0 +1,66 @@
+"""Cooperative compute budgets.
+
+A :class:`Deadline` is a soft wall-clock budget that long-running loops
+poll at natural boundaries (engines at outer-diagonal boundaries, the
+distributed executor at wavefront boundaries).  Polling keeps the
+abstraction cooperative — no signals, no threads — which is exactly what
+a worker inside a batch service or an MPI rank can afford.  The clock is
+injectable so tests can drive it deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from .errors import DeadlineExceeded
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A wall-clock budget of ``seconds``, started at construction.
+
+    Parameters
+    ----------
+    seconds: budget length; ``None`` or ``inf`` means unlimited.
+    clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        seconds: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds is not None and seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds}")
+        self._clock = clock
+        self._start = clock()
+        self._budget = float("inf") if seconds is None else float(seconds)
+
+    @property
+    def budget_s(self) -> float:
+        return self._budget
+
+    def elapsed(self) -> float:
+        """Seconds consumed so far."""
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self._budget - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() < 0
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` when the budget is spent."""
+        if self.expired():
+            at = f" at {where}" if where else ""
+            raise DeadlineExceeded(
+                f"deadline of {self._budget:g}s exceeded{at} "
+                f"(elapsed {self.elapsed():.3f}s)"
+            )
+
+    def __repr__(self) -> str:
+        return f"Deadline(budget={self._budget:g}s, remaining={self.remaining():.3f}s)"

@@ -1,0 +1,70 @@
+"""Structured exception hierarchy of the BPMax stack.
+
+Every failure the system can recover from (or report cleanly) derives
+from :class:`BpmaxError`, so callers — the CLI boundary, the fallback
+chain, the distributed retry loops — can catch one base class.  Each
+subclass additionally derives from the closest builtin so pre-existing
+``except ValueError`` / ``except RuntimeError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BpmaxError",
+    "InvalidSequenceError",
+    "EngineFailure",
+    "DeadlineExceeded",
+    "CheckpointError",
+    "MessageLost",
+    "RankFailure",
+]
+
+
+class BpmaxError(Exception):
+    """Base class of every structured BPMax failure."""
+
+
+class InvalidSequenceError(BpmaxError, ValueError):
+    """A strand contains non-nucleotide characters or is empty."""
+
+
+class EngineFailure(BpmaxError, RuntimeError):
+    """An engine crashed mid-run (real bug or injected fault).
+
+    Parameters
+    ----------
+    message: human-readable description.
+    variant: engine program-version name, when known.
+    window: the outer window ``(i1, j1)`` being computed, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        variant: str | None = None,
+        window: tuple[int, int] | None = None,
+    ) -> None:
+        detail = message
+        if variant is not None:
+            detail += f" [variant={variant}]"
+        if window is not None:
+            detail += f" [window={window}]"
+        super().__init__(detail)
+        self.variant = variant
+        self.window = window
+
+
+class DeadlineExceeded(BpmaxError, TimeoutError):
+    """A cooperative :class:`~repro.robust.deadline.Deadline` expired."""
+
+
+class CheckpointError(BpmaxError, RuntimeError):
+    """A checkpoint file is unreadable, stale, or from another input."""
+
+
+class MessageLost(BpmaxError, RuntimeError):
+    """A simulated MPI message was dropped in flight (retryable)."""
+
+
+class RankFailure(BpmaxError, RuntimeError):
+    """A simulated MPI rank died, or an operation touched a dead rank."""

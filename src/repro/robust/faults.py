@@ -1,0 +1,154 @@
+"""Deterministic fault injection across every execution layer.
+
+One :class:`FaultPlan` instance describes *all* the faults of one run —
+engine-window crashes/slowdowns, pool-worker crashes, simulated-MPI
+message drops and rank deaths.  The consumers poll it at their injection
+points:
+
+* engines call :meth:`engine_window` before computing a window;
+* :class:`~repro.parallel.pool.ParallelRunner` calls :meth:`pool_task`
+  before running a mapped task;
+* :class:`~repro.parallel.mpi.SimComm` calls :meth:`drop_message` on
+  every send;
+* :class:`~repro.core.distributed.DistributedBPMax` calls
+  :meth:`rank_dies` at each wavefront boundary.
+
+Determinism contract: for a fixed construction (seed + fault specs) and
+a fixed call sequence, every decision and the :attr:`events` log are
+bit-identical — the property the fault-injection tests assert.  Scripted
+crash faults fire **once** (recorded in :attr:`fired`), modelling a
+transient fault: the retried/resumed/fallback execution proceeds past
+it, which is what lets recovery be tested end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from .errors import EngineFailure
+
+__all__ = ["FaultEvent", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault occurrence (for logs and determinism tests)."""
+
+    kind: str  # "crash-window" | "slow-window" | "crash-worker" | "drop" | "rank-death"
+    site: tuple[int, ...]  # the targeted coordinates
+
+
+class FaultPlan:
+    """A seeded, scripted set of faults for one run.
+
+    Parameters
+    ----------
+    seed: seed of the generator behind rate-based decisions.
+    crash_windows: outer windows ``(i1, j1)`` whose computation raises
+        :class:`EngineFailure` the first time it is attempted.
+    slow_windows: outer windows slowed by ``slow_delay_s`` (returned to
+        the engine, which sleeps cooperatively).
+    slow_delay_s: injected delay per slow window, seconds.
+    worker_crashes: task indices at which a pool worker raises.
+    message_drops: ``(source, dest)`` pairs; each occurrence drops one
+        message on that edge (scripted, deterministic).
+    message_drop_rate: probability in ``[0, 1]`` that any send is
+        dropped (seeded; retries re-roll).
+    rank_deaths: ``(rank, diagonal)`` pairs — the rank dies at the start
+        of that outer-diagonal wavefront.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        crash_windows: Iterable[tuple[int, int]] = (),
+        slow_windows: Iterable[tuple[int, int]] = (),
+        slow_delay_s: float = 0.0,
+        worker_crashes: Iterable[int] = (),
+        message_drops: Iterable[tuple[int, int]] = (),
+        message_drop_rate: float = 0.0,
+        rank_deaths: Iterable[tuple[int, int]] = (),
+    ) -> None:
+        if not 0.0 <= message_drop_rate <= 1.0:
+            raise ValueError(
+                f"message_drop_rate must be in [0, 1], got {message_drop_rate}"
+            )
+        if slow_delay_s < 0:
+            raise ValueError(f"slow_delay_s must be >= 0, got {slow_delay_s}")
+        self.seed = seed
+        self.crash_windows = frozenset(tuple(w) for w in crash_windows)
+        self.slow_windows = frozenset(tuple(w) for w in slow_windows)
+        self.slow_delay_s = float(slow_delay_s)
+        self.worker_crashes = frozenset(int(i) for i in worker_crashes)
+        self.message_drop_rate = float(message_drop_rate)
+        self.rank_deaths = frozenset((int(r), int(d)) for r, d in rank_deaths)
+        self._drop_budget: dict[tuple[int, int], int] = {}
+        for edge in message_drops:
+            key = (int(edge[0]), int(edge[1]))
+            self._drop_budget[key] = self._drop_budget.get(key, 0) + 1
+        self._rng = np.random.default_rng(seed)
+        self.fired: set[tuple] = set()
+        self.events: list[FaultEvent] = []
+
+    # -- engine windows ------------------------------------------------------
+
+    def engine_window(self, i1: int, j1: int) -> float:
+        """Poll before computing window ``(i1, j1)``.
+
+        Raises :class:`EngineFailure` for a (not-yet-fired) crash fault;
+        otherwise returns the injected delay in seconds (0 = healthy).
+        """
+        key = ("crash-window", i1, j1)
+        if (i1, j1) in self.crash_windows and key not in self.fired:
+            self.fired.add(key)
+            self.events.append(FaultEvent("crash-window", (i1, j1)))
+            raise EngineFailure("injected crash", window=(i1, j1))
+        if (i1, j1) in self.slow_windows:
+            self.events.append(FaultEvent("slow-window", (i1, j1)))
+            return self.slow_delay_s
+        return 0.0
+
+    # -- pool workers --------------------------------------------------------
+
+    def pool_task(self, index: int) -> None:
+        """Poll before running mapped task ``index`` on a pool worker."""
+        key = ("crash-worker", index)
+        if index in self.worker_crashes and key not in self.fired:
+            self.fired.add(key)
+            self.events.append(FaultEvent("crash-worker", (index,)))
+            raise EngineFailure(f"injected pool-worker crash at task {index}")
+
+    # -- simulated MPI -------------------------------------------------------
+
+    def drop_message(self, source: int, dest: int) -> bool:
+        """Decide whether the next ``source -> dest`` send is dropped."""
+        budget = self._drop_budget.get((source, dest), 0)
+        if budget > 0:
+            self._drop_budget[(source, dest)] = budget - 1
+            self.events.append(FaultEvent("drop", (source, dest)))
+            return True
+        if self.message_drop_rate > 0 and self._rng.random() < self.message_drop_rate:
+            self.events.append(FaultEvent("drop", (source, dest)))
+            return True
+        return False
+
+    def rank_dies(self, rank: int, diagonal: int) -> bool:
+        """Poll at a wavefront boundary: does ``rank`` die here?"""
+        key = ("rank-death", rank, diagonal)
+        if (rank, diagonal) in self.rank_deaths and key not in self.fired:
+            self.fired.add(key)
+            self.events.append(FaultEvent("rank-death", (rank, diagonal)))
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, crashes={len(self.crash_windows)}, "
+            f"slow={len(self.slow_windows)}, workers={len(self.worker_crashes)}, "
+            f"drops={sum(self._drop_budget.values())}"
+            f"+rate={self.message_drop_rate:g}, "
+            f"rank_deaths={len(self.rank_deaths)}, events={len(self.events)})"
+        )

@@ -1,0 +1,71 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+The jitter source is a seeded :class:`numpy.random.Generator` and the
+sleep function is injectable, so tests (and the discrete-event cluster
+simulator) can exercise the full retry schedule without wall-clock
+delays and with bit-reproducible behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+import numpy as np
+
+from .errors import BpmaxError, DeadlineExceeded
+
+T = TypeVar("T")
+
+__all__ = ["retry"]
+
+
+def retry(
+    fn: Callable[[], T],
+    attempts: int = 3,
+    backoff: float = 0.05,
+    jitter: float = 0.0,
+    retry_on: tuple[type[BaseException], ...] = (BpmaxError,),
+    seed: int = 0,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``fn()`` up to ``attempts`` times; re-raise the last failure.
+
+    Between attempt ``k`` and ``k+1`` (0-based) the helper sleeps
+    ``backoff * 2**k * (1 + jitter * u)`` seconds with ``u`` drawn
+    uniformly from ``[0, 1)`` by a generator seeded with ``seed`` —
+    deterministic for a fixed seed.  :class:`DeadlineExceeded` is never
+    retried: an expired budget cannot un-expire.
+
+    Parameters
+    ----------
+    fn: zero-argument callable (wrap arguments in a lambda/partial).
+    attempts: total attempts, >= 1.
+    backoff: base delay in seconds (0 disables sleeping).
+    jitter: fractional jitter amplitude added to each delay.
+    retry_on: exception types worth retrying; everything else propagates.
+    on_retry: optional callback ``(attempt_index, exception)`` invoked
+        before each re-attempt (logging/metrics hook).
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    if backoff < 0 or jitter < 0:
+        raise ValueError("backoff and jitter must be non-negative")
+    rng = np.random.default_rng(seed)
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except DeadlineExceeded:
+            raise
+        except retry_on as exc:
+            if attempt == attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            delay = backoff * (2.0**attempt)
+            if jitter > 0:
+                delay *= 1.0 + jitter * float(rng.random())
+            if delay > 0:
+                sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,92 @@
+"""Self-healing tests for the distributed executor: rank death, lost messages."""
+
+import pytest
+
+from repro.core.distributed import DistributedBPMax
+from repro.core.reference import bpmax_recursive
+from repro.parallel.mpi import ClusterSpec
+from repro.robust.errors import RankFailure
+from repro.robust.faults import FaultPlan
+
+
+def _cluster(ranks):
+    return ClusterSpec(ranks=ranks)
+
+
+class TestRankDeath:
+    def test_kill_one_of_four_recovers(self, medium_inputs):
+        """Acceptance: one injected rank death, correct score, recovery
+        visible in the report."""
+        plan = FaultPlan(rank_deaths=[(1, 2)])  # rank 1 dies at wavefront 2
+        rep = DistributedBPMax(medium_inputs, _cluster(4), faults=plan).run()
+        assert rep.score == pytest.approx(bpmax_recursive(medium_inputs))
+        assert rep.dead_ranks == (1,)
+        # rank 1 owned row 1; windows (1,1) and (1,2) lived only in its
+        # memory and had to be recomputed by the adopting survivor
+        assert rep.recovered_windows == 2
+        assert rep.ranks == 4
+
+    def test_two_deaths_still_complete(self, medium_inputs):
+        plan = FaultPlan(rank_deaths=[(1, 1), (3, 3)])
+        rep = DistributedBPMax(medium_inputs, _cluster(4), faults=plan).run()
+        assert rep.score == pytest.approx(bpmax_recursive(medium_inputs))
+        assert rep.dead_ranks == (1, 3)
+        assert rep.recovered_windows > 0
+
+    def test_orphan_rows_remap_to_survivors(self, medium_inputs):
+        plan = FaultPlan(rank_deaths=[(0, 1)])
+        d = DistributedBPMax(medium_inputs, _cluster(2), faults=plan)
+        rep = d.run()
+        assert rep.score == pytest.approx(bpmax_recursive(medium_inputs))
+        # every row the dead rank 0 owned now resolves to the survivor
+        for i1 in range(medium_inputs.n):
+            assert d.owner(i1) == 1
+
+    def test_all_ranks_dead_raises(self, small_inputs):
+        plan = FaultPlan(rank_deaths=[(0, 1), (1, 1)])
+        with pytest.raises(RankFailure, match="no surviving ranks"):
+            DistributedBPMax(small_inputs, _cluster(2), faults=plan).run()
+
+    def test_death_is_deterministic(self, medium_inputs):
+        def report():
+            plan = FaultPlan(rank_deaths=[(1, 2)])
+            return DistributedBPMax(medium_inputs, _cluster(4), faults=plan).run()
+
+        a, b = report(), report()
+        assert (a.score, a.recovered_windows, a.retries) == (
+            b.score,
+            b.recovered_windows,
+            b.retries,
+        )
+
+
+class TestMessageLoss:
+    def test_dropped_triangle_retried(self, medium_inputs):
+        plan = FaultPlan(message_drops=[(1, 0)])  # one loss on the 1 -> 0 edge
+        rep = DistributedBPMax(medium_inputs, _cluster(2), faults=plan).run()
+        assert rep.score == pytest.approx(bpmax_recursive(medium_inputs))
+        assert rep.retries == 1
+        assert rep.redundant_bytes > 0
+
+    def test_clean_run_reports_no_recovery(self, medium_inputs):
+        rep = DistributedBPMax(medium_inputs, _cluster(2)).run()
+        assert rep.retries == 0
+        assert rep.recovered_windows == 0
+        assert rep.redundant_bytes == 0
+        assert rep.dead_ranks == ()
+
+    def test_persistent_loss_gives_up(self, medium_inputs):
+        plan = FaultPlan(message_drops=[(1, 0)] * 8)
+        d = DistributedBPMax(medium_inputs, _cluster(2), faults=plan, max_retries=1)
+        with pytest.raises(RankFailure, match="giving up"):
+            d.run()
+
+    def test_rate_based_drops_recovered(self, medium_inputs):
+        plan = FaultPlan(seed=5, message_drop_rate=0.2)
+        rep = DistributedBPMax(medium_inputs, _cluster(3), faults=plan).run()
+        assert rep.score == pytest.approx(bpmax_recursive(medium_inputs))
+        assert rep.redundant_bytes == rep.retries * medium_inputs.m * medium_inputs.m * 4
+
+    def test_negative_max_retries_rejected(self, small_inputs):
+        with pytest.raises(ValueError, match="max_retries"):
+            DistributedBPMax(small_inputs, _cluster(2), max_retries=-1)

@@ -1,0 +1,139 @@
+"""End-to-end fault-tolerance tests: checkpoint/resume, fallback, deadlines."""
+
+import pytest
+
+from repro.core.api import bpmax
+from repro.core.engine import make_engine
+from repro.core.reference import bpmax_recursive, prepare_inputs
+from repro.robust.checkpoint import CheckpointManager
+from repro.robust.errors import CheckpointError, DeadlineExceeded, EngineFailure
+from repro.robust.faults import FaultPlan
+from repro.rna.sequence import random_pair
+
+
+@pytest.fixture
+def strands():
+    return random_pair(6, 7, 21)
+
+
+@pytest.fixture
+def clean_score(strands):
+    s1, s2 = strands
+    return bpmax(s1, s2, variant="baseline").score
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize(
+        "variant, crash",
+        [
+            ("coarse", (2, 4)),  # diagonal order: diagonals 0-1 checkpointed
+            ("hybrid", (1, 3)),  # bottom-up order: diagonal 0 checkpointed
+            ("hybrid-tiled", (1, 3)),
+        ],
+    )
+    def test_crash_resume_bit_identical(
+        self, tmp_path, strands, clean_score, variant, crash
+    ):
+        s1, s2 = strands
+        path = tmp_path / "run.npz"
+        plan = FaultPlan(crash_windows=[crash])
+        with pytest.raises(EngineFailure, match="injected crash"):
+            bpmax(s1, s2, variant=variant, checkpoint=path, faults=plan)
+        assert path.exists(), "a partial checkpoint must survive the crash"
+
+        res = bpmax(s1, s2, variant=variant, checkpoint=path, resume=True)
+        assert res.resumed_windows > 0
+        assert res.score == clean_score  # bit-identical, not approx
+
+    def test_resume_skips_restored_windows(self, tmp_path, strands, clean_score):
+        """Resuming with a crash plan still succeeds: the crashed window
+        lies inside the restored prefix and is never re-executed."""
+        s1, s2 = strands
+        path = tmp_path / "run.npz"
+        bpmax(s1, s2, variant="coarse", checkpoint=path)  # full run, full table
+        plan = FaultPlan(crash_windows=[(0, 0)])
+        res = bpmax(
+            s1, s2, variant="coarse", checkpoint=path, resume=True, faults=plan
+        )
+        assert res.score == clean_score
+        assert plan.fired == set()  # (0, 0) was restored, never recomputed
+
+    def test_resume_without_file_starts_fresh(self, tmp_path, strands, clean_score):
+        s1, s2 = strands
+        res = bpmax(
+            s1, s2, variant="coarse", checkpoint=tmp_path / "none.npz", resume=True
+        )
+        assert res.resumed_windows == 0
+        assert res.score == clean_score
+
+    def test_stale_checkpoint_rejected(self, tmp_path, strands):
+        s1, s2 = strands
+        path = tmp_path / "run.npz"
+        bpmax(s1, s2, variant="coarse", checkpoint=path)
+        o1, o2 = random_pair(6, 7, 909)  # same shape, different bases
+        with pytest.raises(CheckpointError, match="stale"):
+            bpmax(o1, o2, variant="coarse", checkpoint=path, resume=True)
+
+    def test_checkpoint_manager_instance_accepted(self, tmp_path, strands):
+        s1, s2 = strands
+        inputs = prepare_inputs(s1, s2)
+        ckpt = CheckpointManager(tmp_path / "run.npz", inputs, variant="coarse")
+        res = bpmax(s1, s2, variant="coarse", checkpoint=ckpt)
+        assert res.score == pytest.approx(bpmax_recursive(inputs))
+        assert ckpt.saves > 0
+
+
+class TestGracefulDegradation:
+    def test_fallback_to_baseline(self, strands, clean_score):
+        s1, s2 = strands
+        plan = FaultPlan(crash_windows=[(0, 3)])
+        res = bpmax(s1, s2, variant="hybrid-tiled", fallback=("baseline",), faults=plan)
+        assert res.variant == "baseline"
+        assert res.degraded_from == ("hybrid-tiled",)
+        assert res.score == clean_score
+
+    def test_no_degradation_recorded_on_clean_run(self, strands):
+        s1, s2 = strands
+        res = bpmax(s1, s2, variant="hybrid", fallback=("baseline",))
+        assert res.variant == "hybrid"
+        assert res.degraded_from == ()
+
+    def test_chain_exhaustion_raises(self, strands):
+        s1, s2 = strands
+        plan = FaultPlan(crash_windows=[(0, 3), (1, 3)])
+        with pytest.raises(EngineFailure, match="fallback chain failed"):
+            bpmax(s1, s2, variant="hybrid", fallback=("fine",), faults=plan)
+
+    def test_unknown_fallback_rejected(self, strands):
+        s1, s2 = strands
+        with pytest.raises(ValueError, match="variant"):
+            bpmax(s1, s2, fallback=("warp",))
+
+    def test_retry_same_variant(self, strands, clean_score):
+        s1, s2 = strands
+        plan = FaultPlan(crash_windows=[(1, 2)])
+        res = bpmax(s1, s2, variant="coarse", retries=1, faults=plan)
+        assert res.variant == "coarse"
+        assert res.degraded_from == ()  # retried, never degraded
+        assert res.score == clean_score
+
+    def test_make_engine_resilient(self, strands):
+        s1, s2 = strands
+        inputs = prepare_inputs(s1, s2)
+        engine = make_engine(inputs, variant="hybrid", fallback=("baseline",))
+        engine.run(faults=FaultPlan(crash_windows=[(2, 3)]))
+        assert engine.variant == "baseline"
+        assert engine.degraded_from == ("hybrid",)
+
+
+class TestDeadline:
+    def test_deadline_exceeded_raises(self, strands):
+        s1, s2 = strands
+        with pytest.raises(DeadlineExceeded):
+            bpmax(s1, s2, variant="coarse", deadline=1e-12)
+
+    def test_deadline_not_masked_by_fallback(self, strands):
+        """A spent budget must not trigger degradation to a slower engine."""
+        s1, s2 = strands
+        with pytest.raises(DeadlineExceeded):
+            bpmax(s1, s2, variant="coarse", fallback=("baseline",), deadline=1e-12)

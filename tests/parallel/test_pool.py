@@ -1,11 +1,14 @@
 """Tests for the real thread-pool runner."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.parallel.pool import ParallelRunner
+from repro.robust.errors import EngineFailure
+from repro.robust.faults import FaultPlan
 
 
 class TestParallelRunner:
@@ -61,3 +64,53 @@ class TestParallelRunner:
         with ParallelRunner(4) as pool:
             pool.parallel_for(row, 8)
         assert np.allclose(out, serial)
+
+
+class TestFailureSemantics:
+    def test_map_after_close_raises(self):
+        pool = ParallelRunner(2)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map(lambda x: x, [1, 2])
+
+    def test_map_after_close_raises_inline_path(self):
+        pool = ParallelRunner(1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map(lambda x: x, [1])
+
+    def test_worker_exception_cancels_queued_work(self):
+        executed = []
+        lock = threading.Lock()
+
+        def task(i):
+            if i == 0:
+                time.sleep(0.02)
+                raise ValueError("boom")
+            time.sleep(0.002)
+            with lock:
+                executed.append(i)
+
+        with ParallelRunner(2) as pool:
+            with pytest.raises(ValueError, match="boom"):
+                pool.map(task, range(200))
+        # the failure cancelled the still-queued tail of the map
+        assert len(executed) < 199
+
+    def test_first_error_in_task_order_wins(self):
+        def task(i):
+            raise KeyError(i)
+
+        with ParallelRunner(3) as pool:
+            with pytest.raises(KeyError) as exc:
+                pool.map(task, range(10))
+        assert exc.value.args == (0,)
+
+    def test_injected_worker_crash(self):
+        plan = FaultPlan(worker_crashes=[3])
+        with ParallelRunner(2, faults=plan) as pool:
+            with pytest.raises(EngineFailure, match="task 3"):
+                pool.map(lambda x: x, range(8))
+        # crash-once: a fresh map over the same plan completes
+        with ParallelRunner(2, faults=plan) as pool:
+            assert pool.map(lambda x: x, range(8)) == list(range(8))

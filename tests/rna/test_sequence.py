@@ -52,8 +52,13 @@ class TestRandomGeneration:
     def test_length(self):
         assert len(random_sequence(17, 0)) == 17
 
-    def test_zero_length(self):
-        assert len(random_sequence(0, 0)) == 0
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            random_sequence(0, 0)
+
+    def test_empty_strand_rejected(self):
+        with pytest.raises(InvalidSequenceError, match="non-empty"):
+            RnaSequence("")
 
     def test_negative_length_rejected(self):
         with pytest.raises(ValueError, match="length"):

@@ -1,0 +1,132 @@
+"""Tests for checkpoint save/load and staleness rejection."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import BaselineBPMax, prepare_inputs
+from repro.core.tables import FTable
+from repro.robust.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointManager,
+    inputs_digest,
+)
+from repro.robust.errors import CheckpointError
+from repro.rna.sequence import random_pair
+
+
+@pytest.fixture
+def inputs():
+    s1, s2 = random_pair(5, 6, 11)
+    return prepare_inputs(s1, s2)
+
+
+def filled_table(inputs):
+    engine = BaselineBPMax(inputs)
+    engine.run()
+    return engine.table
+
+
+class TestDigest:
+    def test_same_inputs_same_digest(self, inputs):
+        s1, s2 = random_pair(5, 6, 11)
+        assert inputs_digest(inputs) == inputs_digest(prepare_inputs(s1, s2))
+
+    def test_different_inputs_different_digest(self, inputs):
+        s1, s2 = random_pair(5, 6, 12)
+        assert inputs_digest(inputs) != inputs_digest(prepare_inputs(s1, s2))
+
+
+class TestRoundTrip:
+    def test_save_load_prefix(self, tmp_path, inputs):
+        table = filled_table(inputs)
+        ckpt = CheckpointManager(tmp_path / "c.npz", inputs, variant="baseline")
+        for d in range(3):  # diagonals 0..2 complete
+            for i1 in range(inputs.n - d):
+                ckpt.mark_done(i1, i1 + d)
+        assert ckpt.prefix_diagonal() == 2
+        ckpt.save(table)
+
+        fresh = FTable(inputs.n, inputs.m)
+        ckpt2 = CheckpointManager(tmp_path / "c.npz", inputs, variant="baseline")
+        resumed = ckpt2.load(fresh)
+        assert len(resumed) == sum(inputs.n - d for d in range(3))
+        for i1, j1 in resumed:
+            np.testing.assert_array_equal(fresh.inner(i1, j1), table.inner(i1, j1))
+
+    def test_maybe_save_every(self, tmp_path, inputs):
+        table = filled_table(inputs)
+        ckpt = CheckpointManager(tmp_path / "c.npz", inputs, every=2)
+        for i1 in range(inputs.n):
+            ckpt.mark_done(i1, i1)
+        assert not ckpt.maybe_save(table)  # prefix 0: advance of 1 < every=2
+        for i1 in range(inputs.n - 1):
+            ckpt.mark_done(i1, i1 + 1)
+        assert ckpt.maybe_save(table)  # prefix 1: advance of 2
+        assert ckpt.saves == 1
+
+    def test_final_diagonal_always_saved(self, tmp_path, inputs):
+        table = filled_table(inputs)
+        ckpt = CheckpointManager(tmp_path / "c.npz", inputs, every=100)
+        for d in range(inputs.n):
+            for i1 in range(inputs.n - d):
+                ckpt.mark_done(i1, i1 + d)
+        assert ckpt.maybe_save(table)
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path, inputs):
+        table = filled_table(inputs)
+        ckpt = CheckpointManager(tmp_path / "c.npz", inputs)
+        ckpt.mark_done(0, 0)
+        for i1 in range(1, inputs.n):
+            ckpt.mark_done(i1, i1)
+        ckpt.save(table)
+        assert (tmp_path / "c.npz").exists()
+        assert not (tmp_path / "c.npz.tmp").exists()
+
+
+class TestRejection:
+    def _saved(self, tmp_path, inputs):
+        table = filled_table(inputs)
+        ckpt = CheckpointManager(tmp_path / "c.npz", inputs)
+        for i1 in range(inputs.n):
+            ckpt.mark_done(i1, i1)
+        ckpt.save(table)
+        return tmp_path / "c.npz"
+
+    def test_missing_file(self, tmp_path, inputs):
+        ckpt = CheckpointManager(tmp_path / "nope.npz", inputs)
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            ckpt.load(FTable(inputs.n, inputs.m))
+
+    def test_stale_digest_rejected(self, tmp_path, inputs):
+        path = self._saved(tmp_path, inputs)
+        s1, s2 = random_pair(5, 6, 999)  # same shape, different sequences
+        other = prepare_inputs(s1, s2)
+        ckpt = CheckpointManager(path, other)
+        with pytest.raises(CheckpointError, match="stale"):
+            ckpt.load(FTable(other.n, other.m))
+
+    def test_foreign_npz_rejected(self, tmp_path, inputs):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, data=np.zeros(3))
+        ckpt = CheckpointManager(path, inputs)
+        with pytest.raises(CheckpointError, match="not a BPMax checkpoint"):
+            ckpt.load(FTable(inputs.n, inputs.m))
+
+    def test_version_mismatch_rejected(self, tmp_path, inputs):
+        path = self._saved(tmp_path, inputs)
+        with np.load(path, allow_pickle=False) as data:
+            contents = {k: data[k] for k in data.files}
+        contents["__version"] = np.int64(CHECKPOINT_VERSION + 1)
+        np.savez(path, **contents)
+        ckpt = CheckpointManager(path, inputs)
+        with pytest.raises(CheckpointError, match="version"):
+            ckpt.load(FTable(inputs.n, inputs.m))
+
+    def test_invalid_every(self, tmp_path, inputs):
+        with pytest.raises(ValueError, match="every"):
+            CheckpointManager(tmp_path / "c.npz", inputs, every=0)
+
+    def test_save_nothing_rejected(self, tmp_path, inputs):
+        ckpt = CheckpointManager(tmp_path / "c.npz", inputs)
+        with pytest.raises(CheckpointError, match="no complete diagonal"):
+            ckpt.save(FTable(inputs.n, inputs.m))

@@ -1,0 +1,53 @@
+"""Tests for the structured exception hierarchy."""
+
+import pytest
+
+from repro.robust.errors import (
+    BpmaxError,
+    CheckpointError,
+    DeadlineExceeded,
+    EngineFailure,
+    InvalidSequenceError,
+    MessageLost,
+    RankFailure,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InvalidSequenceError,
+            EngineFailure,
+            DeadlineExceeded,
+            CheckpointError,
+            MessageLost,
+            RankFailure,
+        ],
+    )
+    def test_all_derive_from_bpmax_error(self, exc):
+        assert issubclass(exc, BpmaxError)
+
+    def test_builtin_compatibility(self):
+        """Pre-existing except-clauses keep catching the new types."""
+        assert issubclass(InvalidSequenceError, ValueError)
+        assert issubclass(EngineFailure, RuntimeError)
+        assert issubclass(DeadlineExceeded, TimeoutError)
+        assert issubclass(MessageLost, RuntimeError)
+
+    def test_alphabet_reexports_same_class(self):
+        from repro.rna.alphabet import InvalidSequenceError as alias
+
+        assert alias is InvalidSequenceError
+
+
+class TestEngineFailure:
+    def test_context_in_message(self):
+        e = EngineFailure("crashed", variant="hybrid", window=(2, 5))
+        assert "hybrid" in str(e) and "(2, 5)" in str(e)
+        assert e.variant == "hybrid"
+        assert e.window == (2, 5)
+
+    def test_plain_message(self):
+        e = EngineFailure("boom")
+        assert str(e) == "boom"

@@ -1,0 +1,86 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.robust.errors import EngineFailure
+from repro.robust.faults import FaultEvent, FaultPlan
+
+
+class TestEngineWindowFaults:
+    def test_crash_fires_once(self):
+        plan = FaultPlan(crash_windows=[(1, 3)])
+        with pytest.raises(EngineFailure, match="injected crash"):
+            plan.engine_window(1, 3)
+        # fire-once: the retried/resumed computation proceeds
+        assert plan.engine_window(1, 3) == 0.0
+
+    def test_healthy_window_is_free(self):
+        plan = FaultPlan()
+        assert plan.engine_window(0, 0) == 0.0
+        assert plan.events == []
+
+    def test_slow_window_returns_delay(self):
+        plan = FaultPlan(slow_windows=[(0, 2)], slow_delay_s=0.25)
+        assert plan.engine_window(0, 2) == 0.25
+        assert plan.events == [FaultEvent("slow-window", (0, 2))]
+
+
+class TestWorkerFaults:
+    def test_worker_crash_fires_once(self):
+        plan = FaultPlan(worker_crashes=[2])
+        plan.pool_task(0)
+        with pytest.raises(EngineFailure, match="task 2"):
+            plan.pool_task(2)
+        plan.pool_task(2)  # retried task proceeds
+
+
+class TestMessageFaults:
+    def test_scripted_drops_consume_budget(self):
+        plan = FaultPlan(message_drops=[(1, 0), (1, 0)])
+        assert plan.drop_message(1, 0)
+        assert plan.drop_message(1, 0)
+        assert not plan.drop_message(1, 0)
+        assert not plan.drop_message(0, 1)
+
+    def test_rate_based_drops_deterministic_per_seed(self):
+        def decisions(seed):
+            plan = FaultPlan(seed=seed, message_drop_rate=0.5)
+            return [plan.drop_message(0, 1) for _ in range(64)]
+
+        assert decisions(3) == decisions(3)
+        assert any(decisions(3)) and not all(decisions(3))
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError, match="message_drop_rate"):
+            FaultPlan(message_drop_rate=1.5)
+
+
+class TestRankDeaths:
+    def test_death_fires_once_at_diagonal(self):
+        plan = FaultPlan(rank_deaths=[(2, 3)])
+        assert not plan.rank_dies(2, 1)
+        assert plan.rank_dies(2, 3)
+        assert not plan.rank_dies(2, 3)
+        assert not plan.rank_dies(1, 3)
+
+
+class TestDeterminism:
+    def test_identical_plans_log_identical_events(self):
+        def run(plan):
+            for w in [(0, 1), (1, 2), (0, 2)]:
+                try:
+                    plan.engine_window(*w)
+                except EngineFailure:
+                    pass
+            for _ in range(16):
+                plan.drop_message(0, 1)
+            plan.rank_dies(1, 2)
+            return plan.events
+
+        make = lambda: FaultPlan(  # noqa: E731
+            seed=9,
+            crash_windows=[(1, 2)],
+            message_drop_rate=0.3,
+            rank_deaths=[(1, 2)],
+        )
+        assert run(make()) == run(make())

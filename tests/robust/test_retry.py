@@ -1,0 +1,107 @@
+"""Tests for the retry helper."""
+
+import pytest
+
+from repro.robust.deadline import Deadline
+from repro.robust.errors import DeadlineExceeded, EngineFailure
+from repro.robust.retry import retry
+
+
+def flaky(fail_times, exc=EngineFailure):
+    """A callable that fails ``fail_times`` times, then returns 42."""
+    state = {"calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["calls"] <= fail_times:
+            raise exc(f"failure {state['calls']}")
+        return 42
+
+    fn.state = state
+    return fn
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        fn = flaky(2)
+        assert retry(fn, attempts=3, backoff=0.0) == 42
+        assert fn.state["calls"] == 3
+
+    def test_exhausted_attempts_reraise_last(self):
+        fn = flaky(5)
+        with pytest.raises(EngineFailure, match="failure 2"):
+            retry(fn, attempts=2, backoff=0.0)
+
+    def test_non_retryable_propagates_immediately(self):
+        fn = flaky(1, exc=KeyError)
+        with pytest.raises(KeyError):
+            retry(fn, attempts=5, backoff=0.0)
+        assert fn.state["calls"] == 1
+
+    def test_deadline_exceeded_never_retried(self):
+        def fn():
+            raise DeadlineExceeded("budget spent")
+
+        calls = []
+        with pytest.raises(DeadlineExceeded):
+            retry(lambda: (calls.append(1), fn())[1], attempts=5, backoff=0.0)
+        assert len(calls) == 1
+
+    def test_backoff_schedule_is_exponential(self):
+        delays = []
+        fn = flaky(3)
+        retry(fn, attempts=4, backoff=0.01, sleep=delays.append)
+        assert delays == pytest.approx([0.01, 0.02, 0.04])
+
+    def test_jitter_is_deterministic_per_seed(self):
+        def schedule(seed):
+            delays = []
+            retry(flaky(3), attempts=4, backoff=0.01, jitter=0.5, seed=seed,
+                  sleep=delays.append)
+            return delays
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+        for d, base in zip(schedule(7), [0.01, 0.02, 0.04]):
+            assert base <= d <= base * 1.5
+
+    def test_on_retry_callback(self):
+        seen = []
+        retry(
+            flaky(2),
+            attempts=3,
+            backoff=0.0,
+            on_retry=lambda i, e: seen.append((i, str(e))),
+        )
+        assert [i for i, _ in seen] == [0, 1]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="attempts"):
+            retry(lambda: 1, attempts=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            retry(lambda: 1, backoff=-1.0)
+
+
+class TestDeadline:
+    def test_fake_clock_budget(self):
+        t = {"now": 0.0}
+        d = Deadline(10.0, clock=lambda: t["now"])
+        d.check("start")
+        assert d.remaining() == pytest.approx(10.0)
+        t["now"] = 9.0
+        d.check("almost")
+        t["now"] = 10.5
+        assert d.expired()
+        with pytest.raises(DeadlineExceeded, match="diagonal 3"):
+            d.check("diagonal 3")
+
+    def test_unlimited_budget_never_expires(self):
+        d = Deadline(None)
+        assert not d.expired()
+        d.check()
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Deadline(0)
+        with pytest.raises(ValueError, match="positive"):
+            Deadline(-3)

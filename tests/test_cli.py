@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.robust.errors import BpmaxError
 
 
 class TestCli:
@@ -84,18 +85,66 @@ class TestFastaAndCsv:
         assert main(["run", str(fasta), "--fasta"]) == 0
         assert "score" in capsys.readouterr().out
 
-    def test_run_fasta_needs_two_records(self, tmp_path):
+    def test_run_fasta_needs_two_records(self, tmp_path, capsys):
         fasta = tmp_path / "one.fasta"
         fasta.write_text(">a\nGCGC\n")
-        with pytest.raises(ValueError, match="two records"):
-            main(["run", str(fasta), "--fasta"])
+        assert main(["run", str(fasta), "--fasta"]) == 2
+        assert "two records" in capsys.readouterr().err
 
-    def test_run_without_second_seq_rejected(self):
-        with pytest.raises(ValueError, match="two sequences"):
-            main(["run", "GCGC"])
+    def test_run_fasta_two_records_debug_raises(self, tmp_path):
+        fasta = tmp_path / "one.fasta"
+        fasta.write_text(">a\nGCGC\n")
+        with pytest.raises(BpmaxError, match="two records"):
+            main(["--debug", "run", str(fasta), "--fasta"])
+
+    def test_run_without_second_seq_rejected(self, capsys):
+        assert main(["run", "GCGC"]) == 2
+        assert "two sequences" in capsys.readouterr().err
 
     def test_experiment_csv_output(self, tmp_path, capsys):
         assert main(["experiment", "fig11", "--csv", str(tmp_path)]) == 0
         csv_file = tmp_path / "fig11.csv"
         assert csv_file.exists()
         assert "attainable_gflops" in csv_file.read_text()
+
+
+class TestFaultTolerance:
+    def test_checkpoint_then_resume_round_trip(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.npz")
+        assert main(["run", "GCGCUU", "ACGGCU", "--checkpoint", ckpt]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "GCGCUU", "ACGGCU", "--checkpoint", ckpt, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resumed" in second
+        # the resumed run reproduces the original score line verbatim
+        score = next(l for l in first.splitlines() if "score" in l)
+        assert score in second
+
+    def test_resume_without_checkpoint_file_ok(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "missing.npz")
+        assert main(["run", "GCGC", "GCGC", "--checkpoint", ckpt, "--resume"]) == 0
+        assert "resumed" not in capsys.readouterr().out
+
+    def test_stale_checkpoint_exits_2(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.npz")
+        assert main(["run", "GCGCUU", "ACGGCU", "--checkpoint", ckpt]) == 0
+        capsys.readouterr()
+        assert main(["run", "AUAUAU", "UGGAAU", "--checkpoint", ckpt, "--resume"]) == 2
+        assert "stale" in capsys.readouterr().err
+
+    def test_deadline_exceeded_exits_2(self, capsys):
+        assert main(["run", "GCGCUU", "ACGGCU", "--deadline", "1e-12"]) == 2
+        assert "deadline" in capsys.readouterr().err
+
+    def test_invalid_nucleotide_exits_2(self, capsys):
+        assert main(["run", "GCXC", "GCGC"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid nucleotide" in err and "'X'" in err
+
+    def test_unknown_fallback_rejected(self, capsys):
+        assert main(["run", "GC", "GC", "--fallback", "warp"]) == 2
+        assert "fallback" in capsys.readouterr().err
+
+    def test_debug_reraises_traceback(self):
+        with pytest.raises(BpmaxError):
+            main(["--debug", "run", "GCXC", "GCGC"])
