@@ -1,0 +1,238 @@
+"""Kernel-backend benchmark: the R0 hot path across registered backends.
+
+Times a full BPMax run per registered-and-available backend (through the
+``batched`` program version) against the classic ``hybrid-tiled`` engine
+on one (N, M) workload, checks that every timed engine returns the exact
+same score, and writes ``BENCH_kernels.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_backends.py \\
+        --n 40 --m 40 --out BENCH_kernels.json
+
+CI regression gate (perf-smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_backends.py \\
+        --n 24 --m 24 --out BENCH_kernels.json \\
+        --check-against benchmarks/BENCH_kernels_baseline.json --tolerance 0.3
+
+The gate compares the *relative speedup* of the default backend over
+``hybrid-tiled`` measured in the same process — machine-independent, so
+a committed laptop baseline remains meaningful on a CI runner.
+
+Under pytest the module also exposes a smoke test at tiny sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(SRC))
+
+from repro.core.engine import make_engine  # noqa: E402
+from repro.core.reference import bpmax_recursive, prepare_inputs  # noqa: E402
+from repro.kernels import DEFAULT_BACKEND, available_backends  # noqa: E402
+from repro.rna.sequence import random_pair  # noqa: E402
+
+
+def _time_once(inputs, **kwargs) -> tuple[float, float]:
+    """(wall seconds, score) of one full run with a fresh engine."""
+    engine = make_engine(inputs, **kwargs)
+    t0 = time.perf_counter()
+    s = engine.run()
+    return time.perf_counter() - t0, s
+
+
+def run_bench(n: int, m: int, repeats: int = 3, seed: int = 99) -> dict:
+    """Time hybrid-tiled and every available backend; verify score equality.
+
+    Repeats are *interleaved* (reference, then each backend, per round)
+    so a load spike on a shared machine hits every contender alike
+    instead of whichever happened to run during it; each entry reports
+    its best round.
+    """
+    s1, s2 = random_pair(n, m, seed)
+    inputs = prepare_inputs(s1, s2)
+
+    results: dict = {
+        "n": n,
+        "m": m,
+        "repeats": repeats,
+        "seed": seed,
+        "default_backend": DEFAULT_BACKEND,
+        "engine": {},
+        "backends": {},
+        "speedup_vs_hybrid_tiled": {},
+    }
+    ref_time = float("inf")
+    ref_score = None
+    times: dict[str, float] = {}
+    scores: dict[str, float] = {}
+    for _ in range(repeats):
+        t, s = _time_once(inputs, variant="hybrid-tiled")
+        ref_time = min(ref_time, t)
+        if ref_score is None:
+            ref_score = s
+        elif s != ref_score:
+            raise AssertionError(f"non-deterministic score: {s} != {ref_score}")
+        for name in available_backends():
+            t, s = _time_once(inputs, variant="batched", backend=name)
+            times[name] = min(times.get(name, float("inf")), t)
+            scores.setdefault(name, s)
+            if s != scores[name]:
+                raise AssertionError(f"non-deterministic score: {s} != {scores[name]}")
+    results["engine"]["hybrid-tiled"] = ref_time
+    results["score"] = ref_score
+    for name, t in times.items():
+        if scores[name] != ref_score:
+            raise AssertionError(
+                f"backend {name} score {scores[name]} != "
+                f"hybrid-tiled score {ref_score}"
+            )
+        results["backends"][name] = t
+        results["speedup_vs_hybrid_tiled"][name] = ref_time / t if t > 0 else 0.0
+    return results
+
+
+def verify_against_oracle(n: int = 6, m: int = 9, seed: int = 5) -> None:
+    """Every backend must match the recursive oracle at a checkable size."""
+    s1, s2 = random_pair(n, m, seed)
+    inputs = prepare_inputs(s1, s2)
+    expected = bpmax_recursive(inputs)
+    for name in available_backends():
+        got = make_engine(inputs, variant="batched", backend=name).run()
+        if got != expected:
+            raise AssertionError(f"backend {name}: {got} != oracle {expected}")
+
+
+def merge_baseline(results: dict, baseline_path: Path) -> None:
+    """Insert this run's results into the per-size baseline file.
+
+    The baseline holds one entry per problem size (``"40x40"`` etc.)
+    because the relative speedup grows with the window size — a gate
+    must compare same-size measurements only.
+    """
+    baseline = (
+        json.loads(baseline_path.read_text()) if baseline_path.exists() else {}
+    )
+    baseline.setdefault("sizes", {})[f"{results['n']}x{results['m']}"] = results
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+
+
+def check_regression(results: dict, baseline_path: Path, tolerance: float) -> int:
+    """Exit status 1 when the default backend lost >tolerance of its speedup."""
+    baseline = json.loads(baseline_path.read_text())
+    if "sizes" in baseline:
+        key = f"{results['n']}x{results['m']}"
+        baseline = baseline["sizes"].get(key)
+        if baseline is None:
+            print(
+                f"regression check: baseline has no {key} entry "
+                f"(regenerate with --merge-baseline)",
+                file=sys.stderr,
+            )
+            return 1
+    name = results["default_backend"]
+    measured = results["speedup_vs_hybrid_tiled"].get(name)
+    reference = baseline.get("speedup_vs_hybrid_tiled", {}).get(name)
+    if measured is None or reference is None:
+        print(f"regression check: no '{name}' speedup to compare", file=sys.stderr)
+        return 1
+    floor = reference * (1.0 - tolerance)
+    print(
+        f"regression check: {name} speedup {measured:.2f}x "
+        f"(baseline {reference:.2f}x, floor {floor:.2f}x)"
+    )
+    if measured < floor:
+        print(
+            f"FAIL: default backend regressed more than {tolerance:.0%} "
+            "against the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def render(results: dict) -> str:
+    lines = [
+        f"kernel backends at (N, M) = ({results['n']}, {results['m']}), "
+        f"best of {results['repeats']}",
+        f"{'engine/backend':24s} {'seconds':>10s} {'speedup':>9s}",
+        f"{'hybrid-tiled (engine)':24s} {results['engine']['hybrid-tiled']:10.4f} "
+        f"{'1.00x':>9s}",
+    ]
+    for name, t in sorted(results["backends"].items()):
+        sp = results["speedup_vs_hybrid_tiled"][name]
+        mark = "  [default]" if name == results["default_backend"] else ""
+        lines.append(f"{name:24s} {t:10.4f} {sp:8.2f}x{mark}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--n", type=int, default=40, help="outer sequence length")
+    p.add_argument("--m", type=int, default=40, help="inner sequence length")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--seed", type=int, default=99)
+    p.add_argument("--out", metavar="PATH", help="write results JSON here")
+    p.add_argument(
+        "--merge-baseline",
+        metavar="PATH",
+        help="insert this run into a per-size baseline JSON (for committing)",
+    )
+    p.add_argument(
+        "--check-against",
+        metavar="PATH",
+        help="committed baseline JSON to gate the default backend against",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.3,
+        help="allowed fractional speedup loss vs the baseline (default 0.3)",
+    )
+    p.add_argument(
+        "--skip-oracle",
+        action="store_true",
+        help="skip the small-size recursive-oracle verification",
+    )
+    args = p.parse_args(argv)
+
+    if not args.skip_oracle:
+        verify_against_oracle()
+    results = run_bench(args.n, args.m, repeats=args.repeats, seed=args.seed)
+    print(render(results))
+    if args.out:
+        Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if args.merge_baseline:
+        merge_baseline(results, Path(args.merge_baseline))
+        print(f"merged into {args.merge_baseline}")
+    if args.check_against:
+        return check_regression(results, Path(args.check_against), args.tolerance)
+    return 0
+
+
+# -- pytest smoke coverage ------------------------------------------------------
+
+
+def test_backends_benchmark_smoke(tmp_path):
+    """Tiny-size end-to-end: bench runs, scores agree, JSON round-trips."""
+    verify_against_oracle(n=4, m=6, seed=2)
+    results = run_bench(6, 8, repeats=1, seed=3)
+    assert results["backends"], "no available backends were timed"
+    out = tmp_path / "BENCH_kernels.json"
+    out.write_text(json.dumps(results))
+    again = json.loads(out.read_text())
+    assert again["default_backend"] in again["backends"]
+    assert check_regression(again, out, tolerance=0.999) == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@ Subpackages:
 * :mod:`repro.rna` — alphabet, scoring, sequences, Nussinov folding;
 * :mod:`repro.core` — BPMax engines, the mini-Alpha model, schedules;
 * :mod:`repro.semiring` — max-plus kernels and the stream micro-benchmark;
+* :mod:`repro.kernels` — pluggable kernel backends (``numpy``,
+  ``numpy-batched``, optional ``numba``) and the per-engine
+  :class:`~repro.kernels.Workspace` scratch pool;
 * :mod:`repro.polyhedral` — the mini-AlphaZ framework (domains,
   schedules, dependences, tiling, the Alpha language, code generation);
 * :mod:`repro.machine` — machine specs, roofline, work counters, the
@@ -24,6 +27,7 @@ Subpackages:
 
 from .core.api import BpmaxResult, bpmax, fold
 from .core.engine import ENGINES
+from .kernels import DEFAULT_BACKEND, Workspace, available_backends, get_backend
 from .rna.scoring import DEFAULT_MODEL, ScoringModel
 from .rna.sequence import RnaSequence, random_pair, random_sequence
 from .robust import (
@@ -37,13 +41,17 @@ from .robust import (
     retry,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BpmaxResult",
     "bpmax",
     "fold",
     "ENGINES",
+    "DEFAULT_BACKEND",
+    "Workspace",
+    "available_backends",
+    "get_backend",
     "DEFAULT_MODEL",
     "ScoringModel",
     "RnaSequence",

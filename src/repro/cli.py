@@ -7,6 +7,7 @@ Subcommands
 ``scan QUERY TARGET``  slide QUERY along TARGET, rank windows by gain
 ``experiment ID``      regenerate one paper table/figure (or ``all``)
 ``list``               list available experiments and engine variants
+``backends``           list kernel backends available on this machine
 
 Error handling: every structured failure
 (:class:`~repro.robust.errors.BpmaxError` — bad sequences, stale
@@ -54,6 +55,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--variant", default="hybrid-tiled", choices=ENGINES, help="program version"
     )
     run.add_argument(
+        "--backend",
+        metavar="NAME",
+        help="kernel backend for the R0 hot path (see 'bpmax backends')",
+    )
+    run.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        metavar="N",
+        help="row-partition the R0 products over a real thread pool",
+    )
+    run.add_argument(
         "--structure", action="store_true", help="also report one optimal structure"
     )
     run.add_argument(
@@ -91,13 +104,47 @@ def _build_parser() -> argparse.ArgumentParser:
     sc.add_argument(
         "--variant", default="hybrid-tiled", choices=ENGINES, help="program version"
     )
+    sc.add_argument(
+        "--backend",
+        metavar="NAME",
+        help="kernel backend for the R0 hot path (see 'bpmax backends')",
+    )
 
     e = sub.add_parser("experiment", help="regenerate a paper table/figure")
     e.add_argument("id", help=f"one of {sorted(EXPERIMENTS)} or 'all'")
     e.add_argument("--csv", metavar="DIR", help="also write <DIR>/<id>.csv")
 
     sub.add_parser("list", help="list experiments and engine variants")
+    sub.add_parser("backends", help="list kernel backends and their availability")
     return p
+
+
+def _check_backend(name: str | None) -> None:
+    """One-line error for unknown backend names, before any engine work."""
+    if name is None:
+        return
+    from .kernels import BACKENDS
+
+    if name not in BACKENDS:
+        raise BpmaxError(
+            f"unknown backend {name!r}; available: {', '.join(sorted(BACKENDS))} "
+            "(see 'bpmax backends')"
+        )
+
+
+def _cmd_backends() -> int:
+    from .kernels import BACKENDS, DEFAULT_BACKEND, get_backend
+
+    for name in sorted(BACKENDS):
+        b = BACKENDS[name]
+        if b.available:
+            status = "available"
+        else:
+            status = f"unavailable ({b.note}); falls back to {get_backend(name).name}"
+        default = "  [default]" if name == DEFAULT_BACKEND else ""
+        print(f"{name:15s} {status}{default}")
+        print(f"{'':15s}   {b.description}")
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -124,6 +171,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 raise BpmaxError(
                     f"unknown fallback variant {v!r}; use one of {ENGINES}"
                 )
+    _check_backend(args.backend)
+    if args.threads < 1:
+        raise BpmaxError(f"--threads must be >= 1, got {args.threads}")
+    engine_kwargs: dict = {}
+    if args.variant != "baseline":
+        if args.backend is not None:
+            engine_kwargs["backend"] = args.backend
+        if args.threads > 1:
+            engine_kwargs["threads"] = args.threads
+    elif args.backend is not None or args.threads > 1:
+        raise BpmaxError("--backend/--threads do not apply to the baseline engine")
     result = bpmax(
         seq1,
         seq2,
@@ -133,6 +191,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         resume=args.resume,
         deadline=args.deadline,
+        **engine_kwargs,
     )
     print(f"score   : {result.score:g}")
     print(f"variant : {result.variant}")
@@ -162,12 +221,15 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "scan":
         from .core.windowed import scan_windows
 
+        _check_backend(args.backend)
+        kwargs = {"backend": args.backend} if args.backend is not None else {}
         result = scan_windows(
             args.query,
             args.target,
             window=args.window,
             stride=args.stride,
             variant=args.variant,
+            **kwargs,
         )
         print(f"{len(result.hits)} windows of length {result.window}, "
               f"stride {result.stride}")
@@ -194,6 +256,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         print("experiments:", ", ".join(sorted(EXPERIMENTS)))
         print("engine variants:", ", ".join(ENGINES))
         return 0
+    if args.command == "backends":
+        return _cmd_backends()
     return 1  # pragma: no cover
 
 

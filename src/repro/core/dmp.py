@@ -128,6 +128,10 @@ class DoubleMaxPlus:
     order: outer traversal — ``"diagonal"`` (by span) or ``"bottomup"``
         (by ``(-i1, j1)``: bottom-up then left-to-right).
     tile: (i2, k2, j2) tile extents for the tiled kernel (0 = untiled).
+    backend: optional :mod:`repro.kernels` backend name (or resolved
+        backend) — routes each window through the stacked batched
+        reduction with a zero-allocation workspace instead of the
+        per-split ``kernel``.
     """
 
     def __init__(
@@ -136,6 +140,7 @@ class DoubleMaxPlus:
         kernel: str = "vectorized",
         order: str = "diagonal",
         tile: tuple[int, int, int] = (32, 4, 0),
+        backend: "str | None" = None,
     ) -> None:
         if kernel not in DMP_KERNELS:
             raise ValueError(f"unknown kernel {kernel!r}; use one of {list(DMP_KERNELS)}")
@@ -152,10 +157,20 @@ class DoubleMaxPlus:
         self.kernel_name = kernel
         self.order = order
         self.tile = tile
+        if backend is not None:
+            from ..kernels import Workspace, get_backend
+
+            self.backend = get_backend(backend)
+            self._ws = Workspace(m, max(self.n - 1, 0))
+        else:
+            self.backend = None
+            self._ws = None
         self.f: dict[tuple[int, int], np.ndarray] = {
             (i, i): np.asarray(t, dtype=np.float32).copy()
             for i, t in enumerate(triangles)
         }
+        # shifted right operands, computed once per completed window
+        self._shift: dict[tuple[int, int], np.ndarray] = {}
 
     def _windows(self) -> Iterator[tuple[int, int]]:
         if self.order == "diagonal":
@@ -167,19 +182,42 @@ class DoubleMaxPlus:
                 for j1 in range(i1 + 1, self.n):
                     yield (i1, j1)
 
-    def _accumulate(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    def _shifted_of(self, key: tuple[int, int]) -> np.ndarray:
+        """Cached shifted copy of a completed window's triangle."""
+        s = self._shift.get(key)
+        if s is None:
+            s = _shifted(self.f[key])
+            self._shift[key] = s
+        return s
+
+    def _accumulate(self, a: np.ndarray, bkey: tuple[int, int], c: np.ndarray) -> None:
         kern = DMP_KERNELS[self.kernel_name]
         if self.kernel_name in ("tiled", "register-tiled"):
-            kern(a, _shifted(b), c, tile=self.tile)
+            kern(a, self._shifted_of(bkey), c, tile=self.tile)
         else:
-            kern(a, _shifted(b), c)
+            kern(a, self._shifted_of(bkey), c)
+
+    def _window_batched(self, i1: int, j1: int, c: np.ndarray) -> None:
+        ws = self._ws
+        k = j1 - i1
+        astack, bstack, _ = ws.stacks(k)
+        for s in range(k):
+            k1 = i1 + s
+            np.copyto(astack[s], self.f[(i1, k1)])
+            np.copyto(bstack[s], self._shifted_of((k1 + 1, j1)))
+        self.backend.batched_r0(
+            astack, bstack, c, tmp=ws.tmp3(k), red=ws.red, triangular=True
+        )
 
     def run(self) -> dict[tuple[int, int], np.ndarray]:
         """Fill every window; return the table dict."""
         for i1, j1 in self._windows():
             c = np.full((self.m, self.m), NEG_INF, dtype=np.float32)
-            for k1 in range(i1, j1):
-                self._accumulate(self.f[(i1, k1)], self.f[(k1 + 1, j1)], c)
+            if self.backend is not None:
+                self._window_batched(i1, j1, c)
+            else:
+                for k1 in range(i1, j1):
+                    self._accumulate(self.f[(i1, k1)], (k1 + 1, j1), c)
             self.f[(i1, j1)] = c
         return self.f
 

@@ -124,9 +124,13 @@ def make_engine(
 
     ``baseline`` is the original scalar diagonal-by-diagonal program;
     ``coarse`` / ``fine`` / ``hybrid`` / ``hybrid-tiled`` are the
-    optimized versions of Figs. 15/16.  Extra kwargs (``tile``,
-    ``threads``, ``order``, ``kernel``, ``layout``) reach
-    :class:`~repro.core.vectorized.VectorizedBPMax`.
+    optimized versions of Figs. 15/16; ``batched`` routes R0 through the
+    :mod:`repro.kernels` backend registry (stacked 3-D reductions,
+    ``numpy-batched`` by default).  Extra kwargs (``tile``, ``threads``,
+    ``order``, ``kernel``, ``layout``, ``backend``) reach
+    :class:`~repro.core.vectorized.VectorizedBPMax` — ``backend`` names
+    any registered kernel backend and works with every vectorized
+    variant.
 
     ``fallback`` names further variants to degrade to when ``variant``
     crashes, and ``retries`` adds per-variant transient retry; either

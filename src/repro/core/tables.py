@@ -55,6 +55,7 @@ class FTable:
         self.layout = layout
         self._fill = np.float32(fill)
         self._tri: dict[tuple[int, int], np.ndarray] = {}
+        self._shift: dict[tuple[int, int], np.ndarray] = {}
 
     # -- window management --------------------------------------------------
 
@@ -77,6 +78,10 @@ class FTable:
         key = (i1, j1)
         if key not in self._tri:
             self._tri[key] = np.full((self.m, self.m), self._fill, dtype=np.float32)
+        else:
+            # the caller may mutate the returned matrix; a cached shifted
+            # copy of the old contents would go stale
+            self._shift.pop(key, None)
         return self._tri[key]
 
     def inner(self, i1: int, j1: int) -> np.ndarray:
@@ -94,10 +99,32 @@ class FTable:
                 f"inner matrix must be {(self.m, self.m)}, got {values.shape}"
             )
         self._tri[(i1, j1)] = np.asarray(values, dtype=np.float32)
+        self._shift.pop((i1, j1), None)
+
+    def shifted(self, i1: int, j1: int) -> np.ndarray:
+        """Split-shifted copy ``B'[k2, j2] = B[k2+1, j2]`` (-inf last row).
+
+        This is the right-operand form every R0 product consumes (see
+        :func:`repro.core.dmp._shifted`).  It is computed once per
+        *completed* window and cached, instead of being rebuilt by every
+        consumer window — dropping O(N^3) M x M allocations per run.
+        Callers must only ask for windows whose values are final;
+        :meth:`alloc`, :meth:`set_inner` and :meth:`free` invalidate the
+        cached copy.
+        """
+        key = (i1, j1)
+        s = self._shift.get(key)
+        if s is None:
+            b = self.inner(i1, j1)
+            s = np.full_like(b, self._fill)
+            s[:-1, :] = b[1:, :]
+            self._shift[key] = s
+        return s
 
     def free(self, i1: int, j1: int) -> None:
         """Drop a window's storage (used by windowed/streaming modes)."""
         self._tri.pop((i1, j1), None)
+        self._shift.pop((i1, j1), None)
 
     # -- element access ------------------------------------------------------
 

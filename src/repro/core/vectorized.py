@@ -1,13 +1,15 @@
 """Vectorized BPMax engines: the optimized program versions.
 
 One engine class covers the paper's coarse / fine / hybrid / hybrid-tiled
-program versions (Figs. 15/16).  In this reproduction NumPy row
-operations play the role of compiler auto-vectorization, so the variants
-differ in:
+program versions (Figs. 15/16) plus the backend-dispatched ``batched``
+version.  In this reproduction NumPy row operations play the role of
+compiler auto-vectorization, so the variants differ in:
 
 * the outer-triangle traversal order (diagonal vs bottom-up-left-right —
   the paper finds them nearly equivalent, Fig. 13 orange vs blue);
-* the R0 kernel (vectorized rows vs the tiled (i2 x k2 x j2) kernel);
+* the R0 kernel (vectorized rows vs the tiled (i2 x k2 x j2) kernel vs a
+  :mod:`repro.kernels` backend that stacks all ``k1`` splits into 3-D
+  blocks and reduces them with whole-array max-plus ops);
 * the *parallelization granularity* metadata (triangle / row / hybrid)
   consumed by the thread-level simulator and the perf model — plus an
   optional real thread pool that row-partitions the R0 products
@@ -20,9 +22,14 @@ The per-window computation follows the Phase-II/III schedules:
    with the R0" (§V-C);
 2. add the intramolecular closure terms and the independent-fold term;
 3. finish rows bottom-up: R1 scatters contributions from completed rows
-   below, R2 scatters incrementally as the row's cells finalize
-   left-to-right (the ``k2``-middle / ``j2``-inner vectorizable order of
-   Tables II-IV).
+   below as one blocked update per row, R2 in the collapsed single-step
+   form (see :meth:`VectorizedBPMax._finish_rows`).
+
+The hot path is allocation-free: every per-window temporary (the
+accumulator, the stacked split operands, the broadcast scratch, the row
+buffers) lives in a per-engine :class:`~repro.kernels.Workspace`, and
+the shifted right-operand triangles are computed once per completed
+window and cached on the :class:`~repro.core.tables.FTable`.
 """
 
 from __future__ import annotations
@@ -32,9 +39,10 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..kernels import KernelBackend, Workspace, get_backend
 from ..parallel.pool import ParallelRunner
-from ..semiring.maxplus import NEG_INF
-from .dmp import DMP_KERNELS, _shifted
+from ..semiring.maxplus import NEG_INF, maxplus_bias_reduce
+from .dmp import DMP_KERNELS
 from .reference import BpmaxInputs
 from .tables import FTable
 
@@ -51,6 +59,12 @@ VARIANT_CONFIGS: dict[str, dict] = {
     "fine": {"order": "bottomup", "kernel": "vectorized", "granularity": "row"},
     "hybrid": {"order": "bottomup", "kernel": "vectorized", "granularity": "hybrid"},
     "hybrid-tiled": {"order": "bottomup", "kernel": "tiled", "granularity": "hybrid"},
+    "batched": {
+        "order": "bottomup",
+        "kernel": "vectorized",
+        "granularity": "hybrid",
+        "backend": "numpy-batched",
+    },
 }
 
 
@@ -60,10 +74,17 @@ class VectorizedBPMax:
     Parameters
     ----------
     inputs: precomputed tables from :func:`repro.core.reference.prepare_inputs`.
-    variant: one of ``coarse | fine | hybrid | hybrid-tiled`` (presets), or
-        pass explicit ``order`` / ``kernel`` / ``tile`` overrides.
+    variant: one of ``coarse | fine | hybrid | hybrid-tiled | batched``
+        (presets), or pass explicit ``order`` / ``kernel`` / ``backend``
+        overrides.
     tile: (i2, k2, j2) extents for the tiled kernel; 0 = untiled dim.
-    threads: >1 row-partitions the R0 products over a real thread pool.
+    threads: >1 row-partitions the R0 products over a real thread pool
+        (one persistent pool per ``run()``, created lazily and closed in
+        its ``finally``).
+    backend: a :mod:`repro.kernels` backend name (or resolved
+        :class:`~repro.kernels.KernelBackend`) routing R0/R3/R4 through
+        the stacked batched path; ``None`` keeps the variant's classic
+        per-split kernel.
     """
 
     def __init__(
@@ -75,6 +96,7 @@ class VectorizedBPMax:
         tile: tuple[int, int, int] = (32, 4, 0),
         threads: int = 1,
         layout: str = "option1",
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if variant not in VARIANT_CONFIGS:
             raise ValueError(
@@ -91,15 +113,33 @@ class VectorizedBPMax:
             raise ValueError(f"order must be 'diagonal' or 'bottomup', got {self.order!r}")
         self.tile = tile
         self.threads = threads
+        if backend is None:
+            backend = cfg.get("backend")
+        self.backend: KernelBackend | None = (
+            get_backend(backend) if backend is not None else None
+        )
         self._faults: "FaultPlan | None" = None
+        self._pool: ParallelRunner | None = None
         self.inputs = inputs
         self.table = FTable(inputs.n, inputs.m, layout=layout)
         m = inputs.m
+        self._ws = Workspace(m, max(inputs.n - 1, 0))
         # S2 restricted to the upper triangle (-inf elsewhere) so it can be
         # combined with F matrices without masking in the hot loops.
         self._s2_ut = np.full((m, m), NEG_INF, dtype=np.float32)
         iu = np.triu_indices(m)
         self._s2_ut[iu] = inputs.s2[iu]
+        # static per-row views of the finish-rows scan, built once so the
+        # O(N^2 M) row loop does no slice construction for fixed operands
+        s2, score2 = inputs.s2, inputs.score2
+        self._fin_r1 = [s2[i2, i2 : m - 1, None] for i2 in range(m)]
+        self._fin_clo = [score2[i2, i2 + 1 :] for i2 in range(m)]
+        self._fin_r2 = [self._s2_ut[i2 + 1 : m, i2 + 1 :] for i2 in range(m)]
+        self._score2_diag1 = (
+            np.ascontiguousarray(score2.diagonal(1))
+            if m > 1
+            else np.empty(0, dtype=np.float32)
+        )
 
     # -- traversal ------------------------------------------------------------
 
@@ -116,7 +156,16 @@ class VectorizedBPMax:
 
     # -- R0/R3/R4 accumulation ---------------------------------------------------
 
+    def _get_pool(self) -> ParallelRunner:
+        """The persistent per-run pool (created lazily, closed by run())."""
+        if self._pool is None:
+            self._pool = ParallelRunner(self.threads, faults=self._faults)
+        return self._pool
+
     def _accumulate_splits(self, i1: int, j1: int, acc: np.ndarray) -> None:
+        if self.backend is not None:
+            self._accumulate_splits_batched(i1, j1, acc)
+            return
         inp = self.inputs
         kern = DMP_KERNELS[self.kernel_name]
         tri = self.table
@@ -129,37 +178,75 @@ class VectorizedBPMax:
 
         if self.threads > 1:
             blocks = np.array_split(np.arange(inp.m), self.threads)
-            with ParallelRunner(self.threads, faults=self._faults) as pool:
-                for k1 in range(i1, j1):
-                    a = tri.inner(i1, k1)
-                    b = tri.inner(k1 + 1, j1)
-                    bs = _shifted(b)
+            pool = self._get_pool()
+            for k1 in range(i1, j1):
+                a = tri.inner(i1, k1)
+                b = tri.inner(k1 + 1, j1)
+                bs = tri.shifted(k1 + 1, j1)
 
-                    def do_rows(rows, a=a, bs=bs, b=b, k1=k1):
-                        sl = slice(rows[0], rows[-1] + 1)
-                        product(a[sl], bs, acc[sl])
-                        np.maximum(
-                            acc[sl], inp.s1[i1, k1] + b[sl], out=acc[sl]
-                        )
-                        np.maximum(
-                            acc[sl], a[sl] + inp.s1[k1 + 1, j1], out=acc[sl]
-                        )
+                def do_rows(rows, a=a, bs=bs, b=b, k1=k1):
+                    sl = slice(rows[0], rows[-1] + 1)
+                    product(a[sl], bs, acc[sl])
+                    np.maximum(
+                        acc[sl], inp.s1[i1, k1] + b[sl], out=acc[sl]
+                    )
+                    np.maximum(
+                        acc[sl], a[sl] + inp.s1[k1 + 1, j1], out=acc[sl]
+                    )
 
-                    pool.map(do_rows, [blk for blk in blocks if len(blk)])
+                pool.map(do_rows, [blk for blk in blocks if len(blk)])
             return
 
+        ws = self._ws
         for k1 in range(i1, j1):
             a = tri.inner(i1, k1)
             b = tri.inner(k1 + 1, j1)
-            product(a, _shifted(b), acc)  # R0
-            np.maximum(acc, inp.s1[i1, k1] + b, out=acc)  # R3
-            np.maximum(acc, a + inp.s1[k1 + 1, j1], out=acc)  # R4
+            product(a, tri.shifted(k1 + 1, j1), acc)  # R0
+            np.add(b, inp.s1[i1, k1], out=ws.red)
+            np.maximum(acc, ws.red, out=acc)  # R3
+            np.add(a, inp.s1[k1 + 1, j1], out=ws.red)
+            np.maximum(acc, ws.red, out=acc)  # R4
+
+    def _accumulate_splits_batched(self, i1: int, j1: int, acc: np.ndarray) -> None:
+        """Stacked R0/R3/R4: all ``k1`` splits as one 3-D block reduction."""
+        inp = self.inputs
+        tri = self.table
+        ws = self._ws
+        backend = self.backend
+        k = j1 - i1
+        astack, bstack, braw = ws.stacks(k)
+        for s in range(k):
+            k1 = i1 + s
+            np.copyto(astack[s], tri.inner(i1, k1))
+            np.copyto(braw[s], tri.inner(k1 + 1, j1))
+            np.copyto(bstack[s], tri.shifted(k1 + 1, j1))
+        s1l = np.ascontiguousarray(inp.s1[i1, i1:j1])  # S1[i1, k1]
+        s1r = np.ascontiguousarray(inp.s1[i1 + 1 : j1 + 1, j1])  # S1[k1+1, j1]
+
+        if self.threads > 1:
+            blocks = np.array_split(np.arange(inp.m), self.threads)
+            pool = self._get_pool()
+
+            def do_rows(rows):
+                sl = slice(rows[0], rows[-1] + 1)
+                backend.batched_r0(astack[:, sl], bstack, acc[sl])
+                maxplus_bias_reduce(braw[:, sl], s1l, acc[sl])  # R3
+                maxplus_bias_reduce(astack[:, sl], s1r, acc[sl])  # R4
+
+            pool.map(do_rows, [blk for blk in blocks if len(blk)])
+            return
+
+        tmp = ws.tmp3(k)
+        backend.batched_r0(
+            astack, bstack, acc, tmp=tmp, red=ws.red, triangular=True
+        )
+        maxplus_bias_reduce(braw, s1l, acc, tmp=tmp, red=ws.red)  # R3
+        maxplus_bias_reduce(astack, s1r, acc, tmp=tmp, red=ws.red)  # R4
 
     # -- per-window computation --------------------------------------------------
 
     def _compute_window(self, i1: int, j1: int) -> None:
         inp = self.inputs
-        m = inp.m
         s1v = float(inp.s1[i1, j1])
         g = self.table.alloc(i1, j1)
 
@@ -167,28 +254,29 @@ class VectorizedBPMax:
             self._compute_diagonal_window(i1, g)
             return
 
-        acc = np.full((m, m), NEG_INF, dtype=np.float32)
+        ws = self._ws
+        acc = ws.acc_reset()
         self._accumulate_splits(i1, j1, acc)
 
         # closure of the (i1, j1) intramolecular pair
         if j1 == i1 + 1:
-            c1 = self._s2_ut + inp.score1[i1, j1]
+            np.add(self._s2_ut, inp.score1[i1, j1], out=ws.red)
         else:
-            c1 = self.table.inner(i1 + 1, j1 - 1) + inp.score1[i1, j1]
-        np.maximum(acc, c1, out=acc)
+            np.add(self.table.inner(i1 + 1, j1 - 1), inp.score1[i1, j1], out=ws.red)
+        np.maximum(acc, ws.red, out=acc)
         # independent folds of both windows
-        np.maximum(acc, s1v + self._s2_ut, out=acc)
+        np.add(self._s2_ut, np.float32(s1v), out=ws.red)
+        np.maximum(acc, ws.red, out=acc)
 
         self._finish_rows(i1, j1, g, acc, s1v)
 
     def _compute_diagonal_window(self, i1: int, g: np.ndarray) -> None:
         """Windows with a single strand-1 base (no R0/R3/R4/closure1)."""
         inp = self.inputs
-        m = inp.m
-        acc = np.maximum(
-            np.full((m, m), NEG_INF, dtype=np.float32),
-            float(inp.s1[i1, i1]) + self._s2_ut,
-        )
+        acc = self._ws.acc
+        # -inf stays -inf below the diagonal, so the add alone seeds the
+        # independent-fold term everywhere it applies
+        np.add(self._s2_ut, inp.s1[i1, i1], out=acc)
         self._finish_rows(i1, i1, g, acc, float(inp.s1[i1, i1]), base_iscore=True)
 
     def _finish_rows(
@@ -200,43 +288,70 @@ class VectorizedBPMax:
         s1v: float,
         base_iscore: bool = False,
     ) -> None:
-        """Rows bottom-up; within a row, R1 upfront and R2 incrementally."""
+        """Rows bottom-up; R1 and R2 as blocked whole-row updates.
+
+        R1 reads only completed rows below, whose matrices carry -inf
+        left of the diagonal, so the split-range restriction is implicit
+        and the whole scan is one broadcast-and-reduce per row.
+
+        R2 uses the collapsed single-step form: because ``S2`` is built
+        by the Nussinov recurrence it is max-plus superadditive
+        (``S2[a, b] >= S2[a, k] + S2[k+1, b]`` exactly as stored), so any
+        chained scatter through an intermediate finalized cell is
+        dominated by the direct contribution from the pre-R2 row value —
+        the incremental left-to-right scatter collapses to
+        ``max_k2 vals[k2] + S2[k2+1, j2]`` with ``vals`` the post-R1 row
+        (plus the finalized diagonal).  With the integer-valued scoring
+        models every sum is exact in float32, making this bit-identical
+        to the scalar references.
+        """
         inp = self.inputs
         m = inp.m
-        s2 = inp.s2
-        score2 = inp.score2
+        ws = self._ws
+        fin_flat = ws.fin.reshape(-1)  # contiguous (rows, w) blocks per row
+        rowbuf = ws.row_a
+        scratch = ws.row_c
+        fin_r1 = self._fin_r1
+        fin_clo = self._fin_clo
+        fin_r2 = self._fin_r2
+        add = np.add
+        maximum = np.maximum
+        reduce = np.maximum.reduce
+        copyto = np.copyto
+        use_iscore = base_iscore and j1 == i1
+        # closure-2 seed for the empty inner window, all rows at once
+        if m > 1:
+            seed = ws.row_b[: m - 1]
+            add(self._score2_diag1, np.float32(s1v), out=seed)
         for i2 in range(m - 1, -1, -1):
-            row = start[i2].copy()
-            if i2 + 1 < m:
-                # closure of the (i2, j2) intramolecular pair
-                c2 = np.full(m, NEG_INF, dtype=np.float32)
-                c2[i2 + 1] = s1v + score2[i2, i2 + 1]
-                if i2 + 2 < m:
-                    c2[i2 + 2 :] = g[i2 + 1, i2 + 1 : m - 1] + score2[i2, i2 + 2 :]
-                np.maximum(row, c2, out=row)
-                # R1: completed rows below scatter into this row
-                for k2 in range(i2, m - 1):
-                    seg = slice(k2 + 1, m)
-                    np.maximum(
-                        row[seg], s2[i2, k2] + g[k2 + 1, seg], out=row[seg]
-                    )
+            kspan = m - 1 - i2
+            if kspan == 0:
+                g[i2, i2] = inp.iscore[i1, i2] if use_iscore else start[i2, i2]
+                continue
+            w = m - i2  # columns [i2:] — the only ones the triangle stores
+            # One stacked reduce covers three sources at once: every R1
+            # row below (the -inf left of each stored diagonal makes the
+            # split-range restriction implicit), the closure-2 row, and
+            # the accumulator row itself.
+            fin = fin_flat[: (kspan + 2) * w].reshape(kspan + 2, w)
+            add(fin_r1[i2], g[i2 + 1 : m, i2:], out=fin[:kspan])
+            add(g[i2 + 1, i2 : m - 1], fin_clo[i2], out=fin[kspan, 1:])
+            fin[kspan, 0] = NEG_INF
+            fin[kspan, 1] = seed[i2]  # empty inner window
+            copyto(fin[kspan + 1], start[i2, i2:])
+            row = rowbuf[:w]
+            reduce(fin, axis=0, out=row)
             # diagonal cell
-            if base_iscore and j1 == i1:
-                g[i2, i2] = inp.iscore[i1, i2]
-            else:
-                g[i2, i2] = row[i2]
-            # R2 scatters as cells finalize left-to-right
-            r2 = np.full(m, NEG_INF, dtype=np.float32)
-            if i2 + 1 < m:
-                r2[i2 + 1 :] = g[i2, i2] + s2[i2 + 1, i2 + 1 :]
-            for j2 in range(i2 + 1, m):
-                v = row[j2]
-                if r2[j2] > v:
-                    v = r2[j2]
-                g[i2, j2] = v
-                if j2 + 1 < m:
-                    seg = slice(j2 + 1, m)
-                    np.maximum(r2[seg], v + s2[j2 + 1, seg], out=r2[seg])
+            d = inp.iscore[i1, i2] if use_iscore else row[0]
+            g[i2, i2] = d
+            # R2, collapsed (see docstring); only columns > i2 exist.
+            # row[0] is dead after the diagonal store, so it doubles as
+            # the k2 = i2 candidate slot.
+            row[0] = d
+            fin2 = fin_flat[: kspan * kspan].reshape(kspan, kspan)
+            add(row[:kspan, None], fin_r2[i2], out=fin2)
+            reduce(fin2, axis=0, out=scratch[:kspan])
+            maximum(row[1:], scratch[:kspan], out=g[i2, i2 + 1 :])
 
     # -- public API -----------------------------------------------------------------
 
@@ -255,6 +370,11 @@ class VectorizedBPMax:
         skipped, ``deadline`` raises when the budget expires, ``faults``
         injects crash/slow faults, and ``checkpoint`` snapshots the
         table whenever a full prefix of outer diagonals completes.
+
+        With ``threads > 1`` one persistent :class:`ParallelRunner` is
+        created lazily for the whole run (not one per window) and closed
+        here, whatever the outcome — preserving the pool's
+        fault-injection and close-after-use semantics.
         """
         inp = self.inputs
         done = frozenset() if resume is None else frozenset(resume)
@@ -265,6 +385,9 @@ class VectorizedBPMax:
             for i1, j1 in self._windows():
                 self._run_window(i1, j1, done, checkpoint, deadline, faults)
         finally:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
             self._faults = None
         return float(self.table.get(0, inp.n - 1, 0, inp.m - 1))
 

@@ -1,0 +1,41 @@
+"""repro.kernels — pluggable high-performance kernel backends.
+
+The R0 "double max-plus" reduction dominates BPMax's Θ(N³M³) runtime;
+this package makes its implementation a runtime choice:
+
+* :func:`get_backend` / :data:`BACKENDS` — the registry
+  (``numpy``, ``numpy-batched``, optional ``numba`` with automatic
+  fallback when the JIT is not installed);
+* :class:`Workspace` — the per-engine scratch pool that makes the
+  per-window hot path allocation-free;
+* :data:`DEFAULT_BACKEND` — what engines use when none is named.
+
+Consumed by :class:`~repro.core.vectorized.VectorizedBPMax`,
+:class:`~repro.core.dmp.DoubleMaxPlus`, ``make_engine(backend=...)``
+and the CLI's ``--backend`` / ``bpmax backends``.
+"""
+
+from .backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .numba_backend import HAVE_NUMBA
+from .numpy_backend import NUMPY_BACKEND, NUMPY_BATCHED_BACKEND
+from .workspace import Workspace
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "KernelBackend",
+    "Workspace",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "HAVE_NUMBA",
+    "NUMPY_BACKEND",
+    "NUMPY_BATCHED_BACKEND",
+]

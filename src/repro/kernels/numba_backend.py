@@ -1,0 +1,105 @@
+"""Optional numba JIT backend (guarded import, automatic fallback).
+
+When numba is importable the backend compiles a fused scalar loop nest
+for the stacked R0 reduction — no broadcast temporaries at all, the
+closest Python gets to the paper's generated C.  When it is not, the
+backend still registers (so ``bpmax backends`` can report *why* it is
+missing) but flagged unavailable with ``numpy-batched`` as its declared
+fallback; :func:`~repro.kernels.get_backend` then substitutes silently.
+
+Compilation is lazy: importing this module never triggers a JIT build —
+the first actual kernel call does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .backend import DEFAULT_BACKEND, KernelBackend, register_backend
+
+__all__ = ["NUMBA_BACKEND", "HAVE_NUMBA"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+    _NOTE = ""
+except ImportError:  # the container image does not ship numba
+    numba = None
+    HAVE_NUMBA = False
+    _NOTE = "python package 'numba' is not installed"
+
+_compiled: dict[str, object] = {}
+
+
+def _kernels():  # pragma: no cover - requires numba
+    """Compile (once) and return the jitted kernels."""
+    if "batched" not in _compiled:
+        neg_inf = np.float32(-np.inf)
+
+        @numba.njit(cache=True)
+        def nb_batched(astack, bstack, acc):
+            s, n, kk = astack.shape
+            m = bstack.shape[2]
+            for i in range(n):
+                for t in range(s):
+                    for k in range(kk):
+                        a = astack[t, i, k]
+                        if a == neg_inf:
+                            continue
+                        for j in range(m):
+                            v = a + bstack[t, k, j]
+                            if v > acc[i, j]:
+                                acc[i, j] = v
+            return acc
+
+        @numba.njit(cache=True)
+        def nb_matmul(a, bs, out):
+            n, kk = a.shape
+            m = bs.shape[1]
+            for i in range(n):
+                for k in range(kk):
+                    s = a[i, k]
+                    if s == neg_inf:
+                        continue
+                    for j in range(m):
+                        v = s + bs[k, j]
+                        if v > out[i, j]:
+                            out[i, j] = v
+            return out
+
+        _compiled["batched"] = nb_batched
+        _compiled["matmul"] = nb_matmul
+    return _compiled
+
+
+def _batched_r0(
+    astack: np.ndarray,
+    bstack: np.ndarray,
+    acc: np.ndarray,
+    tmp: np.ndarray | None = None,
+    red: np.ndarray | None = None,
+    triangular: bool = False,
+) -> np.ndarray:  # pragma: no cover - requires numba
+    # triangular is implicit here: the jitted loop skips -inf A entries
+    return _kernels()["batched"](
+        np.ascontiguousarray(astack), np.ascontiguousarray(bstack), acc
+    )
+
+
+def _matmul(a: np.ndarray, bs: np.ndarray, out: np.ndarray) -> np.ndarray:
+    # pragma: no cover - requires numba
+    return _kernels()["matmul"](np.ascontiguousarray(a), np.ascontiguousarray(bs), out)
+
+
+NUMBA_BACKEND = register_backend(
+    KernelBackend(
+        "numba",
+        matmul=_matmul,
+        batched_r0=_batched_r0,
+        description="JIT-compiled fused scalar loop nest (needs numba)",
+        available=HAVE_NUMBA,
+        fallback=DEFAULT_BACKEND,
+        note=_NOTE,
+    )
+)

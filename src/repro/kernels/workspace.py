@@ -1,0 +1,115 @@
+"""Per-engine scratch pool: the zero-allocation hot path.
+
+The vectorized engines used to allocate fresh M x M temporaries for every
+outer window (the accumulator, every split's shifted triangle, the R1/R2
+row buffers) — O(N^3) allocations over a run, all of identical shape.  A
+:class:`Workspace` owns one copy of each buffer for the lifetime of an
+engine so the per-window hot path performs no heap allocation at all:
+
+* ``acc`` / ``red`` — the window accumulator and the shared (M, M)
+  reduction output;
+* ``astack`` / ``bstack`` / ``braw`` — stacked split operands for the
+  batched R0/R3/R4 reductions (grown geometrically, at most once per
+  high-water mark of the split count);
+* ``tmp`` — the (K, M, M) broadcast scratch of the batched kernels;
+* ``row_a`` / ``row_b`` / ``row_c`` — length-M row buffers for the
+  vectorized R1/R2 finish-rows scans;
+* ``fin`` — the (M + 1, M) stacked-candidate buffer of the finish-rows
+  scan (every R1 row below, the closure-2 row and the accumulator row
+  share one reduction).
+
+Buffers are plain views into engine-owned memory: a workspace must not be
+shared between concurrently-running engines (each engine builds its own).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..semiring.maxplus import NEG_INF
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Reusable scratch buffers for one engine's (N, M) problem.
+
+    Parameters
+    ----------
+    m: inner sequence length (buffer width/height).
+    kmax: upper bound on the split count of one outer window (``N - 1``
+        for a full BPMax run); the stacked buffers are grown lazily up
+        to this bound, so passing a loose bound costs nothing until a
+        window actually needs it.
+    """
+
+    def __init__(self, m: int, kmax: int) -> None:
+        if m <= 0:
+            raise ValueError(f"workspace width must be > 0, got {m}")
+        if kmax < 0:
+            raise ValueError(f"kmax must be >= 0, got {kmax}")
+        self.m = m
+        self.kmax = kmax
+        self.acc = np.empty((m, m), dtype=np.float32)
+        self.red = np.empty((m, m), dtype=np.float32)
+        self.row_a = np.empty(m, dtype=np.float32)
+        self.row_b = np.empty(m, dtype=np.float32)
+        self.row_c = np.empty(m, dtype=np.float32)
+        self.fin = np.empty((m + 1, m), dtype=np.float32)
+        self._cap = 0
+        self._astack: np.ndarray | None = None
+        self._bstack: np.ndarray | None = None
+        self._braw: np.ndarray | None = None
+        self._tmp: np.ndarray | None = None
+
+    # -- window accumulator ---------------------------------------------------
+
+    def acc_reset(self) -> np.ndarray:
+        """The (M, M) accumulator, refilled with the max-plus identity."""
+        self.acc.fill(NEG_INF)
+        return self.acc
+
+    # -- stacked split operands ----------------------------------------------
+
+    def _grow(self, k: int) -> None:
+        if k > self.kmax:
+            raise ValueError(
+                f"window needs {k} splits but workspace was sized for {self.kmax}"
+            )
+        # geometric growth: at most O(log kmax) reallocations per engine
+        cap = max(k, min(self.kmax, max(4, 2 * self._cap)))
+        self._astack = np.empty((cap, self.m, self.m), dtype=np.float32)
+        self._bstack = np.empty((cap, self.m, self.m), dtype=np.float32)
+        self._braw = np.empty((cap, self.m, self.m), dtype=np.float32)
+        self._tmp = np.empty((cap, self.m, self.m), dtype=np.float32)
+        self._cap = cap
+
+    def stacks(self, k: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(astack, bstack, braw) views of length ``k`` (A, shifted B, raw B)."""
+        if k > self._cap or self._astack is None:
+            self._grow(k)
+        return self._astack[:k], self._bstack[:k], self._braw[:k]
+
+    def tmp3(self, k: int) -> np.ndarray:
+        """The (k, M, M) broadcast scratch of the batched kernels."""
+        if k > self._cap or self._tmp is None:
+            self._grow(k)
+        return self._tmp[:k]
+
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool (for accounting tests)."""
+        total = (
+            self.acc.nbytes
+            + self.red.nbytes
+            + self.row_a.nbytes
+            + self.row_b.nbytes
+            + self.row_c.nbytes
+            + self.fin.nbytes
+        )
+        for buf in (self._astack, self._bstack, self._braw, self._tmp):
+            if buf is not None:
+                total += buf.nbytes
+        return total
+
+    def __repr__(self) -> str:
+        return f"Workspace(m={self.m}, kmax={self.kmax}, stacked={self._cap})"

@@ -105,7 +105,14 @@ class TestConfiguration:
 
 class TestEngineRegistry:
     def test_registry_contents(self):
-        assert set(ENGINES) == {"baseline", "coarse", "fine", "hybrid", "hybrid-tiled"}
+        assert set(ENGINES) == {
+            "baseline",
+            "coarse",
+            "fine",
+            "hybrid",
+            "hybrid-tiled",
+            "batched",
+        }
 
     def test_make_engine_baseline(self, small_inputs):
         eng = make_engine(small_inputs, "baseline")

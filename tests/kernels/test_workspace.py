@@ -1,0 +1,74 @@
+"""Tests for the per-engine Workspace scratch pool."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import Workspace
+from repro.semiring.maxplus import NEG_INF
+
+
+class TestShapes:
+    def test_eager_buffers(self):
+        ws = Workspace(5, 3)
+        assert ws.acc.shape == (5, 5)
+        assert ws.red.shape == (5, 5)
+        assert ws.fin.shape == (6, 5)
+        for row in (ws.row_a, ws.row_b, ws.row_c):
+            assert row.shape == (5,)
+            assert row.dtype == np.float32
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            Workspace(0, 3)
+        with pytest.raises(ValueError, match="kmax"):
+            Workspace(4, -1)
+
+
+class TestAccReset:
+    def test_reset_fills_identity_and_reuses_buffer(self):
+        ws = Workspace(4, 2)
+        first = ws.acc_reset()
+        first[:] = 7.0
+        second = ws.acc_reset()
+        assert second is first  # no reallocation
+        assert np.all(second == NEG_INF)
+
+
+class TestStacks:
+    def test_lazy_then_grown(self):
+        ws = Workspace(4, 10)
+        assert ws.nbytes() < 4 * 4 * 4 * 10  # stacked buffers not built yet
+        a, b, braw = ws.stacks(2)
+        assert a.shape == (2, 4, 4)
+        assert b.shape == (2, 4, 4)
+        assert braw.shape == (2, 4, 4)
+        grown = ws.nbytes()
+        a2, _, _ = ws.stacks(3)  # within geometric slack: no regrow
+        assert ws.nbytes() == grown
+        ws.stacks(10)
+        assert ws.nbytes() > grown
+
+    def test_views_share_base_across_calls(self):
+        ws = Workspace(3, 8)
+        a1, _, _ = ws.stacks(2)
+        a2, _, _ = ws.stacks(2)
+        assert a1.base is a2.base
+
+    def test_tmp3_matches_stack_capacity(self):
+        ws = Workspace(3, 8)
+        tmp = ws.tmp3(4)
+        assert tmp.shape == (4, 3, 3)
+        assert tmp.dtype == np.float32
+
+    def test_kmax_exceeded_raises(self):
+        ws = Workspace(3, 2)
+        with pytest.raises(ValueError, match="sized for 2"):
+            ws.stacks(3)
+
+    def test_zero_kmax_allows_no_splits(self):
+        ws = Workspace(3, 0)
+        a, b, braw = ws.stacks(0)
+        assert a.shape[0] == 0
+
+    def test_repr(self):
+        assert "Workspace" in repr(Workspace(3, 1))
