@@ -19,6 +19,8 @@ Subpackages:
 * :mod:`repro.machine` — machine specs, roofline, work counters, the
   calibrated performance model;
 * :mod:`repro.parallel` — OMP-style schedulers, DAG simulation, pools;
+* :mod:`repro.observe` — zero-dependency tracing spans, per-run
+  operation/traffic counters and roofline-linked run reports;
 * :mod:`repro.robust` — fault tolerance: structured errors, retry,
   deadlines, checkpoint/resume, deterministic fault injection;
 * :mod:`repro.bench` — the experiment harness regenerating every paper
@@ -28,6 +30,7 @@ Subpackages:
 from .core.api import BpmaxResult, bpmax, fold
 from .core.engine import ENGINES
 from .kernels import DEFAULT_BACKEND, Workspace, available_backends, get_backend
+from .observe import Counters, RunReport, collecting, trace, tracing
 from .rna.scoring import DEFAULT_MODEL, ScoringModel
 from .rna.sequence import RnaSequence, random_pair, random_sequence
 from .robust import (
@@ -41,7 +44,7 @@ from .robust import (
     retry,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BpmaxResult",
@@ -52,6 +55,11 @@ __all__ = [
     "Workspace",
     "available_backends",
     "get_backend",
+    "Counters",
+    "RunReport",
+    "collecting",
+    "trace",
+    "tracing",
     "DEFAULT_MODEL",
     "ScoringModel",
     "RnaSequence",

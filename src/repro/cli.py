@@ -6,8 +6,13 @@ Subcommands
 ``fold SEQ``           single-strand weighted Nussinov folding
 ``scan QUERY TARGET``  slide QUERY along TARGET, rank windows by gain
 ``experiment ID``      regenerate one paper table/figure (or ``all``)
+``report FILE``        render a saved metrics report (``--metrics-out``)
 ``list``               list available experiments and engine variants
 ``backends``           list kernel backends available on this machine
+
+Observability: ``run --metrics`` prints the observed-vs-predicted
+operation counts (and saves them with ``--metrics-out report.json``);
+``run --trace trace.json`` records spans of every layer to a JSON file.
 
 Error handling: every structured failure
 (:class:`~repro.robust.errors.BpmaxError` — bad sequences, stale
@@ -21,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import ExitStack
 
 from .bench.figures import EXPERIMENTS, run_experiment
 from .core.api import bpmax, fold
@@ -91,6 +97,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated variants to degrade to if the engine crashes "
         "(e.g. 'hybrid,baseline')",
     )
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect op/traffic counters and print the run report",
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="save the run report as JSON (implies --metrics)",
+    )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record spans of every layer and save them as JSON",
+    )
+
+    rep = sub.add_parser("report", help="render a saved metrics report")
+    rep.add_argument("file", help="JSON file written by 'run --metrics-out'")
 
     f = sub.add_parser("fold", help="fold one strand (weighted Nussinov)")
     f.add_argument("seq")
@@ -182,17 +206,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
             engine_kwargs["threads"] = args.threads
     elif args.backend is not None or args.threads > 1:
         raise BpmaxError("--backend/--threads do not apply to the baseline engine")
-    result = bpmax(
-        seq1,
-        seq2,
-        variant=args.variant,
-        structure=args.structure,
-        fallback=fallback,
-        checkpoint=args.checkpoint,
-        resume=args.resume,
-        deadline=args.deadline,
-        **engine_kwargs,
-    )
+    want_metrics = args.metrics or args.metrics_out is not None
+    tracer = None
+    with ExitStack() as stack:
+        if args.trace:
+            from .observe import tracing
+
+            tracer = stack.enter_context(tracing())
+        result = bpmax(
+            seq1,
+            seq2,
+            variant=args.variant,
+            structure=args.structure,
+            fallback=fallback,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            deadline=args.deadline,
+            metrics=want_metrics,
+            **engine_kwargs,
+        )
+    if tracer is not None:
+        tracer.save(args.trace)
     print(f"score   : {result.score:g}")
     print(f"variant : {result.variant}")
     if result.degraded_from:
@@ -206,6 +240,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"strand2 : {str(seq2).upper().replace('T', 'U')}")
         print(f"          {db2}")
         print(f"inter   : {result.structure.inter}")
+    if result.report is not None:
+        if args.metrics_out:
+            result.report.save(args.metrics_out)
+            print(f"report  : saved to {args.metrics_out}")
+        print()
+        print(result.report.render())
+    if tracer is not None:
+        print(f"trace   : {len(tracer.records())} records saved to {args.trace}")
     return 0
 
 
@@ -238,6 +280,15 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"{hit.start:5d}  {hit.score:5.1f}  {hit.gain:5.1f}")
         best = result.best
         print(f"best window: start {best.start} (gain {best.gain:g})")
+        return 0
+    if args.command == "report":
+        from .observe.report import RunReport
+
+        try:
+            report = RunReport.load(args.file)
+        except (OSError, ValueError, KeyError) as exc:
+            raise BpmaxError(f"cannot load report {args.file!r}: {exc}") from exc
+        print(report.render())
         return 0
     if args.command == "experiment":
         names = sorted(EXPERIMENTS) if args.id == "all" else [args.id]

@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 
+from ..observe.metrics import collecting
+from ..observe.report import RunReport
+from ..observe.tracer import trace
 from ..rna.scoring import DEFAULT_MODEL, ScoringModel
 from ..rna.sequence import RnaSequence
 from ..robust.checkpoint import CheckpointManager
@@ -35,6 +39,7 @@ class BpmaxResult:
     structure: InteractionStructure | None = None
     degraded_from: tuple[str, ...] = ()
     resumed_windows: int = 0
+    report: RunReport | None = None
 
     @property
     def n(self) -> int:
@@ -57,6 +62,7 @@ def bpmax(
     resume: bool = False,
     deadline: float | Deadline | None = None,
     faults: FaultPlan | None = None,
+    metrics: bool = False,
     **engine_kwargs,
 ) -> BpmaxResult:
     """Compute the BPMax interaction score of two RNA strands.
@@ -91,6 +97,9 @@ def bpmax(
         :class:`~repro.robust.deadline.Deadline`), polled cooperatively.
     faults:
         A :class:`~repro.robust.faults.FaultPlan` for injection testing.
+    metrics:
+        Collect per-run operation/traffic counters and attach a
+        :class:`~repro.observe.report.RunReport` to the result.
 
     Examples
     --------
@@ -126,7 +135,28 @@ def bpmax(
     if faults is not None:
         run_kwargs["faults"] = faults
 
-    score = engine.run(**run_kwargs)
+    report: RunReport | None = None
+    with trace("bpmax", variant=variant, n=inputs.n, m=inputs.m):
+        if metrics:
+            with collecting() as counters:
+                t0 = time.perf_counter()
+                score = engine.run(**run_kwargs)
+                wall = time.perf_counter() - t0
+            ran_variant = getattr(engine, "variant", variant)
+            backend = getattr(engine, "backend", None)
+            report = RunReport.from_counters(
+                counters,
+                n=inputs.n,
+                m=inputs.m,
+                variant=ran_variant,
+                backend=backend.name if backend is not None else None,
+                threads=getattr(engine, "threads", 1),
+                wall_s=wall,
+                score=score,
+                resumed_windows=len(resumed),
+            )
+        else:
+            score = engine.run(**run_kwargs)
     struct = traceback(inputs, engine.table) if structure else None
     return BpmaxResult(
         score=score,
@@ -136,6 +166,7 @@ def bpmax(
         structure=struct,
         degraded_from=getattr(engine, "degraded_from", ()),
         resumed_windows=len(resumed),
+        report=report,
     )
 
 

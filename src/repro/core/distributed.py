@@ -36,6 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..machine.counters import k1 as _k1_count
+from ..observe.tracer import event, trace
 from ..parallel.mpi import ClusterSpec, SimComm
 from ..robust.deadline import Deadline
 from ..robust.errors import MessageLost, RankFailure
@@ -154,6 +155,7 @@ class DistributedBPMax:
         dependencies are still alive by the block-cyclic interleave).
         Returns the number of recovered windows.
         """
+        event("dist.rank_death", rank=rank, diagonal=d1)
         comm.kill(rank)
         survivors = comm.alive_ranks()
         if not survivors:
@@ -173,6 +175,7 @@ class DistributedBPMax:
                 comm.compute(new_owner, flops=self._window_flops(row, j1))
                 cached.add((new_owner, (row, j1)))
                 recovered += 1
+        event("dist.recovered", rank=rank, windows=recovered)
         return recovered
 
     def _transfer(self, payload, src: int, dest: int, comm: SimComm) -> tuple[int, int]:
@@ -186,6 +189,7 @@ class DistributedBPMax:
                 comm.recv(source=src, dest=dest)
                 return retries, redundant
             except MessageLost:
+                event("dist.transfer_retry", src=src, dest=dest, attempt=_attempt)
                 retries += 1
                 redundant += nbytes
         raise RankFailure(
@@ -196,6 +200,16 @@ class DistributedBPMax:
     # -- execution -------------------------------------------------------------
 
     def run(self, deadline: Deadline | None = None) -> DistributedReport:
+        with trace(
+            "dist.run",
+            ranks=self.cluster.ranks,
+            n=self.inputs.n,
+            m=self.m_eff,
+            execute=self.execute,
+        ):
+            return self._run(deadline)
+
+    def _run(self, deadline: Deadline | None) -> DistributedReport:
         inputs = self.inputs
         n = inputs.n
         comm = self.comm
@@ -217,43 +231,46 @@ class DistributedBPMax:
             cached.add((r, (i1, i1)))
 
         for d1 in range(1, n):
-            if deadline is not None:
-                deadline.check(f"wavefront {d1}")
-            # failure detection: the wavefront timeout notices dead ranks
-            if self.faults is not None:
-                for rank in comm.alive_ranks():
-                    if self.faults.rank_dies(rank, d1):
-                        recovered += self._handle_rank_death(rank, d1, cached, comm)
-            # communication phase: fetch missing remote triangles
-            for i1 in range(n - d1):
-                j1 = i1 + d1
-                r = self.owner(i1)
-                for k1 in range(i1, j1):
-                    need = (k1 + 1, j1)
-                    src = self.owner(k1 + 1)
-                    if src == r or (r, need) in cached:
-                        continue
-                    payload = (
-                        self._engine.table.inner(*need)
-                        if self.execute
-                        else self._dummy
-                    )
-                    tr, rb = self._transfer(payload, src, r, comm)
-                    retries += tr
-                    redundant += rb
-                    cached.add((r, need))
-            # compute phase: the wavefront's windows run concurrently
-            for i1 in range(n - d1):
-                j1 = i1 + d1
-                r = self.owner(i1)
-                if self.execute:
-                    self._engine._compute_window(i1, j1)
-                w = self._window_flops(i1, j1)
-                comm.compute(r, flops=w)
-                serial_seconds += w / self.cluster.rank_flops
-                cached.add((r, (i1, j1)))
-            # wavefront barrier (the diagonal dependence)
-            comm.barrier()
+            with trace("dist.wavefront", d1=d1, windows=n - d1):
+                if deadline is not None:
+                    deadline.check(f"wavefront {d1}")
+                # failure detection: the wavefront timeout notices dead ranks
+                if self.faults is not None:
+                    for rank in comm.alive_ranks():
+                        if self.faults.rank_dies(rank, d1):
+                            recovered += self._handle_rank_death(
+                                rank, d1, cached, comm
+                            )
+                # communication phase: fetch missing remote triangles
+                for i1 in range(n - d1):
+                    j1 = i1 + d1
+                    r = self.owner(i1)
+                    for k1 in range(i1, j1):
+                        need = (k1 + 1, j1)
+                        src = self.owner(k1 + 1)
+                        if src == r or (r, need) in cached:
+                            continue
+                        payload = (
+                            self._engine.table.inner(*need)
+                            if self.execute
+                            else self._dummy
+                        )
+                        tr, rb = self._transfer(payload, src, r, comm)
+                        retries += tr
+                        redundant += rb
+                        cached.add((r, need))
+                # compute phase: the wavefront's windows run concurrently
+                for i1 in range(n - d1):
+                    j1 = i1 + d1
+                    r = self.owner(i1)
+                    if self.execute:
+                        self._engine._compute_window(i1, j1)
+                    w = self._window_flops(i1, j1)
+                    comm.compute(r, flops=w)
+                    serial_seconds += w / self.cluster.rank_flops
+                    cached.add((r, (i1, j1)))
+                # wavefront barrier (the diagonal dependence)
+                comm.barrier()
 
         score = (
             float(self._engine.table.get(0, n - 1, 0, inputs.m - 1))

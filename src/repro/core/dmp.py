@@ -27,6 +27,9 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from ..machine.counters import k1 as _k1_splits, t1 as _t1_cells
+from ..observe.metrics import active as _metrics_active
+from ..observe.tracer import trace
 from ..semiring.maxplus import (
     NEG_INF,
     maxplus_matmul_naive,
@@ -211,14 +214,28 @@ class DoubleMaxPlus:
 
     def run(self) -> dict[tuple[int, int], np.ndarray]:
         """Fill every window; return the table dict."""
-        for i1, j1 in self._windows():
-            c = np.full((self.m, self.m), NEG_INF, dtype=np.float32)
-            if self.backend is not None:
-                self._window_batched(i1, j1, c)
-            else:
-                for k1 in range(i1, j1):
-                    self._accumulate(self.f[(i1, k1)], (k1 + 1, j1), c)
-            self.f[(i1, j1)] = c
+        counters = _metrics_active()
+        with trace(
+            "dmp.run",
+            n=self.n,
+            m=self.m,
+            kernel=self.kernel_name,
+            order=self.order,
+            backend=self.backend.name if self.backend is not None else None,
+        ):
+            for i1, j1 in self._windows():
+                if counters is not None:
+                    # the standalone mini-app computes only the R0 term
+                    counters.windows += 1
+                    counters.cells += _t1_cells(self.m)
+                    counters.ops_r0 += (j1 - i1) * _k1_splits(self.m)
+                c = np.full((self.m, self.m), NEG_INF, dtype=np.float32)
+                if self.backend is not None:
+                    self._window_batched(i1, j1, c)
+                else:
+                    for k1 in range(i1, j1):
+                        self._accumulate(self.f[(i1, k1)], (k1 + 1, j1), c)
+                self.f[(i1, j1)] = c
         return self.f
 
     def result(self) -> np.ndarray:

@@ -38,6 +38,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..observe.metrics import active as _metrics_active
+from ..observe.tracer import trace
 from ..rna.nussinov import nussinov
 from ..rna.scoring import DEFAULT_MODEL, ScoringModel
 from ..rna.sequence import RnaSequence
@@ -188,6 +190,19 @@ class BaselineBPMax:
             for j1 in range(i1, n)
         }
 
+        with trace("engine.run", variant="baseline", n=n, m=m):
+            self._fill(
+                n, m, s1, s2, score1, score2, iscore, tri, done,
+                checkpoint, deadline, faults,
+            )
+        return float(tri[(0, n - 1)][0, m - 1])
+
+    def _fill(
+        self, n, m, s1, s2, score1, score2, iscore, tri, done,
+        checkpoint, deadline, faults,
+    ) -> None:
+        counters = _metrics_active()
+
         def fget(i1: int, j1: int, i2: int, j2: int) -> float:
             # empty-window conventions resolved at read time
             if j1 < i1 and j2 < i2:
@@ -209,6 +224,8 @@ class BaselineBPMax:
                     delay = faults.engine_window(i1, j1)
                     if delay > 0:
                         time.sleep(delay)
+                if counters is not None:
+                    counters.count_window(d1, m)
                 g = tri[(i1, j1)]
                 for d2 in range(m):  # inner diagonal j2 - i2
                     for i2 in range(m - d2):
@@ -254,4 +271,3 @@ class BaselineBPMax:
                     checkpoint.mark_done(i1, j1)
             if checkpoint is not None:
                 checkpoint.maybe_save(self.table)
-        return float(tri[(0, n - 1)][0, m - 1])

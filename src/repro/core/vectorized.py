@@ -40,6 +40,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..kernels import KernelBackend, Workspace, get_backend
+from ..observe.metrics import active as _metrics_active
+from ..observe.tracer import trace
 from ..parallel.pool import ParallelRunner
 from ..semiring.maxplus import NEG_INF, maxplus_bias_reduce
 from .dmp import DMP_KERNELS
@@ -209,6 +211,12 @@ class VectorizedBPMax:
 
     def _accumulate_splits_batched(self, i1: int, j1: int, acc: np.ndarray) -> None:
         """Stacked R0/R3/R4: all ``k1`` splits as one 3-D block reduction."""
+        with trace("r0.batched", window=(i1, j1), splits=j1 - i1):
+            self._accumulate_splits_batched_inner(i1, j1, acc)
+
+    def _accumulate_splits_batched_inner(
+        self, i1: int, j1: int, acc: np.ndarray
+    ) -> None:
         inp = self.inputs
         tri = self.table
         ws = self._ws
@@ -247,6 +255,9 @@ class VectorizedBPMax:
 
     def _compute_window(self, i1: int, j1: int) -> None:
         inp = self.inputs
+        counters = _metrics_active()
+        if counters is not None:
+            counters.count_window(j1 - i1, inp.m)
         s1v = float(inp.s1[i1, j1])
         g = self.table.alloc(i1, j1)
 
@@ -380,10 +391,20 @@ class VectorizedBPMax:
         done = frozenset() if resume is None else frozenset(resume)
         self._faults = faults
         try:
-            for i1 in range(inp.n):
-                self._run_window(i1, i1, done, checkpoint, deadline, faults)
-            for i1, j1 in self._windows():
-                self._run_window(i1, j1, done, checkpoint, deadline, faults)
+            with trace(
+                "engine.run",
+                variant=self.variant,
+                n=inp.n,
+                m=inp.m,
+                order=self.order,
+                kernel=self.kernel_name,
+                backend=self.backend.name if self.backend is not None else None,
+                threads=self.threads,
+            ):
+                for i1 in range(inp.n):
+                    self._run_window(i1, i1, done, checkpoint, deadline, faults)
+                for i1, j1 in self._windows():
+                    self._run_window(i1, j1, done, checkpoint, deadline, faults)
         finally:
             if self._pool is not None:
                 self._pool.close()
@@ -408,7 +429,8 @@ class VectorizedBPMax:
             delay = faults.engine_window(i1, j1)
             if delay > 0:
                 time.sleep(delay)
-        self._compute_window(i1, j1)
+        with trace("engine.window", i1=i1, j1=j1):
+            self._compute_window(i1, j1)
         if checkpoint is not None:
             checkpoint.mark_done(i1, j1)
             checkpoint.maybe_save(self.table)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observe.metrics import active as _metrics_active
 from ..semiring.maxplus import NEG_INF
 
 __all__ = ["Workspace"]
@@ -83,11 +84,18 @@ class Workspace:
         self._braw = np.empty((cap, self.m, self.m), dtype=np.float32)
         self._tmp = np.empty((cap, self.m, self.m), dtype=np.float32)
         self._cap = cap
+        counters = _metrics_active()
+        if counters is not None:
+            counters.count_ws_grow(4 * self._astack.nbytes)
 
     def stacks(self, k: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(astack, bstack, braw) views of length ``k`` (A, shifted B, raw B)."""
         if k > self._cap or self._astack is None:
             self._grow(k)
+        else:
+            counters = _metrics_active()
+            if counters is not None:
+                counters.count_ws_reuse()
         return self._astack[:k], self._bstack[:k], self._braw[:k]
 
     def tmp3(self, k: int) -> np.ndarray:

@@ -1,0 +1,40 @@
+"""repro.observe — zero-dependency tracing, metrics and profiling.
+
+The observability layer the measurement-driven methodology of the paper
+calls for: spans (:mod:`~repro.observe.tracer`), per-run operation and
+traffic counters (:mod:`~repro.observe.metrics`) and roofline-linked run
+reports (:mod:`~repro.observe.report`).  Everything is off by default
+and near-free while off: ``trace()`` is one flag test, counter sites are
+one ``active() is None`` test per outer window.
+
+Typical use::
+
+    from repro.observe import collecting, tracing
+
+    with tracing() as tr, collecting() as c:
+        result = bpmax("GCGCUUCG", "CGAAGCGC", variant="batched")
+    print(c.ops_r0, c.traffic_ratio())
+    tr.save("trace.json")
+
+or from the CLI: ``bpmax run SEQ1 SEQ2 --metrics --trace trace.json``
+and ``bpmax report report.json``.
+"""
+
+from .metrics import COUNTER_FIELDS, Counters, active, collecting
+from .report import RunReport, predicted_op_counts
+from .tracer import SpanRecord, Tracer, event, get_tracer, trace, tracing
+
+__all__ = [
+    "COUNTER_FIELDS",
+    "Counters",
+    "active",
+    "collecting",
+    "RunReport",
+    "predicted_op_counts",
+    "SpanRecord",
+    "Tracer",
+    "event",
+    "get_tracer",
+    "trace",
+    "tracing",
+]

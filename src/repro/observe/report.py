@@ -1,0 +1,292 @@
+"""RunReport: observed counters vs the analytic model, roofline-linked.
+
+A :class:`RunReport` freezes one run's :class:`~repro.observe.metrics.
+Counters` next to the *predicted* operation counts from the closed forms
+of :mod:`repro.machine.counters` (the paper's Θ(N³M³)/Θ(N²M³)
+accounting), so "the engines perform exactly the modelled work" is a
+checkable equality rather than an assertion.  It also connects observed
+ops/bytes to the :mod:`repro.machine` roofline model: the achieved
+arithmetic intensity of the batched R0 kernel against the paper's
+predicted ``Y = max(a + X, Y)`` stream intensity (2 FLOPs / 12 bytes)
+and the resulting attainable-GFLOPS bound per memory level.
+
+Reports serialize to JSON (``bpmax run --metrics-out report.json``) and
+back (``bpmax report report.json``), and :meth:`RunReport.render`
+pretty-prints the whole comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..machine.counters import k1, t1
+from ..machine.roofline import MAXPLUS_STREAM_AI, Roofline
+from ..machine.specs import XEON_E5_1650V4, MachineSpec
+from .metrics import COUNTER_FIELDS, Counters
+
+__all__ = ["RunReport", "predicted_op_counts"]
+
+REPORT_VERSION = 1
+
+#: max-plus FLOPs per counted op (one add + one max), the paper's unit
+FLOPS_PER_OP = 2
+
+
+def predicted_op_counts(n: int, m: int) -> dict[str, int]:
+    """Analytic per-term max-plus op counts for an (N, M) run.
+
+    The closed forms behind the paper's complexity table: R0 iterates
+    ``(i1,k1,j1) x (i2,k2,j2)``, R1/R2 ``(i1,j1) x (i2,k2,j2)``, R3/R4
+    ``(i1,k1,j1) x (i2,j2)``; cells is the number of F entries.
+    """
+    return {
+        "r0": k1(n) * k1(m),
+        "r1": t1(n) * k1(m),
+        "r2": t1(n) * k1(m),
+        "r3": k1(n) * t1(m),
+        "r4": k1(n) * t1(m),
+        "cells": t1(n) * t1(m),
+    }
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Observed metrics of one BPMax run, with predictions alongside.
+
+    Build one with :meth:`from_counters` after a
+    :func:`~repro.observe.metrics.collecting` run; ``bpmax run
+    --metrics`` does this for you.
+    """
+
+    n: int
+    m: int
+    variant: str
+    counters: dict[str, int]
+    backend: str | None = None
+    threads: int = 1
+    wall_s: float = 0.0
+    score: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_counters(
+        cls,
+        counters: Counters,
+        n: int,
+        m: int,
+        variant: str,
+        backend: str | None = None,
+        threads: int = 1,
+        wall_s: float = 0.0,
+        score: float | None = None,
+        **attrs,
+    ) -> "RunReport":
+        return cls(
+            n=n,
+            m=m,
+            variant=variant,
+            counters=counters.as_dict(),
+            backend=backend,
+            threads=threads,
+            wall_s=wall_s,
+            score=score,
+            attrs=dict(attrs),
+        )
+
+    # -- observed vs predicted ----------------------------------------------
+
+    def observed_op_counts(self) -> dict[str, int]:
+        c = self.counters
+        return {
+            "r0": c["ops_r0"],
+            "r1": c["ops_r1"],
+            "r2": c["ops_r2"],
+            "r3": c["ops_r3"],
+            "r4": c["ops_r4"],
+            "cells": c["cells"],
+        }
+
+    def predicted(self) -> dict[str, int]:
+        return predicted_op_counts(self.n, self.m)
+
+    def deviations(self) -> dict[str, tuple[int, int]]:
+        """Terms whose observed count differs from the prediction,
+        as ``term -> (observed, predicted)``.  Empty means the run
+        performed exactly the modelled work."""
+        obs, pred = self.observed_op_counts(), self.predicted()
+        return {k: (obs[k], pred[k]) for k in pred if obs[k] != pred[k]}
+
+    @property
+    def ops_total(self) -> int:
+        c = self.counters
+        return c["ops_r0"] + c["ops_r1"] + c["ops_r2"] + c["ops_r3"] + c["ops_r4"]
+
+    @property
+    def flops(self) -> int:
+        """Observed max-plus FLOPs (2 per counted reduction op)."""
+        return FLOPS_PER_OP * self.ops_total
+
+    def traffic_ratio(self) -> float:
+        c = self.counters
+        if c["slab_cells_touched"] == 0:
+            return 1.0
+        return c["slab_cells_dense"] / c["slab_cells_touched"]
+
+    def slab_skip_fraction(self) -> float:
+        c = self.counters
+        if c["slab_cells_dense"] == 0:
+            return 0.0
+        return 1.0 - c["slab_cells_touched"] / c["slab_cells_dense"]
+
+    # -- roofline link -------------------------------------------------------
+
+    def achieved_intensity(self) -> float | None:
+        """Observed FLOPs per byte of the batched R0 kernel, or ``None``
+        when the run moved no counted bytes (non-batched kernels)."""
+        bytes_moved = self.counters["bytes_moved"]
+        if bytes_moved == 0:
+            return None
+        r0_flops = FLOPS_PER_OP * self.counters["ops_r0"]
+        return r0_flops / bytes_moved
+
+    def roofline_summary(
+        self, machine: MachineSpec = XEON_E5_1650V4, level: str = "L1"
+    ) -> dict[str, Any]:
+        """Achieved vs predicted intensity on one machine's roofline.
+
+        ``predicted_ai`` is the paper's stream-kernel intensity (2/12);
+        ``achieved_ai`` is observed R0 FLOPs over counted kernel bytes.
+        Both are evaluated against the same roof so the attainable
+        GFLOPS are directly comparable.
+        """
+        roof = Roofline(machine, threads=self.threads)
+        predicted = roof.attainable(MAXPLUS_STREAM_AI, level)
+        ai = self.achieved_intensity()
+        out: dict[str, Any] = {
+            "machine": machine.name,
+            "level": level,
+            "threads": self.threads,
+            "predicted_ai": MAXPLUS_STREAM_AI,
+            "predicted_gflops": predicted.attainable_gflops,
+            "achieved_ai": ai,
+        }
+        if ai is not None:
+            achieved = roof.attainable(ai, level)
+            out["achieved_gflops_bound"] = achieved.attainable_gflops
+            out["bound"] = achieved.bound
+        if self.wall_s > 0:
+            out["measured_gflops"] = self.flops / self.wall_s / 1e9
+        return out
+
+    # -- serialization -------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "version": REPORT_VERSION,
+            "n": self.n,
+            "m": self.m,
+            "variant": self.variant,
+            "backend": self.backend,
+            "threads": self.threads,
+            "wall_s": self.wall_s,
+            "score": self.score,
+            "counters": dict(self.counters),
+            "attrs": dict(self.attrs),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2) + "\n"
+
+    def save(self, path: str | os.PathLike) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunReport":
+        version = data.get("version")
+        if version != REPORT_VERSION:
+            raise ValueError(
+                f"unsupported RunReport version {version!r} "
+                f"(expected {REPORT_VERSION})"
+            )
+        counters = {f: int(data["counters"].get(f, 0)) for f in COUNTER_FIELDS}
+        return cls(
+            n=int(data["n"]),
+            m=int(data["m"]),
+            variant=str(data["variant"]),
+            backend=data.get("backend"),
+            threads=int(data.get("threads", 1)),
+            wall_s=float(data.get("wall_s", 0.0)),
+            score=data.get("score"),
+            counters=counters,
+            attrs=dict(data.get("attrs", {})),
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "RunReport":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, machine: MachineSpec = XEON_E5_1650V4) -> str:
+        c = self.counters
+        obs, pred = self.observed_op_counts(), self.predicted()
+        head = f"RunReport: (N, M) = ({self.n}, {self.m}), variant {self.variant}"
+        if self.backend:
+            head += f", backend {self.backend}"
+        if self.threads > 1:
+            head += f", {self.threads} threads"
+        lines = [head]
+        if self.score is not None:
+            lines.append(f"score {self.score:g}, wall {self.wall_s:.4f} s")
+        lines.append("")
+        lines.append(f"{'term':8s} {'observed':>14s} {'predicted':>14s}")
+        for term in ("r0", "r1", "r2", "r3", "r4", "cells"):
+            mark = "" if obs[term] == pred[term] else "  <- MISMATCH"
+            lines.append(f"{term:8s} {obs[term]:14d} {pred[term]:14d}{mark}")
+        lines.append(
+            f"{'total':8s} {self.ops_total:14d} "
+            f"{sum(v for k, v in pred.items() if k != 'cells'):14d}"
+        )
+        if c["slabs_total"]:
+            lines.append("")
+            lines.append(
+                f"batched R0 traffic: {c['slab_cells_touched']} of "
+                f"{c['slab_cells_dense']} dense cells touched "
+                f"({self.traffic_ratio():.2f}x cut, "
+                f"{self.slab_skip_fraction():.1%} skipped, "
+                f"{c['slabs_skipped']}/{c['slabs_total']} slabs fully skipped)"
+            )
+            lines.append(f"bytes moved (model): {c['bytes_moved']}")
+        lines.append(
+            f"workspace: {c['ws_grow_events']} grows, "
+            f"{c['ws_bytes_allocated']} bytes allocated, "
+            f"{c['ws_stack_reuses']} stack reuses"
+        )
+        if c["checkpoint_saves"] or c["retries"] or c["faults_injected"]:
+            lines.append(
+                f"robustness: {c['checkpoint_saves']} checkpoint saves "
+                f"({c['checkpoint_bytes']} bytes), {c['retries']} retries, "
+                f"{c['faults_injected']} faults injected"
+            )
+        roof = self.roofline_summary(machine)
+        lines.append("")
+        lines.append(
+            f"roofline ({roof['machine']}, {roof['level']}): predicted AI "
+            f"{roof['predicted_ai']:.4f} -> {roof['predicted_gflops']:.1f} GFLOPS"
+        )
+        if roof["achieved_ai"] is not None:
+            lines.append(
+                f"achieved AI {roof['achieved_ai']:.4f} -> "
+                f"{roof['achieved_gflops_bound']:.1f} GFLOPS bound "
+                f"({roof['bound']}-bound)"
+            )
+        if "measured_gflops" in roof:
+            lines.append(f"measured: {roof['measured_gflops']:.3f} GFLOPS")
+        return "\n".join(lines)

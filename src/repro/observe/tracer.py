@@ -1,0 +1,325 @@
+"""Lightweight span tracer: see inside a BPMax run without paying for it.
+
+One global :class:`Tracer` records *spans* (named, timed, attributed,
+nested regions — ``with trace("r0.batched", window=(i1, j1)):``) and
+*events* (zero-duration marks — checkpoint writes, retries, injected
+faults, rank recoveries) into a bounded ring buffer.  The design goals,
+in order:
+
+1. **near-zero overhead when disabled** — the default.  ``trace()``
+   checks one module-global flag and returns a shared no-op context
+   manager; ``event()`` returns immediately.  No allocation, no clock
+   read, no lock.
+2. **cheap when enabled** — one ``perf_counter`` read at entry and exit,
+   one record appended to a ``deque(maxlen=capacity)``.  The ring buffer
+   bounds memory for arbitrarily long runs (oldest spans drop first).
+3. **thread-safe nesting** — the current span stack is thread-local, so
+   pool workers attach their spans under whatever span their thread
+   opened; ``deque.append`` is atomic under the GIL.
+
+Finished spans are flat records carrying ``(sid, parent)`` links;
+:meth:`Tracer.tree` reassembles the forest and :meth:`Tracer.save`
+exports JSON for offline analysis (``bpmax run --trace out.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "trace",
+    "event",
+    "tracing",
+    "get_tracer",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span or event, as stored in the ring buffer.
+
+    ``dur_s`` is 0.0 and ``kind`` is ``"event"`` for point events.
+    ``parent`` is the sid of the enclosing span (0 = top level).
+    """
+
+    sid: int
+    parent: int
+    name: str
+    t0_s: float
+    dur_s: float
+    kind: str = "span"
+    thread: int = 0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "sid": self.sid,
+            "parent": self.parent,
+            "name": self.name,
+            "t0_s": self.t0_s,
+            "dur_s": self.dur_s,
+            "kind": self.kind,
+            "thread": self.thread,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An open span: context manager recording itself on exit."""
+
+    __slots__ = ("_tracer", "sid", "name", "attrs", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.sid = tracer._next_id()
+        self.name = name
+        self.attrs = attrs
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self.sid)
+        self._t0 = self._tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        t1 = self._tracer.clock()
+        tracer = self._tracer
+        parent = tracer._pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        tracer._record(
+            SpanRecord(
+                sid=self.sid,
+                parent=parent,
+                name=self.name,
+                t0_s=self._t0 - tracer.epoch,
+                dur_s=t1 - self._t0,
+                kind="span",
+                thread=threading.get_ident() & 0xFFFF,
+                attrs=self.attrs,
+            )
+        )
+
+
+class Tracer:
+    """A bounded-ring-buffer span recorder.
+
+    Parameters
+    ----------
+    capacity: maximum retained records; older spans are evicted first.
+    clock: injectable time source (tests use a fake clock for exact
+        durations); defaults to :func:`time.perf_counter`.
+    """
+
+    def __init__(self, capacity: int = 65536, clock=time.perf_counter) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.enabled = False
+        self.capacity = capacity
+        self.clock = clock
+        self.epoch = clock()
+        self._ring: deque[SpanRecord] = deque(maxlen=capacity)
+        self._ids = 0
+        self._idlock = threading.Lock()
+        self._tls = threading.local()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _next_id(self) -> int:
+        with self._idlock:
+            self._ids += 1
+            return self._ids
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _push(self, sid: int) -> None:
+        self._stack().append(sid)
+
+    def _pop(self) -> int:
+        stack = self._stack()
+        stack.pop()
+        return stack[-1] if stack else 0
+
+    def _current(self) -> int:
+        stack = self._stack()
+        return stack[-1] if stack else 0
+
+    def _record(self, rec: SpanRecord) -> None:
+        self._ring.append(rec)
+
+    # -- recording API -------------------------------------------------------
+
+    def trace(self, name: str, **attrs) -> "_Span | _NullSpan":
+        """Open a span (as a context manager); no-op while disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a zero-duration event under the current span."""
+        if not self.enabled:
+            return
+        self._record(
+            SpanRecord(
+                sid=self._next_id(),
+                parent=self._current(),
+                name=name,
+                t0_s=self.clock() - self.epoch,
+                dur_s=0.0,
+                kind="event",
+                thread=threading.get_ident() & 0xFFFF,
+                attrs=attrs,
+            )
+        )
+
+    # -- inspection / export -------------------------------------------------
+
+    def records(self) -> tuple[SpanRecord, ...]:
+        """All retained records, oldest first."""
+        return tuple(self._ring)
+
+    def spans(self, name: str | None = None) -> tuple[SpanRecord, ...]:
+        """Retained spans (not events), optionally filtered by name."""
+        return tuple(
+            r
+            for r in self._ring
+            if r.kind == "span" and (name is None or r.name == name)
+        )
+
+    def events(self, name: str | None = None) -> tuple[SpanRecord, ...]:
+        """Retained events, optionally filtered by name."""
+        return tuple(
+            r
+            for r in self._ring
+            if r.kind == "event" and (name is None or r.name == name)
+        )
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def tree(self) -> list[dict[str, Any]]:
+        """Reassemble the span forest as nested dicts.
+
+        A record whose parent was evicted from the ring (or whose parent
+        is 0) becomes a root.  Children appear in recording order.
+        """
+        nodes = {r.sid: {**r.as_dict(), "children": []} for r in self._ring}
+        roots: list[dict[str, Any]] = []
+        for r in self._ring:
+            node = nodes[r.sid]
+            parent = nodes.get(r.parent)
+            if parent is None:
+                roots.append(node)
+            else:
+                parent["children"].append(node)
+        return roots
+
+    def export(self) -> dict[str, Any]:
+        """JSON-serializable dump of the retained records."""
+        return {
+            "version": 1,
+            "capacity": self.capacity,
+            "count": len(self._ring),
+            "spans": [r.as_dict() for r in self._ring],
+        }
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write :meth:`export` as JSON to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.export(), fh, indent=2)
+            fh.write("\n")
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, records={len(self._ring)}/{self.capacity})"
+
+
+#: The process-wide tracer every instrumented layer reports to.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The global tracer (disabled by default)."""
+    return _TRACER
+
+
+def trace(name: str, **attrs):
+    """Open a span on the global tracer; a shared no-op when disabled."""
+    if not _TRACER.enabled:
+        return _NULL_SPAN
+    return _Span(_TRACER, name, attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Record an event on the global tracer; returns immediately when
+    disabled."""
+    if not _TRACER.enabled:
+        return
+    _TRACER.event(name, **attrs)
+
+
+class tracing:
+    """Enable the global tracer for a ``with`` block.
+
+    >>> with tracing() as tr:
+    ...     result = bpmax("GCGC", "GCGC")  # doctest: +SKIP
+    >>> tr.spans("engine.run")  # doctest: +SKIP
+
+    ``capacity`` replaces the ring buffer (previous records are kept only
+    when the capacity is unchanged); nesting restores the previous
+    enabled state on exit, so a traced region inside a traced region
+    stays traced.
+    """
+
+    def __init__(self, capacity: int | None = None, clear: bool = True) -> None:
+        self._capacity = capacity
+        self._clear = clear
+        self._prev = False
+
+    def __enter__(self) -> Tracer:
+        tr = _TRACER
+        self._prev = tr.enabled
+        if self._capacity is not None and self._capacity != tr.capacity:
+            tr.capacity = self._capacity
+            tr._ring = deque(tr._ring, maxlen=self._capacity)
+        elif self._clear and not self._prev:
+            tr.clear()
+        tr.enabled = True
+        return tr
+
+    def __exit__(self, *exc) -> None:
+        _TRACER.enabled = self._prev
+
+
+def iter_tree(nodes: list[dict[str, Any]]) -> Iterator[dict[str, Any]]:
+    """Depth-first walk over :meth:`Tracer.tree` output (helper for tests)."""
+    for node in nodes:
+        yield node
+        yield from iter_tree(node["children"])

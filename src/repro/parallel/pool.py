@@ -17,6 +17,8 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
 
+from ..observe.tracer import trace
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..robust.faults import FaultPlan
 
@@ -62,25 +64,27 @@ class ParallelRunner:
                 "context manager) instead of reusing a shut-down one"
             )
         items = list(items)
-        if self._pool is None:
-            # inline path: an exception naturally cancels the remainder
-            return [self._run_task(fn, i, x) for i, x in enumerate(items)]
-        futures = [
-            self._pool.submit(self._run_task, fn, i, x) for i, x in enumerate(items)
-        ]
-        results: list[R] = []
-        error: BaseException | None = None
-        for fut in futures:
+        with trace("pool.map", tasks=len(items), threads=self.threads):
+            if self._pool is None:
+                # inline path: an exception naturally cancels the remainder
+                return [self._run_task(fn, i, x) for i, x in enumerate(items)]
+            futures = [
+                self._pool.submit(self._run_task, fn, i, x)
+                for i, x in enumerate(items)
+            ]
+            results: list[R] = []
+            error: BaseException | None = None
+            for fut in futures:
+                if error is not None:
+                    fut.cancel()
+                    continue
+                try:
+                    results.append(fut.result())
+                except BaseException as exc:
+                    error = exc
             if error is not None:
-                fut.cancel()
-                continue
-            try:
-                results.append(fut.result())
-            except BaseException as exc:
-                error = exc
-        if error is not None:
-            raise error
-        return results
+                raise error
+            return results
 
     def parallel_for(self, fn: Callable[[int], None], n: int) -> None:
         """``#pragma omp parallel for`` over ``range(n)``."""

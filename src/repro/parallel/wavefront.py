@@ -18,6 +18,8 @@ from typing import Callable, Hashable, Iterable, Mapping
 
 import networkx as nx
 
+from ..observe.tracer import trace
+
 __all__ = ["SimResult", "simulate_dag", "wavefront_levels", "triangle_task_graph"]
 
 
@@ -95,15 +97,18 @@ def simulate_dag(
             heapq.heappush(events, (s + c, seq, t, w))
             seq += 1
 
-    dispatch()
-    while events:
-        now, _, done, _ = heapq.heappop(events)
-        for succ in graph.successors(done):
-            indeg[succ] -= 1
-            if indeg[succ] == 0:
-                ready.append(succ)
-        ready.sort(key=repr)
+    with trace(
+        "wavefront.simulate", tasks=graph.number_of_nodes(), threads=threads
+    ):
         dispatch()
+        while events:
+            now, _, done, _ = heapq.heappop(events)
+            for succ in graph.successors(done):
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+            ready.sort(key=repr)
+            dispatch()
 
     if len(finish) != graph.number_of_nodes():
         raise RuntimeError("scheduler failed to execute every task")

@@ -28,6 +28,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..observe.metrics import active as _metrics_active
+from ..observe.tracer import event
 from .errors import CheckpointError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -147,6 +149,12 @@ class CheckpointManager:
         os.replace(tmp, self.path)
         self._saved_prefix = prefix
         self.saves += 1
+        nbytes = self.path.stat().st_size
+        event("checkpoint.save", path=str(self.path), prefix=prefix, bytes=nbytes)
+        counters = _metrics_active()
+        if counters is not None:
+            counters.checkpoint_saves += 1
+            counters.checkpoint_bytes += nbytes
 
     def load(self, table: "FTable") -> frozenset[tuple[int, int]]:
         """Validate :attr:`path`, fill ``table``, return resumed windows.

@@ -28,6 +28,8 @@ from typing import Iterable
 
 import numpy as np
 
+from ..observe.metrics import active as _metrics_active
+from ..observe.tracer import event
 from .errors import EngineFailure
 
 __all__ = ["FaultEvent", "FaultPlan"]
@@ -93,6 +95,14 @@ class FaultPlan:
         self.fired: set[tuple] = set()
         self.events: list[FaultEvent] = []
 
+    def _record(self, kind: str, site: tuple[int, ...]) -> None:
+        """Log one injection in the plan, the tracer and the counters."""
+        self.events.append(FaultEvent(kind, site))
+        event("fault." + kind, site=site)
+        counters = _metrics_active()
+        if counters is not None:
+            counters.faults_injected += 1
+
     # -- engine windows ------------------------------------------------------
 
     def engine_window(self, i1: int, j1: int) -> float:
@@ -104,10 +114,10 @@ class FaultPlan:
         key = ("crash-window", i1, j1)
         if (i1, j1) in self.crash_windows and key not in self.fired:
             self.fired.add(key)
-            self.events.append(FaultEvent("crash-window", (i1, j1)))
+            self._record("crash-window", (i1, j1))
             raise EngineFailure("injected crash", window=(i1, j1))
         if (i1, j1) in self.slow_windows:
-            self.events.append(FaultEvent("slow-window", (i1, j1)))
+            self._record("slow-window", (i1, j1))
             return self.slow_delay_s
         return 0.0
 
@@ -118,7 +128,7 @@ class FaultPlan:
         key = ("crash-worker", index)
         if index in self.worker_crashes and key not in self.fired:
             self.fired.add(key)
-            self.events.append(FaultEvent("crash-worker", (index,)))
+            self._record("crash-worker", (index,))
             raise EngineFailure(f"injected pool-worker crash at task {index}")
 
     # -- simulated MPI -------------------------------------------------------
@@ -128,10 +138,10 @@ class FaultPlan:
         budget = self._drop_budget.get((source, dest), 0)
         if budget > 0:
             self._drop_budget[(source, dest)] = budget - 1
-            self.events.append(FaultEvent("drop", (source, dest)))
+            self._record("drop", (source, dest))
             return True
         if self.message_drop_rate > 0 and self._rng.random() < self.message_drop_rate:
-            self.events.append(FaultEvent("drop", (source, dest)))
+            self._record("drop", (source, dest))
             return True
         return False
 
@@ -140,7 +150,7 @@ class FaultPlan:
         key = ("rank-death", rank, diagonal)
         if (rank, diagonal) in self.rank_deaths and key not in self.fired:
             self.fired.add(key)
-            self.events.append(FaultEvent("rank-death", (rank, diagonal)))
+            self._record("rank-death", (rank, diagonal))
             return True
         return False
 

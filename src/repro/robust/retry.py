@@ -13,6 +13,8 @@ from typing import Callable, TypeVar
 
 import numpy as np
 
+from ..observe.metrics import active as _metrics_active
+from ..observe.tracer import event
 from .errors import BpmaxError, DeadlineExceeded
 
 T = TypeVar("T")
@@ -61,6 +63,10 @@ def retry(
         except retry_on as exc:
             if attempt == attempts - 1:
                 raise
+            event("retry", attempt=attempt, error=type(exc).__name__)
+            counters = _metrics_active()
+            if counters is not None:
+                counters.retries += 1
             if on_retry is not None:
                 on_retry(attempt, exc)
             delay = backoff * (2.0**attempt)

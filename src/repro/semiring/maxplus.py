@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observe.metrics import active as _metrics_active
+
 __all__ = [
     "NEG_INF",
     "maxplus_matmul_naive",
@@ -239,6 +241,7 @@ def maxplus_batched(
         tmp = np.empty((s, n, m), dtype=c.dtype)
     if red is None:
         red = np.empty((n, m), dtype=c.dtype)
+    counters = _metrics_active()
     # np.maximum.reduce is np.max without the python dispatch wrapper —
     # this loop runs O(N^3) times per BPMax run, the wrapper is measurable
     reduce = np.maximum.reduce
@@ -252,8 +255,12 @@ def maxplus_batched(
             rows = min(k + 1, n)
             c0 = k + 1
             if c0 >= m:
+                if counters is not None:
+                    counters.count_slab(s, rows, 0, n, m)
                 continue
             w = m - c0
+            if counters is not None:
+                counters.count_slab(s, rows, w, n, m)
             if flat_t is not None:
                 t = flat_t[: s * rows * w].reshape(s, rows, w)
             else:
@@ -270,6 +277,8 @@ def maxplus_batched(
     t = tmp[:s, :n, :m]
     r = red[:n, :m]
     for k in range(kk):
+        if counters is not None:
+            counters.count_slab(s, n, m, n, m)
         np.add(a[:, :, k, None], b[:, k, None, :], out=t)
         reduce(t, axis=0, out=r)
         np.maximum(c, r, out=c)

@@ -1,6 +1,16 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Randomness policy: every randomized test draws from a generator seeded
+from one suite-wide seed, ``BPMAX_TEST_SEED`` (default 12345), shown in
+the pytest header.  Fuzz-style tests use :func:`fuzz_rng`, which derives
+a per-test seed from the suite seed and the test's node id and prints
+it, so any failure is reproducible by exporting the printed seed.
+"""
 
 from __future__ import annotations
+
+import os
+import zlib
 
 import numpy as np
 import pytest
@@ -8,10 +18,30 @@ import pytest
 from repro.core.reference import prepare_inputs
 from repro.rna.sequence import random_pair
 
+TEST_SEED = int(os.environ.get("BPMAX_TEST_SEED", "12345"))
+
+
+def pytest_report_header(config) -> str:
+    return f"bpmax test seed: {TEST_SEED} (override with BPMAX_TEST_SEED=<int>)"
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:
-    return np.random.default_rng(12345)
+    return np.random.default_rng(TEST_SEED)
+
+
+@pytest.fixture
+def fuzz_rng(request) -> np.random.Generator:
+    """Per-test deterministic generator for fuzz-style tests.
+
+    The derived seed is printed so a failure report shows exactly how to
+    reproduce it: ``BPMAX_TEST_SEED=<suite seed>`` replays the whole
+    suite, and the printed pair identifies this test's stream.
+    """
+    derived = zlib.crc32(request.node.nodeid.encode())
+    print(f"fuzz seed: suite={TEST_SEED} derived={derived} "
+          f"({request.node.nodeid})")
+    return np.random.default_rng([TEST_SEED, derived])
 
 
 @pytest.fixture

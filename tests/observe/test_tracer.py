@@ -1,0 +1,210 @@
+"""Unit tests for the span tracer (ring buffer, nesting, JSON export)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.observe.tracer import (
+    Tracer,
+    get_tracer,
+    iter_tree,
+    trace,
+    tracing,
+)
+
+
+def fake_clock():
+    """Deterministic clock advancing 1.0 per read."""
+    state = {"t": 0.0}
+
+    def clock() -> float:
+        state["t"] += 1.0
+        return state["t"]
+
+    return clock
+
+
+class TestTracerBasics:
+    def test_disabled_records_nothing(self):
+        tr = Tracer()
+        with tr.trace("outer"):
+            tr.event("nope")
+        assert tr.records() == ()
+
+    def test_span_recorded_when_enabled(self):
+        tr = Tracer(clock=fake_clock())
+        tr.enabled = True
+        with tr.trace("work", size=3):
+            pass
+        (rec,) = tr.records()
+        assert rec.name == "work"
+        assert rec.kind == "span"
+        assert rec.attrs == {"size": 3}
+        assert rec.dur_s == pytest.approx(1.0)
+
+    def test_event_recorded_under_current_span(self):
+        tr = Tracer()
+        tr.enabled = True
+        with tr.trace("outer") as span:
+            tr.event("mark", x=1)
+        events = tr.events("mark")
+        assert len(events) == 1
+        assert events[0].parent == span.sid
+        assert events[0].dur_s == 0.0
+
+    def test_exception_marks_span(self):
+        tr = Tracer()
+        tr.enabled = True
+        with pytest.raises(ValueError):
+            with tr.trace("boom"):
+                raise ValueError("x")
+        (rec,) = tr.spans("boom")
+        assert rec.attrs["error"] == "ValueError"
+
+    def test_spans_filter_by_name(self):
+        tr = Tracer()
+        tr.enabled = True
+        with tr.trace("a"):
+            pass
+        with tr.trace("b"):
+            pass
+        assert [r.name for r in tr.spans("a")] == ["a"]
+        assert len(tr.spans()) == 2
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.enabled = True
+        with tr.trace("a"):
+            pass
+        tr.clear()
+        assert tr.records() == ()
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest(self):
+        tr = Tracer(capacity=3)
+        tr.enabled = True
+        for i in range(5):
+            with tr.trace(f"s{i}"):
+                pass
+        assert [r.name for r in tr.records()] == ["s2", "s3", "s4"]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Tracer(capacity=0)
+
+    def test_evicted_parent_makes_root(self):
+        tr = Tracer(capacity=2)
+        tr.enabled = True
+        with tr.trace("outer"):
+            with tr.trace("a"):
+                pass
+            with tr.trace("b"):
+                pass
+            with tr.trace("c"):
+                pass
+        # ring holds only the two newest records; 'c' lost its parent
+        roots = tr.tree()
+        names = [n["name"] for n in iter_tree(roots)]
+        assert set(names) == {"c", "outer"}
+        assert all(not n["children"] or n["name"] == "outer" for n in roots)
+
+
+class TestNesting:
+    def test_tree_structure(self):
+        tr = Tracer()
+        tr.enabled = True
+        with tr.trace("run"):
+            with tr.trace("window"):
+                with tr.trace("kernel"):
+                    pass
+            with tr.trace("window"):
+                pass
+        roots = tr.tree()
+        assert len(roots) == 1
+        run = roots[0]
+        assert run["name"] == "run"
+        assert [c["name"] for c in run["children"]] == ["window", "window"]
+        assert run["children"][0]["children"][0]["name"] == "kernel"
+
+    def test_thread_local_stacks(self):
+        tr = Tracer()
+        tr.enabled = True
+        done = threading.Event()
+
+        def worker():
+            with tr.trace("child"):
+                pass
+            done.set()
+
+        with tr.trace("main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert done.is_set()
+        child = tr.spans("child")[0]
+        # the worker thread had no open span of its own: top-level parent
+        assert child.parent == 0
+
+
+class TestExport:
+    def test_export_round_trip(self, tmp_path):
+        tr = Tracer()
+        tr.enabled = True
+        with tr.trace("outer", n=4):
+            tr.event("ping")
+        path = tmp_path / "trace.json"
+        tr.save(path)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert data["count"] == 2
+        names = {s["name"] for s in data["spans"]}
+        assert names == {"outer", "ping"}
+
+    def test_export_counts(self):
+        tr = Tracer()
+        tr.enabled = True
+        with tr.trace("a"):
+            pass
+        out = tr.export()
+        assert out["count"] == len(out["spans"]) == 1
+
+
+class TestGlobalTracer:
+    def test_module_trace_disabled_is_noop(self):
+        assert not get_tracer().enabled
+        span = trace("anything")
+        with span:
+            pass
+        assert get_tracer().records() == () or not get_tracer().enabled
+
+    def test_tracing_context_enables_and_restores(self):
+        tr = get_tracer()
+        assert not tr.enabled
+        with tracing() as inner:
+            assert inner is tr
+            assert tr.enabled
+            with trace("inside"):
+                pass
+        assert not tr.enabled
+        assert [r.name for r in tr.spans("inside")] == ["inside"]
+
+    def test_tracing_nested_keeps_enabled(self):
+        with tracing():
+            with tracing():
+                assert get_tracer().enabled
+            assert get_tracer().enabled
+        assert not get_tracer().enabled
+
+    def test_tracing_capacity_override(self):
+        with tracing(capacity=4) as tr:
+            for i in range(8):
+                with trace(f"s{i}"):
+                    pass
+            assert len(tr.records()) == 4
+        # restore default capacity for other tests
+        with tracing(capacity=65536):
+            pass

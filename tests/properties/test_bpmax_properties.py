@@ -1,0 +1,124 @@
+"""Property-based correctness suite (requires Hypothesis; skipped cleanly
+without it).
+
+Algorithmic invariants of BPMax that hold for *every* input, checked over
+generated sequences rather than hand-picked cases:
+
+* every optimized engine equals the memoized-recursion oracle;
+* the score is symmetric in the two strands (the recurrence treats the
+  strand-1 and strand-2 reductions symmetrically);
+* scaling all pair weights by a positive integer scales the score by
+  exactly that factor (the DP is max-plus linear in the weights), and in
+  particular never decreases it (monotonicity);
+* the max-plus semiring satisfies its axioms on the matrix level
+  (associativity, identity, absorption by the ⊕-identity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip(
+    "hypothesis", reason="property-based suite needs the hypothesis package"
+)
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.api import bpmax  # noqa: E402
+from repro.core.engine import make_engine  # noqa: E402
+from repro.core.reference import bpmax_recursive, prepare_inputs  # noqa: E402
+from repro.rna.scoring import ScoringModel  # noqa: E402
+from repro.semiring.semiring import MAX_PLUS  # noqa: E402
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+#: short RNA strands; lengths small enough for the recursion oracle
+rna = st.text(alphabet="ACGU", min_size=1, max_size=6)
+
+#: small-integer float32 matrices — exact max-plus arithmetic
+def int_matrix(n: int):
+    return (
+        st.lists(
+            st.lists(st.integers(min_value=-8, max_value=8), min_size=n, max_size=n),
+            min_size=n,
+            max_size=n,
+        )
+        .map(lambda rows: np.array(rows, dtype=np.float32))
+    )
+
+
+# the recursion oracle adjusts sys.recursionlimit per call, which
+# Hypothesis (which also manages the limit) reports as a mutated-state
+# warning; the adjustment is intentional and monotone, so silence it
+@pytest.mark.filterwarnings("ignore::hypothesis.errors.HypothesisWarning")
+class TestEngineVsOracle:
+    @SETTINGS
+    @given(seq1=rna, seq2=rna)
+    def test_optimized_engine_matches_recursion(self, seq1, seq2):
+        inp = prepare_inputs(seq1, seq2)
+        oracle = bpmax_recursive(inp)
+        assert make_engine(inp, "hybrid-tiled").run() == oracle
+
+    @SETTINGS
+    @given(seq1=rna, seq2=rna)
+    def test_batched_engine_matches_recursion(self, seq1, seq2):
+        inp = prepare_inputs(seq1, seq2)
+        assert make_engine(inp, "batched").run() == bpmax_recursive(inp)
+
+
+class TestSymmetry:
+    @SETTINGS
+    @given(seq1=rna, seq2=rna)
+    def test_score_symmetric_in_strands(self, seq1, seq2):
+        assert bpmax(seq1, seq2).score == bpmax(seq2, seq1).score
+
+
+class TestScaling:
+    @SETTINGS
+    @given(seq1=rna, seq2=rna, lam=st.integers(min_value=2, max_value=4))
+    def test_weights_scale_score_exactly(self, seq1, seq2, lam):
+        """bpmax is homogeneous: scaling every pair weight by λ scales
+        the optimum by λ (and is therefore monotone in the weights)."""
+        base = ScoringModel()
+        scaled = ScoringModel(
+            pair_weights={p: lam * w for p, w in base.pair_weights.items()}
+        )
+        s_base = bpmax(seq1, seq2, model=base).score
+        s_scaled = bpmax(seq1, seq2, model=scaled).score
+        assert s_scaled == lam * s_base
+        assert s_scaled >= s_base  # weights are non-negative
+
+
+class TestSemiringAxioms:
+    @SETTINGS
+    @given(data=st.data(), n=st.integers(min_value=1, max_value=4))
+    def test_matmul_associative(self, data, n):
+        a = data.draw(int_matrix(n))
+        b = data.draw(int_matrix(n))
+        c = data.draw(int_matrix(n))
+        left = MAX_PLUS.matmul(MAX_PLUS.matmul(a, b), c)
+        right = MAX_PLUS.matmul(a, MAX_PLUS.matmul(b, c))
+        assert np.array_equal(left, right)
+
+    @SETTINGS
+    @given(data=st.data(), n=st.integers(min_value=1, max_value=4))
+    def test_identity_matrix(self, data, n):
+        a = data.draw(int_matrix(n))
+        eye = MAX_PLUS.eye(n)
+        assert np.array_equal(MAX_PLUS.matmul(a, eye), a)
+        assert np.array_equal(MAX_PLUS.matmul(eye, a), a)
+
+    @SETTINGS
+    @given(data=st.data(), n=st.integers(min_value=1, max_value=4))
+    def test_neg_inf_absorbs(self, data, n):
+        """The ⊕-identity matrix (-inf everywhere) annihilates products."""
+        a = data.draw(int_matrix(n))
+        zero = MAX_PLUS.zeros((n, n))
+        assert np.all(MAX_PLUS.matmul(a, zero) == MAX_PLUS.zero)
+        assert np.all(MAX_PLUS.matmul(zero, a) == MAX_PLUS.zero)
+
+    @SETTINGS
+    @given(x=st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_scalar_identities(self, x):
+        assert max(x, MAX_PLUS.zero) == x  # ⊕ identity
+        assert x + MAX_PLUS.one == x  # ⊗ identity
