@@ -1,0 +1,158 @@
+"""Serving-layer throughput benchmark: batched service vs one-shot calls.
+
+Replays the acceptance workload of the serving layer — 200 requests
+drawn from 50 distinct pairs (every pair requested 4 times, shuffled,
+N = M by default) — two ways:
+
+* **sequential**: one fresh :func:`repro.core.api.bpmax` call per
+  request, the way a script without the serving layer would do it;
+* **served**: one :class:`repro.serve.BatchScheduler` fed all 200
+  requests at once, so caching, in-flight coalescing, shape batching
+  (shared workspaces) and worker parallelism all engage.
+
+Every served score is checked bit-identical to its sequential
+counterpart before any timing is reported.  With ``--check`` the run
+fails unless the served path is at least ``--min-speedup`` (default 3×)
+faster — the acceptance gate::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --check
+
+Writes ``BENCH_serving.json`` (see ``--out``).  Under pytest the module
+exposes a smoke test on a reduced workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(SRC))
+
+from repro.core.api import bpmax  # noqa: E402
+from repro.rna.sequence import random_pair  # noqa: E402
+from repro.serve import BatchScheduler, SubmitRequest  # noqa: E402
+
+
+def make_workload(
+    requests: int = 200, distinct: int = 50, size: int = 24, seed: int = 2024
+) -> list[tuple[str, str]]:
+    """``requests`` pairs over ``distinct`` unique problems, shuffled
+    deterministically so repeats are spread out rather than adjacent
+    (adjacent repeats would flatter the cache)."""
+    pool = []
+    for k in range(distinct):
+        s1, s2 = random_pair(size, size, seed + k)
+        pool.append((str(s1), str(s2)))
+    workload = [pool[i % distinct] for i in range(requests)]
+    # deterministic LCG shuffle (no RNG state shared with the corpus)
+    state = seed
+    for i in range(len(workload) - 1, 0, -1):
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        j = state % (i + 1)
+        workload[i], workload[j] = workload[j], workload[i]
+    return workload
+
+
+def run_bench(
+    requests: int = 200,
+    distinct: int = 50,
+    size: int = 24,
+    workers: int = 4,
+    max_batch: int = 16,
+    seed: int = 2024,
+) -> dict:
+    workload = make_workload(requests, distinct, size, seed)
+
+    t0 = time.perf_counter()
+    sequential = [bpmax(a, b).score for a, b in workload]
+    t_seq = time.perf_counter() - t0
+
+    reqs = [SubmitRequest(a, b, id=str(i)) for i, (a, b) in enumerate(workload)]
+    t0 = time.perf_counter()
+    with BatchScheduler(max_batch=max_batch, workers=workers) as sched:
+        results = sched.serve_all(reqs)
+        stats = sched.stats
+    t_srv = time.perf_counter() - t0
+
+    for i, (r, want) in enumerate(zip(results, sequential)):
+        if not r.ok:
+            raise AssertionError(f"request {i} failed: {r.error}")
+        if r.score != want:
+            raise AssertionError(
+                f"request {i}: served score {r.score!r} != sequential {want!r}"
+            )
+
+    return {
+        "requests": requests,
+        "distinct_pairs": distinct,
+        "size": size,
+        "workers": workers,
+        "max_batch": max_batch,
+        "seed": seed,
+        "sequential_s": round(t_seq, 4),
+        "served_s": round(t_srv, 4),
+        "speedup": round(t_seq / t_srv, 3) if t_srv else float("inf"),
+        "sequential_rps": round(requests / t_seq, 1),
+        "served_rps": round(requests / t_srv, 1) if t_srv else float("inf"),
+        "scheduler": stats.as_dict(),
+        "scores_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--requests", type=int, default=200)
+    ap.add_argument("--distinct", type=int, default=50)
+    ap.add_argument("--size", type=int, default=24,
+                    help="N = M strand length (acceptance workload: <= 30)")
+    ap.add_argument("--workers", type=int, default=4,
+                    help="concurrent batch executions; oversubscribing a "
+                    "small box still wins because the NumPy kernels "
+                    "release the GIL")
+    ap.add_argument("--max-batch", type=int, default=16)
+    ap.add_argument("--seed", type=int, default=2024)
+    ap.add_argument("--out", default="BENCH_serving.json")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 unless speedup >= --min-speedup")
+    ap.add_argument("--min-speedup", type=float, default=3.0)
+    args = ap.parse_args(argv)
+
+    res = run_bench(
+        args.requests, args.distinct, args.size,
+        args.workers, args.max_batch, args.seed,
+    )
+    Path(args.out).write_text(json.dumps(res, indent=2) + "\n")
+    print(
+        f"sequential: {res['sequential_s']:.3f}s ({res['sequential_rps']:.0f} req/s)\n"
+        f"served    : {res['served_s']:.3f}s ({res['served_rps']:.0f} req/s)\n"
+        f"speedup   : {res['speedup']:.2f}x  (scores bit-identical)\n"
+        f"batches   : {res['scheduler']['batches']}, "
+        f"mean size {res['scheduler']['mean_batch_size']}, "
+        f"cache hits {res['scheduler']['cache']['hits']}, "
+        f"coalesced {res['scheduler']['coalesced']}"
+    )
+    if args.check and res["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {res['speedup']:.2f}x below the "
+            f"{args.min_speedup:.1f}x acceptance gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_serving_speedup_smoke(tmp_path):
+    """Reduced acceptance workload: identical scores, service faster."""
+    res = run_bench(requests=60, distinct=15, size=16, workers=2)
+    assert res["scores_identical"]
+    assert res["scheduler"]["completed"] == 60
+    assert res["speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

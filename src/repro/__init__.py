@@ -23,15 +23,19 @@ Subpackages:
   operation/traffic counters and roofline-linked run reports;
 * :mod:`repro.robust` — fault tolerance: structured errors, retry,
   deadlines, checkpoint/resume, deterministic fault injection;
+* :mod:`repro.serve` — the async batch-serving layer: request batching
+  and coalescing, the content-addressed result cache, JSONL serving
+  (``bpmax serve`` / ``bpmax submit`` / :func:`serve_many`);
 * :mod:`repro.bench` — the experiment harness regenerating every paper
   table and figure.
 """
 
-from .core.api import BpmaxResult, bpmax, fold
+from .core.api import BpmaxResult, bpmax, fold, serve_many
 from .core.engine import ENGINES
 from .kernels import DEFAULT_BACKEND, Workspace, available_backends, get_backend
 from .observe import Counters, RunReport, collecting, trace, tracing
 from .rna.scoring import DEFAULT_MODEL, ScoringModel
+from .serve import BatchScheduler, ResultCache, ServeResult, SubmitRequest
 from .rna.sequence import RnaSequence, random_pair, random_sequence
 from .robust import (
     BpmaxError,
@@ -44,12 +48,17 @@ from .robust import (
     retry,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BpmaxResult",
     "bpmax",
     "fold",
+    "serve_many",
+    "BatchScheduler",
+    "ResultCache",
+    "ServeResult",
+    "SubmitRequest",
     "ENGINES",
     "DEFAULT_BACKEND",
     "Workspace",

@@ -5,10 +5,20 @@ Subcommands
 ``run SEQ1 SEQ2``      score (and optionally fold) two strands
 ``fold SEQ``           single-strand weighted Nussinov folding
 ``scan QUERY TARGET``  slide QUERY along TARGET, rank windows by gain
+``serve FILE``         serve a JSONL request stream through the batch layer
+``submit SEQ1 SEQ2``   emit one JSONL request line for ``serve``
+``golden``             verify (or ``--regen``) the golden-corpus manifest
 ``experiment ID``      regenerate one paper table/figure (or ``all``)
 ``report FILE``        render a saved metrics report (``--metrics-out``)
 ``list``               list available experiments and engine variants
 ``backends``           list kernel backends available on this machine
+
+Serving: ``bpmax serve requests.jsonl`` reads one JSON request object
+per line (``bpmax submit`` writes them), batches same-shape problems,
+deduplicates identical ones through the content-addressed result cache
+and writes one JSON result object per line; ``--stats`` appends the
+scheduler/cache summary to stderr, and ``--strict`` exits 2 when any
+request failed.
 
 Observability: ``run --metrics`` prints the observed-vs-predicted
 operation counts (and saves them with ``--metrics-out report.json``);
@@ -134,6 +144,107 @@ def _build_parser() -> argparse.ArgumentParser:
         help="kernel backend for the R0 hot path (see 'bpmax backends')",
     )
 
+    srv = sub.add_parser(
+        "serve", help="serve a JSONL request stream through the batch layer"
+    )
+    srv.add_argument(
+        "input",
+        help="JSONL request file (one JSON object per line), or '-' for stdin",
+    )
+    srv.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write JSONL results to PATH instead of stdout",
+    )
+    srv.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        metavar="N",
+        help="size watermark: dispatch a shape group at N requests",
+    )
+    srv.add_argument(
+        "--max-delay",
+        type=float,
+        default=0.01,
+        metavar="SECONDS",
+        help="latency watermark: dispatch a group once its oldest request "
+        "queued this long",
+    )
+    srv.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent batch executions",
+    )
+    srv.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="result-cache capacity in entries (0 disables caching)",
+    )
+    srv.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the scheduler/cache summary to stderr when done",
+    )
+    srv.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 2 if any request came back as an error result",
+    )
+
+    sm = sub.add_parser("submit", help="emit one JSONL request line for 'serve'")
+    sm.add_argument("seq1")
+    sm.add_argument("seq2")
+    sm.add_argument("--id", default="", help="request id echoed in the result")
+    sm.add_argument(
+        "--variant", default="hybrid-tiled", choices=ENGINES, help="program version"
+    )
+    sm.add_argument("--backend", metavar="NAME", help="kernel backend")
+    sm.add_argument(
+        "--structure", action="store_true", help="also request one optimal structure"
+    )
+    sm.add_argument(
+        "--deadline", type=float, metavar="SECONDS", help="per-request compute budget"
+    )
+    sm.add_argument(
+        "--retries", type=int, default=0, metavar="N", help="transient retries"
+    )
+    sm.add_argument(
+        "--fallback",
+        metavar="VARIANTS",
+        help="comma-separated degradation chain (e.g. 'hybrid,baseline')",
+    )
+    sm.add_argument(
+        "--out",
+        metavar="PATH",
+        help="append the request line to PATH instead of stdout",
+    )
+
+    g = sub.add_parser(
+        "golden", help="verify the golden-corpus manifest (or --regen it)"
+    )
+    g.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="manifest file (default: tests/golden/manifest.json of the checkout)",
+    )
+    g.add_argument(
+        "--variant",
+        default=None,
+        choices=ENGINES,
+        help="engine variant to verify with (default: the manifest generator)",
+    )
+    g.add_argument("--backend", metavar="NAME", help="kernel backend to verify with")
+    g.add_argument(
+        "--regen",
+        action="store_true",
+        help="recompute and rewrite the pinned scores (refused under CI)",
+    )
+
     e = sub.add_parser("experiment", help="regenerate a paper table/figure")
     e.add_argument("id", help=f"one of {sorted(EXPERIMENTS)} or 'all'")
     e.add_argument("--csv", metavar="DIR", help="also write <DIR>/<id>.csv")
@@ -251,9 +362,138 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.request import parse_request_line
+    from .serve.scheduler import BatchScheduler
+
+    if args.max_batch < 1:
+        raise BpmaxError(f"--max-batch must be >= 1, got {args.max_batch}")
+    if args.max_delay < 0:
+        raise BpmaxError(f"--max-delay must be >= 0, got {args.max_delay:g}")
+    if args.workers < 1:
+        raise BpmaxError(f"--workers must be >= 1, got {args.workers}")
+    if args.cache_size < 0:
+        raise BpmaxError(f"--cache-size must be >= 0, got {args.cache_size}")
+
+    if args.input == "-":
+        lines = sys.stdin.readlines()
+    else:
+        try:
+            with open(args.input) as fh:
+                lines = fh.readlines()
+        except OSError as exc:
+            raise BpmaxError(f"cannot read request file {args.input!r}: {exc}") from exc
+    requests = []
+    for lineno, line in enumerate(lines, start=1):
+        req = parse_request_line(line, lineno)
+        if req is not None:
+            requests.append(req)
+    if not requests:
+        raise BpmaxError(f"no requests found in {args.input!r}")
+
+    with BatchScheduler(
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay,
+        workers=args.workers,
+        cache=args.cache_size,
+    ) as sched:
+        results = sched.serve_all(requests)
+        stats = sched.stats
+    out_lines = [r.to_json() for r in results]
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n".join(out_lines) + "\n")
+    else:
+        for line in out_lines:
+            print(line)
+    errors = sum(1 for r in results if not r.ok)
+    if args.stats:
+        import json as _json
+
+        print(f"serve: {_json.dumps(stats.as_dict())}", file=sys.stderr)
+    if errors and args.strict:
+        raise BpmaxError(f"{errors} of {len(results)} requests failed (--strict)")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    _check_backend(args.backend)
+    if args.retries < 0:
+        raise BpmaxError(f"--retries must be >= 0, got {args.retries}")
+    if args.deadline is not None and args.deadline <= 0:
+        raise BpmaxError(f"--deadline must be positive, got {args.deadline:g}")
+    request: dict = {"seq1": args.seq1, "seq2": args.seq2}
+    if args.id:
+        request["id"] = args.id
+    if args.variant != "hybrid-tiled":
+        request["variant"] = args.variant
+    if args.backend is not None:
+        request["backend"] = args.backend
+    if args.structure:
+        request["structure"] = True
+    if args.deadline is not None:
+        request["deadline"] = args.deadline
+    if args.retries:
+        request["retries"] = args.retries
+    if args.fallback:
+        chain = [v.strip() for v in args.fallback.split(",") if v.strip()]
+        for v in chain:
+            if v not in ENGINES:
+                raise BpmaxError(
+                    f"unknown fallback variant {v!r}; use one of {ENGINES}"
+                )
+        request["fallback"] = chain
+    line = _json.dumps(request, separators=(",", ":"))
+    if args.out:
+        with open(args.out, "a") as fh:
+            fh.write(line + "\n")
+    else:
+        print(line)
+    return 0
+
+
+def _cmd_golden(args: argparse.Namespace) -> int:
+    from . import golden
+
+    _check_backend(args.backend)
+    if args.regen:
+        if args.variant is not None or args.backend is not None:
+            raise BpmaxError(
+                "--regen always pins with the generator variant; "
+                "drop --variant/--backend"
+            )
+        path = golden.regen_manifest(args.manifest)
+        print(f"golden : regenerated {len(golden.GOLDEN_CASES)} case(s) and "
+              f"{len(golden.ERROR_CASES)} error case(s)")
+        print(f"manifest: {path}")
+        return 0
+    variant = args.variant or golden.GENERATOR_VARIANT
+    problems = golden.verify_manifest(args.manifest, variant=variant,
+                                      backend=args.backend)
+    label = variant + (f"+{args.backend}" if args.backend else "")
+    if problems:
+        for p in problems:
+            print(f"MISMATCH: {p}", file=sys.stderr)
+        raise BpmaxError(
+            f"golden corpus: {len(problems)} mismatch(es) with {label} "
+            "(regen deliberately with 'bpmax golden --regen' if intended)"
+        )
+    print(f"golden : {len(golden.GOLDEN_CASES)} case(s) and "
+          f"{len(golden.ERROR_CASES)} error case(s) conform ({label})")
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "golden":
+        return _cmd_golden(args)
     if args.command == "fold":
         score, db = fold(args.seq)
         print(f"score : {score:g}")

@@ -19,7 +19,7 @@ from .reference import BpmaxInputs, prepare_inputs
 from .tables import FTable
 from .traceback import InteractionStructure, traceback
 
-__all__ = ["BpmaxResult", "bpmax", "fold"]
+__all__ = ["BpmaxResult", "bpmax", "fold", "serve_many"]
 
 
 @dataclass(frozen=True)
@@ -168,6 +168,81 @@ def bpmax(
         resumed_windows=len(resumed),
         report=report,
     )
+
+
+def serve_many(
+    requests,
+    variant: str = "hybrid-tiled",
+    model: ScoringModel = DEFAULT_MODEL,
+    structure: bool = False,
+    max_batch: int = 16,
+    max_delay_s: float = 0.01,
+    workers: int = 2,
+    cache: int | None = 1024,
+    scheduler=None,
+):
+    """Serve a whole workload of scoring requests through the batch layer.
+
+    The multi-request counterpart of :func:`bpmax`: requests are
+    deduplicated against a content-addressed result cache, grouped into
+    same-shape batches that share one kernel workspace, and dispatched
+    over a worker pool — see :mod:`repro.serve`.  Returns one
+    :class:`~repro.serve.request.ServeResult` per request, in input
+    order; per-request failures come back as error results rather than
+    exceptions, so one poisoned request never sinks the workload.
+
+    Parameters
+    ----------
+    requests:
+        An iterable of :class:`~repro.serve.request.SubmitRequest`, or
+        of ``(seq1, seq2)`` pairs which are wrapped into requests using
+        ``variant`` / ``model`` / ``structure``.
+    max_batch, max_delay_s, workers, cache:
+        Batching knobs forwarded to
+        :class:`~repro.serve.scheduler.BatchScheduler` (size watermark,
+        latency watermark, concurrent batches, cache capacity; ``cache=0``
+        disables caching).
+    scheduler:
+        A preconfigured, still-open
+        :class:`~repro.serve.scheduler.BatchScheduler` to reuse (kept
+        open afterwards, so its cache persists across calls); overrides
+        the batching knobs.
+
+    Examples
+    --------
+    >>> results = serve_many([("GCGCUUCG", "CGAAGCGC"), ("GGGG", "CCCC")])
+    >>> [r.ok for r in results]
+    [True, True]
+    """
+    from ..serve.request import SubmitRequest
+    from ..serve.scheduler import BatchScheduler
+
+    prepared = []
+    for idx, item in enumerate(requests):
+        if isinstance(item, SubmitRequest):
+            prepared.append(item)
+        else:
+            seq1, seq2 = item
+            prepared.append(
+                SubmitRequest(
+                    seq1=str(seq1),
+                    seq2=str(seq2),
+                    id=f"req{idx}",
+                    variant=variant,
+                    model=model,
+                    structure=structure,
+                )
+            )
+    with trace("serve_many", requests=len(prepared)):
+        if scheduler is not None:
+            return scheduler.serve_all(prepared)
+        with BatchScheduler(
+            max_batch=max_batch,
+            max_delay_s=max_delay_s,
+            workers=workers,
+            cache=cache if cache is not None else 0,
+        ) as sched:
+            return sched.serve_all(prepared)
 
 
 def fold(

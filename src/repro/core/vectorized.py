@@ -87,6 +87,12 @@ class VectorizedBPMax:
         :class:`~repro.kernels.KernelBackend`) routing R0/R3/R4 through
         the stacked batched path; ``None`` keeps the variant's classic
         per-split kernel.
+    workspace: a pre-built :class:`~repro.kernels.Workspace` to reuse
+        instead of allocating a fresh one — the serving layer passes one
+        workspace to every engine of a same-shape batch so the stacked
+        buffers warm up once per *batch* rather than once per request.
+        Must match this problem's inner length and split bound, and must
+        never be shared between concurrently-running engines.
     """
 
     def __init__(
@@ -99,6 +105,7 @@ class VectorizedBPMax:
         threads: int = 1,
         layout: str = "option1",
         backend: str | KernelBackend | None = None,
+        workspace: Workspace | None = None,
     ) -> None:
         if variant not in VARIANT_CONFIGS:
             raise ValueError(
@@ -125,7 +132,17 @@ class VectorizedBPMax:
         self.inputs = inputs
         self.table = FTable(inputs.n, inputs.m, layout=layout)
         m = inputs.m
-        self._ws = Workspace(m, max(inputs.n - 1, 0))
+        kmax = max(inputs.n - 1, 0)
+        if workspace is not None:
+            if workspace.m != m or workspace.kmax < kmax:
+                raise ValueError(
+                    f"workspace sized for (m={workspace.m}, kmax="
+                    f"{workspace.kmax}) cannot serve a problem needing "
+                    f"(m={m}, kmax={kmax})"
+                )
+            self._ws = workspace
+        else:
+            self._ws = Workspace(m, kmax)
         # S2 restricted to the upper triangle (-inf elsewhere) so it can be
         # combined with F matrices without masking in the hot loops.
         self._s2_ut = np.full((m, m), NEG_INF, dtype=np.float32)

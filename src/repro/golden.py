@@ -1,0 +1,255 @@
+"""Golden-corpus conformance: curated pairs with pinned scores.
+
+The corpus is the repository's ground-truth contract: ~20 curated RNA
+pairs covering the scoring model's corners (GC-only, AU-only,
+wobble-heavy, length-1, asymmetric N≠M, unpairable, DNA input) plus
+invalid inputs with pinned *error types* (empty strands, foreign
+characters).  Scores live in a checked-in JSON manifest
+(``tests/golden/manifest.json``) and every engine × backend must
+reproduce them **bit-identically** — the serving layer's result cache
+and the kernel-backend registry both rely on scores being a pure
+function of the input.
+
+``bpmax golden`` verifies the manifest from the CLI;
+``bpmax golden --regen`` rewrites it after an *intentional* scoring
+change, and refuses to run under CI so a pipeline can never silently
+re-pin drifted scores (see :func:`regen_manifest`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from .core.api import bpmax
+from .robust.errors import BpmaxError
+from .serve.request import scoring_fingerprint
+from .rna.scoring import DEFAULT_MODEL
+
+__all__ = [
+    "GoldenCase",
+    "GOLDEN_CASES",
+    "ERROR_CASES",
+    "MANIFEST_VERSION",
+    "default_manifest_path",
+    "build_manifest",
+    "regen_manifest",
+    "verify_manifest",
+    "load_manifest",
+]
+
+MANIFEST_VERSION = 1
+
+#: engine variant used to (re)generate pinned scores; the conformance
+#: suite independently checks every other engine against the same pins
+GENERATOR_VARIANT = "hybrid-tiled"
+
+
+@dataclass(frozen=True)
+class GoldenCase:
+    """One curated corpus entry."""
+
+    name: str
+    seq1: str
+    seq2: str
+    note: str = ""
+
+    @property
+    def n(self) -> int:
+        return len(self.seq1.strip())
+
+    @property
+    def m(self) -> int:
+        return len(self.seq2.strip())
+
+
+#: scoreable corpus: every engine must reproduce the pinned score exactly.
+#: Random entries were drawn once with ``repro.rna.sequence.random_pair``
+#: (seeds noted) and frozen as literals so the corpus is self-contained.
+GOLDEN_CASES: tuple[GoldenCase, ...] = (
+    GoldenCase("gc-only-4", "GGGG", "CCCC", "pure Watson-Crick, weight 3"),
+    GoldenCase("gc-only-12", "GCGCGCGCGCGC", "CGCGCGCGCGCG", "GC-only, longer"),
+    GoldenCase("au-only-8", "AAAAUUUU", "UUUUAAAA", "pure A-U, weight 2"),
+    GoldenCase("wobble-only-8", "GUGUGUGU", "UGUGUGUG", "pure G-U wobble, weight 1"),
+    GoldenCase("wobble-heavy-12", "GGUUGGUUGGUU", "UUGGUUGGUUGG", "wobble-dominated"),
+    GoldenCase("len1-pairable", "G", "C", "single bases that can pair"),
+    GoldenCase("len1-unpairable", "A", "G", "single bases that cannot pair"),
+    GoldenCase("len1-vs-16", "G", "CCCCCCCCCCCCCCCC", "length-1 outer strand"),
+    GoldenCase("unpairable-polyA", "AAAAAA", "AAAAAA", "no admissible pair: score 0"),
+    GoldenCase("palindrome-9", "GGGAAACCC", "GGGUUUCCC", "hairpin + duplex mix"),
+    GoldenCase("dna-input-6", "GCTTAG", "CTAAGC", "thymine normalised to uracil"),
+    GoldenCase(
+        "copA-like",
+        "CCUUUCCUUCU",
+        "GGAAUUCGAAAGAAGGAAAGGAGCAUCCGGU",
+        "antisense seed vs planted site (demo corpus)",
+    ),
+    GoldenCase("asym-3x17", "ACG", "AAUAAUGCGGCAUGGUG", "N<<M, seed 11"),
+    GoldenCase("asym-17x3", "CUAACAGAUUAGACCCC", "UCA", "N>>M, seed 12"),
+    GoldenCase("random-8x8", "GUAUCCUC", "GAUGCUCC", "seed 1"),
+    GoldenCase("random-12x12", "CCUAGGAACGGA", "CGCGUGCACGUU", "seed 2"),
+    GoldenCase("random-16x16", "AAUGACCAGACGCGGU", "CGGCAUCCUGCUAGCA", "seed 3"),
+    GoldenCase("random-12x20", "UGUAGCUAUGUC", "CUUCUUAGGUGACCGUCAGG", "seed 4"),
+    GoldenCase(
+        "random-24x24",
+        "UUGCACCAAUGACUUUCCGAGCUA",
+        "GUAUUAGAGCACUCAGCUACUGGA",
+        "seed 5, largest corpus entry",
+    ),
+    GoldenCase("gc-rich-14x14", "GCCCUGGCGCCGAU", "GGACGCGCCCGGCG", "seed 6, 90% GC"),
+    GoldenCase("au-rich-14x14", "UUUAAUAUUCAAAA", "GUUUUUAAUAAGCU", "seed 7, 10% GC"),
+)
+
+#: invalid inputs with their pinned structured-error type; the corpus
+#: pins *how* the system refuses, not just that it refuses.
+ERROR_CASES: tuple[tuple[str, str, str, str], ...] = (
+    ("empty-seq1", "", "GC", "InvalidSequenceError"),
+    ("empty-seq2", "GC", "", "InvalidSequenceError"),
+    ("whitespace-seq1", "   ", "GC", "InvalidSequenceError"),
+    ("invalid-char", "GCXC", "GGGG", "InvalidSequenceError"),
+)
+
+
+def default_manifest_path() -> Path:
+    """``tests/golden/manifest.json`` of this checkout.
+
+    Resolved relative to the package source so ``bpmax golden`` works
+    from any working directory of a source checkout; installed copies
+    without the tests tree get a clean error from the caller.
+    """
+    return Path(__file__).resolve().parents[2] / "tests" / "golden" / "manifest.json"
+
+
+def _case_score(case: GoldenCase, variant: str, backend: str | None = None) -> float:
+    kwargs = {}
+    if backend is not None and variant != "baseline":
+        kwargs["backend"] = backend
+    return bpmax(case.seq1, case.seq2, variant=variant, **kwargs).score
+
+
+def build_manifest() -> dict:
+    """Compute a fresh manifest dict from the corpus definitions."""
+    cases = {}
+    for case in GOLDEN_CASES:
+        cases[case.name] = {
+            "seq1": case.seq1,
+            "seq2": case.seq2,
+            "n": case.n,
+            "m": case.m,
+            "note": case.note,
+            "score": _case_score(case, GENERATOR_VARIANT),
+        }
+    errors = {}
+    for name, seq1, seq2, error in ERROR_CASES:
+        errors[name] = {"seq1": seq1, "seq2": seq2, "error": error}
+    return {
+        "version": MANIFEST_VERSION,
+        "model": scoring_fingerprint(DEFAULT_MODEL),
+        "generator": GENERATOR_VARIANT,
+        "cases": cases,
+        "errors": errors,
+    }
+
+
+def load_manifest(path: str | os.PathLike | None = None) -> dict:
+    """Load and sanity-check a manifest file."""
+    p = Path(path) if path is not None else default_manifest_path()
+    try:
+        data = json.loads(p.read_text())
+    except OSError as exc:
+        raise BpmaxError(
+            f"cannot read golden manifest {str(p)!r}: {exc}; "
+            "run 'bpmax golden --regen' in a source checkout to create it"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise BpmaxError(f"golden manifest {str(p)!r} is not valid JSON: {exc}") from exc
+    if data.get("version") != MANIFEST_VERSION:
+        raise BpmaxError(
+            f"golden manifest {str(p)!r} has version {data.get('version')!r}, "
+            f"expected {MANIFEST_VERSION}"
+        )
+    return data
+
+
+def regen_manifest(path: str | os.PathLike | None = None) -> Path:
+    """Recompute every pinned score and rewrite the manifest.
+
+    Refuses to run under CI (``CI`` or ``GITHUB_ACTIONS`` in the
+    environment): re-pinning is a deliberate, reviewed act — a pipeline
+    that regenerates the corpus would hide exactly the regressions the
+    corpus exists to catch.
+    """
+    if os.environ.get("CI") or os.environ.get("GITHUB_ACTIONS"):
+        raise BpmaxError(
+            "refusing to regenerate the golden manifest under CI "
+            "(CI/GITHUB_ACTIONS set): pinned scores must only change in "
+            "a reviewed commit; run 'bpmax golden --regen' locally"
+        )
+    p = Path(path) if path is not None else default_manifest_path()
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(build_manifest(), indent=2, sort_keys=True) + "\n")
+    return p
+
+
+def verify_manifest(
+    path: str | os.PathLike | None = None,
+    variant: str = GENERATOR_VARIANT,
+    backend: str | None = None,
+) -> list[str]:
+    """Recompute the corpus with one engine and diff against the pins.
+
+    Returns a list of human-readable mismatch lines (empty == conform).
+    Detects drifted scores, drifted error types, *and* corpus/manifest
+    skew (cases added or removed without a regen).
+    """
+    data = load_manifest(path)
+    problems: list[str] = []
+    model_fp = scoring_fingerprint(DEFAULT_MODEL)
+    if data.get("model") != model_fp:
+        problems.append(
+            f"scoring model drift: manifest pinned {data.get('model')!r}, "
+            f"current default fingerprints {model_fp!r}"
+        )
+    pinned = data.get("cases", {})
+    names = {c.name for c in GOLDEN_CASES}
+    for missing in sorted(names - set(pinned)):
+        problems.append(f"case {missing!r} is in the corpus but not the manifest")
+    for extra in sorted(set(pinned) - names):
+        problems.append(f"case {extra!r} is in the manifest but not the corpus")
+    for case in GOLDEN_CASES:
+        pin = pinned.get(case.name)
+        if pin is None:
+            continue
+        if pin["seq1"] != case.seq1 or pin["seq2"] != case.seq2:
+            problems.append(f"case {case.name!r}: sequences drifted from manifest")
+            continue
+        got = _case_score(case, variant, backend)
+        if got != pin["score"]:
+            problems.append(
+                f"case {case.name!r}: {variant}"
+                f"{f'+{backend}' if backend else ''} scored {got!r}, "
+                f"manifest pins {pin['score']!r}"
+            )
+    pinned_errors = data.get("errors", {})
+    for name, seq1, seq2, error in ERROR_CASES:
+        pin = pinned_errors.get(name)
+        if pin is None:
+            problems.append(f"error case {name!r} missing from manifest")
+            continue
+        try:
+            bpmax(seq1, seq2, variant=variant)
+        except BpmaxError as exc:
+            got_type = type(exc).__name__
+            if got_type != pin["error"]:
+                problems.append(
+                    f"error case {name!r}: raised {got_type}, "
+                    f"manifest pins {pin['error']}"
+                )
+        else:
+            problems.append(
+                f"error case {name!r}: scored successfully, "
+                f"manifest pins {pin['error']}"
+            )
+    return problems

@@ -18,7 +18,10 @@ assertions into observed numbers:
   / ``ws_stack_reuses``) — proves the hot path allocates nothing after
   warm-up;
 * **robustness accounting** (``checkpoint_saves`` / ``retries`` /
-  ``faults_injected``) — events from the fault-tolerant layer.
+  ``faults_injected``) — events from the fault-tolerant layer;
+* **serving accounting** (``cache_hits`` / ``cache_misses`` /
+  ``cache_evictions``, ``batches_dispatched`` / ``requests_served``) —
+  events from the :mod:`repro.serve` result cache and batch scheduler.
 
 Collection is opt-in and guarded: instrumented sites call
 :func:`active` and skip all accounting when it returns ``None`` (the
@@ -63,6 +66,11 @@ COUNTER_FIELDS = (
     "checkpoint_bytes",
     "retries",
     "faults_injected",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "batches_dispatched",
+    "requests_served",
 )
 
 

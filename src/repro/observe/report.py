@@ -275,6 +275,15 @@ class RunReport:
                 f"({c['checkpoint_bytes']} bytes), {c['retries']} retries, "
                 f"{c['faults_injected']} faults injected"
             )
+        if c["requests_served"] or c["cache_hits"] or c["cache_misses"]:
+            looked_up = c["cache_hits"] + c["cache_misses"]
+            rate = c["cache_hits"] / looked_up if looked_up else 0.0
+            lines.append(
+                f"serving: {c['requests_served']} requests in "
+                f"{c['batches_dispatched']} batches; cache "
+                f"{c['cache_hits']}/{looked_up} hits ({rate:.1%}), "
+                f"{c['cache_evictions']} evictions"
+            )
         roof = self.roofline_summary(machine)
         lines.append("")
         lines.append(

@@ -14,7 +14,7 @@ raises a clear error instead of degrading to serial execution.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
 
 from ..observe.tracer import trace
@@ -85,6 +85,29 @@ class ParallelRunner:
             if error is not None:
                 raise error
             return results
+
+    def submit(self, fn: Callable[..., R], *args) -> "Future[R]":
+        """Fire-and-forget one task; the returned future resolves with
+        its result (or exception).
+
+        The serving layer's dispatcher uses this to overlap batch
+        executions.  With ``threads == 1`` the task runs inline and the
+        future comes back already resolved, preserving the pool's
+        no-hidden-concurrency contract.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "ParallelRunner is closed; create a new pool (or use it as a "
+                "context manager) instead of reusing a shut-down one"
+            )
+        if self._pool is None:
+            fut: "Future[R]" = Future()
+            try:
+                fut.set_result(fn(*args))
+            except BaseException as exc:
+                fut.set_exception(exc)
+            return fut
+        return self._pool.submit(fn, *args)
 
     def parallel_for(self, fn: Callable[[int], None], n: int) -> None:
         """``#pragma omp parallel for`` over ``range(n)``."""

@@ -1,0 +1,57 @@
+"""repro.serve — the async batch-serving layer.
+
+Everything needed to run BPMax as a multi-tenant service instead of a
+one-shot library call:
+
+* :class:`~repro.serve.request.SubmitRequest` /
+  :class:`~repro.serve.request.ServeResult` and the JSONL wire format
+  (``bpmax serve`` / ``bpmax submit``);
+* :class:`~repro.serve.cache.ResultCache` — content-addressed LRU over
+  ``(seq1, seq2, scoring, backend)`` with hit/miss/eviction counters
+  wired into :mod:`repro.observe`;
+* :class:`~repro.serve.scheduler.BatchScheduler` — adaptive size/latency
+  batching, in-flight coalescing, per-request deadline/retry/fallback,
+  dispatch over :class:`~repro.parallel.pool.ParallelRunner` with one
+  shared :class:`~repro.kernels.Workspace` per batch.
+
+Typical use::
+
+    from repro import serve_many
+
+    results = serve_many([("GCGCUUCG", "CGAAGCGC"), ("GGGG", "CCCC")])
+
+or, with explicit control::
+
+    from repro.serve import BatchScheduler, SubmitRequest
+
+    with BatchScheduler(max_batch=32, max_delay_s=0.005) as sched:
+        fut = sched.submit(SubmitRequest("GCGC", "GCGC", id="r1"))
+        print(fut.result().score)
+"""
+
+from .cache import CachedAnswer, CacheStats, ResultCache
+from .request import (
+    ServeResult,
+    SubmitRequest,
+    batch_key,
+    cache_key,
+    parse_request_line,
+    request_from_dict,
+    scoring_fingerprint,
+)
+from .scheduler import BatchScheduler, SchedulerStats
+
+__all__ = [
+    "BatchScheduler",
+    "SchedulerStats",
+    "CachedAnswer",
+    "CacheStats",
+    "ResultCache",
+    "ServeResult",
+    "SubmitRequest",
+    "batch_key",
+    "cache_key",
+    "parse_request_line",
+    "request_from_dict",
+    "scoring_fingerprint",
+]

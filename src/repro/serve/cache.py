@@ -1,0 +1,143 @@
+"""Content-addressed LRU result cache of the serving layer.
+
+BPMax answers are pure functions of ``(seq1, seq2, scoring model,
+backend)`` — the content address computed by
+:func:`repro.serve.request.cache_key` — so the service can reuse them
+across requests and across clients.  The cache is a bounded LRU:
+``get`` refreshes recency, ``put`` evicts the least-recently-used entry
+once ``capacity`` is reached.
+
+Every lookup outcome is double-booked: into the cache's own
+:class:`CacheStats` (always on, served by ``bpmax serve --stats`` and
+:attr:`BatchScheduler.stats`) and into the process-wide
+:mod:`repro.observe` collector when one is installed
+(``cache_hits`` / ``cache_misses`` / ``cache_evictions`` counters), so
+``with collecting() as c: serve_many(...)`` observes cache behaviour
+with the same machinery that observes kernel traffic.
+
+Thread safety: all operations hold one lock; entries are immutable
+:class:`CachedAnswer` tuples, safe to share across scheduler workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from ..observe.metrics import active as _metrics_active
+
+__all__ = ["CachedAnswer", "CacheStats", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CachedAnswer:
+    """The engine-independent part of one answer.
+
+    ``structure`` is only present when some request asked for it; a hit
+    that needs a structure the entry lacks is treated as a miss (and the
+    recomputed entry, structure included, replaces this one).
+    """
+
+    score: float
+    variant: str
+    degraded_from: tuple[str, ...] = ()
+    structure: dict[str, Any] | None = None
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters of one cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "inserts": self.inserts,
+            "hit_rate": round(self.hit_rate(), 4),
+        }
+
+
+class ResultCache:
+    """Bounded LRU mapping content addresses to :class:`CachedAnswer`.
+
+    ``capacity=0`` disables caching (every lookup misses, nothing is
+    stored) without callers having to special-case it.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, CachedAnswer] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable, need_structure: bool = False) -> CachedAnswer | None:
+        """Look up ``key``; refresh recency on hit, count the outcome."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and (not need_structure or entry.structure is not None):
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                hit = True
+            else:
+                entry = None
+                self.stats.misses += 1
+                hit = False
+        counters = _metrics_active()
+        if counters is not None:
+            if hit:
+                counters.cache_hits += 1
+            else:
+                counters.cache_misses += 1
+        return entry
+
+    def put(self, key: Hashable, answer: CachedAnswer) -> None:
+        """Insert/replace ``key``, evicting the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        evicted = 0
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = answer
+            self.stats.inserts += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                evicted += 1
+        if evicted:
+            counters = _metrics_active()
+            if counters is not None:
+                counters.cache_evictions += evicted
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(capacity={self.capacity}, size={len(self)}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses}, "
+            f"evictions={self.stats.evictions})"
+        )

@@ -1,0 +1,487 @@
+"""Adaptive batch scheduler: the async request-serving core.
+
+Turns one-shot :func:`~repro.core.api.bpmax` calls into a multi-tenant
+service.  Amortization comes from three places, in order of strength:
+
+1. **content-addressed caching** — identical ``(seq1, seq2, scoring,
+   backend)`` requests are answered from the
+   :class:`~repro.serve.cache.ResultCache` without touching an engine;
+2. **in-flight coalescing** — a request identical to one already queued
+   or running attaches to it as a *follower* and shares its single
+   computation (the classic thundering-herd dedup);
+3. **shape batching** — distinct requests with the same
+   :func:`~repro.serve.request.batch_key` (problem shape, scoring,
+   variant, backend) are grouped into batches and executed back-to-back
+   on one worker, sharing a single :class:`~repro.kernels.Workspace`
+   so the zero-allocation hot path warms up once per batch instead of
+   once per request.
+
+Batches form adaptively between two watermarks: a group dispatches as
+soon as it holds ``max_batch`` requests (size watermark) or when its
+oldest member has waited ``max_delay_s`` (latency watermark), whichever
+comes first.  Dispatch fans out over the existing
+:class:`~repro.parallel.pool.ParallelRunner`, so ``workers`` batches
+execute concurrently (NumPy releases the GIL in the kernels).
+
+Robustness is per-request, reusing :mod:`repro.robust` end to end: each
+request may carry a :class:`~repro.robust.deadline.Deadline` budget
+(started at *submission*, so queueing counts), a retry count and a
+fallback chain.  A poisoned request — invalid sequence, expired budget,
+crashing engine — degrades to an error :class:`ServeResult` on its own
+future; the rest of its batch is unaffected and the service never dies.
+
+The scheduler is thread-safe and loop-agnostic: ``submit`` returns a
+:class:`concurrent.futures.Future`, and the ``*_async`` wrappers adapt
+it to any running asyncio loop via :func:`asyncio.wrap_future`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Sequence
+
+from ..kernels import Workspace
+from ..observe.metrics import active as _metrics_active
+from ..observe.tracer import trace
+from ..parallel.pool import ParallelRunner
+from ..robust.deadline import Deadline
+from ..robust.errors import BpmaxError
+from .cache import CachedAnswer, ResultCache
+from .request import ServeResult, SubmitRequest, batch_key, cache_key
+
+__all__ = ["BatchScheduler", "SchedulerStats"]
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate counters of one scheduler's lifetime."""
+
+    submitted: int = 0
+    completed: int = 0
+    errors: int = 0
+    coalesced: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    max_batch_size: int = 0
+    cache: dict[str, Any] = field(default_factory=dict)
+
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "errors": self.errors,
+            "coalesced": self.coalesced,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "max_batch_size": self.max_batch_size,
+            "mean_batch_size": round(self.mean_batch_size(), 3),
+            "cache": dict(self.cache),
+        }
+
+
+class _Pending:
+    """One queued primary request plus the followers coalesced onto it."""
+
+    __slots__ = ("request", "future", "deadline", "submitted_at", "followers")
+
+    def __init__(self, request: SubmitRequest, deadline: Deadline | None) -> None:
+        self.request = request
+        self.future: Future[ServeResult] = Future()
+        self.deadline = deadline
+        self.submitted_at = time.monotonic()
+        self.followers: list[_Pending] = []
+
+
+class BatchScheduler:
+    """Queue, batch, dedup and dispatch :class:`SubmitRequest` s.
+
+    Parameters
+    ----------
+    max_batch: size watermark — a shape group dispatches immediately
+        once it holds this many requests.
+    max_delay_s: latency watermark — a group dispatches once its oldest
+        member has queued this long, full or not.
+    workers: concurrent batch executions (one
+        :class:`~repro.parallel.pool.ParallelRunner` worker each).
+    cache: a preconfigured :class:`ResultCache`, or an int capacity
+        (0 disables caching).
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 16,
+        max_delay_s: float = 0.01,
+        workers: int = 2,
+        cache: ResultCache | int = 1024,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.cache = cache if isinstance(cache, ResultCache) else ResultCache(cache)
+        self._pool = ParallelRunner(max(1, workers))
+        self._cond = threading.Condition()
+        self._groups: dict[tuple, list[_Pending]] = {}
+        self._group_since: dict[tuple, float] = {}
+        self._ready: deque[list[_Pending]] = deque()
+        self._inflight: dict[tuple, _Pending] = {}
+        self._outstanding = 0
+        self._batch_seq = 0
+        self._stopped = False
+        self._stats = SchedulerStats()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="bpmax-serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, request: SubmitRequest) -> "Future[ServeResult]":
+        """Enqueue one request; resolve its future when the answer is in.
+
+        Submit-time fast paths (no batch involved): an unservable
+        request (invalid sequence) fails immediately, and a cache hit
+        resolves immediately.  Everything else is queued for batching
+        or coalesced onto an identical in-flight request.
+        """
+        pending = _Pending(
+            request,
+            Deadline(request.deadline_s) if request.deadline_s is not None else None,
+        )
+        with self._cond:
+            if self._stopped:
+                raise RuntimeError(
+                    "BatchScheduler is closed; create a new one instead of "
+                    "reusing a shut-down scheduler"
+                )
+            self._stats.submitted += 1
+            self._outstanding += 1
+        try:
+            ckey = cache_key(request)
+        except BpmaxError as exc:
+            self._resolve(pending, self._error_result(request, exc))
+            return pending.future
+        hit = self.cache.get(ckey, need_structure=request.structure)
+        if hit is not None:
+            self._resolve(pending, self._answer_result(request, hit, cached=True))
+            return pending.future
+        coalesce_key = (ckey, request.structure)
+        with self._cond:
+            primary = self._inflight.get(coalesce_key)
+            if primary is not None:
+                primary.followers.append(pending)
+                self._stats.coalesced += 1
+                return pending.future
+            self._inflight[coalesce_key] = pending
+            bkey = batch_key(request)
+            group = self._groups.setdefault(bkey, [])
+            if not group:
+                self._group_since[bkey] = pending.submitted_at
+            group.append(pending)
+            if len(group) >= self.max_batch:
+                self._ready.append(self._groups.pop(bkey))
+                self._group_since.pop(bkey, None)
+            self._cond.notify_all()
+        return pending.future
+
+    def serve_all(self, requests: Iterable[SubmitRequest]) -> list[ServeResult]:
+        """Submit every request, flush, and wait (results in input order)."""
+        futures = [self.submit(r) for r in requests]
+        self.flush()
+        return [f.result() for f in futures]
+
+    # -- asyncio adapters -----------------------------------------------------
+
+    async def submit_async(self, request: SubmitRequest) -> ServeResult:
+        """Await one request from a running asyncio loop."""
+        return await asyncio.wrap_future(self.submit(request))
+
+    async def serve_all_async(
+        self, requests: Sequence[SubmitRequest]
+    ) -> list[ServeResult]:
+        """Submit concurrently and gather results in input order."""
+        futures = [self.submit(r) for r in requests]
+        self.flush()
+        return list(await asyncio.gather(*(asyncio.wrap_future(f) for f in futures)))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Dispatch every queued group now, ignoring the watermarks."""
+        with self._cond:
+            self._flush_locked()
+            self._cond.notify_all()
+
+    def drain(self) -> None:
+        """Block until every submitted request has resolved."""
+        self.flush()
+        with self._cond:
+            self._cond.wait_for(lambda: self._outstanding == 0)
+
+    def close(self) -> None:
+        """Flush, wait for outstanding work, and release the pool.
+
+        Idempotent; afterwards :meth:`submit` raises.
+        """
+        with self._cond:
+            if self._stopped:
+                return
+            self._stopped = True
+            self._flush_locked()
+            self._cond.notify_all()
+        self._dispatcher.join()
+        self._pool.close()
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def stats(self) -> SchedulerStats:
+        """A snapshot of the scheduler's aggregate counters."""
+        with self._cond:
+            snap = replace(self._stats)
+        snap.cache = self.cache.stats.as_dict()
+        return snap
+
+    # -- dispatcher -----------------------------------------------------------
+
+    def _flush_locked(self) -> None:
+        for bkey in list(self._groups):
+            self._ready.append(self._groups.pop(bkey))
+            self._group_since.pop(bkey, None)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            due: list[list[_Pending]] = []
+            with self._cond:
+                now = time.monotonic()
+                for bkey, since in list(self._group_since.items()):
+                    if now - since >= self.max_delay_s:
+                        self._ready.append(self._groups.pop(bkey))
+                        self._group_since.pop(bkey, None)
+                while self._ready:
+                    due.append(self._ready.popleft())
+                if not due:
+                    if self._stopped and not self._groups:
+                        return
+                    if self._group_since:
+                        oldest = min(self._group_since.values())
+                        timeout = max(0.0, oldest + self.max_delay_s - now)
+                    else:
+                        timeout = None
+                    self._cond.wait(timeout)
+                    continue
+            for batch in due:
+                with self._cond:
+                    self._batch_seq += 1
+                    batch_id = self._batch_seq
+                    self._stats.batches += 1
+                    self._stats.batched_requests += len(batch)
+                    self._stats.max_batch_size = max(
+                        self._stats.max_batch_size, len(batch)
+                    )
+                counters = _metrics_active()
+                if counters is not None:
+                    counters.batches_dispatched += 1
+                fut = self._pool.submit(self._execute_batch, batch, batch_id)
+                fut.add_done_callback(
+                    lambda f, b=batch, i=batch_id: self._reap_batch(f, b, i)
+                )
+
+    def _reap_batch(self, fut: Future, batch: list[_Pending], batch_id: int) -> None:
+        """Last line of defence: if a batch task itself crashed, fail its
+        unresolved members instead of stranding their futures forever."""
+        exc = fut.exception()
+        if exc is None:
+            return
+        for pending in batch:  # pragma: no cover - defensive
+            if not pending.future.done():
+                self._resolve(pending, self._error_result(pending.request, exc, batch_id))
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute_batch(self, batch: list[_Pending], batch_id: int) -> None:
+        req0 = batch[0].request
+        workspace: Workspace | None = None
+        if req0.variant != "baseline":
+            # all members share a batch_key, hence one (n, m) and one
+            # workspace; the batch runs sequentially on this thread so
+            # sharing is safe (Workspace forbids concurrent engines)
+            try:
+                n, m = batch_key(req0)[:2]
+                workspace = Workspace(m, max(n - 1, 0))
+            except Exception:
+                # degenerate shapes (e.g. empty strands) have no valid
+                # workspace; each member still runs and reports its own
+                # structured error
+                workspace = None
+        with trace("serve.batch", id=batch_id, size=len(batch), variant=req0.variant):
+            for pending in batch:
+                if pending.future.done():  # pragma: no cover - defensive
+                    continue
+                try:
+                    result = self._run_one(pending, workspace, batch_id)
+                except BaseException as exc:  # never strand a future
+                    result = self._error_result(pending.request, exc, batch_id)
+                self._resolve(pending, result)
+
+    def _run_one(
+        self, pending: _Pending, workspace: Workspace | None, batch_id: int
+    ) -> ServeResult:
+        from ..core.api import bpmax  # local import: api imports serve
+
+        req = pending.request
+        if pending.deadline is not None and pending.deadline.expired():
+            return self._error_result(
+                req,
+                BpmaxError(
+                    f"deadline of {pending.deadline.budget_s:g}s expired "
+                    "while queued"
+                ),
+                batch_id,
+                error_type="DeadlineExceeded",
+            )
+        engine_kwargs: dict[str, Any] = {}
+        if req.variant != "baseline":
+            if req.backend is not None:
+                engine_kwargs["backend"] = req.backend
+            if workspace is not None:
+                engine_kwargs["workspace"] = workspace
+        t0 = time.perf_counter()
+        try:
+            res = bpmax(
+                req.seq1,
+                req.seq2,
+                variant=req.variant,
+                model=req.model,
+                structure=req.structure,
+                fallback=req.fallback,
+                retries=req.retries,
+                deadline=pending.deadline,
+                **engine_kwargs,
+            )
+        except BpmaxError as exc:
+            return self._error_result(req, exc, batch_id)
+        except Exception as exc:  # a crashing engine must not kill the batch
+            return self._error_result(req, exc, batch_id)
+        wall = time.perf_counter() - t0
+        structure = None
+        if res.structure is not None:
+            db1, db2 = res.structure.dotbracket()
+            structure = {
+                "strand1": db1,
+                "strand2": db2,
+                "inter": [list(p) for p in res.structure.inter],
+            }
+        return ServeResult(
+            id=req.id,
+            seq1=req.seq1,
+            seq2=req.seq2,
+            score=res.score,
+            variant=res.variant,
+            cached=False,
+            batch=batch_id,
+            wall_s=wall,
+            structure=structure,
+            degraded_from=res.degraded_from,
+        )
+
+    # -- resolution -----------------------------------------------------------
+
+    def _answer_result(
+        self,
+        req: SubmitRequest,
+        answer: CachedAnswer,
+        cached: bool,
+        batch: int = -1,
+    ) -> ServeResult:
+        return ServeResult(
+            id=req.id,
+            seq1=req.seq1,
+            seq2=req.seq2,
+            score=answer.score,
+            variant=answer.variant,
+            cached=cached,
+            batch=batch,
+            structure=answer.structure if req.structure else None,
+            degraded_from=answer.degraded_from,
+        )
+
+    def _error_result(
+        self,
+        req: SubmitRequest,
+        exc: BaseException,
+        batch: int = -1,
+        error_type: str | None = None,
+    ) -> ServeResult:
+        return ServeResult(
+            id=req.id,
+            seq1=req.seq1,
+            seq2=req.seq2,
+            batch=batch,
+            error=str(exc) or type(exc).__name__,
+            error_type=error_type or type(exc).__name__,
+        )
+
+    def _resolve(self, pending: _Pending, result: ServeResult) -> None:
+        """Deliver ``result`` to the primary and fan out to followers.
+
+        The answer enters the cache *before* the in-flight entry is
+        removed, so a racing identical submit either coalesces (and is
+        fanned out below) or hits the cache — it never recomputes.
+        """
+        req = pending.request
+        if result.ok and not result.cached:
+            try:
+                self.cache.put(
+                    cache_key(req),
+                    CachedAnswer(
+                        score=result.score,
+                        variant=result.variant or req.variant,
+                        degraded_from=result.degraded_from,
+                        structure=result.structure,
+                    ),
+                )
+            except BpmaxError:  # pragma: no cover - vetted at submit
+                pass
+        with self._cond:
+            followers = pending.followers
+            pending.followers = []
+            key = (None, None)
+            try:
+                key = (cache_key(req), req.structure)
+            except BpmaxError:
+                pass
+            if self._inflight.get(key) is pending:
+                del self._inflight[key]
+            self._outstanding -= 1 + len(followers)
+            self._stats.completed += 1 + len(followers)
+            if not result.ok:
+                self._stats.errors += 1 + len(followers)
+            self._cond.notify_all()
+        counters = _metrics_active()
+        if counters is not None:
+            counters.requests_served += 1 + len(followers)
+        pending.future.set_result(result)
+        for f in followers:
+            fr = replace(
+                result,
+                id=f.request.id,
+                cached=result.ok,
+                wall_s=0.0,
+                structure=result.structure if f.request.structure else None,
+            )
+            f.future.set_result(fr)

@@ -1,0 +1,125 @@
+"""Structure-validity contract for traceback, via the public API.
+
+``test_traceback.py`` checks the traceback walker against one engine on
+fuzzed inputs.  This module pins the *contract* a recovered structure
+must satisfy regardless of which engine filled the table:
+
+* chemically admissible pairs only — every reported pair has strictly
+  positive weight in the scoring model (no A-G, no zero-weight pairs);
+* each base participates in at most one pair, intra- or intermolecular;
+* intramolecular pairs are nested (pseudoknot-free) per strand;
+* intermolecular pairs are simultaneously monotone (non-crossing);
+* the structure re-scores to the engine's optimum **exactly** — no
+  tolerance: with integer-valued weights the sum must be bit-identical.
+
+It runs over the golden corpus (the same curated pairs the conformance
+manifest pins) plus a deterministic fuzz sweep, across engine variants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import bpmax
+from repro.core.reference import prepare_inputs
+from repro.golden import GOLDEN_CASES
+from repro.rna.scoring import DEFAULT_MODEL
+from repro.rna.sequence import random_pair
+
+#: engines whose tables feed traceback in these tests; baseline is
+#: covered separately on small inputs (it is slow on 24-mers)
+VARIANTS = ("coarse", "fine", "hybrid", "hybrid-tiled", "batched")
+
+#: corpus entries that can score at all (skip nothing — unpairable
+#: cases must produce a valid *empty* structure)
+CASES = [(c.name, c.seq1, c.seq2) for c in GOLDEN_CASES]
+
+
+def _assert_valid(seq1: str, seq2: str, struct, score: float) -> None:
+    """Assert every clause of the structure contract."""
+    inputs = prepare_inputs(seq1, seq2, DEFAULT_MODEL)
+    n, m = inputs.n, inputs.m
+
+    # pairs in range and correctly oriented
+    for i, j in struct.pairs1:
+        assert 0 <= i < j < n
+    for i, j in struct.pairs2:
+        assert 0 <= i < j < m
+    for i1, i2 in struct.inter:
+        assert 0 <= i1 < n and 0 <= i2 < m
+
+    # admissible pairs only: strictly positive weight in the model
+    for i, j in struct.pairs1:
+        assert inputs.score1[i, j] > 0, f"strand-1 pair ({i},{j}) has no weight"
+    for i, j in struct.pairs2:
+        assert inputs.score2[i, j] > 0, f"strand-2 pair ({i},{j}) has no weight"
+    for i1, i2 in struct.inter:
+        assert inputs.iscore[i1, i2] > 0, f"inter pair ({i1},{i2}) has no weight"
+
+    # each base pairs at most once (across intra and inter)
+    used1 = [i for p in struct.pairs1 for i in p] + [i for i, _ in struct.inter]
+    used2 = [j for p in struct.pairs2 for j in p] + [j for _, j in struct.inter]
+    assert len(used1) == len(set(used1)), "strand-1 base reused"
+    assert len(used2) == len(set(used2)), "strand-2 base reused"
+
+    # intramolecular pairs nested per strand
+    for pairs in (struct.pairs1, struct.pairs2):
+        s = sorted(pairs)
+        for a in range(len(s)):
+            for b in range(a + 1, len(s)):
+                (x, y), (u, v) = s[a], s[b]
+                assert not (x < u < y < v), f"crossing pairs {s[a]} / {s[b]}"
+
+    # intermolecular pairs simultaneously monotone
+    inter = sorted(struct.inter)
+    for (a1, a2), (b1, b2) in zip(inter, inter[1:]):
+        assert a1 < b1 and a2 < b2, f"crossing interactions {inter}"
+
+    # exact re-scoring: the structure's weight IS the optimum
+    assert struct.weight(inputs) == score
+
+
+class TestGoldenCorpusStructures:
+    @pytest.mark.parametrize("name,seq1,seq2", CASES, ids=[c[0] for c in CASES])
+    def test_structure_valid_and_rescores(self, name, seq1, seq2):
+        res = bpmax(seq1, seq2, structure=True)
+        _assert_valid(seq1, seq2, res.structure, res.score)
+
+    def test_unpairable_structure_is_empty(self):
+        res = bpmax("AAAAAA", "AAAAAA", structure=True)
+        assert res.score == 0.0
+        assert not res.structure.pairs1
+        assert not res.structure.pairs2
+        assert not res.structure.inter
+
+    def test_known_duplex_is_all_inter(self):
+        res = bpmax("GGGG", "CCCC", structure=True)
+        assert res.score == 12.0
+        assert sorted(res.structure.inter) == [(0, 0), (1, 1), (2, 2), (3, 3)]
+        assert not res.structure.pairs1 and not res.structure.pairs2
+
+
+class TestAcrossEngines:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_every_engine_yields_valid_structure(self, variant):
+        for name, seq1, seq2 in CASES:
+            if max(len(seq1), len(seq2)) > 16:
+                continue  # keep the sweep quick; big cases covered above
+            res = bpmax(seq1, seq2, variant=variant, structure=True)
+            _assert_valid(seq1, seq2, res.structure, res.score)
+
+    def test_baseline_on_small_inputs(self):
+        for seq1, seq2 in [("GGGG", "CCCC"), ("GCAU", "AUGC"), ("G", "C")]:
+            res = bpmax(seq1, seq2, variant="baseline", structure=True)
+            _assert_valid(seq1, seq2, res.structure, res.score)
+
+
+class TestFuzzedStructures:
+    def test_random_pairs_rescore_exactly(self, fuzz_rng):
+        for _ in range(25):
+            n = int(fuzz_rng.integers(1, 15))
+            m = int(fuzz_rng.integers(1, 15))
+            seed = int(fuzz_rng.integers(0, 2**31))
+            s1, s2 = random_pair(n, m, seed)
+            res = bpmax(str(s1), str(s2), structure=True)
+            _assert_valid(str(s1), str(s2), res.structure, res.score)

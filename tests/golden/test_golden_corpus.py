@@ -1,0 +1,154 @@
+"""Golden-corpus conformance: every engine × backend, bit-identical.
+
+The manifest (``manifest.json``, checked in next to this file) pins one
+score per curated pair and one structured-error type per invalid input.
+These tests hold every engine variant and every registered kernel
+backend to those pins *exactly* — float equality, no tolerance — and
+hold the serving layer to the same contract, cached and uncached.
+
+Regenerating the pins is deliberately manual: ``bpmax golden --regen``
+(refused under CI, see test below).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.api import bpmax, serve_many
+from repro.golden import (
+    ERROR_CASES,
+    GOLDEN_CASES,
+    MANIFEST_VERSION,
+    load_manifest,
+    regen_manifest,
+    verify_manifest,
+)
+from repro.kernels import BACKENDS
+from repro.robust.errors import BpmaxError, InvalidSequenceError
+from repro.serve.request import SubmitRequest, scoring_fingerprint
+from repro.rna.scoring import DEFAULT_MODEL
+
+MANIFEST = Path(__file__).parent / "manifest.json"
+
+#: engine configurations held to the manifest: every variant, and the
+#: batched variant once per registered backend (unavailable backends
+#: fall back transparently and must *still* conform)
+ENGINE_CONFIGS = [
+    ("coarse", None),
+    ("fine", None),
+    ("hybrid", None),
+    ("hybrid-tiled", None),
+    ("batched", None),
+] + [("batched", name) for name in sorted(BACKENDS)]
+
+#: the scalar reference engine is held to the pins on the cases it can
+#: finish quickly; the vectorized engines cover the rest
+BASELINE_MAX_LEN = 12
+
+
+@pytest.fixture(scope="module")
+def manifest() -> dict:
+    return load_manifest(MANIFEST)
+
+
+class TestManifest:
+    def test_manifest_is_checked_in(self):
+        assert MANIFEST.exists(), (
+            "tests/golden/manifest.json is missing; run 'bpmax golden --regen' "
+            "locally and commit the result"
+        )
+
+    def test_version_and_model_fingerprint(self, manifest):
+        assert manifest["version"] == MANIFEST_VERSION
+        assert manifest["model"] == scoring_fingerprint(DEFAULT_MODEL)
+
+    def test_manifest_covers_whole_corpus(self, manifest):
+        assert set(manifest["cases"]) == {c.name for c in GOLDEN_CASES}
+        assert set(manifest["errors"]) == {name for name, *_ in ERROR_CASES}
+
+    def test_corpus_has_curated_coverage(self):
+        """The corpus keeps its required shape classes (guards future edits)."""
+        names = {c.name for c in GOLDEN_CASES}
+        assert {"gc-only-4", "wobble-heavy-12", "len1-pairable"} <= names
+        assert any(c.n != c.m for c in GOLDEN_CASES), "needs asymmetric cases"
+        assert any(c.n == 1 or c.m == 1 for c in GOLDEN_CASES), "needs length-1"
+        assert {name for name, *_ in ERROR_CASES} >= {"empty-seq1", "empty-seq2"}
+
+
+class TestConformance:
+    @pytest.mark.parametrize(
+        "variant,backend",
+        ENGINE_CONFIGS,
+        ids=[f"{v}+{b}" if b else v for v, b in ENGINE_CONFIGS],
+    )
+    def test_engine_matches_manifest(self, variant, backend):
+        problems = verify_manifest(MANIFEST, variant=variant, backend=backend)
+        assert problems == []
+
+    def test_baseline_matches_manifest_on_small_cases(self, manifest):
+        checked = 0
+        for case in GOLDEN_CASES:
+            if max(case.n, case.m) > BASELINE_MAX_LEN:
+                continue
+            got = bpmax(case.seq1, case.seq2, variant="baseline").score
+            assert got == manifest["cases"][case.name]["score"], case.name
+            checked += 1
+        assert checked >= 8  # the corpus must keep enough baseline-sized cases
+
+    def test_error_cases_raise_pinned_types(self, manifest):
+        for name, seq1, seq2, _ in ERROR_CASES:
+            pinned = manifest["errors"][name]["error"]
+            with pytest.raises(BpmaxError) as exc_info:
+                bpmax(seq1, seq2)
+            assert type(exc_info.value).__name__ == pinned, name
+            assert isinstance(exc_info.value, InvalidSequenceError)
+
+
+class TestServingConformance:
+    """The serving layer is held to the same pins as the engines."""
+
+    def test_serve_many_matches_manifest(self, manifest):
+        # each pair twice: the second copy must come back (coalesced or
+        # cached) with the identical pinned score
+        requests = [
+            SubmitRequest(c.seq1, c.seq2, id=f"{c.name}#{k}")
+            for k in range(2)
+            for c in GOLDEN_CASES
+        ]
+        results = serve_many(requests, workers=2)
+        by_name = {c.name: manifest["cases"][c.name]["score"] for c in GOLDEN_CASES}
+        for r in results:
+            assert r.ok, (r.id, r.error)
+            assert r.score == by_name[r.id.rsplit("#", 1)[0]], r.id
+        assert any(r.cached for r in results)
+
+    def test_poisoned_corpus_requests_fail_cleanly(self):
+        requests = [SubmitRequest(seq1, seq2, id=name) for name, seq1, seq2, _ in ERROR_CASES]
+        requests.append(SubmitRequest("GGGG", "CCCC", id="good"))
+        results = serve_many(requests)
+        by_id = {r.id: r for r in results}
+        assert by_id["good"].ok and by_id["good"].score == 12.0
+        for name, *_ , pinned in ERROR_CASES:
+            assert not by_id[name].ok
+            assert by_id[name].error_type == pinned
+
+
+class TestRegenGuard:
+    def test_regen_refuses_under_ci(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("CI", "true")
+        with pytest.raises(BpmaxError, match="refusing"):
+            regen_manifest(tmp_path / "manifest.json")
+        assert not (tmp_path / "manifest.json").exists()
+
+    def test_regen_outside_ci_round_trips(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("CI", raising=False)
+        monkeypatch.delenv("GITHUB_ACTIONS", raising=False)
+        p = regen_manifest(tmp_path / "manifest.json")
+        fresh = load_manifest(p)
+        pinned = load_manifest(MANIFEST)
+        assert fresh["cases"] == pinned["cases"], (
+            "freshly computed scores differ from the checked-in manifest"
+        )
+        assert fresh["errors"] == pinned["errors"]

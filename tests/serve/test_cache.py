@@ -1,0 +1,114 @@
+"""Unit tests for the content-addressed LRU result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observe import collecting
+from repro.serve.cache import CachedAnswer, ResultCache
+
+ANSWER = CachedAnswer(score=12.0, variant="hybrid-tiled")
+
+
+class TestLruSemantics:
+    def test_get_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("k") is None
+        cache.put("k", ANSWER)
+        assert cache.get("k") == ANSWER
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", ANSWER)
+        cache.put("b", ANSWER)
+        assert cache.get("a") is not None  # refresh a
+        cache.put("c", ANSWER)  # evicts b, not a
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", ANSWER)
+        cache.put("b", ANSWER)
+        cache.put("a", CachedAnswer(score=1.0, variant="coarse"))  # replace
+        cache.put("c", ANSWER)  # evicts b
+        assert "a" in cache and "b" not in cache
+        assert cache.get("a").score == 1.0
+
+    def test_len_bounded_by_capacity(self):
+        cache = ResultCache(capacity=3)
+        for i in range(10):
+            cache.put(i, ANSWER)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 7
+
+    def test_clear(self):
+        cache = ResultCache(capacity=3)
+        cache.put("a", ANSWER)
+        cache.clear()
+        assert len(cache) == 0 and "a" not in cache
+
+
+class TestCapacityZero:
+    def test_disables_storage(self):
+        cache = ResultCache(capacity=0)
+        cache.put("k", ANSWER)
+        assert len(cache) == 0
+        assert cache.get("k") is None
+        assert cache.stats.inserts == 0 and cache.stats.misses == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ResultCache(capacity=-1)
+
+
+class TestStructureAwareness:
+    def test_structureless_entry_misses_structure_request(self):
+        cache = ResultCache()
+        cache.put("k", ANSWER)  # no structure attached
+        assert cache.get("k", need_structure=True) is None
+        assert cache.stats.misses == 1
+
+    def test_structured_entry_serves_both(self):
+        cache = ResultCache()
+        rich = CachedAnswer(
+            score=12.0, variant="hybrid-tiled",
+            structure={"strand1": "****", "strand2": "****", "inter": []},
+        )
+        cache.put("k", rich)
+        assert cache.get("k", need_structure=True) == rich
+        assert cache.get("k", need_structure=False) == rich
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = ResultCache()
+        assert cache.stats.hit_rate() == 0.0
+        cache.put("k", ANSWER)
+        cache.get("k")
+        cache.get("nope")
+        assert cache.stats.hit_rate() == 0.5
+        d = cache.stats.as_dict()
+        assert d["hits"] == 1 and d["misses"] == 1 and d["hit_rate"] == 0.5
+
+    def test_observe_counters_mirrored(self):
+        cache = ResultCache(capacity=1)
+        with collecting() as c:
+            cache.get("k")  # miss
+            cache.put("k", ANSWER)
+            cache.get("k")  # hit
+            cache.put("k2", ANSWER)  # evicts k
+        assert c.cache_misses == 1
+        assert c.cache_hits == 1
+        assert c.cache_evictions == 1
+
+    def test_no_collector_is_fine(self):
+        cache = ResultCache()
+        cache.get("k")
+        cache.put("k", ANSWER)  # must not raise without an active collector
+
+    def test_repr(self):
+        cache = ResultCache(capacity=8)
+        cache.put("k", ANSWER)
+        assert "capacity=8" in repr(cache) and "size=1" in repr(cache)

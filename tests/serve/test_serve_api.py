@@ -1,0 +1,73 @@
+"""Unit tests for the `serve_many` convenience entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import serve_many
+from repro.core.api import bpmax
+from repro.serve.request import SubmitRequest
+from repro.serve.scheduler import BatchScheduler
+
+
+class TestTupleInput:
+    def test_plain_pairs(self):
+        pairs = [("GGGG", "CCCC"), ("GCAU", "AUGC")]
+        results = serve_many(pairs)
+        assert [r.id for r in results] == ["req0", "req1"]
+        for (a, b), r in zip(pairs, results):
+            assert r.ok and r.score == bpmax(a, b).score
+
+    def test_structure_flag_applies_to_all(self):
+        results = serve_many([("GGGG", "CCCC")], structure=True)
+        assert results[0].structure is not None
+
+    def test_variant_applies_to_all(self):
+        results = serve_many([("GGGG", "CCCC")], variant="coarse")
+        assert results[0].ok and results[0].score == 12.0
+
+
+class TestRequestInput:
+    def test_submit_requests_pass_through(self):
+        reqs = [
+            SubmitRequest("GGGG", "CCCC", id="a", variant="batched"),
+            SubmitRequest("GCAU", "AUGC", id="b"),
+        ]
+        results = serve_many(reqs)
+        assert [r.id for r in results] == ["a", "b"]
+        assert all(r.ok for r in results)
+
+    def test_mixed_inputs(self):
+        results = serve_many([("GGGG", "CCCC"), SubmitRequest("GCAU", "AUGC", id="x")])
+        assert [r.id for r in results] == ["req0", "x"]
+
+    def test_empty_input(self):
+        assert serve_many([]) == []
+
+
+class TestSchedulerReuse:
+    def test_external_scheduler_stays_open(self):
+        with BatchScheduler() as sched:
+            serve_many([("GGGG", "CCCC")], scheduler=sched)
+            # the scheduler must survive for a second round, cache warm
+            results = serve_many([("GGGG", "CCCC")], scheduler=sched)
+            assert results[0].cached
+            assert sched.stats.submitted == 2
+
+    def test_knobs_forwarded_to_owned_scheduler(self):
+        results = serve_many(
+            [("GGGG", "CCCC")] * 3, max_batch=2, max_delay_s=0.001, workers=1, cache=0
+        )
+        assert all(r.ok and r.score == 12.0 for r in results)
+
+
+class TestErrorPaths:
+    def test_poisoned_entry_fails_alone(self):
+        results = serve_many([("GGGG", "CCCC"), ("", "CCCC")])
+        assert results[0].ok
+        assert not results[1].ok
+        assert results[1].error_type == "InvalidSequenceError"
+
+    def test_bad_variant_raises_upfront(self):
+        with pytest.raises(Exception, match="unknown variant"):
+            serve_many([("G", "C")], variant="warp-drive")
