@@ -1,18 +1,25 @@
 """Fig. 18 — effect of the (i2 x k2 x j2) tile shape on double max-plus.
 
 Regenerates the model sweep at the paper's 16 x 2500 workload (cubic
-tiles poor, best shapes leave j2 untiled, ~10% best-vs-generic gap) and
-times the real tiled kernel across shapes on the shared workload.
+tiles poor, best shapes leave j2 untiled, ~10% best-vs-generic gap),
+times the real tiled kernel across shapes on the shared workload, and
+sweeps the production ``tiled`` backend's window-block width (the knob
+``bpmax tune`` searches) on a full BPMax run.
 """
 
 import pytest
 
 from repro.bench.figures import run_experiment
 from repro.core.dmp import DoubleMaxPlus
+from repro.core.engine import make_engine
+from repro.kernels import BACKENDS, TiledExecutor
 
 from conftest import emit
 
 SHAPES = [(16, 2, 0), (32, 4, 0), (16, 4, 0), (16, 16, 16), (8, 8, 8)]
+
+#: window-block widths swept on the (4, 24) shared workload
+WINDOW_BLOCKS = [1, 2, 4]
 
 
 def test_fig18_rows():
@@ -34,3 +41,18 @@ def test_fig18_tiled_kernel(benchmark, dmp_workload, tile):
         ).run()
 
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("wb", WINDOW_BLOCKS, ids=lambda w: f"wb{w}")
+def test_tiled_backend_window_block_sweep(benchmark, bpmax_workload, wb):
+    """Production tile-shape sweep: the tiled backend at each block width."""
+    if not BACKENDS["tiled"].available:
+        pytest.skip(BACKENDS["tiled"].note)
+    expected = make_engine(bpmax_workload, variant="batched").run()
+
+    def run():
+        engine = make_engine(bpmax_workload, variant="batched", backend="tiled")
+        return TiledExecutor(engine, wb=wb).run()
+
+    score = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert score == expected

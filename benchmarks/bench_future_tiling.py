@@ -1,8 +1,10 @@
 """Conclusion future work — register-level tiling and R1/R2 tiling.
 
 Regenerates the model ablation (kernel becomes compute-bound; the full
-program escapes the R1/R2 cap) and times the real two-level register
-kernel against the one-level tiled kernel on this substrate.
+program escapes the R1/R2 cap), times the real two-level register
+kernel against the one-level tiled kernel on this substrate, and times
+the production ``tiled`` wavefront backend — the realization of the
+conclusion's tiling proposal — against ``numpy-batched``.
 """
 
 import numpy as np
@@ -10,6 +12,8 @@ import pytest
 
 from repro.bench.figures import run_experiment
 from repro.core.dmp import DoubleMaxPlus
+from repro.core.engine import make_engine
+from repro.kernels import BACKENDS
 from repro.machine.perfmodel import PerfModel
 from repro.semiring.maxplus import NEG_INF, maxplus_matmul_register, maxplus_matmul_tiled
 
@@ -41,6 +45,20 @@ def test_future_kernels(benchmark, dmp_workload, kernel):
         ).run()
 
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("backend", ["numpy-batched", "tiled"])
+def test_future_bpmax_tiled_backend(benchmark, bpmax_workload, backend):
+    """The realized future-work path: full BPMax through the tile graph."""
+    if not BACKENDS[backend].available:
+        pytest.skip(BACKENDS[backend].note)
+    expected = make_engine(bpmax_workload, variant="batched").run()
+
+    def run():
+        return make_engine(bpmax_workload, variant="batched", backend=backend).run()
+
+    score = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert score == expected
 
 
 def test_register_kernel_correct():

@@ -10,6 +10,13 @@ Run directly::
     PYTHONPATH=src python benchmarks/bench_kernel_backends.py \\
         --n 40 --m 40 --out BENCH_kernels.json
 
+Single-backend mode (``--backend`` / ``--threads``) times one named
+backend against the always-timed ``numpy-batched`` denominator and
+records ``speedup_vs_numpy_batched`` — how ``BENCH_tiled.json`` is made::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_backends.py \\
+        --backend tiled --threads 2 --n 60 --m 60 --out BENCH_tiled.json
+
 CI regression gate (perf-smoke job)::
 
     PYTHONPATH=src python benchmarks/bench_kernel_backends.py \\
@@ -49,14 +56,33 @@ def _time_once(inputs, **kwargs) -> tuple[float, float]:
     return time.perf_counter() - t0, s
 
 
-def run_bench(n: int, m: int, repeats: int = 3, seed: int = 99) -> dict:
+def run_bench(
+    n: int,
+    m: int,
+    repeats: int = 3,
+    seed: int = 99,
+    backend: str | None = None,
+    threads: int = 1,
+) -> dict:
     """Time hybrid-tiled and every available backend; verify score equality.
 
     Repeats are *interleaved* (reference, then each backend, per round)
     so a load spike on a shared machine hits every contender alike
     instead of whichever happened to run during it; each entry reports
     its best round.
+
+    ``backend`` narrows the sweep to one named backend (``numpy-batched``
+    is always timed too, as the denominator of the relative-speedup
+    field); ``threads`` sizes the thread pool handed to every timed
+    backend engine.
     """
+    names = available_backends()
+    if backend is not None:
+        if backend not in names:
+            raise SystemExit(
+                f"backend {backend!r} is not available; choose from {names}"
+            )
+        names = sorted({backend, "numpy-batched"})
     s1, s2 = random_pair(n, m, seed)
     inputs = prepare_inputs(s1, s2)
 
@@ -65,10 +91,12 @@ def run_bench(n: int, m: int, repeats: int = 3, seed: int = 99) -> dict:
         "m": m,
         "repeats": repeats,
         "seed": seed,
+        "threads": threads,
         "default_backend": DEFAULT_BACKEND,
         "engine": {},
         "backends": {},
         "speedup_vs_hybrid_tiled": {},
+        "speedup_vs_numpy_batched": {},
     }
     ref_time = float("inf")
     ref_score = None
@@ -81,14 +109,17 @@ def run_bench(n: int, m: int, repeats: int = 3, seed: int = 99) -> dict:
             ref_score = s
         elif s != ref_score:
             raise AssertionError(f"non-deterministic score: {s} != {ref_score}")
-        for name in available_backends():
-            t, s = _time_once(inputs, variant="batched", backend=name)
+        for name in names:
+            t, s = _time_once(
+                inputs, variant="batched", backend=name, threads=threads
+            )
             times[name] = min(times.get(name, float("inf")), t)
             scores.setdefault(name, s)
             if s != scores[name]:
                 raise AssertionError(f"non-deterministic score: {s} != {scores[name]}")
     results["engine"]["hybrid-tiled"] = ref_time
     results["score"] = ref_score
+    batched_time = times.get("numpy-batched")
     for name, t in times.items():
         if scores[name] != ref_score:
             raise AssertionError(
@@ -97,6 +128,8 @@ def run_bench(n: int, m: int, repeats: int = 3, seed: int = 99) -> dict:
             )
         results["backends"][name] = t
         results["speedup_vs_hybrid_tiled"][name] = ref_time / t if t > 0 else 0.0
+        if batched_time is not None and t > 0:
+            results["speedup_vs_numpy_batched"][name] = batched_time / t
     return results
 
 
@@ -162,15 +195,17 @@ def check_regression(results: dict, baseline_path: Path, tolerance: float) -> in
 def render(results: dict) -> str:
     lines = [
         f"kernel backends at (N, M) = ({results['n']}, {results['m']}), "
-        f"best of {results['repeats']}",
-        f"{'engine/backend':24s} {'seconds':>10s} {'speedup':>9s}",
+        f"threads={results.get('threads', 1)}, best of {results['repeats']}",
+        f"{'engine/backend':24s} {'seconds':>10s} {'speedup':>9s} {'vs batched':>11s}",
         f"{'hybrid-tiled (engine)':24s} {results['engine']['hybrid-tiled']:10.4f} "
-        f"{'1.00x':>9s}",
+        f"{'1.00x':>9s} {'':>11s}",
     ]
     for name, t in sorted(results["backends"].items()):
         sp = results["speedup_vs_hybrid_tiled"][name]
+        vsb = results.get("speedup_vs_numpy_batched", {}).get(name)
+        vsb_s = f"{vsb:10.2f}x" if vsb is not None else f"{'':>11s}"
         mark = "  [default]" if name == results["default_backend"] else ""
-        lines.append(f"{name:24s} {t:10.4f} {sp:8.2f}x{mark}")
+        lines.append(f"{name:24s} {t:10.4f} {sp:8.2f}x {vsb_s}{mark}")
     return "\n".join(lines)
 
 
@@ -180,6 +215,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--m", type=int, default=40, help="inner sequence length")
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--seed", type=int, default=99)
+    p.add_argument(
+        "--backend",
+        metavar="NAME",
+        help="time only this backend (numpy-batched is still timed as the "
+        "relative-speedup denominator)",
+    )
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        metavar="N",
+        help="thread-pool size for every timed backend engine",
+    )
     p.add_argument("--out", metavar="PATH", help="write results JSON here")
     p.add_argument(
         "--merge-baseline",
@@ -206,7 +254,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if not args.skip_oracle:
         verify_against_oracle()
-    results = run_bench(args.n, args.m, repeats=args.repeats, seed=args.seed)
+    results = run_bench(
+        args.n,
+        args.m,
+        repeats=args.repeats,
+        seed=args.seed,
+        backend=args.backend,
+        threads=args.threads,
+    )
     print(render(results))
     if args.out:
         Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
@@ -227,11 +282,20 @@ def test_backends_benchmark_smoke(tmp_path):
     verify_against_oracle(n=4, m=6, seed=2)
     results = run_bench(6, 8, repeats=1, seed=3)
     assert results["backends"], "no available backends were timed"
+    assert results["speedup_vs_numpy_batched"]["numpy-batched"] == 1.0
     out = tmp_path / "BENCH_kernels.json"
     out.write_text(json.dumps(results))
     again = json.loads(out.read_text())
     assert again["default_backend"] in again["backends"]
     assert check_regression(again, out, tolerance=0.999) == 0
+
+
+def test_backends_benchmark_single_backend_threads(tmp_path):
+    """--backend/--threads path: one backend plus the batched denominator."""
+    results = run_bench(8, 6, repeats=1, seed=4, backend="numpy", threads=2)
+    assert set(results["backends"]) == {"numpy", "numpy-batched"}
+    assert results["threads"] == 2
+    assert "numpy" in results["speedup_vs_numpy_batched"]
 
 
 if __name__ == "__main__":

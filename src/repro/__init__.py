@@ -12,7 +12,8 @@ Subpackages:
 * :mod:`repro.core` — BPMax engines, the mini-Alpha model, schedules;
 * :mod:`repro.semiring` — max-plus kernels and the stream micro-benchmark;
 * :mod:`repro.kernels` — pluggable kernel backends (``numpy``,
-  ``numpy-batched``, optional ``numba``) and the per-engine
+  ``numpy-batched``, optional ``numba``, the ``tiled`` wavefront
+  executor with its window-block autotuner) and the per-engine
   :class:`~repro.kernels.Workspace` scratch pool;
 * :mod:`repro.polyhedral` — the mini-AlphaZ framework (domains,
   schedules, dependences, tiling, the Alpha language, code generation);
@@ -32,7 +33,15 @@ Subpackages:
 
 from .core.api import BpmaxResult, bpmax, fold, serve_many
 from .core.engine import ENGINES
-from .kernels import DEFAULT_BACKEND, Workspace, available_backends, get_backend
+from .kernels import (
+    DEFAULT_BACKEND,
+    TiledExecutor,
+    Workspace,
+    available_backends,
+    get_backend,
+    get_tile_shape,
+    tune,
+)
 from .observe import Counters, RunReport, collecting, trace, tracing
 from .rna.scoring import DEFAULT_MODEL, ScoringModel
 from .serve import BatchScheduler, ResultCache, ServeResult, SubmitRequest
@@ -48,7 +57,7 @@ from .robust import (
     retry,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BpmaxResult",
@@ -61,9 +70,12 @@ __all__ = [
     "SubmitRequest",
     "ENGINES",
     "DEFAULT_BACKEND",
+    "TiledExecutor",
     "Workspace",
     "available_backends",
     "get_backend",
+    "get_tile_shape",
+    "tune",
     "Counters",
     "RunReport",
     "collecting",

@@ -12,6 +12,7 @@ Subcommands
 ``report FILE``        render a saved metrics report (``--metrics-out``)
 ``list``               list available experiments and engine variants
 ``backends``           list kernel backends available on this machine
+``tune``               autotune the tiled backend's window-block width
 
 Serving: ``bpmax serve requests.jsonl`` reads one JSON request object
 per line (``bpmax submit`` writes them), batches same-shape problems,
@@ -73,7 +74,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--backend",
         metavar="NAME",
-        help="kernel backend for the R0 hot path (see 'bpmax backends')",
+        help="kernel backend for the R0 hot path, e.g. 'tiled' for the "
+        "tile-graph wavefront executor (see 'bpmax backends')",
     )
     run.add_argument(
         "--threads",
@@ -249,6 +251,35 @@ def _build_parser() -> argparse.ArgumentParser:
     e.add_argument("id", help=f"one of {sorted(EXPERIMENTS)} or 'all'")
     e.add_argument("--csv", metavar="DIR", help="also write <DIR>/<id>.csv")
 
+    tn = sub.add_parser(
+        "tune", help="autotune the tiled backend's window-block width"
+    )
+    tn.add_argument("--n", type=int, default=40, help="outer strand length")
+    tn.add_argument("--m", type=int, default=40, help="inner strand length")
+    tn.add_argument(
+        "--threads", type=int, default=1, metavar="N", help="thread count to tune for"
+    )
+    tn.add_argument(
+        "--candidates",
+        metavar="W1,W2,...",
+        help="comma-separated window-block widths (default: powers of two "
+        "plus the heuristic picks)",
+    )
+    tn.add_argument(
+        "--repeats", type=int, default=2, metavar="N", help="timing repeats per width"
+    )
+    tn.add_argument(
+        "--cache",
+        metavar="PATH",
+        help="autotune cache file (default: $BPMAX_TUNE_CACHE or "
+        "~/.cache/bpmax/autotune.json)",
+    )
+    tn.add_argument(
+        "--no-persist",
+        action="store_true",
+        help="benchmark only; do not write the winner to the cache file",
+    )
+
     sub.add_parser("list", help="list experiments and engine variants")
     sub.add_parser("backends", help="list kernel backends and their availability")
     return p
@@ -277,8 +308,61 @@ def _cmd_backends() -> int:
         else:
             status = f"unavailable ({b.note}); falls back to {get_backend(name).name}"
         default = "  [default]" if name == DEFAULT_BACKEND else ""
+        caps = ",".join(f for f in b.CAPABILITY_FLAGS if b.capabilities.get(f))
         print(f"{name:15s} {status}{default}")
         print(f"{'':15s}   {b.description}")
+        print(f"{'':15s}   capabilities: {caps or '-'}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .kernels import BACKENDS
+    from .kernels.autotune import cache_key, heuristic_block, tune
+
+    if args.n < 1 or args.m < 1:
+        raise BpmaxError(f"--n/--m must be >= 1, got n={args.n} m={args.m}")
+    if args.threads < 1:
+        raise BpmaxError(f"--threads must be >= 1, got {args.threads}")
+    if args.repeats < 1:
+        raise BpmaxError(f"--repeats must be >= 1, got {args.repeats}")
+    if not BACKENDS["tiled"].available:
+        raise BpmaxError(
+            f"tiled backend unavailable on this machine ({BACKENDS['tiled'].note})"
+        )
+    candidates = None
+    if args.candidates:
+        try:
+            candidates = sorted(
+                {int(w) for w in args.candidates.split(",") if w.strip()}
+            )
+        except ValueError as exc:
+            raise BpmaxError(
+                f"--candidates must be comma-separated integers: {exc}"
+            ) from exc
+        if not candidates or any(w < 1 or w > args.n for w in candidates):
+            raise BpmaxError(
+                f"--candidates must be widths in [1, {args.n}], got {args.candidates!r}"
+            )
+    result = tune(
+        args.n,
+        args.m,
+        threads=args.threads,
+        candidates=candidates,
+        repeats=args.repeats,
+        path=args.cache,
+        persist=not args.no_persist,
+    )
+    print(f"key     : {result.key}")
+    print("width   wall_s")
+    for wb in sorted(result.candidates):
+        mark = "  <-- best" if wb == result.best_wb else ""
+        print(f"{wb:5d}   {result.candidates[wb]:.4f}{mark}")
+    print(f"best    : wb={result.best_wb} ({result.best_wall_s:.4f} s; "
+          f"heuristic would pick {heuristic_block(args.n, args.m, args.threads)})")
+    if result.cache_file:
+        print(f"cache   : {result.cache_file} [{cache_key(args.n, args.m, args.threads)}]")
+    else:
+        print("cache   : not persisted (--no-persist)")
     return 0
 
 
@@ -549,6 +633,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "backends":
         return _cmd_backends()
+    if args.command == "tune":
+        return _cmd_tune(args)
     return 1  # pragma: no cover
 
 

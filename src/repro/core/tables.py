@@ -9,10 +9,25 @@ memory-mapping experiments (Fig. 10):
 * option 2 — ``(i2, j2) -> (i2, j2 - i2)``: a packed skewed layout using
   the same box but shifting each row left.
 
+Physically, the whole outer triangle lives in **one packed contiguous
+buffer** of shape ``(T1(n), m, m)`` laid out row-major over ``(i1, j1)``:
+window ``(i1, j1)`` is the slab ``packed[offset(i1, j1)]`` with
+
+    offset(i1, j1) = row_start[i1] + (j1 - i1)
+
+an O(1) affine map.  The payoff, beyond cutting the O(N^2) per-window
+allocation churn of the old dict-of-arrays storage, is that every split
+scan of the recurrence becomes a *contiguous slab view*: the R0/R4 left
+operands of window ``(i1, j1)`` are exactly the ``j1 - i1`` consecutive
+slabs starting at ``offset(i1, i1)`` (see :meth:`FTable.row_slab`),
+which the tiled backend consumes with zero gathering.
+
 The paper notes AlphaZ's default bounding-box allocation wastes 3/4 of
 the M^2 N^2 box but the unused elements never move through the memory
 hierarchy; :meth:`FTable.bytes_allocated` / :meth:`FTable.bytes_touched`
-quantify exactly that.
+quantify exactly that (per *logically allocated* window — the backing
+buffer is reserved once up front, but only windows the computation has
+claimed count, preserving the Figs. 7/9 accounting).
 """
 
 from __future__ import annotations
@@ -28,7 +43,7 @@ NEG_INF = np.float32(-np.inf)
 
 
 class FTable:
-    """Triangular 4-D DP table with per-window inner matrices.
+    """Triangular 4-D DP table in one packed contiguous buffer.
 
     Parameters
     ----------
@@ -54,8 +69,43 @@ class FTable:
         self.m = m
         self.layout = layout
         self._fill = np.float32(fill)
-        self._tri: dict[tuple[int, int], np.ndarray] = {}
+        # row-major over (i1, j1): row i1 holds windows (i1, i1) .. (i1, n-1)
+        self._row_start = np.zeros(n + 1, dtype=np.int64)
+        for i in range(n):
+            self._row_start[i + 1] = self._row_start[i] + (n - i)
+        self._buf = np.full(
+            (int(self._row_start[n]), m, m), self._fill, dtype=np.float32
+        )
+        self._alloc: set[tuple[int, int]] = set()
         self._shift: dict[tuple[int, int], np.ndarray] = {}
+
+    # -- packed addressing ---------------------------------------------------
+
+    def offset(self, i1: int, j1: int) -> int:
+        """O(1) affine index of window ``(i1, j1)`` in the packed buffer."""
+        self._check_window(i1, j1)
+        return int(self._row_start[i1]) + (j1 - i1)
+
+    @property
+    def packed(self) -> np.ndarray:
+        """The whole ``(T1(n), m, m)`` packed buffer (row-major windows)."""
+        return self._buf
+
+    def row_slab(self, i1: int, j1: int, count: int) -> np.ndarray:
+        """Contiguous view of windows ``(i1, j1) .. (i1, j1 + count - 1)``.
+
+        This is the zero-copy form of the R0/R4 split scans: the ``count``
+        left operands of a window's reduction are consecutive slabs of one
+        outer row.  Raises when the range leaves the row.
+        """
+        if count < 0:
+            raise ValueError(f"slab count must be >= 0, got {count}")
+        off = self.offset(i1, j1)
+        if j1 + count > self.n:
+            raise IndexError(
+                f"slab ({i1}, {j1})+{count} leaves the outer row for n={self.n}"
+            )
+        return self._buf[off : off + count]
 
     # -- window management --------------------------------------------------
 
@@ -66,39 +116,44 @@ class FTable:
                 yield (i1, i1 + span)
 
     def has(self, i1: int, j1: int) -> bool:
-        return (i1, j1) in self._tri
+        return (i1, j1) in self._alloc
+
+    def allocated(self) -> list[tuple[int, int]]:
+        """The windows currently allocated (unordered snapshot)."""
+        return list(self._alloc)
 
     def alloc(self, i1: int, j1: int) -> np.ndarray:
         """Allocate (or return) the inner matrix of window ``(i1, j1)``.
 
-        The returned array is in *logical* (i2, j2) coordinates regardless
-        of layout — option 2 is materialised through views on read/write.
+        The returned array is a view into the packed buffer, in *logical*
+        (i2, j2) coordinates regardless of layout — option 2 is
+        materialised through views on read/write.
         """
-        self._check_window(i1, j1)
+        off = self.offset(i1, j1)
         key = (i1, j1)
-        if key not in self._tri:
-            self._tri[key] = np.full((self.m, self.m), self._fill, dtype=np.float32)
+        if key not in self._alloc:
+            self._alloc.add(key)
         else:
             # the caller may mutate the returned matrix; a cached shifted
             # copy of the old contents would go stale
             self._shift.pop(key, None)
-        return self._tri[key]
+        return self._buf[off]
 
     def inner(self, i1: int, j1: int) -> np.ndarray:
         """Inner matrix of a window; raises when not yet allocated."""
-        self._check_window(i1, j1)
-        try:
-            return self._tri[(i1, j1)]
-        except KeyError:
-            raise KeyError(f"window ({i1}, {j1}) not computed yet") from None
+        off = self.offset(i1, j1)
+        if (i1, j1) not in self._alloc:
+            raise KeyError(f"window ({i1}, {j1}) not computed yet")
+        return self._buf[off]
 
     def set_inner(self, i1: int, j1: int, values: np.ndarray) -> None:
-        self._check_window(i1, j1)
+        off = self.offset(i1, j1)
         if values.shape != (self.m, self.m):
             raise ValueError(
                 f"inner matrix must be {(self.m, self.m)}, got {values.shape}"
             )
-        self._tri[(i1, j1)] = np.asarray(values, dtype=np.float32)
+        np.copyto(self._buf[off], values, casting="unsafe")
+        self._alloc.add((i1, j1))
         self._shift.pop((i1, j1), None)
 
     def shifted(self, i1: int, j1: int) -> np.ndarray:
@@ -123,7 +178,9 @@ class FTable:
 
     def free(self, i1: int, j1: int) -> None:
         """Drop a window's storage (used by windowed/streaming modes)."""
-        self._tri.pop((i1, j1), None)
+        if (i1, j1) in self._alloc:
+            self._alloc.discard((i1, j1))
+            self._buf[self.offset(i1, j1)].fill(self._fill)
         self._shift.pop((i1, j1), None)
 
     # -- element access ------------------------------------------------------
@@ -152,13 +209,13 @@ class FTable:
     # -- accounting (Figs. 7/9 and the §IV-B-c discussion) --------------------
 
     def bytes_allocated(self) -> int:
-        """Bounding-box bytes actually allocated so far."""
-        return sum(a.nbytes for a in self._tri.values())
+        """Bounding-box bytes of the windows logically allocated so far."""
+        return len(self._alloc) * self.m * self.m * 4
 
     def bytes_touched(self) -> int:
         """Bytes of the triangular halves that the computation touches."""
         per_window = self.m * (self.m + 1) // 2 * 4
-        return len(self._tri) * per_window
+        return len(self._alloc) * per_window
 
     def full_allocation_bytes(self) -> int:
         """Bytes if every outer window were allocated (the M^2 N^2 box)."""
@@ -171,5 +228,5 @@ class FTable:
     def __repr__(self) -> str:
         return (
             f"FTable(n={self.n}, m={self.m}, layout={self.layout!r}, "
-            f"windows={len(self._tri)})"
+            f"windows={len(self._alloc)})"
         )

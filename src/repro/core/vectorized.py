@@ -406,6 +406,33 @@ class VectorizedBPMax:
         """
         inp = self.inputs
         done = frozenset() if resume is None else frozenset(resume)
+        if (
+            self.backend is not None
+            and self.backend.capabilities.get("tile_graph")
+        ):
+            # tile-graph backends run the whole fill through the tiled
+            # wavefront executor (bit-identical tables, same hooks)
+            from ..kernels.tiled_backend import TiledExecutor
+
+            if TiledExecutor.fits(inp.n, inp.m):
+                with trace(
+                    "engine.run",
+                    variant=self.variant,
+                    n=inp.n,
+                    m=inp.m,
+                    order=self.order,
+                    kernel=self.kernel_name,
+                    backend=self.backend.name,
+                    threads=self.threads,
+                ):
+                    return TiledExecutor(self).run(
+                        done=done,
+                        checkpoint=checkpoint,
+                        deadline=deadline,
+                        faults=faults,
+                    )
+            # mirrors would not fit: fall through to the per-window
+            # batched path, which computes the identical float32 sums
         self._faults = faults
         try:
             with trace(

@@ -114,7 +114,7 @@ def scan_windows(
         independent = float(inputs.s1[0, -1] + inputs.s2[0, -1])
         hits.append(WindowHit(start=start, score=score, gain=score - independent))
         # windowed mode keeps memory bounded: drop the window's table
-        for w in list(engine.table._tri):
+        for w in engine.table.allocated():
             engine.table.free(*w)
     return ScanResult(
         query=q.seq,

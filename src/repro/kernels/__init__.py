@@ -25,6 +25,8 @@ from .backend import (
 )
 from .numba_backend import HAVE_NUMBA
 from .numpy_backend import NUMPY_BACKEND, NUMPY_BATCHED_BACKEND
+from .tiled_backend import TILED_BACKEND, TiledExecutor
+from .autotune import get_tile_shape, tune
 from .workspace import Workspace
 
 __all__ = [
@@ -38,4 +40,8 @@ __all__ = [
     "HAVE_NUMBA",
     "NUMPY_BACKEND",
     "NUMPY_BATCHED_BACKEND",
+    "TILED_BACKEND",
+    "TiledExecutor",
+    "get_tile_shape",
+    "tune",
 ]

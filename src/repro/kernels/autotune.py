@@ -1,0 +1,250 @@
+"""Tile-size autotuner for the tiled wavefront backend.
+
+The tiled executor's one tunable is the **window-block width** ``WB``:
+how many same-diagonal outer windows one tile batches.  ``WB`` trades
+scheduler exposure (more, smaller tiles → more wavefront parallelism)
+against batching efficiency (fewer, larger tiles → longer GEMM stacks
+and fewer dispatch rounds).  The right value depends on the machine's
+cache sizes, the problem shape and the thread count, so it is resolved
+in three stages:
+
+1. a **persisted winner** from a previous ``bpmax tune`` run, keyed by
+   ``(machine fingerprint, dtype, size class, threads)`` — size classes
+   are power-of-two buckets of (N, M) so one measurement covers a
+   neighbourhood of problem sizes;
+2. otherwise a **cache-aware heuristic**: one tile per diagonal for
+   single-thread runs (zero scheduler exposure), else enough tiles to
+   feed every worker while one tile's accumulator + GEMM slab stays
+   inside the L2 estimate of :mod:`repro.machine.specs`;
+3. ``bpmax tune`` (or :func:`tune`) benchmarks candidate widths on a
+   synthetic problem of the requested shape and persists the winner.
+
+The cache file is JSON (see EXPERIMENTS.md for the format), stored at
+``$BPMAX_TUNE_CACHE`` or ``~/.cache/bpmax/autotune.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..machine.specs import XEON_E5_1650V4, MachineSpec
+
+__all__ = [
+    "TUNE_CACHE_VERSION",
+    "TuneResult",
+    "cache_path",
+    "cache_key",
+    "machine_fingerprint",
+    "size_class",
+    "heuristic_block",
+    "get_tile_shape",
+    "load_cache",
+    "save_entry",
+    "tune",
+]
+
+TUNE_CACHE_VERSION = 1
+
+#: environment override for the cache file location
+CACHE_ENV = "BPMAX_TUNE_CACHE"
+
+
+def cache_path(path: str | os.PathLike | None = None) -> Path:
+    """Resolve the autotune cache file location."""
+    if path is not None:
+        return Path(path)
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "bpmax" / "autotune.json"
+
+
+def machine_fingerprint() -> str:
+    """A stable-enough identifier of the host for cache keying."""
+    return f"{platform.machine()}-{platform.system()}-c{os.cpu_count() or 1}"
+
+
+def size_class(x: int) -> int:
+    """Power-of-two bucket of a problem dimension (min bucket 8)."""
+    b = 8
+    while b < x:
+        b *= 2
+    return b
+
+
+def cache_key(n: int, m: int, threads: int, dtype: str = "float32") -> str:
+    return (
+        f"{machine_fingerprint()}|{dtype}|n{size_class(n)}|m{size_class(m)}"
+        f"|t{threads}"
+    )
+
+
+def heuristic_block(
+    n: int, m: int, threads: int, machine: MachineSpec = XEON_E5_1650V4
+) -> int:
+    """Default window-block width when no tuned entry exists.
+
+    Single-thread: one tile per diagonal — the scheduler degenerates to
+    the plain span-group sweep with no dispatch overhead at all.
+    Multi-thread: at least ``2 * threads`` tiles on mid diagonals for
+    load balance, but never so wide that a tile's hot working set (the
+    (M, M) accumulator plus the per-step GEMM block, ~3 inner matrices)
+    spills the L2 estimate.
+    """
+    if n <= 1:
+        return 1
+    if threads <= 1:
+        return n
+    by_threads = max(1, -(-n // (2 * threads)))
+    cells_bytes = 4 * m * m
+    by_cache = max(1, machine.cache("L2").size_bytes // max(1, 3 * cells_bytes))
+    return max(1, min(n, by_threads, by_cache))
+
+
+# -- persisted winners --------------------------------------------------------
+
+
+def load_cache(path: str | os.PathLike | None = None) -> dict:
+    """Read the cache file; unreadable/foreign files read as empty."""
+    p = cache_path(path)
+    try:
+        with open(p) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return {"version": TUNE_CACHE_VERSION, "entries": {}}
+    if not isinstance(data, dict) or data.get("version") != TUNE_CACHE_VERSION:
+        return {"version": TUNE_CACHE_VERSION, "entries": {}}
+    if not isinstance(data.get("entries"), dict):
+        data["entries"] = {}
+    return data
+
+
+def save_entry(key: str, entry: dict, path: str | os.PathLike | None = None) -> Path:
+    """Merge one tuned entry into the cache file (atomic replace)."""
+    p = cache_path(path)
+    data = load_cache(p)
+    data["entries"][key] = entry
+    p.parent.mkdir(parents=True, exist_ok=True)
+    tmp = p.with_name(p.name + ".tmp")
+    with open(tmp, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, p)
+    return p
+
+
+def get_tile_shape(
+    n: int,
+    m: int,
+    threads: int = 1,
+    path: str | os.PathLike | None = None,
+    machine: MachineSpec = XEON_E5_1650V4,
+) -> int:
+    """The window-block width the tiled executor should use.
+
+    Tuned winner for this (machine, dtype, size-class, threads) if one
+    was persisted, else :func:`heuristic_block`.
+    """
+    entry = load_cache(path)["entries"].get(cache_key(n, m, threads))
+    if entry:
+        wb = int(entry.get("wb", 0))
+        if wb >= 1:
+            return min(wb, max(1, n))
+    return heuristic_block(n, m, threads, machine)
+
+
+# -- measurement --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of one autotuning sweep."""
+
+    key: str
+    n: int
+    m: int
+    threads: int
+    best_wb: int
+    best_wall_s: float
+    candidates: dict[int, float] = field(default_factory=dict)
+    cache_file: str = ""
+
+
+def default_candidates(n: int, threads: int) -> list[int]:
+    """Candidate widths: powers of two up to N, plus the heuristic picks."""
+    cands = {n, max(1, n // 2), max(1, -(-n // max(1, 2 * threads)))}
+    w = 1
+    while w < n:
+        cands.add(w)
+        w *= 2
+    return sorted(c for c in cands if 1 <= c <= max(1, n))
+
+
+def tune(
+    n: int,
+    m: int,
+    threads: int = 1,
+    candidates: list[int] | None = None,
+    seed: int = 7,
+    repeats: int = 2,
+    path: str | os.PathLike | None = None,
+    persist: bool = True,
+) -> TuneResult:
+    """Benchmark candidate window-block widths; persist and return the winner.
+
+    Times the real tiled executor on a synthetic random problem of the
+    requested shape (best of ``repeats`` per candidate, interleaved so
+    machine noise hits every candidate equally).
+    """
+    # engine imports are deferred: repro.core imports repro.kernels
+    from ..core.engine import make_engine
+    from ..core.reference import prepare_inputs
+    from ..rna.sequence import random_pair
+    from .tiled_backend import TiledExecutor
+
+    if candidates is None:
+        candidates = default_candidates(n, threads)
+    s1, s2 = random_pair(n, m, seed)
+    inputs = prepare_inputs(s1, s2)
+
+    def run_one(wb: int) -> float:
+        engine = make_engine(inputs, variant="batched", backend="tiled", threads=threads)
+        t0 = time.perf_counter()
+        TiledExecutor(engine, wb=wb).run()
+        return time.perf_counter() - t0
+
+    for wb in candidates:  # warm caches/BLAS before timing
+        run_one(wb)
+        break
+    best: dict[int, float] = {wb: float("inf") for wb in candidates}
+    for _ in range(max(1, repeats)):
+        for wb in candidates:
+            best[wb] = min(best[wb], run_one(wb))
+    best_wb = min(best, key=lambda wb: (best[wb], wb))
+    key = cache_key(n, m, threads)
+    cache_file = ""
+    if persist:
+        entry = {
+            "wb": best_wb,
+            "wall_s": best[best_wb],
+            "n": n,
+            "m": m,
+            "threads": threads,
+            "candidates": {str(wb): best[wb] for wb in candidates},
+        }
+        cache_file = str(save_entry(key, entry, path))
+    return TuneResult(
+        key=key,
+        n=n,
+        m=m,
+        threads=threads,
+        best_wb=best_wb,
+        best_wall_s=best[best_wb],
+        candidates=dict(best),
+        cache_file=cache_file,
+    )

@@ -55,7 +55,15 @@ class KernelBackend:
         this one is unavailable.
     note: human-readable availability detail (why it is missing, or what
         an unavailable request resolved to).
+    capabilities: feature flags of the backend (``threads``,
+        ``workspace_reuse``, ``autotune``, ``tile_graph``) consumed by
+        ``bpmax backends`` and by engines that dispatch on them — a
+        ``tile_graph`` backend is executed through the tiled wavefront
+        scheduler instead of the per-window loop.
     """
+
+    #: the capability flags every backend reports (False when unset)
+    CAPABILITY_FLAGS = ("threads", "workspace_reuse", "autotune", "tile_graph")
 
     def __init__(
         self,
@@ -66,12 +74,16 @@ class KernelBackend:
         available: bool = True,
         fallback: str | None = None,
         note: str = "",
+        capabilities: dict[str, bool] | None = None,
     ) -> None:
         self.name = name
         self.description = description
         self.available = available
         self.fallback = fallback
         self.note = note
+        self.capabilities = {
+            f: bool((capabilities or {}).get(f, False)) for f in self.CAPABILITY_FLAGS
+        }
         self._matmul = matmul
         self._batched_r0 = batched_r0
 

@@ -101,5 +101,6 @@ NUMBA_BACKEND = register_backend(
         available=HAVE_NUMBA,
         fallback=DEFAULT_BACKEND,
         note=_NOTE,
+        capabilities={"threads": True, "workspace_reuse": True},
     )
 )

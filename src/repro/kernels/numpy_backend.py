@@ -50,6 +50,7 @@ NUMPY_BACKEND = register_backend(
         matmul=maxplus_matmul_vectorized,
         batched_r0=_batched_via_rows,
         description="row-vectorized NumPy kernel, one broadcast per (i2, k2)",
+        capabilities={"threads": True},
     )
 )
 
@@ -60,5 +61,6 @@ NUMPY_BATCHED_BACKEND = register_backend(
         batched_r0=maxplus_batched,
         description="stacked 3-D whole-array reduction over all k1 splits "
         "(default)",
+        capabilities={"threads": True, "workspace_reuse": True},
     )
 )

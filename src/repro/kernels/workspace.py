@@ -42,15 +42,26 @@ class Workspace:
         for a full BPMax run); the stacked buffers are grown lazily up
         to this bound, so passing a loose bound costs nothing until a
         window actually needs it.
+    quantum: slab-count rounding of the stacked-buffer capacity.  The
+        tiled backend consumes the stacks in tile-sized groups of
+        windows, so rounding each growth step up to the tile-slab
+        quantum guarantees a whole tile's operands fit without a
+        mid-tile reallocation (bare geometric doubling could land the
+        capacity one slab short of the next tile boundary and force an
+        extra regrow per high-water window).
     """
 
-    def __init__(self, m: int, kmax: int) -> None:
+    #: default slab-count rounding of stacked-buffer growth
+    SLAB_QUANTUM = 8
+
+    def __init__(self, m: int, kmax: int, quantum: int | None = None) -> None:
         if m <= 0:
             raise ValueError(f"workspace width must be > 0, got {m}")
         if kmax < 0:
             raise ValueError(f"kmax must be >= 0, got {kmax}")
         self.m = m
         self.kmax = kmax
+        self.quantum = self.SLAB_QUANTUM if quantum is None else max(1, quantum)
         self.acc = np.empty((m, m), dtype=np.float32)
         self.red = np.empty((m, m), dtype=np.float32)
         self.row_a = np.empty(m, dtype=np.float32)
@@ -77,8 +88,12 @@ class Workspace:
             raise ValueError(
                 f"window needs {k} splits but workspace was sized for {self.kmax}"
             )
-        # geometric growth: at most O(log kmax) reallocations per engine
-        cap = max(k, min(self.kmax, max(4, 2 * self._cap)))
+        # geometric growth rounded up to the tile-slab quantum: at most
+        # O(log kmax) reallocations, never one slab short of a tile boundary
+        q = self.quantum
+        want = max(4, 2 * self._cap)
+        want = (want + q - 1) // q * q
+        cap = max(k, min(self.kmax, want))
         self._astack = np.empty((cap, self.m, self.m), dtype=np.float32)
         self._bstack = np.empty((cap, self.m, self.m), dtype=np.float32)
         self._braw = np.empty((cap, self.m, self.m), dtype=np.float32)
@@ -87,6 +102,7 @@ class Workspace:
         counters = _metrics_active()
         if counters is not None:
             counters.count_ws_grow(4 * self._astack.nbytes)
+            counters.gauge_ws_bytes(self.nbytes())
 
     def stacks(self, k: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(astack, bstack, braw) views of length ``k`` (A, shifted B, raw B)."""

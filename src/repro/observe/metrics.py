@@ -62,6 +62,11 @@ COUNTER_FIELDS = (
     "ws_grow_events",
     "ws_bytes_allocated",
     "ws_stack_reuses",
+    "workspace_bytes",
+    "tiles_executed",
+    "tile_wavefronts",
+    "tile_idle_ns",
+    "tile_slab_bytes",
     "checkpoint_saves",
     "checkpoint_bytes",
     "retries",
@@ -145,6 +150,30 @@ class Counters:
 
     def count_ws_reuse(self) -> None:
         self.ws_stack_reuses += 1
+
+    def gauge_ws_bytes(self, nbytes: int) -> None:
+        """High-water gauge of live workspace bytes (max, not a sum)."""
+        if nbytes > self.workspace_bytes:
+            self.workspace_bytes = nbytes
+
+    # -- tiled-execution hooks -----------------------------------------------
+
+    def count_tile(self, slab_bytes: int = 0) -> None:
+        """Account one executed tile of the wavefront tile graph.
+
+        ``slab_bytes`` is the tile's analytic slab traffic (operand slabs
+        read + accumulator written), kept separate from ``bytes_moved``
+        so the per-kernel and per-tile models stay individually
+        comparable.
+        """
+        self.tiles_executed += 1
+        self.tile_slab_bytes += slab_bytes
+
+    def count_wavefront(self, idle_ns: int = 0) -> None:
+        """Account one wavefront step (an anti-diagonal of ready tiles);
+        ``idle_ns`` is scheduler time not spent inside tile bodies."""
+        self.tile_wavefronts += 1
+        self.tile_idle_ns += idle_ns
 
     # -- derived -------------------------------------------------------------
 

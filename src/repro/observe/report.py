@@ -264,11 +264,22 @@ class RunReport:
                 f"{c['slabs_skipped']}/{c['slabs_total']} slabs fully skipped)"
             )
             lines.append(f"bytes moved (model): {c['bytes_moved']}")
-        lines.append(
+        if c["tiles_executed"]:
+            idle_ms = c["tile_idle_ns"] / 1e6
+            lines.append(
+                f"tiling: {c['tiles_executed']} tiles over "
+                f"{c['tile_wavefronts']} wavefronts, "
+                f"{idle_ms:.1f} ms scheduler idle, "
+                f"{c['tile_slab_bytes']} slab bytes"
+            )
+        ws_line = (
             f"workspace: {c['ws_grow_events']} grows, "
             f"{c['ws_bytes_allocated']} bytes allocated, "
             f"{c['ws_stack_reuses']} stack reuses"
         )
+        if c["workspace_bytes"]:
+            ws_line += f", {c['workspace_bytes']} bytes high-water"
+        lines.append(ws_line)
         if c["checkpoint_saves"] or c["retries"] or c["faults_injected"]:
             lines.append(
                 f"robustness: {c['checkpoint_saves']} checkpoint saves "

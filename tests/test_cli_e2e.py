@@ -56,6 +56,35 @@ class TestRun:
     def test_backends_listing(self):
         p = run_cli("backends")
         assert p.returncode == 0 and "numpy" in p.stdout
+        assert "capabilities:" in p.stdout
+
+    def test_tiled_backend_selection_threaded(self):
+        p = run_cli("run", "GGGG", "CCCC", "--variant", "batched",
+                    "--backend", "tiled", "--threads", "2")
+        assert p.returncode == 0 and "12" in p.stdout
+
+
+class TestTune:
+    def test_tune_writes_cache(self, tmp_path):
+        cache = tmp_path / "autotune.json"
+        p = run_cli("tune", "--n", "8", "--m", "6", "--threads", "2",
+                    "--repeats", "1",
+                    env={"BPMAX_TUNE_CACHE": str(cache)})
+        assert p.returncode == 0
+        assert "best" in p.stdout and cache.exists()
+        data = json.loads(cache.read_text())
+        assert data["version"] == 1 and data["entries"]
+
+    def test_tune_no_persist(self, tmp_path):
+        cache = tmp_path / "autotune.json"
+        p = run_cli("tune", "--n", "6", "--m", "5", "--repeats", "1",
+                    "--candidates", "1,6", "--no-persist",
+                    env={"BPMAX_TUNE_CACHE": str(cache)})
+        assert p.returncode == 0 and not cache.exists()
+
+    def test_tune_bad_candidates_exits_two(self):
+        p = run_cli("tune", "--n", "6", "--m", "5", "--candidates", "0,99")
+        assert p.returncode == 2 and "error" in p.stderr.lower()
 
 
 class TestMetricsAndReport:
