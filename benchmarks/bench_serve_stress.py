@@ -1,0 +1,284 @@
+"""Stress-scenario replay for the sharded serving tier.
+
+Replays the seeded scenario library of :mod:`repro.serve.scenarios` —
+bursty arrivals, heavy-tailed sizes, deadline storms, poisoned requests,
+injected worker kills — against a live :class:`repro.serve.ShardScheduler`
+with real worker processes, pacing submissions to each scenario's
+arrival schedule.  Per scenario it reports client-observed p50/p99
+latency by priority class, shed rate, worker deaths/respawns, and
+verifies the robustness contract:
+
+* **zero hung futures** — every submitted future resolves;
+* **structured shedding** — every failed result carries a
+  :class:`~repro.robust.errors.BpmaxError`-derived ``error_type``,
+  never a bare timeout;
+* **bit-identical answers** — every accepted score equals the
+  in-process :func:`repro.core.api.bpmax` answer for the same pair;
+* **latency gate** (``--check``) — accepted interactive+batch p99 stays
+  under the scenario's ``p99_budget_s``.
+
+Reproducibility follows the suite convention: the workload seed is
+``BPMAX_TEST_SEED`` (default 12345, override with ``--seed``) and is
+printed and recorded, so any failure replays exactly::
+
+    PYTHONPATH=src python benchmarks/bench_serve_stress.py \
+        --scenarios bursty-small --shards 2 --check
+
+Writes ``BENCH_serve.json`` (see ``--out``).  Under pytest the module
+exposes a smoke test replaying the CI scenario (``bursty-small``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(SRC))
+
+from repro.core.api import bpmax  # noqa: E402
+from repro.robust.errors import BpmaxError  # noqa: E402
+from repro.serve import ShardScheduler  # noqa: E402
+from repro.serve.scenarios import (  # noqa: E402
+    SCENARIOS,
+    default_seed,
+    generate,
+    get_scenario,
+    scaled,
+)
+
+#: error types a request may legitimately resolve with under stress —
+#: each is a structured BpmaxError subclass, so clients can branch on it
+STRUCTURED_ERRORS = {
+    "AdmissionRejected",   # bounded queue said no
+    "DeadlineExceeded",    # budget expired (at admission or mid-run)
+    "RequestCancelled",    # shutdown resolved it, didn't strand it
+    "WorkerFailure",       # re-route budget exhausted after worker death
+    "InvalidSequenceError",  # poisoned request failed validation alone
+    "EngineFailure",       # injected engine crash, uncompensated
+}
+
+#: default replay set: the acceptance scenario plus one of each shape
+DEFAULT_SCENARIOS = (
+    "steady",
+    "bursty",
+    "deadline-storm",
+    "poisoned",
+    "worker-kill",
+    "overload-2x",
+)
+
+
+def _pctl(xs: list[float], q: float) -> float:
+    if not xs:
+        return 0.0
+    xs = sorted(xs)
+    idx = min(len(xs) - 1, max(0, int(round(q * (len(xs) - 1)))))
+    return xs[idx]
+
+
+def replay(
+    name: str,
+    shards: int = 2,
+    queue_limit: int = 64,
+    seed: int | None = None,
+    time_scale: float = 1.0,
+    resolve_timeout_s: float = 120.0,
+) -> dict:
+    """Replay one scenario; returns the report row (raises on a contract
+    violation — hung future, unstructured error, wrong score)."""
+    scn = get_scenario(name)
+    if time_scale != 1.0:
+        scn = scaled(scn, time_scale)
+    used_seed = default_seed() if seed is None else int(seed)
+    timed = generate(scn, seed=used_seed)
+    plan = scn.fault_plan(used_seed)
+
+    # in-process golden answers for every servable pair (the pure-function
+    # contract: score depends only on the pair + scoring model)
+    expected: dict[tuple[str, str], float] = {}
+    for t in timed:
+        pair = (t.request.seq1, t.request.seq2)
+        if pair not in expected:
+            try:
+                expected[pair] = bpmax(*pair).score
+            except BpmaxError:
+                pass  # poisoned pair; must come back as a structured error
+
+    latencies: dict[str, float] = {}
+    submit_at: dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    with ShardScheduler(
+        shards=shards,
+        queue_limit=queue_limit,
+        faults=plan,
+        heartbeat_timeout_s=30.0,
+    ) as sched:
+        futures = []
+        for t in timed:
+            now = time.perf_counter() - t0
+            if t.at_s > now:
+                time.sleep(t.at_s - now)
+            rid = t.request.id
+            submit_at[rid] = time.perf_counter()
+            fut = sched.submit(t.request)
+            fut.add_done_callback(
+                lambda f, rid=rid: latencies.__setitem__(
+                    rid, time.perf_counter() - submit_at[rid]
+                )
+            )
+            futures.append((t.request, fut))
+        results = []
+        for req, fut in futures:
+            try:
+                results.append((req, fut.result(timeout=resolve_timeout_s)))
+            except TimeoutError:
+                raise AssertionError(
+                    f"hung future: request {req.id!r} unresolved after "
+                    f"{resolve_timeout_s:g}s (seed {used_seed})"
+                ) from None
+        wall_s = time.perf_counter() - t0
+        stats = sched.stats
+
+    accepted, shed = [], []
+    for req, res in results:
+        if res.ok:
+            want = expected.get((req.seq1, req.seq2))
+            if want is None or res.score != want:
+                raise AssertionError(
+                    f"score drift: {req.id!r} served {res.score!r}, "
+                    f"in-process bpmax says {want!r} (seed {used_seed})"
+                )
+            accepted.append((req, res))
+        else:
+            if res.error_type not in STRUCTURED_ERRORS:
+                raise AssertionError(
+                    f"unstructured failure: {req.id!r} -> "
+                    f"{res.error_type!r}: {res.error} (seed {used_seed})"
+                )
+            shed.append((req, res))
+
+    lat_by_class: dict[str, list[float]] = {}
+    for req, _res in accepted:
+        lat_by_class.setdefault(req.priority, []).append(latencies[req.id])
+    gated = [
+        s
+        for c in ("interactive", "batch")
+        for s in lat_by_class.get(c, [])
+    ]
+    return {
+        "scenario": scn.name,
+        "description": scn.description,
+        "seed": used_seed,
+        "shards": shards,
+        "queue_limit": queue_limit,
+        "time_scale": time_scale,
+        "requests": len(timed),
+        "accepted": len(accepted),
+        "shed": len(shed),
+        "shed_rate": round(len(shed) / len(timed), 4),
+        "shed_error_types": sorted({r.error_type for _q, r in shed}),
+        "wall_s": round(wall_s, 3),
+        "throughput_rps": round(len(accepted) / wall_s, 1) if wall_s else 0.0,
+        "latency_s": {
+            cls: {
+                "count": len(xs),
+                "p50": round(_pctl(xs, 0.50), 4),
+                "p99": round(_pctl(xs, 0.99), 4),
+                "max": round(max(xs), 4),
+            }
+            for cls, xs in sorted(lat_by_class.items())
+        },
+        "p99_gated_s": round(_pctl(gated, 0.99), 4),
+        "p99_budget_s": scn.p99_budget_s,
+        "worker_deaths": stats["deaths"],
+        "worker_respawns": stats["respawns"],
+        "rerouted": stats["rerouted"],
+        "degraded_requests": stats["degraded_requests"],
+        "admission": stats["admission"],
+        "scores_identical": True,
+        "hung_futures": 0,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--scenarios",
+        default=",".join(DEFAULT_SCENARIOS),
+        help=f"comma-separated scenario names (available: {sorted(SCENARIOS)})",
+    )
+    ap.add_argument("--shards", type=int, default=2)
+    ap.add_argument("--queue-limit", type=int, default=64)
+    ap.add_argument("--seed", type=int, default=None,
+                    help="workload seed (default: BPMAX_TEST_SEED or 12345)")
+    ap.add_argument("--time-scale", type=float, default=1.0,
+                    help="stretch arrival horizons (2.0 = half the load)")
+    ap.add_argument("--out", default="BENCH_serve.json")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 unless every scenario keeps accepted "
+                    "interactive+batch p99 under its budget")
+    args = ap.parse_args(argv)
+
+    names = [n.strip() for n in args.scenarios.split(",") if n.strip()]
+    seed = default_seed() if args.seed is None else args.seed
+    print(f"seed {seed} (replay with --seed {seed} or BPMAX_TEST_SEED={seed})")
+
+    rows, failures = [], []
+    for name in names:
+        row = replay(
+            name,
+            shards=args.shards,
+            queue_limit=args.queue_limit,
+            seed=seed,
+            time_scale=args.time_scale,
+        )
+        rows.append(row)
+        print(
+            f"{row['scenario']:>16}: {row['accepted']}/{row['requests']} ok, "
+            f"shed {row['shed_rate']:.0%}, p99 {row['p99_gated_s']:.3f}s "
+            f"(budget {row['p99_budget_s']:g}s), deaths {row['worker_deaths']}, "
+            f"respawns {row['worker_respawns']}, wall {row['wall_s']:.2f}s"
+        )
+        if args.check and row["p99_gated_s"] > row["p99_budget_s"]:
+            failures.append(
+                f"{name}: p99 {row['p99_gated_s']:.3f}s over "
+                f"budget {row['p99_budget_s']:g}s"
+            )
+
+    report = {
+        "seed": seed,
+        "shards": args.shards,
+        "queue_limit": args.queue_limit,
+        "time_scale": args.time_scale,
+        "scenarios": rows,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_stress_smoke_bursty_small():
+    """CI smoke: the bursty-small scenario (2 shards, one injected
+    kill) upholds the whole contract — replay() raises on any hung
+    future, unstructured error, or score drift."""
+    row = replay("bursty-small", shards=2, queue_limit=16)
+    assert row["accepted"] + row["shed"] == row["requests"]
+    assert row["hung_futures"] == 0
+    assert row["scores_identical"]
+    assert row["worker_deaths"] >= 1  # the injected kill fired
+    assert row["worker_respawns"] >= 1
+    assert row["p99_gated_s"] <= row["p99_budget_s"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

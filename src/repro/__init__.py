@@ -24,9 +24,12 @@ Subpackages:
   operation/traffic counters and roofline-linked run reports;
 * :mod:`repro.robust` — fault tolerance: structured errors, retry,
   deadlines, checkpoint/resume, deterministic fault injection;
-* :mod:`repro.serve` — the async batch-serving layer: request batching
-  and coalescing, the content-addressed result cache, JSONL serving
-  (``bpmax serve`` / ``bpmax submit`` / :func:`serve_many`);
+* :mod:`repro.serve` — the serving layer: request batching and
+  coalescing, the content-addressed result cache, JSONL serving
+  (``bpmax serve`` / ``bpmax submit`` / :func:`serve_many`), and the
+  sharded multi-process tier (:class:`~repro.serve.ShardScheduler`)
+  with admission control, load shedding and self-healing workers plus
+  its seeded stress-scenario library;
 * :mod:`repro.bench` — the experiment harness regenerating every paper
   table and figure.
 """
@@ -44,7 +47,13 @@ from .kernels import (
 )
 from .observe import Counters, RunReport, collecting, trace, tracing
 from .rna.scoring import DEFAULT_MODEL, ScoringModel
-from .serve import BatchScheduler, ResultCache, ServeResult, SubmitRequest
+from .serve import (
+    BatchScheduler,
+    ResultCache,
+    ServeResult,
+    ShardScheduler,
+    SubmitRequest,
+)
 from .rna.sequence import RnaSequence, random_pair, random_sequence
 from .robust import (
     BpmaxError,
@@ -57,7 +66,7 @@ from .robust import (
     retry,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BpmaxResult",
@@ -67,6 +76,7 @@ __all__ = [
     "BatchScheduler",
     "ResultCache",
     "ServeResult",
+    "ShardScheduler",
     "SubmitRequest",
     "ENGINES",
     "DEFAULT_BACKEND",

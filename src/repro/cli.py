@@ -19,7 +19,10 @@ per line (``bpmax submit`` writes them), batches same-shape problems,
 deduplicates identical ones through the content-addressed result cache
 and writes one JSON result object per line; ``--stats`` appends the
 scheduler/cache summary to stderr, and ``--strict`` exits 2 when any
-request failed.
+request failed.  ``--shards N`` routes through the multi-process tier
+instead: N workers with consistent-hash cache sharding, admission
+control (``--queue-limit``, per-request ``priority`` classes) and
+self-healing respawn/re-route on worker death.
 
 Observability: ``run --metrics`` prints the observed-vs-predicted
 operation counts (and saves them with ``--metrics-out report.json``);
@@ -43,6 +46,7 @@ from .bench.figures import EXPERIMENTS, run_experiment
 from .core.api import bpmax, fold
 from .core.engine import ENGINES
 from .robust.errors import BpmaxError
+from .serve.request import PRIORITY_CLASSES
 
 __all__ = ["main"]
 
@@ -188,6 +192,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="result-cache capacity in entries (0 disables caching)",
     )
     srv.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve through N worker processes (sharded tier with "
+        "admission control and self-healing); 0 uses the in-process "
+        "batch tier",
+    )
+    srv.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="sharded tier: per-shard bound on queued requests; beyond "
+        "it new arrivals are shed with a structured error",
+    )
+    srv.add_argument(
+        "--priority",
+        default=None,
+        choices=PRIORITY_CLASSES,
+        help="sharded tier: default admission class for requests that "
+        "do not carry one (default: batch)",
+    )
+    srv.add_argument(
         "--stats",
         action="store_true",
         help="print the scheduler/cache summary to stderr when done",
@@ -219,6 +247,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fallback",
         metavar="VARIANTS",
         help="comma-separated degradation chain (e.g. 'hybrid,baseline')",
+    )
+    sm.add_argument(
+        "--priority",
+        default=None,
+        choices=PRIORITY_CLASSES,
+        help="admission class for the sharded tier (default: batch)",
     )
     sm.add_argument(
         "--out",
@@ -458,6 +492,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise BpmaxError(f"--workers must be >= 1, got {args.workers}")
     if args.cache_size < 0:
         raise BpmaxError(f"--cache-size must be >= 0, got {args.cache_size}")
+    if args.shards < 0:
+        raise BpmaxError(f"--shards must be >= 0, got {args.shards}")
+    if args.queue_limit < 1:
+        raise BpmaxError(f"--queue-limit must be >= 1, got {args.queue_limit}")
 
     if args.input == "-":
         lines = sys.stdin.readlines()
@@ -475,14 +513,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not requests:
         raise BpmaxError(f"no requests found in {args.input!r}")
 
-    with BatchScheduler(
-        max_batch=args.max_batch,
-        max_delay_s=args.max_delay,
-        workers=args.workers,
-        cache=args.cache_size,
-    ) as sched:
-        results = sched.serve_all(requests)
-        stats = sched.stats
+    if args.shards > 0:
+        from .serve.shard import ShardScheduler
+
+        with ShardScheduler(
+            shards=args.shards,
+            queue_limit=args.queue_limit,
+            cache_size=args.cache_size,
+            default_priority=args.priority or "batch",
+        ) as sched:
+            results = sched.serve_all(requests)
+            stats_dict = sched.stats
+    else:
+        with BatchScheduler(
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay,
+            workers=args.workers,
+            cache=args.cache_size,
+        ) as sched:
+            results = sched.serve_all(requests)
+            stats_dict = sched.stats.as_dict()
     out_lines = [r.to_json() for r in results]
     if args.out:
         with open(args.out, "w") as fh:
@@ -494,7 +544,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.stats:
         import json as _json
 
-        print(f"serve: {_json.dumps(stats.as_dict())}", file=sys.stderr)
+        print(f"serve: {_json.dumps(stats_dict)}", file=sys.stderr)
     if errors and args.strict:
         raise BpmaxError(f"{errors} of {len(results)} requests failed (--strict)")
     return 0
@@ -529,6 +579,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                     f"unknown fallback variant {v!r}; use one of {ENGINES}"
                 )
         request["fallback"] = chain
+    if args.priority:
+        request["priority"] = args.priority
     line = _json.dumps(request, separators=(",", ":"))
     if args.out:
         with open(args.out, "a") as fh:

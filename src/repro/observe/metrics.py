@@ -20,8 +20,10 @@ assertions into observed numbers:
 * **robustness accounting** (``checkpoint_saves`` / ``retries`` /
   ``faults_injected``) — events from the fault-tolerant layer;
 * **serving accounting** (``cache_hits`` / ``cache_misses`` /
-  ``cache_evictions``, ``batches_dispatched`` / ``requests_served``) —
-  events from the :mod:`repro.serve` result cache and batch scheduler.
+  ``cache_evictions``, ``batches_dispatched`` / ``requests_served``,
+  ``requests_shed`` / ``requests_rerouted`` / ``worker_deaths`` /
+  ``worker_respawns``) — events from the :mod:`repro.serve` result
+  cache, batch scheduler, and sharded process-pool tier.
 
 Collection is opt-in and guarded: instrumented sites call
 :func:`active` and skip all accounting when it returns ``None`` (the
@@ -76,6 +78,10 @@ COUNTER_FIELDS = (
     "cache_evictions",
     "batches_dispatched",
     "requests_served",
+    "requests_shed",
+    "requests_rerouted",
+    "worker_deaths",
+    "worker_respawns",
 )
 
 

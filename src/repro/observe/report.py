@@ -295,6 +295,13 @@ class RunReport:
                 f"{c['cache_hits']}/{looked_up} hits ({rate:.1%}), "
                 f"{c['cache_evictions']} evictions"
             )
+        if c["requests_shed"] or c["worker_deaths"] or c["worker_respawns"]:
+            lines.append(
+                f"sharding: {c['requests_shed']} shed, "
+                f"{c['requests_rerouted']} rerouted, "
+                f"{c['worker_deaths']} worker deaths, "
+                f"{c['worker_respawns']} respawns"
+            )
         roof = self.roofline_summary(machine)
         lines.append("")
         lines.append(

@@ -23,6 +23,7 @@ of the stack threads through every layer:
 from .checkpoint import CHECKPOINT_VERSION, CheckpointManager, inputs_digest
 from .deadline import Deadline
 from .errors import (
+    AdmissionRejected,
     BpmaxError,
     CheckpointError,
     DeadlineExceeded,
@@ -30,6 +31,8 @@ from .errors import (
     InvalidSequenceError,
     MessageLost,
     RankFailure,
+    RequestCancelled,
+    WorkerFailure,
 )
 from .faults import FaultEvent, FaultPlan
 from .retry import retry
@@ -46,6 +49,9 @@ __all__ = [
     "InvalidSequenceError",
     "MessageLost",
     "RankFailure",
+    "AdmissionRejected",
+    "WorkerFailure",
+    "RequestCancelled",
     "FaultEvent",
     "FaultPlan",
     "retry",

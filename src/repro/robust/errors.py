@@ -17,6 +17,9 @@ __all__ = [
     "CheckpointError",
     "MessageLost",
     "RankFailure",
+    "AdmissionRejected",
+    "WorkerFailure",
+    "RequestCancelled",
 ]
 
 
@@ -68,3 +71,31 @@ class MessageLost(BpmaxError, RuntimeError):
 
 class RankFailure(BpmaxError, RuntimeError):
     """A simulated MPI rank died, or an operation touched a dead rank."""
+
+
+class AdmissionRejected(BpmaxError, RuntimeError):
+    """The serving tier shed a request at admission (overload protection).
+
+    Raised-or-reported *before* any compute is spent: the queue bound of
+    the request's priority class is full, or its deadline already cannot
+    be met.  Clients should back off and retry; the request was never
+    partially executed.
+    """
+
+
+class WorkerFailure(BpmaxError, RuntimeError):
+    """A shard worker process died or hung while holding a request.
+
+    Reported only once the bounded re-route budget is exhausted — a
+    single worker death is normally absorbed by respawn + re-route and
+    never surfaces to the client.
+    """
+
+
+class RequestCancelled(BpmaxError, RuntimeError):
+    """A queued request was cancelled by scheduler shutdown.
+
+    The structured resolution of a still-queued request when a scheduler
+    is closed with ``cancel=True`` — the future resolves with this error
+    instead of hanging forever or silently computing after shutdown.
+    """

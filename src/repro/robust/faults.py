@@ -39,7 +39,8 @@ __all__ = ["FaultEvent", "FaultPlan"]
 class FaultEvent:
     """One injected fault occurrence (for logs and determinism tests)."""
 
-    kind: str  # "crash-window" | "slow-window" | "crash-worker" | "drop" | "rank-death"
+    kind: str  # "crash-window" | "slow-window" | "crash-worker" | "drop"
+    # | "rank-death" | "shard-kill" | "shard-hang"
     site: tuple[int, ...]  # the targeted coordinates
 
 
@@ -61,6 +62,14 @@ class FaultPlan:
         dropped (seeded; retries re-roll).
     rank_deaths: ``(rank, diagonal)`` pairs — the rank dies at the start
         of that outer-diagonal wavefront.
+    shard_kills: ``(shard, ordinal)`` pairs — the shard worker process
+        hard-exits (``os._exit``) just before serving its ``ordinal``-th
+        request (1-based), modelling an OOM kill / segfault.  Polled by
+        :meth:`shard_fault`; the serving tier strips a shard's kill
+        faults when it respawns the worker (fires-once convention).
+    shard_hangs: ``(shard, ordinal)`` pairs — the shard worker wedges
+        (sleeps forever) instead of serving that request, modelling a
+        livelock; the parent's hang detector must kill and respawn it.
     """
 
     def __init__(
@@ -73,6 +82,8 @@ class FaultPlan:
         message_drops: Iterable[tuple[int, int]] = (),
         message_drop_rate: float = 0.0,
         rank_deaths: Iterable[tuple[int, int]] = (),
+        shard_kills: Iterable[tuple[int, int]] = (),
+        shard_hangs: Iterable[tuple[int, int]] = (),
     ) -> None:
         if not 0.0 <= message_drop_rate <= 1.0:
             raise ValueError(
@@ -87,6 +98,8 @@ class FaultPlan:
         self.worker_crashes = frozenset(int(i) for i in worker_crashes)
         self.message_drop_rate = float(message_drop_rate)
         self.rank_deaths = frozenset((int(r), int(d)) for r, d in rank_deaths)
+        self.shard_kills = frozenset((int(s), int(o)) for s, o in shard_kills)
+        self.shard_hangs = frozenset((int(s), int(o)) for s, o in shard_hangs)
         self._drop_budget: dict[tuple[int, int], int] = {}
         for edge in message_drops:
             key = (int(edge[0]), int(edge[1]))
@@ -154,11 +167,55 @@ class FaultPlan:
             return True
         return False
 
+    # -- shard workers -------------------------------------------------------
+
+    def shard_fault(self, shard: int, ordinal: int) -> str | None:
+        """Poll before a shard worker serves its ``ordinal``-th request.
+
+        Returns ``"kill"`` (the worker should hard-exit), ``"hang"``
+        (the worker should wedge), or ``None`` (healthy).  Like every
+        scripted fault, each site fires at most once per plan instance;
+        the serving tier additionally drops a shard's kill/hang faults
+        from the configuration it hands the *respawned* worker, so the
+        re-routed request succeeds on retry.
+        """
+        for kind, sites in (("shard-kill", self.shard_kills),
+                            ("shard-hang", self.shard_hangs)):
+            key = (kind, shard, ordinal)
+            if (shard, ordinal) in sites and key not in self.fired:
+                self.fired.add(key)
+                self._record(kind, (shard, ordinal))
+                return "kill" if kind == "shard-kill" else "hang"
+        return None
+
+    def without_shard(self, shard: int) -> "FaultPlan":
+        """A copy of this plan with ``shard``'s kill/hang faults removed.
+
+        Used when respawning a worker: the injected fault modelled a
+        transient failure, so the replacement process must not replay it
+        (the fires-once convention, across a process boundary).
+        """
+        plan = FaultPlan(
+            seed=self.seed,
+            crash_windows=self.crash_windows,
+            slow_windows=self.slow_windows,
+            slow_delay_s=self.slow_delay_s,
+            worker_crashes=self.worker_crashes,
+            message_drop_rate=self.message_drop_rate,
+            rank_deaths=self.rank_deaths,
+            shard_kills=[s for s in self.shard_kills if s[0] != shard],
+            shard_hangs=[s for s in self.shard_hangs if s[0] != shard],
+        )
+        plan._drop_budget = dict(self._drop_budget)
+        return plan
+
     def __repr__(self) -> str:
         return (
             f"FaultPlan(seed={self.seed}, crashes={len(self.crash_windows)}, "
             f"slow={len(self.slow_windows)}, workers={len(self.worker_crashes)}, "
             f"drops={sum(self._drop_budget.values())}"
             f"+rate={self.message_drop_rate:g}, "
-            f"rank_deaths={len(self.rank_deaths)}, events={len(self.events)})"
+            f"rank_deaths={len(self.rank_deaths)}, "
+            f"shard_faults={len(self.shard_kills) + len(self.shard_hangs)}, "
+            f"events={len(self.events)})"
         )

@@ -12,7 +12,17 @@ one-shot library call:
 * :class:`~repro.serve.scheduler.BatchScheduler` — adaptive size/latency
   batching, in-flight coalescing, per-request deadline/retry/fallback,
   dispatch over :class:`~repro.parallel.pool.ParallelRunner` with one
-  shared :class:`~repro.kernels.Workspace` per batch.
+  shared :class:`~repro.kernels.Workspace` per batch;
+* :class:`~repro.serve.shard.ShardScheduler` — the multi-process tier:
+  N worker processes each owning a cache shard, consistent-hash routing
+  by content address, admission control with priority classes and
+  deadline-aware load shedding (:mod:`repro.serve.admission`), worker
+  heartbeats with respawn/re-route self-healing, and graceful
+  degradation to in-process execution (``bpmax serve --shards N``);
+* :mod:`~repro.serve.scenarios` — the seeded stress-scenario library
+  (bursty arrivals, heavy-tail sizes, deadline storms, poisoned
+  requests, worker kills) replayed by
+  ``benchmarks/bench_serve_stress.py`` and the CI stress-smoke job.
 
 Typical use::
 
@@ -29,8 +39,10 @@ or, with explicit control::
         print(fut.result().score)
 """
 
+from .admission import AdmissionController, AdmissionStats
 from .cache import CachedAnswer, CacheStats, ResultCache
 from .request import (
+    PRIORITY_CLASSES,
     ServeResult,
     SubmitRequest,
     batch_key,
@@ -39,14 +51,22 @@ from .request import (
     request_from_dict,
     scoring_fingerprint,
 )
+from .scenarios import SCENARIOS, Scenario, TimedRequest, generate, get_scenario
 from .scheduler import BatchScheduler, SchedulerStats
+from .shard import ShardScheduler, ShardStats, route_key
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionStats",
     "BatchScheduler",
     "SchedulerStats",
+    "ShardScheduler",
+    "ShardStats",
+    "route_key",
     "CachedAnswer",
     "CacheStats",
     "ResultCache",
+    "PRIORITY_CLASSES",
     "ServeResult",
     "SubmitRequest",
     "batch_key",
@@ -54,4 +74,9 @@ __all__ = [
     "parse_request_line",
     "request_from_dict",
     "scoring_fingerprint",
+    "SCENARIOS",
+    "Scenario",
+    "TimedRequest",
+    "generate",
+    "get_scenario",
 ]

@@ -22,12 +22,18 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from typing import TYPE_CHECKING
+
 from ..core.engine import ENGINES
 from ..robust.errors import BpmaxError
 from ..rna.alphabet import normalize
 from ..rna.scoring import DEFAULT_MODEL, ScoringModel
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..robust.faults import FaultPlan
+
 __all__ = [
+    "PRIORITY_CLASSES",
     "SubmitRequest",
     "ServeResult",
     "scoring_fingerprint",
@@ -36,6 +42,11 @@ __all__ = [
     "parse_request_line",
     "request_from_dict",
 ]
+
+#: admission-control priority classes, most to least urgent.  The
+#: sharded tier schedules strictly by class (interactive jumps every
+#: queue) and sheds the *least* urgent classes first under overload.
+PRIORITY_CLASSES = ("interactive", "batch", "scan")
 
 
 def scoring_fingerprint(model: ScoringModel) -> str:
@@ -70,6 +81,13 @@ class SubmitRequest:
     per-request compute budget measured from *submission* (queueing time
     counts against it, as in a real service), so a request that waited
     too long fails fast instead of stalling its batch.
+
+    ``priority`` names the admission-control class (one of
+    :data:`PRIORITY_CLASSES`): the sharded tier serves more urgent
+    classes first and sheds less urgent ones first under overload.
+    ``faults`` optionally carries a :class:`~repro.robust.faults.FaultPlan`
+    into the engine run — library/testing only, not part of the wire
+    format or of any cache/batch key.
     """
 
     seq1: str
@@ -82,6 +100,8 @@ class SubmitRequest:
     deadline_s: float | None = None
     retries: int = 0
     fallback: tuple[str, ...] = ()
+    priority: str = "batch"
+    faults: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.variant not in ENGINES:
@@ -98,6 +118,11 @@ class SubmitRequest:
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise BpmaxError(
                 f"deadline must be positive, got {self.deadline_s:g}"
+            )
+        if self.priority not in PRIORITY_CLASSES:
+            raise BpmaxError(
+                f"unknown priority {self.priority!r}; "
+                f"use one of {PRIORITY_CLASSES}"
             )
 
 
@@ -143,6 +168,11 @@ class ServeResult:
     the computation ran in (-1 for submit-time cache hits and failed
     validations).  Failures carry ``error``/``error_type`` and a
     ``None`` score; the batch they rode in is unaffected.
+
+    ``shard`` is the worker process that served the request in the
+    sharded tier (-1 for the in-process batch tier, submit-time
+    resolutions and shed requests; -2 for the degraded in-process
+    fallback of a collapsed pool).
     """
 
     id: str
@@ -152,6 +182,7 @@ class ServeResult:
     variant: str | None = None
     cached: bool = False
     batch: int = -1
+    shard: int = -1
     wall_s: float = 0.0
     structure: dict[str, Any] | None = None
     degraded_from: tuple[str, ...] = ()
@@ -173,6 +204,7 @@ class ServeResult:
             "variant": self.variant,
             "cached": self.cached,
             "batch": self.batch,
+            "shard": self.shard,
             "wall_s": round(self.wall_s, 6),
             "structure": self.structure,
             "degraded_from": list(self.degraded_from),
@@ -196,6 +228,7 @@ _REQUEST_KEYS = frozenset(
         "deadline",
         "retries",
         "fallback",
+        "priority",
     }
 )
 
@@ -225,6 +258,9 @@ def request_from_dict(data: dict[str, Any], where: str = "request") -> SubmitReq
     deadline = data.get("deadline")
     if deadline is not None and not isinstance(deadline, (int, float)):
         raise BpmaxError(f"{where}: 'deadline' must be a number")
+    priority = data.get("priority", "batch")
+    if not isinstance(priority, str):
+        raise BpmaxError(f"{where}: 'priority' must be a string")
     return SubmitRequest(
         seq1=data["seq1"],
         seq2=data["seq2"],
@@ -235,6 +271,7 @@ def request_from_dict(data: dict[str, Any], where: str = "request") -> SubmitReq
         deadline_s=float(deadline) if deadline is not None else None,
         retries=int(data.get("retries", 0)),
         fallback=fallback,
+        priority=priority,
     )
 
 

@@ -1,0 +1,325 @@
+"""Deterministic stress-scenario library for the serving tier.
+
+Production serving dies in predictable ways: traffic arrives in bursts,
+request sizes are heavy-tailed (one genome-scale scan behind a hundred
+interactive probes), deadline storms shed half the queue at once, a
+poisoned request crashes its worker, and sometimes the worker just dies.
+This module packages those shapes as *seeded, reproducible* generators
+so the same scenario that guards CI can be replayed locally from one
+printed seed — the :envvar:`BPMAX_TEST_SEED` convention of the test
+suite (the suite seed is the default; every generated workload is a
+pure function of ``(scenario, seed)``).
+
+The workload model follows the paper's grounding: BPMax/BPPart
+interaction scoring mixes short interactive probes with long windowed
+sRNA-target scans, which is exactly an on/off bursty arrival process
+over a heavy-tailed size distribution.
+
+Each :class:`Scenario` compiles to a list of :class:`TimedRequest` —
+an arrival offset plus a ready :class:`~repro.serve.request.SubmitRequest`
+— and optionally a :class:`~repro.robust.faults.FaultPlan` carrying
+worker-kill/hang sites.  ``benchmarks/bench_serve_stress.py`` replays
+them against a :class:`~repro.serve.shard.ShardScheduler` and reports
+p50/p99 latency and shed rate; the tests replay the small ones inline.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..rna.sequence import random_pair
+from ..robust.faults import FaultPlan
+from .request import PRIORITY_CLASSES, SubmitRequest
+
+__all__ = [
+    "Scenario",
+    "TimedRequest",
+    "SCENARIOS",
+    "default_seed",
+    "scenario_seed",
+    "generate",
+    "get_scenario",
+    "scaled",
+]
+
+
+def default_seed() -> int:
+    """The suite-wide seed (``BPMAX_TEST_SEED``, default 12345)."""
+    return int(os.environ.get("BPMAX_TEST_SEED", "12345"))
+
+
+def scenario_seed(name: str, seed: int | None = None) -> tuple[int, int]:
+    """Derive a scenario's stream seed from the suite seed.
+
+    Mirrors the test suite's ``fuzz_rng`` convention: the stream is
+    ``(suite_seed, crc32(name))`` so each scenario draws independently
+    while the whole library replays from one exported integer.
+    """
+    suite = default_seed() if seed is None else int(seed)
+    return (suite, zlib.crc32(name.encode()))
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """One scheduled arrival: submit ``request`` at ``at_s`` seconds."""
+
+    at_s: float
+    request: SubmitRequest
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reproducible serving workload shape.
+
+    Parameters
+    ----------
+    name, description: identity (the name also salts the seed stream).
+    requests: total arrivals.
+    duration_s: arrival horizon; mean arrival rate is
+        ``requests / duration_s``.
+    burstiness: 0 spreads arrivals evenly (Poisson); towards 1 the
+        arrivals concentrate into on/off bursts of ``burst_len``.
+    burst_len: arrivals per burst when bursty.
+    n_range / m_range: uniform strand-length bounds (inclusive).
+    heavy_tail: replace the uniform size draw with a clipped Pareto so
+        a few requests are far larger than the median (the scan-behind-
+        probes mix); ``tail_cap`` bounds the largest strand.
+    priority_mix: class -> probability (defaults to all ``batch``).
+    deadline_s: per-request budget applied to ``deadline_frac`` of the
+        requests (None disables deadlines).
+    deadline_frac: fraction of requests carrying the deadline — 1.0
+        with a tight ``deadline_s`` is a deadline storm.
+    poison_rate: fraction of requests with an unservable (non-RNA)
+        strand; they must fail alone with a structured error.
+    shard_kills / shard_hangs: ``(shard, ordinal)`` fault sites
+        compiled into the scenario's :class:`FaultPlan`.
+    overload: informational multiple of estimated service capacity this
+        scenario aims at (recorded in benchmark reports).
+    p99_budget_s: latency gate for the benchmark's ``--check`` mode
+        (accepted interactive+batch requests must keep p99 under it).
+    """
+
+    name: str
+    description: str
+    requests: int = 64
+    duration_s: float = 1.0
+    burstiness: float = 0.0
+    burst_len: int = 8
+    n_range: tuple[int, int] = (6, 14)
+    m_range: tuple[int, int] = (6, 14)
+    heavy_tail: bool = False
+    tail_cap: int = 28
+    priority_mix: dict[str, float] = field(default_factory=lambda: {"batch": 1.0})
+    deadline_s: float | None = None
+    deadline_frac: float = 0.0
+    poison_rate: float = 0.0
+    shard_kills: tuple[tuple[int, int], ...] = ()
+    shard_hangs: tuple[tuple[int, int], ...] = ()
+    overload: float = 1.0
+    p99_budget_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if not 0.0 <= self.burstiness <= 1.0:
+            raise ValueError(f"burstiness must be in [0, 1], got {self.burstiness}")
+        if not 0.0 <= self.poison_rate <= 1.0:
+            raise ValueError(f"poison_rate must be in [0, 1], got {self.poison_rate}")
+        total = sum(self.priority_mix.values())
+        if not self.priority_mix or abs(total - 1.0) > 1e-9:
+            raise ValueError(f"priority_mix must sum to 1, got {total}")
+        for cls in self.priority_mix:
+            if cls not in PRIORITY_CLASSES:
+                raise ValueError(
+                    f"unknown priority {cls!r}; use one of {PRIORITY_CLASSES}"
+                )
+
+    def fault_plan(self, seed: int | None = None) -> FaultPlan | None:
+        """The scenario's worker-fault plan (None when fault-free)."""
+        if not self.shard_kills and not self.shard_hangs:
+            return None
+        suite, derived = scenario_seed(self.name, seed)
+        return FaultPlan(
+            seed=suite ^ derived,
+            shard_kills=self.shard_kills,
+            shard_hangs=self.shard_hangs,
+        )
+
+
+def _arrivals(scn: Scenario, rng: np.random.Generator) -> np.ndarray:
+    """Arrival offsets in [0, duration_s), sorted."""
+    if scn.burstiness <= 0:
+        at = rng.uniform(0.0, scn.duration_s, size=scn.requests)
+    else:
+        # on/off process: bursts of burst_len land together at a few
+        # burst epochs; the rest trickle uniformly.  burstiness is the
+        # fraction of traffic arriving inside bursts.
+        in_burst = rng.random(scn.requests) < scn.burstiness
+        n_bursts = max(1, int(np.ceil(in_burst.sum() / scn.burst_len)))
+        epochs = rng.uniform(0.0, scn.duration_s, size=n_bursts)
+        at = np.where(
+            in_burst,
+            epochs[rng.integers(0, n_bursts, size=scn.requests)]
+            + rng.uniform(0.0, 0.005, size=scn.requests),
+            rng.uniform(0.0, scn.duration_s, size=scn.requests),
+        )
+    return np.sort(at)
+
+
+def _size(scn: Scenario, rng: np.random.Generator, lo: int, hi: int) -> int:
+    if not scn.heavy_tail:
+        return int(rng.integers(lo, hi + 1))
+    # clipped Pareto: median near lo, occasional sizes up to tail_cap
+    draw = lo + (rng.pareto(2.5) + 0.0) * (hi - lo)
+    return int(min(scn.tail_cap, max(lo, round(draw))))
+
+
+#: characters guaranteed to fail sequence normalization
+_POISON = "XX!!XX"
+
+
+def generate(scn: Scenario, seed: int | None = None, **request_kw) -> list[TimedRequest]:
+    """Compile a scenario into timed requests (pure in ``(scn, seed)``).
+
+    ``request_kw`` overrides :class:`SubmitRequest` fields wholesale
+    (e.g. ``variant="batched"`` to pin an engine for a benchmark run).
+    """
+    rng = np.random.default_rng(scenario_seed(scn.name, seed))
+    classes = sorted(scn.priority_mix)
+    probs = np.array([scn.priority_mix[c] for c in classes])
+    probs = probs / probs.sum()
+    out: list[TimedRequest] = []
+    for i, at in enumerate(_arrivals(scn, rng)):
+        n = _size(scn, rng, *scn.n_range)
+        m = _size(scn, rng, *scn.m_range)
+        s1, s2 = random_pair(n, m, int(rng.integers(0, 2**31)))
+        seq1, seq2 = str(s1), str(s2)
+        if scn.poison_rate > 0 and rng.random() < scn.poison_rate:
+            seq1 = _POISON
+        deadline = None
+        if scn.deadline_s is not None and rng.random() < scn.deadline_frac:
+            deadline = scn.deadline_s
+        priority = classes[int(rng.choice(len(classes), p=probs))]
+        kw = {
+            "id": f"{scn.name}-{i}",
+            "priority": priority,
+            "deadline_s": deadline,
+            **request_kw,
+        }
+        out.append(TimedRequest(float(at), SubmitRequest(seq1, seq2, **kw)))
+    return out
+
+
+def _mix(interactive: float, batch: float, scan: float) -> dict[str, float]:
+    return {"interactive": interactive, "batch": batch, "scan": scan}
+
+
+#: the checked-in scenario library, keyed by name.  ``bursty-small`` is
+#: the CI smoke scenario: 2 shards, 2x overload-ish burst, one injected
+#: worker kill — small enough for a runner, sharp enough to catch a
+#: hung future or an unstructured shed.
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            "steady",
+            "uniform arrivals, uniform sizes — the control workload",
+            requests=64,
+            duration_s=1.0,
+        ),
+        Scenario(
+            "bursty",
+            "80% of traffic in bursts of 16 — queues must absorb or shed",
+            requests=96,
+            duration_s=1.5,
+            burstiness=0.8,
+            burst_len=16,
+            priority_mix=_mix(0.3, 0.5, 0.2),
+        ),
+        Scenario(
+            "heavy-tail",
+            "Pareto sizes: interactive probes behind occasional big scans",
+            requests=64,
+            duration_s=1.5,
+            heavy_tail=True,
+            tail_cap=32,
+            priority_mix=_mix(0.4, 0.3, 0.3),
+        ),
+        Scenario(
+            "deadline-storm",
+            "every request carries a tight deadline; most must shed fast, "
+            "none may hang",
+            requests=96,
+            duration_s=0.5,
+            burstiness=0.9,
+            burst_len=32,
+            deadline_s=0.15,
+            deadline_frac=1.0,
+            priority_mix=_mix(0.5, 0.5, 0.0),
+            overload=3.0,
+        ),
+        Scenario(
+            "poisoned",
+            "10% unservable requests mixed into normal traffic; each fails "
+            "alone with a structured error",
+            requests=64,
+            duration_s=1.0,
+            poison_rate=0.10,
+        ),
+        Scenario(
+            "worker-kill",
+            "steady traffic with two injected worker deaths; respawn and "
+            "re-route must keep every accepted answer exact",
+            requests=48,
+            duration_s=1.0,
+            shard_kills=((0, 3), (1, 5)),
+        ),
+        Scenario(
+            "overload-2x",
+            "2x capacity bursts plus one worker death: the acceptance "
+            "scenario — shed with structure, heal, stay exact",
+            requests=128,
+            duration_s=1.0,
+            burstiness=0.9,
+            burst_len=32,
+            priority_mix=_mix(0.3, 0.5, 0.2),
+            shard_kills=((0, 4),),
+            overload=2.0,
+        ),
+        Scenario(
+            "bursty-small",
+            "CI smoke: small bursty workload, 2 shards, one injected kill",
+            requests=40,
+            duration_s=0.6,
+            burstiness=0.8,
+            burst_len=10,
+            n_range=(5, 10),
+            m_range=(5, 10),
+            priority_mix=_mix(0.4, 0.4, 0.2),
+            shard_kills=((0, 2),),
+            p99_budget_s=20.0,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name (helpful error on a miss)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+
+
+def scaled(scn: Scenario, time_scale: float) -> Scenario:
+    """A copy with the arrival horizon stretched by ``time_scale``."""
+    if time_scale <= 0:
+        raise ValueError(f"time_scale must be > 0, got {time_scale}")
+    deadline = scn.deadline_s * time_scale if scn.deadline_s is not None else None
+    return replace(scn, duration_s=scn.duration_s * time_scale, deadline_s=deadline)

@@ -50,7 +50,7 @@ from ..observe.metrics import active as _metrics_active
 from ..observe.tracer import trace
 from ..parallel.pool import ParallelRunner
 from ..robust.deadline import Deadline
-from ..robust.errors import BpmaxError
+from ..robust.errors import BpmaxError, RequestCancelled
 from .cache import CachedAnswer, ResultCache
 from .request import ServeResult, SubmitRequest, batch_key, cache_key
 
@@ -90,7 +90,7 @@ class SchedulerStats:
 class _Pending:
     """One queued primary request plus the followers coalesced onto it."""
 
-    __slots__ = ("request", "future", "deadline", "submitted_at", "followers")
+    __slots__ = ("request", "future", "deadline", "submitted_at", "followers", "resolved")
 
     def __init__(self, request: SubmitRequest, deadline: Deadline | None) -> None:
         self.request = request
@@ -98,6 +98,7 @@ class _Pending:
         self.deadline = deadline
         self.submitted_at = time.monotonic()
         self.followers: list[_Pending] = []
+        self.resolved = False
 
 
 class BatchScheduler:
@@ -228,19 +229,64 @@ class BatchScheduler:
         with self._cond:
             self._cond.wait_for(lambda: self._outstanding == 0)
 
-    def close(self) -> None:
-        """Flush, wait for outstanding work, and release the pool.
+    def cancel_pending(self) -> int:
+        """Resolve every still-queued request with a structured
+        :class:`~repro.robust.errors.RequestCancelled` result.
 
-        Idempotent; afterwards :meth:`submit` raises.
+        Only undispatched requests are cancelled — batches already
+        running (or queued on the pool) complete normally and resolve
+        their own futures.  Returns the number of requests cancelled
+        (followers included).  Every cancelled future *resolves*: a
+        cancellation is an answer, never a hang.
+        """
+        with self._cond:
+            victims: list[_Pending] = []
+            for bkey in list(self._groups):
+                victims.extend(self._groups.pop(bkey))
+                self._group_since.pop(bkey, None)
+            while self._ready:
+                victims.extend(self._ready.popleft())
+            self._cond.notify_all()
+        cancelled = 0
+        for pending in victims:
+            cancelled += 1 + len(pending.followers)
+            self._resolve(
+                pending,
+                self._error_result(
+                    pending.request,
+                    RequestCancelled(
+                        "request cancelled before dispatch "
+                        "(scheduler shutting down)"
+                    ),
+                ),
+            )
+        return cancelled
+
+    def close(self, cancel: bool = False) -> None:
+        """Shut down and release the pool.  Idempotent; afterwards
+        :meth:`submit` raises.
+
+        By default queued work is flushed and completed.  With
+        ``cancel=True`` undispatched requests are instead resolved
+        immediately with structured
+        :class:`~repro.robust.errors.RequestCancelled` results (running
+        batches still complete) — fast shutdown without ever stranding
+        a future.
         """
         with self._cond:
             if self._stopped:
                 return
             self._stopped = True
+        if cancel:
+            self.cancel_pending()
+        with self._cond:
             self._flush_locked()
             self._cond.notify_all()
         self._dispatcher.join()
         self._pool.close()
+        # belt and braces: anything that slipped past the dispatcher
+        # after the pool closed resolves as cancelled, never hangs
+        self.cancel_pending()
 
     def __enter__(self) -> "BatchScheduler":
         return self
@@ -371,6 +417,7 @@ class BatchScheduler:
                 fallback=req.fallback,
                 retries=req.retries,
                 deadline=pending.deadline,
+                faults=req.faults,
                 **engine_kwargs,
             )
         except BpmaxError as exc:
@@ -444,6 +491,10 @@ class BatchScheduler:
         fanned out below) or hits the cache — it never recomputes.
         """
         req = pending.request
+        with self._cond:
+            if pending.resolved:  # raced with another resolver: first wins
+                return
+            pending.resolved = True
         if result.ok and not result.cached:
             try:
                 self.cache.put(

@@ -1,0 +1,156 @@
+"""Tests for the seeded stress-scenario library.
+
+The contract under test: every generated workload is a pure function of
+``(scenario, seed)``, seeded through the suite-wide ``BPMAX_TEST_SEED``
+convention, so any stress failure replays from one printed integer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.request import PRIORITY_CLASSES, SubmitRequest, cache_key
+from repro.serve.scenarios import (
+    SCENARIOS,
+    Scenario,
+    default_seed,
+    generate,
+    get_scenario,
+    scaled,
+    scenario_seed,
+)
+from repro.robust.errors import BpmaxError
+
+
+def _signature(timed):
+    return [
+        (t.at_s, t.request.seq1, t.request.seq2, t.request.priority,
+         t.request.deadline_s)
+        for t in timed
+    ]
+
+
+class TestSeeding:
+    def test_default_seed_reads_env(self, monkeypatch):
+        monkeypatch.setenv("BPMAX_TEST_SEED", "777")
+        assert default_seed() == 777
+        assert scenario_seed("steady")[0] == 777
+
+    def test_scenario_streams_are_name_salted(self):
+        assert scenario_seed("steady", 1) != scenario_seed("bursty", 1)
+        assert scenario_seed("steady", 1)[0] == scenario_seed("bursty", 1)[0]
+
+    def test_same_seed_same_workload(self):
+        for name in ("steady", "bursty", "heavy-tail", "poisoned"):
+            scn = get_scenario(name)
+            assert _signature(generate(scn, seed=42)) == _signature(
+                generate(scn, seed=42)
+            ), name
+
+    def test_different_seeds_differ(self):
+        scn = get_scenario("bursty")
+        assert _signature(generate(scn, seed=1)) != _signature(
+            generate(scn, seed=2)
+        )
+
+    def test_env_seed_threads_through_generate(self, monkeypatch):
+        scn = get_scenario("steady")
+        monkeypatch.setenv("BPMAX_TEST_SEED", "101")
+        a = _signature(generate(scn))
+        monkeypatch.setenv("BPMAX_TEST_SEED", "102")
+        b = _signature(generate(scn))
+        monkeypatch.setenv("BPMAX_TEST_SEED", "101")
+        again = _signature(generate(scn))
+        assert a == again
+        assert a != b
+
+
+class TestGeneration:
+    def test_request_count_and_ordering(self):
+        scn = get_scenario("steady")
+        timed = generate(scn, seed=5)
+        assert len(timed) == scn.requests
+        ats = [t.at_s for t in timed]
+        assert ats == sorted(ats)
+        assert all(0.0 <= a <= scn.duration_s + 0.01 for a in ats)
+
+    def test_sizes_respect_ranges(self):
+        scn = get_scenario("bursty-small")
+        for t in generate(scn, seed=9):
+            assert scn.n_range[0] <= len(t.request.seq1) <= scn.n_range[1]
+            assert scn.m_range[0] <= len(t.request.seq2) <= scn.m_range[1]
+
+    def test_heavy_tail_bounded_by_cap(self):
+        scn = get_scenario("heavy-tail")
+        sizes = [len(t.request.seq1) for t in generate(scn, seed=3)]
+        assert max(sizes) <= scn.tail_cap
+
+    def test_priority_mix_draws_valid_classes(self):
+        scn = get_scenario("bursty")
+        classes = {t.request.priority for t in generate(scn, seed=4)}
+        assert classes <= set(PRIORITY_CLASSES)
+        assert len(classes) > 1  # the mix actually mixes
+
+    def test_poisoned_requests_fail_cache_key(self):
+        scn = get_scenario("poisoned")
+        timed = generate(scn, seed=6)
+        poisoned = [t for t in timed if t.request.seq1 == "XX!!XX"]
+        assert poisoned, "poison rate of 0.10 over 64 requests drew none"
+        with pytest.raises(BpmaxError):
+            cache_key(poisoned[0].request)
+
+    def test_deadline_storm_carries_deadlines(self):
+        scn = get_scenario("deadline-storm")
+        timed = generate(scn, seed=8)
+        assert all(t.request.deadline_s == scn.deadline_s for t in timed)
+
+    def test_request_kw_overrides(self):
+        scn = get_scenario("steady")
+        timed = generate(scn, seed=2, variant="batched")
+        assert all(t.request.variant == "batched" for t in timed)
+
+
+class TestFaultPlans:
+    def test_fault_free_scenarios_have_no_plan(self):
+        assert get_scenario("steady").fault_plan() is None
+
+    def test_kill_scenarios_compile_their_sites(self):
+        scn = get_scenario("worker-kill")
+        plan = scn.fault_plan(seed=1)
+        assert plan is not None
+        assert plan.shard_kills == frozenset(scn.shard_kills)
+        assert plan.shard_fault(0, 3) == "kill"
+        assert plan.shard_fault(0, 3) is None  # fires once
+
+    def test_without_shard_strips_sites(self):
+        plan = get_scenario("worker-kill").fault_plan(seed=1)
+        stripped = plan.without_shard(0)
+        assert stripped.shard_fault(0, 3) is None
+        assert stripped.shard_fault(1, 5) == "kill"
+
+
+class TestLibrary:
+    def test_acceptance_scenarios_are_checked_in(self):
+        for needed in ("steady", "bursty", "deadline-storm", "poisoned",
+                       "worker-kill", "overload-2x", "bursty-small"):
+            assert needed in SCENARIOS
+
+    def test_get_scenario_names_available_on_miss(self):
+        with pytest.raises(KeyError, match="steady"):
+            get_scenario("no-such-scenario")
+
+    def test_scaled_stretches_horizon_and_deadline(self):
+        scn = get_scenario("deadline-storm")
+        slow = scaled(scn, 10.0)
+        assert slow.duration_s == pytest.approx(scn.duration_s * 10)
+        assert slow.deadline_s == pytest.approx(scn.deadline_s * 10)
+        with pytest.raises(ValueError):
+            scaled(scn, 0.0)
+
+    def test_validation_rejects_bad_mix(self):
+        with pytest.raises(ValueError, match="priority_mix"):
+            Scenario("x", "bad", priority_mix={"batch": 0.5})
+        with pytest.raises(ValueError, match="priority"):
+            Scenario("x", "bad", priority_mix={"urgent": 1.0})
+        with pytest.raises(ValueError, match="burstiness"):
+            Scenario("x", "bad", burstiness=1.5)

@@ -251,3 +251,106 @@ class TestObserveIntegration:
         assert c.requests_served == 3
         assert c.batches_dispatched == 1
         assert c.cache_misses >= 1
+
+
+class TestCancellation:
+    """close()/drain() semantics: a queued request always *resolves* —
+    with its answer or a structured cancellation — never hangs."""
+
+    def test_cancel_pending_resolves_queued_futures(self):
+        sched = BatchScheduler(max_batch=1000, max_delay_s=60.0, workers=1)
+        futs = [
+            sched.submit(SubmitRequest("GGGG", "CCCC", id="a")),
+            sched.submit(SubmitRequest("AUAUGG", "CCAUAU", id="b")),
+        ]
+        cancelled = sched.cancel_pending()
+        assert cancelled == 2
+        for f in futs:
+            r = f.result(timeout=5)
+            assert not r.ok
+            assert r.error_type == "RequestCancelled"
+        sched.close()
+
+    def test_cancel_pending_covers_followers(self):
+        sched = BatchScheduler(max_batch=1000, max_delay_s=60.0, workers=1)
+        primary = sched.submit(SubmitRequest("GGGG", "CCCC", id="p"))
+        follower = sched.submit(SubmitRequest("GGGG", "CCCC", id="f"))
+        assert sched.cancel_pending() == 2
+        for f in (primary, follower):
+            assert f.result(timeout=5).error_type == "RequestCancelled"
+        sched.close()
+
+    def test_close_cancel_true_sheds_queued_work(self):
+        sched = BatchScheduler(max_batch=1000, max_delay_s=60.0, workers=1)
+        futs = [
+            sched.submit(r)
+            for r in _requests([("GGGG", "CCCC"), ("AUAU", "UAUA")])
+        ]
+        sched.close(cancel=True)
+        results = [f.result(timeout=5) for f in futs]
+        assert all(r.error_type == "RequestCancelled" for r in results)
+        from repro.robust.errors import BpmaxError, RequestCancelled
+
+        assert issubclass(RequestCancelled, BpmaxError)
+
+    def test_close_default_still_completes_queued_work(self):
+        sched = BatchScheduler(max_batch=1000, max_delay_s=60.0, workers=1)
+        fut = sched.submit(SubmitRequest("GGGG", "CCCC", id="x"))
+        sched.close()
+        r = fut.result(timeout=30)
+        assert r.ok and r.score == 12.0
+
+    def test_cancelled_results_are_not_cached(self):
+        sched = BatchScheduler(max_batch=1000, max_delay_s=60.0, workers=1)
+        sched.submit(SubmitRequest("GGGG", "CCCC", id="a"))
+        sched.cancel_pending()
+        stats = sched.stats
+        sched.close()
+        assert stats.cache["inserts"] == 0
+
+
+class TestFaultPlanPoisoning:
+    """Satellite: a request whose engine run crashes (deterministically,
+    via FaultPlan) fails only its own ServeResult."""
+
+    def test_injected_crash_fails_only_its_request(self):
+        from repro.robust import FaultPlan
+
+        windows = [(i, j) for i in range(16) for j in range(16)]
+        reqs = [
+            SubmitRequest("GGGG", "CCCC", id="good1"),
+            SubmitRequest(
+                "GGGG",
+                "CCCA",
+                id="poisoned",
+                faults=FaultPlan(seed=3, crash_windows=windows),
+            ),
+            SubmitRequest("AUAU", "UAUA", id="good2"),
+        ]
+        with BatchScheduler(cache=0) as sched:
+            results = sched.serve_all(reqs)
+            stats = sched.stats
+        by_id = {r.id: r for r in results}
+        assert by_id["good1"].ok and by_id["good1"].score == 12.0
+        assert by_id["good2"].ok
+        assert not by_id["poisoned"].ok
+        assert by_id["poisoned"].error_type == "EngineFailure"
+        assert stats.errors == 1 and stats.completed == 3
+
+    def test_injected_crash_recovers_with_retry(self):
+        from repro.robust import FaultPlan
+
+        # one crash site, fired once: the retry's run sails past it
+        with BatchScheduler(cache=0) as sched:
+            (r,) = sched.serve_all(
+                [
+                    SubmitRequest(
+                        "GGGG",
+                        "CCCC",
+                        id="flaky",
+                        retries=1,
+                        faults=FaultPlan(seed=3, crash_windows=[(1, 1)]),
+                    )
+                ]
+            )
+        assert r.ok and r.score == 12.0  # crash fires once; the retry lands

@@ -156,6 +156,36 @@ class TestServe:
         p = run_cli("serve", "-", stdin="# only comments\n")
         assert p.returncode == 2
 
+    def test_serve_sharded_tier(self, tmp_path):
+        out = tmp_path / "out.jsonl"
+        stdin = self._lines(
+            {"seq1": "GGGG", "seq2": "CCCC", "id": "a"},
+            {"seq1": "GCAUGC", "seq2": "AUGCAU", "id": "b",
+             "priority": "interactive"},
+            {"seq1": "GGGG", "seq2": "CCCC", "id": "dup"},
+        )
+        p = run_cli("serve", "-", "--shards", "2", "--queue-limit", "8",
+                    "--out", str(out), "--stats", stdin=stdin)
+        assert p.returncode == 0
+        results = {r["id"]: r for line in out.read_text().splitlines()
+                   for r in [json.loads(line)]}
+        assert results["a"]["ok"] and results["a"]["score"] == 12.0
+        assert results["b"]["ok"] and results["b"]["score"] == 15.0
+        assert results["a"]["shard"] >= 0
+        # identical content routes to one shard and reuses its cache
+        assert results["dup"]["shard"] == results["a"]["shard"]
+        assert results["dup"]["cached"]
+        stats = json.loads(p.stderr.split("serve: ", 1)[1])
+        assert stats["deaths"] == 0 and stats["admission"]["admitted"] == 3
+
+    def test_serve_sharded_bad_flags_exit_two(self):
+        stdin = self._lines({"seq1": "G", "seq2": "C"})
+        p = run_cli("serve", "-", "--shards", "-1", stdin=stdin)
+        assert p.returncode == 2
+        p = run_cli("serve", "-", "--shards", "2", "--queue-limit", "0",
+                    stdin=stdin)
+        assert p.returncode == 2
+
     def test_serve_missing_file_exits_two(self, tmp_path):
         p = run_cli("serve", str(tmp_path / "missing.jsonl"))
         assert p.returncode == 2
@@ -181,6 +211,15 @@ class TestSubmitServePipeline:
             "seq1": "GGGG", "seq2": "CCCC", "id": "x",
             "deadline": 5.0, "fallback": ["hybrid", "coarse"],
         }
+
+    def test_submit_priority_round_trips_through_serve(self, tmp_path):
+        p = run_cli("submit", "GGGG", "CCCC", "--id", "vip",
+                    "--priority", "interactive")
+        assert p.returncode == 0
+        assert json.loads(p.stdout)["priority"] == "interactive"
+        p = run_cli("serve", "-", stdin=p.stdout)
+        assert p.returncode == 0
+        assert json.loads(p.stdout)["ok"]
 
     def test_submit_bad_fallback_exits_two(self):
         p = run_cli("submit", "G", "C", "--fallback", "warp-drive")
