@@ -27,6 +27,16 @@ The gate compares the *relative speedup* of the default backend over
 ``hybrid-tiled`` measured in the same process — machine-independent, so
 a committed laptop baseline remains meaningful on a CI runner.
 
+Scaling-exponent mode (``--slope``) times every backend over a ladder of
+inner sizes M, least-squares-fits log(time) against log(M) per backend
+and reports the fitted exponent — the honest way to compare a
+Four-Russians kernel (lower growth rate, higher constant) against the
+dense batched kernel on a noisy machine::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_backends.py \\
+        --slope 24,40,64,96 --backend fourrussians \\
+        --merge-baseline benchmarks/BENCH_kernels_baseline.json
+
 Under pytest the module also exposes a smoke test at tiny sizes.
 """
 
@@ -34,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
 from pathlib import Path
@@ -133,6 +144,116 @@ def run_bench(
     return results
 
 
+def _fit_loglog(ms: list[int], times: list[float]) -> float:
+    """Least-squares slope of log(time) against log(M): the fitted exponent."""
+    xs = [math.log(m) for m in ms]
+    ys = [math.log(max(t, 1e-12)) for t in times]
+    mx = sum(xs) / len(xs)
+    my = sum(ys) / len(ys)
+    sxx = sum((x - mx) ** 2 for x in xs)
+    return sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / sxx
+
+
+def run_slope(
+    ms: list[int],
+    n: int = 24,
+    repeats: int = 3,
+    seed: int = 99,
+    backend: str | None = None,
+    threads: int = 1,
+) -> dict:
+    """Fit the scaling exponent of each backend over a ladder of M sizes.
+
+    For each round, each size and each backend one full run is timed —
+    fully interleaved, so machine noise hits every (backend, M) cell
+    alike — and the best round per cell feeds a least-squares fit of
+    log(time) vs log(M).  A backend with a genuinely cheaper inner loop
+    shows up as a *lower fitted exponent* even on hardware where
+    run-to-run variance swamps any single same-size comparison.  Scores
+    are cross-checked per size as in :func:`run_bench`.
+    """
+    if len(ms) < 2:
+        raise SystemExit("--slope needs at least two M sizes to fit a line")
+    names = available_backends()
+    if backend is not None:
+        if backend not in names:
+            raise SystemExit(
+                f"backend {backend!r} is not available; choose from {names}"
+            )
+        names = sorted({backend, "numpy-batched"})
+    problems = []
+    for m in ms:
+        s1, s2 = random_pair(n, m, seed)
+        problems.append((m, prepare_inputs(s1, s2)))
+
+    times: dict[str, dict[int, float]] = {
+        name: {m: float("inf") for m in ms} for name in names
+    }
+    scores: dict[int, float] = {}
+    for _ in range(repeats):
+        for m, inputs in problems:
+            for name in names:
+                t, s = _time_once(
+                    inputs, variant="batched", backend=name, threads=threads
+                )
+                times[name][m] = min(times[name][m], t)
+                scores.setdefault(m, s)
+                if s != scores[m]:
+                    raise AssertionError(
+                        f"backend {name} at M={m}: score {s} != {scores[m]}"
+                    )
+
+    exponents = {
+        name: _fit_loglog(ms, [times[name][m] for m in ms]) for name in names
+    }
+    nb = exponents.get("numpy-batched")
+    return {
+        "mode": "slope",
+        "n": n,
+        "ms": list(ms),
+        "repeats": repeats,
+        "seed": seed,
+        "threads": threads,
+        "times": {name: {str(m): times[name][m] for m in ms} for name in names},
+        "fitted_exponent": exponents,
+        "exponent_delta_vs_numpy_batched": (
+            {name: e - nb for name, e in exponents.items()}
+            if nb is not None
+            else {}
+        ),
+    }
+
+
+def merge_slope(results: dict, baseline_path: Path) -> None:
+    """Insert one slope run under the baseline file's ``slopes`` section."""
+    baseline = (
+        json.loads(baseline_path.read_text()) if baseline_path.exists() else {}
+    )
+    key = f"n{results['n']}|m{'-'.join(str(m) for m in results['ms'])}"
+    baseline.setdefault("slopes", {})[key] = results
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+
+
+def render_slope(results: dict) -> str:
+    ms = results["ms"]
+    lines = [
+        f"scaling exponents over M = {ms} at N = {results['n']}, "
+        f"threads={results['threads']}, best of {results['repeats']} "
+        "(interleaved)",
+        f"{'backend':24s} {'exponent':>9s} {'vs batched':>11s}  "
+        + " ".join(f"{'M=' + str(m):>9s}" for m in ms),
+    ]
+    for name in sorted(results["fitted_exponent"]):
+        e = results["fitted_exponent"][name]
+        d = results["exponent_delta_vs_numpy_batched"].get(name)
+        d_s = f"{d:+10.2f} " if d is not None else f"{'':>11s}"
+        cells = " ".join(
+            f"{results['times'][name][str(m)]:9.4f}" for m in ms
+        )
+        lines.append(f"{name:24s} {e:9.2f} {d_s} {cells}")
+    return "\n".join(lines)
+
+
 def verify_against_oracle(n: int = 6, m: int = 9, seed: int = 5) -> None:
     """Every backend must match the recursive oracle at a checkable size."""
     s1, s2 = random_pair(n, m, seed)
@@ -228,6 +349,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="thread-pool size for every timed backend engine",
     )
+    p.add_argument(
+        "--slope",
+        metavar="M1,M2,...",
+        help="fit log(time) vs log(M) per backend over these inner sizes "
+        "instead of timing one size (the exponent-comparison mode)",
+    )
     p.add_argument("--out", metavar="PATH", help="write results JSON here")
     p.add_argument(
         "--merge-baseline",
@@ -254,6 +381,35 @@ def main(argv: list[str] | None = None) -> int:
 
     if not args.skip_oracle:
         verify_against_oracle()
+    if args.slope:
+        try:
+            ms = sorted({int(x) for x in args.slope.split(",") if x.strip()})
+        except ValueError as exc:
+            raise SystemExit(
+                f"--slope must be comma-separated integers: {exc}"
+            ) from exc
+        results = run_slope(
+            ms,
+            n=args.n,
+            repeats=args.repeats,
+            seed=args.seed,
+            backend=args.backend,
+            threads=args.threads,
+        )
+        print(render_slope(results))
+        if args.out:
+            Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+            print(f"wrote {args.out}")
+        if args.merge_baseline:
+            merge_slope(results, Path(args.merge_baseline))
+            print(f"merged into {args.merge_baseline}")
+        if args.check_against:
+            print(
+                "note: --check-against is ignored in --slope mode "
+                "(exponent comparison is advisory)",
+                file=sys.stderr,
+            )
+        return 0
     results = run_bench(
         args.n,
         args.m,
@@ -288,6 +444,19 @@ def test_backends_benchmark_smoke(tmp_path):
     again = json.loads(out.read_text())
     assert again["default_backend"] in again["backends"]
     assert check_regression(again, out, tolerance=0.999) == 0
+
+
+def test_backends_benchmark_slope_smoke(tmp_path):
+    """--slope path: exponents fitted per backend, baseline merge round-trips."""
+    results = run_slope([6, 10], n=5, repeats=1, seed=3, backend="fourrussians")
+    assert set(results["times"]) == {"fourrussians", "numpy-batched"}
+    assert set(results["fitted_exponent"]) == set(results["times"])
+    assert results["exponent_delta_vs_numpy_batched"]["numpy-batched"] == 0.0
+    out = tmp_path / "baseline.json"
+    merge_slope(results, out)
+    again = json.loads(out.read_text())
+    assert again["slopes"]["n5|m6-10"]["mode"] == "slope"
+    assert render_slope(results)
 
 
 def test_backends_benchmark_single_backend_threads(tmp_path):

@@ -286,7 +286,15 @@ def _build_parser() -> argparse.ArgumentParser:
     e.add_argument("--csv", metavar="DIR", help="also write <DIR>/<id>.csv")
 
     tn = sub.add_parser(
-        "tune", help="autotune the tiled backend's window-block width"
+        "tune", help="autotune a backend knob (tiled window-block width or "
+        "Four-Russians block width)"
+    )
+    tn.add_argument(
+        "--backend",
+        choices=("tiled", "fourrussians"),
+        default="tiled",
+        help="which backend to tune: 'tiled' sweeps the window-block width, "
+        "'fourrussians' jointly sweeps (block width q, sparsify on/off)",
     )
     tn.add_argument("--n", type=int, default=40, help="outer strand length")
     tn.add_argument("--m", type=int, default=40, help="inner strand length")
@@ -296,8 +304,9 @@ def _build_parser() -> argparse.ArgumentParser:
     tn.add_argument(
         "--candidates",
         metavar="W1,W2,...",
-        help="comma-separated window-block widths (default: powers of two "
-        "plus the heuristic picks)",
+        help="comma-separated candidate values: window-block widths for "
+        "--backend tiled, block widths q for --backend fourrussians "
+        "(default: backend-specific heuristic ladder)",
     )
     tn.add_argument(
         "--repeats", type=int, default=2, metavar="N", help="timing repeats per width"
@@ -359,9 +368,11 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         raise BpmaxError(f"--threads must be >= 1, got {args.threads}")
     if args.repeats < 1:
         raise BpmaxError(f"--repeats must be >= 1, got {args.repeats}")
-    if not BACKENDS["tiled"].available:
+    backend = getattr(args, "backend", "tiled")
+    if not BACKENDS[backend].available:
         raise BpmaxError(
-            f"tiled backend unavailable on this machine ({BACKENDS['tiled'].note})"
+            f"{backend} backend unavailable on this machine "
+            f"({BACKENDS[backend].note})"
         )
     candidates = None
     if args.candidates:
@@ -373,10 +384,15 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             raise BpmaxError(
                 f"--candidates must be comma-separated integers: {exc}"
             ) from exc
-        if not candidates or any(w < 1 or w > args.n for w in candidates):
+        lo = 2 if backend == "fourrussians" else 1
+        hi = args.m if backend == "fourrussians" else args.n
+        if not candidates or any(w < lo or w > hi for w in candidates):
             raise BpmaxError(
-                f"--candidates must be widths in [1, {args.n}], got {args.candidates!r}"
+                f"--candidates must be values in [{lo}, {hi}], "
+                f"got {args.candidates!r}"
             )
+    if backend == "fourrussians":
+        return _tune_fourrussians(args, candidates)
     result = tune(
         args.n,
         args.m,
@@ -395,6 +411,50 @@ def _cmd_tune(args: argparse.Namespace) -> int:
           f"heuristic would pick {heuristic_block(args.n, args.m, args.threads)})")
     if result.cache_file:
         print(f"cache   : {result.cache_file} [{cache_key(args.n, args.m, args.threads)}]")
+    else:
+        print("cache   : not persisted (--no-persist)")
+    return 0
+
+
+def _tune_fourrussians(args: argparse.Namespace, candidates: list[int] | None) -> int:
+    from .kernels.autotune import tune_fourrussians
+    from .kernels.fourrussians_tables import heuristic_q
+
+    try:
+        result = tune_fourrussians(
+            args.n,
+            args.m,
+            threads=args.threads,
+            q_candidates=candidates,
+            repeats=args.repeats,
+            path=args.cache,
+            persist=not args.no_persist,
+        )
+    except ValueError as exc:
+        raise BpmaxError(str(exc)) from exc
+    print(f"key     : {result.key}")
+    print("q  sparsify   wall_s")
+    for label in sorted(result.candidates):
+        q, sp = label.split("|")
+        q_val, sp_val = int(q[1:]), bool(int(sp[2:]))
+        mark = (
+            "  <-- best"
+            if q_val == result.best_wb and sp_val == result.best_sparsify
+            else ""
+        )
+        print(
+            f"{q_val:2d} {'on ' if sp_val else 'off':>8s}  "
+            f"{result.candidates[label]:.4f}{mark}"
+        )
+    d = result.key.rsplit("d", 1)[-1]
+    print(
+        f"best    : q={result.best_wb} sparsify="
+        f"{'on' if result.best_sparsify else 'off'} "
+        f"({result.best_wall_s:.4f} s; heuristic would pick "
+        f"q={heuristic_q(args.m, int(d))})"
+    )
+    if result.cache_file:
+        print(f"cache   : {result.cache_file} [{result.key}]")
     else:
         print("cache   : not persisted (--no-persist)")
     return 0

@@ -144,6 +144,14 @@ def bpmax(
                 wall = time.perf_counter() - t0
             ran_variant = getattr(engine, "variant", variant)
             backend = getattr(engine, "backend", None)
+            extra: dict = {}
+            fr = getattr(engine, "_fr", None)
+            if fr is not None:
+                extra["fr_q"] = fr.q
+                extra["fr_sparsify"] = fr.sparsify
+            note = getattr(engine, "backend_note", None)
+            if note:
+                extra["backend_note"] = note
             report = RunReport.from_counters(
                 counters,
                 n=inputs.n,
@@ -154,6 +162,7 @@ def bpmax(
                 wall_s=wall,
                 score=score,
                 resumed_windows=len(resumed),
+                **extra,
             )
         else:
             score = engine.run(**run_kwargs)

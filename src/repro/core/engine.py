@@ -73,6 +73,18 @@ class ResilientEngine:
     def table(self) -> FTable:
         return self._active.table
 
+    @property
+    def backend(self):
+        return getattr(self._active, "backend", None)
+
+    @property
+    def backend_note(self):
+        return getattr(self._active, "backend_note", None)
+
+    @property
+    def _fr(self):
+        return getattr(self._active, "_fr", None)
+
     def run(self, **run_kwargs) -> float:
         failures: list[tuple[str, BaseException]] = []
         for idx, variant in enumerate(self.chain):
@@ -127,7 +139,8 @@ def make_engine(
     optimized versions of Figs. 15/16; ``batched`` routes R0 through the
     :mod:`repro.kernels` backend registry (stacked 3-D reductions,
     ``numpy-batched`` by default).  Extra kwargs (``tile``, ``threads``,
-    ``order``, ``kernel``, ``layout``, ``backend``) reach
+    ``order``, ``kernel``, ``layout``, ``backend``, ``fr_q``,
+    ``fr_sparsify``) reach
     :class:`~repro.core.vectorized.VectorizedBPMax` — ``backend`` names
     any registered kernel backend and works with every vectorized
     variant.

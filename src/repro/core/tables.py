@@ -78,6 +78,7 @@ class FTable:
         )
         self._alloc: set[tuple[int, int]] = set()
         self._shift: dict[tuple[int, int], np.ndarray] = {}
+        self._aux: dict[tuple[int, int], dict[str, object]] = {}
 
     # -- packed addressing ---------------------------------------------------
 
@@ -137,6 +138,7 @@ class FTable:
             # the caller may mutate the returned matrix; a cached shifted
             # copy of the old contents would go stale
             self._shift.pop(key, None)
+            self._aux.pop(key, None)
         return self._buf[off]
 
     def inner(self, i1: int, j1: int) -> np.ndarray:
@@ -155,6 +157,7 @@ class FTable:
         np.copyto(self._buf[off], values, casting="unsafe")
         self._alloc.add((i1, j1))
         self._shift.pop((i1, j1), None)
+        self._aux.pop((i1, j1), None)
 
     def shifted(self, i1: int, j1: int) -> np.ndarray:
         """Split-shifted copy ``B'[k2, j2] = B[k2+1, j2]`` (-inf last row).
@@ -176,12 +179,33 @@ class FTable:
             self._shift[key] = s
         return s
 
+    def aux(self, i1: int, j1: int, name: str, build) -> object:
+        """Kernel-owned derived data cached against a *completed* window.
+
+        ``build()`` is called once per ``(window, name)`` and the result
+        cached until the window's values change (:meth:`alloc`,
+        :meth:`set_inner` and :meth:`free` invalidate, exactly like the
+        :meth:`shifted` cache).  This keeps backend-specific derived
+        forms — e.g. the Four-Russians difference encodings, computed
+        once per source window but consumed by O(N) later windows —
+        colocated with the values they are derived from, without the
+        core table depending on any kernel module.
+        """
+        key = (i1, j1)
+        slot = self._aux.setdefault(key, {})
+        val = slot.get(name)
+        if val is None:
+            val = build()
+            slot[name] = val
+        return val
+
     def free(self, i1: int, j1: int) -> None:
         """Drop a window's storage (used by windowed/streaming modes)."""
         if (i1, j1) in self._alloc:
             self._alloc.discard((i1, j1))
             self._buf[self.offset(i1, j1)].fill(self._fill)
         self._shift.pop((i1, j1), None)
+        self._aux.pop((i1, j1), None)
 
     # -- element access ------------------------------------------------------
 

@@ -93,6 +93,16 @@ class VectorizedBPMax:
         buffers warm up once per *batch* rather than once per request.
         Must match this problem's inner length and split bound, and must
         never be shared between concurrently-running engines.
+    fr_q: block width of the ``fourrussians`` backend's lookup tables
+        (``None`` = the persisted/heuristic ``~log2(M)`` default).
+    fr_sparsify: enable the candidate-list split/block pruning of the
+        ``fourrussians`` backend (bit-identical either way).
+
+    A backend carrying the ``bounded_scores`` capability verifies its
+    weight-model precondition here: when it fails, the engine resolves
+    the backend's declared fallback instead and records a structured
+    note on :attr:`backend_note` (``{"requested", "resolved",
+    "reason"}``) — a wrong score is never produced.
     """
 
     def __init__(
@@ -106,6 +116,8 @@ class VectorizedBPMax:
         layout: str = "option1",
         backend: str | KernelBackend | None = None,
         workspace: Workspace | None = None,
+        fr_q: int | None = None,
+        fr_sparsify: bool = True,
     ) -> None:
         if variant not in VARIANT_CONFIGS:
             raise ValueError(
@@ -159,6 +171,32 @@ class VectorizedBPMax:
             if m > 1
             else np.empty(0, dtype=np.float32)
         )
+        # bounded-scores backends (fourrussians): verify the precondition
+        # now, fall back with a structured note when it does not hold
+        self.backend_note: dict[str, str] | None = None
+        self._fr = None
+        if self.backend is not None and self.backend.capabilities.get(
+            "bounded_scores"
+        ):
+            from ..kernels.fourrussians_backend import FourRussiansState
+            from ..kernels.fourrussians_tables import check_bounded_scores
+
+            check = check_bounded_scores(inputs)
+            if not check.ok:
+                requested = self.backend.name
+                resolved = get_backend(self.backend.fallback)
+                self.backend_note = {
+                    "requested": requested,
+                    "resolved": resolved.name,
+                    "reason": check.reason,
+                }
+                self.backend = resolved
+            elif self.threads == 1:
+                # the blocked whole-window path; threaded runs keep the
+                # generic row-partitioned kernel (still bit-identical)
+                self._fr = FourRussiansState(
+                    self, d=check.d, q=fr_q, sparsify=fr_sparsify
+                )
 
     # -- traversal ------------------------------------------------------------
 
@@ -234,6 +272,9 @@ class VectorizedBPMax:
     def _accumulate_splits_batched_inner(
         self, i1: int, j1: int, acc: np.ndarray
     ) -> None:
+        if self._fr is not None:
+            self._fr.accumulate(self, i1, j1, acc)
+            return
         inp = self.inputs
         tri = self.table
         ws = self._ws
@@ -284,8 +325,25 @@ class VectorizedBPMax:
 
         ws = self._ws
         acc = ws.acc_reset()
-        self._accumulate_splits(i1, j1, acc)
+        if self._fr is not None:
+            # seed the split-independent terms first so the Four-Russians
+            # dominance prune starts from a meaningful baseline (max is
+            # order-independent: same bits either way)
+            self._apply_window_terms(i1, j1, acc, s1v)
+            self._accumulate_splits(i1, j1, acc)
+        else:
+            self._accumulate_splits(i1, j1, acc)
+            self._apply_window_terms(i1, j1, acc, s1v)
 
+        self._finish_rows(i1, j1, g, acc, s1v)
+
+    def _apply_window_terms(
+        self, i1: int, j1: int, acc: np.ndarray, s1v: float
+    ) -> None:
+        """The window's split-independent terms: closure-1 + independent
+        folds of both windows."""
+        inp = self.inputs
+        ws = self._ws
         # closure of the (i1, j1) intramolecular pair
         if j1 == i1 + 1:
             np.add(self._s2_ut, inp.score1[i1, j1], out=ws.red)
@@ -295,8 +353,6 @@ class VectorizedBPMax:
         # independent folds of both windows
         np.add(self._s2_ut, np.float32(s1v), out=ws.red)
         np.maximum(acc, ws.red, out=acc)
-
-        self._finish_rows(i1, j1, g, acc, s1v)
 
     def _compute_diagonal_window(self, i1: int, g: np.ndarray) -> None:
         """Windows with a single strand-1 base (no R0/R3/R4/closure1)."""

@@ -4,8 +4,8 @@ The R0 "double max-plus" reduction dominates BPMax's Θ(N³M³) runtime;
 this package makes its implementation a runtime choice:
 
 * :func:`get_backend` / :data:`BACKENDS` — the registry
-  (``numpy``, ``numpy-batched``, optional ``numba`` with automatic
-  fallback when the JIT is not installed);
+  (``numpy``, ``numpy-batched``, ``tiled``, ``fourrussians``, optional
+  ``numba`` with automatic fallback when the JIT is not installed);
 * :class:`Workspace` — the per-engine scratch pool that makes the
   per-window hot path allocation-free;
 * :data:`DEFAULT_BACKEND` — what engines use when none is named.
@@ -26,6 +26,13 @@ from .backend import (
 from .numba_backend import HAVE_NUMBA
 from .numpy_backend import NUMPY_BACKEND, NUMPY_BATCHED_BACKEND
 from .tiled_backend import TILED_BACKEND, TiledExecutor
+from .fourrussians_tables import (
+    BoundedScoresCheck,
+    check_bounded_scores,
+    heuristic_q,
+    nussinov_fourrussians,
+)
+from .fourrussians_backend import FOURRUSSIANS_BACKEND, FourRussiansState
 from .autotune import get_tile_shape, tune
 from .workspace import Workspace
 
@@ -42,6 +49,12 @@ __all__ = [
     "NUMPY_BATCHED_BACKEND",
     "TILED_BACKEND",
     "TiledExecutor",
+    "FOURRUSSIANS_BACKEND",
+    "FourRussiansState",
+    "BoundedScoresCheck",
+    "check_bounded_scores",
+    "heuristic_q",
+    "nussinov_fourrussians",
     "get_tile_shape",
     "tune",
 ]

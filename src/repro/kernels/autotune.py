@@ -39,13 +39,18 @@ __all__ = [
     "TuneResult",
     "cache_path",
     "cache_key",
+    "default_candidates",
+    "default_q_candidates",
+    "fr_cache_key",
     "machine_fingerprint",
     "size_class",
     "heuristic_block",
+    "get_block_width",
     "get_tile_shape",
     "load_cache",
     "save_entry",
     "tune",
+    "tune_fourrussians",
 ]
 
 TUNE_CACHE_VERSION = 1
@@ -82,6 +87,13 @@ def cache_key(n: int, m: int, threads: int, dtype: str = "float32") -> str:
         f"{machine_fingerprint()}|{dtype}|n{size_class(n)}|m{size_class(m)}"
         f"|t{threads}"
     )
+
+
+def fr_cache_key(n: int, m: int, threads: int, d: int) -> str:
+    """Cache key of the Four-Russians sweep: the tiled key plus the
+    verified difference bound ``d`` (tables and the best ``q`` depend on
+    it, not just on the problem shape)."""
+    return f"{cache_key(n, m, threads)}|fr|d{d}"
 
 
 def heuristic_block(
@@ -163,7 +175,14 @@ def get_tile_shape(
 
 @dataclass(frozen=True)
 class TuneResult:
-    """Outcome of one autotuning sweep."""
+    """Outcome of one autotuning sweep.
+
+    ``param`` names the tuned knob (``"wb"`` for the tiled window-block
+    sweep, ``"fr_q"`` for the Four-Russians block-width sweep) and
+    ``best_wb`` holds its winning value either way; the Four-Russians
+    sweep is joint over ``(q, sparsify)`` and also reports
+    ``best_sparsify``.
+    """
 
     key: str
     n: int
@@ -171,18 +190,41 @@ class TuneResult:
     threads: int
     best_wb: int
     best_wall_s: float
-    candidates: dict[int, float] = field(default_factory=dict)
+    candidates: dict = field(default_factory=dict)
     cache_file: str = ""
+    param: str = "wb"
+    best_sparsify: bool | None = None
 
 
 def default_candidates(n: int, threads: int) -> list[int]:
-    """Candidate widths: powers of two up to N, plus the heuristic picks."""
+    """Candidate widths: powers of two up to N, plus the heuristic picks.
+
+    Deduplicated and sorted — the power-of-two ladder and the heuristic
+    picks overlap (``n // 2`` is frequently itself a power of two), and
+    benchmarking the same width twice would double the sweep cost for no
+    information.  :func:`tune` additionally deduplicates caller-supplied
+    candidate lists for the same reason.
+    """
     cands = {n, max(1, n // 2), max(1, -(-n // max(1, 2 * threads)))}
     w = 1
     while w < n:
         cands.add(w)
         w *= 2
     return sorted(c for c in cands if 1 <= c <= max(1, n))
+
+
+def default_q_candidates(m: int, d: int) -> list[int]:
+    """Candidate Four-Russians block widths for a ``(m, d)`` problem.
+
+    Every feasible ``q`` from 2 up to the MAX_CODES hard cap, truncated
+    to the cache-residency budget plus one (so the sweep can contradict
+    the budget heuristic on machines with bigger caches), deduplicated
+    and sorted like :func:`default_candidates`.
+    """
+    from .fourrussians_tables import cache_block_width, max_block_width
+
+    hi = min(max_block_width(d), max(2, cache_block_width(d) + 1))
+    return sorted({q for q in range(2, hi + 1)})
 
 
 def tune(
@@ -209,6 +251,8 @@ def tune(
 
     if candidates is None:
         candidates = default_candidates(n, threads)
+    # order-preserving dedup: a caller-supplied list may repeat widths
+    candidates = list(dict.fromkeys(candidates))
     s1, s2 = random_pair(n, m, seed)
     inputs = prepare_inputs(s1, s2)
 
@@ -247,4 +291,113 @@ def tune(
         best_wall_s=best[best_wb],
         candidates=dict(best),
         cache_file=cache_file,
+    )
+
+
+# -- Four-Russians block-width sweep ------------------------------------------
+
+
+def get_block_width(
+    n: int,
+    m: int,
+    threads: int,
+    d: int,
+    path: str | os.PathLike | None = None,
+) -> int:
+    """The Four-Russians block width ``q`` an engine should use.
+
+    Tuned winner for this (machine, dtype, size-class, threads, d) if
+    one was persisted by ``bpmax tune --backend fourrussians``, else the
+    cache-budget-clamped ``q ~ log2(M)`` heuristic.
+    """
+    from .fourrussians_tables import heuristic_q, max_block_width
+
+    entry = load_cache(path)["entries"].get(fr_cache_key(n, m, threads, d))
+    if entry:
+        q = int(entry.get("q", 0))
+        if q >= 2:
+            return min(q, max_block_width(d))
+    return heuristic_q(m, d)
+
+
+def tune_fourrussians(
+    n: int,
+    m: int,
+    threads: int = 1,
+    q_candidates: list[int] | None = None,
+    seed: int = 7,
+    repeats: int = 2,
+    path: str | os.PathLike | None = None,
+    persist: bool = True,
+) -> TuneResult:
+    """Joint ``(q, sparsify)`` sweep of the Four-Russians backend.
+
+    Benchmarks every feasible block width with the candidate-list prune
+    on and off (the prune's bound passes cost real time on inputs where
+    nothing prunes, so it is a tunable too), interleaved best-of-repeats
+    like :func:`tune`, and persists the winning pair under
+    :func:`fr_cache_key`.
+    """
+    from ..core.engine import make_engine
+    from ..core.reference import prepare_inputs
+    from ..rna.sequence import random_pair
+    from .fourrussians_tables import check_bounded_scores
+
+    s1, s2 = random_pair(n, m, seed)
+    inputs = prepare_inputs(s1, s2)
+    check = check_bounded_scores(inputs)
+    if not check.ok:
+        raise ValueError(
+            f"cannot tune fourrussians: precondition failed ({check.reason})"
+        )
+    if q_candidates is None:
+        q_candidates = default_q_candidates(m, check.d)
+    q_candidates = list(dict.fromkeys(q_candidates))
+    grid = [(q, sp) for q in q_candidates for sp in (False, True)]
+
+    def run_one(q: int, sp: bool) -> float:
+        engine = make_engine(
+            inputs,
+            variant="batched",
+            backend="fourrussians",
+            fr_q=q,
+            fr_sparsify=sp,
+        )
+        t0 = time.perf_counter()
+        engine.run()
+        return time.perf_counter() - t0
+
+    run_one(*grid[0])  # warm caches/tables before timing
+    best: dict[tuple[int, bool], float] = {g: float("inf") for g in grid}
+    for _ in range(max(1, repeats)):
+        for g in grid:
+            best[g] = min(best[g], run_one(*g))
+    best_q, best_sp = min(best, key=lambda g: (best[g], g))
+    key = fr_cache_key(n, m, threads, check.d)
+    cache_file = ""
+    if persist:
+        entry = {
+            "q": best_q,
+            "sparsify": best_sp,
+            "wall_s": best[(best_q, best_sp)],
+            "n": n,
+            "m": m,
+            "threads": threads,
+            "d": check.d,
+            "candidates": {
+                f"q{q}|sp{int(sp)}": t for (q, sp), t in best.items()
+            },
+        }
+        cache_file = str(save_entry(key, entry, path))
+    return TuneResult(
+        key=key,
+        n=n,
+        m=m,
+        threads=threads,
+        best_wb=best_q,
+        best_wall_s=best[(best_q, best_sp)],
+        candidates={f"q{q}|sp{int(sp)}": t for (q, sp), t in best.items()},
+        cache_file=cache_file,
+        param="fr_q",
+        best_sparsify=best_sp,
     )

@@ -56,14 +56,23 @@ class KernelBackend:
     note: human-readable availability detail (why it is missing, or what
         an unavailable request resolved to).
     capabilities: feature flags of the backend (``threads``,
-        ``workspace_reuse``, ``autotune``, ``tile_graph``) consumed by
-        ``bpmax backends`` and by engines that dispatch on them — a
-        ``tile_graph`` backend is executed through the tiled wavefront
-        scheduler instead of the per-window loop.
+        ``workspace_reuse``, ``autotune``, ``tile_graph``,
+        ``bounded_scores``) consumed by ``bpmax backends`` and by engines
+        that dispatch on them — a ``tile_graph`` backend is executed
+        through the tiled wavefront scheduler instead of the per-window
+        loop, and a ``bounded_scores`` backend requires the
+        bounded-difference weight precondition (the engine verifies it at
+        construction and falls back when it does not hold).
     """
 
     #: the capability flags every backend reports (False when unset)
-    CAPABILITY_FLAGS = ("threads", "workspace_reuse", "autotune", "tile_graph")
+    CAPABILITY_FLAGS = (
+        "threads",
+        "workspace_reuse",
+        "autotune",
+        "tile_graph",
+        "bounded_scores",
+    )
 
     def __init__(
         self,

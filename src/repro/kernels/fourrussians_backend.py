@@ -1,0 +1,485 @@
+"""The ``fourrussians`` kernel backend: blocked R0 lookups + split pruning.
+
+This backend lifts the table machinery proven on the Nussinov prototype
+(:mod:`repro.kernels.fourrussians_tables`) to the BPMax R0 double
+max-plus.  For one outer window ``(i1, j1)`` with ``k = j1 - i1`` splits
+the reduction is
+
+    acc[i2, j2]  ⊕=  max_{s, k2}  A_s[i2, k2] + B_s[k2, j2]
+
+where ``A_s`` is the stored upper triangle of window ``(i1, i1+s)`` and
+``B_s`` the split-shifted triangle of ``(i1+s+1, j1)``.  Both operands
+are monotone with bounded integer differences (rows of ``A`` ascend
+along ``k2``, columns of ``B`` descend — adding/removing one base moves
+the score by at most one pair weight ``d``), which enables two attacks:
+
+* **Four-Russians block lookups** — ``k2`` is cut into width-``q``
+  blocks; each block of each operand row/column collapses to a
+  ``(base, difference-code)`` pair, and the whole-block inner reduction
+  becomes one shared-table lookup (``pair[ca, cb]``), vectorized over
+  splits and cells with ``np.take``.  Cells that a block cannot serve
+  exactly (the block straddles the cell's ``[i2, j2)`` split range) are
+  finished by a direct *boundary* pass, organized per ``k2`` exactly
+  like the triangular batched kernel.  Encodings are computed **once per
+  source window** (cached on the :class:`~repro.core.tables.FTable` via
+  its aux slots) and reused by every consumer window; the pair tables
+  are process-shared and pinned in the engine's
+  :class:`~repro.kernels.Workspace`.
+
+* **candidate-list sparsification** — the same monotonicity makes the
+  per-split R0 bound free: ``max_{k2} A_s[i2, k2] = A_s[i2, M-1]`` (last
+  column) and ``max_{k2} B_s[k2, j2] = B_s[0, j2]`` (first row), so a
+  split whose bound ``A_s[:, -1] + B_s[0, :]`` is dominated everywhere
+  by the already-accumulated terms (R3/R4, closures, independent folds —
+  seeded *before* R0 for exactly this reason) can be skipped outright.
+  The same test at block granularity skips dominated lookup
+  block-columns.  Both prunes drop only contributions ``<=`` the current
+  accumulator, so the scores are bit-identical with pruning on or off;
+  the observe counters (``r0_splits_pruned`` / ``r0_blocks_pruned``)
+  prove how much was skipped.
+
+Everything stays in exact float32 integer arithmetic (the
+``bounded_scores`` precondition guarantees it), so the backend is
+bit-identical to ``numpy-batched`` on the golden corpus and under
+differential fuzzing.  The registered backend's generic entry points
+(``matmul`` / ``batched_r0``) delegate to the dense batched kernels —
+they serve the row-partitioned threaded path and the DMP engines — while
+the blocked machinery is engine-dispatched through
+:class:`FourRussiansState` (single-thread whole-window granularity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..observe.metrics import active as _metrics_active
+from ..semiring.maxplus import maxplus_batched, maxplus_bias_reduce
+from .backend import DEFAULT_BACKEND, KernelBackend, register_backend
+from .fourrussians_tables import (
+    check_bounded_scores,
+    encode_col_blocks,
+    encode_row_blocks,
+    max_block_width,
+)
+
+__all__ = ["FOURRUSSIANS_BACKEND", "FourRussiansState"]
+
+
+def _matmul_batched(a: np.ndarray, bs: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Single-split product as a depth-1 batched reduction."""
+    return maxplus_batched(a[None], bs[None], out)
+
+
+class FourRussiansState:
+    """Per-engine state of the blocked R0 path (single-thread windows).
+
+    Owned by :class:`~repro.core.vectorized.VectorizedBPMax` when the
+    ``fourrussians`` backend is selected, the precondition holds and
+    ``threads == 1``.  Holds the verified difference bound ``d``, the
+    block width ``q`` (``~log2(M)`` by default, autotunable via
+    ``bpmax tune --backend fourrussians``), the pool-pinned pair tables
+    and the strict-upper dominance mask.
+    """
+
+    def __init__(self, engine, d: int, q: int | None = None, sparsify: bool = True) -> None:
+        m = engine.inputs.m
+        self.d = int(d)
+        if q is None:
+            # persisted autotune winner for this (machine, shape, d) if one
+            # exists, else the cache-budget-clamped ~log2(M) heuristic
+            from .autotune import get_block_width
+
+            q = get_block_width(engine.inputs.n, m, 1, self.d)
+        self.q = max(2, min(int(q), max_block_width(self.d)))
+        self.sparsify = bool(sparsify)
+        self.nbf = m // self.q  # full blocks per k2 range
+        self.tables = engine._ws.fr_tables(self.d, self.q)
+        # strict-upper dominance domain: the split prune compares split
+        # bounds against the accumulator masked to +inf off-domain (cells
+        # R0 can never write), so dominated-everywhere splits drop out
+        self.triu = np.triu(np.ones((m, m), dtype=bool), k=1)
+        self.accm = np.empty((m, m), dtype=np.float32)
+        # flat-table offsets: sub-table t of the stacked pf/pu families
+        # starts ncodes^2 entries into the flat view
+        nc2 = self.tables.ncodes * self.tables.ncodes
+        self.offs = (np.arange(self.q, dtype=np.int64) * nc2).astype(np.int32)
+        # per-column offsets of the merged block pass into the combined
+        # [pu | pf] stack: relative column b0 + t is served by pu[t]
+        # (t < q), every column past the block by pf[0] at offset q*nc^2
+        cto = np.full(max(m, self.q), self.q * nc2, dtype=np.int32)
+        cto[: self.q - 1] = self.offs[1:]
+        self.col_tab_off = cto
+        # packed-encoding cache keys and the finite floor for -inf bases
+        # (never consumed: the block passes only read finite-base cells)
+        self._rkey = f"fr_rowp|d{self.d}|q{self.q}"
+        self._ckey = f"fr_colp|d{self.d}|q{self.q}"
+        self._bfloor = np.float32(-(1 << 20))
+
+    # -- cached per-source-window encodings ----------------------------------
+
+    def _row_encoding(self, tri, i1: int, k1: int):
+        """Packed row-block encoding of window ``(i1, k1)``'s triangle.
+
+        One int32 ``(m, 2*nbf)`` array per source window: pre-scaled
+        flat-index codes (``ca * ncodes``) in the first ``nbf`` columns,
+        integer bases in the rest (``-inf`` bases clamped to a finite
+        floor — those rows are never consumed by the block passes).  The
+        packing makes the per-split stack fill a single copy.
+        """
+        t = self.tables
+
+        def build():
+            rc, rb = encode_row_blocks(tri.inner(i1, k1), self.q, self.d, t.powers)
+            nbf = rc.shape[1]
+            pack = np.empty((rc.shape[0], 2 * nbf), dtype=np.int32)
+            np.multiply(rc, t.ncodes, out=pack[:, :nbf])
+            np.copyto(pack[:, nbf:], np.maximum(rb, self._bfloor), casting="unsafe")
+            return pack
+
+        return tri.aux(i1, k1, self._rkey, build)
+
+    def _col_encoding(self, tri, i1: int, j1: int):
+        """Packed column-block encoding of window ``(i1, j1)``'s *shifted*
+        triangle (the B-operand form every split consumes): ``(2*nbf, m)``
+        int32, codes stacked above integer bases."""
+        t = self.tables
+
+        def build():
+            cc, cb = encode_col_blocks(tri.shifted(i1, j1), self.q, self.d, t.powers)
+            nbf = cc.shape[0]
+            pack = np.empty((2 * nbf, cc.shape[1]), dtype=np.int32)
+            np.copyto(pack[:nbf], cc)
+            np.copyto(pack[nbf:], np.maximum(cb, self._bfloor), casting="unsafe")
+            return pack
+
+        return tri.aux(i1, j1, self._ckey, build)
+
+    # -- the window reduction -------------------------------------------------
+
+    def accumulate(self, engine, i1: int, j1: int, acc: np.ndarray) -> None:
+        """R0/R3/R4 of one window through the blocked + pruned path.
+
+        ``acc`` must already hold the window's split-independent terms
+        (closures, independent folds) — the engine seeds them first so
+        the dominance prunes have a meaningful baseline.  Every value
+        accumulated here equals the corresponding direct float32 sum bit
+        for bit; pruned candidates are only ever ``<= acc``.
+        """
+        inp = engine.inputs
+        tri = engine.table
+        ws = engine._ws
+        m = inp.m
+        k = j1 - i1
+        q, nbf = self.q, self.nbf
+        counters = _metrics_active()
+        if counters is not None:
+            counters.count_fr_window()
+
+        astack, bstack, braw = ws.stacks(k)
+        for s in range(k):
+            k1 = i1 + s
+            np.copyto(astack[s], tri.inner(i1, k1))
+            np.copyto(braw[s], tri.inner(k1 + 1, j1))
+            np.copyto(bstack[s], tri.shifted(k1 + 1, j1))
+        s1l = np.ascontiguousarray(inp.s1[i1, i1:j1])  # S1[i1, k1]
+        s1r = np.ascontiguousarray(inp.s1[i1 + 1 : j1 + 1, j1])  # S1[k1+1, j1]
+
+        tmp = ws.tmp3(k)
+        # R3/R4 first: they need every split's operands and they tighten
+        # the accumulator before the dominance prune sees it
+        maxplus_bias_reduce(braw, s1l, acc, tmp=tmp, red=ws.red)  # R3
+        maxplus_bias_reduce(astack, s1r, acc, tmp=tmp, red=ws.red)  # R4
+
+        if m < 2:
+            if counters is not None and self.sparsify:
+                counters.count_fr_splits(k, k)
+            return  # no (i2 < j2) cells: R0 contributes nothing
+
+        # -- candidate-list prune over k1 splits -----------------------------
+        nk = k
+        if self.sparsify:
+            a_last = astack[:, :, m - 1]  # per-row block bound (monotone rows)
+            b_first = bstack[:, 0, :]  # per-col block bound (antitone cols)
+            np.copyto(self.accm, np.inf)
+            np.copyto(self.accm, acc, where=self.triu)
+            np.add(a_last[:, :, None], b_first[:, None, :], out=tmp)
+            keep = np.flatnonzero(np.any(tmp > self.accm, axis=(1, 2)))
+            nk = len(keep)
+            if counters is not None:
+                counters.count_fr_splits(k, k - nk)
+            if nk == 0:
+                return
+            if nk < k:
+                # forward compaction (t <= s, so in-place copies are safe)
+                for t, s in enumerate(keep):
+                    if t != s:
+                        np.copyto(astack[t], astack[s])
+                        np.copyto(bstack[t], bstack[s])
+        else:
+            keep = np.arange(k)
+            if counters is not None:
+                counters.count_fr_splits(k, 0)
+
+        flat_t = tmp.reshape(-1) if tmp.flags["C_CONTIGUOUS"] else None
+        tcap = tmp.size
+
+        def scratch(shape: tuple[int, ...]) -> np.ndarray:
+            size = 1
+            for s in shape:
+                size *= s
+            if flat_t is not None and size <= tcap:
+                return flat_t[:size].reshape(shape)
+            return np.empty(shape, dtype=np.float32)
+
+        # -- table passes: every split position inside a full block ----------
+        # Two lookup passes per block kb cover all k2 inside full width-q
+        # blocks, each one `index-add -> small-int take -> int base adds
+        # -> k-reduce` over a rectangular cell grid:
+        #
+        # * the merged pass (kb >= 1): every cell with i2 < b0 = kb*q and
+        #   j2 > b0 in one grid — columns inside the block resolve
+        #   through pu[j2 - b0] (splits k2 in [b0, j2)), columns past it
+        #   through pf[0] (the whole block); the combined [pu | pf] stack
+        #   and a per-column offset vector serve both with a single take;
+        # * the tail pass: rows *inside* block kb against columns past it
+        #   take their in-block splits k2 in [i2, b1) from pf[t0 = i2 - b0],
+        #   based at the diagonal A[i2, i2] (digits below t0 cancel, so
+        #   garbage digits from -inf regions never leak in).
+        if nbf > 0:
+            ea, eb, adi, itmp, gtmp = ws.fr_stacks(nk, nbf)
+            ea_codes = ea[:, :, :nbf]  # pre-scaled: flat index = ca*nc + cb
+            ea_base = ea[:, :, nbf:]
+            eb_codes = eb[:, :nbf, :]
+            eb_base = eb[:, nbf:, :]
+            for t in range(nk):
+                k1 = i1 + int(keep[t])
+                np.copyto(ea[t], self._row_encoding(tri, i1, k1))
+                np.copyto(eb[t], self._col_encoding(tri, k1 + 1, j1))
+            # the diagonal bases of the tail lookups: A[i2, i2] (finite)
+            np.copyto(
+                adi, astack[:nk].diagonal(axis1=1, axis2=2), casting="unsafe"
+            )
+            flat_i = itmp.reshape(-1) if itmp.flags["C_CONTIGUOUS"] else None
+            icap = itmp.size
+            tdt = self.tables.dtype
+            flat_g = (
+                gtmp.reshape(-1).view(tdt)
+                if gtmp.flags["C_CONTIGUOUS"]
+                else None
+            )
+            gcap = 0 if flat_g is None else flat_g.size
+            comb_flat = self.tables.comb_flat
+            pf_flat = self.tables.pf_flat
+            offs = self.offs
+            col_tab_off = self.col_tab_off
+            red_all = ws.red
+            lookup_cells = 0
+            blocks_pruned = 0
+            blocks_total = 0
+
+            def gather(table, iv, base_b, base_a, rows, cols, accv):
+                """index grid -> table take -> int bases -> k-reduce -> acc.
+
+                ``iv`` is reused as the integer add scratch once the take
+                has consumed it; both base adds run in int32 (bases are
+                packed as integers) and only the final add materializes
+                float32, halving the intermediate traffic.
+                """
+                size = nk * rows * cols
+                if flat_g is not None and size <= gcap:
+                    g = flat_g[:size].reshape(nk, rows, cols)
+                else:  # pragma: no cover - non-contiguous scratch fallback
+                    g = np.empty((nk, rows, cols), dtype=tdt)
+                np.take(table, iv, out=g, mode="clip")
+                np.add(g, base_b, out=iv)
+                tv = scratch((nk, rows, cols))
+                np.add(iv, base_a, out=tv)
+                red = red_all[:rows, :cols]
+                np.maximum.reduce(tv, axis=0, out=red)
+                np.maximum(accv, red, out=accv)
+
+            def iview(rows, cols):
+                size = nk * rows * cols
+                if flat_i is not None and size <= icap:
+                    return flat_i[:size].reshape(nk, rows, cols)
+                return np.empty(  # pragma: no cover - non-contiguous fallback
+                    (nk, rows, cols), dtype=np.int32
+                )
+
+            def ivec(cols):
+                # small (nk, cols) index scratch carved off the *end* of
+                # the flat pool, disjoint from the front grid of iview
+                size = nk * cols
+                if flat_i is not None and size <= icap:
+                    return flat_i[icap - size :].reshape(nk, cols)
+                return np.empty(  # pragma: no cover - non-contiguous fallback
+                    (nk, cols), dtype=np.int32
+                )
+
+            for kb in range(nbf):
+                b0 = kb * q
+                b1 = b0 + q
+                # merged whole-block + prefix lookups: all rows above the
+                # block against all columns past its start
+                wp = m - b0 - 1
+                if kb > 0:
+                    r = b0
+                    blocks_total += 1
+                    accv = acc[:r, b0 + 1 :]
+                    # block bound across kept splits: rows peak at the
+                    # block's last column, columns at its first row
+                    if self.sparsify and np.all(
+                        astack[:nk, :r, b1 - 1].max(axis=0)[:, None]
+                        + bstack[:nk, b0, b0 + 1 :].max(axis=0)[None, :]
+                        <= accv
+                    ):
+                        blocks_pruned += 1
+                    else:
+                        colidx = ivec(wp)
+                        np.add(
+                            eb_codes[:nk, kb, b0 + 1 :],
+                            col_tab_off[None, :wp],
+                            out=colidx,
+                        )
+                        iv = iview(r, wp)
+                        np.add(
+                            ea_codes[:nk, :r, kb, None],
+                            colidx[:, None, :],
+                            out=iv,
+                        )
+                        gather(
+                            comb_flat,
+                            iv,
+                            eb_base[:nk, kb, None, b0 + 1 :],
+                            ea_base[:nk, :r, kb, None],
+                            r,
+                            wp,
+                            accv,
+                        )
+                        lookup_cells += nk * r * wp
+                # tail lookups: rows inside block kb, columns past it
+                w = m - b1
+                if w > 0:
+                    blocks_total += 1
+                    accv = acc[b0:b1, b1:]
+                    if self.sparsify and np.all(
+                        astack[:nk, b0:b1, b1 - 1].max(axis=0)[:, None]
+                        + bstack[:nk, b0, b1:].max(axis=0)[None, :]
+                        <= accv
+                    ):
+                        blocks_pruned += 1
+                    else:
+                        rowidx = ivec(q)
+                        np.add(
+                            ea_codes[:nk, b0:b1, kb], offs[None, :], out=rowidx
+                        )
+                        iv = iview(q, w)
+                        np.add(
+                            rowidx[:, :, None],
+                            eb_codes[:nk, kb, None, b1:],
+                            out=iv,
+                        )
+                        gather(
+                            pf_flat,
+                            iv,
+                            eb_base[:nk, kb, None, b1:],
+                            adi[:, b0:b1, None],
+                            q,
+                            w,
+                            accv,
+                        )
+                        lookup_cells += nk * q * w
+            if counters is not None:
+                counters.count_fr_lookup(lookup_cells)
+                counters.count_fr_blocks(blocks_total, blocks_pruned)
+
+        # -- direct pass: in-block corners and the ragged tail ---------------
+        # What no table serves: splits k2 with both i2 and j2 inside k2's
+        # own strip (the corner triangles), plus every split inside the
+        # trailing partial block.  Both are O(q^2) slivers evaluated as
+        # fused broadcast-reduces, with the stored -inf structure (A
+        # below its diagonal, B at k2 >= j2) acting as the mask.
+        boundary_cells = 0
+        # all full strips in one fused 5-D op: zero-copy reshape+diagonal
+        # views expose the nbf diagonal (q, q) blocks of both operands,
+        # and a strided view of acc scatters the per-strip maxima back
+        # (the column shift needs nbf*q < m; with m == nbf*q the last
+        # strip falls through to the scalar loop below)
+        nfb_bulk = self.nbf if m > self.nbf * q else max(self.nbf - 1, 0)
+        if nfb_bulk > 0 and q >= 2:
+            nb = nfb_bulk
+            bl = nb * q
+            av = (
+                astack[:nk, :bl, :bl]
+                .reshape(nk, nb, q, nb, q)
+                .diagonal(axis1=1, axis2=3)
+            )  # (nk, q_i2, q_k2, nb)
+            bv = (
+                bstack[:nk, :bl, 1 : bl + 1]
+                .reshape(nk, nb, q, nb, q)
+                .diagonal(axis1=1, axis2=3)[:, :, : q - 1, :]
+            )  # (nk, q_k2, q-1_j2, nb)
+            cand = scratch((nk, q, q, q - 1, nb))
+            np.add(av[:, :, :, None, :], bv[:, None, :, :, :], out=cand)
+            red = ws.red.reshape(-1)[: q * (q - 1) * nb].reshape(q, q - 1, nb)
+            np.maximum.reduce(cand, axis=(0, 2), out=red)
+            s0, s1 = acc.strides
+            accd = np.lib.stride_tricks.as_strided(
+                acc[:, 1:],
+                shape=(nb, q, q - 1),
+                strides=(q * (s0 + s1), s0, s1),
+            )
+            np.maximum(accd, red.transpose(2, 0, 1), out=accd)
+            boundary_cells += nk * q * q * (q - 1) * nb
+        b0 = nfb_bulk * q
+        while b0 < m:
+            bw = min(q, m - b0)
+            b1 = b0 + bw
+            if bw >= 2:
+                a = astack[:nk, b0:b1, b0:b1]  # (nk, bw, bw) diag block
+                b = bstack[:nk, b0:b1, b0 + 1 : b1]  # (nk, bw, bw-1)
+                cand = scratch((nk, bw, bw, bw - 1))
+                np.add(a[:, :, :, None], b[:, None, :, :], out=cand)
+                red = ws.red[:bw, : bw - 1]
+                np.maximum.reduce(cand, axis=(0, 2), out=red)
+                accv = acc[b0:b1, b0 + 1 : b1]
+                np.maximum(accv, red, out=accv)
+                boundary_cells += nk * bw * bw * (bw - 1)
+            b0 += q
+        b0t = nbf * q
+        bwt = m - b0t
+        if b0t > 0 and bwt >= 2:
+            # ragged-tail splits for cells in earlier rows: k2 and j2 in
+            # the tail, i2 anywhere above it
+            a = astack[:nk, :b0t, b0t:]  # (nk, b0t, bwt) tail columns
+            b = bstack[:nk, b0t:, b0t + 1 :]  # (nk, bwt, bwt-1) diag
+            cand = scratch((nk, b0t, bwt, bwt - 1))
+            np.add(a[:, :, :, None], b[:, None, :, :], out=cand)
+            red = ws.red[:b0t, : bwt - 1]
+            np.maximum.reduce(cand, axis=(0, 2), out=red)
+            accv = acc[:b0t, b0t + 1 :]
+            np.maximum(accv, red, out=accv)
+            boundary_cells += nk * b0t * bwt * (bwt - 1)
+        if counters is not None:
+            counters.count_fr_boundary(boundary_cells)
+
+
+FOURRUSSIANS_BACKEND = register_backend(
+    KernelBackend(
+        name="fourrussians",
+        matmul=_matmul_batched,
+        batched_r0=maxplus_batched,
+        description=(
+            "Four-Russians blocked max-plus lookups + candidate-list split "
+            "pruning (requires bounded integer scores; falls back otherwise)"
+        ),
+        available=True,
+        fallback=DEFAULT_BACKEND,
+        capabilities={
+            "threads": True,
+            "workspace_reuse": True,
+            "autotune": True,
+            "bounded_scores": True,
+        },
+    )
+)

@@ -1,0 +1,450 @@
+"""Four-Russians table machinery for blocked max-plus reductions.
+
+The Frid–Gusfield/Venkatachalam line of work (PAPERS.md) accelerates
+RNA-folding split reductions by exploiting a *bounded-difference*
+property of the DP tables: along a row the values are monotone
+non-decreasing with increments in ``{0, .., D}`` (adding one base to a
+window can add at most one pair of weight ``<= D``), and along a column
+they are monotone non-increasing with the same bound.  A length-``q``
+row segment is then fully described by its first value (the *base*) plus
+``q - 1`` small digits — one of ``(D+1)^(q-1)`` difference codes — and
+the blocked reduction
+
+    max_t  A[i, t] + B[t, j]        (t inside one width-q block)
+
+collapses to a single precomputed table lookup::
+
+    base_A + base_B + PAIR[code_A, code_B]
+
+where ``PAIR[ca, cb] = max_t offs_A(ca)[t] + offs_B(cb)[t]`` is shared
+by *every* block of *every* window of *every* problem with the same
+``(D, q)``.  With ``q ~ log2(M)`` the inner reduction loses a log
+factor.  All scores are small non-negative integers (float32-exact), so
+the table path is bit-identical to the direct sums: the lookup computes
+the same integer the direct max would, and float32 represents it
+exactly below ``2^24``.
+
+This module is the standalone, unit-testable core of the
+``fourrussians`` kernel backend:
+
+* :class:`FourRussiansTables` / :func:`get_tables` — the ``(D, q)``-keyed
+  pair-lookup tables (built once per process, cached);
+* :func:`encode_row_blocks` / :func:`encode_col_blocks` — vectorized
+  difference encoders for row-monotone and column-monotone matrices;
+* :func:`check_bounded_scores` — the precondition checker consulted by
+  the backend at engine construction (weights must be non-negative
+  integers small enough for exact float32 sums);
+* :func:`nussinov_fourrussians` — the single-strand prototype: the
+  weighted Nussinov ``S`` table computed through the block tables,
+  bit-identical to :func:`repro.rna.nussinov.nussinov_reference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..observe.metrics import active as _metrics_active
+
+__all__ = [
+    "MAX_CODES",
+    "BoundedScoresCheck",
+    "FourRussiansTables",
+    "cache_block_width",
+    "check_bounded_scores",
+    "encode_col_blocks",
+    "encode_row_blocks",
+    "get_tables",
+    "heuristic_q",
+    "max_block_width",
+    "nussinov_fourrussians",
+]
+
+#: cap on difference codes per side; bounds the pair table at
+#: MAX_CODES^2 float32 entries (4 MiB) whatever the weight bound D is
+MAX_CODES = 1024
+
+#: weights above this fail the precondition outright (exactness headroom)
+MAX_WEIGHT = 1 << 20
+
+#: default table-footprint budget for the q heuristic: the combined
+#: [pu | pf] stack should stay L2-resident — gathers into a 12 MiB q=6
+#: stack measurably lose to a 640 KiB q=5 one on large problems
+TABLE_CACHE_BUDGET = 1 << 20
+
+#: float32 represents every integer below 2^24 exactly; table sums must
+#: stay under this for the lookup path to be bit-identical
+EXACT_INT_LIMIT = 1 << 24
+
+
+def max_block_width(d: int) -> int:
+    """Largest block width ``q`` whose code count stays within MAX_CODES.
+
+    ``(d+1)^(q-1) <= MAX_CODES``; a weight bound of 3 (the default
+    hydrogen-bond model) allows ``q = 6`` (4^5 = 1024 codes per side).
+    """
+    if d <= 0:
+        return 16
+    q = 2
+    while (d + 1) ** q <= MAX_CODES:
+        q += 1
+    return q
+
+
+def cache_block_width(d: int) -> int:
+    """Largest ``q`` whose combined table stack fits TABLE_CACHE_BUDGET."""
+    q = 2
+    itemsize = 1 if d <= 0 or (q - 1) * d <= 127 else 2
+    while (
+        q < max_block_width(d)
+        and 2 * (q + 1) * (d + 1) ** (2 * q) * itemsize <= TABLE_CACHE_BUDGET
+    ):
+        q += 1
+    return q
+
+
+def heuristic_q(m: int, d: int) -> int:
+    """Default block width: ``q ~ log2(M)``, clamped to the table budgets
+    (the MAX_CODES hard cap and the cache-residency budget)."""
+    q = int(round(np.log2(max(m, 4))))
+    return max(2, min(q, max_block_width(d), cache_block_width(d)))
+
+
+# -- precondition --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BoundedScoresCheck:
+    """Outcome of the bounded-difference precondition check.
+
+    ``ok`` gates the Four-Russians path; ``d`` is the verified difference
+    bound (the largest single pair weight); ``reason`` explains a
+    failure in one line, for the structured fallback note.
+    """
+
+    ok: bool
+    d: int = 0
+    reason: str = ""
+
+
+def _check_weight_matrix(w: np.ndarray, name: str) -> str:
+    if not np.all(np.isfinite(w)):
+        return f"{name} weights contain non-finite values"
+    if np.any(w < 0):
+        return f"{name} weights contain negative values"
+    if not np.all(w == np.rint(w)):
+        return f"{name} weights are not integers"
+    if w.size and float(w.max()) > MAX_WEIGHT:
+        return f"{name} weights exceed {MAX_WEIGHT}"
+    return ""
+
+
+def check_bounded_scores(model_or_inputs) -> BoundedScoresCheck:
+    """Verify the bounded-difference precondition of the weight model.
+
+    Accepts a :class:`~repro.rna.scoring.ScoringModel` or prepared
+    :class:`~repro.core.reference.BpmaxInputs` (their realized score
+    tables are checked directly).  The precondition is exactly what the
+    Four-Russians argument needs:
+
+    * every pair weight is a finite, non-negative integer — this makes
+      the F tables monotone with increments bounded by the largest
+      weight (removing the at-most-one pair a new base participates in
+      costs at most ``d``), and every score an exact float32 integer;
+    * total scores stay far below ``2^24`` so three-term lookup sums
+      (``base_A + base_B + PAIR``) are exact.
+
+    The returned ``d`` is the bound on *strand-2 / intermolecular*
+    increments — the directions the R0 block encodings walk.
+    """
+    score1 = score2 = iscore = None
+    n = m = 0
+    if hasattr(model_or_inputs, "score2"):  # BpmaxInputs
+        score1 = np.asarray(model_or_inputs.score1)
+        score2 = np.asarray(model_or_inputs.score2)
+        iscore = np.asarray(model_or_inputs.iscore)
+        n, m = int(model_or_inputs.n), int(model_or_inputs.m)
+        named = (("score1", score1), ("score2", score2), ("iscore", iscore))
+    else:  # ScoringModel
+        score2 = np.asarray(model_or_inputs.intra_matrix)
+        iscore = np.asarray(model_or_inputs.inter_matrix)
+        named = (("intra", score2), ("inter", iscore))
+    for name, w in named:
+        reason = _check_weight_matrix(w, name)
+        if reason:
+            return BoundedScoresCheck(ok=False, reason=reason)
+    d = 0
+    for w in (score2, iscore):
+        if w.size:
+            d = max(d, int(w.max()))
+    if score1 is not None and score1.size:
+        d1 = int(score1.max())
+    else:
+        d1 = d
+    # headroom for exact float32 sums: every F value is at most one pair
+    # weight per base, and the lookup adds three such integers
+    if 4 * max(d, d1) * max(n + m, 8) >= EXACT_INT_LIMIT:
+        return BoundedScoresCheck(
+            ok=False,
+            reason="total scores could exceed the exact-float32 integer range",
+        )
+    return BoundedScoresCheck(ok=True, d=d)
+
+
+# -- the (D, q)-keyed pair tables ----------------------------------------------
+
+
+class FourRussiansTables:
+    """Precomputed lookup tables for one ``(d, q)`` configuration.
+
+    ``powers`` converts a block's ``q - 1`` difference digits (base
+    ``d + 1``) into a code; ``prefix[c, t]`` is the cumulative offset of
+    code ``c`` at in-block position ``t`` (``prefix[c, 0] = 0``).  Three
+    stacked table families resolve every block shape the R0 kernel
+    meets, all storing the *relative* block optimum (bases are added by
+    the consumer, keeping the tables weight-scale-free):
+
+    * ``pair[ca, cb] = max_t prefix[ca, t] - prefix[cb, t]`` — a full
+      width-``q`` block (A-side offsets ascend, B-side descend, hence
+      the minus);
+    * ``pf[t0][ca, cb] = max_{t >= t0} (prefix[ca, t] - prefix[ca, t0])
+      - prefix[cb, t]`` — the block *tail* from in-block offset ``t0``,
+      relative to the A value at ``t0`` (serving rows whose own position
+      lies inside the block; digits below ``t0`` cancel, so garbage
+      digits from -inf regions never leak in); ``pf[0]`` is ``pair``;
+    * ``pu[tmax][ca, cb] = max_{t < tmax} prefix[ca, t] -
+      prefix[cb, t]`` — the block *prefix* below ``tmax`` (serving
+      columns whose own position lies inside the block).
+
+    Values are bounded by ``(q - 1) * d``, so the tables live in int8
+    (or int16 for large weight bounds): the gather path reads a quarter
+    of the float traffic and the whole stack stays cache-resident.
+    ``pf_flat`` / ``pu_flat`` expose the stacks flat so a single
+    ``np.take`` with precomputed ``t0 * ncodes**2`` offsets serves
+    mixed-offset index grids.
+    """
+
+    def __init__(self, d: int, q: int) -> None:
+        if q < 2:
+            raise ValueError(f"block width must be >= 2, got {q}")
+        if d < 0:
+            raise ValueError(f"difference bound must be >= 0, got {d}")
+        ncodes = (d + 1) ** (q - 1)
+        if ncodes > MAX_CODES:
+            raise ValueError(
+                f"(d={d}, q={q}) needs {ncodes} codes > MAX_CODES={MAX_CODES}; "
+                f"use q <= {max_block_width(d)}"
+            )
+        self.d = d
+        self.q = q
+        self.ncodes = ncodes
+        base = d + 1
+        self.powers = (base ** np.arange(q - 1, dtype=np.int64)).astype(np.int32)
+        codes = np.arange(ncodes, dtype=np.int64)
+        digits = (codes[:, None] // self.powers[None, :].astype(np.int64)) % base
+        prefix = np.zeros((ncodes, q), dtype=np.int32)
+        np.cumsum(digits, axis=1, out=prefix[:, 1:])
+        self.prefix = prefix
+        bound = (q - 1) * d
+        self.dtype = np.dtype(np.int8 if bound <= 127 else np.int16)
+        # pf built back-to-front: pf[t0] = max(-prefB[t0],
+        # digitA[t0] + pf[t0+1]) — two (ncodes, ncodes) passes per offset
+        pf = np.empty((q, ncodes, ncodes), dtype=np.int32)
+        pf[q - 1] = -prefix[None, :, q - 1]
+        for t0 in range(q - 2, -1, -1):
+            da = (prefix[:, t0 + 1] - prefix[:, t0])[:, None]
+            np.add(pf[t0 + 1], da, out=pf[t0])
+            np.maximum(pf[t0], -prefix[None, :, t0], out=pf[t0])
+        # pu built front-to-back as a running max over block prefixes;
+        # pu[0] (empty range) is never consumed — left at the floor
+        pu = np.empty((q, ncodes, ncodes), dtype=np.int32)
+        pu[0] = -bound - 1
+        for tmax in range(1, q):
+            t = tmax - 1
+            np.maximum(
+                pu[tmax - 1], prefix[:, t, None] - prefix[None, :, t], out=pu[tmax]
+            )
+        # one contiguous [pu | pf] stack: the R0 kernel's merged block
+        # pass mixes prefix and whole-block lookups in a single flat
+        # np.take, with per-column offsets tmax*ncodes^2 into the pu half
+        # and q*ncodes^2 (== pf[0], the pair table) for columns past the
+        # block.  pf/pu/pair are plain views into the stack.
+        comb = np.empty((2 * q, ncodes, ncodes), dtype=self.dtype)
+        comb[:q] = pu
+        comb[q:] = pf
+        self.comb = comb
+        self.comb_flat = comb.reshape(-1)
+        self.pu = comb[:q]
+        self.pf = comb[q:]
+        self.pu_flat = self.pu.reshape(-1)
+        self.pf_flat = self.pf.reshape(-1)
+        self.pair = self.pf[0]
+        self.pair_flat = self.pf_flat[: ncodes * ncodes]
+        counters = _metrics_active()
+        if counters is not None:
+            counters.count_fr_table_build(comb.size)
+
+    def nbytes(self) -> int:
+        return self.comb.nbytes + self.prefix.nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"FourRussiansTables(d={self.d}, q={self.q}, ncodes={self.ncodes})"
+        )
+
+
+#: process-wide table cache keyed like the autotune cache: one dimension
+#: per degree of freedom, joined with '|'
+_TABLES: dict[str, FourRussiansTables] = {}
+
+
+def get_tables(d: int, q: int) -> FourRussiansTables:
+    """The shared ``(d, q)`` tables (built once per process, then reused)."""
+    key = f"fr|d{d}|q{q}"
+    t = _TABLES.get(key)
+    if t is None:
+        t = FourRussiansTables(d, q)
+        _TABLES[key] = t
+    return t
+
+
+# -- difference encoders -------------------------------------------------------
+
+
+def _digit_codes(
+    diffs: np.ndarray, d: int, powers: np.ndarray, axis: int
+) -> np.ndarray:
+    """Difference digits along ``axis`` -> codes, sanitized.
+
+    ``diffs`` may contain nan/inf where a segment crosses a -inf region
+    of a triangle; those blocks are never consumed by the block pass
+    (its row/column restriction keeps every consumed block fully
+    finite), so they are clamped to *some* in-range code rather than
+    poisoning the whole encode.
+    """
+    np.nan_to_num(diffs, copy=False, nan=0.0, posinf=0.0, neginf=0.0)
+    np.clip(diffs, 0, d, out=diffs)
+    codes = np.tensordot(diffs.astype(np.int32), powers, axes=([axis], [0]))
+    return np.ascontiguousarray(codes, dtype=np.int32)
+
+
+def encode_row_blocks(
+    mat: np.ndarray, q: int, d: int, powers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode width-``q`` row blocks of a row-monotone matrix.
+
+    Returns ``(codes, base)`` of shape ``(rows, C // q)``: block ``kb``
+    of row ``i`` covers columns ``[kb*q, kb*q + q)`` with
+    ``base[i, kb] = mat[i, kb*q]`` and digits ``mat[i, c+1] - mat[i, c]``.
+    A trailing partial block is not encoded (the kernel's boundary pass
+    handles it directly).
+    """
+    rows, cols = mat.shape
+    nbf = cols // q
+    if nbf == 0:
+        empty_i = np.zeros((rows, 0), dtype=np.int32)
+        return empty_i, np.zeros((rows, 0), dtype=np.float32)
+    seg = mat[:, : nbf * q].reshape(rows, nbf, q)
+    base = np.ascontiguousarray(seg[:, :, 0])
+    with np.errstate(invalid="ignore"):
+        diffs = seg[:, :, 1:] - seg[:, :, :-1]
+    return _digit_codes(diffs, d, powers, axis=2), base
+
+
+def encode_col_blocks(
+    mat: np.ndarray, q: int, d: int, powers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode height-``q`` column blocks of a column-antitone matrix.
+
+    Returns ``(codes, base)`` of shape ``(R // q, cols)``: block ``kb``
+    of column ``j`` covers rows ``[kb*q, kb*q + q)`` with
+    ``base[kb, j] = mat[kb*q, j]`` and digits ``mat[r, j] - mat[r+1, j]``
+    (non-increasing columns give non-negative digits).
+    """
+    rows, cols = mat.shape
+    nbf = rows // q
+    if nbf == 0:
+        return (
+            np.zeros((0, cols), dtype=np.int32),
+            np.zeros((0, cols), dtype=np.float32),
+        )
+    seg = mat[: nbf * q, :].reshape(nbf, q, cols)
+    base = np.ascontiguousarray(seg[:, 0, :])
+    with np.errstate(invalid="ignore"):
+        diffs = seg[:, :-1, :] - seg[:, 1:, :]
+    return _digit_codes(diffs, d, powers, axis=1), base
+
+
+# -- Nussinov prototype --------------------------------------------------------
+
+
+def nussinov_fourrussians(seq, model=None, q: int | None = None) -> np.ndarray:
+    """Weighted Nussinov ``S`` table through the Four-Russians tables.
+
+    The standalone proof of the machinery on the single-strand S1/S2
+    recurrence before it is lifted to R0: the split reduction
+    ``max_k S[i, k] + S[k+1, j]`` is evaluated block-wise — full width-q
+    blocks inside ``[i, j)`` through one pair-table lookup each, the two
+    partial boundary runs directly.  Bit-identical to
+    :func:`~repro.rna.nussinov.nussinov_reference` (all sums are exact
+    float32 integers and ``max`` is order-independent).
+
+    Raises ``ValueError`` when the model violates the bounded-difference
+    precondition (the backend would fall back; the prototype refuses).
+    """
+    from ..rna.nussinov import _codes_of
+    from ..rna.scoring import DEFAULT_MODEL
+
+    model = DEFAULT_MODEL if model is None else model
+    check = check_bounded_scores(model)
+    if not check.ok:
+        raise ValueError(
+            f"Four-Russians precondition failed: {check.reason}"
+        )
+    codes = _codes_of(seq)
+    n = len(codes)
+    w = model.score_table(codes)
+    d = check.d
+    q = heuristic_q(n, d) if q is None else q
+    if not 2 <= q <= max_block_width(d):
+        raise ValueError(
+            f"block width q={q} outside [2, {max_block_width(d)}] for d={d}"
+        )
+    ft = get_tables(d, q)
+    s = np.zeros((n, n), dtype=np.float32)
+    if n < 2:
+        return s
+    shifted = np.zeros((n, n), dtype=np.float32)
+    for span in range(1, n):
+        # re-encode per diagonal: rows of S ascend along j, columns of
+        # the shifted table descend along k, both with digits in [0, d]
+        ra_codes, ra_base = encode_row_blocks(s, q, d, ft.powers)
+        shifted[: n - 1] = s[1:]
+        cb_codes, cb_base = encode_col_blocks(shifted, q, d, ft.powers)
+        for i in range(n - span):
+            j = i + span
+            best = max(s[i + 1, j], s[i, j - 1])
+            inner = s[i + 1, j - 1] if span >= 2 else np.float32(0.0)
+            best = max(best, inner + w[i, j])
+            # full blocks strictly inside [i, j): kb*q >= i, kb*q+q <= j
+            kb_lo = -(-i // q)
+            kb_hi = (j - q) // q + 1 if j >= q else 0
+            if kb_hi > kb_lo:
+                ca = ra_codes[i, kb_lo:kb_hi]
+                cb = cb_codes[kb_lo:kb_hi, j]
+                vals = (
+                    ft.pair[ca, cb]
+                    + ra_base[i, kb_lo:kb_hi]
+                    + cb_base[kb_lo:kb_hi, j]
+                )
+                best = max(best, vals.max())
+                lo, hi = kb_lo * q, kb_hi * q
+            else:
+                lo = hi = j  # no full block: everything is boundary
+            for k in range(i, min(lo, j)):
+                best = max(best, s[i, k] + s[k + 1, j])
+            for k in range(hi, j):
+                best = max(best, s[i, k] + s[k + 1, j])
+            s[i, j] = np.float32(best)
+    return s

@@ -73,6 +73,12 @@ class Workspace:
         self._bstack: np.ndarray | None = None
         self._braw: np.ndarray | None = None
         self._tmp: np.ndarray | None = None
+        # Four-Russians state: pair tables keyed like the autotune cache
+        # ("fr|d{d}|q{q}") plus stacked difference-encoding buffers
+        self._fr_tables: dict[str, object] = {}
+        self._fr_cap = 0
+        self._fr_nbf = 0
+        self._fr_bufs: tuple[np.ndarray, ...] | None = None
 
     # -- window accumulator ---------------------------------------------------
 
@@ -120,6 +126,76 @@ class Workspace:
             self._grow(k)
         return self._tmp[:k]
 
+    # -- Four-Russians scratch -----------------------------------------------
+
+    def fr_tables(self, d: int, q: int):
+        """The ``(d, q)`` Four-Russians pair tables, pool-resident.
+
+        Tables are fetched from the process-wide cache (they are pure
+        functions of ``(d, q)`` and shared across engines) and pinned in
+        this pool under an autotune-style key ``fr|d{d}|q{q}`` so their
+        bytes are accounted with the rest of the engine's scratch.
+        """
+        from .fourrussians_tables import get_tables
+
+        key = f"fr|d{d}|q{q}"
+        t = self._fr_tables.get(key)
+        if t is None:
+            t = get_tables(d, q)
+            self._fr_tables[key] = t
+            counters = _metrics_active()
+            if counters is not None:
+                counters.gauge_ws_bytes(self.nbytes())
+        return t
+
+    def fr_stacks(
+        self, k: int, nbf: int
+    ) -> tuple[np.ndarray, ...]:
+        """Stacked per-split difference encodings for one window.
+
+        Returns length-``k`` views ``(ea, eb, adi, itmp, gtmp)``: the
+        packed row-block encodings of the A operands (``(k, m, 2*nbf)``
+        int32 — pre-scaled codes in the first ``nbf`` columns, integer
+        bases in the rest), the packed column-block encodings of the
+        shifted B operands (``(k, 2*nbf, m)``, codes then bases), the
+        int32 diagonal bases of the tail lookups (``(k, m)``), the int32
+        gather-index scratch and the small-int gather-output scratch
+        (both ``(k, m, m)``; ``gtmp`` is int16-backed — view-cast it
+        down for int8 tables).  Packing codes and bases side by side in
+        one dtype means the per-split fill is two copies, not four.
+        Grown geometrically like :meth:`stacks`; ``nbf`` (blocks per
+        row, fixed per engine by the block width) is part of the shape
+        and triggers a reallocation if it changes.
+        """
+        if k > self.kmax:
+            raise ValueError(
+                f"window needs {k} splits but workspace was sized for {self.kmax}"
+            )
+        if k > self._fr_cap or nbf != self._fr_nbf or self._fr_bufs is None:
+            quantum = self.quantum
+            want = max(4, 2 * self._fr_cap)
+            want = (want + quantum - 1) // quantum * quantum
+            cap = max(k, min(self.kmax, want))
+            m = self.m
+            self._fr_bufs = (
+                np.empty((cap, m, 2 * nbf), dtype=np.int32),
+                np.empty((cap, 2 * nbf, m), dtype=np.int32),
+                np.empty((cap, m), dtype=np.int32),
+                np.empty((cap, m, m), dtype=np.int32),
+                np.empty((cap, m, m), dtype=np.int16),
+            )
+            self._fr_cap = cap
+            self._fr_nbf = nbf
+            counters = _metrics_active()
+            if counters is not None:
+                counters.count_ws_grow(sum(b.nbytes for b in self._fr_bufs))
+                counters.gauge_ws_bytes(self.nbytes())
+        else:
+            counters = _metrics_active()
+            if counters is not None:
+                counters.count_ws_reuse()
+        return tuple(b[:k] for b in self._fr_bufs)
+
     def nbytes(self) -> int:
         """Total bytes currently held by the pool (for accounting tests)."""
         total = (
@@ -133,6 +209,10 @@ class Workspace:
         for buf in (self._astack, self._bstack, self._braw, self._tmp):
             if buf is not None:
                 total += buf.nbytes
+        if self._fr_bufs is not None:
+            total += sum(b.nbytes for b in self._fr_bufs)
+        for t in self._fr_tables.values():
+            total += t.nbytes()
         return total
 
     def __repr__(self) -> str:

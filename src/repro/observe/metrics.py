@@ -82,6 +82,15 @@ COUNTER_FIELDS = (
     "requests_rerouted",
     "worker_deaths",
     "worker_respawns",
+    "fr_windows",
+    "fr_table_builds",
+    "fr_table_cells",
+    "fr_lookup_cells",
+    "fr_boundary_cells",
+    "r0_splits_total",
+    "r0_splits_pruned",
+    "r0_blocks_total",
+    "r0_blocks_pruned",
 )
 
 
@@ -147,6 +156,41 @@ class Counters:
         self.slab_cells_touched += stack * touched
         self.slab_cells_dense += stack * full_rows * full_width
         self.bytes_moved += 4 * (2 * stack * touched + 2 * touched)
+
+    # -- Four-Russians hooks -------------------------------------------------
+
+    def count_fr_window(self) -> None:
+        """One R0 window accumulated through the Four-Russians kernel."""
+        self.fr_windows += 1
+
+    def count_fr_table_build(self, cells: int) -> None:
+        """One ``(d, q)`` pair-table construction (amortized: the table
+        cache makes this a handful per process, vs millions of lookups)."""
+        self.fr_table_builds += 1
+        self.fr_table_cells += cells
+
+    def count_fr_lookup(self, cells: int) -> None:
+        """Block-resolved accumulator cells: each counted cell replaced a
+        width-q direct max-plus run with one pair-table lookup."""
+        self.fr_lookup_cells += cells
+
+    def count_fr_boundary(self, cells: int) -> None:
+        """Accumulator cells finished by the direct (non-table) boundary
+        pass around partial blocks."""
+        self.fr_boundary_cells += cells
+
+    def count_fr_splits(self, total: int, pruned: int) -> None:
+        """k1-split candidate-list accounting for one window: ``pruned``
+        of ``total`` splits were dominated under the monotone triangular
+        bound and skipped entirely."""
+        self.r0_splits_total += total
+        self.r0_splits_pruned += pruned
+
+    def count_fr_blocks(self, total: int, pruned: int) -> None:
+        """k2-block candidate accounting: ``pruned`` of ``total`` lookup
+        block-columns were dominated by the current accumulator."""
+        self.r0_blocks_total += total
+        self.r0_blocks_pruned += pruned
 
     # -- workspace hooks -----------------------------------------------------
 

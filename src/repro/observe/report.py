@@ -27,7 +27,12 @@ from ..machine.roofline import MAXPLUS_STREAM_AI, Roofline
 from ..machine.specs import XEON_E5_1650V4, MachineSpec
 from .metrics import COUNTER_FIELDS, Counters
 
-__all__ = ["RunReport", "predicted_op_counts"]
+__all__ = [
+    "RunReport",
+    "predicted_op_counts",
+    "predicted_fr_cells",
+    "predicted_window_fr_cells",
+]
 
 REPORT_VERSION = 1
 
@@ -49,6 +54,75 @@ def predicted_op_counts(n: int, m: int) -> dict[str, int]:
         "r3": k1(n) * t1(m),
         "r4": k1(n) * t1(m),
         "cells": t1(n) * t1(m),
+    }
+
+
+def predicted_window_fr_cells(m: int, q: int) -> tuple[int, int]:
+    """Per-split ``(lookup, boundary)`` accumulator cells of one window.
+
+    The closed form of the Four-Russians region decomposition over an
+    ``M x M`` inner triangle with block width ``q``, mirroring the two
+    lookup passes of the kernel: for each full block ``kb`` (covering
+    ``k2 in [kb*q, kb*q + q)``) the *merged* pass serves every cell with
+    its row in an earlier block (``i2 < kb*q``) and its column past the
+    block's start (in-block columns through the ``pu`` prefix tables,
+    later columns through ``pf[0]``), and the *tail* pass serves the
+    ``q`` rows inside the block against all columns past it through
+    ``pf[t0]``.  The boundary pass handles what no table serves: per
+    strip, the ``bw x bw`` diagonal A block against the strip's
+    ``bw x (bw - 1)`` B diagonal block (rows and columns both in-strip),
+    plus the ragged-tail splits against every earlier row — the stored
+    ``-inf`` triangle structure masks the invalid combinations, which is
+    why the boundary counts are the full block rectangles.
+    """
+    nbf = m // q
+    lookup = 0
+    for kb in range(nbf):
+        b0 = kb * q
+        # merged whole-block + prefix pass: rows above block kb against
+        # every column past its start (in-block columns via pu, the rest
+        # via pf[0])
+        if kb > 0:
+            lookup += b0 * (m - b0 - 1)
+        # tail pass: the q rows inside block kb against columns past it
+        w = m - b0 - q
+        if w > 0:
+            lookup += q * w
+    boundary = 0
+    b0 = 0
+    while b0 < m:
+        # in-strip corner: the bw x bw diagonal A block against the
+        # strip's bw x (bw - 1) B diagonal block
+        bw = min(q, m - b0)
+        if bw >= 2:
+            boundary += bw * bw * (bw - 1)
+        b0 += q
+    b0t = nbf * q
+    bwt = m - b0t
+    if b0t > 0 and bwt >= 2:
+        # ragged-tail splits against every earlier row
+        boundary += b0t * bwt * (bwt - 1)
+    return lookup, boundary
+
+
+def predicted_fr_cells(n: int, m: int, q: int) -> dict[str, int]:
+    """Predicted ``fr_lookup_cells`` / ``fr_boundary_cells`` for a full
+    (N, M) run with pruning disabled.
+
+    Every window with ``k = j1 - i1 >= 1`` splits contributes ``k`` times
+    the per-split window counts; summed over the outer triangle that is
+    ``K1(N)`` splits total — the same split count behind the R0 closed
+    form, so ``lookup*q + boundary ~ K1(N) * K1(M)`` up to block
+    rounding.  With sparsification enabled the observed counters can
+    only be lower (that is the point), so this form is the
+    predicted-vs-observed equality check for ``fr_sparsify=False`` runs
+    and an upper bound otherwise.
+    """
+    lookup, boundary = predicted_window_fr_cells(m, q)
+    splits = k1(n)
+    return {
+        "fr_lookup_cells": splits * lookup,
+        "fr_boundary_cells": splits * boundary,
     }
 
 
@@ -264,6 +338,48 @@ class RunReport:
                 f"{c['slabs_skipped']}/{c['slabs_total']} slabs fully skipped)"
             )
             lines.append(f"bytes moved (model): {c['bytes_moved']}")
+        if c["fr_windows"]:
+            pruned_s = c["r0_splits_pruned"]
+            total_s = c["r0_splits_total"]
+            frac_s = pruned_s / total_s if total_s else 0.0
+            lines.append(
+                f"four-russians: {c['fr_windows']} windows, "
+                f"{c['fr_lookup_cells']} lookup cells + "
+                f"{c['fr_boundary_cells']} boundary cells, "
+                f"{c['fr_table_builds']} table builds "
+                f"({c['fr_table_cells']} table cells)"
+            )
+            lines.append(
+                f"  pruning: {pruned_s}/{total_s} splits skipped "
+                f"({frac_s:.1%}), {c['r0_blocks_pruned']}/"
+                f"{c['r0_blocks_total']} lookup blocks skipped"
+            )
+            fr_q = self.attrs.get("fr_q")
+            if fr_q:
+                p = predicted_fr_cells(self.n, self.m, int(fr_q))
+                mark_l = (
+                    ""
+                    if c["fr_lookup_cells"] == p["fr_lookup_cells"]
+                    else (
+                        " (pruned)"
+                        if c["fr_lookup_cells"] < p["fr_lookup_cells"]
+                        else "  <- MISMATCH"
+                    )
+                )
+                mark_b = (
+                    ""
+                    if c["fr_boundary_cells"] == p["fr_boundary_cells"]
+                    else (
+                        " (pruned)"
+                        if c["fr_boundary_cells"] < p["fr_boundary_cells"]
+                        else "  <- MISMATCH"
+                    )
+                )
+                lines.append(
+                    f"  q={fr_q}: predicted lookup {p['fr_lookup_cells']}"
+                    f"{mark_l}, predicted boundary "
+                    f"{p['fr_boundary_cells']}{mark_b}"
+                )
         if c["tiles_executed"]:
             idle_ms = c["tile_idle_ns"] / 1e6
             lines.append(

@@ -63,6 +63,7 @@ class TestBackendRegistration:
             "workspace_reuse": True,
             "autotune": True,
             "tile_graph": True,
+            "bounded_scores": False,
         }
         batched = BACKENDS["numpy-batched"]
         assert not batched.capabilities["tile_graph"]
