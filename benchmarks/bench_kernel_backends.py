@@ -37,6 +37,14 @@ dense batched kernel on a noisy machine::
         --slope 24,40,64,96 --backend fourrussians \\
         --merge-baseline benchmarks/BENCH_kernels_baseline.json
 
+Semiring mode (``--semiring logsumexp``) times the log-partition
+(BPPart) workload instead of max-plus: only backends declaring the
+semiring are timed, scores agree within the corpus tolerance rather
+than bit-identically, and the advisory CI artifact is written as::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_backends.py \\
+        --n 24 --m 24 --semiring logsumexp --out BENCH_semiring.json
+
 Under pytest the module also exposes a smoke test at tiny sizes.
 """
 
@@ -55,8 +63,12 @@ if str(SRC) not in sys.path:  # allow running without PYTHONPATH
 
 from repro.core.engine import make_engine  # noqa: E402
 from repro.core.reference import bpmax_recursive, prepare_inputs  # noqa: E402
-from repro.kernels import DEFAULT_BACKEND, available_backends  # noqa: E402
+from repro.kernels import BACKENDS, DEFAULT_BACKEND, available_backends  # noqa: E402
 from repro.rna.sequence import random_pair  # noqa: E402
+from repro.semiring import get_semiring  # noqa: E402
+
+#: score-agreement tolerance for non-exact semirings (corpus policy)
+LSE_TOL = 1e-9
 
 
 def _time_once(inputs, **kwargs) -> tuple[float, float]:
@@ -67,6 +79,27 @@ def _time_once(inputs, **kwargs) -> tuple[float, float]:
     return time.perf_counter() - t0, s
 
 
+def _agree(a: float, b: float, exact: bool) -> bool:
+    """Score equality under the semiring's contract: bit-identity for
+    exact semirings, the corpus tolerance otherwise."""
+    if exact:
+        return a == b
+    return math.isclose(a, b, rel_tol=LSE_TOL, abs_tol=LSE_TOL)
+
+
+def _semiring_backends(names: list[str], semiring: str) -> list[str]:
+    """Drop backends that do not declare the semiring (timing their
+    transparent fallback would mislabel another backend's numbers)."""
+    kept = [n for n in names if semiring in BACKENDS[n].semirings]
+    for skipped in sorted(set(names) - set(kept)):
+        print(
+            f"note: skipping {skipped!r} (declares {BACKENDS[skipped].semirings}, "
+            f"not {semiring!r})",
+            file=sys.stderr,
+        )
+    return kept
+
+
 def run_bench(
     n: int,
     m: int,
@@ -74,6 +107,7 @@ def run_bench(
     seed: int = 99,
     backend: str | None = None,
     threads: int = 1,
+    semiring: str = "max-plus",
 ) -> dict:
     """Time hybrid-tiled and every available backend; verify score equality.
 
@@ -85,17 +119,22 @@ def run_bench(
     ``backend`` narrows the sweep to one named backend (``numpy-batched``
     is always timed too, as the denominator of the relative-speedup
     field); ``threads`` sizes the thread pool handed to every timed
-    backend engine.
+    backend engine.  ``semiring`` swaps the reduction algebra: only
+    backends declaring it are timed, and score agreement is checked
+    under the semiring's contract (bit-identity when exact, the corpus
+    1e-9 tolerance otherwise).
     """
-    names = available_backends()
+    sr = get_semiring(semiring)
+    names = _semiring_backends(available_backends(), sr.name)
     if backend is not None:
         if backend not in names:
             raise SystemExit(
-                f"backend {backend!r} is not available; choose from {names}"
+                f"backend {backend!r} is not available for semiring "
+                f"{sr.name!r}; choose from {names}"
             )
         names = sorted({backend, "numpy-batched"})
     s1, s2 = random_pair(n, m, seed)
-    inputs = prepare_inputs(s1, s2)
+    inputs = prepare_inputs(s1, s2, semiring=sr.name)
 
     results: dict = {
         "n": n,
@@ -103,6 +142,7 @@ def run_bench(
         "repeats": repeats,
         "seed": seed,
         "threads": threads,
+        "semiring": sr.name,
         "default_backend": DEFAULT_BACKEND,
         "engine": {},
         "backends": {},
@@ -132,10 +172,10 @@ def run_bench(
     results["score"] = ref_score
     batched_time = times.get("numpy-batched")
     for name, t in times.items():
-        if scores[name] != ref_score:
+        if not _agree(scores[name], ref_score, sr.exact):
             raise AssertionError(
                 f"backend {name} score {scores[name]} != "
-                f"hybrid-tiled score {ref_score}"
+                f"hybrid-tiled score {ref_score} ({sr.name})"
             )
         results["backends"][name] = t
         results["speedup_vs_hybrid_tiled"][name] = ref_time / t if t > 0 else 0.0
@@ -254,15 +294,30 @@ def render_slope(results: dict) -> str:
     return "\n".join(lines)
 
 
-def verify_against_oracle(n: int = 6, m: int = 9, seed: int = 5) -> None:
-    """Every backend must match the recursive oracle at a checkable size."""
+def verify_against_oracle(
+    n: int = 6, m: int = 9, seed: int = 5, semiring: str = "max-plus"
+) -> None:
+    """Every backend must match the recursive oracle at a checkable size.
+
+    The oracle is :func:`bpmax_recursive` for max-plus (bit-identity)
+    and :func:`repro.core.bppart.bppart_recursive` for log-sum-exp
+    (corpus tolerance).
+    """
+    sr = get_semiring(semiring)
     s1, s2 = random_pair(n, m, seed)
-    inputs = prepare_inputs(s1, s2)
-    expected = bpmax_recursive(inputs)
-    for name in available_backends():
+    inputs = prepare_inputs(s1, s2, semiring=sr.name)
+    if sr.name == "max-plus":
+        expected = bpmax_recursive(inputs)
+    else:
+        from repro.core.bppart import bppart_recursive
+
+        expected = bppart_recursive(inputs)
+    for name in _semiring_backends(available_backends(), sr.name):
         got = make_engine(inputs, variant="batched", backend=name).run()
-        if got != expected:
-            raise AssertionError(f"backend {name}: {got} != oracle {expected}")
+        if not _agree(got, expected, sr.exact):
+            raise AssertionError(
+                f"backend {name} ({sr.name}): {got} != oracle {expected}"
+            )
 
 
 def merge_baseline(results: dict, baseline_path: Path) -> None:
@@ -316,7 +371,9 @@ def check_regression(results: dict, baseline_path: Path, tolerance: float) -> in
 def render(results: dict) -> str:
     lines = [
         f"kernel backends at (N, M) = ({results['n']}, {results['m']}), "
-        f"threads={results.get('threads', 1)}, best of {results['repeats']}",
+        f"threads={results.get('threads', 1)}, "
+        f"semiring={results.get('semiring', 'max-plus')}, "
+        f"best of {results['repeats']}",
         f"{'engine/backend':24s} {'seconds':>10s} {'speedup':>9s} {'vs batched':>11s}",
         f"{'hybrid-tiled (engine)':24s} {results['engine']['hybrid-tiled']:10.4f} "
         f"{'1.00x':>9s} {'':>11s}",
@@ -373,6 +430,14 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fractional speedup loss vs the baseline (default 0.3)",
     )
     p.add_argument(
+        "--semiring",
+        default="max-plus",
+        metavar="NAME",
+        help="reduction algebra to time (max-plus or logsumexp); only "
+        "backends declaring it are timed, and score agreement follows the "
+        "semiring's contract",
+    )
+    p.add_argument(
         "--skip-oracle",
         action="store_true",
         help="skip the small-size recursive-oracle verification",
@@ -380,8 +445,13 @@ def main(argv: list[str] | None = None) -> int:
     args = p.parse_args(argv)
 
     if not args.skip_oracle:
-        verify_against_oracle()
+        verify_against_oracle(semiring=args.semiring)
     if args.slope:
+        if get_semiring(args.semiring).name != "max-plus":
+            raise SystemExit(
+                "--slope mode is max-plus only (the exponent ladder relies "
+                "on bit-identical score cross-checks per size)"
+            )
         try:
             ms = sorted({int(x) for x in args.slope.split(",") if x.strip()})
         except ValueError as exc:
@@ -417,6 +487,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         backend=args.backend,
         threads=args.threads,
+        semiring=args.semiring,
     )
     print(render(results))
     if args.out:
@@ -457,6 +528,21 @@ def test_backends_benchmark_slope_smoke(tmp_path):
     again = json.loads(out.read_text())
     assert again["slopes"]["n5|m6-10"]["mode"] == "slope"
     assert render_slope(results)
+
+
+def test_backends_benchmark_logsumexp_smoke(capsys):
+    """--semiring logsumexp path: max-plus-only backends are skipped, the
+    timed ones agree with the log-partition oracle within tolerance."""
+    verify_against_oracle(n=4, m=6, seed=2, semiring="logsumexp")
+    results = run_bench(6, 8, repeats=1, seed=3, semiring="log-sum-exp")
+    assert results["semiring"] == "logsumexp"  # canonicalized
+    assert results["backends"], "no logsumexp-capable backends were timed"
+    for name in ("fourrussians", "numba"):
+        assert name not in results["backends"]  # max-plus-only, skipped
+    assert "semiring=logsumexp" in render(results)
+    err = capsys.readouterr().err
+    if "fourrussians" in BACKENDS:
+        assert "skipping 'fourrussians'" in err
 
 
 def test_backends_benchmark_single_backend_threads(tmp_path):

@@ -8,13 +8,19 @@ each window with BPMax, and reports the best binding site — the
 windowed workload shape (short x long, like the paper's 16 x 2500
 experiments) where the optimized CPU engines matter.
 
+The sweep runs through the serving layer
+(:func:`repro.core.windowed.scan_windows_served`), the same path the
+``bpmax scan`` CLI subcommand uses: each window is a serve request, so
+repeated windows come from the result cache instead of recomputing.
+
 Run:  python examples/srna_target_scan.py
+CLI:  bpmax scan CUCCUCCACCUC <target> --window 24 --stride 6
 """
 
 import numpy as np
 
 from repro import RnaSequence, bpmax, random_sequence
-from repro.core.windowed import scan_windows
+from repro.core.windowed import scan_windows_served
 
 #: a 12-nt sRNA "seed" (antisense to the site we will plant); chosen
 #: pyrimidine-rich so it carries no self-structure — like real seed
@@ -39,14 +45,14 @@ def build_mrna(rng: np.random.Generator) -> RnaSequence:
 def scan(srna: RnaSequence, mrna: RnaSequence) -> list[tuple[int, float]]:
     """Interaction gain of the sRNA against each mRNA window.
 
-    Uses the library's windowed mode (:func:`repro.core.windowed
-    .scan_windows`): the gain ``F - (S1 + S2)`` measures how much pairing
-    the *interaction* adds over folding each molecule separately, and the
-    antiparallel convention feeds each window 3'->5'.
+    Uses the library's served windowed mode (:func:`repro.core.windowed
+    .scan_windows_served`): the gain ``F - (S1 + S2)`` measures how much
+    pairing the *interaction* adds over folding each molecule separately,
+    the antiparallel convention feeds each window 3'->5', and identical
+    windows are deduplicated through the serve-layer result cache.
     """
-    result = scan_windows(
-        srna, mrna, window=WINDOW, stride=STRIDE,
-        variant="hybrid-tiled", tile=(8, 4, 0),
+    result = scan_windows_served(
+        srna, mrna, window=WINDOW, stride=STRIDE, variant="hybrid-tiled",
     )
     return [(h.start, h.gain) for h in result.hits]
 

@@ -5,6 +5,8 @@ Subcommands
 ``run SEQ1 SEQ2``      score (and optionally fold) two strands
 ``fold SEQ``           single-strand weighted Nussinov folding
 ``scan QUERY TARGET``  slide QUERY along TARGET, rank windows by gain
+                       (sweeps run through the serving layer, so
+                       identical windows are served from cache)
 ``serve FILE``         serve a JSONL request stream through the batch layer
 ``submit SEQ1 SEQ2``   emit one JSONL request line for ``serve``
 ``golden``             verify (or ``--regen``) the golden-corpus manifest
@@ -27,6 +29,11 @@ self-healing respawn/re-route on worker death.
 Observability: ``run --metrics`` prints the observed-vs-predicted
 operation counts (and saves them with ``--metrics-out report.json``);
 ``run --trace trace.json`` records spans of every layer to a JSON file.
+
+Semirings: ``run``, ``scan`` and ``submit`` accept ``--semiring`` to
+swap the reduction algebra — ``max-plus`` (BPMax scores, the default)
+or ``logsumexp`` (BPPart-style log-partition values); ``bpmax
+backends`` lists which backends support which algebra.
 
 Error handling: every structured failure
 (:class:`~repro.robust.errors.BpmaxError` — bad sequences, stale
@@ -89,6 +96,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="row-partition the R0 products over a real thread pool",
     )
     run.add_argument(
+        "--semiring",
+        default="max-plus",
+        metavar="NAME",
+        help="reduction algebra: 'max-plus' (BPMax score, default) or "
+        "'logsumexp' (BPPart-style log-partition value)",
+    )
+    run.add_argument(
         "--structure", action="store_true", help="also report one optimal structure"
     )
     run.add_argument(
@@ -148,6 +162,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend",
         metavar="NAME",
         help="kernel backend for the R0 hot path (see 'bpmax backends')",
+    )
+    sc.add_argument(
+        "--semiring",
+        default="max-plus",
+        metavar="NAME",
+        help="reduction algebra for the sweep: 'max-plus' or 'logsumexp'",
+    )
+    sc.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="per-window result-cache capacity (0 disables caching)",
     )
 
     srv = sub.add_parser(
@@ -235,6 +262,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sm.add_argument("--backend", metavar="NAME", help="kernel backend")
     sm.add_argument(
+        "--semiring",
+        default="max-plus",
+        metavar="NAME",
+        help="reduction algebra: 'max-plus' (default) or 'logsumexp'",
+    )
+    sm.add_argument(
         "--structure", action="store_true", help="also request one optimal structure"
     )
     sm.add_argument(
@@ -275,6 +308,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="engine variant to verify with (default: the manifest generator)",
     )
     g.add_argument("--backend", metavar="NAME", help="kernel backend to verify with")
+    g.add_argument(
+        "--semiring",
+        default=None,
+        metavar="NAME",
+        help="verify only this pinned semiring (default: all the "
+        "configuration can run)",
+    )
     g.add_argument(
         "--regen",
         action="store_true",
@@ -341,6 +381,22 @@ def _check_backend(name: str | None) -> None:
         )
 
 
+def _check_semiring(name: str) -> str:
+    """Resolve a --semiring value to its canonical engine name."""
+    from .semiring import ENGINE_SEMIRINGS, get_semiring
+
+    try:
+        sr = get_semiring(name)
+    except ValueError as exc:
+        raise BpmaxError(str(exc)) from None
+    if sr.name not in ENGINE_SEMIRINGS:
+        raise BpmaxError(
+            f"semiring {sr.name!r} has no engine support; "
+            f"use one of {ENGINE_SEMIRINGS}"
+        )
+    return sr.name
+
+
 def _cmd_backends() -> int:
     from .kernels import BACKENDS, DEFAULT_BACKEND, get_backend
 
@@ -355,6 +411,7 @@ def _cmd_backends() -> int:
         print(f"{name:15s} {status}{default}")
         print(f"{'':15s}   {b.description}")
         print(f"{'':15s}   capabilities: {caps or '-'}")
+        print(f"{'':15s}   semirings: {','.join(b.semirings)}")
     return 0
 
 
@@ -485,6 +542,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     f"unknown fallback variant {v!r}; use one of {ENGINES}"
                 )
     _check_backend(args.backend)
+    semiring = _check_semiring(args.semiring)
+    if semiring != "max-plus":
+        if args.variant == "baseline":
+            raise BpmaxError(
+                "the baseline engine is max-plus only; pick a vectorized "
+                f"variant for --semiring {semiring}"
+            )
+        if args.structure:
+            raise BpmaxError(
+                "--structure follows max-plus argmax decisions; it is "
+                f"undefined for --semiring {semiring}"
+            )
     if args.threads < 1:
         raise BpmaxError(f"--threads must be >= 1, got {args.threads}")
     engine_kwargs: dict = {}
@@ -506,6 +575,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seq1,
             seq2,
             variant=args.variant,
+            semiring=semiring,
             structure=args.structure,
             fallback=fallback,
             checkpoint=args.checkpoint,
@@ -537,6 +607,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(result.report.render())
     if tracer is not None:
         print(f"trace   : {len(tracer.records())} records saved to {args.trace}")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from .core.windowed import scan_windows_served
+
+    _check_backend(args.backend)
+    semiring = _check_semiring(args.semiring)
+    if args.cache_size < 0:
+        raise BpmaxError(f"--cache-size must be >= 0, got {args.cache_size}")
+    result = scan_windows_served(
+        args.query,
+        args.target,
+        window=args.window,
+        stride=args.stride,
+        variant=args.variant,
+        semiring=semiring,
+        backend=args.backend,
+        cache=args.cache_size,
+    )
+    cached = sum(1 for h in result.hits if h.cached)
+    print(f"{len(result.hits)} windows of length {result.window}, "
+          f"stride {result.stride} ({cached} served from cache)")
+    print("start  score  gain")
+    for hit in result.top(args.top):
+        print(f"{hit.start:5d}  {hit.score:5.1f}  {hit.gain:5.1f}")
+    best = result.best
+    print(f"best window: start {best.start} (gain {best.gain:g})")
     return 0
 
 
@@ -614,6 +712,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     import json as _json
 
     _check_backend(args.backend)
+    semiring = _check_semiring(args.semiring)
     if args.retries < 0:
         raise BpmaxError(f"--retries must be >= 0, got {args.retries}")
     if args.deadline is not None and args.deadline <= 0:
@@ -625,6 +724,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         request["variant"] = args.variant
     if args.backend is not None:
         request["backend"] = args.backend
+    if semiring != "max-plus":
+        request["semiring"] = semiring
     if args.structure:
         request["structure"] = True
     if args.deadline is not None:
@@ -654,6 +755,9 @@ def _cmd_golden(args: argparse.Namespace) -> int:
     from . import golden
 
     _check_backend(args.backend)
+    semirings = None
+    if args.semiring is not None:
+        semirings = (_check_semiring(args.semiring),)
     if args.regen:
         if args.variant is not None or args.backend is not None:
             raise BpmaxError(
@@ -667,8 +771,10 @@ def _cmd_golden(args: argparse.Namespace) -> int:
         return 0
     variant = args.variant or golden.GENERATOR_VARIANT
     problems = golden.verify_manifest(args.manifest, variant=variant,
-                                      backend=args.backend)
+                                      backend=args.backend, semirings=semirings)
     label = variant + (f"+{args.backend}" if args.backend else "")
+    if semirings:
+        label += f" [{semirings[0]}]"
     if problems:
         for p in problems:
             print(f"MISMATCH: {p}", file=sys.stderr)
@@ -697,26 +803,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(db)
         return 0
     if args.command == "scan":
-        from .core.windowed import scan_windows
-
-        _check_backend(args.backend)
-        kwargs = {"backend": args.backend} if args.backend is not None else {}
-        result = scan_windows(
-            args.query,
-            args.target,
-            window=args.window,
-            stride=args.stride,
-            variant=args.variant,
-            **kwargs,
-        )
-        print(f"{len(result.hits)} windows of length {result.window}, "
-              f"stride {result.stride}")
-        print("start  score  gain")
-        for hit in result.top(args.top):
-            print(f"{hit.start:5d}  {hit.score:5.1f}  {hit.gain:5.1f}")
-        best = result.best
-        print(f"best window: start {best.start} (gain {best.gain:g})")
-        return 0
+        return _cmd_scan(args)
     if args.command == "report":
         from .observe.report import RunReport
 

@@ -55,6 +55,7 @@ def bpmax(
     seq2: RnaSequence | str,
     variant: str = "hybrid-tiled",
     model: ScoringModel = DEFAULT_MODEL,
+    semiring: str = "max-plus",
     structure: bool = False,
     fallback: tuple[str, ...] = (),
     retries: int = 0,
@@ -76,6 +77,12 @@ def bpmax(
     variant:
         Program version: ``baseline`` (the original scalar code) or one of
         the optimized versions ``coarse | fine | hybrid | hybrid-tiled``.
+    semiring:
+        Reduction algebra of the run: ``"max-plus"`` (BPMax, the exact
+        float32 contract — default) or ``"logsumexp"`` (BPPart-style
+        log-partition values from the same engines, float64, compared
+        within tolerance).  ``baseline`` and ``structure=True`` are
+        max-plus only.
     structure:
         Also run the traceback and attach an
         :class:`~repro.core.traceback.InteractionStructure`.
@@ -114,7 +121,12 @@ def bpmax(
             raise ValueError(f"unknown fallback variant {v!r}; use one of {ENGINES}")
     if deadline is not None and not isinstance(deadline, Deadline):
         deadline = Deadline(float(deadline))
-    inputs = prepare_inputs(seq1, seq2, model)
+    inputs = prepare_inputs(seq1, seq2, model, semiring=semiring)
+    if structure and inputs.semiring != "max-plus":
+        raise ValueError(
+            "structure traceback follows max-plus argmax decisions; it is "
+            f"undefined for semiring {inputs.semiring!r}"
+        )
     engine = make_engine(
         inputs, variant, fallback=tuple(fallback), retries=retries, **engine_kwargs
     )
@@ -144,7 +156,7 @@ def bpmax(
                 wall = time.perf_counter() - t0
             ran_variant = getattr(engine, "variant", variant)
             backend = getattr(engine, "backend", None)
-            extra: dict = {}
+            extra: dict = {"semiring": inputs.semiring}
             fr = getattr(engine, "_fr", None)
             if fr is not None:
                 extra["fr_q"] = fr.q
@@ -183,6 +195,7 @@ def serve_many(
     requests,
     variant: str = "hybrid-tiled",
     model: ScoringModel = DEFAULT_MODEL,
+    semiring: str = "max-plus",
     structure: bool = False,
     max_batch: int = 16,
     max_delay_s: float = 0.01,
@@ -205,7 +218,7 @@ def serve_many(
     requests:
         An iterable of :class:`~repro.serve.request.SubmitRequest`, or
         of ``(seq1, seq2)`` pairs which are wrapped into requests using
-        ``variant`` / ``model`` / ``structure``.
+        ``variant`` / ``model`` / ``semiring`` / ``structure``.
     max_batch, max_delay_s, workers, cache:
         Batching knobs forwarded to
         :class:`~repro.serve.scheduler.BatchScheduler` (size watermark,
@@ -239,6 +252,7 @@ def serve_many(
                     id=f"req{idx}",
                     variant=variant,
                     model=model,
+                    semiring=semiring,
                     structure=structure,
                 )
             )

@@ -40,6 +40,8 @@ from ..rna.sequence import random_pair
 __all__ = [
     "GAS_CONSTANT_KCAL",
     "beta_from_celsius",
+    "bppart",
+    "bppart_recursive",
     "single_strand_partition",
     "duplex_partition",
     "partition_exact",
@@ -66,6 +68,82 @@ def beta_from_celsius(temp_c: float) -> float:
     if kelvin <= 0:
         raise ValueError(f"temperature {temp_c} C is at or below absolute zero")
     return 1.0 / (GAS_CONSTANT_KCAL * kelvin)
+
+
+def bppart_recursive(inputs: BpmaxInputs) -> float:
+    """Memoized-recursion oracle for the log-sum-exp BPMax recurrence.
+
+    The exact transcription of :func:`~repro.core.reference.bpmax_recursive`
+    with every ``max`` replaced by ``logaddexp`` — the semiring-generic
+    engines must agree with this value within the corpus tolerance.  The
+    returned quantity is the log of a sum of ``exp(weight)`` over
+    *derivations* of the recurrence (the BPMax split decomposition is
+    ambiguous, so one structure can contribute several derivations);
+    ``exp(value)`` therefore upper-bounds the true partition function at
+    ``beta = 1`` and the value itself upper-bounds the max-plus score.
+    Inputs must come from ``prepare_inputs(..., semiring="logsumexp")``
+    so the ``S`` tables are the log-space Nussinov folds.
+    """
+    if inputs.semiring != "logsumexp":
+        raise ValueError(
+            f"bppart_recursive needs logsumexp inputs; these were prepared "
+            f"for {inputs.semiring!r} (pass semiring='logsumexp' to "
+            "prepare_inputs)"
+        )
+    import sys
+
+    n, m = inputs.n, inputs.m
+    s1, s2 = inputs.s1, inputs.s2
+    score1, score2, iscore = inputs.score1, inputs.score2, inputs.iscore
+    sys.setrecursionlimit(max(sys.getrecursionlimit(), 10_000 + 50 * n * m))
+    lse = np.logaddexp
+    from functools import lru_cache
+
+    @lru_cache(maxsize=None)
+    def f(i1: int, j1: int, i2: int, j2: int) -> float:
+        # empty-window conventions (the paper's first two cases)
+        if j1 < i1 and j2 < i2:
+            return 0.0
+        if j1 < i1:
+            return float(s2[i2, j2])
+        if j2 < i2:
+            return float(s1[i1, j1])
+        if i1 == j1 and i2 == j2:
+            return float(iscore[i1, i2])
+        best = float("-inf")
+        # intramolecular closures
+        if j1 > i1:
+            best = lse(best, f(i1 + 1, j1 - 1, i2, j2) + float(score1[i1, j1]))
+        if j2 > i2:
+            best = lse(best, f(i1, j1, i2 + 1, j2 - 1) + float(score2[i2, j2]))
+        # H: independent folds + the five reductions
+        best = lse(best, float(s1[i1, j1]) + float(s2[i2, j2]))
+        for k1 in range(i1, j1):  # R0
+            for k2 in range(i2, j2):
+                best = lse(best, f(i1, k1, i2, k2) + f(k1 + 1, j1, k2 + 1, j2))
+        for k2 in range(i2, j2):  # R1, R2
+            best = lse(best, float(s2[i2, k2]) + f(i1, j1, k2 + 1, j2))
+            best = lse(best, f(i1, j1, i2, k2) + float(s2[k2 + 1, j2]))
+        for k1 in range(i1, j1):  # R3, R4
+            best = lse(best, float(s1[i1, k1]) + f(k1 + 1, j1, i2, j2))
+            best = lse(best, f(i1, k1, i2, j2) + float(s1[k1 + 1, j1]))
+        return float(best)
+
+    return f(0, n - 1, 0, m - 1)
+
+
+def bppart(seq1, seq2, model: ScoringModel = DEFAULT_MODEL, **kwargs):
+    """BPPart value through the optimized engine path.
+
+    A thin alias for ``bpmax(..., semiring="logsumexp")``: the partition
+    log-value comes from the same batched/tiled wavefront engines as the
+    max-plus score, just reduced in the log-sum-exp semiring.  Accepts
+    every :func:`repro.core.api.bpmax` keyword (``variant``, ``backend``,
+    ``threads``, ``report``, ...).
+    """
+    from .api import bpmax
+
+    return bpmax(seq1, seq2, model=model, semiring="logsumexp", **kwargs)
 
 
 def single_strand_partition(weights: np.ndarray, beta: float) -> np.ndarray:

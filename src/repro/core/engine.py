@@ -88,7 +88,23 @@ class ResilientEngine:
     def run(self, **run_kwargs) -> float:
         failures: list[tuple[str, BaseException]] = []
         for idx, variant in enumerate(self.chain):
-            engine = self._active if idx == 0 else self._build(variant)
+            if idx == 0:
+                engine = self._active
+            else:
+                try:
+                    engine = self._build(variant)
+                except Exception as exc:
+                    # a fallback that cannot even be constructed (e.g. the
+                    # max-plus-only baseline offered as fallback for a
+                    # log-sum-exp run) degrades like a crash, it does not
+                    # sink the whole chain
+                    failures.append(
+                        (
+                            variant,
+                            EngineFailure(f"{type(exc).__name__}: {exc}", variant),
+                        )
+                    )
+                    continue
             kwargs = (
                 run_kwargs
                 if idx == 0

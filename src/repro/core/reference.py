@@ -40,9 +40,10 @@ import numpy as np
 
 from ..observe.metrics import active as _metrics_active
 from ..observe.tracer import trace
-from ..rna.nussinov import nussinov
+from ..rna.nussinov import nussinov, nussinov_logspace
 from ..rna.scoring import DEFAULT_MODEL, ScoringModel
 from ..rna.sequence import RnaSequence
+from ..semiring import check_engine_semiring
 from .tables import FTable
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -66,26 +67,47 @@ class BpmaxInputs:
     iscore: np.ndarray  # (n, m) intermolecular pair weights
     s1: np.ndarray  # (n, n) Nussinov table, strand 1
     s2: np.ndarray  # (m, m) strand 2
+    #: canonical name of the semiring the tables were built for; the
+    #: S tables are max-folds under max-plus and log-partition tables
+    #: under logsumexp, so inputs are only valid for their own algebra
+    semiring: str = "max-plus"
 
 
 def prepare_inputs(
     seq1: RnaSequence | str,
     seq2: RnaSequence | str,
     model: ScoringModel = DEFAULT_MODEL,
+    semiring: str = "max-plus",
 ) -> BpmaxInputs:
-    """Build score tables and fold both strands (the S1/S2 stage)."""
+    """Build score tables and fold both strands (the S1/S2 stage).
+
+    ``semiring`` selects the algebra the tables are prepared for:
+    ``"max-plus"`` (BPMax, float32, exact) folds each strand with the
+    weighted Nussinov max-recurrence; ``"logsumexp"`` (BPPart, float64)
+    folds with :func:`~repro.rna.nussinov.nussinov_logspace` and casts
+    every score table to the semiring's compute dtype.
+    """
+    sr = check_engine_semiring(semiring)
     s1seq = seq1 if isinstance(seq1, RnaSequence) else RnaSequence(seq1)
     s2seq = seq2 if isinstance(seq2, RnaSequence) else RnaSequence(seq2)
     if len(s1seq) == 0 or len(s2seq) == 0:
         raise ValueError("both sequences must be non-empty")
+    if sr.name == "max-plus":
+        fold1, fold2 = nussinov(s1seq, model), nussinov(s2seq, model)
+        cast = lambda t: t  # noqa: E731 - keep the exact float32 tables
+    else:
+        fold1 = nussinov_logspace(s1seq, model)
+        fold2 = nussinov_logspace(s2seq, model)
+        cast = lambda t: t.astype(sr.dtype)  # noqa: E731
     return BpmaxInputs(
         n=len(s1seq),
         m=len(s2seq),
-        score1=model.score_table(s1seq.codes),
-        score2=model.score_table(s2seq.codes),
-        iscore=model.iscore_table(s1seq.codes, s2seq.codes),
-        s1=nussinov(s1seq, model),
-        s2=nussinov(s2seq, model),
+        score1=cast(model.score_table(s1seq.codes)),
+        score2=cast(model.score_table(s2seq.codes)),
+        iscore=cast(model.iscore_table(s1seq.codes, s2seq.codes)),
+        s1=fold1,
+        s2=fold2,
+        semiring=sr.name,
     )
 
 
@@ -98,6 +120,11 @@ def bpmax_recursive(
     Returns the interaction score ``F[0, n-1, 0, m-1]``; with
     ``full_table=True`` also the dict of every computed F entry.
     """
+    if inputs.semiring != "max-plus":
+        raise ValueError(
+            f"bpmax_recursive is the max-plus oracle; inputs were prepared "
+            f"for {inputs.semiring!r} (use repro.core.bppart.bppart_recursive)"
+        )
     n, m = inputs.n, inputs.m
     s1, s2 = inputs.s1, inputs.s2
     score1, score2, iscore = inputs.score1, inputs.score2, inputs.iscore
@@ -158,6 +185,12 @@ class BaselineBPMax:
     name = "baseline"
 
     def __init__(self, inputs: BpmaxInputs) -> None:
+        if inputs.semiring != "max-plus":
+            raise ValueError(
+                "the baseline engine reproduces the original max-plus "
+                f"program only; inputs were prepared for {inputs.semiring!r} "
+                "(use a vectorized variant)"
+            )
         self.inputs = inputs
         self.table = FTable(inputs.n, inputs.m)
 

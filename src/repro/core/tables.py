@@ -51,7 +51,9 @@ class FTable:
     m: inner sequence length.
     layout: inner memory map, ``"option1"`` or ``"option2"``.
     fill: initial value of inner matrices (``-inf`` marks "not computed",
-        which max-plus treats as the reduction identity).
+        which every engine semiring treats as the reduction identity).
+    dtype: element type of the packed buffer.  Max-plus keeps the
+        paper's float32; the log-sum-exp semiring computes in float64.
     """
 
     def __init__(
@@ -60,6 +62,7 @@ class FTable:
         m: int,
         layout: str = "option1",
         fill: float = -np.inf,
+        dtype=np.float32,
     ) -> None:
         if n <= 0 or m <= 0:
             raise ValueError(f"table sizes must be > 0, got ({n}, {m})")
@@ -68,13 +71,14 @@ class FTable:
         self.n = n
         self.m = m
         self.layout = layout
-        self._fill = np.float32(fill)
+        self.dtype = np.dtype(dtype)
+        self._fill = self.dtype.type(fill)
         # row-major over (i1, j1): row i1 holds windows (i1, i1) .. (i1, n-1)
         self._row_start = np.zeros(n + 1, dtype=np.int64)
         for i in range(n):
             self._row_start[i + 1] = self._row_start[i] + (n - i)
         self._buf = np.full(
-            (int(self._row_start[n]), m, m), self._fill, dtype=np.float32
+            (int(self._row_start[n]), m, m), self._fill, dtype=self.dtype
         )
         self._alloc: set[tuple[int, int]] = set()
         self._shift: dict[tuple[int, int], np.ndarray] = {}
@@ -234,16 +238,16 @@ class FTable:
 
     def bytes_allocated(self) -> int:
         """Bounding-box bytes of the windows logically allocated so far."""
-        return len(self._alloc) * self.m * self.m * 4
+        return len(self._alloc) * self.m * self.m * self.dtype.itemsize
 
     def bytes_touched(self) -> int:
         """Bytes of the triangular halves that the computation touches."""
-        per_window = self.m * (self.m + 1) // 2 * 4
+        per_window = self.m * (self.m + 1) // 2 * self.dtype.itemsize
         return len(self._alloc) * per_window
 
     def full_allocation_bytes(self) -> int:
         """Bytes if every outer window were allocated (the M^2 N^2 box)."""
-        return self.n * (self.n + 1) // 2 * self.m * self.m * 4
+        return self.n * (self.n + 1) // 2 * self.m * self.m * self.dtype.itemsize
 
     def _check_window(self, i1: int, j1: int) -> None:
         if not 0 <= i1 <= j1 < self.n:

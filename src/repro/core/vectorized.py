@@ -39,11 +39,12 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..kernels import KernelBackend, Workspace, get_backend
+from ..kernels import DEFAULT_BACKEND, KernelBackend, Workspace, get_backend
 from ..observe.metrics import active as _metrics_active
 from ..observe.tracer import trace
 from ..parallel.pool import ParallelRunner
-from ..semiring.maxplus import NEG_INF, maxplus_bias_reduce
+from ..semiring.generic import check_engine_semiring, semiring_bias_reduce
+from ..semiring.maxplus import NEG_INF
 from .dmp import DMP_KERNELS
 from .reference import BpmaxInputs
 from .tables import FTable
@@ -142,22 +143,57 @@ class VectorizedBPMax:
         self._faults: "FaultPlan | None" = None
         self._pool: ParallelRunner | None = None
         self.inputs = inputs
-        self.table = FTable(inputs.n, inputs.m, layout=layout)
+        self.sr = check_engine_semiring(inputs.semiring)
+        self.backend_note: dict[str, str] | None = None
+        if self.sr.name != "max-plus":
+            # the classic per-split kernels and any max-plus-only backend
+            # cannot run this algebra: resolve a semiring-generic backend
+            # and record how we got there — a wrong-algebra score is
+            # never produced silently
+            if self.backend is None:
+                resolved = get_backend(DEFAULT_BACKEND)
+                self.backend_note = {
+                    "requested": "(classic kernels)",
+                    "resolved": resolved.name,
+                    "reason": (
+                        "the classic per-split kernels are max-plus only; "
+                        f"semiring {self.sr.name!r} runs on the batched path"
+                    ),
+                }
+                self.backend = resolved
+            elif self.sr.name not in self.backend.semirings:
+                requested = self.backend.name
+                resolved = get_backend(self.backend.fallback or DEFAULT_BACKEND)
+                if self.sr.name not in resolved.semirings:
+                    resolved = get_backend(DEFAULT_BACKEND)
+                self.backend_note = {
+                    "requested": requested,
+                    "resolved": resolved.name,
+                    "reason": (
+                        f"backend {requested!r} supports semirings "
+                        f"{self.backend.semirings}; requested {self.sr.name!r}"
+                    ),
+                }
+                self.backend = resolved
+        dt = self.sr.npdtype
+        self._scalar = dt.type  # scalar cast keeping the engine dtype exact
+        self.table = FTable(inputs.n, inputs.m, layout=layout, dtype=dt)
         m = inputs.m
         kmax = max(inputs.n - 1, 0)
         if workspace is not None:
-            if workspace.m != m or workspace.kmax < kmax:
+            if workspace.m != m or workspace.kmax < kmax or workspace.dtype != dt:
                 raise ValueError(
                     f"workspace sized for (m={workspace.m}, kmax="
-                    f"{workspace.kmax}) cannot serve a problem needing "
-                    f"(m={m}, kmax={kmax})"
+                    f"{workspace.kmax}, dtype={workspace.dtype.name}) cannot "
+                    f"serve a problem needing (m={m}, kmax={kmax}, "
+                    f"dtype={dt.name})"
                 )
             self._ws = workspace
         else:
-            self._ws = Workspace(m, kmax)
+            self._ws = Workspace(m, kmax, dtype=dt)
         # S2 restricted to the upper triangle (-inf elsewhere) so it can be
         # combined with F matrices without masking in the hot loops.
-        self._s2_ut = np.full((m, m), NEG_INF, dtype=np.float32)
+        self._s2_ut = np.full((m, m), NEG_INF, dtype=dt)
         iu = np.triu_indices(m)
         self._s2_ut[iu] = inputs.s2[iu]
         # static per-row views of the finish-rows scan, built once so the
@@ -169,11 +205,10 @@ class VectorizedBPMax:
         self._score2_diag1 = (
             np.ascontiguousarray(score2.diagonal(1))
             if m > 1
-            else np.empty(0, dtype=np.float32)
+            else np.empty(0, dtype=dt)
         )
         # bounded-scores backends (fourrussians): verify the precondition
         # now, fall back with a structured note when it does not hold
-        self.backend_note: dict[str, str] | None = None
         self._fr = None
         if self.backend is not None and self.backend.capabilities.get(
             "bounded_scores"
@@ -289,25 +324,29 @@ class VectorizedBPMax:
         s1l = np.ascontiguousarray(inp.s1[i1, i1:j1])  # S1[i1, k1]
         s1r = np.ascontiguousarray(inp.s1[i1 + 1 : j1 + 1, j1])  # S1[k1+1, j1]
 
+        sr = self.sr
         if self.threads > 1:
             blocks = np.array_split(np.arange(inp.m), self.threads)
             pool = self._get_pool()
 
+            # row blocks are disjoint slices of ``acc``, so accumulating a
+            # non-idempotent ⊕ per block is race-free and counts each
+            # candidate exactly once
             def do_rows(rows):
                 sl = slice(rows[0], rows[-1] + 1)
-                backend.batched_r0(astack[:, sl], bstack, acc[sl])
-                maxplus_bias_reduce(braw[:, sl], s1l, acc[sl])  # R3
-                maxplus_bias_reduce(astack[:, sl], s1r, acc[sl])  # R4
+                backend.batched_r0(astack[:, sl], bstack, acc[sl], semiring=sr)
+                semiring_bias_reduce(sr, braw[:, sl], s1l, acc[sl])  # R3
+                semiring_bias_reduce(sr, astack[:, sl], s1r, acc[sl])  # R4
 
             pool.map(do_rows, [blk for blk in blocks if len(blk)])
             return
 
         tmp = ws.tmp3(k)
         backend.batched_r0(
-            astack, bstack, acc, tmp=tmp, red=ws.red, triangular=True
+            astack, bstack, acc, tmp=tmp, red=ws.red, triangular=True, semiring=sr
         )
-        maxplus_bias_reduce(braw, s1l, acc, tmp=tmp, red=ws.red)  # R3
-        maxplus_bias_reduce(astack, s1r, acc, tmp=tmp, red=ws.red)  # R4
+        semiring_bias_reduce(sr, braw, s1l, acc, tmp=tmp, red=ws.red)  # R3
+        semiring_bias_reduce(sr, astack, s1r, acc, tmp=tmp, red=ws.red)  # R4
 
     # -- per-window computation --------------------------------------------------
 
@@ -344,15 +383,16 @@ class VectorizedBPMax:
         folds of both windows."""
         inp = self.inputs
         ws = self._ws
+        accum = self.sr.add
         # closure of the (i1, j1) intramolecular pair
         if j1 == i1 + 1:
             np.add(self._s2_ut, inp.score1[i1, j1], out=ws.red)
         else:
             np.add(self.table.inner(i1 + 1, j1 - 1), inp.score1[i1, j1], out=ws.red)
-        np.maximum(acc, ws.red, out=acc)
+        accum(acc, ws.red, out=acc)
         # independent folds of both windows
-        np.add(self._s2_ut, np.float32(s1v), out=ws.red)
-        np.maximum(acc, ws.red, out=acc)
+        np.add(self._s2_ut, self._scalar(s1v), out=ws.red)
+        accum(acc, ws.red, out=acc)
 
     def _compute_diagonal_window(self, i1: int, g: np.ndarray) -> None:
         """Windows with a single strand-1 base (no R0/R3/R4/closure1)."""
@@ -378,20 +418,29 @@ class VectorizedBPMax:
         left of the diagonal, so the split-range restriction is implicit
         and the whole scan is one broadcast-and-reduce per row.
 
-        R2 uses the collapsed single-step form: because ``S2`` is built
-        by the Nussinov recurrence it is max-plus superadditive
-        (``S2[a, b] >= S2[a, k] + S2[k+1, b]`` exactly as stored), so any
-        chained scatter through an intermediate finalized cell is
-        dominated by the direct contribution from the pre-R2 row value —
-        the incremental left-to-right scatter collapses to
+        Under max-plus, R2 uses the collapsed single-step form: because
+        ``S2`` is built by the Nussinov recurrence it is max-plus
+        superadditive (``S2[a, b] >= S2[a, k] + S2[k+1, b]`` exactly as
+        stored), so any chained scatter through an intermediate finalized
+        cell is dominated by the direct contribution from the pre-R2 row
+        value — the incremental left-to-right scatter collapses to
         ``max_k2 vals[k2] + S2[k2+1, j2]`` with ``vals`` the post-R1 row
         (plus the finalized diagonal).  With the integer-valued scoring
         models every sum is exact in float32, making this bit-identical
         to the scalar references.
+
+        That collapse is the one optimization in the engine that needs an
+        *idempotent* ⊕ (the chained and direct derivations coincide under
+        max, but are distinct summands).  Non-idempotent semirings take a
+        sequential left-to-right scan instead: each ``j2`` reduces the
+        candidates ``F[i2, k2] ⊗ S2[k2+1, j2]`` over finalized cells to
+        its left — each derivation counted exactly once, matching the
+        reference recursion's candidate set verbatim.
         """
         inp = self.inputs
         m = inp.m
         ws = self._ws
+        sr = self.sr
         fin_flat = ws.fin.reshape(-1)  # contiguous (rows, w) blocks per row
         rowbuf = ws.row_a
         scratch = ws.row_c
@@ -399,14 +448,14 @@ class VectorizedBPMax:
         fin_clo = self._fin_clo
         fin_r2 = self._fin_r2
         add = np.add
-        maximum = np.maximum
-        reduce = np.maximum.reduce
+        maximum = sr.add
+        reduce = sr.add_reduce
         copyto = np.copyto
         use_iscore = base_iscore and j1 == i1
         # closure-2 seed for the empty inner window, all rows at once
         if m > 1:
             seed = ws.row_b[: m - 1]
-            add(self._score2_diag1, np.float32(s1v), out=seed)
+            add(self._score2_diag1, self._scalar(s1v), out=seed)
         for i2 in range(m - 1, -1, -1):
             kspan = m - 1 - i2
             if kspan == 0:
@@ -428,6 +477,16 @@ class VectorizedBPMax:
             # diagonal cell
             d = inp.iscore[i1, i2] if use_iscore else row[0]
             g[i2, i2] = d
+            if not sr.idempotent:
+                # sequential R2 (see docstring): finalize columns left to
+                # right, reading already-final cells of this same row
+                copyto(g[i2, i2 + 1 :], row[1:])
+                grow = g[i2]
+                s2ut = self._s2_ut
+                for j2 in range(i2 + 1, m):
+                    cand = grow[i2:j2] + s2ut[i2 + 1 : j2 + 1, j2]
+                    grow[j2] = maximum(grow[j2], reduce(cand))
+                continue
             # R2, collapsed (see docstring); only columns > i2 exist.
             # row[0] is dead after the diagonal store, so it doubles as
             # the k2 = i2 candidate slot.
@@ -470,7 +529,7 @@ class VectorizedBPMax:
             # wavefront executor (bit-identical tables, same hooks)
             from ..kernels.tiled_backend import TiledExecutor
 
-            if TiledExecutor.fits(inp.n, inp.m):
+            if TiledExecutor.fits(inp.n, inp.m, itemsize=self.sr.npdtype.itemsize):
                 with trace(
                     "engine.run",
                     variant=self.variant,
@@ -488,7 +547,8 @@ class VectorizedBPMax:
                         faults=faults,
                     )
             # mirrors would not fit: fall through to the per-window
-            # batched path, which computes the identical float32 sums
+            # batched path, which computes the identical sums in the
+            # same semiring dtype
         self._faults = faults
         try:
             with trace(

@@ -4,21 +4,31 @@ The corpus is the repository's ground-truth contract: ~20 curated RNA
 pairs covering the scoring model's corners (GC-only, AU-only,
 wobble-heavy, length-1, asymmetric N≠M, unpairable, DNA input) plus
 invalid inputs with pinned *error types* (empty strands, foreign
-characters).  Scores live in a checked-in JSON manifest
-(``tests/golden/manifest.json``) and every engine × backend must
-reproduce them **bit-identically** — the serving layer's result cache
-and the kernel-backend registry both rely on scores being a pure
-function of the input.
+characters).  Values live in a checked-in JSON manifest
+(``tests/golden/manifest.json``); every case pins one value **per
+engine semiring**, each under that semiring's tolerance policy:
+
+* ``max-plus`` (BPMax scores) is *exact* — every engine × backend must
+  reproduce the pin **bit-identically** (``atol = rtol = 0``); the
+  serving layer's result cache and the kernel-backend registry both
+  rely on scores being a pure function of the input.
+* ``logsumexp`` (BPPart-style log-partition values) is float64
+  accumulation whose rounding legitimately differs between reduction
+  orders, so its pins carry ``atol = rtol = 1e-9`` and conformance
+  means agreement *within* that tolerance.
 
 ``bpmax golden`` verifies the manifest from the CLI;
 ``bpmax golden --regen`` rewrites it after an *intentional* scoring
-change, and refuses to run under CI so a pipeline can never silently
-re-pin drifted scores (see :func:`regen_manifest`).
+change — cross-checking fresh log-sum-exp pins against the
+:func:`repro.core.bppart.bppart_recursive` reference — and refuses to
+run under CI so a pipeline can never silently re-pin drifted scores
+(see :func:`regen_manifest`).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -33,6 +43,9 @@ __all__ = [
     "GOLDEN_CASES",
     "ERROR_CASES",
     "MANIFEST_VERSION",
+    "MANIFEST_SEMIRINGS",
+    "TOLERANCES",
+    "CROSSCHECK_MAX_LEN",
     "default_manifest_path",
     "build_manifest",
     "regen_manifest",
@@ -40,11 +53,39 @@ __all__ = [
     "load_manifest",
 ]
 
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
 
 #: engine variant used to (re)generate pinned scores; the conformance
 #: suite independently checks every other engine against the same pins
 GENERATOR_VARIANT = "hybrid-tiled"
+
+#: semirings pinned per case, in manifest order
+MANIFEST_SEMIRINGS = ("max-plus", "logsumexp")
+
+#: tolerance policy per semiring: ``(atol, rtol)``.  Exact semirings
+#: pin ``(0, 0)`` — conformance is bit-identity; log-sum-exp admits
+#: reduction-order rounding up to 1e-9.
+TOLERANCES: dict[str, tuple[float, float]] = {
+    "max-plus": (0.0, 0.0),
+    "logsumexp": (1e-9, 1e-9),
+}
+
+#: regen-time cross-check bound: fresh log-sum-exp pins for cases with
+#: ``max(n, m)`` up to this are re-derived with the O(n^2 m^2)-state
+#: recursive BPPart reference (the larger cases take ~10 s each there;
+#: the engine x engine conformance matrix covers them instead)
+CROSSCHECK_MAX_LEN = 12
+
+_EXACT = {name: TOLERANCES[name] == (0.0, 0.0) for name in TOLERANCES}
+
+
+def _conforms(got: float, pin: dict) -> bool:
+    """Does a recomputed value satisfy one semiring pin's tolerance?"""
+    if pin.get("exact", True):
+        return got == pin["value"]
+    return math.isclose(
+        got, pin["value"], rel_tol=pin["rtol"], abs_tol=pin["atol"]
+    )
 
 
 @dataclass(frozen=True)
@@ -122,24 +163,75 @@ def default_manifest_path() -> Path:
     return Path(__file__).resolve().parents[2] / "tests" / "golden" / "manifest.json"
 
 
-def _case_score(case: GoldenCase, variant: str, backend: str | None = None) -> float:
+def _case_score(
+    case: GoldenCase,
+    variant: str,
+    backend: str | None = None,
+    semiring: str = "max-plus",
+) -> float:
     kwargs = {}
     if backend is not None and variant != "baseline":
         kwargs["backend"] = backend
-    return bpmax(case.seq1, case.seq2, variant=variant, **kwargs).score
+    return bpmax(
+        case.seq1, case.seq2, variant=variant, semiring=semiring, **kwargs
+    ).score
 
 
-def build_manifest() -> dict:
-    """Compute a fresh manifest dict from the corpus definitions."""
+def _crosscheck_bppart(case: GoldenCase, value: float) -> None:
+    """Regen-time guard: a fresh log-sum-exp pin must match the
+    recursive BPPart reference within the corpus tolerance."""
+    from .core.bppart import bppart_recursive
+    from .core.reference import prepare_inputs
+
+    inputs = prepare_inputs(case.seq1, case.seq2, semiring="logsumexp")
+    ref = bppart_recursive(inputs)
+    atol, rtol = TOLERANCES["logsumexp"]
+    if not math.isclose(value, ref, rel_tol=rtol, abs_tol=atol):
+        raise BpmaxError(
+            f"golden case {case.name!r}: {GENERATOR_VARIANT} log-sum-exp "
+            f"value {value!r} disagrees with the recursive BPPart "
+            f"reference {ref!r} beyond (atol={atol:g}, rtol={rtol:g}); "
+            "refusing to pin a drifted partition value"
+        )
+
+
+def build_manifest(crosscheck: bool = True) -> dict:
+    """Compute a fresh manifest dict from the corpus definitions.
+
+    Every case pins one value per semiring in
+    :data:`MANIFEST_SEMIRINGS`, stamped with its tolerance policy; the
+    top-level ``score`` mirrors the max-plus pin (the quantity most
+    tooling reads).  With ``crosscheck`` (the default), fresh
+    log-sum-exp pins for cases up to :data:`CROSSCHECK_MAX_LEN` are
+    verified against the recursive BPPart reference before being
+    written.
+    """
     cases = {}
     for case in GOLDEN_CASES:
+        semirings = {}
+        for sr_name in MANIFEST_SEMIRINGS:
+            value = _case_score(case, GENERATOR_VARIANT, semiring=sr_name)
+            atol, rtol = TOLERANCES[sr_name]
+            if (
+                crosscheck
+                and sr_name == "logsumexp"
+                and max(case.n, case.m) <= CROSSCHECK_MAX_LEN
+            ):
+                _crosscheck_bppart(case, value)
+            semirings[sr_name] = {
+                "value": value,
+                "atol": atol,
+                "rtol": rtol,
+                "exact": _EXACT[sr_name],
+            }
         cases[case.name] = {
             "seq1": case.seq1,
             "seq2": case.seq2,
             "n": case.n,
             "m": case.m,
             "note": case.note,
-            "score": _case_score(case, GENERATOR_VARIANT),
+            "score": semirings["max-plus"]["value"],
+            "semirings": semirings,
         }
     errors = {}
     for name, seq1, seq2, error in ERROR_CASES:
@@ -173,8 +265,10 @@ def load_manifest(path: str | os.PathLike | None = None) -> dict:
     return data
 
 
-def regen_manifest(path: str | os.PathLike | None = None) -> Path:
-    """Recompute every pinned score and rewrite the manifest.
+def regen_manifest(
+    path: str | os.PathLike | None = None, crosscheck: bool = True
+) -> Path:
+    """Recompute every pinned value and rewrite the manifest.
 
     Refuses to run under CI (``CI`` or ``GITHUB_ACTIONS`` in the
     environment): re-pinning is a deliberate, reviewed act — a pipeline
@@ -189,7 +283,10 @@ def regen_manifest(path: str | os.PathLike | None = None) -> Path:
         )
     p = Path(path) if path is not None else default_manifest_path()
     p.parent.mkdir(parents=True, exist_ok=True)
-    p.write_text(json.dumps(build_manifest(), indent=2, sort_keys=True) + "\n")
+    p.write_text(
+        json.dumps(build_manifest(crosscheck=crosscheck), indent=2, sort_keys=True)
+        + "\n"
+    )
     return p
 
 
@@ -197,8 +294,16 @@ def verify_manifest(
     path: str | os.PathLike | None = None,
     variant: str = GENERATOR_VARIANT,
     backend: str | None = None,
+    semirings: tuple[str, ...] | None = None,
 ) -> list[str]:
     """Recompute the corpus with one engine and diff against the pins.
+
+    Each case is recomputed once per verified semiring and compared
+    under that pin's own tolerance policy — bit-identity for exact
+    pins, ``math.isclose`` within the pinned ``atol``/``rtol``
+    otherwise.  ``semirings`` restricts which algebras to verify
+    (default: every pinned one the configuration can run — the
+    max-plus-only ``baseline`` variant skips non-exact pins).
 
     Returns a list of human-readable mismatch lines (empty == conform).
     Detects drifted scores, drifted error types, *and* corpus/manifest
@@ -212,12 +317,25 @@ def verify_manifest(
             f"scoring model drift: manifest pinned {data.get('model')!r}, "
             f"current default fingerprints {model_fp!r}"
         )
+    if semirings is None:
+        wanted = MANIFEST_SEMIRINGS
+        if variant == "baseline":
+            wanted = tuple(s for s in wanted if _EXACT[s])
+    else:
+        unknown = set(semirings) - set(MANIFEST_SEMIRINGS)
+        if unknown:
+            raise BpmaxError(
+                f"unknown manifest semiring(s) {sorted(unknown)}; "
+                f"pinned: {MANIFEST_SEMIRINGS}"
+            )
+        wanted = tuple(semirings)
     pinned = data.get("cases", {})
     names = {c.name for c in GOLDEN_CASES}
     for missing in sorted(names - set(pinned)):
         problems.append(f"case {missing!r} is in the corpus but not the manifest")
     for extra in sorted(set(pinned) - names):
         problems.append(f"case {extra!r} is in the manifest but not the corpus")
+    label = variant + (f"+{backend}" if backend else "")
     for case in GOLDEN_CASES:
         pin = pinned.get(case.name)
         if pin is None:
@@ -225,13 +343,30 @@ def verify_manifest(
         if pin["seq1"] != case.seq1 or pin["seq2"] != case.seq2:
             problems.append(f"case {case.name!r}: sequences drifted from manifest")
             continue
-        got = _case_score(case, variant, backend)
-        if got != pin["score"]:
+        sr_pins = pin.get("semirings", {})
+        if pin.get("score") != sr_pins.get("max-plus", {}).get("value"):
             problems.append(
-                f"case {case.name!r}: {variant}"
-                f"{f'+{backend}' if backend else ''} scored {got!r}, "
-                f"manifest pins {pin['score']!r}"
+                f"case {case.name!r}: top-level score {pin.get('score')!r} "
+                "does not mirror the max-plus pin"
             )
+        for sr_name in wanted:
+            sr_pin = sr_pins.get(sr_name)
+            if sr_pin is None:
+                problems.append(
+                    f"case {case.name!r}: no {sr_name!r} pin in the manifest"
+                )
+                continue
+            got = _case_score(case, variant, backend, semiring=sr_name)
+            if not _conforms(got, sr_pin):
+                policy = (
+                    "exactly"
+                    if sr_pin.get("exact", True)
+                    else f"within (atol={sr_pin['atol']:g}, rtol={sr_pin['rtol']:g})"
+                )
+                problems.append(
+                    f"case {case.name!r} [{sr_name}]: {label} scored {got!r}, "
+                    f"manifest pins {sr_pin['value']!r} {policy}"
+                )
     pinned_errors = data.get("errors", {})
     for name, seq1, seq2, error in ERROR_CASES:
         pin = pinned_errors.get(name)

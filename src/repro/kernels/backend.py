@@ -22,9 +22,12 @@ optional JIT is absent on this machine.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..semiring.semiring import Semiring
 
 __all__ = [
     "KernelBackend",
@@ -63,6 +66,12 @@ class KernelBackend:
         loop, and a ``bounded_scores`` backend requires the
         bounded-difference weight precondition (the engine verifies it at
         construction and falls back when it does not hold).
+    semirings: canonical names of the semirings this backend can reduce
+        in.  Every backend speaks ``max-plus``; backends whose kernels
+        are algebra-generic also declare ``logsumexp``.  Engines route a
+        request for an undeclared semiring to the backend's fallback
+        with a structured ``backend_note`` — never a wrong-algebra
+        result.  Rendered by ``bpmax backends``.
     """
 
     #: the capability flags every backend reports (False when unset)
@@ -84,6 +93,7 @@ class KernelBackend:
         fallback: str | None = None,
         note: str = "",
         capabilities: dict[str, bool] | None = None,
+        semirings: tuple[str, ...] = ("max-plus",),
     ) -> None:
         self.name = name
         self.description = description
@@ -93,6 +103,7 @@ class KernelBackend:
         self.capabilities = {
             f: bool((capabilities or {}).get(f, False)) for f in self.CAPABILITY_FLAGS
         }
+        self.semirings = tuple(semirings)
         self._matmul = matmul
         self._batched_r0 = batched_r0
 
@@ -108,6 +119,7 @@ class KernelBackend:
         tmp: np.ndarray | None = None,
         red: np.ndarray | None = None,
         triangular: bool = False,
+        semiring: "Semiring | None" = None,
     ) -> np.ndarray:
         """Whole-window stacked R0 reduction (splits along the leading axis).
 
@@ -115,9 +127,26 @@ class KernelBackend:
         upper triangles / shifted triangles); backends may exploit it to
         skip the all--inf half of every step, and must produce results
         bit-identical to the dense form for such operands.
+
+        ``semiring`` selects the reduction algebra; ``None`` and
+        max-plus take the backend's native kernel (bit-identical to the
+        pre-semiring contract).  Any other declared semiring routes
+        through the generic stacked reduction; an undeclared one raises
+        — silent wrong-algebra output is a contract violation.
         """
-        return self._batched_r0(
-            astack, bstack, acc, tmp=tmp, red=red, triangular=triangular
+        if semiring is None or semiring.name == "max-plus":
+            return self._batched_r0(
+                astack, bstack, acc, tmp=tmp, red=red, triangular=triangular
+            )
+        if semiring.name not in self.semirings:
+            raise ValueError(
+                f"backend {self.name!r} supports semirings {self.semirings}; "
+                f"got {semiring.name!r}"
+            )
+        from ..semiring.generic import semiring_batched
+
+        return semiring_batched(
+            semiring, astack, bstack, acc, tmp=tmp, red=red, triangular=triangular
         )
 
     def __repr__(self) -> str:

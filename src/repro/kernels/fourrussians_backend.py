@@ -481,5 +481,8 @@ FOURRUSSIANS_BACKEND = register_backend(
             "autotune": True,
             "bounded_scores": True,
         },
+        # the difference-encoded lookup tables enumerate max-plus block
+        # maxima; log-sum-exp requests fall back (with a backend_note)
+        semirings=("max-plus",),
     )
 )

@@ -102,5 +102,6 @@ NUMBA_BACKEND = register_backend(
         fallback=DEFAULT_BACKEND,
         note=_NOTE,
         capabilities={"threads": True, "workspace_reuse": True},
+        semirings=("max-plus",),
     )
 )

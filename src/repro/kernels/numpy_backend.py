@@ -51,6 +51,7 @@ NUMPY_BACKEND = register_backend(
         batched_r0=_batched_via_rows,
         description="row-vectorized NumPy kernel, one broadcast per (i2, k2)",
         capabilities={"threads": True},
+        semirings=("max-plus", "logsumexp"),
     )
 )
 
@@ -62,5 +63,6 @@ NUMPY_BATCHED_BACKEND = register_backend(
         description="stacked 3-D whole-array reduction over all k1 splits "
         "(default)",
         capabilities={"threads": True, "workspace_reuse": True},
+        semirings=("max-plus", "logsumexp"),
     )
 )

@@ -76,19 +76,20 @@ DEP_VECTORS = ((1, 0), (1, -1))
 MIRROR_BYTES_CAP = 1_000_000_000
 
 
-def gemm_outer_sum_exact() -> bool:
+def gemm_outer_sum_exact(dtype=np.float32) -> bool:
     """Probe whether BLAS ``[a, 1] @ [[1], [b]]`` equals ``a + b`` bitwise.
 
     Exercises the cases that could go wrong: ``-inf`` padding, signed
     zeros, values needing a rounded two-term sum, and large-magnitude
-    cancellation.
+    cancellation.  Probed per dtype: float32 gates the max-plus
+    (bit-exact) contract, float64 gates the log-sum-exp one.
     """
     vals = np.array(
-        [NEG_INF, -0.0, 0.0, 1.5, -2.25, 3.0e7, 1.0e-3, -3.0e7], dtype=np.float32
+        [NEG_INF, -0.0, 0.0, 1.5, -2.25, 3.0e7, 1.0e-3, -3.0e7], dtype=dtype
     )
     r = len(vals)
-    a2 = np.empty((1, r, 2), dtype=np.float32)
-    b2 = np.empty((1, 2, r), dtype=np.float32)
+    a2 = np.empty((1, r, 2), dtype=dtype)
+    b2 = np.empty((1, 2, r), dtype=dtype)
     a2[0, :, 0] = vals
     a2[0, :, 1] = 1.0
     b2[0, 0, :] = 1.0
@@ -99,7 +100,8 @@ def gemm_outer_sum_exact() -> bool:
     return bool(np.array_equal(got, want, equal_nan=True))
 
 
-_GEMM_EXACT = gemm_outer_sum_exact()
+_GEMM_EXACT = gemm_outer_sum_exact(np.float32)
+_GEMM_EXACT64 = gemm_outer_sum_exact(np.float64)
 
 
 def _k1(m: int) -> int:
@@ -109,29 +111,30 @@ def _k1(m: int) -> int:
 class _TileScratch:
     """One worker slot's preallocated buffers (checked out per tile)."""
 
-    def __init__(self, wb: int, n: int, m: int) -> None:
+    def __init__(self, wb: int, n: int, m: int, dtype=np.float32) -> None:
+        dtype = np.dtype(dtype)
         lmax = 0
         for s in range(1, n):
             lmax = max(lmax, min(wb, n - s) * s)
         lmax = max(lmax, 1)
         self.lmax = lmax
         # rank-2 GEMM planes: column/row of ones is persistent
-        self.a2 = np.empty((lmax, 2, m), dtype=np.float32)
+        self.a2 = np.empty((lmax, 2, m), dtype=dtype)
         self.a2[:, 1, :] = 1.0
-        self.b2 = np.empty((lmax, 2, m), dtype=np.float32)
+        self.b2 = np.empty((lmax, 2, m), dtype=dtype)
         self.b2[:, 0, :] = 1.0
-        self.tbuf = np.empty(lmax * m * m, dtype=np.float32)
-        self.gbuf = np.empty((wb, m, m), dtype=np.float32)
-        self.rbuf = np.empty((wb, m, m), dtype=np.float32)
-        self.c3buf = np.empty((wb, m, m), dtype=np.float32)
-        self.finbuf = np.empty((wb, m + 2, m), dtype=np.float32)
-        self.fin2buf = np.empty((wb, m, m), dtype=np.float32)
-        self.rowbuf = np.empty((wb, m), dtype=np.float32)
-        self.scrbuf = np.empty((wb, m), dtype=np.float32)
-        self.seedbuf = np.empty((wb, max(m - 1, 1)), dtype=np.float32)
+        self.tbuf = np.empty(lmax * m * m, dtype=dtype)
+        self.gbuf = np.empty((wb, m, m), dtype=dtype)
+        self.rbuf = np.empty((wb, m, m), dtype=dtype)
+        self.c3buf = np.empty((wb, m, m), dtype=dtype)
+        self.finbuf = np.empty((wb, m + 2, m), dtype=dtype)
+        self.fin2buf = np.empty((wb, m, m), dtype=dtype)
+        self.rowbuf = np.empty((wb, m), dtype=dtype)
+        self.scrbuf = np.empty((wb, m), dtype=dtype)
+        self.seedbuf = np.empty((wb, max(m - 1, 1)), dtype=dtype)
         kmax = max(n - 1, 1)
-        self.s1l = np.empty((wb, kmax, 1, 1), dtype=np.float32)
-        self.s1r = np.empty((wb, kmax, 1, 1), dtype=np.float32)
+        self.s1l = np.empty((wb, kmax, 1, 1), dtype=dtype)
+        self.s1r = np.empty((wb, kmax, 1, 1), dtype=dtype)
 
     def nbytes(self) -> int:
         return sum(
@@ -177,17 +180,19 @@ class TiledExecutor:
         self.wb = wb if wb is not None else get_tile_shape(self.n, self.m, self.threads)
         self.wb = max(1, min(self.wb, self.n))
         n, m = self.n, self.m
+        self.sr = engine.sr
+        self._dtype = self.sr.npdtype
         # window-major square mirrors (see module docstring)
-        self.atw = np.empty((n, n, m, m), dtype=np.float32)
-        self.sqcs = np.empty((n, n, m, m), dtype=np.float32)
-        self.sqcr = np.empty((n, n, m, m), dtype=np.float32)
+        self.atw = np.empty((n, n, m, m), dtype=self._dtype)
+        self.sqcs = np.empty((n, n, m, m), dtype=self._dtype)
+        self.sqcr = np.empty((n, n, m, m), dtype=self._dtype)
         self._s2_ut = engine._s2_ut
         self._score2_diag1 = engine._score2_diag1
         self._fin_r1 = engine._fin_r1
         self._fin_clo = engine._fin_clo
         self._fin_r2 = engine._fin_r2
         self._scratch: list[_TileScratch] = [
-            _TileScratch(self.wb, n, m) for _ in range(self.threads)
+            _TileScratch(self.wb, n, m, dtype=self._dtype) for _ in range(self.threads)
         ]
         self._scratch_lock = threading.Lock()
         self._done: frozenset[tuple[int, int]] = frozenset()
@@ -195,9 +200,14 @@ class TiledExecutor:
         self._faults: "FaultPlan | None" = None
 
     @classmethod
-    def fits(cls, n: int, m: int) -> bool:
-        """Whether the square mirrors fit the executor's memory budget."""
-        return 3 * 4 * n * n * m * m <= MIRROR_BYTES_CAP
+    def fits(cls, n: int, m: int, itemsize: int = 4) -> bool:
+        """Whether the square mirrors fit the executor's memory budget.
+
+        ``itemsize`` is the semiring compute dtype's width (4 for the
+        max-plus float32 contract, 8 for log-sum-exp float64) — wider
+        elements halve the largest problem the mirrors accept.
+        """
+        return 3 * itemsize * n * n * m * m <= MIRROR_BYTES_CAP
 
     # -- per-tile body (worker threads) --------------------------------------
 
@@ -256,15 +266,19 @@ class TiledExecutor:
         finally:
             self._checkin(sc)
         nb = w1 - w0
-        slab_bytes = 4 * (2 * nb * span + 2 * nb) * _k1(m) if span else 0
+        itemsize = self._dtype.itemsize
+        slab_bytes = itemsize * (2 * nb * span + 2 * nb) * _k1(m) if span else 0
         return {"resumed": False, "windows": nb, "span": span, "slab_bytes": slab_bytes}
 
     def _compute_block(self, span: int, w0: int, w1: int, sc: _TileScratch) -> None:
         inp = self.inp
         n, m = self.n, self.m
         nb = w1 - w0
-        add, maximum = np.add, np.maximum
-        reduce = np.maximum.reduce
+        # ⊗ is plain + for both engine semirings; only ⊕ varies (max or
+        # logaddexp).  Each candidate below appears in exactly one ⊕, so
+        # the same schedule is valid for non-idempotent sums.
+        add, maximum = np.add, self.sr.add
+        reduce = self.sr.add_reduce
         g = sc.gbuf[:nb]
 
         if span == 0:
@@ -355,8 +369,10 @@ class TiledExecutor:
         fin2 = sc.fin2buf[:nb]
         row_full = sc.rowbuf[:nb]
         scr = sc.scrbuf[:nb]
-        add, maximum = np.add, np.maximum
-        reduce = np.maximum.reduce
+        add, maximum = np.add, self.sr.add
+        reduce = self.sr.add_reduce
+        idempotent = self.sr.idempotent
+        s2ut = self._s2_ut
         s1vs = np.ascontiguousarray(inp.s1.diagonal(span)[w0:w1])
         if m > 1:
             seed = sc.seedbuf[:nb, : m - 1]
@@ -383,6 +399,17 @@ class TiledExecutor:
             else:
                 d = row[:, 0].copy()
             g[:, i2, i2] = d
+            if not idempotent:
+                # sequential R2 over the whole window block at once (see
+                # VectorizedBPMax._finish_rows): columns left to right,
+                # each reading finalized cells of its own row — every
+                # derivation summed exactly once
+                np.copyto(g[:, i2, i2 + 1 :], row[:, 1:])
+                growb = g[:, i2]
+                for j2 in range(i2 + 1, m):
+                    cand = growb[:, i2:j2] + s2ut[i2 + 1 : j2 + 1, j2][None]
+                    growb[:, j2] = maximum(growb[:, j2], reduce(cand, axis=1))
+                continue
             row[:, 0] = d
             f2 = fin2[:, :kspan, :kspan]
             add(row[:, :kspan, None], self._fin_r2[i2][None], out=f2)
@@ -475,5 +502,8 @@ TILED_BACKEND = register_backend(
             "autotune": True,
             "tile_graph": True,
         },
+        # the log-sum-exp contract runs the same tile graph in float64;
+        # gated on its own GEMM outer-sum probe
+        semirings=("max-plus",) + (("logsumexp",) if _GEMM_EXACT64 else ()),
     )
 )

@@ -49,12 +49,21 @@ class Workspace:
         mid-tile reallocation (bare geometric doubling could land the
         capacity one slab short of the next tile boundary and force an
         extra regrow per high-water window).
+    dtype: element type of every buffer; must match the engine's
+        semiring compute dtype (float32 for max-plus, float64 for
+        log-sum-exp) so the ufunc ``out=`` targets never mix precisions.
     """
 
     #: default slab-count rounding of stacked-buffer growth
     SLAB_QUANTUM = 8
 
-    def __init__(self, m: int, kmax: int, quantum: int | None = None) -> None:
+    def __init__(
+        self,
+        m: int,
+        kmax: int,
+        quantum: int | None = None,
+        dtype=np.float32,
+    ) -> None:
         if m <= 0:
             raise ValueError(f"workspace width must be > 0, got {m}")
         if kmax < 0:
@@ -62,12 +71,13 @@ class Workspace:
         self.m = m
         self.kmax = kmax
         self.quantum = self.SLAB_QUANTUM if quantum is None else max(1, quantum)
-        self.acc = np.empty((m, m), dtype=np.float32)
-        self.red = np.empty((m, m), dtype=np.float32)
-        self.row_a = np.empty(m, dtype=np.float32)
-        self.row_b = np.empty(m, dtype=np.float32)
-        self.row_c = np.empty(m, dtype=np.float32)
-        self.fin = np.empty((m + 1, m), dtype=np.float32)
+        self.dtype = np.dtype(dtype)
+        self.acc = np.empty((m, m), dtype=self.dtype)
+        self.red = np.empty((m, m), dtype=self.dtype)
+        self.row_a = np.empty(m, dtype=self.dtype)
+        self.row_b = np.empty(m, dtype=self.dtype)
+        self.row_c = np.empty(m, dtype=self.dtype)
+        self.fin = np.empty((m + 1, m), dtype=self.dtype)
         self._cap = 0
         self._astack: np.ndarray | None = None
         self._bstack: np.ndarray | None = None
@@ -83,7 +93,7 @@ class Workspace:
     # -- window accumulator ---------------------------------------------------
 
     def acc_reset(self) -> np.ndarray:
-        """The (M, M) accumulator, refilled with the max-plus identity."""
+        """The (M, M) accumulator, refilled with the ⊕-identity (-inf)."""
         self.acc.fill(NEG_INF)
         return self.acc
 
@@ -100,10 +110,10 @@ class Workspace:
         want = max(4, 2 * self._cap)
         want = (want + q - 1) // q * q
         cap = max(k, min(self.kmax, want))
-        self._astack = np.empty((cap, self.m, self.m), dtype=np.float32)
-        self._bstack = np.empty((cap, self.m, self.m), dtype=np.float32)
-        self._braw = np.empty((cap, self.m, self.m), dtype=np.float32)
-        self._tmp = np.empty((cap, self.m, self.m), dtype=np.float32)
+        self._astack = np.empty((cap, self.m, self.m), dtype=self.dtype)
+        self._bstack = np.empty((cap, self.m, self.m), dtype=self.dtype)
+        self._braw = np.empty((cap, self.m, self.m), dtype=self.dtype)
+        self._tmp = np.empty((cap, self.m, self.m), dtype=self.dtype)
         self._cap = cap
         counters = _metrics_active()
         if counters is not None:
@@ -216,4 +226,7 @@ class Workspace:
         return total
 
     def __repr__(self) -> str:
-        return f"Workspace(m={self.m}, kmax={self.kmax}, stacked={self._cap})"
+        return (
+            f"Workspace(m={self.m}, kmax={self.kmax}, stacked={self._cap}, "
+            f"dtype={self.dtype.name})"
+        )

@@ -32,6 +32,7 @@ from .sequence import RnaSequence
 
 __all__ = [
     "nussinov",
+    "nussinov_logspace",
     "nussinov_reference",
     "nussinov_traceback",
     "pairs_to_dotbracket",
@@ -100,6 +101,53 @@ def nussinov(
             np.maximum(cur, left + right, out=cur)
         diags.append(cur.astype(np.float32))
         s[i, j] = diags[span]
+    return s
+
+
+def nussinov_logspace(
+    seq: RnaSequence | str | np.ndarray, model: ScoringModel = DEFAULT_MODEL
+) -> np.ndarray:
+    """Log-sum-exp Nussinov table: the single-strand ``S`` of BPPart.
+
+    The exact same diagonal-by-diagonal recurrence as :func:`nussinov`
+    with ``max`` replaced by ``logaddexp`` — ``S[i, j]`` becomes the log
+    of a sum of ``exp(pair weights)`` over *derivations* of the
+    recurrence rather than the best score.  This vectorized form (pair
+    closing + split decomposition, unpaired bases covered by the
+    ``k = i`` / ``k = j - 1`` splits) is the **canonical** log-space
+    recurrence: the split decomposition is ambiguous (one structure can
+    have many derivations), so every consumer — the reference
+    ``bppart_recursive`` and all engine fast paths — must sum over this
+    exact candidate set for their values to agree.  Empty windows
+    (``j <= i``) hold ``0.0 = log 1``: one empty derivation.
+
+    Returned in float64: log-sum-exp is not exact, and the corpus
+    tolerance (1e-9) is unreachable in float32.
+    """
+    codes = _codes_of(seq)
+    n = len(codes)
+    w = model.score_table(codes).astype(np.float64)
+    s = np.zeros((n, n), dtype=np.float64)
+    if n < 2:
+        return s
+    # diag[d] holds S[i, i+d] for i = 0 .. n-1-d
+    diags: list[np.ndarray] = [np.zeros(n, dtype=np.float64)]
+    for span in range(1, n):
+        m = n - span
+        i = np.arange(m)
+        j = i + span
+        # pair closing term: S[i+1, j-1] + w[i, j]
+        if span >= 2:
+            cur = diags[span - 2][1 : m + 1] + w[i, j]
+        else:
+            cur = w[i, j].copy()
+        # split term: for d in 0..span-1, S[i, i+d] + S[i+d+1, j]
+        for d in range(span):
+            left = diags[d][:m]
+            right = diags[span - d - 1][d + 1 : d + 1 + m]
+            np.logaddexp(cur, left + right, out=cur)
+        diags.append(cur)
+        s[i, j] = cur
     return s
 
 

@@ -25,7 +25,22 @@ from .microbench import (
     maxplus_stream_python,
     stream_flops,
 )
-from .semiring import MAX_PLUS, MIN_PLUS, PLUS_TIMES, Semiring
+from .generic import (
+    check_engine_semiring,
+    semiring_batched,
+    semiring_bias_reduce,
+    semiring_matmul_vectorized,
+)
+from .semiring import (
+    ENGINE_SEMIRINGS,
+    LOG_SUM_EXP,
+    MAX_PLUS,
+    MIN_PLUS,
+    PLUS_TIMES,
+    SEMIRINGS,
+    Semiring,
+    get_semiring,
+)
 
 __all__ = [
     "accumulated_products",
@@ -50,5 +65,13 @@ __all__ = [
     "MAX_PLUS",
     "MIN_PLUS",
     "PLUS_TIMES",
+    "LOG_SUM_EXP",
+    "SEMIRINGS",
+    "ENGINE_SEMIRINGS",
     "Semiring",
+    "get_semiring",
+    "check_engine_semiring",
+    "semiring_batched",
+    "semiring_bias_reduce",
+    "semiring_matmul_vectorized",
 ]

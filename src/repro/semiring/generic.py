@@ -1,0 +1,184 @@
+"""Semiring-generic batched kernels: R0/R3/R4 under any engine semiring.
+
+These mirror the max-plus kernels of :mod:`repro.semiring.maxplus` with
+the ⊕/⊗ ufuncs taken from a :class:`~repro.semiring.semiring.Semiring`
+descriptor, so the same slab structure (stacked splits, triangular
+skips, flat contiguous scratch) serves BPPart's log-sum-exp algebra.
+
+Dispatch policy: when the semiring *is* max-plus the calls route
+straight to the existing hand-tuned kernels — the refactor must keep
+every max-plus score bit-identical, and the fastest way to guarantee
+that is to run the exact same code.  The generic paths below are only
+taken for non-max-plus semirings.
+
+The triangular-skip optimization stays valid for any engine semiring
+(``mul is np.add``, ``zero == -inf``): a skipped cell's candidate is
+``-inf ⊗ x = -inf``, the ⊕-identity, so omitting it never changes the
+reduction — for ``logaddexp`` exactly (``logaddexp(-inf, x) == x``), not
+just within tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..observe.metrics import active as _metrics_active
+from .maxplus import (
+    NEG_INF,
+    _check,
+    _check_batched,
+    maxplus_batched,
+    maxplus_bias_reduce,
+    maxplus_matmul_vectorized,
+)
+from .semiring import ENGINE_SEMIRINGS, MAX_PLUS, Semiring, get_semiring
+
+__all__ = [
+    "check_engine_semiring",
+    "semiring_batched",
+    "semiring_bias_reduce",
+    "semiring_matmul_vectorized",
+]
+
+
+def check_engine_semiring(semiring: str | Semiring) -> Semiring:
+    """Resolve ``semiring`` and require it to be engine-compatible.
+
+    The vectorized engines mask structurally-invalid cells with stored
+    ``-inf`` triangles and combine candidates with ``np.add``; any
+    semiring whose ⊗ is not ``+`` or whose ⊕-identity is not ``-inf``
+    would read those masks as real values.
+    """
+    sr = get_semiring(semiring)
+    if sr.name not in ENGINE_SEMIRINGS:
+        raise ValueError(
+            f"semiring {sr.name!r} cannot run on the BPMax engines; "
+            f"engine-compatible semirings: {ENGINE_SEMIRINGS}"
+        )
+    return sr
+
+
+def semiring_matmul_vectorized(
+    sr: Semiring, a: np.ndarray, b: np.ndarray, c: np.ndarray
+) -> np.ndarray:
+    """Row-vectorized accumulating product ``C[i,:] ⊕= a[i,k] ⊗ B[k,:]``.
+
+    The generic counterpart of
+    :func:`~repro.semiring.maxplus.maxplus_matmul_vectorized`; the
+    ``-inf`` row skip carries over unchanged because ``-inf`` operands
+    contribute the ⊕-identity under any engine semiring.
+    """
+    if sr is MAX_PLUS or sr.name == MAX_PLUS.name:
+        return maxplus_matmul_vectorized(a, b, c)
+    n, kk, m = _check(a, b, c)
+    add = sr.add
+    for i in range(n):
+        ci = c[i]
+        ai = a[i]
+        for k in range(kk):
+            s = ai[k]
+            if s == NEG_INF:
+                continue
+            add(ci, s + b[k], out=ci)
+    return c
+
+
+def semiring_batched(
+    sr: Semiring,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    tmp: np.ndarray | None = None,
+    red: np.ndarray | None = None,
+    triangular: bool = False,
+) -> np.ndarray:
+    """Batched accumulating product ``C[i,j] ⊕= ⊕_{s,k} A[s,i,k] ⊗ B[s,k,j]``.
+
+    Structure (slab shapes, counters, flat scratch reuse) matches
+    :func:`~repro.semiring.maxplus.maxplus_batched`; only the reduction
+    and accumulation ufuncs change.  Each candidate ``(s, k)`` is
+    combined exactly once, which is what a non-idempotent ⊕ requires.
+    """
+    if sr is MAX_PLUS or sr.name == MAX_PLUS.name:
+        return maxplus_batched(a, b, c, tmp=tmp, red=red, triangular=triangular)
+    s, n, kk, m = _check_batched(a, b, c)
+    if s == 0 or kk == 0:
+        return c
+    if tmp is None:
+        tmp = np.empty((s, n, m), dtype=c.dtype)
+    if red is None:
+        red = np.empty((n, m), dtype=c.dtype)
+    counters = _metrics_active()
+    mul = sr.mul
+    reduce = sr.add.reduce
+    accum = sr.add
+    if triangular:
+        flat_t = tmp.reshape(-1) if tmp.flags["C_CONTIGUOUS"] else None
+        flat_r = red.reshape(-1) if red.flags["C_CONTIGUOUS"] else None
+        for k in range(kk):
+            rows = min(k + 1, n)
+            c0 = k + 1
+            if c0 >= m:
+                if counters is not None:
+                    counters.count_slab(s, rows, 0, n, m)
+                continue
+            w = m - c0
+            if counters is not None:
+                counters.count_slab(s, rows, w, n, m)
+            if flat_t is not None:
+                t = flat_t[: s * rows * w].reshape(s, rows, w)
+            else:
+                t = tmp[:s, :rows, :w]
+            if flat_r is not None:
+                r = flat_r[: rows * w].reshape(rows, w)
+            else:
+                r = red[:rows, :w]
+            cblk = c[:rows, c0:]
+            mul(a[:, :rows, k, None], b[:, k, None, c0:], out=t)
+            reduce(t, axis=0, out=r)
+            accum(cblk, r, out=cblk)
+        return c
+    t = tmp[:s, :n, :m]
+    r = red[:n, :m]
+    for k in range(kk):
+        if counters is not None:
+            counters.count_slab(s, n, m, n, m)
+        mul(a[:, :, k, None], b[:, k, None, :], out=t)
+        reduce(t, axis=0, out=r)
+        accum(c, r, out=c)
+    return c
+
+
+def semiring_bias_reduce(
+    sr: Semiring,
+    stack: np.ndarray,
+    bias: np.ndarray,
+    c: np.ndarray,
+    tmp: np.ndarray | None = None,
+    red: np.ndarray | None = None,
+) -> np.ndarray:
+    """Accumulate ``C ⊕= ⊕_s (stack[s] ⊗ bias[s])`` over a stack.
+
+    Generic counterpart of
+    :func:`~repro.semiring.maxplus.maxplus_bias_reduce` (the batched
+    R3/R4 form: one triangle plus one scalar per split).
+    """
+    if sr is MAX_PLUS or sr.name == MAX_PLUS.name:
+        return maxplus_bias_reduce(stack, bias, c, tmp=tmp, red=red)
+    if stack.ndim != 3 or stack.shape[1:] != c.shape:
+        raise ValueError(f"incompatible shapes stack{stack.shape} C{c.shape}")
+    s = stack.shape[0]
+    if bias.shape != (s,):
+        raise ValueError(f"bias must have shape ({s},), got {bias.shape}")
+    if s == 0:
+        return c
+    if tmp is None:
+        tmp = np.empty_like(stack)
+    if red is None:
+        red = np.empty_like(c)
+    t = tmp[:s, : c.shape[0], : c.shape[1]]
+    r = red[: c.shape[0], : c.shape[1]]
+    sr.mul(stack, bias[:, None, None], out=t)
+    sr.add.reduce(t, axis=0, out=r)
+    sr.add(c, r, out=c)
+    return c

@@ -14,7 +14,16 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["Semiring", "MAX_PLUS", "MIN_PLUS", "PLUS_TIMES"]
+__all__ = [
+    "Semiring",
+    "MAX_PLUS",
+    "MIN_PLUS",
+    "PLUS_TIMES",
+    "LOG_SUM_EXP",
+    "SEMIRINGS",
+    "ENGINE_SEMIRINGS",
+    "get_semiring",
+]
 
 
 @dataclass(frozen=True)
@@ -29,6 +38,14 @@ class Semiring:
     zero: identity of ⊕ (annihilator of ⊗ for tropical semirings).
     one: identity of ⊗.
     add_reduce: reduction form of ⊕ along an axis (e.g. ``np.max``).
+    exact: whether ⊕ is exact in floating point (max/min are; a
+        log-sum-exp ⊕ rounds, so results carry a tolerance policy).
+    idempotent: whether ``a ⊕ a == a``.  The engines' collapsed R2 scan
+        is only valid for idempotent ⊕; non-idempotent semirings take a
+        sequential per-row branch instead.
+    dtype: the numpy scalar type engines should compute in.  Exact
+        integer-weight semirings keep the paper's float32; log-sum-exp
+        needs float64 to hold a 1e-9 comparison tolerance.
     """
 
     name: str
@@ -37,6 +54,14 @@ class Semiring:
     zero: float
     one: float
     add_reduce: Callable[..., np.ndarray]
+    exact: bool = True
+    idempotent: bool = True
+    dtype: type = np.float32
+
+    @property
+    def npdtype(self) -> np.dtype:
+        """The engine compute dtype as a ``np.dtype`` (for itemsize math)."""
+        return np.dtype(self.dtype)
 
     def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Dense semiring matrix product via one broadcast (reference only).
@@ -90,4 +115,57 @@ PLUS_TIMES = Semiring(
     zero=0.0,
     one=1.0,
     add_reduce=np.sum,
+    idempotent=False,
 )
+
+#: Sum-product in log space: ⊕ = logaddexp, ⊗ = +.  BPPart's algebra —
+#: the same wavefront sums Boltzmann weights instead of maximising
+#: scores, and ``np.logaddexp`` performs the shifted-exp reduction
+#: internally so extreme magnitudes never overflow.  Not exact: every ⊕
+#: rounds, hence float64 and a tolerance policy on every pinned value.
+LOG_SUM_EXP = Semiring(
+    name="logsumexp",
+    add=np.logaddexp,
+    mul=np.add,
+    zero=-np.inf,
+    one=0.0,
+    add_reduce=np.logaddexp.reduce,
+    exact=False,
+    idempotent=False,
+    dtype=np.float64,
+)
+
+#: name (and alias) -> instance; the registry behind every ``semiring=``
+#: parameter in the public API
+SEMIRINGS: dict[str, Semiring] = {
+    "max-plus": MAX_PLUS,
+    "maxplus": MAX_PLUS,
+    "logsumexp": LOG_SUM_EXP,
+    "log-sum-exp": LOG_SUM_EXP,
+    "min-plus": MIN_PLUS,
+    "plus-times": PLUS_TIMES,
+}
+
+#: canonical names of the semirings the BPMax engines can run.  The
+#: engine fast paths mask invalid cells with stored ``-inf`` triangles,
+#: which is only sound when ``zero == -inf`` and ``mul`` is ``np.add``
+#: (so a masked operand annihilates its candidate); min-plus and
+#: plus-times stay abstract-algebra/test instances.
+ENGINE_SEMIRINGS = ("max-plus", "logsumexp")
+
+
+def get_semiring(semiring: str | Semiring) -> Semiring:
+    """Resolve a semiring name (or pass an instance through).
+
+    Accepts the canonical names and their aliases (``maxplus``,
+    ``log-sum-exp``); raises ``ValueError`` for anything unknown so a
+    typo can never silently run the wrong algebra.
+    """
+    if isinstance(semiring, Semiring):
+        return semiring
+    sr = SEMIRINGS.get(semiring)
+    if sr is None:
+        raise ValueError(
+            f"unknown semiring {semiring!r}; use one of {sorted(set(SEMIRINGS))}"
+        )
+    return sr

@@ -28,6 +28,7 @@ from ..core.engine import ENGINES
 from ..robust.errors import BpmaxError
 from ..rna.alphabet import normalize
 from ..rna.scoring import DEFAULT_MODEL, ScoringModel
+from ..semiring import ENGINE_SEMIRINGS, get_semiring
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..robust.faults import FaultPlan
@@ -96,6 +97,7 @@ class SubmitRequest:
     variant: str = "hybrid-tiled"
     backend: str | None = None
     model: ScoringModel = DEFAULT_MODEL
+    semiring: str = "max-plus"
     structure: bool = False
     deadline_s: float | None = None
     retries: int = 0
@@ -108,6 +110,18 @@ class SubmitRequest:
             raise BpmaxError(
                 f"unknown variant {self.variant!r}; use one of {ENGINES}"
             )
+        try:
+            sr = get_semiring(self.semiring)
+        except ValueError as exc:
+            raise BpmaxError(str(exc)) from None
+        if sr.name not in ENGINE_SEMIRINGS:
+            raise BpmaxError(
+                f"semiring {sr.name!r} has no engine support; "
+                f"use one of {ENGINE_SEMIRINGS}"
+            )
+        # canonicalize aliases ("log-sum-exp" -> "logsumexp") so cache
+        # and batch keys compare by algebra, not by spelling
+        object.__setattr__(self, "semiring", sr.name)
         for v in self.fallback:
             if v not in ENGINES:
                 raise BpmaxError(
@@ -126,21 +140,26 @@ class SubmitRequest:
             )
 
 
-def cache_key(req: SubmitRequest) -> tuple[str, str, str, str]:
+def cache_key(req: SubmitRequest) -> tuple[str, str, str, str, str]:
     """The content address of a request's answer.
 
-    ``(seq1, seq2, scoring, backend)`` after sequence normalization —
-    every engine variant computes the bit-identical score (the
-    equivalence contract the golden corpus and the differential fuzz
-    suite enforce), so the variant is deliberately *not* part of the
-    key: a cached answer computed by one variant serves requests for
-    any other.  Raises :class:`InvalidSequenceError` for unservable
-    sequences (the scheduler fails those requests fast instead).
+    ``(seq1, seq2, scoring, semiring, backend)`` after sequence
+    normalization — every engine variant computes the same score within
+    its semiring's contract (bit-identical for max-plus; within corpus
+    tolerance for log-sum-exp), so the variant is deliberately *not*
+    part of the key: a cached answer computed by one variant serves
+    requests for any other.  The **semiring is** part of the key: a
+    max-plus score and a log-partition value are different quantities
+    for the same sequences, and serving one for the other would be a
+    silent wrong answer.  Raises :class:`InvalidSequenceError` for
+    unservable sequences (the scheduler fails those requests fast
+    instead).
     """
     return (
         normalize(req.seq1),
         normalize(req.seq2),
         scoring_fingerprint(req.model),
+        req.semiring,
         req.backend or "",
     )
 
@@ -149,12 +168,21 @@ def batch_key(req: SubmitRequest) -> tuple:
     """Grouping key for adaptive batching.
 
     Requests in one batch share problem shape ``(n, m)``, scoring model,
-    variant and backend, so the executor can run them back-to-back on
-    one thread reusing a single :class:`~repro.kernels.Workspace`
-    (the zero-allocation hot path amortized across the whole batch).
+    semiring, variant and backend, so the executor can run them
+    back-to-back on one thread reusing a single
+    :class:`~repro.kernels.Workspace` (the zero-allocation hot path
+    amortized across the whole batch; the semiring fixes the workspace
+    dtype, so mixed-algebra requests must not share one).
     """
     n, m = len(normalize(req.seq1)), len(normalize(req.seq2))
-    return (n, m, scoring_fingerprint(req.model), req.variant, req.backend or "")
+    return (
+        n,
+        m,
+        scoring_fingerprint(req.model),
+        req.semiring,
+        req.variant,
+        req.backend or "",
+    )
 
 
 @dataclass(frozen=True)
@@ -224,6 +252,7 @@ _REQUEST_KEYS = frozenset(
         "seq2",
         "variant",
         "backend",
+        "semiring",
         "structure",
         "deadline",
         "retries",
@@ -261,12 +290,16 @@ def request_from_dict(data: dict[str, Any], where: str = "request") -> SubmitReq
     priority = data.get("priority", "batch")
     if not isinstance(priority, str):
         raise BpmaxError(f"{where}: 'priority' must be a string")
+    semiring = data.get("semiring", "max-plus")
+    if not isinstance(semiring, str):
+        raise BpmaxError(f"{where}: 'semiring' must be a string")
     return SubmitRequest(
         seq1=data["seq1"],
         seq2=data["seq2"],
         id=str(data.get("id", "")),
         variant=str(data.get("variant", "hybrid-tiled")),
         backend=data.get("backend"),
+        semiring=semiring,
         structure=bool(data.get("structure", False)),
         deadline_s=float(deadline) if deadline is not None else None,
         retries=int(data.get("retries", 0)),

@@ -51,6 +51,7 @@ from ..observe.tracer import trace
 from ..parallel.pool import ParallelRunner
 from ..robust.deadline import Deadline
 from ..robust.errors import BpmaxError, RequestCancelled
+from ..semiring import get_semiring
 from .cache import CachedAnswer, ResultCache
 from .request import ServeResult, SubmitRequest, batch_key, cache_key
 
@@ -368,7 +369,11 @@ class BatchScheduler:
             # sharing is safe (Workspace forbids concurrent engines)
             try:
                 n, m = batch_key(req0)[:2]
-                workspace = Workspace(m, max(n - 1, 0))
+                # the semiring is part of the batch key, so one dtype
+                # serves the whole batch
+                workspace = Workspace(
+                    m, max(n - 1, 0), dtype=get_semiring(req0.semiring).npdtype
+                )
             except Exception:
                 # degenerate shapes (e.g. empty strands) have no valid
                 # workspace; each member still runs and reports its own
@@ -413,6 +418,7 @@ class BatchScheduler:
                 req.seq2,
                 variant=req.variant,
                 model=req.model,
+                semiring=req.semiring,
                 structure=req.structure,
                 fallback=req.fallback,
                 retries=req.retries,

@@ -153,17 +153,19 @@ class _RequestExecutor:
 
     def __init__(self, cache_capacity: int) -> None:
         self.cache = ResultCache(cache_capacity)
-        self._workspaces: dict[tuple[int, int], Any] = {}
+        self._workspaces: dict[tuple[int, int, str], Any] = {}
 
-    def _workspace(self, n: int, m: int):
+    def _workspace(self, n: int, m: int, semiring: str):
         from ..kernels import Workspace
+        from ..semiring import get_semiring
 
-        key = (n, m)
+        # keyed by semiring too: the algebra fixes the scratch dtype
+        key = (n, m, semiring)
         ws = self._workspaces.get(key)
         if ws is None:
             if len(self._workspaces) >= self.MAX_WORKSPACES:
                 self._workspaces.pop(next(iter(self._workspaces)))
-            ws = Workspace(m, max(n - 1, 0))
+            ws = Workspace(m, max(n - 1, 0), dtype=get_semiring(semiring).npdtype)
             self._workspaces[key] = ws
         return ws
 
@@ -206,7 +208,7 @@ class _RequestExecutor:
                 engine_kwargs["backend"] = req.backend
             try:
                 n, m = len(normalize(req.seq1)), len(normalize(req.seq2))
-                engine_kwargs["workspace"] = self._workspace(n, m)
+                engine_kwargs["workspace"] = self._workspace(n, m, req.semiring)
             except Exception:
                 pass  # degenerate shape: let the engine report it
         t0 = time.perf_counter()
@@ -216,6 +218,7 @@ class _RequestExecutor:
                 req.seq2,
                 variant=req.variant,
                 model=req.model,
+                semiring=req.semiring,
                 structure=req.structure,
                 fallback=req.fallback,
                 retries=req.retries,

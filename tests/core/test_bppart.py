@@ -198,6 +198,65 @@ class TestPairProbabilities:
         assert probs.inter[(0, 0)] > probs.inter[(1, 1)]
 
 
+class TestLogsumexpReference:
+    """bppart_recursive: the log-sum-exp transcription of bpmax_recursive."""
+
+    def test_requires_logsumexp_inputs(self):
+        inp = prepare_inputs("GC", "GC")  # max-plus
+        with pytest.raises(ValueError, match="logsumexp"):
+            from repro.core.bppart import bppart_recursive
+
+            bppart_recursive(inp)
+
+    @given(TINY, TINY)
+    @settings(max_examples=20, deadline=None)
+    def test_dominates_maxplus_score(self, a, b):
+        """The log-partition value upper-bounds the best-path score —
+        ⊕ only ever adds derivation mass over the argmax path."""
+        from repro.core.bppart import bppart_recursive
+
+        mp = bpmax_recursive(prepare_inputs(a, b))
+        lse = bppart_recursive(prepare_inputs(a, b, semiring="logsumexp"))
+        assert lse >= mp - 1e-9
+
+    def test_matches_engine_within_corpus_tolerance(self):
+        from repro.core.api import bpmax
+        from repro.core.bppart import bppart_recursive
+
+        ref = bppart_recursive(
+            prepare_inputs("GCGCUUCG", "CGAAGCGC", semiring="logsumexp")
+        )
+        for variant in ("hybrid", "hybrid-tiled", "batched"):
+            got = bpmax(
+                "GCGCUUCG", "CGAAGCGC", variant=variant, semiring="logsumexp"
+            ).score
+            assert got == pytest.approx(ref, rel=1e-9, abs=1e-9), variant
+
+
+class TestBppartWrapper:
+    def test_is_bpmax_under_logsumexp(self):
+        from repro.core.api import bpmax
+        from repro.core.bppart import bppart
+
+        a = bppart("GCGC", "CGCG")
+        b = bpmax("GCGC", "CGCG", semiring="logsumexp")
+        assert a.score == b.score
+        assert a.inputs.semiring == "logsumexp"
+
+    def test_forwards_engine_kwargs(self):
+        from repro.core.bppart import bppart
+
+        res = bppart("GGGG", "CCCC", variant="batched", backend="tiled")
+        assert res.variant == "batched"
+        assert res.score > 12.0  # exceeds the max-plus score
+
+    def test_structure_rejected(self):
+        from repro.core.bppart import bppart
+
+        with pytest.raises(ValueError, match="argmax"):
+            bppart("GC", "GC", structure=True)
+
+
 class TestSuboptimal:
     def test_best_first_and_contains_optimum(self):
         from repro.core.bppart import suboptimal_structures

@@ -90,3 +90,46 @@ class TestValidation:
         res = scan_windows("GC", "ACGUACGU", window=4, variant="hybrid")
         with pytest.raises(ValueError, match="k must be"):
             res.top(0)
+
+
+class TestServedScan:
+    """scan_windows_served: the serve-layer sweep behind ``bpmax scan``."""
+
+    def test_matches_direct_scan_bit_identically(self):
+        from repro.core.windowed import scan_windows_served
+
+        direct = scan_windows("CUCC", "GGAGGACCUUGGAGGA", window=6, stride=3)
+        served = scan_windows_served("CUCC", "GGAGGACCUUGGAGGA", window=6, stride=3)
+        assert [(h.start, h.score, h.gain) for h in direct.hits] == [
+            (h.start, h.score, h.gain) for h in served.hits
+        ]
+        assert served.best.start == direct.best.start
+
+    def test_identical_windows_come_from_cache(self):
+        from repro.core.windowed import scan_windows_served
+
+        # a periodic target: every stride-aligned window has the same
+        # content, so all but the first must be cache hits
+        res = scan_windows_served("CUCC", "GGAGGA" * 5, window=6, stride=6)
+        assert len(res.hits) == 5
+        assert not res.hits[0].cached
+        assert all(h.cached for h in res.hits[1:])
+        assert len({(h.score, h.gain) for h in res.hits}) == 1
+
+    def test_logsumexp_sweep_gains_differ_from_maxplus(self):
+        from repro.core.windowed import scan_windows_served
+
+        mp = scan_windows_served("CUCC", "GGAGGACCUUGGAGGA", window=6, stride=3)
+        lse = scan_windows_served(
+            "CUCC", "GGAGGACCUUGGAGGA", window=6, stride=3, semiring="logsumexp"
+        )
+        assert [h.start for h in mp.hits] == [h.start for h in lse.hits]
+        # log-partition values strictly exceed best-path scores here
+        assert all(a.score < b.score for a, b in zip(mp.hits, lse.hits))
+
+    def test_semiring_threads_through_direct_scan(self):
+        res = scan_windows(
+            "GC", "GCGCGC", window=4, stride=2, variant="hybrid",
+            semiring="logsumexp",
+        )
+        assert all(h.score > 0 for h in res.hits)

@@ -1,0 +1,163 @@
+"""Property tests of the log-sum-exp semiring instance.
+
+Three contracts, each driven by Hypothesis under the suite's named
+profiles (see ``tests/conftest.py``):
+
+* **semiring axioms** — ⊕ = ``logaddexp`` and ⊗ = ``+`` form a
+  commutative semiring over ``[-inf, +finite)``: identity and
+  absorption are *exact* (``logaddexp(-inf, x) == x`` — the property
+  the engines' masking relies on), associativity and distributivity
+  hold within the corpus tolerance (1e-9), since float reduction order
+  legitimately perturbs the last bits;
+* **temperature limit** — ``(1/β)·lse(β·x)`` agrees with max-plus as
+  β → ∞, monotonically from above, so the log-partition value is a
+  smoothed upper bound of the BPMax score;
+* **overflow safety** — extreme magnitudes never produce ``inf``/
+  ``nan``: ``logaddexp`` is the shifted form, not ``log(exp+exp)``.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.semiring import LOG_SUM_EXP, MAX_PLUS, Semiring, get_semiring
+
+SR = LOG_SUM_EXP
+NEG_INF = float("-inf")
+#: corpus tolerance for non-exact comparisons (mirrors repro.golden)
+ATOL = RTOL = 1e-9
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+#: semiring carrier: finite scores plus the ⊕-identity -inf
+values = st.one_of(finite, st.just(NEG_INF))
+value_lists = st.lists(values, min_size=1, max_size=12)
+
+
+def close(a: float, b: float) -> bool:
+    # math.isclose treats equal infinities as close, which is what the
+    # tolerance policy means for the -inf identity element
+    return math.isclose(a, b, rel_tol=RTOL, abs_tol=ATOL)
+
+
+class TestDescriptor:
+    def test_instance_flags(self):
+        assert SR.name == "logsumexp"
+        assert SR.exact is False and SR.idempotent is False
+        assert SR.npdtype == np.dtype(np.float64)
+        assert MAX_PLUS.exact is True and MAX_PLUS.idempotent is True
+        assert isinstance(SR, Semiring)
+
+    def test_aliases_resolve(self):
+        assert get_semiring("logsumexp") is SR
+        assert get_semiring("log-sum-exp") is SR
+        assert get_semiring(SR) is SR
+
+    def test_identity_elements(self):
+        assert SR.zero == NEG_INF and SR.one == 0.0
+
+
+class TestAxioms:
+    @given(a=values, b=values)
+    def test_add_commutative_exact(self, a, b):
+        assert SR.add(a, b) == SR.add(b, a)
+
+    @given(a=values, b=values, c=values)
+    def test_add_associative_within_tolerance(self, a, b, c):
+        assert close(SR.add(SR.add(a, b), c), SR.add(a, SR.add(b, c)))
+
+    @given(x=values)
+    def test_add_identity_exact(self, x):
+        # the engines mask pruned candidates with -inf and rely on the
+        # identity holding bit-exactly, not just within tolerance
+        assert SR.add(SR.zero, x) == x
+        assert SR.add(x, SR.zero) == x
+
+    @given(x=values)
+    def test_mul_identity_and_absorption_exact(self, x):
+        assert SR.mul(SR.one, x) == x
+        assert SR.mul(SR.zero, x) == SR.zero
+
+    @given(a=values, b=values, c=values)
+    def test_mul_distributes_over_add(self, a, b, c):
+        lhs = SR.mul(a, SR.add(b, c))
+        rhs = SR.add(SR.mul(a, b), SR.mul(a, c))
+        assert close(lhs, rhs)
+
+    @given(xs=value_lists)
+    def test_add_reduce_matches_pairwise_fold(self, xs):
+        arr = np.asarray(xs, dtype=np.float64)
+        folded = functools.reduce(SR.add, xs)
+        assert close(float(SR.add_reduce(arr)), float(folded))
+
+    @given(xs=value_lists)
+    def test_add_is_monotone_above_max(self, xs):
+        # ⊕ only adds probability mass: lse(xs) >= max(xs), with
+        # equality iff a single term dominates completely
+        arr = np.asarray(xs, dtype=np.float64)
+        assert float(SR.add_reduce(arr)) >= float(np.max(arr))
+
+
+class TestTemperatureLimit:
+    """(1/β)·lse(β·x) ↓ max(x) as β → ∞ (agreement with max-plus)."""
+
+    @given(xs=st.lists(finite, min_size=1, max_size=8))
+    def test_bounded_between_max_and_max_plus_log_n(self, xs):
+        arr = np.asarray(xs, dtype=np.float64)
+        mx = float(np.max(arr))
+        for beta in (1.0, 4.0, 64.0, 1024.0):
+            smoothed = float(np.logaddexp.reduce(beta * arr)) / beta
+            assert smoothed >= mx - ATOL
+            assert smoothed <= mx + math.log(len(xs)) / beta + ATOL
+
+    @given(xs=st.lists(finite, min_size=2, max_size=8))
+    def test_monotone_decreasing_in_beta(self, xs):
+        arr = np.asarray(xs, dtype=np.float64)
+        prev = math.inf
+        for beta in (1.0, 2.0, 8.0, 128.0, 4096.0):
+            smoothed = float(np.logaddexp.reduce(beta * arr)) / beta
+            # non-increasing within rounding slack scaled to magnitude
+            slack = 1e-9 * max(1.0, abs(smoothed))
+            assert smoothed <= prev + slack
+            prev = smoothed
+
+    @given(xs=st.lists(finite, min_size=1, max_size=8))
+    def test_limit_is_the_maxplus_reduction(self, xs):
+        arr = np.asarray(xs, dtype=np.float64)
+        mx = float(MAX_PLUS.add_reduce(arr))
+        beta = 1e8
+        smoothed = float(np.logaddexp.reduce(beta * arr)) / beta
+        assert math.isclose(smoothed, mx, rel_tol=1e-6, abs_tol=1e-6)
+
+
+extreme = st.floats(
+    min_value=-1e308, max_value=1e308, allow_nan=False, allow_infinity=False
+)
+
+
+class TestOverflowSafety:
+    @given(a=extreme, b=extreme)
+    def test_pairwise_never_inf_or_nan(self, a, b):
+        with np.errstate(over="ignore"):  # |a - b| may exceed float64
+            out = float(SR.add(a, b))
+        assert math.isfinite(out), (a, b, out)
+
+    @given(xs=st.lists(st.one_of(extreme, st.just(NEG_INF)), min_size=1, max_size=16))
+    def test_reduce_never_nan(self, xs):
+        with np.errstate(over="ignore"):
+            out = float(SR.add_reduce(np.asarray(xs, dtype=np.float64)))
+        assert not math.isnan(out), xs
+        assert out != math.inf, xs  # -inf allowed: all-identity input
+
+    def test_huge_magnitude_cancellation(self):
+        # naive log(exp(a) + exp(b)) overflows at a ~ 710; the shifted
+        # form must survive the extremes of float64
+        assert float(SR.add(1e308, 1e308)) == pytest.approx(1e308)
+        with np.errstate(over="ignore"):  # |a - b| itself exceeds float64
+            assert float(SR.add(-1e308, 1e308)) == pytest.approx(1e308)
+        arr = np.array([710.0] * 8, dtype=np.float64)
+        assert math.isfinite(float(SR.add_reduce(arr)))

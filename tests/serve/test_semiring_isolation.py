@@ -1,0 +1,125 @@
+"""Semiring isolation in the serving layer (regression guard).
+
+A max-plus score and a log-partition value are different quantities for
+the same sequences; before the semiring joined :func:`cache_key`, a
+warm cache could silently serve one for the other.  These tests pin the
+fix at every level: the key itself, batch grouping, the in-process
+:class:`BatchScheduler` and the multi-process :class:`ShardScheduler`
+(whose consistent-hash routing derives from the cache key).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.robust.errors import BpmaxError
+from repro.serve.request import SubmitRequest, batch_key, cache_key
+from repro.serve.scheduler import BatchScheduler
+
+SEQ1, SEQ2 = "GCGCUUCG", "CGAAGCGC"
+
+
+def _pair(**common) -> tuple[SubmitRequest, SubmitRequest]:
+    """The same problem under each semiring."""
+    mp = SubmitRequest(SEQ1, SEQ2, id="mp", semiring="max-plus", **common)
+    lse = SubmitRequest(SEQ1, SEQ2, id="lse", semiring="logsumexp", **common)
+    return mp, lse
+
+
+class TestKeys:
+    def test_cache_keys_differ_by_semiring_only(self):
+        mp, lse = _pair()
+        kmp, klse = cache_key(mp), cache_key(lse)
+        assert kmp != klse
+        assert [a for a, b in zip(kmp, klse) if a != b] == ["max-plus"]
+
+    def test_aliases_share_one_key(self):
+        a = SubmitRequest(SEQ1, SEQ2, semiring="logsumexp")
+        b = SubmitRequest(SEQ1, SEQ2, semiring="log-sum-exp")
+        assert cache_key(a) == cache_key(b)
+        assert a.semiring == b.semiring == "logsumexp"
+
+    def test_batch_keys_differ_so_workspaces_are_not_shared(self):
+        # mixed-algebra requests must not share a Workspace: the
+        # semiring fixes its scratch dtype (float32 vs float64)
+        mp, lse = _pair()
+        assert batch_key(mp) != batch_key(lse)
+
+    def test_unknown_semiring_rejected_at_submit(self):
+        with pytest.raises(BpmaxError, match="semiring"):
+            SubmitRequest(SEQ1, SEQ2, semiring="min-plus")
+        with pytest.raises(BpmaxError, match="semiring"):
+            SubmitRequest(SEQ1, SEQ2, semiring="nope")
+
+
+class TestBatchSchedulerIsolation:
+    def test_warm_maxplus_cache_never_serves_logsumexp(self):
+        mp, lse = _pair()
+        with BatchScheduler(cache=64) as sched:
+            [first] = sched.serve_all([mp])
+            [second] = sched.serve_all([lse])  # warm cache, other algebra
+            [third] = sched.serve_all(
+                [SubmitRequest(SEQ1, SEQ2, id="mp2", semiring="max-plus")]
+            )
+        assert first.ok and second.ok and third.ok
+        assert not second.cached, "logsumexp answered from a max-plus entry"
+        assert second.score != first.score
+        assert second.score > first.score  # log-partition adds mass
+        # the cache still works within one semiring
+        assert third.cached and third.score == first.score
+
+    def test_warm_logsumexp_cache_never_serves_maxplus(self):
+        mp, lse = _pair()
+        with BatchScheduler(cache=64) as sched:
+            [first] = sched.serve_all([lse])
+            [second] = sched.serve_all([mp])
+        assert first.ok and second.ok
+        assert not second.cached, "max-plus answered from a logsumexp entry"
+        assert second.score != first.score
+
+    def test_mixed_workload_one_call(self):
+        # both semirings of the same pair in a single serve_all: they
+        # must neither coalesce nor cross-batch
+        mp, lse = _pair()
+        with BatchScheduler(cache=64) as sched:
+            results = sched.serve_all([mp, lse, mp, lse])
+            stats = sched.stats.as_dict()
+        scores = {r.id: r.score for r in results}
+        assert all(r.ok for r in results)
+        assert scores["mp"] != scores["lse"]
+        # duplicates coalesce within a semiring; across semirings the
+        # requests stay distinct work in distinct (dtype-safe) batches
+        assert stats["coalesced"] == 2
+        assert stats["batched_requests"] == 2
+
+
+class TestShardSchedulerIsolation:
+    def test_sharded_tier_keeps_semirings_apart(self):
+        from repro.serve.shard import ShardScheduler
+
+        mp, lse = _pair()
+        with ShardScheduler(shards=2, cache_size=64) as sched:
+            [r_mp] = sched.serve_all([mp])
+            [r_lse] = sched.serve_all([lse])  # same sequences, warm shards
+            [r_mp2] = sched.serve_all(
+                [SubmitRequest(SEQ1, SEQ2, id="mp2", semiring="max-plus")]
+            )
+        assert r_mp.ok and r_lse.ok and r_mp2.ok
+        assert not r_lse.cached, "logsumexp served from a max-plus shard entry"
+        assert r_lse.score != r_mp.score
+        assert r_mp2.cached and r_mp2.score == r_mp.score
+
+    def test_sharded_scores_match_inprocess_tier(self):
+        from repro.serve.shard import ShardScheduler
+
+        mp, lse = _pair()
+        with BatchScheduler(cache=0) as sched:
+            local = {r.id: r.score for r in sched.serve_all([mp, lse])}
+        with ShardScheduler(shards=2, cache_size=0) as sched:
+            remote = {r.id: r.score for r in sched.serve_all([mp, lse])}
+        assert remote["mp"] == local["mp"]  # exact semiring: bit-identical
+        assert math.isclose(
+            remote["lse"], local["lse"], rel_tol=1e-9, abs_tol=1e-9
+        )

@@ -77,6 +77,89 @@ class TestScanCommand:
         with _pytest.raises(SystemExit):
             cli_main(["scan", "GC", "GCGC", "--variant", "nope"])
 
+    def test_scan_reports_cache_hits_on_periodic_target(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert (
+            cli_main(["scan", "CUCC", "GGAGGA" * 4, "--window", "6", "--stride", "6"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "(3 served from cache)" in out
+
+    def test_scan_semiring_logsumexp(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert (
+            cli_main(
+                [
+                    "scan",
+                    "CUCC",
+                    "GGAGGAGGAGGA",
+                    "--window",
+                    "6",
+                    "--stride",
+                    "3",
+                    "--semiring",
+                    "log-sum-exp",
+                ]
+            )
+            == 0
+        )
+        assert "best window" in capsys.readouterr().out
+
+    def test_scan_unknown_semiring_is_one_line_error(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["scan", "GC", "GCGC", "--semiring", "nope"]) == 2
+        assert "semiring" in capsys.readouterr().err
+
+
+class TestSemiringFlags:
+    def test_run_semiring_logsumexp_scores_higher(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["run", "GGGG", "CCCC"]) == 0
+        mp = float(capsys.readouterr().out.split()[2])
+        assert cli_main(["run", "GGGG", "CCCC", "--semiring", "logsumexp"]) == 0
+        lse = float(capsys.readouterr().out.split()[2])
+        assert lse > mp == 12.0
+
+    def test_run_semiring_rejects_baseline_and_structure(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert (
+            cli_main(
+                ["run", "GC", "GC", "--semiring", "logsumexp", "--variant", "baseline"]
+            )
+            == 2
+        )
+        assert "max-plus only" in capsys.readouterr().err
+        assert (
+            cli_main(["run", "GC", "GC", "--semiring", "logsumexp", "--structure"])
+            == 2
+        )
+        assert "argmax" in capsys.readouterr().err
+
+    def test_submit_emits_semiring_only_when_nondefault(self, capsys):
+        import json
+
+        from repro.cli import main as cli_main
+
+        assert cli_main(["submit", "GC", "GC", "--semiring", "log-sum-exp"]) == 0
+        req = json.loads(capsys.readouterr().out)
+        assert req["semiring"] == "logsumexp"  # canonicalized
+        assert cli_main(["submit", "GC", "GC"]) == 0
+        assert "semiring" not in json.loads(capsys.readouterr().out)
+
+    def test_backends_renders_semirings_column(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "semirings: max-plus,logsumexp" in out
+        assert "semirings: max-plus\n" in out  # fourrussians/numba stay exact-only
+
 
 class TestFastaAndCsv:
     def test_run_from_fasta(self, tmp_path, capsys):
