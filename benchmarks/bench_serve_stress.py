@@ -24,6 +24,14 @@ printed and recorded, so any failure replays exactly::
     PYTHONPATH=src python benchmarks/bench_serve_stress.py \
         --scenarios bursty-small --shards 2 --check
 
+``--http`` replays the same scenarios through the real HTTP gateway
+(:mod:`repro.serve.http`) on an ephemeral port: arrivals become paced
+``POST /v1/fold`` calls over real sockets, so the reported p50/p99
+include network and wire-protocol overhead.  The contract tightens
+accordingly — any error body that is not the structured JSON envelope
+(or any hung connection) hard-fails the replay — and the report lands
+in ``BENCH_http.json`` by default.
+
 Writes ``BENCH_serve.json`` (see ``--out``).  Under pytest the module
 exposes a smoke test replaying the CI scenario (``bursty-small``).
 """
@@ -206,6 +214,175 @@ def replay(
     }
 
 
+#: gateway protocol codes a request may also fail with over HTTP
+HTTP_STRUCTURED_ERRORS = STRUCTURED_ERRORS | {"ServerDraining", "GatewayTimeout"}
+
+#: statuses the gateway may legitimately answer a scenario request with
+HTTP_ERROR_STATUSES = {400, 429, 500, 503, 504}
+
+
+def replay_http(
+    name: str,
+    shards: int = 2,
+    queue_limit: int = 64,
+    seed: int | None = None,
+    time_scale: float = 1.0,
+    resolve_timeout_s: float = 120.0,
+) -> dict:
+    """Replay one scenario over real sockets through the HTTP gateway.
+
+    Same contract as :func:`replay` plus the wire half: every error
+    response must be the structured JSON envelope with a correct status
+    (anything else — an undecodable body, a missing code, a connection
+    that never completes — raises).  Latencies are client-observed over
+    the socket, so p50/p99 include network overhead.
+    """
+    import threading
+
+    from repro.serve import GatewayClient, GatewayStatusError, HttpGateway
+    from repro.serve.request import request_wire_dict
+
+    scn = get_scenario(name)
+    if time_scale != 1.0:
+        scn = scaled(scn, time_scale)
+    used_seed = default_seed() if seed is None else int(seed)
+    timed = generate(scn, seed=used_seed)
+    plan = scn.fault_plan(used_seed)
+
+    expected: dict[tuple[str, str], float] = {}
+    for t in timed:
+        pair = (t.request.seq1, t.request.seq2)
+        if pair not in expected:
+            try:
+                expected[pair] = bpmax(*pair).score
+            except BpmaxError:
+                pass
+
+    outcomes: list[tuple[object, object, float]] = []
+    lock = threading.Lock()
+
+    t0 = time.perf_counter()
+    with ShardScheduler(
+        shards=shards,
+        queue_limit=queue_limit,
+        faults=plan,
+        heartbeat_timeout_s=30.0,
+    ) as sched:
+        with HttpGateway(sched) as gateway:
+            url = gateway.url()
+
+            def one(t):
+                client = GatewayClient(
+                    url, timeout_s=resolve_timeout_s, max_retries=0
+                )
+                delay = t.at_s - (time.perf_counter() - t0)
+                if delay > 0:
+                    time.sleep(delay)
+                started = time.perf_counter()
+                try:
+                    result = client.fold(request_wire_dict(t.request))
+                except GatewayStatusError as exc:
+                    result = exc
+                with lock:
+                    outcomes.append(
+                        (t.request, result, time.perf_counter() - started)
+                    )
+
+            threads = [
+                threading.Thread(target=one, args=(t,), daemon=True)
+                for t in timed
+            ]
+            for th in threads:
+                th.start()
+            join_deadline = time.monotonic() + resolve_timeout_s
+            for th in threads:
+                th.join(timeout=max(0.1, join_deadline - time.monotonic()))
+            hung = sum(1 for th in threads if th.is_alive())
+            if hung:
+                raise AssertionError(
+                    f"{hung} HTTP connections never completed for {name!r} "
+                    f"(seed {used_seed})"
+                )
+            wall_s = time.perf_counter() - t0
+            stats = sched.stats
+
+    accepted, shed = [], []
+    lat_by_class: dict[str, list[float]] = {}
+    for req, result, latency in outcomes:
+        if isinstance(result, GatewayStatusError):
+            err = (result.envelope or {}).get("error")
+            if not err:
+                raise AssertionError(
+                    f"unstructured error body: {req.id!r} -> HTTP "
+                    f"{result.status} with no JSON envelope (seed {used_seed})"
+                )
+            if err.get("code") not in HTTP_STRUCTURED_ERRORS:
+                raise AssertionError(
+                    f"unstructured failure: {req.id!r} -> "
+                    f"{err.get('code')!r}: {err.get('message')} "
+                    f"(seed {used_seed})"
+                )
+            if result.status not in HTTP_ERROR_STATUSES or (
+                result.status != err.get("status")
+            ):
+                raise AssertionError(
+                    f"wrong status: {req.id!r} -> HTTP {result.status} with "
+                    f"envelope status {err.get('status')!r} (seed {used_seed})"
+                )
+            shed.append((req, result))
+        else:
+            want = expected.get((req.seq1, req.seq2))
+            if want is None or result["score"] != want:
+                raise AssertionError(
+                    f"score drift: {req.id!r} served {result.get('score')!r}, "
+                    f"in-process bpmax says {want!r} (seed {used_seed})"
+                )
+            accepted.append((req, result))
+            lat_by_class.setdefault(req.priority, []).append(latency)
+
+    gated = [
+        s
+        for c in ("interactive", "batch")
+        for s in lat_by_class.get(c, [])
+    ]
+    return {
+        "scenario": scn.name,
+        "description": scn.description,
+        "transport": "http",
+        "seed": used_seed,
+        "shards": shards,
+        "queue_limit": queue_limit,
+        "time_scale": time_scale,
+        "requests": len(timed),
+        "accepted": len(accepted),
+        "shed": len(shed),
+        "shed_rate": round(len(shed) / len(timed), 4),
+        "shed_error_types": sorted(
+            {(r.envelope.get("error") or {}).get("code") for _q, r in shed}
+        ),
+        "wall_s": round(wall_s, 3),
+        "throughput_rps": round(len(accepted) / wall_s, 1) if wall_s else 0.0,
+        "latency_s": {
+            cls: {
+                "count": len(xs),
+                "p50": round(_pctl(xs, 0.50), 4),
+                "p99": round(_pctl(xs, 0.99), 4),
+                "max": round(max(xs), 4),
+            }
+            for cls, xs in sorted(lat_by_class.items())
+        },
+        "p99_gated_s": round(_pctl(gated, 0.99), 4),
+        "p99_budget_s": scn.p99_budget_s,
+        "worker_deaths": stats["deaths"],
+        "worker_respawns": stats["respawns"],
+        "rerouted": stats["rerouted"],
+        "degraded_requests": stats["degraded_requests"],
+        "admission": stats["admission"],
+        "scores_identical": True,
+        "hung_futures": 0,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -219,19 +396,27 @@ def main(argv: list[str] | None = None) -> int:
                     help="workload seed (default: BPMAX_TEST_SEED or 12345)")
     ap.add_argument("--time-scale", type=float, default=1.0,
                     help="stretch arrival horizons (2.0 = half the load)")
-    ap.add_argument("--out", default="BENCH_serve.json")
+    ap.add_argument("--http", action="store_true",
+                    help="replay over real sockets through the HTTP "
+                    "gateway (p50/p99 include network overhead; any "
+                    "unstructured error body hard-fails)")
+    ap.add_argument("--out", default=None,
+                    help="report path (default: BENCH_serve.json, or "
+                    "BENCH_http.json with --http)")
     ap.add_argument("--check", action="store_true",
                     help="exit 1 unless every scenario keeps accepted "
                     "interactive+batch p99 under its budget")
     args = ap.parse_args(argv)
+    out_path = args.out or ("BENCH_http.json" if args.http else "BENCH_serve.json")
 
     names = [n.strip() for n in args.scenarios.split(",") if n.strip()]
     seed = default_seed() if args.seed is None else args.seed
     print(f"seed {seed} (replay with --seed {seed} or BPMAX_TEST_SEED={seed})")
 
+    replay_fn = replay_http if args.http else replay
     rows, failures = [], []
     for name in names:
-        row = replay(
+        row = replay_fn(
             name,
             shards=args.shards,
             queue_limit=args.queue_limit,
@@ -256,10 +441,11 @@ def main(argv: list[str] | None = None) -> int:
         "shards": args.shards,
         "queue_limit": args.queue_limit,
         "time_scale": args.time_scale,
+        "transport": "http" if args.http else "in-process",
         "scenarios": rows,
     }
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.out}")
+    Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
@@ -277,6 +463,28 @@ def test_stress_smoke_bursty_small():
     assert row["scores_identical"]
     assert row["worker_deaths"] >= 1  # the injected kill fired
     assert row["worker_respawns"] >= 1
+    assert row["p99_gated_s"] <= row["p99_budget_s"]
+
+
+try:  # the marker only matters under pytest; standalone runs skip it
+    import pytest as _pytest
+    _http_marker = _pytest.mark.http
+except ImportError:  # pragma: no cover
+    def _http_marker(fn):
+        return fn
+
+
+@_http_marker
+def test_stress_smoke_bursty_small_http():
+    """CI smoke over real sockets: same scenario and contract through
+    the HTTP gateway — replay_http() additionally raises on any
+    unstructured error body or hung connection."""
+    row = replay_http("bursty-small", shards=2, queue_limit=16)
+    assert row["transport"] == "http"
+    assert row["accepted"] + row["shed"] == row["requests"]
+    assert row["hung_futures"] == 0
+    assert row["scores_identical"]
+    assert row["worker_deaths"] >= 1
     assert row["p99_gated_s"] <= row["p99_budget_s"]
 
 

@@ -29,7 +29,9 @@ Subpackages:
   (``bpmax serve`` / ``bpmax submit`` / :func:`serve_many`), and the
   sharded multi-process tier (:class:`~repro.serve.ShardScheduler`)
   with admission control, load shedding and self-healing workers plus
-  its seeded stress-scenario library;
+  its seeded stress-scenario library, fronted by the stdlib HTTP
+  gateway (:class:`~repro.serve.HttpGateway`, ``bpmax serve --http``)
+  and its retry-aware client (:class:`~repro.serve.GatewayClient`);
 * :mod:`repro.bench` — the experiment harness regenerating every paper
   table and figure.
 """
@@ -49,6 +51,8 @@ from .observe import Counters, RunReport, collecting, trace, tracing
 from .rna.scoring import DEFAULT_MODEL, ScoringModel
 from .serve import (
     BatchScheduler,
+    GatewayClient,
+    HttpGateway,
     ResultCache,
     ServeResult,
     ShardScheduler,
@@ -66,7 +70,7 @@ from .robust import (
     retry,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BpmaxResult",
@@ -74,6 +78,8 @@ __all__ = [
     "fold",
     "serve_many",
     "BatchScheduler",
+    "GatewayClient",
+    "HttpGateway",
     "ResultCache",
     "ServeResult",
     "ShardScheduler",

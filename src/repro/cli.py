@@ -8,7 +8,9 @@ Subcommands
                        (sweeps run through the serving layer, so
                        identical windows are served from cache)
 ``serve FILE``         serve a JSONL request stream through the batch layer
+                       (``--http`` serves over sockets instead)
 ``submit SEQ1 SEQ2``   emit one JSONL request line for ``serve``
+                       (``--url`` POSTs it to a running gateway)
 ``golden``             verify (or ``--regen``) the golden-corpus manifest
 ``experiment ID``      regenerate one paper table/figure (or ``all``)
 ``report FILE``        render a saved metrics report (``--metrics-out``)
@@ -25,6 +27,14 @@ request failed.  ``--shards N`` routes through the multi-process tier
 instead: N workers with consistent-hash cache sharding, admission
 control (``--queue-limit``, per-request ``priority`` classes) and
 self-healing respawn/re-route on worker death.
+
+HTTP serving: ``bpmax serve --http --port 8642 --shards 2`` puts the
+stdlib gateway (:mod:`repro.serve.http`) in front of the chosen tier —
+``POST /v1/fold``, streaming ``POST /v1/batch``, ``GET /healthz``,
+``GET /metrics`` — with admission verdicts mapped to 429/503 +
+``Retry-After`` and graceful drain on SIGTERM.  ``bpmax submit SEQ1
+SEQ2 --url http://HOST:PORT`` round-trips one request through a running
+gateway with the retry-aware client.
 
 Observability: ``run --metrics`` prints the observed-vs-predicted
 operation counts (and saves them with ``--metrics-out report.json``);
@@ -182,7 +192,39 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     srv.add_argument(
         "input",
-        help="JSONL request file (one JSON object per line), or '-' for stdin",
+        nargs="?",
+        default=None,
+        help="JSONL request file (one JSON object per line), or '-' for "
+        "stdin; omit with --http",
+    )
+    srv.add_argument(
+        "--http",
+        action="store_true",
+        help="serve over HTTP instead of a request file: POST /v1/fold, "
+        "streaming POST /v1/batch, GET /healthz, GET /metrics; drains "
+        "gracefully on SIGTERM",
+    )
+    srv.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="HTTP mode: address to bind (default 127.0.0.1)",
+    )
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        metavar="N",
+        help="HTTP mode: port to bind (0 picks an ephemeral port; "
+        "default 8642)",
+    )
+    srv.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        metavar="N",
+        help="HTTP mode: per-connection bound on /v1/batch requests in "
+        "flight (backpressure window)",
     )
     srv.add_argument(
         "--out",
@@ -291,6 +333,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out",
         metavar="PATH",
         help="append the request line to PATH instead of stdout",
+    )
+    sm.add_argument(
+        "--url",
+        metavar="URL",
+        help="POST the request to a running gateway (e.g. "
+        "http://127.0.0.1:8642) instead of printing the line; retries "
+        "429/503 honoring Retry-After and prints the result object",
     )
 
     g = sub.add_parser(
@@ -654,6 +703,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise BpmaxError(f"--shards must be >= 0, got {args.shards}")
     if args.queue_limit < 1:
         raise BpmaxError(f"--queue-limit must be >= 1, got {args.queue_limit}")
+    if args.http:
+        if args.input is not None:
+            raise BpmaxError(
+                "--http serves over sockets; drop the request-file argument"
+            )
+        return _cmd_serve_http(args)
+    if args.input is None:
+        raise BpmaxError("serve needs a JSONL request file (or --http)")
 
     if args.input == "-":
         lines = sys.stdin.readlines()
@@ -708,6 +765,71 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    import json as _json
+    import signal
+    import threading
+
+    from .serve.http import HttpGateway
+    from .serve.scheduler import BatchScheduler
+
+    if not 0 <= args.port <= 65535:
+        raise BpmaxError(f"--port must be in [0, 65535], got {args.port}")
+    if args.max_inflight < 1:
+        raise BpmaxError(f"--max-inflight must be >= 1, got {args.max_inflight}")
+
+    if args.shards > 0:
+        from .serve.shard import ShardScheduler
+
+        sched = ShardScheduler(
+            shards=args.shards,
+            queue_limit=args.queue_limit,
+            cache_size=args.cache_size,
+            default_priority=args.priority or "batch",
+        )
+        tier = f"{args.shards} shard(s)"
+    else:
+        sched = BatchScheduler(
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay,
+            workers=args.workers,
+            cache=args.cache_size,
+        )
+        tier = f"in-process batch tier ({args.workers} worker(s))"
+    try:
+        gateway = HttpGateway(
+            sched,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            own_scheduler=True,
+        ).start()
+    except OSError as exc:
+        sched.close()
+        raise BpmaxError(
+            f"cannot bind {args.host}:{args.port}: {exc}"
+        ) from exc
+    # the subprocess e2e test parses this line for the bound port, so
+    # it must be the first stdout line and flushed before blocking
+    print(f"bpmax gateway listening on {gateway.url()} ({tier})", flush=True)
+
+    stop = threading.Event()
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous[sig] = signal.signal(sig, lambda *_: stop.set())
+    try:
+        stop.wait()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print("bpmax gateway draining", file=sys.stderr, flush=True)
+    metrics = gateway.metrics()
+    gateway.close()
+    if args.stats:
+        print(f"serve: {_json.dumps(metrics)}", file=sys.stderr)
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -743,6 +865,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if args.priority:
         request["priority"] = args.priority
     line = _json.dumps(request, separators=(",", ":"))
+    if args.url:
+        if args.out:
+            raise BpmaxError("--url submits over HTTP; drop --out")
+        from .serve.client import GatewayClient
+
+        result = GatewayClient(args.url).fold(request)
+        print(_json.dumps(result, separators=(",", ":")))
+        return 0
     if args.out:
         with open(args.out, "a") as fh:
             fh.write(line + "\n")

@@ -22,7 +22,13 @@ one-shot library call:
 * :mod:`~repro.serve.scenarios` — the seeded stress-scenario library
   (bursty arrivals, heavy-tail sizes, deadline storms, poisoned
   requests, worker kills) replayed by
-  ``benchmarks/bench_serve_stress.py`` and the CI stress-smoke job.
+  ``benchmarks/bench_serve_stress.py`` and the CI stress-smoke job;
+* :class:`~repro.serve.http.HttpGateway` /
+  :class:`~repro.serve.client.GatewayClient` — the stdlib HTTP/JSONL
+  network front end (``bpmax serve --http`` / ``bpmax submit --url``):
+  ``POST /v1/fold``, streaming ``POST /v1/batch``, ``GET /healthz``,
+  ``GET /metrics``, with admission verdicts mapped to 429/503 +
+  ``Retry-After`` and every failure in one stable JSON error envelope.
 
 Typical use::
 
@@ -41,6 +47,14 @@ or, with explicit control::
 
 from .admission import AdmissionController, AdmissionStats
 from .cache import CachedAnswer, CacheStats, ResultCache
+from .client import GatewayClient, GatewayStatusError, GatewayUnavailable
+from .http import (
+    RETRYABLE_STATUS,
+    STATUS_BY_ERROR,
+    HttpGateway,
+    error_envelope,
+    status_for_error,
+)
 from .request import (
     PRIORITY_CLASSES,
     ServeResult,
@@ -49,6 +63,7 @@ from .request import (
     cache_key,
     parse_request_line,
     request_from_dict,
+    request_wire_dict,
     scoring_fingerprint,
 )
 from .scenarios import SCENARIOS, Scenario, TimedRequest, generate, get_scenario
@@ -73,7 +88,16 @@ __all__ = [
     "cache_key",
     "parse_request_line",
     "request_from_dict",
+    "request_wire_dict",
     "scoring_fingerprint",
+    "HttpGateway",
+    "GatewayClient",
+    "GatewayStatusError",
+    "GatewayUnavailable",
+    "STATUS_BY_ERROR",
+    "RETRYABLE_STATUS",
+    "error_envelope",
+    "status_for_error",
     "SCENARIOS",
     "Scenario",
     "TimedRequest",

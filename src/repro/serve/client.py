@@ -1,0 +1,254 @@
+"""Retry-aware stdlib client for the HTTP gateway.
+
+:class:`GatewayClient` speaks the wire surface of
+:mod:`repro.serve.http` over :mod:`http.client` — no third-party
+dependency — and encodes the protocol's back-off contract so callers
+don't have to: a **429** (``AdmissionRejected``) or **503**
+(``DeadlineExceeded`` at admission, drain) response is retried after
+sleeping the server's ``Retry-After`` hint (the gateway computes it
+from observed queue depth and drain rate, and it is always finite),
+falling back to capped exponential back-off when no hint is present.
+Everything else — 400s, 500s, 504s — is *not* retried: those statuses
+mean "fix the request" or "the tier already spent its own retry
+budget", and hammering them only deepens an overload.
+
+Failures raise structured :class:`BpmaxError` subclasses so ``bpmax
+submit --url`` reports them as the usual one-line errors with exit
+status 2: :class:`GatewayStatusError` carries the decoded error
+envelope (``.status``, ``.code``, ``.retry_after_s``),
+:class:`GatewayUnavailable` wraps transport-level failures (connection
+refused, reset, timeout).
+
+``/v1/batch`` responses stream: :meth:`GatewayClient.batch` yields one
+decoded result object per JSONL line as the server flushes it.  Batch
+calls are deliberately **not** retried as a unit — lines already
+yielded may have been computed, and replaying them would double-spend
+the tier; per-line retryable envelopes carry ``retry_after_s`` so the
+caller can resubmit exactly the shed lines.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Iterable, Iterator
+from urllib.parse import urlsplit
+
+from ..robust.errors import BpmaxError
+from .request import SubmitRequest, request_wire_dict
+
+__all__ = ["GatewayClient", "GatewayStatusError", "GatewayUnavailable"]
+
+
+class GatewayUnavailable(BpmaxError):
+    """Transport-level failure: nothing listening, reset, timed out."""
+
+
+class GatewayStatusError(BpmaxError):
+    """A non-2xx response that exhausted (or never had) a retry budget."""
+
+    def __init__(self, status: int, envelope: dict[str, Any] | None, message: str):
+        super().__init__(message)
+        self.status = status
+        self.envelope = envelope or {}
+        err = (envelope or {}).get("error") or {}
+        self.code: str = err.get("code", "HttpError")
+        self.retry_after_s: float | None = err.get("retry_after_s")
+
+
+def _retry_after_from(headers: Any, envelope: dict[str, Any] | None) -> float | None:
+    """Server back-off hint: Retry-After header, else envelope field."""
+    raw = headers.get("Retry-After") if headers is not None else None
+    if raw is not None:
+        try:
+            return max(0.0, float(raw))
+        except ValueError:
+            pass
+    if envelope:
+        val = (envelope.get("error") or {}).get("retry_after_s")
+        if isinstance(val, (int, float)):
+            return max(0.0, float(val))
+    return None
+
+
+class GatewayClient:
+    """Client for one gateway base URL (e.g. ``http://127.0.0.1:8642``).
+
+    ``max_retries`` bounds *additional* attempts after the first, spent
+    only on 429/503 responses and (optionally, ``retry_transport=True``)
+    transport failures.  Sleeps honor the server's ``Retry-After`` hint
+    capped at ``max_sleep_s``; without a hint the fallback is
+    ``backoff_s * 2**attempt``.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout_s: float = 60.0,
+        max_retries: int = 4,
+        backoff_s: float = 0.05,
+        max_sleep_s: float = 5.0,
+        retry_transport: bool = False,
+    ) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise BpmaxError(
+                f"unsupported URL scheme {parts.scheme!r}; the gateway speaks http"
+            )
+        if not parts.hostname:
+            raise BpmaxError(f"no host in gateway URL {url!r}")
+        self.host: str = parts.hostname
+        self.port: int = parts.port or 80
+        self.base_path = parts.path.rstrip("/")
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.max_sleep_s = max_sleep_s
+        self.retry_transport = retry_transport
+        #: total 429/503/transport retries this client has performed
+        self.retries_performed = 0
+
+    # -- low-level ------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+
+    def _request_once(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, Any, bytes]:
+        """One round-trip -> ``(status, headers, body)``; connection closed."""
+        conn = self._connect()
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, self.base_path + path, body=body, headers=headers)
+            resp = conn.getresponse()
+            data = resp.read()
+            return resp.status, resp.headers, data
+        except (ConnectionError, socket.timeout, OSError, http.client.HTTPException) as exc:
+            raise GatewayUnavailable(
+                f"gateway {self.host}:{self.port} unavailable: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _decode(data: bytes) -> dict[str, Any] | None:
+        try:
+            obj = json.loads(data.decode("utf-8", errors="replace"))
+        except json.JSONDecodeError:
+            return None
+        return obj if isinstance(obj, dict) else None
+
+    def _sleep_before_retry(self, attempt: int, hint: float | None) -> None:
+        sleep = hint if hint is not None else self.backoff_s * (2.0 ** attempt)
+        time.sleep(min(max(sleep, 0.0), self.max_sleep_s))
+        self.retries_performed += 1
+
+    def _json_call(self, method: str, path: str, body: bytes | None = None) -> dict[str, Any]:
+        """Round-trip with the retry policy; returns the decoded 2xx body."""
+        attempt = 0
+        while True:
+            try:
+                status, headers, data = self._request_once(method, path, body)
+            except GatewayUnavailable:
+                if self.retry_transport and attempt < self.max_retries:
+                    self._sleep_before_retry(attempt, None)
+                    attempt += 1
+                    continue
+                raise
+            envelope = self._decode(data)
+            if 200 <= status < 300:
+                if envelope is None:
+                    raise GatewayStatusError(
+                        status, None,
+                        f"gateway returned undecodable body for {path}",
+                    )
+                return envelope
+            if status in (429, 503) and attempt < self.max_retries:
+                self._sleep_before_retry(
+                    attempt, _retry_after_from(headers, envelope)
+                )
+                attempt += 1
+                continue
+            err = (envelope or {}).get("error") or {}
+            raise GatewayStatusError(
+                status, envelope,
+                f"gateway error {status} [{err.get('code', '?')}] "
+                f"{err.get('message', data[:200].decode(errors='replace'))}",
+            )
+
+    # -- endpoints ------------------------------------------------------------
+
+    @staticmethod
+    def _wire(request: SubmitRequest | dict[str, Any]) -> dict[str, Any]:
+        if isinstance(request, SubmitRequest):
+            return request_wire_dict(request)
+        return dict(request)
+
+    def fold(self, request: SubmitRequest | dict[str, Any]) -> dict[str, Any]:
+        """``POST /v1/fold``; returns the result object of an accepted
+        request, retrying 429/503 per the client's budget."""
+        body = json.dumps(self._wire(request), separators=(",", ":")).encode()
+        return self._json_call("POST", "/v1/fold", body)
+
+    def batch(
+        self, requests: Iterable[SubmitRequest | dict[str, Any]]
+    ) -> Iterator[dict[str, Any]]:
+        """``POST /v1/batch``; yields one decoded object per streamed line.
+
+        Not retried as a unit (see module docstring) — shed lines carry
+        ``error.retry_after_s`` for selective resubmission.
+        """
+        payload = "".join(
+            json.dumps(self._wire(r), separators=(",", ":")) + "\n" for r in requests
+        ).encode()
+        conn = self._connect()
+        try:
+            conn.request(
+                "POST", self.base_path + "/v1/batch", body=payload,
+                headers={"Content-Type": "application/x-ndjson"},
+            )
+            resp = conn.getresponse()
+            if resp.status != 200:
+                data = resp.read()
+                envelope = self._decode(data)
+                err = (envelope or {}).get("error") or {}
+                raise GatewayStatusError(
+                    resp.status, envelope,
+                    f"batch rejected with {resp.status} [{err.get('code', '?')}] "
+                    f"{err.get('message', data[:200].decode(errors='replace'))}",
+                )
+            while True:
+                line = resp.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                try:
+                    yield json.loads(text)
+                except json.JSONDecodeError as exc:
+                    raise GatewayStatusError(
+                        200, None, f"undecodable stream line {text[:120]!r}"
+                    ) from exc
+        except (ConnectionError, socket.timeout, OSError, http.client.HTTPException) as exc:
+            raise GatewayUnavailable(
+                f"gateway {self.host}:{self.port} unavailable mid-batch: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def healthz(self) -> dict[str, Any]:
+        """``GET /healthz`` (a draining gateway's 503 is *not* retried:
+        the caller is asking about health, not for work)."""
+        status, _headers, data = self._request_once("GET", "/healthz")
+        envelope = self._decode(data)
+        if envelope is None:
+            raise GatewayStatusError(status, None, "undecodable /healthz body")
+        return envelope
+
+    def metrics(self) -> dict[str, Any]:
+        """``GET /metrics``."""
+        return self._json_call("GET", "/metrics")

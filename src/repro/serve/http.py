@@ -1,0 +1,691 @@
+"""HTTP/JSONL gateway: the network front end of the serving tier.
+
+Puts a dependency-free stdlib :mod:`http.server` in front of a running
+:class:`~repro.serve.shard.ShardScheduler` (or
+:class:`~repro.serve.scheduler.BatchScheduler` for the in-process tier)
+so remote clients reach every workload — max-plus BPMax scores and
+log-sum-exp BPPart values alike — through one tested wire surface:
+
+* ``POST /v1/fold`` — one JSON request object (the existing JSONL wire
+  format of ``bpmax submit``) in, one JSON result object out;
+* ``POST /v1/batch`` — a JSONL request body in, a JSONL response stream
+  out.  Lines are flushed **as their futures resolve** (chunked
+  transfer encoding), not buffered until the batch completes, so a
+  client sees its first answers while the tail is still computing;
+* ``GET /healthz`` — liveness: per-shard state/epoch, queue depths and
+  admission-controller counters, drain status;
+* ``GET /metrics`` — gateway wire counters plus the process-wide
+  :class:`~repro.observe.metrics.Counters` snapshot as JSON.
+
+**Admission verdicts map onto HTTP semantics.**  A request the tier
+sheds resolves with a structured error result, and the gateway
+translates the existing error codes to status codes
+(:data:`STATUS_BY_ERROR`): ``AdmissionRejected`` becomes **429 Too Many
+Requests** and a deadline shed at admission becomes **503 Service
+Unavailable**, both carrying a finite ``Retry-After`` computed from the
+tier's observed queue depth and drain rate
+(:meth:`HttpGateway.retry_after_s`).  Every failure — protocol-level or
+request-level — serializes to one stable JSON envelope
+(:func:`error_envelope`)::
+
+    {"ok": false, "id": "r1",
+     "error": {"code": "AdmissionRejected",
+               "message": "queue full for class 'batch': ...",
+               "status": 429, "retry_after_s": 0.31}}
+
+**Per-connection backpressure.**  Request bodies are bounded
+(``max_body_bytes`` -> 413), and a ``/v1/batch`` connection keeps at
+most ``max_inflight`` requests in flight at once: further lines are
+submitted only as earlier results are flushed to the client, so one
+greedy client cannot buffer the whole tier into its socket.
+
+**Graceful drain.**  :meth:`HttpGateway.drain` (wired to SIGTERM by
+``bpmax serve --http``) stops accepting new connections, answers new
+requests on kept-alive connections with 503 + ``Retry-After``, waits
+for in-flight requests to flush, and closes the scheduler pool — no
+future is ever stranded mid-stream.
+
+The handler thread is the **only** writer of its connection: scheduler
+threads resolving futures never touch the socket, they only feed a
+per-connection queue the handler drains.  That, plus the schedulers'
+deliver-before-accounting resolution order, is what makes a worker
+death mid-stream surface as a structured ``WorkerFailure`` line instead
+of a truncated stream.
+"""
+
+from __future__ import annotations
+
+import json
+import queue as queue_mod
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from ..observe.metrics import Counters, collecting
+from ..robust.errors import BpmaxError
+from .request import SubmitRequest, parse_request_line, request_from_dict
+
+__all__ = [
+    "HttpGateway",
+    "STATUS_BY_ERROR",
+    "RETRYABLE_STATUS",
+    "error_envelope",
+    "status_for_error",
+]
+
+#: existing structured error codes -> HTTP status.  Codes absent here
+#: (including unexpected non-Bpmax exceptions) report 500.
+STATUS_BY_ERROR: dict[str, int] = {
+    # client-side request problems: fix the request, don't retry
+    "BpmaxError": 400,
+    "InvalidSequenceError": 400,
+    # overload protection: back off and retry (finite Retry-After)
+    "AdmissionRejected": 429,
+    "DeadlineExceeded": 503,
+    "RequestCancelled": 503,
+    "ServerDraining": 503,
+    # server-side failures after admission
+    "WorkerFailure": 500,
+    "EngineFailure": 500,
+    "CheckpointError": 500,
+    "GatewayTimeout": 504,
+}
+
+#: statuses whose responses (and stream lines) carry ``Retry-After``
+RETRYABLE_STATUS = frozenset({429, 503})
+
+#: protocol-level envelope codes for non-request failures
+_PROTOCOL_CODES: dict[int, str] = {
+    400: "BadRequest",
+    404: "NotFound",
+    405: "MethodNotAllowed",
+    411: "LengthRequired",
+    413: "PayloadTooLarge",
+    500: "InternalError",
+    501: "NotImplemented",
+}
+
+
+def status_for_error(error_type: str | None) -> int:
+    """HTTP status for a structured error code (500 for unknown)."""
+    if error_type is None:
+        return 500
+    return STATUS_BY_ERROR.get(error_type, 500)
+
+
+def error_envelope(
+    code: str,
+    message: str,
+    status: int,
+    id: str = "",
+    retry_after_s: float | None = None,
+) -> dict[str, Any]:
+    """The stable JSON error envelope every failure serializes to.
+
+    Top-level keys are exactly ``ok``/``id``/``error``; ``error`` always
+    carries ``code``/``message``/``status`` and adds ``retry_after_s``
+    only on retryable statuses.  Protocol conformance tests pin this
+    shape — extend it, never rearrange it.
+    """
+    err: dict[str, Any] = {"code": code, "message": message, "status": status}
+    if retry_after_s is not None:
+        err["retry_after_s"] = round(float(retry_after_s), 3)
+    return {"ok": False, "id": id, "error": err}
+
+
+def _dumps(obj: Any) -> str:
+    return json.dumps(obj, separators=(",", ":"))
+
+
+class _GatewayServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    # the stdlib default backlog of 5 RSTs connections under bursty
+    # arrivals (the whole point of the bursty/overload scenarios);
+    # admission control — not the TCP backlog — is the shedding layer
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int], gateway: "HttpGateway") -> None:
+        self.gateway = gateway
+        super().__init__(address, _Handler)
+
+
+class HttpGateway:
+    """Serve a scheduler over HTTP on ``host:port`` (0 = ephemeral).
+
+    Parameters
+    ----------
+    scheduler: a started :class:`~repro.serve.shard.ShardScheduler` or
+        :class:`~repro.serve.scheduler.BatchScheduler`; the gateway only
+        submits to it.  With ``own_scheduler=True`` (the CLI path) the
+        gateway also closes it on drain.
+    max_inflight: per-connection bound on ``/v1/batch`` requests in
+        flight at once — the backpressure window; further lines are
+        submitted only as earlier results are flushed.
+    max_body_bytes: request-body bound (oversized bodies get 413
+        without being read).
+    request_timeout_s: per-result wall bound; a future that somehow
+        outlives it yields a 504 ``GatewayTimeout`` envelope instead of
+        a hung connection (the schedulers' contract is that futures
+        always resolve, so this is a backstop, not a policy).
+    min_retry_after_s / max_retry_after_s: clamp on the computed
+        ``Retry-After`` — always finite, never zero.
+    """
+
+    def __init__(
+        self,
+        scheduler: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 32,
+        max_body_bytes: int = 8 << 20,
+        request_timeout_s: float = 120.0,
+        min_retry_after_s: float = 0.05,
+        max_retry_after_s: float = 30.0,
+        own_scheduler: bool = False,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_body_bytes < 1:
+            raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
+        self.scheduler = scheduler
+        self.max_inflight = max_inflight
+        self.max_body_bytes = max_body_bytes
+        self.request_timeout_s = request_timeout_s
+        self.min_retry_after_s = min_retry_after_s
+        self.max_retry_after_s = max_retry_after_s
+        self.own_scheduler = own_scheduler
+        self.counters = Counters()
+        self._collect = None
+        self._server = _GatewayServer((host, port), self)
+        self._thread: threading.Thread | None = None
+        self._draining = threading.Event()
+        self._closed = False
+        self._hlock = threading.Lock()
+        self._active_requests = 0
+        self._started_at = time.monotonic()
+        self._http_stats: dict[str, Any] = {
+            "requests": 0,
+            "fold": 0,
+            "batch": 0,
+            "batch_lines": 0,
+            "healthz": 0,
+            "metrics": 0,
+            "by_status": {},
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "HttpGateway":
+        """Begin serving on a background thread; returns ``self``."""
+        # install a process-wide observe collector for the gateway's
+        # lifetime so /metrics reports engine counters, not just wire
+        # counters (workers are separate processes; parent-side serve
+        # counters and in-process engine runs land here)
+        self._collect = collecting(self.counters)
+        self._collect.__enter__()
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="bpmax-http-gateway",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def url(self, path: str = "") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop accepting, flush in-flight, close pool.
+
+        New connections are refused, new requests on kept-alive
+        connections answer 503 with ``Retry-After``, and the call blocks
+        (up to ``timeout``) until in-flight requests have flushed their
+        responses.  With ``own_scheduler=True`` the scheduler pool is
+        closed too (draining its own queue first).
+        """
+        self._draining.set()
+        self._server.shutdown()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._hlock:
+                if self._active_requests == 0:
+                    break
+            time.sleep(0.02)
+        if self.own_scheduler:
+            self.scheduler.close()
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain (idempotent) and release the listening socket."""
+        if self._closed:
+            return
+        self._closed = True
+        self.drain(timeout=timeout)
+        self._server.server_close()
+        if self._collect is not None:
+            self._collect.__exit__(None, None, None)
+            self._collect = None
+
+    def __enter__(self) -> "HttpGateway":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- shared state helpers -------------------------------------------------
+
+    def _sched_stats(self) -> dict[str, Any]:
+        stats = self.scheduler.stats
+        return stats if isinstance(stats, dict) else stats.as_dict()
+
+    @staticmethod
+    def _queue_depth(stats: dict[str, Any]) -> int:
+        by_class = stats.get("queue_depth_by_class")
+        if by_class is not None:
+            return int(sum(by_class.values()))
+        return max(0, int(stats.get("submitted", 0)) - int(stats.get("completed", 0)))
+
+    def retry_after_s(self) -> float:
+        """A finite back-off hint from observed queue depth and drain rate.
+
+        The estimate is ``(depth + 1) / drain_rate`` where the drain
+        rate is *served* requests per second since the gateway booted —
+        shed requests resolve instantly and must not count, or a shed
+        storm would inflate the rate, collapse the hint to the floor,
+        and turn every backing-off client into a hammering one.  Clamped
+        to ``[min_retry_after_s, max_retry_after_s]`` so a cold tier (no
+        completions yet) or a deep queue still yields a finite, honest
+        hint instead of 0 or infinity.
+        """
+        try:
+            stats = self._sched_stats()
+            depth = self._queue_depth(stats)
+            served = int(stats.get("completed", 0)) - int(stats.get("shed", 0))
+        except Exception:  # stats must never break an error response
+            depth, served = 0, 0
+        uptime = max(time.monotonic() - self._started_at, 1e-3)
+        rate = max(0, served) / uptime
+        if rate <= 0.0:
+            est = 10 * self.min_retry_after_s
+        else:
+            est = (depth + 1) / rate
+        return float(min(self.max_retry_after_s, max(self.min_retry_after_s, est)))
+
+    def health(self) -> tuple[int, dict[str, Any]]:
+        """``(status_code, payload)`` for ``/healthz``."""
+        stats = self._sched_stats()
+        tier = "shard" if "workers" in stats else "batch"
+        if self.draining:
+            state = "draining"
+        elif stats.get("degraded"):
+            state = "degraded"
+        else:
+            state = "ok"
+        payload: dict[str, Any] = {
+            "status": state,
+            "tier": tier,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "outstanding": stats.get(
+                "outstanding",
+                max(0, int(stats.get("submitted", 0)) - int(stats.get("completed", 0))),
+            ),
+            "scheduler": stats,
+        }
+        return (503 if state == "draining" else 200), payload
+
+    def metrics(self) -> dict[str, Any]:
+        """The ``/metrics`` payload: wire counters + observe counters."""
+        with self._hlock:
+            http_stats = {
+                k: (dict(v) if isinstance(v, dict) else v)
+                for k, v in self._http_stats.items()
+            }
+        return {
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "http": http_stats,
+            "observe": self.counters.as_dict(),
+            "scheduler": self._sched_stats(),
+        }
+
+    def _record(self, endpoint: str, status: int, lines: int = 0) -> None:
+        with self._hlock:
+            self._http_stats["requests"] += 1
+            if endpoint in self._http_stats:
+                self._http_stats[endpoint] += 1
+            self._http_stats["batch_lines"] += lines
+            by = self._http_stats["by_status"]
+            by[str(status)] = by.get(str(status), 0) + 1
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One connection; the only thread that ever writes its socket."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "bpmax-gateway/1"
+    timeout = 60.0
+
+    @property
+    def gateway(self) -> HttpGateway:
+        return self.server.gateway  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # the wire is JSON-only and tests parse stdout/stderr; keep the
+        # stdlib's per-request logging off the console
+        pass
+
+    # -- dispatch -------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._guarded("healthz", self._healthz)
+        elif self.path == "/metrics":
+            self._guarded("metrics", self._metrics)
+        elif self.path in ("/v1/fold", "/v1/batch"):
+            self._envelope(405, _PROTOCOL_CODES[405],
+                           f"{self.path} accepts POST, not GET")
+        else:
+            self._envelope(404, _PROTOCOL_CODES[404],
+                           f"no such endpoint {self.path!r}")
+
+    def do_POST(self) -> None:
+        if self.path == "/v1/fold":
+            self._guarded("fold", self._fold)
+        elif self.path == "/v1/batch":
+            self._guarded("batch", self._batch)
+        elif self.path in ("/healthz", "/metrics"):
+            self._envelope(405, _PROTOCOL_CODES[405],
+                           f"{self.path} accepts GET, not POST")
+        else:
+            self._envelope(404, _PROTOCOL_CODES[404],
+                           f"no such endpoint {self.path!r}")
+
+    def _guarded(self, endpoint: str, fn: Callable[[], None]) -> None:
+        gw = self.gateway
+        with gw._hlock:
+            gw._active_requests += 1
+        try:
+            fn()
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        finally:
+            with gw._hlock:
+                gw._active_requests -= 1
+
+    def send_error(self, code: int, message: str | None = None,
+                   explain: str | None = None) -> None:
+        # stdlib parse failures (bad request line, oversized headers)
+        # land here; keep the wire JSON-only even for those
+        self._envelope(
+            code,
+            _PROTOCOL_CODES.get(code, "HttpError"),
+            message or explain or f"HTTP {code}",
+            close=True,
+        )
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        endpoint: str | None = None,
+        retry_after_s: float | None = None,
+        close: bool = False,
+    ) -> None:
+        data = (_dumps(payload) + "\n").encode()
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            if retry_after_s is not None:
+                self.send_header("Retry-After", f"{retry_after_s:.3f}")
+            if close or self.gateway.draining:
+                self.send_header("Connection", "close")
+                self.close_connection = True
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        if endpoint is not None:
+            self.gateway._record(endpoint, status)
+
+    def _envelope(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        id: str = "",
+        close: bool = False,
+        endpoint: str | None = None,
+    ) -> None:
+        retry = self.gateway.retry_after_s() if status in RETRYABLE_STATUS else None
+        self._send_json(
+            status,
+            error_envelope(code, message, status, id=id, retry_after_s=retry),
+            endpoint=endpoint,
+            retry_after_s=retry,
+            close=close,
+        )
+
+    def _read_body(self) -> bytes | None:
+        """The request body, or ``None`` after an error response."""
+        length = self.headers.get("Content-Length")
+        if length is None:
+            self._envelope(411, _PROTOCOL_CODES[411],
+                           "Content-Length is required", close=True)
+            return None
+        try:
+            n = int(length)
+        except ValueError:
+            self._envelope(400, _PROTOCOL_CODES[400],
+                           f"invalid Content-Length {length!r}", close=True)
+            return None
+        gw = self.gateway
+        if n > gw.max_body_bytes:
+            # refuse without reading: the bound exists to protect the
+            # server from the body, so it must apply before the read
+            self._envelope(
+                413, _PROTOCOL_CODES[413],
+                f"body of {n} bytes exceeds the {gw.max_body_bytes}-byte "
+                "bound; split the batch",
+                close=True,
+            )
+            return None
+        return self.rfile.read(n)
+
+    def _result_payload(self, res: Any) -> tuple[int, dict[str, Any], float | None]:
+        """Map one ServeResult to ``(status, body, retry_after_s)``."""
+        if res.ok:
+            return 200, res.as_dict(), None
+        status = status_for_error(res.error_type)
+        retry = self.gateway.retry_after_s() if status in RETRYABLE_STATUS else None
+        return status, error_envelope(
+            res.error_type or "InternalError",
+            res.error or "unknown error",
+            status,
+            id=res.id,
+            retry_after_s=retry,
+        ), retry
+
+    # -- endpoints ------------------------------------------------------------
+
+    def _healthz(self) -> None:
+        status, payload = self.gateway.health()
+        retry = self.gateway.retry_after_s() if status in RETRYABLE_STATUS else None
+        self._send_json(status, payload, endpoint="healthz", retry_after_s=retry)
+
+    def _metrics(self) -> None:
+        self._send_json(200, self.gateway.metrics(), endpoint="metrics")
+
+    def _fold(self) -> None:
+        gw = self.gateway
+        body = self._read_body()
+        if body is None:
+            return
+        if gw.draining:
+            self._envelope(503, "ServerDraining",
+                           "gateway is draining; retry against another replica",
+                           close=True, endpoint="fold")
+            return
+        try:
+            data = json.loads(body.decode("utf-8", errors="replace"))
+        except json.JSONDecodeError as exc:
+            self._envelope(400, "BpmaxError", f"invalid JSON ({exc.msg})",
+                           endpoint="fold")
+            return
+        try:
+            req = request_from_dict(data)
+        except BpmaxError as exc:
+            self._envelope(400, type(exc).__name__, str(exc), endpoint="fold")
+            return
+        if not req.id:
+            req = SubmitRequest(**{**req.__dict__, "id": "fold"})
+        try:
+            fut = gw.scheduler.submit(req)
+        except RuntimeError:
+            self._envelope(503, "ServerDraining",
+                           "scheduler is shut down; retry against another replica",
+                           id=req.id, close=True, endpoint="fold")
+            return
+        try:
+            res = fut.result(timeout=gw.request_timeout_s)
+        except TimeoutError:
+            self._envelope(
+                504, "GatewayTimeout",
+                f"request {req.id!r} unresolved after {gw.request_timeout_s:g}s",
+                id=req.id, close=True, endpoint="fold",
+            )
+            return
+        status, payload, retry = self._result_payload(res)
+        self._send_json(status, payload, endpoint="fold", retry_after_s=retry)
+
+    def _batch(self) -> None:
+        gw = self.gateway
+        body = self._read_body()
+        if body is None:
+            return
+        if gw.draining:
+            self._envelope(503, "ServerDraining",
+                           "gateway is draining; retry against another replica",
+                           close=True, endpoint="batch")
+            return
+        # parse every line up front (the body already arrived); bad
+        # lines become immediate structured error lines in the stream
+        # instead of poisoning their neighbours
+        items: list[tuple[str, Any]] = []
+        for lineno, line in enumerate(
+            body.decode("utf-8", errors="replace").splitlines(), start=1
+        ):
+            try:
+                req = parse_request_line(line, lineno)
+            except BpmaxError as exc:
+                items.append((
+                    "error",
+                    error_envelope(type(exc).__name__, str(exc), 400,
+                                   id=f"line{lineno}"),
+                ))
+                continue
+            if req is not None:  # blank/comment lines are not requests
+                items.append(("request", req))
+        if not items:
+            self._envelope(400, "BpmaxError",
+                           "no requests found in the batch body",
+                           endpoint="batch")
+            return
+
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+            return
+
+        done_q: "queue_mod.Queue[Any]" = queue_mod.Queue()
+        inflight = 0
+        next_item = 0
+        written = 0
+        total = len(items)
+        truncated = False
+        try:
+            while written < total:
+                # top up the backpressure window; parse-error lines
+                # flush immediately and cost no window slot
+                while next_item < total and inflight < gw.max_inflight:
+                    kind, val = items[next_item]
+                    next_item += 1
+                    if kind == "error":
+                        self._write_chunk_line(val)
+                        written += 1
+                        continue
+                    try:
+                        fut = gw.scheduler.submit(val)
+                    except RuntimeError:
+                        self._write_chunk_line(error_envelope(
+                            "ServerDraining",
+                            "scheduler shut down mid-batch",
+                            503, id=val.id,
+                            retry_after_s=gw.retry_after_s(),
+                        ))
+                        written += 1
+                        continue
+                    fut.add_done_callback(done_q.put)
+                    inflight += 1
+                if written >= total:
+                    break
+                if inflight == 0:
+                    continue  # only unflushed parse errors remained
+                try:
+                    fut = done_q.get(timeout=gw.request_timeout_s)
+                except queue_mod.Empty:
+                    # backstop only: scheduler futures always resolve
+                    self._write_chunk_line(error_envelope(
+                        "GatewayTimeout",
+                        f"stream stalled {gw.request_timeout_s:g}s waiting "
+                        "for a result",
+                        504,
+                    ))
+                    truncated = True
+                    break
+                inflight -= 1
+                res = fut.result()
+                if res.ok:
+                    self._write_chunk_line(res.as_dict())
+                else:
+                    _status, payload, _retry = self._result_payload(res)
+                    self._write_chunk_line(payload)
+                written += 1
+            self._end_chunks()
+        except (BrokenPipeError, ConnectionResetError):
+            # client went away mid-stream; in-flight futures resolve on
+            # their own, nothing else to write
+            self.close_connection = True
+        if truncated or gw.draining:
+            self.close_connection = True
+        gw._record("batch", 200, lines=written)
+
+    # -- chunked-encoding primitives ------------------------------------------
+
+    def _write_chunk_line(self, payload: dict[str, Any]) -> None:
+        data = (_dumps(payload) + "\n").encode()
+        self.wfile.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+        self.wfile.flush()
+
+    def _end_chunks(self) -> None:
+        self.wfile.write(b"0\r\n\r\n")
+        self.wfile.flush()

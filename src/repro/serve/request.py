@@ -42,6 +42,7 @@ __all__ = [
     "batch_key",
     "parse_request_line",
     "request_from_dict",
+    "request_wire_dict",
 ]
 
 #: admission-control priority classes, most to least urgent.  The
@@ -306,6 +307,37 @@ def request_from_dict(data: dict[str, Any], where: str = "request") -> SubmitReq
         fallback=fallback,
         priority=priority,
     )
+
+
+def request_wire_dict(req: SubmitRequest) -> dict[str, Any]:
+    """The JSONL wire object for a request (inverse of
+    :func:`request_from_dict`, defaults elided).
+
+    ``model`` and ``faults`` are library-side knobs with no wire
+    representation: JSONL requests always use the default scoring model,
+    and fault plans belong to the *server's* scheduler, never to a
+    client.
+    """
+    d: dict[str, Any] = {"seq1": req.seq1, "seq2": req.seq2}
+    if req.id:
+        d["id"] = req.id
+    if req.variant != "hybrid-tiled":
+        d["variant"] = req.variant
+    if req.backend is not None:
+        d["backend"] = req.backend
+    if req.semiring != "max-plus":
+        d["semiring"] = req.semiring
+    if req.structure:
+        d["structure"] = True
+    if req.deadline_s is not None:
+        d["deadline"] = req.deadline_s
+    if req.retries:
+        d["retries"] = req.retries
+    if req.fallback:
+        d["fallback"] = list(req.fallback)
+    if req.priority != "batch":
+        d["priority"] = req.priority
+    return d
 
 
 def parse_request_line(line: str, lineno: int = 0) -> SubmitRequest | None:

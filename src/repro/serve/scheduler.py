@@ -524,14 +524,10 @@ class BatchScheduler:
                 pass
             if self._inflight.get(key) is pending:
                 del self._inflight[key]
-            self._outstanding -= 1 + len(followers)
-            self._stats.completed += 1 + len(followers)
-            if not result.ok:
-                self._stats.errors += 1 + len(followers)
-            self._cond.notify_all()
-        counters = _metrics_active()
-        if counters is not None:
-            counters.requests_served += 1 + len(followers)
+        # Deliver BEFORE accounting: drain() returns when _outstanding
+        # hits zero, so every future (primary and followers) must be
+        # observable-done by then — otherwise a gateway that flushes a
+        # stream on drain can close the connection with lines unwritten.
         pending.future.set_result(result)
         for f in followers:
             fr = replace(
@@ -542,3 +538,12 @@ class BatchScheduler:
                 structure=result.structure if f.request.structure else None,
             )
             f.future.set_result(fr)
+        with self._cond:
+            self._outstanding -= 1 + len(followers)
+            self._stats.completed += 1 + len(followers)
+            if not result.ok:
+                self._stats.errors += 1 + len(followers)
+            self._cond.notify_all()
+        counters = _metrics_active()
+        if counters is not None:
+            counters.requests_served += 1 + len(followers)

@@ -943,6 +943,12 @@ class ShardScheduler:
             if task.resolved:
                 return
             task.resolved = True
+        # Deliver BEFORE accounting: drain() returns when _outstanding
+        # hits zero, so the future must already be observable-done by
+        # then — otherwise a gateway that flushes a stream on drain can
+        # close the connection with the final line still unwritten.
+        task.future.set_result(result)
+        with self._lock:
             self._outstanding -= 1
             self._stats.completed += 1
             if not result.ok:
@@ -960,7 +966,6 @@ class ShardScheduler:
             counters.requests_served += 1
             if shed_request:
                 counters.requests_shed += 1
-        task.future.set_result(result)
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -1,0 +1,506 @@
+"""End-to-end harness for the HTTP gateway over the sharded tier.
+
+Boots the real server on an ephemeral port and drives it over real
+sockets (marked ``http``; deselect with ``-m 'not http'``):
+
+* **scenario replay** — every stress scenario named by the acceptance
+  criteria (bursty, deadline-storm, poisoned, worker-kill, overload-2x)
+  replayed with paced arrivals through ``POST /v1/fold``; asserts zero
+  hung connections, every shed/failure a structured JSON envelope with
+  the correct status, and accepted scores bit-identical to in-process
+  answers (plus a log-sum-exp replay within 1e-9);
+* **golden corpus over HTTP** — manifest-v2 cases round-tripped through
+  ``/v1/fold`` under both semirings against their pins;
+* **worker death mid-``/v1/batch``** — the fires-once kill sites of the
+  worker-kill scenario must surface as structured ``WorkerFailure``
+  stream lines, never a truncated stream or hung connection (regression
+  for the future-resolution race fixed alongside this suite — see
+  test_resolution_order.py for the scheduler-level half);
+* **streaming semantics** — lines flush per-resolved-future, and the
+  ``max_inflight`` window bounds per-connection in-flight work;
+* **retry convergence** — the retry-aware client converges on the
+  overload-2x scenario without a single unstructured failure;
+* **CLI lifecycle** — ``bpmax serve --http`` in a subprocess serves
+  ``bpmax submit --url`` and drains cleanly on SIGTERM.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import Future
+from pathlib import Path
+
+import pytest
+
+from repro.core.api import bpmax
+from repro.robust.errors import BpmaxError
+from repro.serve import (
+    BatchScheduler,
+    GatewayClient,
+    GatewayStatusError,
+    HttpGateway,
+    ServeResult,
+    ShardScheduler,
+)
+from repro.serve.request import request_wire_dict
+from repro.serve.scenarios import default_seed, generate, get_scenario
+
+pytestmark = pytest.mark.http
+
+# generous heartbeat bounds so loaded CI machines never misdiagnose a
+# healthy worker (same convention as test_shard.py)
+HB_TIMEOUT = 20.0
+
+#: error codes a request may legitimately fail with over HTTP: the
+#: structured serving errors plus the gateway's own protocol codes
+STRUCTURED_CODES = {
+    "AdmissionRejected",
+    "DeadlineExceeded",
+    "RequestCancelled",
+    "WorkerFailure",
+    "InvalidSequenceError",
+    "EngineFailure",
+    "ServerDraining",
+    "GatewayTimeout",
+}
+
+LOGSUMEXP_TOL = 1e-9
+
+
+def _expected_scores(timed, semiring: str = "max-plus") -> dict:
+    """In-process golden answers for every servable pair."""
+    expected: dict[tuple[str, str], float] = {}
+    for t in timed:
+        pair = (t.request.seq1, t.request.seq2)
+        if pair not in expected:
+            try:
+                expected[pair] = bpmax(*pair, semiring=semiring).score
+            except BpmaxError:
+                pass  # poisoned; must come back as a structured error
+    return expected
+
+
+def _replay_over_http(
+    gateway: HttpGateway,
+    timed,
+    expected: dict,
+    semiring: str = "max-plus",
+    max_retries: int = 0,
+    join_timeout_s: float = 120.0,
+):
+    """Replay paced arrivals through POST /v1/fold, one thread each.
+
+    Returns ``(ok_results, error_envelopes)`` after asserting the
+    no-hung-connections and structured-error halves of the contract.
+    """
+    outcomes: list[tuple[object, dict | GatewayStatusError]] = []
+    lock = threading.Lock()
+    t0 = time.perf_counter()
+
+    def one(t):
+        client = GatewayClient(gateway.url(), timeout_s=60.0,
+                               max_retries=max_retries)
+        delay = t.at_s - (time.perf_counter() - t0)
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            result = client.fold(request_wire_dict(t.request))
+        except GatewayStatusError as exc:
+            result = exc
+        with lock:
+            outcomes.append((t.request, result))
+
+    threads = [
+        threading.Thread(target=one, args=(t,), daemon=True) for t in timed
+    ]
+    for th in threads:
+        th.start()
+    deadline = time.monotonic() + join_timeout_s
+    for th in threads:
+        th.join(timeout=max(0.1, deadline - time.monotonic()))
+    hung = sum(1 for th in threads if th.is_alive())
+    assert hung == 0, f"{hung} HTTP connections never completed"
+    assert len(outcomes) == len(timed)
+
+    ok, errors = [], []
+    for req, result in outcomes:
+        if isinstance(result, GatewayStatusError):
+            # every failure is a structured envelope with a correct status
+            assert result.envelope, f"{req.id}: no JSON envelope ({result})"
+            err = result.envelope["error"]
+            assert err["code"] in STRUCTURED_CODES, (req.id, err)
+            assert result.status == err["status"]
+            assert result.status in (400, 429, 500, 503, 504), (req.id, err)
+            if result.status in (429, 503):
+                assert isinstance(err.get("retry_after_s"), (int, float))
+                assert math.isfinite(err["retry_after_s"])
+            errors.append((req, result))
+        else:
+            assert result["ok"] is True, (req.id, result)
+            want = expected.get((req.seq1, req.seq2))
+            assert want is not None, f"{req.id}: accepted a poisoned pair"
+            if semiring == "max-plus":
+                assert result["score"] == want, (req.id, result["score"], want)
+            else:
+                assert result["score"] == pytest.approx(
+                    want, abs=LOGSUMEXP_TOL, rel=LOGSUMEXP_TOL
+                )
+            ok.append((req, result))
+    return ok, errors
+
+
+# ---------------------------------------------------------------------------
+# scenario replay over real sockets
+
+
+@pytest.fixture(scope="module")
+def shard_gateway():
+    """One fault-free 2-shard tier shared by the fault-free replays."""
+    with ShardScheduler(
+        shards=2, queue_limit=64, heartbeat_timeout_s=HB_TIMEOUT
+    ) as sched:
+        with HttpGateway(sched) as gw:
+            yield gw
+
+
+@pytest.mark.parametrize("name", ["bursty", "deadline-storm", "poisoned"])
+def test_scenario_replay_over_http(shard_gateway, name):
+    timed = generate(get_scenario(name), seed=default_seed())
+    expected = _expected_scores(timed)
+    ok, errors = _replay_over_http(shard_gateway, timed, expected)
+    assert len(ok) + len(errors) == len(timed)
+    if name == "poisoned":
+        poisoned = [e for _req, e in errors if e.code == "InvalidSequenceError"]
+        assert poisoned, "no poisoned request surfaced its 400"
+        assert all(e.status == 400 for e in poisoned)
+    if name == "deadline-storm":
+        stormed = [e for _req, e in errors if e.code == "DeadlineExceeded"]
+        assert stormed, "a deadline storm with no deadline sheds"
+        assert all(e.status == 503 for e in stormed)
+
+
+def test_scenario_replay_logsumexp_within_1e9(shard_gateway):
+    timed = generate(
+        get_scenario("bursty"), seed=default_seed(), semiring="logsumexp"
+    )
+    expected = _expected_scores(timed, semiring="logsumexp")
+    ok, errors = _replay_over_http(
+        shard_gateway, timed, expected, semiring="logsumexp"
+    )
+    assert len(ok) + len(errors) == len(timed)
+    assert ok, "log-sum-exp replay accepted nothing"
+
+
+def test_worker_kill_scenario_over_http():
+    scn = get_scenario("worker-kill")
+    seed = default_seed()
+    timed = generate(scn, seed=seed)
+    expected = _expected_scores(timed)
+    with ShardScheduler(
+        shards=2,
+        queue_limit=64,
+        faults=scn.fault_plan(seed),
+        heartbeat_timeout_s=HB_TIMEOUT,
+    ) as sched:
+        with HttpGateway(sched) as gw:
+            ok, errors = _replay_over_http(gw, timed, expected)
+            assert len(ok) + len(errors) == len(timed)
+            health = gw.health()[1]
+            stats = health["scheduler"]
+        assert stats["deaths"] >= 1  # the fires-once kill sites fired
+        assert stats["respawns"] >= 1
+    # with the default re-route budget the victims are re-served, so
+    # every outcome is an exact score or a structured shed — either way
+    # nothing unstructured leaked (asserted inside the replay)
+
+
+def test_overload_2x_retry_client_converges():
+    """Acceptance: the retry-aware client converges on overload-2x —
+    every request eventually accepted with an exact score, no
+    unstructured failure, honoring Retry-After on 429/503."""
+    scn = get_scenario("overload-2x")
+    seed = default_seed()
+    timed = generate(scn, seed=seed)
+    expected = _expected_scores(timed)
+    retries_seen = []
+    outcomes = []
+    lock = threading.Lock()
+    with ShardScheduler(
+        shards=2,
+        queue_limit=16,  # small bound so admission actually pushes back
+        faults=scn.fault_plan(seed),
+        heartbeat_timeout_s=HB_TIMEOUT,
+    ) as sched:
+        with HttpGateway(sched, min_retry_after_s=0.02) as gw:
+            t0 = time.perf_counter()
+
+            def one(t):
+                # the retry budget must outlast the storm: a 2x-capacity
+                # burst drains over several seconds, and each 429's
+                # Retry-After hint is a fraction of that
+                client = GatewayClient(
+                    gw.url(), timeout_s=60.0, max_retries=60, max_sleep_s=1.0
+                )
+                delay = t.at_s - (time.perf_counter() - t0)
+                if delay > 0:
+                    time.sleep(delay)
+                result = client.fold(request_wire_dict(t.request))
+                with lock:
+                    outcomes.append((t.request, result))
+                    retries_seen.append(client.retries_performed)
+
+            threads = [
+                threading.Thread(target=one, args=(t,), daemon=True)
+                for t in timed
+            ]
+            for th in threads:
+                th.start()
+            deadline = time.monotonic() + 180.0
+            for th in threads:
+                th.join(timeout=max(0.1, deadline - time.monotonic()))
+            assert not any(th.is_alive() for th in threads), "hung connections"
+    assert len(outcomes) == len(timed)
+    for req, result in outcomes:
+        assert result["ok"] is True, (req.id, result)
+        assert result["score"] == expected[(req.seq1, req.seq2)]
+
+
+# ---------------------------------------------------------------------------
+# golden corpus over HTTP (both semirings, pinned tolerance policy)
+
+
+def _manifest_cases(limit: int = 8, max_len: int = 16):
+    path = Path(__file__).resolve().parents[1] / "golden" / "manifest.json"
+    manifest = json.loads(path.read_text())
+    assert manifest["version"] == 2
+    picked = []
+    for name in sorted(manifest["cases"]):
+        case = manifest["cases"][name]
+        if case["n"] <= max_len and case["m"] <= max_len:
+            picked.append((name, case))
+        if len(picked) >= limit:
+            break
+    assert picked, "no manifest cases small enough to round-trip"
+    return picked
+
+
+def test_golden_corpus_over_http(shard_gateway):
+    client = GatewayClient(shard_gateway.url(), timeout_s=60.0)
+    checked = 0
+    for name, case in _manifest_cases():
+        for semiring, pin in sorted(case["semirings"].items()):
+            result = client.fold({
+                "seq1": case["seq1"],
+                "seq2": case["seq2"],
+                "id": f"golden-{name}-{semiring}",
+                "semiring": semiring,
+            })
+            assert result["ok"] is True, (name, semiring, result)
+            if pin["exact"]:
+                assert result["score"] == pin["value"], (name, semiring)
+            else:
+                assert result["score"] == pytest.approx(
+                    pin["value"], abs=pin["atol"], rel=pin["rtol"]
+                ), (name, semiring)
+            checked += 1
+    assert checked >= 16  # 8 cases x 2 semirings
+
+
+# ---------------------------------------------------------------------------
+# worker death mid-/v1/batch: structured WorkerFailure line, never a
+# truncated stream (regression for the resolution-order race)
+
+
+def test_worker_kill_mid_batch_stream_yields_worker_failure_line():
+    scn = get_scenario("worker-kill")
+    seed = default_seed()
+    timed = generate(scn, seed=seed)
+    expected = _expected_scores(timed)
+    with ShardScheduler(
+        shards=2,
+        queue_limit=len(timed),
+        max_reroutes=0,  # no compensation: the death must surface
+        faults=scn.fault_plan(seed),
+        heartbeat_timeout_s=HB_TIMEOUT,
+    ) as sched:
+        with HttpGateway(sched, max_inflight=len(timed)) as gw:
+            client = GatewayClient(gw.url(), timeout_s=120.0)
+            lines = list(client.batch(
+                request_wire_dict(t.request) for t in timed
+            ))
+    # the stream is complete: one line per request, no truncation
+    assert len(lines) == len(timed)
+    by_id = {line["id"]: line for line in lines}
+    assert set(by_id) == {t.request.id for t in timed}
+    failures = [l for l in lines if not l["ok"]]
+    codes = {l["error"]["code"] for l in failures}
+    assert "WorkerFailure" in codes, codes
+    for line in failures:
+        err = line["error"]
+        assert err["code"] in STRUCTURED_CODES, err
+        assert err["status"] in (400, 429, 500, 503, 504)
+    for line in lines:
+        if line["ok"]:
+            pair = (line["seq1"], line["seq2"])
+            assert line["score"] == expected[pair]
+
+
+# ---------------------------------------------------------------------------
+# streaming semantics: per-line flushing and the backpressure window,
+# proven deterministically against a manually-resolved scheduler
+
+
+class _ManualScheduler:
+    """Futures resolve only when the test says so."""
+
+    def __init__(self):
+        self.futs: dict[str, Future] = {}
+        self.stats = {"completed": 0, "submitted": 0}
+
+    def submit(self, req) -> Future:
+        fut: Future = Future()
+        self.futs[req.id] = fut
+        return fut
+
+    def resolve(self, rid: str, score: float = 1.0) -> None:
+        fut = self.futs[rid]
+        fut.set_result(ServeResult(
+            id=rid, seq1="GG", seq2="CC", score=score, variant="hybrid-tiled"
+        ))
+
+    def close(self) -> None:
+        for fut in self.futs.values():
+            if not fut.done():
+                fut.set_result(ServeResult(
+                    id="?", seq1="GG", seq2="CC",
+                    error="closed", error_type="RequestCancelled",
+                ))
+
+
+def _wait_for(predicate, timeout_s: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.005)
+
+
+def test_batch_lines_flush_as_futures_resolve():
+    sched = _ManualScheduler()
+    with HttpGateway(sched) as gw:
+        conn = http.client.HTTPConnection(gw.host, gw.port, timeout=30.0)
+        try:
+            body = (
+                b'{"seq1":"GG","seq2":"CC","id":"a"}\n'
+                b'{"seq1":"GG","seq2":"CC","id":"b"}\n'
+            )
+            conn.request("POST", "/v1/batch", body=body)
+            resp = conn.getresponse()
+            assert resp.status == 200
+            _wait_for(lambda: {"a", "b"} <= set(sched.futs))
+            # resolve b first: the stream must deliver it immediately,
+            # while a is still unresolved — resolution order, not
+            # submission order, drives the flushes
+            sched.resolve("b", score=2.0)
+            first = json.loads(resp.readline())
+            assert first["id"] == "b" and first["score"] == 2.0
+            assert not sched.futs["a"].done()
+            sched.resolve("a", score=1.0)
+            second = json.loads(resp.readline())
+            assert second["id"] == "a"
+            assert resp.readline() == b""  # clean end of stream
+        finally:
+            conn.close()
+
+
+def test_batch_backpressure_window_bounds_inflight():
+    sched = _ManualScheduler()
+    with HttpGateway(sched, max_inflight=2) as gw:
+        conn = http.client.HTTPConnection(gw.host, gw.port, timeout=30.0)
+        try:
+            body = b"".join(
+                json.dumps({"seq1": "GG", "seq2": "CC", "id": f"r{i}"}).encode()
+                + b"\n"
+                for i in range(5)
+            )
+            conn.request("POST", "/v1/batch", body=body)
+            resp = conn.getresponse()
+            assert resp.status == 200
+            _wait_for(lambda: len(sched.futs) == 2)
+            time.sleep(0.1)  # window full: r2..r4 must stay unsubmitted
+            assert sorted(sched.futs) == ["r0", "r1"]
+            sched.resolve("r0")
+            line = json.loads(resp.readline())
+            assert line["id"] == "r0"
+            _wait_for(lambda: "r2" in sched.futs)  # slot freed -> next in
+            assert len(sched.futs) == 3
+            for rid in ("r1", "r2", "r3", "r4"):
+                _wait_for(lambda rid=rid: rid in sched.futs)
+                sched.resolve(rid)
+            got = {json.loads(resp.readline())["id"] for _ in range(4)}
+            assert got == {"r1", "r2", "r3", "r4"}
+            assert resp.readline() == b""
+        finally:
+            conn.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI lifecycle: serve --http boots, serves submit --url, drains on SIGTERM
+
+
+def test_cli_serve_http_sigterm_drain(tmp_path):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--http", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        assert "listening on http://" in banner, banner
+        url = banner.split("listening on ")[1].split()[0]
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "submit", "GGGG", "CCCC",
+             "--id", "cli-1", "--url", url],
+            capture_output=True, env=env, text=True, timeout=60,
+        )
+        assert out.returncode == 0, out.stderr
+        result = json.loads(out.stdout)
+        assert result["ok"] is True
+        assert result["id"] == "cli-1"
+        assert result["score"] == 12.0
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=60)
+        assert rc == 0
+        assert "draining" in proc.stderr.read()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+def test_cli_submit_url_reports_structured_request_failure():
+    with BatchScheduler(workers=1, max_delay_s=0.001) as sched:
+        with HttpGateway(sched) as gw:
+            env = dict(os.environ)
+            src = str(Path(__file__).resolve().parents[2] / "src")
+            env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+            out = subprocess.run(
+                [sys.executable, "-m", "repro", "submit", "GX!!ZZ", "CCCC",
+                 "--url", gw.url()],
+                capture_output=True, env=env, text=True, timeout=60,
+            )
+            assert out.returncode == 2
+            assert "InvalidSequenceError" in out.stderr
