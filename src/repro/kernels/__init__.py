@@ -33,7 +33,14 @@ from .fourrussians_tables import (
     nussinov_fourrussians,
 )
 from .fourrussians_backend import FOURRUSSIANS_BACKEND, FourRussiansState
-from .autotune import get_tile_shape, tune
+from .autotune import get_generated_config, get_tile_shape, tune, tune_joint
+from .codegen_backend import (
+    GENERATED_BACKEND,
+    codegen_cache_dir,
+    codegen_cache_key,
+    get_window_kernel,
+    make_pinned_backend,
+)
 from .workspace import Workspace
 
 __all__ = [
@@ -57,4 +64,11 @@ __all__ = [
     "nussinov_fourrussians",
     "get_tile_shape",
     "tune",
+    "tune_joint",
+    "get_generated_config",
+    "GENERATED_BACKEND",
+    "codegen_cache_dir",
+    "codegen_cache_key",
+    "get_window_kernel",
+    "make_pinned_backend",
 ]

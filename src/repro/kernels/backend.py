@@ -72,6 +72,15 @@ class KernelBackend:
         request for an undeclared semiring to the backend's fallback
         with a structured ``backend_note`` — never a wrong-algebra
         result.  Rendered by ``bpmax backends``.
+    window_r0: optional whole-window hook
+        ``window_r0(engine, i1, j1, acc)`` accumulating R0+R3+R4 of one
+        outer window straight off the engine's packed table (the
+        generated ``slab_direct`` kernels).  Engines with a single
+        coordinating thread dispatch to it instead of gathering the
+        stacked operands; ``None`` keeps the generic batched path.
+    provenance: where a compiled backend came from — e.g. ``{"schedule":
+        "kmajor", "tile_wj": 16, "source": "cache"}`` for generated
+        kernels.  Free-form, rendered by ``bpmax backends``.
     """
 
     #: the capability flags every backend reports (False when unset)
@@ -81,6 +90,7 @@ class KernelBackend:
         "autotune",
         "tile_graph",
         "bounded_scores",
+        "slab_direct",
     )
 
     def __init__(
@@ -94,6 +104,8 @@ class KernelBackend:
         note: str = "",
         capabilities: dict[str, bool] | None = None,
         semirings: tuple[str, ...] = ("max-plus",),
+        window_r0: Callable[..., np.ndarray] | None = None,
+        provenance: dict | None = None,
     ) -> None:
         self.name = name
         self.description = description
@@ -106,6 +118,8 @@ class KernelBackend:
         self.semirings = tuple(semirings)
         self._matmul = matmul
         self._batched_r0 = batched_r0
+        self.window_r0 = window_r0
+        self.provenance = provenance
 
     def matmul(self, a: np.ndarray, bs: np.ndarray, out: np.ndarray) -> np.ndarray:
         """Accumulating max-plus product of one split: ``out ⊕= A ⊗ B``."""

@@ -1,0 +1,347 @@
+"""Compile-and-cache layer for generated window kernels.
+
+Closes the loop between the mini-AlphaZ layer and the production
+registry: a (schedule, tile) point chosen from
+:mod:`repro.polyhedral.codegen.vectorize` is emitted to source, compiled,
+cached on disk *and* in process, and registered as an ordinary
+:class:`~repro.kernels.KernelBackend` — so ``bpmax --backend generated``
+runs a kernel whose loop structure came from a space-time map, not from
+hand-written code.
+
+Cache keying mirrors the autotune cache exactly — ``machine fingerprint
+| dtype | size-class | schedule | tile | codegen version`` — so a
+numpy/BLAS upgrade that invalidates tuned winners invalidates compiled
+kernels at the same moment.  The cache directory is
+``$BPMAX_CODEGEN_CACHE`` or ``~/.cache/bpmax/codegen``; each entry is the
+generated module's *source* (inspectable, diffable) with its key in a
+header line, loaded with one ``exec`` per process.
+
+Observability: every source emission counts ``codegen_compiles``, every
+load that skipped emission (disk or in-process) counts
+``codegen_cache_hits``, and every window a generated kernel accumulates
+counts its triangle cells into ``generated_kernel_cells``.
+
+Registered backends:
+
+* ``generated`` — resolves (schedule, tile) per problem from the joint
+  autotune cache (``bpmax tune --joint``), default ``kmajor`` untiled;
+* ``generated-kmajor`` / ``generated-smajor`` — pinned untiled variants
+  (the conformance suite runs the golden corpus through each);
+* ``generated-numba`` — the scalar-loop twin under numba's ``njit``;
+  registered unavailable (fallback ``generated``) when numba is absent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..observe.metrics import active as _metrics_active
+from ..semiring.maxplus import maxplus_batched, maxplus_matmul_vectorized
+from .autotune import get_generated_config, machine_fingerprint, size_class
+from .backend import DEFAULT_BACKEND, KernelBackend, register_backend
+from .numba_backend import HAVE_NUMBA
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..semiring.semiring import Semiring
+
+__all__ = [
+    "CODEGEN_CACHE_ENV",
+    "GENERATED_BACKEND",
+    "codegen_cache_dir",
+    "codegen_cache_key",
+    "clear_codegen_memory_cache",
+    "load_kernel_module",
+    "get_window_kernel",
+    "make_generated_backend",
+]
+
+#: environment override for the compiled-kernel cache directory
+CODEGEN_CACHE_ENV = "BPMAX_CODEGEN_CACHE"
+
+
+def codegen_cache_dir(path: str | os.PathLike | None = None) -> Path:
+    """Resolve the on-disk generated-source cache directory."""
+    if path is not None:
+        return Path(path)
+    env = os.environ.get(CODEGEN_CACHE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "bpmax" / "codegen"
+
+
+def codegen_cache_key(
+    schedule: str, tile_wj: int, dtype: str = "float32", m: int = 64
+) -> str:
+    """Cache key of one compiled variant (autotune-cache field order)."""
+    from ..polyhedral.codegen.vectorize import CODEGEN_VERSION
+
+    return (
+        f"{machine_fingerprint()}|{dtype}|m{size_class(m)}"
+        f"|{schedule}|wj{tile_wj}|v{CODEGEN_VERSION}"
+    )
+
+
+#: in-process caches: key -> exec'd module namespace; (key, ⊕-name) -> kernel
+_MODULES: dict[str, dict] = {}
+_BOUND: dict[tuple[str, str], Callable] = {}
+
+
+def clear_codegen_memory_cache() -> None:
+    """Drop the in-process module/kernel caches (tests only; the disk
+    cache is untouched)."""
+    _MODULES.clear()
+    _BOUND.clear()
+
+
+def load_kernel_module(
+    schedule: str,
+    tile_wj: int,
+    dtype: str = "float32",
+    m: int = 64,
+    path: str | os.PathLike | None = None,
+) -> dict:
+    """The compiled module namespace of one variant (cache-through).
+
+    In-process hit and on-disk hit both count ``codegen_cache_hits`` and
+    skip source emission entirely; only a cold miss emits the module
+    through the vectorized emitter (``codegen_compiles``), written
+    atomically so concurrent processes race benignly.
+    """
+    key = codegen_cache_key(schedule, tile_wj, dtype, m)
+    counters = _metrics_active()
+    ns = _MODULES.get(key)
+    if ns is not None:
+        if counters is not None:
+            counters.count_codegen_cache_hit()
+        return ns
+    f = codegen_cache_dir(path) / (
+        hashlib.sha1(key.encode()).hexdigest()[:16] + ".py"
+    )
+    src: str | None
+    try:
+        src = f.read_text()
+    except OSError:
+        src = None
+    hit = src is not None and src.startswith(f"# key: {key}\n")
+    if not hit:
+        from ..polyhedral.codegen.vectorize import generate_window_kernel
+
+        src = f"# key: {key}\n" + generate_window_kernel(schedule, tile_wj)
+        f.parent.mkdir(parents=True, exist_ok=True)
+        tmp = f.with_name(f.name + f".{os.getpid()}.tmp")
+        tmp.write_text(src)
+        os.replace(tmp, f)
+    ns = {}
+    exec(compile(src, str(f), "exec"), ns)
+    _MODULES[key] = ns
+    if counters is not None:
+        if hit:
+            counters.count_codegen_cache_hit()
+        else:
+            counters.count_codegen_compile()
+    return ns
+
+
+def get_window_kernel(
+    schedule: str,
+    tile_wj: int,
+    semiring: "Semiring",
+    m: int = 64,
+    path: str | os.PathLike | None = None,
+) -> Callable:
+    """The variant's window kernel with ``semiring``'s ufuncs bound."""
+    key = codegen_cache_key(schedule, tile_wj, semiring.npdtype.name, m)
+    bound_key = (key, semiring.name)
+    kern = _BOUND.get(bound_key)
+    if kern is not None:
+        counters = _metrics_active()
+        if counters is not None:
+            counters.count_codegen_cache_hit()
+        return kern
+    ns = load_kernel_module(schedule, tile_wj, semiring.npdtype.name, m, path)
+    kern = ns["make_kernel"](semiring)
+    _BOUND[bound_key] = kern
+    return kern
+
+
+# -- engine integration -------------------------------------------------------
+
+
+def _make_window_r0(resolve: Callable) -> Callable:
+    """Build the whole-window hook around a per-engine kernel resolver.
+
+    The hook reads the left operands through the packed table's zero-copy
+    ``row_slab`` view and gathers only the shifted right operands plus
+    one raw row per split — 1 of the 3 stack copies the generic batched
+    path makes (see the emitter's module docstring for why that is
+    sufficient).
+    """
+
+    def window_r0(engine, i1: int, j1: int, acc: np.ndarray) -> np.ndarray:
+        kern = engine.__dict__.get("_codegen_window_kernel")
+        if kern is None:
+            kern = resolve(engine)
+            engine._codegen_window_kernel = kern
+        tri = engine.table
+        inp = engine.inputs
+        ws = engine._ws
+        k = j1 - i1
+        aslab = tri.row_slab(i1, i1, k)
+        _, bstack, braw = ws.stacks(k)
+        copyto = np.copyto
+        for s in range(k):
+            k1 = i1 + s
+            copyto(bstack[s], tri.shifted(k1 + 1, j1))
+            copyto(braw[s, 0], tri.inner(k1 + 1, j1)[0])
+        brow0 = braw[:k, 0, :]
+        s1l = np.ascontiguousarray(inp.s1[i1, i1:j1])
+        s1r = np.ascontiguousarray(inp.s1[i1 + 1 : j1 + 1, j1])
+        kern(aslab, bstack, brow0, s1l, s1r, acc, ws.tmp3(k), ws.red)
+        counters = _metrics_active()
+        if counters is not None:
+            m = inp.m
+            counters.count_generated_cells(m * (m + 1) // 2)
+        return acc
+
+    return window_r0
+
+
+def _resolve_pinned(schedule: str, tile_wj: int) -> Callable:
+    def resolve(engine):
+        return get_window_kernel(schedule, tile_wj, engine.sr, engine.inputs.m)
+
+    return resolve
+
+
+def _resolve_tuned(engine) -> Callable:
+    inp = engine.inputs
+    schedule, wj = get_generated_config(
+        inp.n, inp.m, engine.threads, dtype=engine.sr.npdtype.name
+    )
+    return get_window_kernel(schedule, wj, engine.sr, inp.m)
+
+
+def _resolve_numba(engine):  # pragma: no cover - requires numba
+    import numba
+
+    inp = engine.inputs
+    schedule, wj = get_generated_config(
+        inp.n, inp.m, engine.threads, dtype=engine.sr.npdtype.name
+    )
+    ns = load_kernel_module(schedule, wj, engine.sr.npdtype.name, inp.m)
+    scalar = ns["make_scalar_kernel"](jit=numba.njit(cache=True))
+
+    def kernel(aslab, bstack, brow0, s1l, s1r, acc, tmp, red):
+        return scalar(
+            np.ascontiguousarray(aslab), bstack, brow0, s1l, s1r, acc
+        )
+
+    return kernel
+
+
+def make_generated_backend(
+    name: str,
+    resolve: Callable,
+    description: str,
+    provenance: dict,
+    available: bool = True,
+    fallback: str = DEFAULT_BACKEND,
+    note: str = "",
+    semirings: tuple[str, ...] = ("max-plus", "logsumexp"),
+) -> KernelBackend:
+    """A registry-shaped backend around a generated window kernel.
+
+    The stacked/`matmul` entry points delegate to the reference max-plus
+    kernels (threaded row-partitioned runs and the DMP engines use them);
+    single-thread window accumulation dispatches to the generated
+    ``slab_direct`` hook.  Not registered — callers decide (the joint
+    autotuner builds throwaway instances per grid point).
+    """
+    return KernelBackend(
+        name,
+        matmul=maxplus_matmul_vectorized,
+        batched_r0=maxplus_batched,
+        description=description,
+        available=available,
+        fallback=fallback,
+        note=note,
+        capabilities={
+            "workspace_reuse": True,
+            "autotune": True,
+            "slab_direct": True,
+        },
+        semirings=semirings,
+        window_r0=_make_window_r0(resolve),
+        provenance=provenance,
+    )
+
+
+def make_pinned_backend(schedule: str, tile_wj: int) -> KernelBackend:
+    """An unregistered backend pinned to one (schedule, tile) grid point."""
+    from ..polyhedral.codegen.vectorize import CODEGEN_VERSION
+
+    return make_generated_backend(
+        f"generated:{schedule}:wj{tile_wj}",
+        _resolve_pinned(schedule, tile_wj),
+        f"generated {schedule} kernel, column tile {tile_wj or 'untiled'}",
+        provenance={
+            "schedule": schedule,
+            "tile_wj": tile_wj,
+            "codegen": f"v{CODEGEN_VERSION}",
+            "source": "pinned",
+        },
+    )
+
+
+GENERATED_BACKEND = register_backend(
+    make_generated_backend(
+        "generated",
+        _resolve_tuned,
+        "schedule-generated slab-direct kernel (joint-tuned schedule x tile)",
+        provenance={
+            "schedule": "auto",
+            "tile_wj": "auto",
+            "source": "joint tune cache (bpmax tune --joint)",
+        },
+    )
+)
+
+GENERATED_KMAJOR_BACKEND = register_backend(
+    make_generated_backend(
+        "generated-kmajor",
+        _resolve_pinned("kmajor", 0),
+        "generated kernel pinned to the kmajor schedule, untiled",
+        provenance={"schedule": "kmajor", "tile_wj": 0, "source": "pinned"},
+    )
+)
+
+GENERATED_SMAJOR_BACKEND = register_backend(
+    make_generated_backend(
+        "generated-smajor",
+        _resolve_pinned("smajor", 0),
+        "generated kernel pinned to the smajor schedule, untiled",
+        provenance={"schedule": "smajor", "tile_wj": 0, "source": "pinned"},
+    )
+)
+
+GENERATED_NUMBA_BACKEND = register_backend(
+    make_generated_backend(
+        "generated-numba",
+        _resolve_numba,
+        "generated scalar-loop kernel under numba njit (needs numba)",
+        provenance={
+            "schedule": "auto",
+            "tile_wj": "auto",
+            "source": "joint tune cache, scalar twin",
+        },
+        available=HAVE_NUMBA,
+        fallback="generated",
+        note="" if HAVE_NUMBA else "python package 'numba' is not installed",
+        semirings=("max-plus",),
+    )
+)

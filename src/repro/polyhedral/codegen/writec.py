@@ -10,19 +10,26 @@ Fourier-Motzkin elimination at generation time.
 
 from __future__ import annotations
 
+from ...semiring.semiring import MAX_PLUS, MIN_PLUS, PLUS_TIMES
 from ..domain import Domain
 from ..alpha.ast import BinOp, Case, Const, Equation, Expr, IndexExpr, Reduce, VarRef
 from ..alpha.system import AlphaSystem
 from .bounds import guard_expr, loop_bounds, py_affine
 
-__all__ = ["generate_write_code", "compile_write"]
+__all__ = ["generate_write_code", "compile_write", "reduce_identity"]
 
 _REDUCE_PYOP = {"+": "{a} + {b}", "*": "{a} * {b}", "max": "max({a}, {b})", "min": "min({a}, {b})"}
-_REDUCE_IDENT = {
-    "+": "0.0",
-    "*": "1.0",
-    "max": "float('-inf')",
-    "min": "float('inf')",
+
+#: reduction op -> the semiring whose ⊕-identity (or ⊗-identity, for
+#: ``*``) seeds an accumulator of that op.  One algebra source of truth:
+#: generated sequential checkers, the schedule generator and the
+#: vectorized emitter all read their identities from the
+#: :class:`~repro.semiring.semiring.Semiring` descriptors.
+_REDUCE_IDENT_VALUE = {
+    "+": PLUS_TIMES.zero,
+    "*": PLUS_TIMES.one,
+    "max": MAX_PLUS.zero,
+    "min": MIN_PLUS.zero,
 }
 
 
@@ -32,6 +39,17 @@ def _const_text(value: float) -> str:
     if v != v or v in (float("inf"), float("-inf")):
         return f"float('{v}')"
     return repr(v)
+
+
+def reduce_identity(op: str) -> str:
+    """Source literal of the identity seeding a ``Reduce`` over ``op``."""
+    try:
+        return _const_text(_REDUCE_IDENT_VALUE[op])
+    except KeyError:
+        raise ValueError(f"no reduction identity for operator {op!r}") from None
+
+
+_REDUCE_IDENT = {op: reduce_identity(op) for op in _REDUCE_IDENT_VALUE}
 
 
 class _Emitter:

@@ -1,0 +1,316 @@
+"""Generated-kernel backend: cache semantics, registry, engine parity.
+
+The codegen backend closes the schedule → kernel loop; this suite pins
+its operational contracts:
+
+* **cache** — cold loads emit source once (``codegen_compiles``), every
+  later load in-process or from disk is a ``codegen_cache_hits``; keys
+  carry the machine fingerprint, dtype, size class, schedule, tile and
+  emitter version; stale on-disk entries (key mismatch) recompile;
+* **registry** — ``generated`` / ``generated-kmajor`` /
+  ``generated-smajor`` register as ``slab_direct`` backends with full
+  provenance; ``generated-numba`` degrades to ``generated`` without
+  numba installed;
+* **engine parity** — every generated backend produces packed tables
+  bit-identical to ``numpy-batched`` under max-plus, and scores that
+  conform to the golden corpus in both algebras; threaded runs fall
+  back to the generic row-partitioned path and stay exact;
+* **joint autotune** — ``tune_joint`` persists a (schedule, tile)
+  winner that :func:`get_generated_config` replays, defaulting to
+  ``kmajor`` untiled when nothing was tuned.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.api import bpmax
+from repro.core.engine import make_engine
+from repro.core.reference import bpmax_recursive, prepare_inputs
+from repro.golden import MANIFEST_SEMIRINGS, verify_manifest
+from repro.kernels import BACKENDS, HAVE_NUMBA, get_backend
+from repro.kernels.autotune import (
+    cache_key,
+    get_generated_config,
+    joint_cache_key,
+    load_cache,
+    machine_fingerprint,
+    save_entry,
+    size_class,
+    tune_joint,
+)
+from repro.kernels.codegen_backend import (
+    clear_codegen_memory_cache,
+    codegen_cache_dir,
+    codegen_cache_key,
+    get_window_kernel,
+    load_kernel_module,
+    make_pinned_backend,
+)
+from repro.observe import collecting
+from repro.polyhedral.codegen.vectorize import CODEGEN_VERSION
+from repro.rna.sequence import random_pair
+from repro.semiring import LOG_SUM_EXP, MAX_PLUS
+from repro.serve.request import SubmitRequest
+from repro.serve.scheduler import BatchScheduler
+
+MANIFEST = Path(__file__).parent.parent / "golden" / "manifest.json"
+GENERATED_NAMES = ("generated", "generated-kmajor", "generated-smajor")
+
+
+@pytest.fixture
+def codegen_env(tmp_path, monkeypatch):
+    """Isolated disk caches + a clean in-process module cache."""
+    monkeypatch.setenv("BPMAX_CODEGEN_CACHE", str(tmp_path / "codegen"))
+    monkeypatch.setenv("BPMAX_TUNE_CACHE", str(tmp_path / "autotune.json"))
+    clear_codegen_memory_cache()
+    yield tmp_path
+    clear_codegen_memory_cache()
+
+
+def _full_tables(engine):
+    n = engine.inputs.n
+    return {
+        (i1, j1): np.array(engine.table.inner(i1, j1), copy=True)
+        for i1 in range(n)
+        for j1 in range(i1, n)
+    }
+
+
+class TestCacheKey:
+    def test_key_fields(self):
+        key = codegen_cache_key("kmajor", 8, dtype="float64", m=20)
+        assert key == (
+            f"{machine_fingerprint()}|float64|m{size_class(20)}"
+            f"|kmajor|wj8|v{CODEGEN_VERSION}"
+        )
+
+    def test_dir_precedence(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("BPMAX_CODEGEN_CACHE", str(tmp_path / "env"))
+        assert codegen_cache_dir() == tmp_path / "env"
+        assert codegen_cache_dir(tmp_path / "explicit") == tmp_path / "explicit"
+        monkeypatch.delenv("BPMAX_CODEGEN_CACHE")
+        assert codegen_cache_dir() == Path.home() / ".cache" / "bpmax" / "codegen"
+
+    def test_joint_key_extends_tile_key(self):
+        assert joint_cache_key(12, 10, 2) == cache_key(12, 10, 2) + "|joint"
+
+
+class TestCacheRoundTrip:
+    def test_cold_compile_then_in_process_hit(self, codegen_env):
+        with collecting() as c:
+            get_window_kernel("kmajor", 0, MAX_PLUS, m=12)
+        assert c.codegen_compiles == 1
+        assert c.codegen_cache_hits == 0
+        with collecting() as c:
+            get_window_kernel("kmajor", 0, MAX_PLUS, m=12)
+        assert c.codegen_compiles == 0
+        assert c.codegen_cache_hits == 1
+
+    def test_disk_hit_after_memory_clear(self, codegen_env):
+        get_window_kernel("smajor", 8, MAX_PLUS, m=12)
+        clear_codegen_memory_cache()  # simulate a fresh process
+        with collecting() as c:
+            get_window_kernel("smajor", 8, MAX_PLUS, m=12)
+        assert c.codegen_compiles == 0
+        assert c.codegen_cache_hits >= 1
+
+    def test_source_on_disk_carries_key_header(self, codegen_env):
+        load_kernel_module("kmajor", 0, m=12)
+        files = list((codegen_env / "codegen").glob("*.py"))
+        assert len(files) == 1
+        key = codegen_cache_key("kmajor", 0, m=12)
+        assert files[0].read_text().startswith(f"# key: {key}\n")
+
+    def test_stale_disk_entry_recompiles(self, codegen_env):
+        load_kernel_module("kmajor", 0, m=12)
+        (f,) = (codegen_env / "codegen").glob("*.py")
+        f.write_text("# key: something-else\nraise AssertionError\n")
+        clear_codegen_memory_cache()
+        with collecting() as c:
+            load_kernel_module("kmajor", 0, m=12)
+        assert c.codegen_compiles == 1
+        key = codegen_cache_key("kmajor", 0, m=12)
+        assert f.read_text().startswith(f"# key: {key}\n")
+
+    def test_distinct_variants_distinct_modules(self, codegen_env):
+        with collecting() as c:
+            load_kernel_module("kmajor", 0, m=12)
+            load_kernel_module("kmajor", 8, m=12)
+            load_kernel_module("smajor", 0, m=12)
+            load_kernel_module("kmajor", 0, dtype="float64", m=12)
+        assert c.codegen_compiles == 4
+        assert len(list((codegen_env / "codegen").glob("*.py"))) == 4
+
+    def test_semiring_binding_cached_per_algebra(self, codegen_env):
+        k1 = get_window_kernel("kmajor", 0, MAX_PLUS, m=12)
+        k2 = get_window_kernel("kmajor", 0, MAX_PLUS, m=12)
+        k3 = get_window_kernel("kmajor", 0, LOG_SUM_EXP, m=12)
+        assert k1 is k2
+        assert k3 is not k1
+
+
+class TestRegistry:
+    def test_generated_backends_registered(self):
+        for name in GENERATED_NAMES:
+            b = BACKENDS[name]
+            assert b.available
+            assert b.capabilities["slab_direct"]
+            assert b.capabilities["workspace_reuse"]
+            assert b.window_r0 is not None
+            assert set(b.semirings) == {"max-plus", "logsumexp"}
+
+    def test_provenance_rendered_fields(self):
+        assert BACKENDS["generated-kmajor"].provenance == {
+            "schedule": "kmajor",
+            "tile_wj": 0,
+            "source": "pinned",
+        }
+        prov = BACKENDS["generated"].provenance
+        assert prov["schedule"] == "auto" and "tune" in prov["source"]
+
+    def test_numba_variant_degrades_without_numba(self):
+        b = BACKENDS["generated-numba"]
+        assert b.semirings == ("max-plus",)
+        if HAVE_NUMBA:
+            assert b.available
+        else:
+            assert not b.available
+            assert b.fallback == "generated"
+            assert get_backend("generated-numba").name == "generated"
+
+    def test_pinned_instances_pass_through_get_backend(self):
+        bk = make_pinned_backend("smajor", 16)
+        assert get_backend(bk) is bk
+        assert bk.name == "generated:smajor:wj16"
+        assert bk.provenance["codegen"] == f"v{CODEGEN_VERSION}"
+        assert bk.name not in BACKENDS  # throwaway, never registered
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("backend", GENERATED_NAMES)
+    def test_tables_bit_identical_maxplus(self, codegen_env, backend):
+        s1, s2 = random_pair(8, 7, 23)
+        inp = prepare_inputs(s1, s2)
+        ref = make_engine(inp, variant="batched")
+        gen = make_engine(inp, variant="batched", backend=backend)
+        assert ref.run() == gen.run()
+        expected = _full_tables(ref)
+        got = _full_tables(gen)
+        for key, block in expected.items():
+            np.testing.assert_array_equal(got[key], block, err_msg=str(key))
+
+    @pytest.mark.parametrize("backend", ["generated", "generated-smajor"])
+    def test_logsumexp_matches_reference(self, codegen_env, backend):
+        s1, s2 = random_pair(7, 6, 41)
+        inp = prepare_inputs(s1, s2, semiring="logsumexp")
+        ref = make_engine(inp, variant="batched").run()
+        got = make_engine(inp, variant="batched", backend=backend).run()
+        assert got == pytest.approx(ref, abs=1e-9)
+
+    def test_threads_fall_back_to_generic_path(self, codegen_env):
+        """threads > 1 keeps the row-partitioned path — still exact,
+        and no generated-kernel cells are counted."""
+        s1, s2 = random_pair(9, 6, 31)
+        inp = prepare_inputs(s1, s2)
+        expected = bpmax_recursive(inp)
+        with collecting() as c:
+            got = make_engine(
+                inp, variant="batched", backend="generated-kmajor", threads=2
+            ).run()
+        assert got == expected
+        assert c.generated_kernel_cells == 0
+
+    def test_generated_cells_counted_single_thread(self, codegen_env):
+        s1, s2 = random_pair(6, 5, 19)
+        inp = prepare_inputs(s1, s2)
+        with collecting() as c:
+            make_engine(inp, variant="batched", backend="generated").run()
+        assert c.generated_kernel_cells > 0
+        assert c.codegen_compiles + c.codegen_cache_hits >= 1
+        with collecting() as c:
+            make_engine(inp, variant="batched").run()
+        assert c.generated_kernel_cells == 0
+
+    @pytest.mark.parametrize("shape", [(1, 1), (1, 5), (5, 1), (2, 2), (3, 7)])
+    def test_degenerate_shapes(self, codegen_env, shape):
+        n, m = shape
+        s1, s2 = random_pair(n, m, 3)
+        inp = prepare_inputs(s1, s2)
+        expected = bpmax_recursive(inp)
+        got = make_engine(inp, variant="batched", backend="generated").run()
+        assert got == expected
+
+    def test_serve_passthrough(self, codegen_env):
+        s1, s2 = random_pair(6, 6, 57)
+        req = SubmitRequest(str(s1), str(s2), backend="generated-kmajor")
+        with BatchScheduler(cache=0) as sched:
+            (r,) = sched.serve_all([req])
+        assert r.ok, r.error
+        assert r.score == bpmax(str(s1), str(s2)).score
+
+
+class TestGoldenConformance:
+    @pytest.mark.parametrize("semiring", MANIFEST_SEMIRINGS)
+    @pytest.mark.parametrize("backend", ["generated-kmajor", "generated-smajor"])
+    def test_generated_backends_conform(self, codegen_env, backend, semiring):
+        problems = verify_manifest(
+            MANIFEST, variant="batched", backend=backend, semirings=(semiring,)
+        )
+        assert problems == []
+
+
+class TestJointTune:
+    def test_tune_persists_and_replays(self, codegen_env):
+        path = codegen_env / "autotune.json"
+        res = tune_joint(12, 10, repeats=1, tiles=[0, 8], path=path)
+        assert res.param == "wj"
+        assert res.best_schedule in ("kmajor", "smajor")
+        assert res.best_wb in (0, 8)
+        assert set(res.candidates) == {
+            "kmajor|wj0", "kmajor|wj8", "smajor|wj0", "smajor|wj8"
+        }
+        entry = load_cache(path)["entries"][res.key]
+        assert entry["schedule"] == res.best_schedule
+        assert entry["wj"] == res.best_wb
+        assert get_generated_config(12, 10, path=path) == (
+            res.best_schedule,
+            res.best_wb,
+        )
+
+    def test_untuned_default_is_kmajor_untiled(self, codegen_env):
+        path = codegen_env / "autotune.json"
+        assert get_generated_config(50, 50, path=path) == ("kmajor", 0)
+
+    def test_malformed_entry_falls_back_to_default(self, codegen_env):
+        path = codegen_env / "autotune.json"
+        save_entry(joint_cache_key(9, 9, 1), {"wj": 8}, path)  # no schedule
+        assert get_generated_config(9, 9, path=path) == ("kmajor", 0)
+        save_entry(
+            joint_cache_key(9, 9, 2), {"schedule": "smajor", "wj": -3}, path
+        )
+        assert get_generated_config(9, 9, threads=2, path=path) == ("smajor", 0)
+
+    def test_empty_grid_rejected(self, codegen_env):
+        with pytest.raises(ValueError, match="at least one"):
+            tune_joint(6, 6, schedules=[], path=codegen_env / "autotune.json")
+
+    def test_rerun_warm_starts_previous_winner(self, codegen_env):
+        """A persisted winner is swept first (its caches get the untimed
+        warm-up) without changing the grid's membership."""
+        path = codegen_env / "autotune.json"
+        save_entry(
+            joint_cache_key(8, 8, 1),
+            {"schedule": "smajor", "wj": 8, "wall_s": 0.0},
+            path,
+        )
+        res = tune_joint(
+            8, 8, repeats=1, schedules=["kmajor", "smajor"], tiles=[0, 8],
+            path=path,
+        )
+        assert set(res.candidates) == {
+            "kmajor|wj0", "kmajor|wj8", "smajor|wj0", "smajor|wj8"
+        }

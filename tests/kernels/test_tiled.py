@@ -64,6 +64,7 @@ class TestBackendRegistration:
             "autotune": True,
             "tile_graph": True,
             "bounded_scores": False,
+            "slab_direct": False,
         }
         batched = BACKENDS["numpy-batched"]
         assert not batched.capabilities["tile_graph"]

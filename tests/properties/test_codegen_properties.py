@@ -1,0 +1,111 @@
+"""Property-based suite for the generated-kernel pipeline (requires
+Hypothesis; skipped cleanly without it).
+
+The emitter's legality contract says: any bijective permutation of the
+R0 reduction indices ``(s, k)``, at any candidate column tile, is a
+legal schedule — and because ⊕ is commutative and every candidate is
+combined exactly once, *every* legal schedule must produce the same
+scores as the reference engine.  These properties draw schedules and
+tiles rather than enumerating them, so a future third loop order or
+tile shape is covered the day it is added:
+
+* any drawn (legal schedule, tile) engine run equals the memoized
+  recursion oracle and is bit-identical to ``numpy-batched`` tables
+  under max-plus;
+* any drawn time map that is *not* a unit-coefficient permutation is
+  rejected by the legality check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip(
+    "hypothesis", reason="property-based suite needs the hypothesis package"
+)
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.engine import make_engine  # noqa: E402
+from repro.core.reference import bpmax_recursive, prepare_inputs  # noqa: E402
+from repro.kernels.codegen_backend import (  # noqa: E402
+    clear_codegen_memory_cache,
+    make_pinned_backend,
+)
+from repro.polyhedral.codegen.vectorize import (  # noqa: E402
+    CODEGEN_SCHEDULES,
+    is_legal_schedule,
+)
+from repro.polyhedral.schedule import Schedule  # noqa: E402
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+#: short RNA strands; lengths small enough for the recursion oracle
+rna = st.text(alphabet="ACGU", min_size=1, max_size=6)
+
+#: every legal schedule the emitter can lower: a named permutation of
+#: the reduction indices (s, k)
+legal_schedule = st.sampled_from([ks.name for ks in CODEGEN_SCHEDULES])
+
+#: candidate column tiles, including widths beyond the strand length
+#: (the emitted loop clamps the tile to the window)
+tile = st.sampled_from([0, 2, 8, 16])
+
+
+@pytest.fixture(autouse=True)
+def isolated_codegen_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("BPMAX_CODEGEN_CACHE", str(tmp_path))
+    clear_codegen_memory_cache()
+    yield
+    clear_codegen_memory_cache()
+
+
+def _full_tables(engine):
+    n = engine.inputs.n
+    return {
+        (i1, j1): np.array(engine.table.inner(i1, j1), copy=True)
+        for i1 in range(n)
+        for j1 in range(i1, n)
+    }
+
+
+@pytest.mark.filterwarnings("ignore::hypothesis.errors.HypothesisWarning")
+class TestAnyLegalScheduleMatchesReference:
+    @SETTINGS
+    @given(seq1=rna, seq2=rna, schedule=legal_schedule, wj=tile)
+    def test_matches_oracle_and_batched_tables(self, seq1, seq2, schedule, wj):
+        inp = prepare_inputs(seq1, seq2)
+        backend = make_pinned_backend(schedule, wj)
+        gen = make_engine(inp, variant="batched", backend=backend)
+        ref = make_engine(inp, variant="batched")
+        score = gen.run()
+        assert score == bpmax_recursive(inp)
+        assert score == ref.run()
+        expected = _full_tables(ref)
+        got = _full_tables(gen)
+        for key, block in expected.items():
+            np.testing.assert_array_equal(got[key], block, err_msg=str(key))
+
+    @SETTINGS
+    @given(seq1=rna, seq2=rna, schedule=legal_schedule, wj=tile)
+    def test_logsumexp_close_to_reference(self, seq1, seq2, schedule, wj):
+        inp = prepare_inputs(seq1, seq2, semiring="logsumexp")
+        backend = make_pinned_backend(schedule, wj)
+        got = make_engine(inp, variant="batched", backend=backend).run()
+        ref = make_engine(inp, variant="batched").run()
+        assert got == pytest.approx(ref, abs=1e-9)
+
+
+class TestLegalityIsAPermutationCheck:
+    @SETTINGS
+    @given(
+        exprs=st.lists(
+            st.sampled_from(["s", "k", "s + k", "2*k", "k + 1", "0"]),
+            min_size=2,
+            max_size=2,
+        )
+    )
+    def test_legal_iff_unit_permutation(self, exprs):
+        text = f"(s, k -> {exprs[0]}, {exprs[1]})"
+        sched = Schedule.parse("R0", text)
+        assert is_legal_schedule(sched) == (sorted(exprs) == ["k", "s"])
